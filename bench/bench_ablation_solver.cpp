@@ -1,0 +1,128 @@
+// Ablation bench for the solver design choices DESIGN.md calls out:
+//   (1) Chebyshev basis vs raw monomials (conditioning, Section 4.3.1)
+//   (2) condition-number-driven (k1,k2) selection vs fixed budgets
+//   (3) Clenshaw-Curtis grid resolution vs accuracy/time
+//   (4) primary-domain choice (x vs log) on long-tailed data
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/chebyshev_moments.h"
+#include "core/maxent_solver.h"
+#include "core/moments_sketch.h"
+#include "datasets/datasets.h"
+#include "numerics/eigen.h"
+
+namespace {
+
+using namespace msketch;
+using namespace msketch::bench;
+
+// (1) Conditioning: Hessian condition number at the uniform start in the
+// monomial basis vs the Chebyshev basis, as k grows. This is the reason
+// the solver never touches raw powers (paper: kappa ~ 3e31 at k = 8).
+void BasisConditioning() {
+  std::printf("(1) uniform-Hessian condition number, monomial vs Chebyshev\n");
+  std::printf("    %-4s %14s %14s\n", "k", "monomial", "chebyshev");
+  for (int k : {2, 4, 6, 8, 10, 12}) {
+    // Gram matrices over u in [-1,1] with uniform density 1/2:
+    // monomial: H_ij = 1/2 int u^(i+j) du ; chebyshev: via T_i T_j.
+    Matrix mono(k + 1, k + 1), cheb(k + 1, k + 1);
+    for (int i = 0; i <= k; ++i) {
+      for (int j = 0; j <= k; ++j) {
+        const int p = i + j;
+        mono(i, j) = (p % 2 == 0) ? 1.0 / (p + 1) : 0.0;
+        // int T_i T_j = 1/2 (int T_{i+j} + int T_|i-j|).
+        auto intT = [](int n) {
+          return (n % 2 == 0) ? 2.0 / (1.0 - n * n) : 0.0;
+        };
+        cheb(i, j) = 0.25 * (intT(i + j) + intT(std::abs(i - j)));
+      }
+    }
+    std::printf("    %-4d %14.3e %14.3e\n", k,
+                SymmetricConditionNumber(mono),
+                SymmetricConditionNumber(cheb));
+  }
+}
+
+// (2) + (3) + (4): accuracy/time on milan and hepmass as we knock out
+// individual design choices.
+void SolverAblations(const char* dataset, uint64_t rows) {
+  auto id = DatasetFromName(dataset);
+  MSKETCH_CHECK(id.ok());
+  auto data = GenerateDataset(id.value(), rows);
+  auto sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+  MomentsSketch sketch(10);
+  for (double x : data) sketch.Accumulate(x);
+  auto phis = DefaultPhiGrid();
+
+  struct Variant {
+    const char* name;
+    MaxEntOptions options;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"full solver", MaxEntOptions{}});
+  {
+    MaxEntOptions o;  // no conditioning guard: accept everything
+    o.kappa_max = 1e300;
+    variants.push_back({"no kappa guard", o});
+  }
+  {
+    MaxEntOptions o;  // aggressive conditioning: tiny budget
+    o.kappa_max = 100.0;
+    variants.push_back({"kappa_max=100", o});
+  }
+  {
+    MaxEntOptions o;  // coarse fixed grid
+    o.min_grid = 32;
+    o.max_grid = 32;
+    variants.push_back({"grid=32 fixed", o});
+  }
+  {
+    MaxEntOptions o;  // fine fixed grid
+    o.min_grid = 1024;
+    o.max_grid = 1024;
+    variants.push_back({"grid=1024 fixed", o});
+  }
+  {
+    MaxEntOptions o;  // standard moments only (x-primary forced)
+    o.use_log_moments = false;
+    variants.push_back({"std moments only", o});
+  }
+  {
+    MaxEntOptions o;  // log moments only
+    o.use_std_moments = false;
+    variants.push_back({"log moments only", o});
+  }
+
+  std::printf("\n(2-4) solver variants on %s (k=10)\n", dataset);
+  std::printf("    %-18s %10s %12s %8s %8s\n", "variant", "eps_avg",
+              "t_est(ms)", "k1", "k2");
+  for (const auto& v : variants) {
+    Timer t;
+    auto dist = SolveMaxEnt(sketch, v.options);
+    const double ms = t.Millis();
+    if (!dist.ok()) {
+      std::printf("    %-18s %10s %12.3f   (%s)\n", v.name, "-", ms,
+                  dist.status().ToString().c_str());
+      continue;
+    }
+    auto est = dist->Quantiles(phis);
+    const double err = MeanQuantileError(sorted, est, phis);
+    std::printf("    %-18s %10.5f %12.3f %8d %8d\n", v.name, err, ms,
+                dist->diagnostics().k1, dist->diagnostics().k2);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const uint64_t rows = args.GetU64("rows", 200'000);
+  PrintHeader("Ablation: solver design choices (DESIGN.md section 4)");
+  BasisConditioning();
+  SolverAblations("milan", rows);
+  SolverAblations("hepmass", rows);
+  return 0;
+}

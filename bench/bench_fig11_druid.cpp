@@ -1,0 +1,80 @@
+// Figure 11: end-to-end cube (Druid-style) query benchmark. A milan-
+// shaped cube over (hour, grid id, country) holds one summary per cell;
+// the query computes a p99 over the whole dataset by merging every cell.
+// Compared: native sum, M-Sketch@10, S-Hist@{10,100,1000} (Druid's
+// default summary at three sizes).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "cube/data_cube.h"
+#include "datasets/datasets.h"
+#include "sketches/shist.h"
+
+namespace {
+
+using namespace msketch;
+using namespace msketch::bench;
+
+// Ingests the milan-shaped rows into a cube over (hour, grid, country).
+template <typename Summary>
+DataCube<Summary> BuildDruidCube(const std::vector<double>& values,
+                                 uint64_t grids, Summary prototype) {
+  DataCube<Summary> cube(3, std::move(prototype));
+  Rng rng(0xD201D);
+  for (double v : values) {
+    CubeCoords coords = {static_cast<uint32_t>(rng.NextBelow(24)),
+                         static_cast<uint32_t>(rng.NextBelow(grids)),
+                         static_cast<uint32_t>(rng.NextBelow(10))};
+    cube.Ingest(coords, v);
+  }
+  return cube;
+}
+
+template <typename Summary>
+double TimeQuantileQuery(const DataCube<Summary>& cube, double* result) {
+  Timer t;
+  Summary merged = cube.MergeAll();
+  auto q = merged.EstimateQuantile(0.99);
+  *result = q.ok() ? q.value() : -1.0;
+  return t.Seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  // Paper: 26M rows -> 10M cells (hour x grid x country). Default here:
+  // 1M rows -> ~200k potential cells (~5 rows per occupied cell, matching
+  // the paper's very sparse cells).
+  const uint64_t rows =
+      args.GetU64("rows", 1'000'000) * static_cast<uint64_t>(args.Scale());
+  const uint64_t grids = args.GetU64("grids", 850);
+
+  PrintHeader("Figure 11: Druid-style end-to-end query");
+  std::printf("paper: sum 0.27s | M-Sketch@10 1.7s | S-Hist@10 3.65s |\n"
+              "       S-Hist@100 12.1s | S-Hist@1000 99s (10M cells)\n\n");
+  auto values = GenerateDataset(DatasetId::kMilan, rows);
+
+  // Native sum baseline (uses the same cube layout as the sketch query).
+  {
+    auto cube = BuildDruidCube(values, grids, MomentsSummary(10));
+    std::printf("cube: %llu rows in %zu cells\n",
+                static_cast<unsigned long long>(cube.num_rows()),
+                cube.num_cells());
+    Timer t;
+    const double sum = cube.SumWhere(CubeFilter(3, kAnyValue));
+    std::printf("%-14s %8.3f s   (result %.3g)\n", "sum", t.Seconds(), sum);
+    double q99 = 0;
+    const double secs = TimeQuantileQuery(cube, &q99);
+    std::printf("%-14s %8.3f s   (p99 = %.2f)\n", "M-Sketch@10", secs, q99);
+  }
+  for (size_t bins : {10, 100, 1000}) {
+    auto cube = BuildDruidCube(values, grids, SHist(bins));
+    double q99 = 0;
+    const double secs = TimeQuantileQuery(cube, &q99);
+    std::printf("%-11s@%-4zu %6.3f s   (p99 = %.2f)\n", "S-Hist", bins,
+                secs, q99);
+  }
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Figure 14: sliding-window threshold query over 10 days of 10-minute
+// panes (4-hour windows; pass --panes=4320 for the paper's full month),
+// with two injected spikes. Variants:
+//   Baseline - turnstile updates, direct maxent estimate per window
+//   +Simple/+Markov/+RTT - turnstile + cascade stages
+//   Merge12  - re-merge all panes per window slide + estimate
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "core/cascade.h"
+#include "datasets/datasets.h"
+#include "sketches/buffer_hierarchy.h"
+#include "window/sliding_window.h"
+
+int main(int argc, char** argv) {
+  using namespace msketch;
+  using namespace msketch::bench;
+  Args args(argc, argv);
+  const int total_panes = static_cast<int>(args.GetU64("panes", 1440));
+  const int window_panes = static_cast<int>(args.GetU64("window", 24));
+  const uint64_t rows_per_pane =
+      args.GetU64("pane-rows", 1000) * static_cast<uint64_t>(args.Scale());
+
+  PrintHeader("Figure 14: sliding window query");
+  std::printf("paper: Baseline 6.30s | +Simple 5.26 | +Markov 0.08 |\n"
+              "       +RTT 0.04 | Merge12 0.48\n\n");
+
+  // Pre-build panes (pane construction is ingest-time work, not query
+  // time). Spikes at panes [1200,1212) and [3000,3012) with value 2000
+  // and 1000 against a milan-like base (max ~8000, p99 ~ 500).
+  auto values = GenerateDataset(DatasetId::kMilan,
+                                rows_per_pane * total_panes);
+  std::vector<MomentsSketch> moment_panes;
+  std::vector<BufferHierarchySketch> m12_panes;
+  moment_panes.reserve(total_panes);
+  m12_panes.reserve(total_panes);
+  size_t vi = 0;
+  for (int p = 0; p < total_panes; ++p) {
+    MomentsSketch mp(10);
+    auto bp = MakeMerge12(32, 5000 + p);
+    const bool spike = (p >= total_panes / 4 && p < total_panes / 4 + 12) ||
+                       (p >= (3 * total_panes) / 4 &&
+                        p < (3 * total_panes) / 4 + 12);
+    for (uint64_t i = 0; i < rows_per_pane; ++i) {
+      mp.Accumulate(values[vi]);
+      bp.Accumulate(values[vi]);
+      ++vi;
+    }
+    if (spike) {
+      const double v = (p < total_panes / 2) ? 2000.0 : 1000.0;
+      const uint64_t extra = rows_per_pane / 10;
+      for (uint64_t i = 0; i < extra; ++i) {
+        mp.Accumulate(v);
+        bp.Accumulate(v);
+      }
+    }
+    moment_panes.push_back(std::move(mp));
+    m12_panes.push_back(std::move(bp));
+  }
+
+  const double threshold = 1500.0;
+  struct Variant {
+    const char* name;
+    bool cascade_enabled;
+    bool simple, markov, rtt;
+  };
+  for (const Variant& v :
+       {Variant{"Baseline", false, false, false, false},
+        Variant{"+Simple", true, true, false, false},
+        Variant{"+Markov", true, true, true, false},
+        Variant{"+RTT", true, true, true, true}}) {
+    CascadeOptions options;
+    options.use_simple_check = v.simple;
+    options.use_markov = v.markov;
+    options.use_rtt = v.rtt;
+    ThresholdCascade cascade(options);
+    TurnstileWindow window(10, window_panes);
+    Timer t;
+    int alerts = 0;
+    for (const auto& pane : moment_panes) {
+      window.PushPane(pane);
+      if (!window.Full()) continue;
+      bool above;
+      if (v.cascade_enabled) {
+        above = cascade.Threshold(window.Current(), 0.99, threshold);
+      } else {
+        auto dist = SolveMaxEnt(window.Current());
+        above = dist.ok() && dist->Quantile(0.99) > threshold;
+      }
+      alerts += above ? 1 : 0;
+    }
+    std::printf("%-10s %8.3f s   (%d window alerts)\n", v.name, t.Seconds(),
+                alerts);
+  }
+
+  // Merge12: re-merge the window every slide, estimate directly.
+  {
+    RemergeWindow<BufferHierarchySketch> window(MakeMerge12(32, 1),
+                                                window_panes);
+    Timer t;
+    int alerts = 0;
+    int seen = 0;
+    for (const auto& pane : m12_panes) {
+      window.PushPane(pane);
+      if (++seen < window_panes) continue;
+      BufferHierarchySketch merged = window.Current();
+      auto q = merged.EstimateQuantile(0.99);
+      alerts += (q.ok() && q.value() > threshold) ? 1 : 0;
+    }
+    std::printf("%-10s %8.3f s   (%d window alerts)\n", "Merge12",
+                t.Seconds(), alerts);
+  }
+  return 0;
+}

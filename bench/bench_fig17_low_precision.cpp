@@ -1,0 +1,60 @@
+// Figure 17 (Appendix C): accuracy of low-precision moments sketches
+// after ~100k merges, as bits-per-value decreases. ~20 bits suffice for
+// k <= 10; higher orders need more mantissa.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "core/compressed_sketch.h"
+#include "core/maxent_solver.h"
+#include "datasets/datasets.h"
+
+int main(int argc, char** argv) {
+  using namespace msketch;
+  using namespace msketch::bench;
+  Args args(argc, argv);
+  const uint64_t merges = args.GetU64("merges", 100'000);
+  const uint64_t cell = args.GetU64("cell-size", 20);
+
+  PrintHeader("Figure 17: accuracy vs bits per value (100k merges)");
+  std::printf("%-9s %4s %8s %12s\n", "dataset", "k", "bits", "eps_avg");
+
+  for (const char* name : {"milan", "hepmass"}) {
+    auto id = DatasetFromName(name);
+    MSKETCH_CHECK(id.ok());
+    auto data = GenerateDataset(id.value(), merges * cell);
+    auto sorted = data;
+    std::sort(sorted.begin(), sorted.end());
+    auto phis = DefaultPhiGrid();
+
+    for (int k : {6, 10, 14}) {
+      // Build the cell sketches once per k.
+      std::vector<MomentsSketch> cells;
+      cells.reserve(merges);
+      for (uint64_t start = 0; start < data.size(); start += cell) {
+        MomentsSketch s(k);
+        const uint64_t end = std::min<uint64_t>(start + cell, data.size());
+        for (uint64_t i = start; i < end; ++i) s.Accumulate(data[i]);
+        cells.push_back(std::move(s));
+      }
+      for (int bits : {14, 16, 18, 20, 24, 32, 48, 64}) {
+        Rng seeds(bits * 1000 + k);
+        MomentsSketch merged(k);
+        for (const auto& c : cells) {
+          MSKETCH_CHECK(
+              merged.Merge(QuantizeSketch(c, bits, seeds.NextU64())).ok());
+        }
+        auto est = EstimateQuantiles(merged, phis);
+        if (est.ok()) {
+          std::printf("%-9s %4d %8d %12.5f\n", name, k, bits,
+                      MeanQuantileError(sorted, est.value(), phis));
+        } else {
+          std::printf("%-9s %4d %8d %12s (%s)\n", name, k, bits, "-",
+                      est.status().ToString().c_str());
+        }
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 19 (Appendix D.2): robustness to outliers. A standard Gaussian
+// dataset is salted with a 1% fraction of outliers at magnitude mu_o; the
+// moments sketch holds its accuracy while equi-width histograms collapse
+// (their bins stretch to cover the outliers).
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+
+int main(int argc, char** argv) {
+  using namespace msketch;
+  using namespace msketch::bench;
+  Args args(argc, argv);
+  const uint64_t rows = args.GetU64("rows", 1'000'000);
+  const double outlier_frac = 0.01;
+
+  PrintHeader("Figure 19: outlier robustness (gaussian + 1% outliers)");
+  std::printf("%-10s %-12s %12s\n", "magnitude", "summary", "eps_avg");
+
+  struct Entry {
+    const char* name;
+    double param;
+  };
+  const Entry summaries[] = {{"EW-Hist", 20},  {"EW-Hist", 100},
+                             {"M-Sketch", 10}, {"Merge12", 32},
+                             {"GK", 50},       {"RandomW", 40}};
+
+  for (double mag : {10.0, 100.0, 1000.0}) {
+    Rng rng(static_cast<uint64_t>(mag) + 77);
+    std::vector<double> data;
+    data.reserve(rows);
+    for (uint64_t i = 0; i < rows; ++i) {
+      if (rng.NextDouble() < outlier_frac) {
+        data.push_back(mag + 0.1 * rng.NextGaussian());
+      } else {
+        data.push_back(rng.NextGaussian());
+      }
+    }
+    auto sorted = data;
+    std::sort(sorted.begin(), sorted.end());
+    for (const Entry& e : summaries) {
+      auto s = MakeAnySummary(e.name, e.param);
+      MSKETCH_CHECK(s.ok());
+      for (double x : data) s.value()->Accumulate(x);
+      std::printf("%-10g %s:%-8g %10.5f\n", mag, e.name, e.param,
+                  MeanError(*s.value(), sorted));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 20 (Appendix D.3): per-merge latency with larger pre-aggregation
+// cells — 2000 elements (milan, hepmass, exponential) and 10000 elements
+// (gauss). The moments sketch is size-invariant; growable summaries get
+// slower as their cells reach capacity.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "datasets/datasets.h"
+
+namespace {
+
+using namespace msketch;
+using namespace msketch::bench;
+
+void RunCase(const char* dataset, size_t cell_size, size_t num_cells) {
+  auto id = DatasetFromName(dataset);
+  MSKETCH_CHECK(id.ok());
+  auto data = GenerateDataset(id.value(), cell_size * num_cells);
+
+  struct Entry {
+    const char* name;
+    double param;
+  };
+  const Entry summaries[] = {{"M-Sketch", 10}, {"T-Digest", 100},
+                             {"Merge12", 32},  {"Sampling", 1000},
+                             {"GK", 50},       {"EW-Hist", 100},
+                             {"S-Hist", 100}};
+  for (const Entry& e : summaries) {
+    auto prototype = MakeAnySummary(e.name, e.param);
+    MSKETCH_CHECK(prototype.ok());
+    auto cells = BuildCells(data, cell_size, *prototype.value());
+    auto accumulator = prototype.value()->CloneEmpty();
+    Timer t;
+    int merges = 0;
+    for (const auto& c : cells) {
+      MSKETCH_CHECK(accumulator->Merge(*c).ok());
+      ++merges;
+    }
+    const double per_merge_us = t.Millis() * 1000.0 / merges;
+    std::printf("%-9s cell=%-6zu %-10s %10.3f us/merge  (%zu bytes)\n",
+                dataset, cell_size, e.name, per_merge_us,
+                cells[0]->SizeBytes());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const size_t cells = args.GetU64("cells", 500);
+  PrintHeader("Figure 20: merge latency with larger cells");
+  RunCase("milan", 2000, cells);
+  RunCase("hepmass", 2000, cells);
+  RunCase("expon", 2000, cells);
+  RunCase("gauss", 10000, cells / 2);
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Figures 24 + 25 (Appendix F): strong and weak scaling of parallel
+// merging. Merges are embarrassingly parallel, so the moments sketch's
+// single-thread advantage carries over unchanged.
+#include <cstdio>
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "datasets/datasets.h"
+#include "parallel/parallel_merge.h"
+#include "core/moments_summary.h"
+#include "sketches/buffer_hierarchy.h"
+#include "sketches/gk_sketch.h"
+#include "sketches/tdigest.h"
+
+namespace {
+
+using namespace msketch;
+using namespace msketch::bench;
+
+template <typename Summary>
+std::vector<Summary> BuildParts(const std::vector<double>& data,
+                                size_t cell, Summary prototype) {
+  std::vector<Summary> parts;
+  parts.reserve(data.size() / cell + 1);
+  for (size_t start = 0; start < data.size(); start += cell) {
+    Summary s = prototype.CloneEmpty();
+    const size_t end = std::min(start + cell, data.size());
+    for (size_t i = start; i < end; ++i) s.Accumulate(data[i]);
+    parts.push_back(std::move(s));
+  }
+  return parts;
+}
+
+template <typename Summary>
+void RunScaling(const char* label, const std::vector<Summary>& parts,
+                const std::vector<int>& threads) {
+  for (int t : threads) {
+    Timer timer;
+    Summary merged = ParallelMerge(parts, t);
+    const double ms = timer.Millis();
+    std::printf("%-10s threads=%-3d %12.1f merges/ms   (%.2f ms total)\n",
+                label, t, static_cast<double>(parts.size()) / ms, ms);
+    (void)merged;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const size_t num_parts =
+      args.GetU64("parts", 40'000) * static_cast<size_t>(args.Scale());
+  const size_t cell = 200;
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  std::vector<int> threads = {1, 2, 4};
+  if (hw >= 8) threads.push_back(8);
+  if (hw >= 16) threads.push_back(16);
+
+  PrintHeader("Figures 24+25: parallel merge scaling");
+  std::printf("hardware threads: %d\n\n", hw);
+  auto data = GenerateDataset(DatasetId::kMilan, num_parts * cell);
+
+  std::printf("--- Figure 24: strong scaling (%zu summaries) ---\n",
+              num_parts);
+  RunScaling("M-Sketch", BuildParts(data, cell, MomentsSketch(10)), threads);
+  RunScaling("Merge12", BuildParts(data, cell, MakeMerge12(32)), threads);
+  RunScaling("GK", BuildParts(data, cell, GkSketch(1.0 / 50)), threads);
+  RunScaling("T-Digest", BuildParts(data, cell, TDigest(100)), threads);
+
+  std::printf("\n--- Figure 25: weak scaling (%zu summaries per thread) "
+              "---\n",
+              num_parts / 4);
+  for (int t : threads) {
+    const size_t n = (num_parts / 4) * static_cast<size_t>(t);
+    auto sub = GenerateDataset(DatasetId::kMilan, n * cell, 99);
+    auto parts = BuildParts(sub, cell, MomentsSketch(10));
+    Timer timer;
+    MomentsSketch merged = ParallelMerge(parts, t);
+    const double ms = timer.Millis();
+    std::printf("M-Sketch   threads=%-3d %12.1f merges/ms   (%zu parts)\n",
+                t, static_cast<double>(parts.size()) / ms, parts.size());
+    (void)merged;
+  }
+  return 0;
+}

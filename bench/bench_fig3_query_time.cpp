@@ -1,0 +1,80 @@
+// Figure 3: total query time (merge all pre-aggregated cells + estimate a
+// quantile) for summaries instantiated at the smallest size achieving
+// eps_avg <= 0.01 (Table 2 parameters). Also prints the paper's sorting /
+// streaming baselines for context.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "bench/calibrate.h"
+#include "datasets/datasets.h"
+
+int main(int argc, char** argv) {
+  using namespace msketch;
+  using namespace msketch::bench;
+  Args args(argc, argv);
+  // Paper: milan 81M rows -> 406k cells of 200. Default here: 2M rows ->
+  // 10k cells (the merge-time ordering is row-count independent).
+  const uint64_t milan_rows = args.GetU64("rows", 2'000'000) *
+                              static_cast<uint64_t>(args.Scale());
+  const uint64_t hepmass_rows = milan_rows / 2;
+  const size_t cell_size = args.GetU64("cell-size", 200);
+  const uint64_t calib_rows = std::min<uint64_t>(milan_rows, 300'000);
+
+  PrintHeader("Figure 3: total query time at eps_avg <= 0.01");
+  std::printf(
+      "paper (milan, 406k cells): M-Sketch 22.6ms | Merge12 824 | RandomW "
+      "337 |\n  GK 2070 | T-Digest 2850 | Sampling 1840 | S-Hist 552 | "
+      "EW-Hist 268\n\n");
+
+  struct Case {
+    const char* dataset;
+    uint64_t rows;
+  };
+  for (const Case& c : {Case{"milan", milan_rows},
+                        Case{"hepmass", hepmass_rows}}) {
+    auto id = DatasetFromName(c.dataset);
+    MSKETCH_CHECK(id.ok());
+    auto data = GenerateDataset(id.value(), c.rows);
+    auto sorted = data;
+    Timer sort_timer;
+    std::sort(sorted.begin(), sorted.end());
+    const double sort_ms = sort_timer.Millis();
+
+    // Calibrate on a prefix (cheap), then time on the full cell set.
+    std::vector<double> calib(data.begin(),
+                              data.begin() + std::min<size_t>(
+                                                 calib_rows, data.size()));
+    auto calib_sorted = calib;
+    std::sort(calib_sorted.begin(), calib_sorted.end());
+
+    std::printf("--- %s: %llu rows, %llu cells of %zu ---\n", c.dataset,
+                static_cast<unsigned long long>(c.rows),
+                static_cast<unsigned long long>(c.rows / cell_size),
+                cell_size);
+    std::printf("%-10s %8s %10s %12s %10s\n", "summary", "param", "bytes",
+                "query(ms)", "eps_avg");
+    for (const auto& sweep : DefaultSweeps()) {
+      Calibration cal =
+          CalibrateOne(sweep, calib, calib_sorted, 0.01, false);
+      auto prototype = MakeAnySummary(cal.summary, cal.param);
+      MSKETCH_CHECK(prototype.ok());
+      auto cells = BuildCells(data, cell_size, *prototype.value());
+
+      Timer t;
+      auto merged = prototype.value()->CloneEmpty();
+      for (const auto& cell : cells) {
+        MSKETCH_CHECK(merged->Merge(*cell).ok());
+      }
+      auto q = merged->EstimateQuantile(0.5);
+      const double query_ms = t.Millis();
+      const double err = MeanError(*merged, sorted);
+      std::printf("%-10s %8g %10zu %12.2f %10.4f%s\n", cal.summary.c_str(),
+                  cal.param, cal.bytes, query_ms, err,
+                  cal.achieved ? "" : "   (target eps unreachable)");
+      (void)q;
+    }
+    std::printf("baseline: std::sort of raw data: %.1f ms\n\n", sort_ms);
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 6: total query time vs number of aggregated cells for the three
+// mergeable summaries (M-Sketch k=10, Merge12 k=32, RandomW). Merge time
+// dominates past ~1e4 cells, which is where the moments sketch wins; below
+// ~1e2 cells its estimation cost dominates.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "datasets/datasets.h"
+
+int main(int argc, char** argv) {
+  using namespace msketch;
+  using namespace msketch::bench;
+  Args args(argc, argv);
+  const size_t cell_size = 200;
+  const size_t pool_cells = args.GetU64("pool-cells", 10'000);
+  std::vector<uint64_t> cell_counts = {100, 1'000, 10'000, 100'000};
+  if (args.Has("full")) cell_counts.push_back(1'000'000);
+
+  PrintHeader("Figure 6: query time vs number of merged cells");
+  std::printf("paper: M-Sketch wins for nmerge >= 1e4; estimation cost\n"
+              "dominates below ~1e2 cells\n\n");
+  std::printf("%-9s %-9s %10s %12s %12s %12s\n", "dataset", "summary",
+              "cells", "total(ms)", "merge(ms)", "est(ms)");
+
+  struct Entry {
+    const char* name;
+    double param;
+  };
+  const Entry summaries[] = {
+      {"M-Sketch", 10}, {"Merge12", 32}, {"RandomW", 32}};
+
+  for (const char* dataset : {"milan", "hepmass", "expon"}) {
+    auto id = DatasetFromName(dataset);
+    MSKETCH_CHECK(id.ok());
+    auto data = GenerateDataset(id.value(), cell_size * pool_cells);
+    for (const Entry& s : summaries) {
+      auto prototype = MakeAnySummary(s.name, s.param);
+      MSKETCH_CHECK(prototype.ok());
+      auto pool = BuildCells(data, cell_size, *prototype.value());
+      for (uint64_t n : cell_counts) {
+        Timer t;
+        auto merged = prototype.value()->CloneEmpty();
+        for (uint64_t i = 0; i < n; ++i) {
+          MSKETCH_CHECK(merged->Merge(*pool[i % pool.size()]).ok());
+        }
+        const double merge_ms = t.Millis();
+        Timer te;
+        auto q = merged->EstimateQuantile(0.99);
+        MSKETCH_CHECK(q.ok());
+        const double est_ms = te.Millis();
+        std::printf("%-9s %-9s %10llu %12.3f %12.3f %12.3f\n", dataset,
+                    s.name, static_cast<unsigned long long>(n),
+                    merge_ms + est_ms, merge_ms, est_ms);
+      }
+    }
+  }
+  return 0;
+}

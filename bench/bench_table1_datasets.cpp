@@ -1,0 +1,51 @@
+// Table 1: dataset characteristics. Prints the synthetic substitutes'
+// statistics next to the paper's reported values.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "datasets/datasets.h"
+
+namespace {
+
+struct PaperRow {
+  const char* name;
+  double size, min, max, mean, stddev, skew;
+};
+
+// Values from Table 1 of the paper.
+const PaperRow kPaper[] = {
+    {"milan", 81e6, 2.3e-6, 7936, 36.77, 103.5, 8.585},
+    {"hepmass", 10.5e6, -1.961, 4.378, 0.0163, 1.004, 0.2946},
+    {"occupancy", 20e3, 412.8, 2077, 690.6, 311.2, 1.654},
+    {"retail", 530e3, 1, 80995, 10.66, 156.8, 460.1},
+    {"power", 2e6, 0.076, 11.12, 1.092, 1.057, 1.786},
+    {"expon", 100e6, 1.2e-7, 16.30, 1.000, 0.999, 1.994},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace msketch;
+  bench::Args args(argc, argv);
+  bench::PrintHeader(
+      "Table 1: dataset characteristics (paper value / ours)");
+  std::printf("%-10s %12s %12s %12s %10s %10s %8s\n", "dataset", "size",
+              "min", "max", "mean", "stddev", "skew");
+
+  const double scale = args.Scale();
+  size_t idx = 0;
+  for (DatasetId id : Table1Datasets()) {
+    const PaperRow& p = kPaper[idx++];
+    uint64_t rows = static_cast<uint64_t>(
+        static_cast<double>(DefaultRows(id)) * scale);
+    rows = std::min<uint64_t>(rows, args.GetU64("max-rows", 10'000'000));
+    auto data = GenerateDataset(id, rows);
+    auto d = DescribeData(data);
+    std::printf("%-10s %12.3g %12.3g %12.4g %10.4g %10.4g %8.3g  (paper)\n",
+                p.name, p.size, p.min, p.max, p.mean, p.stddev, p.skew);
+    std::printf("%-10s %12.3g %12.3g %12.4g %10.4g %10.4g %8.3g  (ours)\n\n",
+                DatasetName(id).c_str(), static_cast<double>(d.count), d.min,
+                d.max, d.mean, d.stddev, d.skew);
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Table 2: summary size parameters sufficient for eps_avg <= 0.01 on
+// milan and hepmass, found by sweeping each summary's parameter (the
+// paper's methodology), with the space used at that setting.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "bench/calibrate.h"
+#include "datasets/datasets.h"
+
+int main(int argc, char** argv) {
+  using namespace msketch;
+  using namespace msketch::bench;
+  Args args(argc, argv);
+  const uint64_t rows = args.GetU64("rows", 300'000) *
+                        static_cast<uint64_t>(args.Scale());
+
+  PrintHeader("Table 2: summary parameters for eps_avg <= 0.01");
+  std::printf("paper reference (milan):   M-Sketch k=10 (200B), Merge12 k=32"
+              " (5920B),\n  RandomW eps=1/40 (3200B), GK eps=1/60 (720B),"
+              " T-Digest d=5.0 (769B),\n  Sampling 1000 (8010B), S-Hist/EW-"
+              "Hist: target unreachable, timed at 100 bins\n\n");
+
+  for (const char* name : {"milan", "hepmass"}) {
+    auto id = DatasetFromName(name);
+    MSKETCH_CHECK(id.ok());
+    auto data = GenerateDataset(id.value(), rows);
+    auto sorted = data;
+    std::sort(sorted.begin(), sorted.end());
+
+    std::printf("--- %s (%llu rows) ---\n", name,
+                static_cast<unsigned long long>(rows));
+    std::printf("%-10s %10s %10s %10s %s\n", "summary", "param", "bytes",
+                "eps_avg", "achieved");
+    for (const auto& sweep : DefaultSweeps()) {
+      Timer t;
+      Calibration c = CalibrateOne(sweep, data, sorted, 0.01,
+                                   /*round_to_int=*/false);
+      std::printf("%-10s %10g %10zu %10.4f %-3s   (%.1fs)\n",
+                  c.summary.c_str(), c.param, c.bytes, c.err,
+                  c.achieved ? "yes" : "NO", t.Seconds());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

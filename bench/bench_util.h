@@ -1,0 +1,139 @@
+// Shared helpers for the per-figure benchmark binaries.
+//
+// Every bench prints the same rows/series as the corresponding paper
+// table or figure. Defaults are scaled ~10x down from the paper so the
+// whole suite finishes in minutes; pass --scale=N (N x default rows) or
+// --full to grow workloads.
+#ifndef MSKETCH_BENCH_BENCH_UTIL_H_
+#define MSKETCH_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "core/moments_summary.h"
+#include "numerics/stats.h"
+#include "sketches/quantile_summary.h"
+#include "sketches/summary_factory.h"
+
+namespace msketch {
+namespace bench {
+
+// ------------------------------------------------------------ CLI flags
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  bool Has(const std::string& flag) const {
+    for (const auto& a : args_) {
+      if (a == "--" + flag) return true;
+      if (a.rfind("--" + flag + "=", 0) == 0) return true;
+    }
+    return false;
+  }
+
+  double GetDouble(const std::string& flag, double fallback) const {
+    const std::string prefix = "--" + flag + "=";
+    for (const auto& a : args_) {
+      if (a.rfind(prefix, 0) == 0) return std::stod(a.substr(prefix.size()));
+    }
+    return fallback;
+  }
+
+  uint64_t GetU64(const std::string& flag, uint64_t fallback) const {
+    return static_cast<uint64_t>(
+        GetDouble(flag, static_cast<double>(fallback)));
+  }
+
+  /// Workload multiplier: --full = 10x, --scale=N = Nx.
+  double Scale() const {
+    if (Has("full")) return 10.0;
+    return GetDouble("scale", 1.0);
+  }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+// --------------------------------------------------------------- timing
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  double Millis() const { return Seconds() * 1e3; }
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// ------------------------------------------------- summaries incl. ours
+
+/// MakeSummary extended with "M-Sketch" (param: order k).
+inline Result<std::unique_ptr<QuantileSummary>> MakeAnySummary(
+    const std::string& name, double param) {
+  if (name == "M-Sketch") {
+    return std::unique_ptr<QuantileSummary>(new SummaryAdapter<MomentsSummary>(
+        MomentsSummary(static_cast<int>(param)), name));
+  }
+  return MakeSummary(name, param);
+}
+
+/// Pre-aggregates `data` into cells of `cell_size` rows each.
+inline std::vector<std::unique_ptr<QuantileSummary>> BuildCells(
+    const std::vector<double>& data, size_t cell_size,
+    const QuantileSummary& prototype) {
+  std::vector<std::unique_ptr<QuantileSummary>> cells;
+  cells.reserve(data.size() / cell_size + 1);
+  for (size_t start = 0; start < data.size(); start += cell_size) {
+    auto cell = prototype.CloneEmpty();
+    const size_t end = std::min(start + cell_size, data.size());
+    for (size_t i = start; i < end; ++i) cell->Accumulate(data[i]);
+    cells.push_back(std::move(cell));
+  }
+  return cells;
+}
+
+/// Mean quantile error of a built summary over the paper's 21-phi grid.
+/// `sorted` must be the sorted source data. Integer-valued datasets pass
+/// round_to_int (the paper rounds retail estimates).
+inline double MeanError(const QuantileSummary& summary,
+                        const std::vector<double>& sorted,
+                        bool round_to_int = false) {
+  auto phis = DefaultPhiGrid();
+  std::vector<double> ests;
+  ests.reserve(phis.size());
+  for (double phi : phis) {
+    auto q = summary.EstimateQuantile(phi);
+    double v = q.ok() ? q.value() : sorted.front();
+    if (round_to_int) v = std::round(v);
+    ests.push_back(v);
+  }
+  return MeanQuantileError(sorted, ests, phis);
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bench
+}  // namespace msketch
+
+#endif  // MSKETCH_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,33 @@
+#include "common/bytes.h"
+
+namespace msketch {
+
+Status BytesReader::GetDoubles(std::vector<double>* out) {
+  uint32_t n = 0;
+  MSKETCH_RETURN_NOT_OK(GetU32(&n));
+  if (static_cast<size_t>(n) * sizeof(double) > remaining()) {
+    return Status::Serialization("double array length exceeds buffer");
+  }
+  out->resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    MSKETCH_RETURN_NOT_OK(GetDouble(&(*out)[i]));
+  }
+  return Status::OK();
+}
+
+Status BytesReader::GetString(std::string* out) {
+  uint32_t n = 0;
+  MSKETCH_RETURN_NOT_OK(GetU32(&n));
+  if (n > remaining()) {
+    return Status::Serialization("string length exceeds buffer");
+  }
+  out->resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint8_t b = 0;
+    MSKETCH_RETURN_NOT_OK(GetU8(&b));
+    (*out)[i] = static_cast<char>(b);
+  }
+  return Status::OK();
+}
+
+}  // namespace msketch

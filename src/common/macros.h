@@ -1,0 +1,36 @@
+// Invariant checking macros. CHECK fires in all build types; DCHECK only in
+// debug builds. Failures print the condition and abort — these guard
+// programming errors, not runtime data errors (those use Status).
+#ifndef MSKETCH_COMMON_MACROS_H_
+#define MSKETCH_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define MSKETCH_CHECK(cond)                                               \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,       \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define MSKETCH_CHECK_MSG(cond, msg)                                      \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,  \
+                   __LINE__, #cond, msg);                                 \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#ifdef NDEBUG
+#define MSKETCH_DCHECK(cond) \
+  do {                       \
+  } while (0)
+#else
+#define MSKETCH_DCHECK(cond) MSKETCH_CHECK(cond)
+#endif
+
+#endif  // MSKETCH_COMMON_MACROS_H_

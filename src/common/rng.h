@@ -1,0 +1,115 @@
+// Deterministic, fast RNG for workload generation and randomized algorithms.
+//
+// xoshiro256** — fully reproducible across platforms, unlike std::mt19937
+// combined with libstdc++ distributions. All dataset generators take an
+// explicit seed so experiments are repeatable.
+#ifndef MSKETCH_COMMON_RNG_H_
+#define MSKETCH_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace msketch {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 seeding to fill the state from one word.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s_[i] = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Uniform integer in [0, n).
+  uint64_t NextBelow(uint64_t n) { return NextU64() % n; }
+
+  /// Standard normal via Box-Muller (cached second value).
+  double NextGaussian() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    while (u1 <= 1e-300) u1 = NextDouble();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * M_PI * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Exponential with rate lambda.
+  double NextExponential(double lambda) {
+    double u = NextDouble();
+    while (u <= 1e-300) u = NextDouble();
+    return -std::log(u) / lambda;
+  }
+
+  /// Lognormal: exp(N(mu, sigma^2)).
+  double NextLognormal(double mu, double sigma) {
+    return std::exp(mu + sigma * NextGaussian());
+  }
+
+  /// Gamma(shape, scale) via Marsaglia-Tsang, with the shape<1 boost.
+  double NextGamma(double shape, double scale) {
+    if (shape < 1.0) {
+      double u = NextDouble();
+      while (u <= 1e-300) u = NextDouble();
+      return NextGamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+    }
+    const double d = shape - 1.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    for (;;) {
+      double x = NextGaussian();
+      double v = 1.0 + c * x;
+      if (v <= 0) continue;
+      v = v * v * v;
+      double u = NextDouble();
+      if (u < 1.0 - 0.0331 * x * x * x * x) return d * v * scale;
+      if (u > 1e-300 &&
+          std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+        return d * v * scale;
+      }
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t s_[4];
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace msketch
+
+#endif  // MSKETCH_COMMON_RNG_H_

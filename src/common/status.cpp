@@ -1,0 +1,30 @@
+#include "common/status.h"
+
+namespace msketch {
+
+namespace {
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kNotConverged: return "NotConverged";
+    case StatusCode::kSingular: return "Singular";
+    case StatusCode::kInfeasible: return "Infeasible";
+    case StatusCode::kSerialization: return "Serialization";
+    case StatusCode::kUnsupported: return "Unsupported";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(state_->code);
+  out += ": ";
+  out += state_->msg;
+  return out;
+}
+
+}  // namespace msketch

@@ -1,0 +1,123 @@
+#include "core/atomic_fit.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "core/chebyshev_moments.h"
+#include "numerics/eigen.h"
+#include "numerics/matrix.h"
+#include "numerics/root_finding.h"
+
+namespace msketch {
+
+// See header. Recovers a measure supported on a handful of atoms from its (scaled)
+// moment sequence: Prony annihilator -> atoms, Vandermonde -> weights,
+// validated against every stored moment within `tol`. This is a best-
+// effort *estimator* for near-discrete data (where maxent cannot
+// converge, Section 6.2.3) — not a worst-case bound: a continuous
+// distribution squeezed into a sliver of the domain can match an atomic
+// fit's moments without matching its ranks, which is why RttBound never
+// uses it.
+Result<std::vector<std::pair<double, double>>> FitAtomicScaled(
+    const std::vector<double>& moments, double tol) {
+  const int k = static_cast<int>(moments.size()) - 1;
+  for (int rho = 1; 2 * rho <= k; ++rho) {
+    // Only a *numerically singular* next Hankel indicates a determinate
+    // (atomic) measure; distributions squeezed into a narrow sliver of
+    // the scaled domain can otherwise be spuriously "fit" by a few atoms
+    // whose moments agree without their ranks agreeing.
+    {
+      Matrix next(rho + 1, rho + 1);
+      for (int i = 0; i <= rho; ++i) {
+        for (int j = 0; j <= rho; ++j) next(i, j) = moments[i + j];
+      }
+      auto eig = SymmetricEigen(next);
+      if (!eig.ok()) continue;
+      const double lo = std::fabs(eig->values.front());
+      double hi = 0.0;
+      for (double v : eig->values) hi = std::max(hi, std::fabs(v));
+      if (!(hi > 0.0) || lo > 1e-10 * hi) continue;  // not singular
+    }
+    // Monic annihilator: sum_{i<rho} c_i m_{i+j} = -m_{rho+j}, j < rho.
+    Matrix h(rho, rho);
+    std::vector<double> rhs(rho);
+    for (int j = 0; j < rho; ++j) {
+      for (int i = 0; i < rho; ++i) h(j, i) = moments[i + j];
+      rhs[j] = -moments[rho + j];
+    }
+    auto coef = LuSolve(h, rhs);
+    if (!coef.ok()) continue;
+    auto poly = [&](double x) {
+      double acc = 1.0;  // monic leading term
+      for (int i = rho - 1; i >= 0; --i) acc = acc * x + coef.value()[i];
+      return acc;
+    };
+    std::vector<double> roots =
+        FindRealRoots(poly, -1.0 - 1e-6, 1.0 + 1e-6, 128 * rho, 1e-14);
+    if (static_cast<int>(roots.size()) != rho) continue;
+    // Weights from the first rho moments.
+    Matrix vand(rho, rho);
+    std::vector<double> vrhs(rho);
+    for (int i = 0; i < rho; ++i) {
+      for (int j = 0; j < rho; ++j) {
+        vand(i, j) = std::pow(roots[j], static_cast<double>(i));
+      }
+      vrhs[i] = moments[i];
+    }
+    auto w = LuSolve(vand, vrhs);
+    if (!w.ok()) continue;
+    bool valid = true;
+    for (double wi : w.value()) valid = valid && wi > -1e-9;
+    if (!valid) continue;
+    // The representation must reproduce *all* stored moments.
+    for (int j = 0; j <= k && valid; ++j) {
+      double acc = 0.0;
+      for (int i = 0; i < rho; ++i) {
+        acc += w.value()[i] * std::pow(roots[i], static_cast<double>(j));
+      }
+      valid = std::fabs(acc - moments[j]) <= tol;
+    }
+    if (!valid) continue;
+    std::vector<std::pair<double, double>> atoms;
+    for (int i = 0; i < rho; ++i) {
+      atoms.emplace_back(roots[i], std::max(w.value()[i], 0.0));
+    }
+    return atoms;
+  }
+  return Status::NotConverged("not an atomic measure");
+}
+
+Result<DiscreteDistribution> FitAtomicDistribution(
+    const MomentsSketch& sketch, double tol) {
+  if (sketch.count() == 0) {
+    return Status::InvalidArgument("FitAtomicDistribution: empty sketch");
+  }
+  ScaleMap map = MakeScaleMap(sketch.min(), sketch.max());
+  auto scaled = ShiftPowerMoments(sketch.StandardMoments(), map);
+  MSKETCH_ASSIGN_OR_RETURN(auto atoms, FitAtomicScaled(scaled, tol));
+  DiscreteDistribution out;
+  double total = 0.0;
+  for (const auto& [u, w] : atoms) total += w;
+  if (!(total > 0.0)) {
+    return Status::NotConverged("FitAtomicDistribution: zero mass");
+  }
+  std::sort(atoms.begin(), atoms.end());
+  for (const auto& [u, w] : atoms) {
+    out.atoms.push_back(map.Inverse(u));
+    out.weights.push_back(w / total);
+  }
+  return out;
+}
+
+double DiscreteDistribution::Quantile(double phi) const {
+  double acc = 0.0;
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    acc += weights[i];
+    if (acc >= phi) return atoms[i];
+  }
+  return atoms.empty() ? 0.0 : atoms.back();
+}
+
+
+}  // namespace msketch

@@ -1,0 +1,46 @@
+// Prony-based recovery of atomic (finitely-supported) measures from a
+// moment sequence.
+//
+// Two uses: (1) SolveMaxEnt refuses to fit a density when the moments are
+// exactly consistent with a handful of atoms (the paper: the solver
+// "fails to converge on datasets with fewer than five distinct values",
+// Section 6.2.3) — an unconstrained drop-moments retry would otherwise
+// return a confidently wrong density; (2) the threshold cascade uses the
+// recovered atoms as its final fallback estimator.
+//
+// This is an estimator, not a certified bound: a continuous distribution
+// squeezed into a sliver of the scaled domain can match an atomic fit's
+// moments without matching its ranks, so RttBound never consults it.
+#ifndef MSKETCH_CORE_ATOMIC_FIT_H_
+#define MSKETCH_CORE_ATOMIC_FIT_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/moments_sketch.h"
+
+namespace msketch {
+
+/// A measure on finitely many atoms.
+struct DiscreteDistribution {
+  std::vector<double> atoms;    // ascending
+  std::vector<double> weights;  // sum to 1
+  double Quantile(double phi) const;
+};
+
+/// Atoms/weights in the scaled [-1, 1] domain from scaled power moments
+/// E[u^j]; requires the (rho+1)-Hankel to be numerically singular and the
+/// fit to reproduce every moment within `tol`.
+Result<std::vector<std::pair<double, double>>> FitAtomicScaled(
+    const std::vector<double>& moments, double tol);
+
+/// Fit against the sketch's standard moments, mapped back to the data
+/// domain. NotConverged when no small atomic support explains the
+/// moments.
+Result<DiscreteDistribution> FitAtomicDistribution(
+    const MomentsSketch& sketch, double tol = 1e-9);
+
+}  // namespace msketch
+
+#endif  // MSKETCH_CORE_ATOMIC_FIT_H_

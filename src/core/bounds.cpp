@@ -1,0 +1,241 @@
+#include "core/bounds.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/macros.h"
+#include "core/chebyshev_moments.h"
+#include "numerics/eigen.h"
+#include "numerics/matrix.h"
+#include "numerics/root_finding.h"
+#include "numerics/stats.h"
+
+namespace msketch {
+
+namespace {
+
+// E[(x - shift)^j] for j = 0..k from raw moments mu[i] = E[x^i].
+std::vector<double> ShiftedMoments(const std::vector<double>& mu,
+                                   double shift) {
+  const int k = static_cast<int>(mu.size()) - 1;
+  std::vector<double> out(k + 1, 0.0);
+  out[0] = 1.0;
+  for (int j = 1; j <= k; ++j) {
+    double acc = 0.0;
+    for (int m = 0; m <= j; ++m) {
+      acc += BinomialCoefficient(j, m) *
+             std::pow(-shift, static_cast<double>(j - m)) * mu[m];
+    }
+    out[j] = acc;
+  }
+  return out;
+}
+
+// E[(shift - x)^j]: reflect then shift.
+std::vector<double> ReflectedMoments(const std::vector<double>& mu,
+                                     double shift) {
+  const int k = static_cast<int>(mu.size()) - 1;
+  std::vector<double> out(k + 1, 0.0);
+  out[0] = 1.0;
+  for (int j = 1; j <= k; ++j) {
+    double acc = 0.0;
+    for (int m = 0; m <= j; ++m) {
+      // (shift - x)^j = sum C(j,m) shift^(j-m) (-x)^m
+      acc += BinomialCoefficient(j, m) *
+             std::pow(shift, static_cast<double>(j - m)) *
+             ((m % 2 == 0) ? mu[m] : -mu[m]);
+    }
+    out[j] = acc;
+  }
+  return out;
+}
+
+// Markov: P(Z >= z) <= E[Z^j] / z^j for nonnegative Z, minimized over j.
+double BestMarkovTailProb(const std::vector<double>& nonneg_moments,
+                          double z) {
+  if (z <= 0.0) return 1.0;
+  double best = 1.0;
+  double zj = 1.0;
+  for (size_t j = 1; j < nonneg_moments.size(); ++j) {
+    zj *= z;
+    const double m = nonneg_moments[j];
+    if (m >= 0.0 && zj > 0.0) {
+      best = std::min(best, m / zj);
+    }
+  }
+  return std::max(best, 0.0);
+}
+
+// Markov bounds in one domain given raw moments of data within [lo, hi].
+RankBounds MarkovBoundInDomain(const std::vector<double>& mu, double lo,
+                               double hi, double t, double n) {
+  RankBounds b{0.0, n};
+  // Upper bound on 1 - F(t): P(x - lo >= t - lo).
+  const double p_tail =
+      BestMarkovTailProb(ShiftedMoments(mu, lo), t - lo);
+  b.lower = std::max(b.lower, n * (1.0 - p_tail));
+  // Upper bound on F(t): P(hi - x >= hi - t) >= P(x <= t) ... note
+  // rank counts strict inferiors; F(t-) <= P(hi - x >= hi - t).
+  const double p_head =
+      BestMarkovTailProb(ReflectedMoments(mu, hi), hi - t);
+  b.upper = std::min(b.upper, n * p_head);
+  return b;
+}
+
+// ---------------------------------------------------------------------
+// RTT bounds machinery: orthonormal polynomials from the Hankel moment
+// matrix, kernel polynomial roots, canonical-representation weights.
+
+struct OrthoBasis {
+  Matrix chol;  // lower Cholesky factor of the (r+1)x(r+1) Hankel matrix
+  int r = 0;    // polynomial degree (number of non-anchor nodes)
+
+  // Orthonormal polynomial values p_0..p_r at x: solve L p~ = v(x).
+  std::vector<double> Evaluate(double x) const {
+    std::vector<double> v(r + 1);
+    double p = 1.0;
+    for (int i = 0; i <= r; ++i) {
+      v[i] = p;
+      p *= x;
+    }
+    return ForwardSubstitute(chol, v);
+  }
+};
+
+// Largest r with positive definite Hankel matrix of shifted moments.
+Result<OrthoBasis> BuildOrthoBasis(const std::vector<double>& moments,
+                                   int max_r) {
+  for (int r = max_r; r >= 1; --r) {
+    Matrix hankel(r + 1, r + 1);
+    for (int i = 0; i <= r; ++i) {
+      for (int j = 0; j <= r; ++j) hankel(i, j) = moments[i + j];
+    }
+    Result<Matrix> chol = CholeskyFactor(hankel, 1e-14);
+    if (chol.ok()) {
+      OrthoBasis basis;
+      basis.chol = std::move(chol).value();
+      basis.r = r;
+      return basis;
+    }
+  }
+  return Status::Singular("RTT: Hankel matrix not positive definite");
+}
+
+
+// Sharp rank bounds in one (scaled) domain. `moments` are E[u^j] for the
+// scaled variable u in [-1, 1]; tq is the scaled threshold.
+//
+// The canonical representation anchored at tq is computed as a
+// Gauss-Radau rule (Golub 1973): the Jacobi matrix of the moment
+// sequence, with its last diagonal entry modified so tq is an exact
+// eigenvalue. Nodes are the eigenvalues, weights come from the squared
+// first eigenvector components — no polynomial root finding, which is
+// what makes this numerically dependable when nodes cluster.
+Result<RankBounds> RttBoundScaled(const std::vector<double>& moments,
+                                  double tq, double n) {
+  const int k = static_cast<int>(moments.size()) - 1;
+  const int max_r = k / 2;
+  if (max_r < 1) return Status::InvalidArgument("RTT: need >= 2 moments");
+  MSKETCH_ASSIGN_OR_RETURN(OrthoBasis basis, BuildOrthoBasis(moments, max_r));
+  const int r = basis.r;
+
+  // Three-term recurrence coefficients of the orthonormal polynomials
+  // from the Cholesky factor of the Hankel matrix:
+  //   b_i = L[i+1][i+1] / L[i][i],
+  //   a_i = L[i+1][i] / L[i][i] - L[i][i-1] / L[i-1][i-1].
+  const Matrix& l = basis.chol;
+  std::vector<double> diag(r + 1, 0.0), off(r, 0.0);
+  for (int i = 0; i < r; ++i) {
+    off[i] = l(i + 1, i + 1) / l(i, i);
+    diag[i] = l(i + 1, i) / l(i, i) -
+              (i > 0 ? l(i, i - 1) / l(i - 1, i - 1) : 0.0);
+  }
+  // Anchor the rule at tq: last diagonal a*_r = tq - b_{r-1} *
+  // p_{r-1}(tq) / p_r(tq).
+  const std::vector<double> pt = basis.Evaluate(tq);
+  if (std::fabs(pt[r]) < 1e-280) {
+    // tq is (numerically) a Gauss node already; nudge it by a hair.
+    return RttBoundScaled(moments, tq + 3e-12, n);
+  }
+  diag[r] = tq - off[r - 1] * pt[r - 1] / pt[r];
+
+  std::vector<double> first;
+  MSKETCH_ASSIGN_OR_RETURN(std::vector<double> nodes,
+                           TridiagonalEigen(diag, off, &first));
+  double below = 0.0, at = 0.0;
+  for (size_t j = 0; j < nodes.size(); ++j) {
+    const double w = first[j] * first[j];  // times m0 = 1
+    if (nodes[j] < tq - 1e-9) {
+      below += w;
+    } else if (nodes[j] <= tq + 1e-9) {
+      at += w;
+    }
+  }
+  RankBounds b;
+  b.lower = std::clamp(n * below, 0.0, n);
+  b.upper = std::clamp(n * (below + at), b.lower, n);
+  return b;
+}
+
+}  // namespace
+
+RankBounds MarkovBound(const MomentsSketch& sketch, double t) {
+  const double n = static_cast<double>(sketch.count());
+  RankBounds b{0.0, n};
+  if (sketch.count() == 0) return b;
+  if (t <= sketch.min()) return RankBounds{0.0, 0.0};
+  if (t > sketch.max()) return RankBounds{n, n};
+
+  b.Intersect(MarkovBoundInDomain(sketch.StandardMoments(), sketch.min(),
+                                  sketch.max(), t, n));
+  if (sketch.LogMomentsUsable() && t > 0.0) {
+    b.Intersect(MarkovBoundInDomain(sketch.LogMoments(),
+                                    std::log(sketch.min()),
+                                    std::log(sketch.max()), std::log(t), n));
+  }
+  return b;
+}
+
+RankBounds RttBound(const MomentsSketch& sketch, double t) {
+  const double n = static_cast<double>(sketch.count());
+  RankBounds b{0.0, n};
+  if (sketch.count() == 0) return b;
+  if (t <= sketch.min()) return RankBounds{0.0, 0.0};
+  if (t > sketch.max()) return RankBounds{n, n};
+
+  // Standard-moment bounds on the scaled domain (conditioning).
+  {
+    ScaleMap map = MakeScaleMap(sketch.min(), sketch.max());
+    auto scaled = ShiftPowerMoments(sketch.StandardMoments(), map);
+    auto rb = RttBoundScaled(scaled, map.Forward(t), n);
+    if (rb.ok()) b.Intersect(rb.value());
+  }
+  // Log-moment bounds (paper: run both, take the tighter).
+  if (sketch.LogMomentsUsable() && t > 0.0) {
+    ScaleMap map =
+        MakeScaleMap(std::log(sketch.min()), std::log(sketch.max()));
+    auto scaled = ShiftPowerMoments(sketch.LogMoments(), map);
+    auto rb = RttBoundScaled(scaled, map.Forward(std::log(t)), n);
+    if (rb.ok()) b.Intersect(rb.value());
+  }
+  // Guarantee validity even if both solves degenerated.
+  RankBounds markov = MarkovBound(sketch, t);
+  b.Intersect(markov);
+  // Crossing bounds mean one domain's solve went numerically bad; fall
+  // back to the always-sound Markov bounds.
+  if (b.lower > b.upper) return markov;
+  return b;
+}
+
+double QuantileErrorBound(const MomentsSketch& sketch, double phi,
+                          double estimate) {
+  if (sketch.count() == 0) return 0.0;
+  const double n = static_cast<double>(sketch.count());
+  RankBounds b = RttBound(sketch, estimate);
+  const double lo = b.lower / n;
+  const double hi = b.upper / n;
+  return std::max({phi - lo, hi - phi, 0.0});
+}
+
+}  // namespace msketch

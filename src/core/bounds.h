@@ -1,0 +1,50 @@
+// Moment-based rank bounds (Section 5.1): Markov inequalities on shifted /
+// reflected / log-transformed data, and the sharper RTT bounds (Racz, Tari,
+// Telek 2006) derived from canonical representations of the truncated
+// moment problem (Chebyshev-Markov-Stieltjes inequalities).
+//
+// These are worst-case bounds over *every* distribution matching the
+// sketch's moments, so cascade decisions based on them can never disagree
+// with the maximum entropy estimate (no false negatives, Section 5.2).
+#ifndef MSKETCH_CORE_BOUNDS_H_
+#define MSKETCH_CORE_BOUNDS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/moments_sketch.h"
+
+namespace msketch {
+
+/// Bounds on rank(t) = #{x in D : x < t}, inclusive.
+struct RankBounds {
+  double lower = 0.0;
+  double upper = 0.0;
+
+  /// Intersects with another valid pair of bounds.
+  void Intersect(const RankBounds& other) {
+    lower = lower > other.lower ? lower : other.lower;
+    upper = upper < other.upper ? upper : other.upper;
+  }
+};
+
+/// Markov-inequality bounds using the transforms T+(D) = x - xmin,
+/// T-(D) = xmax - x, and (when usable) their log-domain counterparts.
+RankBounds MarkovBound(const MomentsSketch& sketch, double t);
+
+/// RTT bounds: sharp CDF bounds at t from the canonical representation of
+/// the moment sequence anchored at t. Runs on standard moments and (when
+/// usable) log moments, intersecting the results. Falls back to Markov
+/// bounds if the Hankel factorization degenerates entirely.
+RankBounds RttBound(const MomentsSketch& sketch, double t);
+
+/// Worst-case quantile error (Section 3.1, Eq. 1) of `estimate` as a
+/// phi-quantile of the sketch's dataset, certified by RttBound:
+///   eps = max(phi - rank_lo/n, rank_hi/n - phi, 0).
+double QuantileErrorBound(const MomentsSketch& sketch, double phi,
+                          double estimate);
+
+}  // namespace msketch
+
+#endif  // MSKETCH_CORE_BOUNDS_H_

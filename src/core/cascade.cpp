@@ -1,0 +1,68 @@
+#include "core/cascade.h"
+
+#include "core/atomic_fit.h"
+
+#include <cmath>
+
+namespace msketch {
+
+bool ThresholdCascade::Threshold(const MomentsSketch& sketch, double phi,
+                                 double t) {
+  ++stats_.total;
+  if (sketch.count() == 0) return false;
+  const double rt = phi * static_cast<double>(sketch.count());
+
+  if (opt_.use_simple_check) {
+    if (t > sketch.max()) {
+      ++stats_.resolved_simple;
+      return false;  // every element <= xmax < t
+    }
+    if (t < sketch.min()) {
+      ++stats_.resolved_simple;
+      return true;  // every element >= xmin > t
+    }
+  }
+
+  // rank(t) upper bound < n phi  =>  q_phi >= t       => predicate true
+  // rank(t) lower bound > n phi  =>  q_phi < t        => predicate false
+  RankBounds last_bounds{0.0, static_cast<double>(sketch.count())};
+  if (opt_.use_markov) {
+    last_bounds = MarkovBound(sketch, t);
+    if (last_bounds.upper < rt) {
+      ++stats_.resolved_markov;
+      return true;
+    }
+    if (last_bounds.lower > rt) {
+      ++stats_.resolved_markov;
+      return false;
+    }
+  }
+  if (opt_.use_rtt) {
+    RankBounds rtt = RttBound(sketch, t);
+    rtt.Intersect(last_bounds);
+    last_bounds = rtt;
+    if (last_bounds.upper < rt) {
+      ++stats_.resolved_rtt;
+      return true;
+    }
+    if (last_bounds.lower > rt) {
+      ++stats_.resolved_rtt;
+      return false;
+    }
+  }
+
+  ++stats_.resolved_maxent;
+  Result<MaxEntDistribution> dist = SolveMaxEnt(sketch, opt_.maxent);
+  if (dist.ok()) {
+    return dist->Quantile(phi) > t;
+  }
+  // Non-convergent maxent usually means near-discrete data (Section
+  // 6.2.3): try recovering the atoms directly, else decide by the
+  // midpoint of the tightest valid rank bounds.
+  if (auto atomic = FitAtomicDistribution(sketch); atomic.ok()) {
+    return atomic->Quantile(phi) > t;
+  }
+  return 0.5 * (last_bounds.lower + last_bounds.upper) < rt;
+}
+
+}  // namespace msketch

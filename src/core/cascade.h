@@ -1,0 +1,66 @@
+// Threshold-query cascade (Section 5.2, Algorithm 2): a sequence of
+// progressively tighter, progressively costlier checks — range filter,
+// Markov bounds, RTT bounds, full maximum entropy estimate — that resolves
+// "is the phi-quantile above t?" without solving the maxent problem for
+// most groups.
+//
+// Note on Algorithm 2's CheckBound: with rank(t) = #\{x < t\} (Section 5.1),
+// rank lower bound > n*phi implies q_phi < t (predicate false) and rank
+// upper bound < n*phi implies q_phi >= t (predicate true); we implement
+// these semantics, which match the algorithm's final `return q_phi > t`.
+#ifndef MSKETCH_CORE_CASCADE_H_
+#define MSKETCH_CORE_CASCADE_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "core/bounds.h"
+#include "core/maxent_solver.h"
+#include "core/moments_sketch.h"
+
+namespace msketch {
+
+/// Which cascade stages are active. Disabling stages reproduces the
+/// incremental rows of Figures 12/13 ("Baseline", "+Simple", "+Markov",
+/// "+RTT").
+struct CascadeOptions {
+  bool use_simple_check = true;  // [xmin, xmax] range filter
+  bool use_markov = true;
+  bool use_rtt = true;
+  MaxEntOptions maxent;
+};
+
+/// Per-stage resolution counters (Figure 13c: fraction of queries each
+/// stage resolves).
+struct CascadeStats {
+  uint64_t total = 0;
+  uint64_t resolved_simple = 0;
+  uint64_t resolved_markov = 0;
+  uint64_t resolved_rtt = 0;
+  uint64_t resolved_maxent = 0;
+
+  void Reset() { *this = CascadeStats{}; }
+};
+
+class ThresholdCascade {
+ public:
+  explicit ThresholdCascade(CascadeOptions options = {})
+      : opt_(options) {}
+
+  /// Algorithm 2: returns whether the phi-quantile of the sketch's dataset
+  /// exceeds the threshold t. When the maximum entropy stage is reached
+  /// but fails to converge, decides by the midpoint of the RTT rank
+  /// bounds (the bounds remain valid for any matching dataset).
+  bool Threshold(const MomentsSketch& sketch, double phi, double t);
+
+  const CascadeStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+ private:
+  CascadeOptions opt_;
+  CascadeStats stats_;
+};
+
+}  // namespace msketch
+
+#endif  // MSKETCH_CORE_CASCADE_H_

@@ -1,0 +1,65 @@
+#include "core/chebyshev_moments.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "numerics/chebyshev.h"
+#include "numerics/stats.h"
+
+namespace msketch {
+
+ScaleMap MakeScaleMap(double lo, double hi) {
+  ScaleMap map;
+  map.center = 0.5 * (lo + hi);
+  map.radius = 0.5 * (hi - lo);
+  if (!(map.radius > 0.0)) map.radius = 1.0;
+  return map;
+}
+
+std::vector<double> ShiftPowerMoments(const std::vector<double>& mu,
+                                      const ScaleMap& map) {
+  const int k = static_cast<int>(mu.size()) - 1;
+  MSKETCH_CHECK(k >= 0);
+  // u = (x - c) / r  =>  E[u^j] = r^-j sum_m C(j,m) (-c)^(j-m) E[x^m].
+  std::vector<double> shifted(k + 1, 0.0);
+  shifted[0] = 1.0;
+  for (int j = 1; j <= k; ++j) {
+    double acc = 0.0;
+    for (int m = 0; m <= j; ++m) {
+      acc += BinomialCoefficient(j, m) *
+             std::pow(-map.center, static_cast<double>(j - m)) * mu[m];
+    }
+    shifted[j] = acc / std::pow(map.radius, static_cast<double>(j));
+  }
+  return shifted;
+}
+
+std::vector<double> PowerMomentsToChebyshev(const std::vector<double>& mu,
+                                            const ScaleMap& map) {
+  const int k = static_cast<int>(mu.size()) - 1;
+  std::vector<double> shifted = ShiftPowerMoments(mu, map);
+  const auto t = ChebyshevToMonomialMatrix(k);
+  std::vector<double> cheb(k + 1, 0.0);
+  for (int i = 0; i <= k; ++i) {
+    double acc = 0.0;
+    for (int j = 0; j <= i; ++j) acc += t[i][j] * shifted[j];
+    cheb[i] = acc;
+  }
+  return cheb;
+}
+
+int StableKBound(double c) {
+  const double bound = 13.35 / (0.78 + std::log10(std::fabs(c) + 1.0));
+  // The paper observes instability from k = 16 onward even for centered
+  // data; keep the empirical cap.
+  const int k = static_cast<int>(std::floor(bound));
+  return std::max(2, std::min(k, 15));
+}
+
+double UniformChebyshevMoment(int i) {
+  MSKETCH_CHECK(i >= 0);
+  if (i % 2 == 1) return 0.0;
+  return 1.0 / (1.0 - static_cast<double>(i) * static_cast<double>(i));
+}
+
+}  // namespace msketch

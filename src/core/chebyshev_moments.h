@@ -1,0 +1,55 @@
+// Conversion of raw moments sketch power sums into Chebyshev moments on a
+// scaled domain, plus the floating-point stability bound of Appendix B.
+//
+// The estimator works with E[T_i(s(x))] where s maps the data support onto
+// [-1, 1]. These are computed from the stored power sums by a binomial
+// shift followed by the Chebyshev-to-monomial change of basis; the shift
+// is the primary source of precision loss the paper analyzes (error grows
+// like 2^k (|c|+1)^k eps, Eq. 18-21).
+#ifndef MSKETCH_CORE_CHEBYSHEV_MOMENTS_H_
+#define MSKETCH_CORE_CHEBYSHEV_MOMENTS_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace msketch {
+
+/// Affine map s(x) = (x - center) / radius carrying [center - radius,
+/// center + radius] onto [-1, 1].
+struct ScaleMap {
+  double center = 0.0;
+  double radius = 1.0;
+
+  double Forward(double x) const { return (x - center) / radius; }
+  double Inverse(double u) const { return center + radius * u; }
+};
+
+/// ScaleMap for a data range [lo, hi]; degenerate ranges get radius 1.
+ScaleMap MakeScaleMap(double lo, double hi);
+
+/// Given raw moments mu[i] = E[x^i] (i = 0..k, mu[0] = 1) of data in
+/// [center - radius, center + radius], returns cheb[i] = E[T_i(s(x))] for
+/// i = 0..k.
+std::vector<double> PowerMomentsToChebyshev(const std::vector<double>& mu,
+                                            const ScaleMap& map);
+
+/// Shifted/scaled power moments E[u^j], u = s(x), via binomial expansion.
+/// Exposed separately for the precision-loss experiments (Fig 16).
+std::vector<double> ShiftPowerMoments(const std::vector<double>& mu,
+                                      const ScaleMap& map);
+
+/// Appendix B, Eq. 21: the highest moment order with numerically useful
+/// precision for data whose scaled support is [c - 1, c + 1]:
+///   k_max = 13.35 / (0.78 + log10(|c| + 1)).
+/// c is the scaled center, i.e. center / radius of the raw support.
+int StableKBound(double c);
+
+/// Chebyshev moments of the uniform distribution on [-1, 1]:
+/// E[T_i] = 0 for odd i, 1/(1 - i^2) for even i. Used by the greedy
+/// (k1, k2) selection heuristic ("closest to uniform", Section 4.3.1).
+double UniformChebyshevMoment(int i);
+
+}  // namespace msketch
+
+#endif  // MSKETCH_CORE_CHEBYSHEV_MOMENTS_H_

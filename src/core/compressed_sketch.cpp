@@ -1,0 +1,190 @@
+#include "core/compressed_sketch.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace msketch {
+
+namespace {
+
+// Bit-packing cursor over a byte vector.
+class BitWriter {
+ public:
+  explicit BitWriter(std::vector<uint8_t>* out) : out_(out) {}
+  void Put(uint64_t value, int bits) {
+    for (int i = bits - 1; i >= 0; --i) {
+      const int bit = static_cast<int>((value >> i) & 1);
+      if (pos_ == 0) out_->push_back(0);
+      out_->back() |= static_cast<uint8_t>(bit << (7 - pos_));
+      pos_ = (pos_ + 1) % 8;
+    }
+  }
+
+ private:
+  std::vector<uint8_t>* out_;
+  int pos_ = 0;
+};
+
+class BitReader {
+ public:
+  BitReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  Status Get(int bits, uint64_t* out) {
+    uint64_t v = 0;
+    for (int i = 0; i < bits; ++i) {
+      const size_t byte = cursor_ / 8;
+      if (byte >= size_) return Status::Serialization("bit underflow");
+      const int bit = (data_[byte] >> (7 - cursor_ % 8)) & 1;
+      v = (v << 1) | static_cast<uint64_t>(bit);
+      ++cursor_;
+    }
+    *out = v;
+    return Status::OK();
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t cursor_ = 0;
+};
+
+constexpr int kHeaderBits = 12;  // 1 sign + 11 exponent
+
+uint64_t PackQuantized(double value, int bits, Rng* rng) {
+  const int mant_bits = bits - kHeaderBits;
+  MSKETCH_CHECK(mant_bits >= 1 && mant_bits <= 52);
+  uint64_t raw;
+  std::memcpy(&raw, &value, sizeof(raw));
+  const uint64_t sign = raw >> 63;
+  uint64_t expo = (raw >> 52) & 0x7FF;
+  uint64_t mant = raw & ((1ULL << 52) - 1);
+  const int drop = 52 - mant_bits;
+  uint64_t kept = mant >> drop;
+  // Randomized rounding of the dropped tail.
+  const uint64_t tail = mant & ((1ULL << drop) - 1);
+  const double frac =
+      static_cast<double>(tail) / static_cast<double>(1ULL << drop);
+  if (rng->NextDouble() < frac) {
+    ++kept;
+    if (kept >> mant_bits) {  // mantissa overflow: bump exponent
+      kept = 0;
+      ++expo;
+    }
+  }
+  return (sign << (bits - 1)) |
+         (expo << mant_bits) |
+         (kept & ((1ULL << mant_bits) - 1));
+}
+
+double UnpackQuantized(uint64_t packed, int bits) {
+  const int mant_bits = bits - kHeaderBits;
+  const uint64_t sign = (packed >> (bits - 1)) & 1;
+  const uint64_t expo = (packed >> mant_bits) & 0x7FF;
+  const uint64_t mant = packed & ((1ULL << mant_bits) - 1);
+  const uint64_t raw =
+      (sign << 63) | (expo << 52) | (mant << (52 - mant_bits));
+  double value;
+  std::memcpy(&value, &raw, sizeof(value));
+  return value;
+}
+
+}  // namespace
+
+double QuantizeValue(double value, int bits, Rng* rng) {
+  if (value == 0.0 || !std::isfinite(value)) return value;
+  return UnpackQuantized(PackQuantized(value, bits, rng), bits);
+}
+
+MomentsSketch QuantizeSketch(const MomentsSketch& sketch, int bits,
+                             uint64_t seed) {
+  Rng rng(seed);
+  // Re-serialize via the quantizer: round-trip each stored double.
+  BytesWriter w2;
+  w2.PutU32(static_cast<uint32_t>(sketch.k()));
+  w2.PutU64(sketch.count());
+  w2.PutU64(sketch.log_count());
+  w2.PutDouble(QuantizeValue(sketch.min(), bits, &rng));
+  w2.PutDouble(QuantizeValue(sketch.max(), bits, &rng));
+  for (double v : sketch.power_sums()) {
+    w2.PutDouble(QuantizeValue(v, bits, &rng));
+  }
+  for (double v : sketch.log_sums()) {
+    w2.PutDouble(QuantizeValue(v, bits, &rng));
+  }
+  BytesReader r2(w2.bytes());
+  return MomentsSketch::Deserialize(&r2).value();
+}
+
+std::vector<uint8_t> EncodeLowPrecision(const MomentsSketch& sketch,
+                                        int bits, uint64_t seed) {
+  MSKETCH_CHECK(bits >= 13 && bits <= 64);
+  Rng rng(seed);
+  std::vector<uint8_t> blob;
+  blob.push_back(static_cast<uint8_t>(sketch.k()));
+  blob.push_back(static_cast<uint8_t>(bits));
+  for (int i = 0; i < 8; ++i) {
+    blob.push_back(static_cast<uint8_t>(sketch.count() >> (8 * i)));
+  }
+  for (int i = 0; i < 8; ++i) {
+    blob.push_back(static_cast<uint8_t>(sketch.log_count() >> (8 * i)));
+  }
+  BitWriter bw(&blob);
+  auto put = [&](double v) {
+    if (v == 0.0 || !std::isfinite(v)) {
+      // Zero encodes as all-zero bits (expo 0 mantissa 0).
+      bw.Put(0, bits);
+    } else {
+      bw.Put(PackQuantized(v, bits, &rng), bits);
+    }
+  };
+  put(sketch.min());
+  put(sketch.max());
+  for (double v : sketch.power_sums()) put(v);
+  for (double v : sketch.log_sums()) put(v);
+  return blob;
+}
+
+Result<MomentsSketch> DecodeLowPrecision(const std::vector<uint8_t>& blob) {
+  if (blob.size() < 18) return Status::Serialization("blob too small");
+  const int k = blob[0];
+  const int bits = blob[1];
+  if (k < 1 || k > 64 || bits < 13 || bits > 64) {
+    return Status::Serialization("bad low-precision header");
+  }
+  uint64_t count = 0, log_count = 0;
+  for (int i = 0; i < 8; ++i) {
+    count |= static_cast<uint64_t>(blob[2 + i]) << (8 * i);
+    log_count |= static_cast<uint64_t>(blob[10 + i]) << (8 * i);
+  }
+  BitReader br(blob.data() + 18, blob.size() - 18);
+  auto get = [&](double* out) -> Status {
+    uint64_t packed = 0;
+    MSKETCH_RETURN_NOT_OK(br.Get(bits, &packed));
+    *out = (packed == 0) ? 0.0 : UnpackQuantized(packed, bits);
+    return Status::OK();
+  };
+  double mn = 0, mx = 0;
+  MSKETCH_RETURN_NOT_OK(get(&mn));
+  MSKETCH_RETURN_NOT_OK(get(&mx));
+  BytesWriter w;
+  w.PutU32(static_cast<uint32_t>(k));
+  w.PutU64(count);
+  w.PutU64(log_count);
+  w.PutDouble(mn);
+  w.PutDouble(mx);
+  for (int i = 0; i < 2 * k; ++i) {
+    double v = 0;
+    MSKETCH_RETURN_NOT_OK(get(&v));
+    w.PutDouble(v);
+  }
+  BytesReader r(w.bytes());
+  return MomentsSketch::Deserialize(&r);
+}
+
+size_t LowPrecisionSizeBytes(int k, int bits) {
+  const size_t payload_bits = static_cast<size_t>(2 + 2 * k) * bits;
+  return 18 + (payload_bits + 7) / 8;
+}
+
+}  // namespace msketch

@@ -1,0 +1,40 @@
+// Low-precision moments sketch storage (Appendix C): randomized-rounding
+// quantization of the sketch's doubles to b bits per value, packed into a
+// byte blob. Decoding reconstitutes a standard MomentsSketch.
+//
+// The encoding keeps 1 sign bit + 11 exponent bits and quantizes the
+// mantissa to (bits - 12) bits with randomized rounding, so merged
+// estimates stay unbiased as precision drops (Figure 17).
+#ifndef MSKETCH_CORE_COMPRESSED_SKETCH_H_
+#define MSKETCH_CORE_COMPRESSED_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/moments_sketch.h"
+
+namespace msketch {
+
+/// Quantizes one double to `bits` total (>= 13), randomized rounding on
+/// the dropped mantissa bits. Exposed for tests.
+double QuantizeValue(double value, int bits, Rng* rng);
+
+/// Returns a sketch whose stored doubles have been passed through
+/// QuantizeValue — what a reader would see after low-precision storage.
+MomentsSketch QuantizeSketch(const MomentsSketch& sketch, int bits,
+                             uint64_t seed);
+
+/// Packed encoding: header + count at full precision + all doubles at
+/// `bits` bits each.
+std::vector<uint8_t> EncodeLowPrecision(const MomentsSketch& sketch,
+                                        int bits, uint64_t seed);
+Result<MomentsSketch> DecodeLowPrecision(const std::vector<uint8_t>& blob);
+
+/// Size in bytes of the packed encoding.
+size_t LowPrecisionSizeBytes(int k, int bits);
+
+}  // namespace msketch
+
+#endif  // MSKETCH_CORE_COMPRESSED_SKETCH_H_

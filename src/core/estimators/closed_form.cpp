@@ -1,0 +1,132 @@
+// Closed-form lesion estimators: gaussian and mnat.
+#include <algorithm>
+#include <cmath>
+
+#include "core/estimators/estimators.h"
+#include "core/estimators/moment_problem.h"
+#include "numerics/stats.h"
+
+namespace msketch {
+
+namespace {
+
+// Fits a normal distribution to the first two moments of the working
+// domain and reads quantiles off the normal quantile function.
+class GaussianEstimator : public MomentQuantileEstimator {
+ public:
+  explicit GaussianEstimator(const LesionOptions& options)
+      : options_(options) {}
+
+  std::string Name() const override { return "gaussian"; }
+
+  Result<std::vector<double>> EstimateQuantiles(
+      const MomentsSketch& sketch,
+      const std::vector<double>& phis) const override {
+    MSKETCH_ASSIGN_OR_RETURN(
+        MomentProblem p,
+        BuildMomentProblem(sketch, options_.use_log_domain));
+    // Moments of the *working domain* variable (x or log x), unscaled.
+    const std::vector<double> raw = options_.use_log_domain
+                                        ? sketch.LogMoments()
+                                        : sketch.StandardMoments();
+    const double mean = raw[1];
+    const double var = std::max(raw[2] - raw[1] * raw[1], 0.0);
+    const double std_dev = std::sqrt(var);
+    std::vector<double> out;
+    out.reserve(phis.size());
+    for (double phi : phis) {
+      const double clamped = std::clamp(phi, 1e-9, 1.0 - 1e-9);
+      double v = mean + std_dev * NormalQuantile(clamped);
+      double x = options_.use_log_domain ? std::exp(v) : v;
+      out.push_back(std::clamp(x, sketch.min(), sketch.max()));
+    }
+    return out;
+  }
+
+ private:
+  LesionOptions options_;
+};
+
+// Mnatsakanov (2008): closed-form reconstruction of the CDF from moments
+// of data scaled to [0, 1]:
+//   F_alpha(u) = sum_{j <= floor(alpha u)} P_j,
+//   P_j = sum_{m=j}^{alpha} C(alpha, m) C(m, j) (-1)^(m-j) mu_m.
+// Resolution is limited to alpha+1 steps, which is why its error is high
+// at k = 10 (Figure 10).
+class MnatEstimator : public MomentQuantileEstimator {
+ public:
+  explicit MnatEstimator(const LesionOptions& options) : options_(options) {}
+
+  std::string Name() const override { return "mnat"; }
+
+  Result<std::vector<double>> EstimateQuantiles(
+      const MomentsSketch& sketch,
+      const std::vector<double>& phis) const override {
+    MSKETCH_ASSIGN_OR_RETURN(
+        MomentProblem p,
+        BuildMomentProblem(sketch, options_.use_log_domain));
+    const int alpha = p.k;
+    // Moments of y = (u + 1) / 2 in [0, 1] from the shifted moments E[u^i]
+    // via the binomial expansion of ((u + 1)/2)^m.
+    std::vector<double> mu01(alpha + 1, 0.0);
+    for (int m = 0; m <= alpha; ++m) {
+      double acc = 0.0;
+      for (int i = 0; i <= m; ++i) {
+        acc += BinomialCoefficient(m, i) * p.shifted[i];
+      }
+      mu01[m] = acc / std::pow(2.0, static_cast<double>(m));
+    }
+    // Step masses P_j; clip negatives (fp noise) and renormalize.
+    std::vector<double> mass(alpha + 1, 0.0);
+    double total = 0.0;
+    for (int j = 0; j <= alpha; ++j) {
+      double acc = 0.0;
+      for (int m = j; m <= alpha; ++m) {
+        const double sign = ((m - j) % 2 == 0) ? 1.0 : -1.0;
+        acc += BinomialCoefficient(alpha, m) * BinomialCoefficient(m, j) *
+               sign * mu01[m];
+      }
+      mass[j] = std::max(acc, 0.0);
+      total += mass[j];
+    }
+    if (total <= 0.0) {
+      return Status::NotConverged("mnat: degenerate mass vector");
+    }
+    std::vector<double> out;
+    out.reserve(phis.size());
+    for (double phi : phis) {
+      const double target = std::clamp(phi, 0.0, 1.0) * total;
+      double acc = 0.0;
+      double y = 1.0;
+      for (int j = 0; j <= alpha; ++j) {
+        if (acc + mass[j] >= target) {
+          const double frac =
+              (mass[j] > 0.0) ? (target - acc) / mass[j] : 0.0;
+          y = (static_cast<double>(j) + frac) /
+              static_cast<double>(alpha + 1);
+          break;
+        }
+        acc += mass[j];
+      }
+      out.push_back(p.MapBack(2.0 * y - 1.0));
+    }
+    return out;
+  }
+
+ private:
+  LesionOptions options_;
+};
+
+}  // namespace
+
+// Factory hooks (defined across the estimator translation units).
+std::unique_ptr<MomentQuantileEstimator> MakeGaussianEstimator(
+    const LesionOptions& options) {
+  return std::make_unique<GaussianEstimator>(options);
+}
+std::unique_ptr<MomentQuantileEstimator> MakeMnatEstimator(
+    const LesionOptions& options) {
+  return std::make_unique<MnatEstimator>(options);
+}
+
+}  // namespace msketch

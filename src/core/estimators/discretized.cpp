@@ -1,0 +1,166 @@
+// Discretized lesion estimators: svd, cvx-min (LP), cvx-maxent (generic
+// first-order solver). These stand in for the paper's ECOS-based solvers;
+// like them, they pay a large constant for solving a dense discretized
+// problem instead of the structured one (Section 6.3).
+#include <algorithm>
+#include <cmath>
+
+#include "core/estimators/estimators.h"
+#include "core/estimators/moment_problem.h"
+#include "numerics/chebyshev.h"
+#include "numerics/eigen.h"
+#include "numerics/matrix.h"
+#include "numerics/simplex.h"
+
+namespace msketch {
+
+namespace {
+
+// Constraint matrix A(i, j) = T_i(u_j) over uniform cell midpoints.
+Matrix MomentConstraintMatrix(const MomentProblem& p, int m) {
+  Matrix a(p.k + 1, m);
+  std::vector<double> tbuf(p.k + 1);
+  for (int j = 0; j < m; ++j) {
+    const double u = -1.0 + (2.0 * j + 1.0) / m;
+    ChebyshevTAll(p.k, u, tbuf.data());
+    for (int i = 0; i <= p.k; ++i) a(i, j) = tbuf[i];
+  }
+  return a;
+}
+
+class SvdEstimator : public MomentQuantileEstimator {
+ public:
+  explicit SvdEstimator(const LesionOptions& options) : options_(options) {}
+  std::string Name() const override { return "svd"; }
+
+  Result<std::vector<double>> EstimateQuantiles(
+      const MomentsSketch& sketch,
+      const std::vector<double>& phis) const override {
+    MSKETCH_ASSIGN_OR_RETURN(
+        MomentProblem p,
+        BuildMomentProblem(sketch, options_.use_log_domain));
+    const int m = options_.grid_points;
+    Matrix a = MomentConstraintMatrix(p, m);
+    MSKETCH_ASSIGN_OR_RETURN(std::vector<double> f,
+                             SvdLeastSquares(a, p.cheb));
+    for (double& v : f) v = std::max(v, 0.0);
+    return QuantilesFromCellMasses(f, p, phis);
+  }
+
+ private:
+  LesionOptions options_;
+};
+
+// minimize t  s.t.  A f = b,  f_j <= t,  f >= 0   (minimal max density).
+class CvxMinEstimator : public MomentQuantileEstimator {
+ public:
+  explicit CvxMinEstimator(const LesionOptions& options)
+      : options_(options) {}
+  std::string Name() const override { return "cvx-min"; }
+
+  Result<std::vector<double>> EstimateQuantiles(
+      const MomentsSketch& sketch,
+      const std::vector<double>& phis) const override {
+    MSKETCH_ASSIGN_OR_RETURN(
+        MomentProblem p,
+        BuildMomentProblem(sketch, options_.use_log_domain));
+    const int m = options_.lp_grid_points;
+    Matrix constraints = MomentConstraintMatrix(p, m);
+    // Standard form: vars [f_0..f_{m-1}, t, s_0..s_{m-1}].
+    const size_t ncols = 2 * static_cast<size_t>(m) + 1;
+    const size_t nrows = static_cast<size_t>(p.k + 1 + m);
+    Matrix a(nrows, ncols);
+    std::vector<double> b(nrows, 0.0);
+    for (int i = 0; i <= p.k; ++i) {
+      for (int j = 0; j < m; ++j) a(i, j) = constraints(i, j);
+      b[i] = p.cheb[i];
+    }
+    for (int j = 0; j < m; ++j) {
+      const size_t row = static_cast<size_t>(p.k + 1 + j);
+      a(row, j) = 1.0;                                  // f_j
+      a(row, m) = -1.0;                                 // -t
+      a(row, static_cast<size_t>(m) + 1 + j) = 1.0;     // +s_j
+    }
+    std::vector<double> c(ncols, 0.0);
+    c[m] = 1.0;
+    MSKETCH_ASSIGN_OR_RETURN(LpSolution sol, SolveStandardFormLp(a, b, c));
+    std::vector<double> f(sol.x.begin(), sol.x.begin() + m);
+    return QuantilesFromCellMasses(f, p, phis);
+  }
+
+ private:
+  LesionOptions options_;
+};
+
+// Discretized maximum entropy via plain gradient descent on the dual
+//   g(theta) = log sum_j exp(theta . A_:j) - theta . b,
+// a deliberately generic first-order method (the paper's cvx-maxent used a
+// generic conic solver and is the slowest estimator in Figure 10).
+class CvxMaxEntEstimator : public MomentQuantileEstimator {
+ public:
+  explicit CvxMaxEntEstimator(const LesionOptions& options)
+      : options_(options) {}
+  std::string Name() const override { return "cvx-maxent"; }
+
+  Result<std::vector<double>> EstimateQuantiles(
+      const MomentsSketch& sketch,
+      const std::vector<double>& phis) const override {
+    MSKETCH_ASSIGN_OR_RETURN(
+        MomentProblem p,
+        BuildMomentProblem(sketch, options_.use_log_domain));
+    const int m = options_.grid_points;
+    const int d = p.k + 1;
+    Matrix a = MomentConstraintMatrix(p, m);
+
+    std::vector<double> theta(d, 0.0);
+    std::vector<double> f(m), grad(d);
+    double step = 0.25;
+    const int max_iter = 20000;
+    for (int iter = 0; iter < max_iter; ++iter) {
+      // Softmax weights.
+      double zmax = -1e300;
+      for (int j = 0; j < m; ++j) {
+        double e = 0.0;
+        for (int i = 0; i < d; ++i) e += theta[i] * a(i, j);
+        f[j] = e;
+        zmax = std::max(zmax, e);
+      }
+      double z = 0.0;
+      for (int j = 0; j < m; ++j) {
+        f[j] = std::exp(f[j] - zmax);
+        z += f[j];
+      }
+      for (int j = 0; j < m; ++j) f[j] /= z;
+      double gnorm = 0.0;
+      for (int i = 0; i < d; ++i) {
+        double acc = 0.0;
+        for (int j = 0; j < m; ++j) acc += a(i, j) * f[j];
+        grad[i] = acc - p.cheb[i];
+        gnorm = std::max(gnorm, std::fabs(grad[i]));
+      }
+      if (gnorm < 1e-7) break;
+      for (int i = 0; i < d; ++i) theta[i] -= step * grad[i];
+    }
+    return QuantilesFromCellMasses(f, p, phis);
+  }
+
+ private:
+  LesionOptions options_;
+};
+
+}  // namespace
+
+std::unique_ptr<MomentQuantileEstimator> MakeSvdEstimator(
+    const LesionOptions& options) {
+  return std::make_unique<SvdEstimator>(options);
+}
+std::unique_ptr<MomentQuantileEstimator> MakeCvxMinEstimator(
+    const LesionOptions& options) {
+  return std::make_unique<CvxMinEstimator>(options);
+}
+std::unique_ptr<MomentQuantileEstimator> MakeCvxMaxEntEstimator(
+    const LesionOptions& options) {
+  return std::make_unique<CvxMaxEntEstimator>(options);
+}
+
+}  // namespace msketch

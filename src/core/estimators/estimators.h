@@ -1,0 +1,53 @@
+// Alternative moment-based quantile estimators for the lesion study
+// (Section 6.3, Figure 10). All consume the same moments sketch; they
+// differ in how they invert the moment problem:
+//
+//   gaussian    - fit N(mean, std) to the first two moments
+//   mnat        - Mnatsakanov (2008) closed-form CDF reconstruction
+//   svd         - discretize + minimum-norm least squares (SVD)
+//   cvx-min     - discretize + LP minimizing the maximum density
+//   cvx-maxent  - discretize + generic first-order maxent solve
+//   newton      - maxent Newton with per-entry adaptive Romberg integrals
+//                 (the paper's solver *without* the Section 4.3 tricks)
+//   bfgs        - maxent via limited-memory BFGS (first-order)
+//   opt         - our full solver (SolveMaxEnt)
+#ifndef MSKETCH_CORE_ESTIMATORS_ESTIMATORS_H_
+#define MSKETCH_CORE_ESTIMATORS_ESTIMATORS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/moments_sketch.h"
+
+namespace msketch {
+
+struct LesionOptions {
+  /// Work in the log domain (Figure 10 uses log moments only on milan and
+  /// standard moments only on hepmass).
+  bool use_log_domain = false;
+  /// Discretization resolution for svd / cvx-maxent (the paper used 1000).
+  int grid_points = 1000;
+  /// Discretization for the LP-based cvx-min (coarser: simplex is dense).
+  int lp_grid_points = 256;
+};
+
+class MomentQuantileEstimator {
+ public:
+  virtual ~MomentQuantileEstimator() = default;
+  virtual std::string Name() const = 0;
+  virtual Result<std::vector<double>> EstimateQuantiles(
+      const MomentsSketch& sketch,
+      const std::vector<double>& phis) const = 0;
+};
+
+/// Names in the paper's Figure 10 order.
+std::vector<std::string> LesionEstimatorNames();
+
+Result<std::unique_ptr<MomentQuantileEstimator>> MakeLesionEstimator(
+    const std::string& name, const LesionOptions& options = {});
+
+}  // namespace msketch
+
+#endif  // MSKETCH_CORE_ESTIMATORS_ESTIMATORS_H_

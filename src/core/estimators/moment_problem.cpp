@@ -1,0 +1,73 @@
+#include "core/estimators/moment_problem.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace msketch {
+
+double MomentProblem::MapBack(double u) const {
+  const double v = map.Inverse(std::clamp(u, -1.0, 1.0));
+  const double x = log_domain ? std::exp(v) : v;
+  return std::clamp(x, xmin, xmax);
+}
+
+Result<MomentProblem> BuildMomentProblem(const MomentsSketch& sketch,
+                                         bool use_log_domain) {
+  if (sketch.count() == 0) {
+    return Status::InvalidArgument("BuildMomentProblem: empty sketch");
+  }
+  MomentProblem p;
+  p.log_domain = use_log_domain;
+  p.xmin = sketch.min();
+  p.xmax = sketch.max();
+  std::vector<double> raw;
+  if (use_log_domain) {
+    if (!sketch.LogMomentsUsable()) {
+      return Status::Unsupported(
+          "BuildMomentProblem: log moments unavailable");
+    }
+    p.map = MakeScaleMap(std::log(sketch.min()), std::log(sketch.max()));
+    raw = sketch.LogMoments();
+  } else {
+    p.map = MakeScaleMap(sketch.min(), sketch.max());
+    raw = sketch.StandardMoments();
+  }
+  const double c = p.map.center / p.map.radius;
+  p.k = std::min(sketch.k(), StableKBound(c));
+  raw.resize(p.k + 1);
+  p.shifted = ShiftPowerMoments(raw, p.map);
+  p.cheb = PowerMomentsToChebyshev(raw, p.map);
+  return p;
+}
+
+std::vector<double> QuantilesFromCellMasses(const std::vector<double>& mass,
+                                            const MomentProblem& problem,
+                                            const std::vector<double>& phis) {
+  const size_t m = mass.size();
+  MSKETCH_CHECK(m >= 1);
+  double total = 0.0;
+  for (double f : mass) total += std::max(f, 0.0);
+  std::vector<double> out;
+  out.reserve(phis.size());
+  const double width = 2.0 / static_cast<double>(m);
+  for (double phi : phis) {
+    const double target = std::clamp(phi, 0.0, 1.0) * total;
+    double acc = 0.0;
+    double u = 1.0;
+    for (size_t j = 0; j < m; ++j) {
+      const double f = std::max(mass[j], 0.0);
+      if (acc + f >= target) {
+        const double frac = (f > 0.0) ? (target - acc) / f : 0.0;
+        u = -1.0 + (static_cast<double>(j) + frac) * width;
+        break;
+      }
+      acc += f;
+    }
+    out.push_back(problem.MapBack(u));
+  }
+  return out;
+}
+
+}  // namespace msketch

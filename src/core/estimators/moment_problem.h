@@ -1,0 +1,40 @@
+// Shared preprocessing for the lesion estimators: a single-domain moment
+// problem on the scaled support [-1, 1].
+#ifndef MSKETCH_CORE_ESTIMATORS_MOMENT_PROBLEM_H_
+#define MSKETCH_CORE_ESTIMATORS_MOMENT_PROBLEM_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/chebyshev_moments.h"
+#include "core/moments_sketch.h"
+
+namespace msketch {
+
+struct MomentProblem {
+  int k = 0;                    // usable moment order
+  std::vector<double> cheb;     // E[T_i(u)], i = 0..k
+  std::vector<double> shifted;  // E[u^i], i = 0..k
+  ScaleMap map;                 // scaled domain <-> working domain
+  bool log_domain = false;
+  double xmin = 0.0, xmax = 0.0;
+
+  /// Maps a scaled coordinate u in [-1, 1] back to the data domain.
+  double MapBack(double u) const;
+};
+
+/// Builds the problem in the requested domain; Unsupported when log-domain
+/// is requested but the sketch saw non-positive values. The usable order
+/// is clamped by the Appendix B stability bound.
+Result<MomentProblem> BuildMomentProblem(const MomentsSketch& sketch,
+                                         bool use_log_domain);
+
+/// Converts per-cell probability masses on a uniform grid over [-1, 1]
+/// into quantile estimates (linear interpolation within cells).
+std::vector<double> QuantilesFromCellMasses(const std::vector<double>& mass,
+                                            const MomentProblem& problem,
+                                            const std::vector<double>& phis);
+
+}  // namespace msketch
+
+#endif  // MSKETCH_CORE_ESTIMATORS_MOMENT_PROBLEM_H_

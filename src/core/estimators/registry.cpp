@@ -1,0 +1,41 @@
+#include "core/estimators/estimators.h"
+
+namespace msketch {
+
+// Defined in the sibling translation units.
+std::unique_ptr<MomentQuantileEstimator> MakeGaussianEstimator(
+    const LesionOptions&);
+std::unique_ptr<MomentQuantileEstimator> MakeMnatEstimator(
+    const LesionOptions&);
+std::unique_ptr<MomentQuantileEstimator> MakeSvdEstimator(
+    const LesionOptions&);
+std::unique_ptr<MomentQuantileEstimator> MakeCvxMinEstimator(
+    const LesionOptions&);
+std::unique_ptr<MomentQuantileEstimator> MakeCvxMaxEntEstimator(
+    const LesionOptions&);
+std::unique_ptr<MomentQuantileEstimator> MakeNewtonRombergEstimator(
+    const LesionOptions&);
+std::unique_ptr<MomentQuantileEstimator> MakeBfgsEstimator(
+    const LesionOptions&);
+std::unique_ptr<MomentQuantileEstimator> MakeOptEstimator(
+    const LesionOptions&);
+
+std::vector<std::string> LesionEstimatorNames() {
+  return {"gaussian", "mnat",   "svd",  "cvx-min",
+          "cvx-maxent", "newton", "bfgs", "opt"};
+}
+
+Result<std::unique_ptr<MomentQuantileEstimator>> MakeLesionEstimator(
+    const std::string& name, const LesionOptions& options) {
+  if (name == "gaussian") return MakeGaussianEstimator(options);
+  if (name == "mnat") return MakeMnatEstimator(options);
+  if (name == "svd") return MakeSvdEstimator(options);
+  if (name == "cvx-min") return MakeCvxMinEstimator(options);
+  if (name == "cvx-maxent") return MakeCvxMaxEntEstimator(options);
+  if (name == "newton") return MakeNewtonRombergEstimator(options);
+  if (name == "bfgs") return MakeBfgsEstimator(options);
+  if (name == "opt") return MakeOptEstimator(options);
+  return Status::InvalidArgument("unknown lesion estimator: " + name);
+}
+
+}  // namespace msketch

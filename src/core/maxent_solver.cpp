@@ -1,0 +1,517 @@
+#include "core/maxent_solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/macros.h"
+#include "core/atomic_fit.h"
+#include "numerics/chebyshev.h"
+#include "numerics/eigen.h"
+#include "numerics/integration.h"
+#include "numerics/optim.h"
+#include "numerics/root_finding.h"
+
+namespace msketch {
+
+namespace {
+
+// Clenshaw-Curtis weights are O(N^2) to build; cache per grid size.
+const std::vector<double>& CachedCcWeights(int n) {
+  static std::mutex mu;
+  static std::unordered_map<int, std::vector<double>> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    it = cache.emplace(n, ClenshawCurtisWeights(n)).first;
+  }
+  return it->second;
+}
+
+const std::vector<double>& CachedLobatto(int n) {
+  static std::mutex mu;
+  static std::unordered_map<int, std::vector<double>> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    it = cache.emplace(n, ChebyshevLobattoPoints(n)).first;
+  }
+  return it->second;
+}
+
+}  // namespace
+
+// Internal solver state. Owns the grid, the basis-function matrix, and the
+// Newton objective.
+class MaxEntSolver {
+ public:
+  MaxEntSolver(const MomentsSketch& sketch, const MaxEntOptions& options)
+      : sketch_(sketch), opt_(options) {}
+
+  Result<MaxEntDistribution> Solve();
+
+ private:
+  // Fills grid nodes/weights and the full basis-value matrix for the
+  // currently available moment counts (a1_, a2_) at grid size n.
+  void BuildGrid(int n);
+  // Basis row r evaluated on the grid (r = 0 is the constant; rows
+  // 1..a1 are primary-basis T_i; rows a1+1..a1+a2 are secondary).
+  // With log_primary_, "primary" means the log-domain basis.
+  const std::vector<double>& BasisRow(int r) const { return basis_[r]; }
+
+  // Gram matrix (uniform-density Hessian) restricted to the selected rows;
+  // used for condition-number screening.
+  Matrix UniformHessian(const std::vector<int>& rows) const;
+
+  // Greedy (k1, k2) selection under the kappa_max budget.
+  void SelectMoments();
+
+  // Newton solve for the selected rows; returns optimizer output.
+  Result<OptimResult> RunNewton(std::vector<double> theta0);
+
+  // True when the Chebyshev tail of f(.; theta) is resolved on this grid.
+  bool GridResolved(const std::vector<double>& theta) const;
+
+  std::vector<double> FValues(const std::vector<double>& theta) const;
+
+  const MomentsSketch& sketch_;
+  MaxEntOptions opt_;
+
+  bool log_primary_ = false;
+  ScaleMap std_map_, log_map_;
+  int a1_ = 0, a2_ = 0;  // available moment counts (primary, secondary)
+  std::vector<double> primary_moments_;    // E[T_i(primary)], i = 0..a1
+  std::vector<double> secondary_moments_;  // E[T_j(secondary)], j = 1..a2
+
+  int grid_n_ = 0;
+  std::vector<double> nodes_;    // primary-domain u in [-1, 1]
+  std::vector<double> weights_;  // CC weights
+  std::vector<std::vector<double>> basis_;  // (1 + a1 + a2) x (N+1)
+
+  std::vector<int> selected_;  // rows in use (always includes 0)
+  double selected_cond_ = 1.0;
+  int total_newton_iters_ = 0;
+};
+
+void MaxEntSolver::BuildGrid(int n) {
+  grid_n_ = n;
+  nodes_ = CachedLobatto(n);
+  weights_ = CachedCcWeights(n);
+  const size_t npts = nodes_.size();
+  basis_.assign(1 + a1_ + a2_, std::vector<double>(npts));
+  std::vector<double> tbuf(static_cast<size_t>(std::max(a1_, a2_)) + 1);
+
+  for (size_t j = 0; j < npts; ++j) {
+    const double u = nodes_[j];
+    basis_[0][j] = 1.0;
+    // Primary basis: plain Chebyshev polynomials in u.
+    if (a1_ > 0) {
+      ChebyshevTAll(a1_, u, tbuf.data());
+      for (int i = 1; i <= a1_; ++i) basis_[i][j] = tbuf[i];
+    }
+    // Secondary basis: Chebyshev polynomials in the other domain's scaled
+    // coordinate, evaluated through the domain transform.
+    if (a2_ > 0) {
+      double w;
+      if (!log_primary_) {
+        // x-primary: secondary functions are T_j(s2(log x)).
+        const double x = std::max(std_map_.Inverse(u), 1e-300);
+        w = log_map_.Forward(std::log(x));
+      } else {
+        // log-primary: secondary functions are T_i(s1(exp(y))).
+        const double y = log_map_.Inverse(u);
+        w = std_map_.Forward(std::exp(y));
+      }
+      w = std::clamp(w, -1.0, 1.0);
+      ChebyshevTAll(a2_, w, tbuf.data());
+      for (int i = 1; i <= a2_; ++i) basis_[a1_ + i][j] = tbuf[i];
+    }
+  }
+}
+
+Matrix MaxEntSolver::UniformHessian(const std::vector<int>& rows) const {
+  const size_t d = rows.size();
+  Matrix h(d, d);
+  for (size_t p = 0; p < d; ++p) {
+    for (size_t q = p; q < d; ++q) {
+      double acc = 0.0;
+      const std::vector<double>& bp = basis_[rows[p]];
+      const std::vector<double>& bq = basis_[rows[q]];
+      for (size_t j = 0; j < weights_.size(); ++j) {
+        acc += weights_[j] * bp[j] * bq[j];
+      }
+      h(p, q) = 0.5 * acc;
+      h(q, p) = h(p, q);
+    }
+  }
+  return h;
+}
+
+void MaxEntSolver::SelectMoments() {
+  selected_ = {0};
+  selected_cond_ = 1.0;
+  int k1 = 0, k2 = 0;
+  int limit1 = a1_, limit2 = a2_;  // greedy caps; basis row offsets stay put
+  // Uniform expectations of the secondary basis rows (numeric; the primary
+  // rows have the closed form UniformChebyshevMoment).
+  auto uniform_expect = [&](int row) {
+    double acc = 0.0;
+    for (size_t j = 0; j < weights_.size(); ++j) {
+      acc += weights_[j] * basis_[row][j];
+    }
+    return 0.5 * acc;
+  };
+
+  while (k1 < limit1 || k2 < limit2) {
+    struct Candidate {
+      int row;
+      double distance;  // |moment - uniform expectation|
+      bool is_primary;
+    };
+    std::vector<Candidate> cands;
+    if (k1 < limit1) {
+      const int row = k1 + 1;
+      cands.push_back({row,
+                       std::fabs(primary_moments_[row] -
+                                 UniformChebyshevMoment(row)),
+                       true});
+    }
+    if (k2 < limit2) {
+      const int row = a1_ + k2 + 1;
+      cands.push_back({row,
+                       std::fabs(secondary_moments_[k2 + 1] -
+                                 uniform_expect(row)),
+                       false});
+    }
+    std::sort(cands.begin(), cands.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.distance < b.distance;
+              });
+    bool advanced = false;
+    for (const Candidate& c : cands) {
+      std::vector<int> trial = selected_;
+      trial.push_back(c.row);
+      const double cond = SymmetricConditionNumber(UniformHessian(trial));
+      if (cond <= opt_.kappa_max) {
+        selected_ = std::move(trial);
+        selected_cond_ = cond;
+        if (c.is_primary) {
+          ++k1;
+        } else {
+          ++k2;
+        }
+        advanced = true;
+        break;
+      }
+      // Candidate rejected for conditioning; stop growing this family.
+      if (c.is_primary) {
+        limit1 = k1;
+      } else {
+        limit2 = k2;
+      }
+    }
+    if (!advanced) break;
+  }
+}
+
+std::vector<double> MaxEntSolver::FValues(
+    const std::vector<double>& theta) const {
+  const size_t npts = nodes_.size();
+  std::vector<double> f(npts);
+  for (size_t j = 0; j < npts; ++j) {
+    double e = 0.0;
+    for (size_t p = 0; p < selected_.size(); ++p) {
+      e += theta[p] * basis_[selected_[p]][j];
+    }
+    f[j] = std::exp(std::min(e, 700.0));
+  }
+  return f;
+}
+
+Result<OptimResult> MaxEntSolver::RunNewton(std::vector<double> theta0) {
+  const size_t d = selected_.size();
+  // Target vector: [1, selected moments...].
+  std::vector<double> target(d);
+  target[0] = 1.0;
+  for (size_t p = 1; p < d; ++p) {
+    const int row = selected_[p];
+    target[p] = (row <= a1_) ? primary_moments_[row]
+                             : secondary_moments_[row - a1_];
+  }
+
+  ObjectiveFn objective = [&](const std::vector<double>& theta,
+                              bool need_hessian, ObjectiveEval* out) {
+    const size_t npts = nodes_.size();
+    std::vector<double> f(npts);
+    double integral = 0.0;
+    for (size_t j = 0; j < npts; ++j) {
+      double e = 0.0;
+      for (size_t p = 0; p < d; ++p) {
+        e += theta[p] * basis_[selected_[p]][j];
+      }
+      const double fj = std::exp(std::min(e, 700.0)) * weights_[j];
+      f[j] = fj;  // pre-weighted density values
+      integral += fj;
+    }
+    out->value = integral;
+    for (size_t p = 0; p < d; ++p) out->value -= theta[p] * target[p];
+    out->gradient.assign(d, 0.0);
+    for (size_t p = 0; p < d; ++p) {
+      double acc = 0.0;
+      const std::vector<double>& bp = basis_[selected_[p]];
+      for (size_t j = 0; j < npts; ++j) acc += bp[j] * f[j];
+      out->gradient[p] = acc - target[p];
+    }
+    if (need_hessian) {
+      out->hessian = Matrix(d, d);
+      for (size_t p = 0; p < d; ++p) {
+        const std::vector<double>& bp = basis_[selected_[p]];
+        for (size_t q = p; q < d; ++q) {
+          const std::vector<double>& bq = basis_[selected_[q]];
+          double acc = 0.0;
+          for (size_t j = 0; j < npts; ++j) acc += bp[j] * bq[j] * f[j];
+          out->hessian(p, q) = acc;
+          out->hessian(q, p) = acc;
+        }
+      }
+    }
+  };
+
+  NewtonOptions nopts;
+  nopts.max_iter = opt_.max_newton_iter;
+  nopts.grad_tol = opt_.grad_tol;
+  return NewtonMinimize(objective, std::move(theta0), nopts);
+}
+
+bool MaxEntSolver::GridResolved(const std::vector<double>& theta) const {
+  std::vector<double> f = FValues(theta);
+  std::vector<double> coeffs = ChebyshevFit(f);
+  double cmax = 0.0;
+  for (double c : coeffs) cmax = std::max(cmax, std::fabs(c));
+  if (cmax == 0.0) return true;
+  // Tail: last eighth of the coefficients must be negligible. 1e-5
+  // relative keeps the quadrature bias well below quantile-error
+  // resolution (eps_avg ~ 1e-3) while avoiding needless regrids; on
+  // milan a 4x finer grid moves q99 by < 0.3%.
+  const size_t tail_start = coeffs.size() - coeffs.size() / 8;
+  double tail = 0.0;
+  for (size_t i = tail_start; i < coeffs.size(); ++i) {
+    tail = std::max(tail, std::fabs(coeffs[i]));
+  }
+  return tail <= 1e-5 * cmax;
+}
+
+Result<MaxEntDistribution> MaxEntSolver::Solve() {
+  if (sketch_.count() == 0) {
+    return Status::InvalidArgument("SolveMaxEnt: empty sketch");
+  }
+  MaxEntDistribution dist;
+  dist.xmin_ = sketch_.min();
+  dist.xmax_ = sketch_.max();
+  if (sketch_.min() >= sketch_.max()) {  // point mass
+    dist.degenerate_ = true;
+    return dist;
+  }
+
+  // Moment availability under floating point stability (Section 4.3.2).
+  std_map_ = MakeScaleMap(sketch_.min(), sketch_.max());
+  const double c_std = std_map_.center / std_map_.radius;
+  int avail_std = opt_.use_std_moments
+                      ? std::min(sketch_.k(), StableKBound(c_std))
+                      : 0;
+  if (opt_.max_k1 >= 0) avail_std = std::min(avail_std, opt_.max_k1);
+
+  int avail_log = 0;
+  const bool log_ok = opt_.use_log_moments && sketch_.LogMomentsUsable();
+  if (log_ok) {
+    log_map_ = MakeScaleMap(std::log(sketch_.min()),
+                            std::log(sketch_.max()));
+    const double c_log = log_map_.center / log_map_.radius;
+    avail_log = std::min(sketch_.k(), StableKBound(c_log));
+    if (opt_.max_k2 >= 0) avail_log = std::min(avail_log, opt_.max_k2);
+  }
+  if (avail_std + avail_log == 0) {
+    return Status::Unsupported("SolveMaxEnt: no usable moments");
+  }
+
+  // Refuse to fit a density when the moments are exactly consistent with
+  // a handful of atoms: no density matches them, and the drop-moments
+  // retry below would otherwise converge to a confidently wrong answer
+  // (the paper: the solver fails on < 5 distinct values, Section 6.2.3).
+  // Every usable domain must look atomic — heavy-tailed data squeezed
+  // into a sliver of the standard domain (e.g. retail) can spuriously
+  // admit an atomic fit there while its log moments are plainly
+  // continuous.
+  {
+    auto std_scaled = ShiftPowerMoments(sketch_.StandardMoments(), std_map_);
+    std_scaled.resize(std::max(2 * (avail_std / 2), 2) + 1);
+    bool atomic = FitAtomicScaled(std_scaled, 1e-9).ok();
+    if (atomic && avail_log > 0) {
+      auto log_scaled = ShiftPowerMoments(sketch_.LogMoments(), log_map_);
+      log_scaled.resize(std::max(2 * (avail_log / 2), 2) + 1);
+      atomic = FitAtomicScaled(log_scaled, 1e-9).ok();
+    }
+    if (atomic) {
+      return Status::NotConverged(
+          "SolveMaxEnt: moments match an atomic (near-discrete) measure");
+    }
+  }
+
+  // Primary domain (Appendix A, Eq. 8): integrate in log space when log
+  // moments dominate — they do for long-tailed data.
+  log_primary_ = log_ok && avail_log >= avail_std;
+  const std::vector<double> cheb_std = PowerMomentsToChebyshev(
+      sketch_.StandardMoments(), std_map_);
+  std::vector<double> cheb_log;
+  if (log_ok) {
+    cheb_log = PowerMomentsToChebyshev(sketch_.LogMoments(), log_map_);
+  }
+  if (log_primary_) {
+    a1_ = avail_log;
+    a2_ = avail_std;
+    primary_moments_.assign(cheb_log.begin(), cheb_log.begin() + a1_ + 1);
+    secondary_moments_.assign(cheb_std.begin(), cheb_std.begin() + a2_ + 1);
+  } else {
+    a1_ = avail_std;
+    a2_ = avail_log;
+    primary_moments_.assign(cheb_std.begin(), cheb_std.begin() + a1_ + 1);
+    secondary_moments_.assign(
+        cheb_log.begin(),
+        cheb_log.begin() + (cheb_log.empty() ? 0 : a2_ + 1));
+  }
+
+  int n = opt_.min_grid;
+  BuildGrid(n);
+  SelectMoments();
+  if (selected_.size() <= 1) {
+    return Status::NotConverged(
+        "SolveMaxEnt: conditioning excluded all moments");
+  }
+
+  std::vector<double> theta(selected_.size(), 0.0);
+  theta[0] = -std::log(2.0);
+  for (;;) {
+    Result<OptimResult> res = RunNewton(theta);
+    if (!res.ok()) {
+      // Divergence usually means the moment set admits no density (heavy
+      // atoms / near-discrete data, Section 6.2.3). Mirror the paper's
+      // query-time remedy: back off to fewer moments and re-solve.
+      if (selected_.size() > 2) {
+        selected_.pop_back();
+        theta.assign(selected_.size(), 0.0);
+        theta[0] = -std::log(2.0);
+        continue;
+      }
+      return res.status();
+    }
+    total_newton_iters_ += res->iterations;
+    theta = res->x;
+    if (GridResolved(theta) || n >= opt_.max_grid) break;
+    n *= 2;
+    BuildGrid(n);
+  }
+
+  // Package the result: a monotone tabulated CDF of the solved density.
+  std::vector<double> f = FValues(theta);
+  std::vector<double> coeffs = ChebyshevFit(f);
+  std::vector<double> antider = ChebyshevAntiderivative(coeffs);
+  const int kCdfPoints = 513;
+  dist.cdf_values_.resize(kCdfPoints);
+  double running = 0.0;
+  for (int i = 0; i < kCdfPoints; ++i) {
+    const double u = -1.0 + 2.0 * static_cast<double>(i) /
+                                (kCdfPoints - 1);
+    running = std::max(running, ChebyshevEval(antider, u));
+    dist.cdf_values_[i] = running;
+  }
+  const double total = dist.cdf_values_.back();
+  if (!(total > 0.0) || !std::isfinite(total)) {
+    return Status::NotConverged("SolveMaxEnt: degenerate total mass");
+  }
+  for (double& v : dist.cdf_values_) v /= total;
+  dist.log_primary_ = log_primary_;
+  dist.primary_map_ = log_primary_ ? log_map_ : std_map_;
+  // Count only the *selected* rows per family.
+  int sel_primary = 0, sel_secondary = 0;
+  for (int row : selected_) {
+    if (row == 0) continue;
+    if (row <= a1_) {
+      ++sel_primary;
+    } else {
+      ++sel_secondary;
+    }
+  }
+  dist.diag_.k1 = log_primary_ ? sel_secondary : sel_primary;
+  dist.diag_.k2 = log_primary_ ? sel_primary : sel_secondary;
+  dist.diag_.newton_iterations = total_newton_iters_;
+  dist.diag_.grid_size = grid_n_;
+  dist.diag_.condition_number = selected_cond_;
+  dist.diag_.log_primary = log_primary_;
+  return dist;
+}
+
+double MaxEntDistribution::Cdf(double x) const {
+  if (degenerate_) return x >= xmin_ ? 1.0 : 0.0;
+  if (x <= xmin_) return 0.0;
+  if (x >= xmax_) return 1.0;
+  const double primary = log_primary_ ? std::log(x) : x;
+  const double u = std::clamp(primary_map_.Forward(primary), -1.0, 1.0);
+  // Linear interpolation in the monotone table.
+  const double pos = (u + 1.0) * 0.5 * (cdf_values_.size() - 1);
+  const size_t i = std::min(static_cast<size_t>(pos),
+                            cdf_values_.size() - 2);
+  const double frac = pos - static_cast<double>(i);
+  const double v =
+      cdf_values_[i] + frac * (cdf_values_[i + 1] - cdf_values_[i]);
+  return std::clamp(v, 0.0, 1.0);
+}
+
+double MaxEntDistribution::Quantile(double phi) const {
+  if (degenerate_) return xmin_;
+  phi = std::clamp(phi, 0.0, 1.0);
+  // Binary search the monotone table, then interpolate.
+  const size_t m = cdf_values_.size();
+  size_t lo = 0, hi = m - 1;
+  while (lo + 1 < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (cdf_values_[mid] < phi) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double span = cdf_values_[hi] - cdf_values_[lo];
+  const double frac = (span > 0.0) ? (phi - cdf_values_[lo]) / span : 0.0;
+  const double u = -1.0 + 2.0 *
+                              (static_cast<double>(lo) +
+                               std::clamp(frac, 0.0, 1.0)) /
+                              static_cast<double>(m - 1);
+  const double primary = primary_map_.Inverse(u);
+  const double x = log_primary_ ? std::exp(primary) : primary;
+  return std::clamp(x, xmin_, xmax_);
+}
+
+std::vector<double> MaxEntDistribution::Quantiles(
+    const std::vector<double>& phis) const {
+  std::vector<double> out;
+  out.reserve(phis.size());
+  for (double phi : phis) out.push_back(Quantile(phi));
+  return out;
+}
+
+Result<MaxEntDistribution> SolveMaxEnt(const MomentsSketch& sketch,
+                                       const MaxEntOptions& options) {
+  MaxEntSolver solver(sketch, options);
+  return solver.Solve();
+}
+
+Result<std::vector<double>> EstimateQuantiles(const MomentsSketch& sketch,
+                                              const std::vector<double>& phis,
+                                              const MaxEntOptions& options) {
+  MSKETCH_ASSIGN_OR_RETURN(MaxEntDistribution dist,
+                           SolveMaxEnt(sketch, options));
+  return dist.Quantiles(phis);
+}
+
+}  // namespace msketch

@@ -1,0 +1,145 @@
+#include "core/moments_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace msketch {
+
+MomentsSketch::MomentsSketch(int k) : k_(k) {
+  MSKETCH_CHECK(k >= 1 && k <= 64);
+  power_sums_.assign(k, 0.0);
+  log_sums_.assign(k, 0.0);
+}
+
+void MomentsSketch::Accumulate(double x) {
+  MSKETCH_DCHECK(std::isfinite(x));
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+  ++count_;
+  double p = 1.0;
+  for (int i = 0; i < k_; ++i) {
+    p *= x;
+    power_sums_[i] += p;
+  }
+  if (x > 0.0) {
+    ++log_count_;
+    const double lx = std::log(x);
+    double lp = 1.0;
+    for (int i = 0; i < k_; ++i) {
+      lp *= lx;
+      log_sums_[i] += lp;
+    }
+  }
+}
+
+Status MomentsSketch::Merge(const MomentsSketch& other) {
+  if (other.k_ != k_) {
+    return Status::InvalidArgument("MomentsSketch: mismatched order k");
+  }
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+  log_count_ += other.log_count_;
+  for (int i = 0; i < k_; ++i) {
+    power_sums_[i] += other.power_sums_[i];
+    log_sums_[i] += other.log_sums_[i];
+  }
+  return Status::OK();
+}
+
+Status MomentsSketch::Subtract(const MomentsSketch& other) {
+  if (other.k_ != k_) {
+    return Status::InvalidArgument("MomentsSketch: mismatched order k");
+  }
+  if (other.count_ > count_ || other.log_count_ > log_count_) {
+    return Status::InvalidArgument(
+        "MomentsSketch: subtracting more elements than present");
+  }
+  count_ -= other.count_;
+  log_count_ -= other.log_count_;
+  for (int i = 0; i < k_; ++i) {
+    power_sums_[i] -= other.power_sums_[i];
+    log_sums_[i] -= other.log_sums_[i];
+  }
+  return Status::OK();
+}
+
+void MomentsSketch::SetRange(double min, double max) {
+  MSKETCH_CHECK(min <= max);
+  min_ = min;
+  max_ = max;
+}
+
+std::vector<double> MomentsSketch::StandardMoments() const {
+  std::vector<double> mu(k_ + 1, 0.0);
+  mu[0] = 1.0;
+  if (count_ == 0) return mu;
+  const double inv = 1.0 / static_cast<double>(count_);
+  for (int i = 0; i < k_; ++i) mu[i + 1] = power_sums_[i] * inv;
+  return mu;
+}
+
+std::vector<double> MomentsSketch::LogMoments() const {
+  std::vector<double> nu(k_ + 1, 0.0);
+  nu[0] = 1.0;
+  if (log_count_ == 0) return nu;
+  const double inv = 1.0 / static_cast<double>(log_count_);
+  for (int i = 0; i < k_; ++i) nu[i + 1] = log_sums_[i] * inv;
+  return nu;
+}
+
+size_t MomentsSketch::SizeBytes() const {
+  // min, max, 2k sums (doubles) + count, log_count (u64) + k (u16).
+  return (2 + 2 * static_cast<size_t>(k_)) * sizeof(double) +
+         2 * sizeof(uint64_t) + sizeof(uint16_t);
+}
+
+void MomentsSketch::Serialize(BytesWriter* out) const {
+  out->PutU32(static_cast<uint32_t>(k_));
+  out->PutU64(count_);
+  out->PutU64(log_count_);
+  out->PutDouble(min_);
+  out->PutDouble(max_);
+  for (double v : power_sums_) out->PutDouble(v);
+  for (double v : log_sums_) out->PutDouble(v);
+}
+
+Result<MomentsSketch> MomentsSketch::Deserialize(BytesReader* in) {
+  uint32_t k = 0;
+  MSKETCH_RETURN_NOT_OK(in->GetU32(&k));
+  if (k < 1 || k > 64) {
+    return Status::Serialization("MomentsSketch: bad order k");
+  }
+  MomentsSketch s(static_cast<int>(k));
+  MSKETCH_RETURN_NOT_OK(in->GetU64(&s.count_));
+  MSKETCH_RETURN_NOT_OK(in->GetU64(&s.log_count_));
+  MSKETCH_RETURN_NOT_OK(in->GetDouble(&s.min_));
+  MSKETCH_RETURN_NOT_OK(in->GetDouble(&s.max_));
+  for (int i = 0; i < s.k_; ++i) {
+    MSKETCH_RETURN_NOT_OK(in->GetDouble(&s.power_sums_[i]));
+  }
+  for (int i = 0; i < s.k_; ++i) {
+    MSKETCH_RETURN_NOT_OK(in->GetDouble(&s.log_sums_[i]));
+  }
+  if (s.log_count_ > s.count_) {
+    return Status::Serialization("MomentsSketch: log_count > count");
+  }
+  return s;
+}
+
+bool MomentsSketch::IdenticalTo(const MomentsSketch& other) const {
+  if (k_ != other.k_ || count_ != other.count_ ||
+      log_count_ != other.log_count_) {
+    return false;
+  }
+  if (count_ > 0 && (min_ != other.min_ || max_ != other.max_)) return false;
+  for (int i = 0; i < k_; ++i) {
+    if (power_sums_[i] != other.power_sums_[i]) return false;
+    if (log_sums_[i] != other.log_sums_[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace msketch

@@ -1,0 +1,94 @@
+// The moments sketch (Section 4 of the paper): a fixed-size mergeable
+// quantile summary storing min, max, count, the power sums sum(x^i), and
+// the log power sums sum(log^i x) for i = 1..k.
+//
+// Merging is pointwise addition plus two comparisons (Algorithm 1) — the
+// property the whole paper is built on. The sketch is also *subtractable*
+// (power sums are linear), which Section 7.2.2 exploits for turnstile
+// sliding windows; subtraction cannot recover min/max, so the caller
+// re-establishes the range via SetRange.
+#ifndef MSKETCH_CORE_MOMENTS_SKETCH_H_
+#define MSKETCH_CORE_MOMENTS_SKETCH_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace msketch {
+
+class MomentsSketch {
+ public:
+  /// `k`: highest moment power tracked (the sketch order). The paper's
+  /// default configuration is k = 10, tracking both standard and log
+  /// moments (2k + 3 doubles ~ 184 bytes).
+  explicit MomentsSketch(int k = 10);
+
+  /// Adds one element (Algorithm 1, accumulate).
+  void Accumulate(double x);
+
+  /// Merges another sketch of the same order (Algorithm 1, merge).
+  Status Merge(const MomentsSketch& other);
+
+  /// Removes a previously merged sketch's contributions (turnstile
+  /// semantics). min/max are left untouched and are stale afterwards;
+  /// callers must follow up with SetRange (see window/).
+  Status Subtract(const MomentsSketch& other);
+
+  /// Overrides the tracked range. Used after Subtract, and by tests.
+  void SetRange(double min, double max);
+
+  int k() const { return k_; }
+  uint64_t count() const { return count_; }
+  /// Count of accumulated elements that were > 0 (log moments cover
+  /// exactly these; estimation uses log moments only when all data is
+  /// positive, i.e. log_count == count and min > 0).
+  uint64_t log_count() const { return log_count_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Unscaled power sums: power_sums()[i] = sum over data of x^(i+1).
+  const std::vector<double>& power_sums() const { return power_sums_; }
+  /// Unscaled log power sums over positive elements: log_sums()[i] =
+  /// sum of log(x)^(i+1).
+  const std::vector<double>& log_sums() const { return log_sums_; }
+
+  /// Standardized moments mu_i = (1/n) sum x^i for i = 0..k (mu_0 = 1).
+  std::vector<double> StandardMoments() const;
+  /// nu_i = (1/log_count) sum log(x)^i for i = 0..k.
+  std::vector<double> LogMoments() const;
+
+  /// True when every accumulated element was strictly positive, so the
+  /// log moments describe the full dataset.
+  bool LogMomentsUsable() const {
+    return count_ > 0 && log_count_ == count_ && min_ > 0.0;
+  }
+
+  /// Serialized footprint: (2k + 3) doubles + count + header.
+  size_t SizeBytes() const;
+
+  MomentsSketch CloneEmpty() const { return MomentsSketch(k_); }
+
+  void Serialize(BytesWriter* out) const;
+  static Result<MomentsSketch> Deserialize(BytesReader* in);
+
+  /// Equality to within exact floating point (used by turnstile and
+  /// serialization tests).
+  bool IdenticalTo(const MomentsSketch& other) const;
+
+ private:
+  int k_;
+  uint64_t count_ = 0;
+  uint64_t log_count_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  std::vector<double> power_sums_;  // [sum x, sum x^2, ..., sum x^k]
+  std::vector<double> log_sums_;    // [sum log x, ..., sum log^k x]
+};
+
+}  // namespace msketch
+
+#endif  // MSKETCH_CORE_MOMENTS_SKETCH_H_

@@ -1,0 +1,14 @@
+#include "core/moments_summary.h"
+
+namespace msketch {
+
+Result<double> MomentsSummary::EstimateQuantile(double phi) const {
+  if (!cached_.has_value()) {
+    MSKETCH_ASSIGN_OR_RETURN(MaxEntDistribution dist,
+                             SolveMaxEnt(sketch_, options_));
+    cached_ = std::move(dist);
+  }
+  return cached_->Quantile(phi);
+}
+
+}  // namespace msketch

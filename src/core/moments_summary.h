@@ -1,0 +1,60 @@
+// MomentsSummary: the moments sketch bundled with its maximum entropy
+// estimator behind the same concrete interface the baseline summaries
+// expose (Accumulate / Merge / EstimateQuantile / count / SizeBytes /
+// CloneEmpty). This is what plugs into the cube engine, the generic
+// benchmark harnesses, and the QuantileSummary adapter.
+#ifndef MSKETCH_CORE_MOMENTS_SUMMARY_H_
+#define MSKETCH_CORE_MOMENTS_SUMMARY_H_
+
+#include <optional>
+
+#include "common/status.h"
+#include "core/maxent_solver.h"
+#include "core/moments_sketch.h"
+
+namespace msketch {
+
+class MomentsSummary {
+ public:
+  explicit MomentsSummary(int k = 10, MaxEntOptions options = {})
+      : sketch_(k), options_(options) {}
+  explicit MomentsSummary(MomentsSketch sketch, MaxEntOptions options = {})
+      : sketch_(std::move(sketch)), options_(options) {}
+
+  void Accumulate(double x) {
+    sketch_.Accumulate(x);
+    cached_.reset();
+  }
+
+  Status Merge(const MomentsSummary& other) {
+    cached_.reset();
+    return sketch_.Merge(other.sketch_);
+  }
+
+  /// Solves the maxent problem (cached until the sketch changes) and
+  /// inverts the CDF.
+  Result<double> EstimateQuantile(double phi) const;
+
+  uint64_t count() const { return sketch_.count(); }
+  size_t SizeBytes() const { return sketch_.SizeBytes(); }
+  int k() const { return sketch_.k(); }
+
+  MomentsSummary CloneEmpty() const {
+    return MomentsSummary(sketch_.k(), options_);
+  }
+
+  const MomentsSketch& sketch() const { return sketch_; }
+  MomentsSketch& sketch() {
+    cached_.reset();
+    return sketch_;
+  }
+
+ private:
+  MomentsSketch sketch_;
+  MaxEntOptions options_;
+  mutable std::optional<MaxEntDistribution> cached_;
+};
+
+}  // namespace msketch
+
+#endif  // MSKETCH_CORE_MOMENTS_SUMMARY_H_

@@ -1,0 +1,169 @@
+// Mini-Druid data cube: pre-aggregated summaries keyed by dimension-value
+// tuples (Figure 1 and Section 7.1 of the paper).
+//
+// One cell per distinct coordinate tuple; each cell holds a mergeable
+// summary of the metric plus a running sum (the paper's native-sum
+// baseline in Figure 11). Queries with dimension filters merge the
+// matching cells' summaries — the merge-dominated code path the moments
+// sketch accelerates.
+//
+// Templated on the summary type so benchmarks can swap in M-Sketch,
+// S-Hist, Merge12, etc. without virtual dispatch on the merge path.
+#ifndef MSKETCH_CUBE_DATA_CUBE_H_
+#define MSKETCH_CUBE_DATA_CUBE_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace msketch {
+
+/// Cell coordinates: one dictionary-encoded value id per dimension.
+using CubeCoords = std::vector<uint32_t>;
+
+struct CubeCoordsHash {
+  size_t operator()(const CubeCoords& c) const {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (uint32_t v : c) {
+      h ^= v;
+      h *= 0x100000001b3ULL;
+      h ^= h >> 29;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+/// Filter: one entry per dimension; kAnyValue matches every value.
+constexpr int64_t kAnyValue = -1;
+using CubeFilter = std::vector<int64_t>;
+
+template <typename Summary>
+class DataCube {
+ public:
+  DataCube(size_t num_dims, Summary prototype)
+      : num_dims_(num_dims), prototype_(std::move(prototype)) {
+    MSKETCH_CHECK(num_dims >= 1);
+  }
+
+  /// Adds one row. Creates the cell on first touch.
+  void Ingest(const CubeCoords& coords, double value) {
+    MSKETCH_DCHECK(coords.size() == num_dims_);
+    auto it = cells_.find(coords);
+    if (it == cells_.end()) {
+      it = cells_.emplace(coords, Cell{prototype_.CloneEmpty(), 0.0}).first;
+    }
+    it->second.summary.Accumulate(value);
+    it->second.sum += value;
+    ++num_rows_;
+  }
+
+  size_t num_cells() const { return cells_.size(); }
+  uint64_t num_rows() const { return num_rows_; }
+  size_t num_dims() const { return num_dims_; }
+
+  /// Merges every cell matching the filter into a fresh summary. The
+  /// count of merges performed is reported through `merges_out` when
+  /// non-null (benchmarks report merge counts).
+  Summary MergeWhere(const CubeFilter& filter,
+                     uint64_t* merges_out = nullptr) const {
+    MSKETCH_CHECK(filter.size() == num_dims_);
+    Summary out = prototype_.CloneEmpty();
+    uint64_t merges = 0;
+    for (const auto& [coords, cell] : cells_) {
+      if (!Matches(coords, filter)) continue;
+      MSKETCH_CHECK(out.Merge(cell.summary).ok());
+      ++merges;
+    }
+    if (merges_out != nullptr) *merges_out = merges;
+    return out;
+  }
+
+  Summary MergeAll() const {
+    return MergeWhere(CubeFilter(num_dims_, kAnyValue));
+  }
+
+  /// Native sum aggregation over matching cells (Figure 11 baseline).
+  double SumWhere(const CubeFilter& filter) const {
+    MSKETCH_CHECK(filter.size() == num_dims_);
+    double acc = 0.0;
+    for (const auto& [coords, cell] : cells_) {
+      if (Matches(coords, filter)) acc += cell.sum;
+    }
+    return acc;
+  }
+
+  /// phi-quantile of the filtered sub-population.
+  Result<double> QueryQuantile(const CubeFilter& filter, double phi) const {
+    Summary merged = MergeWhere(filter);
+    if (merged.count() == 0) {
+      return Status::InvalidArgument("QueryQuantile: empty selection");
+    }
+    return merged.EstimateQuantile(phi);
+  }
+
+  /// Groups cells by the given dimensions and hands each group's merged
+  /// summary to `fn(group_coords, summary)`. This is the GROUP BY ...
+  /// HAVING plan from Section 3.3.
+  void ForEachGroup(
+      const std::vector<size_t>& group_dims,
+      const std::function<void(const CubeCoords&, const Summary&)>& fn)
+      const {
+    std::unordered_map<CubeCoords, Summary, CubeCoordsHash> groups;
+    for (const auto& [coords, cell] : cells_) {
+      CubeCoords key;
+      key.reserve(group_dims.size());
+      for (size_t d : group_dims) key.push_back(coords[d]);
+      auto it = groups.find(key);
+      if (it == groups.end()) {
+        it = groups.emplace(key, prototype_.CloneEmpty()).first;
+      }
+      MSKETCH_CHECK(it->second.Merge(cell.summary).ok());
+    }
+    for (const auto& [key, summary] : groups) fn(key, summary);
+  }
+
+  /// Visits every cell (used by benchmarks that need raw access).
+  void ForEachCell(
+      const std::function<void(const CubeCoords&, const Summary&)>& fn)
+      const {
+    for (const auto& [coords, cell] : cells_) fn(coords, cell.summary);
+  }
+
+  /// Total bytes across all cell summaries.
+  size_t SummaryBytes() const {
+    size_t total = 0;
+    for (const auto& [coords, cell] : cells_) {
+      total += cell.summary.SizeBytes();
+    }
+    return total;
+  }
+
+ private:
+  struct Cell {
+    Summary summary;
+    double sum;
+  };
+
+  static bool Matches(const CubeCoords& coords, const CubeFilter& filter) {
+    for (size_t d = 0; d < coords.size(); ++d) {
+      if (filter[d] != kAnyValue &&
+          coords[d] != static_cast<uint32_t>(filter[d])) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  size_t num_dims_;
+  Summary prototype_;
+  std::unordered_map<CubeCoords, Cell, CubeCoordsHash> cells_;
+  uint64_t num_rows_ = 0;
+};
+
+}  // namespace msketch
+
+#endif  // MSKETCH_CUBE_DATA_CUBE_H_

@@ -1,0 +1,45 @@
+// String dictionary for dimension-value encoding (Druid-style).
+#ifndef MSKETCH_CUBE_DICTIONARY_H_
+#define MSKETCH_CUBE_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace msketch {
+
+class Dictionary {
+ public:
+  /// Returns the id for `value`, interning it on first sight.
+  uint32_t Intern(const std::string& value) {
+    auto it = ids_.find(value);
+    if (it != ids_.end()) return it->second;
+    const uint32_t id = static_cast<uint32_t>(values_.size());
+    values_.push_back(value);
+    ids_.emplace(value, id);
+    return id;
+  }
+
+  /// Lookup without interning.
+  Result<uint32_t> Find(const std::string& value) const {
+    auto it = ids_.find(value);
+    if (it == ids_.end()) {
+      return Status::InvalidArgument("unknown dimension value: " + value);
+    }
+    return it->second;
+  }
+
+  const std::string& ValueOf(uint32_t id) const { return values_.at(id); }
+  size_t size() const { return values_.size(); }
+
+ private:
+  std::unordered_map<std::string, uint32_t> ids_;
+  std::vector<std::string> values_;
+};
+
+}  // namespace msketch
+
+#endif  // MSKETCH_CUBE_DICTIONARY_H_

@@ -1,0 +1,71 @@
+#include "macrobase/macrobase.h"
+
+#include <chrono>
+
+namespace msketch {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+double Seconds(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+}  // namespace
+
+Result<MacroBaseReport> FindAnomalousSubgroups(
+    const DataCube<MomentsSummary>& cube, const MacroBaseOptions& options) {
+  if (cube.num_rows() == 0) {
+    return Status::InvalidArgument("MacroBase: empty cube");
+  }
+  MacroBaseReport report;
+
+  // Global threshold: merge everything, estimate the global percentile.
+  auto t0 = Clock::now();
+  MomentsSummary global = cube.MergeAll();
+  auto t1 = Clock::now();
+  report.merge_seconds += Seconds(t0, t1);
+  MSKETCH_ASSIGN_OR_RETURN(double threshold,
+                           global.EstimateQuantile(options.global_phi));
+  auto t2 = Clock::now();
+  report.estimation_seconds += Seconds(t1, t2);
+  report.global_threshold = threshold;
+
+  ThresholdCascade cascade(options.cascade);
+  auto examine_grouping = [&](const std::vector<size_t>& dims) {
+    auto g0 = Clock::now();
+    std::vector<std::pair<CubeCoords, MomentsSummary>> groups;
+    cube.ForEachGroup(dims, [&](const CubeCoords& key,
+                                const MomentsSummary& summary) {
+      groups.emplace_back(key, summary);
+    });
+    auto g1 = Clock::now();
+    report.merge_seconds += Seconds(g0, g1);
+    for (auto& [key, summary] : groups) {
+      ++report.groups_examined;
+      if (cascade.Threshold(summary.sketch(), options.subgroup_phi,
+                            threshold)) {
+        Subgroup sg;
+        sg.dims = dims;
+        sg.values = key;
+        sg.count = summary.count();
+        report.flagged.push_back(std::move(sg));
+      }
+    }
+    auto g2 = Clock::now();
+    report.estimation_seconds += Seconds(g1, g2);
+  };
+
+  for (size_t d = 0; d < cube.num_dims(); ++d) {
+    examine_grouping({d});
+  }
+  if (options.include_pairs) {
+    for (size_t a = 0; a < cube.num_dims(); ++a) {
+      for (size_t b = a + 1; b < cube.num_dims(); ++b) {
+        examine_grouping({a, b});
+      }
+    }
+  }
+  report.cascade_stats = cascade.stats();
+  return report;
+}
+
+}  // namespace msketch

@@ -1,0 +1,54 @@
+// MacroBase-style anomalous-subgroup search (Section 7.2.1): find the
+// dimension values whose subpopulation quantile exceeds a threshold
+// derived from the global distribution. With the paper's deployment,
+// outliers are values above the global 99th percentile t99 and a subgroup
+// is reported when its outlier rate is >= 30x the global rate — i.e. its
+// 70th percentile exceeds t99.
+#ifndef MSKETCH_MACROBASE_MACROBASE_H_
+#define MSKETCH_MACROBASE_MACROBASE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/cascade.h"
+#include "core/moments_summary.h"
+#include "cube/data_cube.h"
+
+namespace msketch {
+
+struct MacroBaseOptions {
+  /// Global percentile defining outliers (paper: 0.99).
+  double global_phi = 0.99;
+  /// Subgroup percentile compared against the global threshold (paper:
+  /// outlier-rate ratio r = 30x on a 1% base rate => 0.7).
+  double subgroup_phi = 0.7;
+  /// Search single dimensions and optionally all dimension pairs.
+  bool include_pairs = false;
+  /// Cascade stage switches (Figure 12's Baseline/+Simple/+Markov/+RTT).
+  CascadeOptions cascade;
+};
+
+struct Subgroup {
+  std::vector<size_t> dims;     // grouped dimension indexes
+  CubeCoords values;            // dimension value ids (parallel to dims)
+  uint64_t count = 0;
+};
+
+struct MacroBaseReport {
+  double global_threshold = 0.0;  // t99
+  std::vector<Subgroup> flagged;
+  uint64_t groups_examined = 0;
+  CascadeStats cascade_stats;
+  double merge_seconds = 0.0;       // time in summary merges
+  double estimation_seconds = 0.0;  // time in bounds + maxent
+};
+
+/// Runs the subgroup search over a cube of moments sketches.
+Result<MacroBaseReport> FindAnomalousSubgroups(
+    const DataCube<MomentsSummary>& cube, const MacroBaseOptions& options);
+
+}  // namespace msketch
+
+#endif  // MSKETCH_MACROBASE_MACROBASE_H_

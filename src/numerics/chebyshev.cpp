@@ -1,0 +1,134 @@
+#include "numerics/chebyshev.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/macros.h"
+#include "numerics/fft.h"
+
+namespace msketch {
+
+double ChebyshevT(int n, double x) {
+  MSKETCH_DCHECK(n >= 0);
+  if (n == 0) return 1.0;
+  if (n == 1) return x;
+  double tkm1 = 1.0, tk = x;
+  for (int i = 2; i <= n; ++i) {
+    double tkp1 = 2.0 * x * tk - tkm1;
+    tkm1 = tk;
+    tk = tkp1;
+  }
+  return tk;
+}
+
+void ChebyshevTAll(int n, double x, double* out) {
+  out[0] = 1.0;
+  if (n == 0) return;
+  out[1] = x;
+  for (int i = 2; i <= n; ++i) {
+    out[i] = 2.0 * x * out[i - 1] - out[i - 2];
+  }
+}
+
+double ChebyshevEval(const std::vector<double>& coeffs, double x) {
+  if (coeffs.empty()) return 0.0;
+  // Clenshaw recurrence.
+  double b1 = 0.0, b2 = 0.0;
+  for (size_t i = coeffs.size(); i-- > 1;) {
+    double b0 = 2.0 * x * b1 - b2 + coeffs[i];
+    b2 = b1;
+    b1 = b0;
+  }
+  return x * b1 - b2 + coeffs[0];
+}
+
+std::vector<std::vector<double>> ChebyshevToMonomialMatrix(int n) {
+  MSKETCH_CHECK(n >= 0);
+  std::vector<std::vector<double>> m(n + 1,
+                                     std::vector<double>(n + 1, 0.0));
+  m[0][0] = 1.0;
+  if (n == 0) return m;
+  m[1][1] = 1.0;
+  for (int i = 2; i <= n; ++i) {
+    // T_i = 2 x T_{i-1} - T_{i-2}
+    for (int j = 1; j <= i; ++j) m[i][j] = 2.0 * m[i - 1][j - 1];
+    for (int j = 0; j <= i - 2; ++j) m[i][j] -= m[i - 2][j];
+  }
+  return m;
+}
+
+std::vector<double> ChebyshevLobattoPoints(int n) {
+  MSKETCH_CHECK(n >= 1);
+  std::vector<double> pts(n + 1);
+  for (int j = 0; j <= n; ++j) {
+    pts[j] = std::cos(M_PI * static_cast<double>(j) / static_cast<double>(n));
+  }
+  return pts;
+}
+
+std::vector<double> ChebyshevFit(const std::vector<double>& samples) {
+  const size_t n1 = samples.size();
+  MSKETCH_CHECK(n1 >= 2);
+  const size_t n = n1 - 1;
+  std::vector<double> c = DctI(samples);
+  const double scale = 2.0 / static_cast<double>(n);
+  for (size_t k = 0; k <= n; ++k) c[k] *= scale;
+  c[0] *= 0.5;
+  c[n] *= 0.5;
+  return c;
+}
+
+double ChebyshevIntegrate(const std::vector<double>& coeffs) {
+  double acc = 0.0;
+  for (size_t k = 0; k < coeffs.size(); k += 2) {
+    acc += coeffs[k] * 2.0 / (1.0 - static_cast<double>(k) *
+                                        static_cast<double>(k));
+  }
+  return acc;
+}
+
+std::vector<double> ChebyshevAntiderivative(
+    const std::vector<double>& coeffs) {
+  const size_t n = coeffs.size();
+  std::vector<double> d(n + 1, 0.0);
+  // Standard relation: int T_k = T_{k+1}/(2(k+1)) - T_{k-1}/(2(k-1)), k>=2;
+  // int T_0 = T_1; int T_1 = T_2/4 (+ const).
+  for (size_t k = 0; k < n; ++k) {
+    double c = coeffs[k];
+    if (k == 0) {
+      d[1] += c;
+    } else if (k == 1) {
+      d[0] += c * 0.25;  // T_1^2 = (1 + T_2)/2, antiderivative x^2/2
+      d[2] += c * 0.25;
+    } else {
+      d[k + 1] += c / (2.0 * static_cast<double>(k + 1));
+      d[k - 1] -= c / (2.0 * static_cast<double>(k - 1));
+    }
+  }
+  // Fix constant so the antiderivative vanishes at x = -1:
+  // T_k(-1) = (-1)^k.
+  double at_minus1 = 0.0;
+  for (size_t k = 0; k < d.size(); ++k) {
+    at_minus1 += d[k] * ((k % 2 == 0) ? 1.0 : -1.0);
+  }
+  d[0] -= at_minus1;
+  return d;
+}
+
+std::vector<double> ChebyshevMultiply(const std::vector<double>& a,
+                                      const std::vector<double>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<double> out(a.size() + b.size() - 1, 0.0);
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == 0.0) continue;
+    for (size_t j = 0; j < b.size(); ++j) {
+      const double half = 0.5 * a[i] * b[j];
+      out[i + j] += half;
+      out[static_cast<size_t>(
+          std::abs(static_cast<long>(i) - static_cast<long>(j)))] += half;
+    }
+  }
+  return out;
+}
+
+}  // namespace msketch

@@ -1,0 +1,266 @@
+#include "numerics/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace msketch {
+
+Result<EigenDecomposition> SymmetricEigen(const Matrix& a, int max_sweeps) {
+  const size_t n = a.rows();
+  if (a.cols() != n) {
+    return Status::InvalidArgument("SymmetricEigen: matrix not square");
+  }
+  Matrix m = a;
+  Matrix v = Matrix::Identity(n);
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) off += m(i, j) * m(i, j);
+    }
+    if (off < 1e-30) break;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = m(p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = m(p, p);
+        const double aqq = m(q, q);
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+        // Apply rotation to rows/cols p and q.
+        for (size_t i = 0; i < n; ++i) {
+          const double mip = m(i, p);
+          const double miq = m(i, q);
+          m(i, p) = c * mip - s * miq;
+          m(i, q) = s * mip + c * miq;
+        }
+        for (size_t i = 0; i < n; ++i) {
+          const double mpi = m(p, i);
+          const double mqi = m(q, i);
+          m(p, i) = c * mpi - s * mqi;
+          m(q, i) = s * mpi + c * mqi;
+        }
+        for (size_t i = 0; i < n; ++i) {
+          const double vip = v(i, p);
+          const double viq = v(i, q);
+          v(i, p) = c * vip - s * viq;
+          v(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+  EigenDecomposition out;
+  out.values.resize(n);
+  for (size_t i = 0; i < n; ++i) out.values[i] = m(i, i);
+  // Sort ascending, permuting vectors accordingly.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    return out.values[x] < out.values[y];
+  });
+  EigenDecomposition sorted;
+  sorted.values.resize(n);
+  sorted.vectors = Matrix(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    sorted.values[j] = out.values[order[j]];
+    for (size_t i = 0; i < n; ++i) sorted.vectors(i, j) = v(i, order[j]);
+  }
+  return sorted;
+}
+
+double SymmetricConditionNumber(const Matrix& a) {
+  Result<EigenDecomposition> eig = SymmetricEigen(a);
+  if (!eig.ok()) return std::numeric_limits<double>::infinity();
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = 0.0;
+  for (double v : eig->values) {
+    const double m = std::fabs(v);
+    lo = std::min(lo, m);
+    hi = std::max(hi, m);
+  }
+  if (lo <= 0.0) return std::numeric_limits<double>::infinity();
+  return hi / lo;
+}
+
+Result<std::vector<double>> TridiagonalEigen(
+    std::vector<double> d, std::vector<double> e,
+    std::vector<double>* first_components, int max_iter) {
+  const size_t n = d.size();
+  if (n == 0) return Status::InvalidArgument("TridiagonalEigen: empty");
+  if (e.size() + 1 != n && n != 1) {
+    return Status::InvalidArgument("TridiagonalEigen: bad off-diagonal size");
+  }
+  // z tracks the first row of the accumulated rotation product; enough for
+  // Golub-Welsch weights (w_j = z_j^2 * mu_0) without storing full vectors.
+  std::vector<double> z(n, 0.0);
+  z[0] = 1.0;
+  e.push_back(0.0);  // sentinel
+
+  for (size_t l = 0; l < n; ++l) {
+    int iter = 0;
+    size_t m;
+    do {
+      for (m = l; m + 1 < n; ++m) {
+        const double dd = std::fabs(d[m]) + std::fabs(d[m + 1]);
+        if (std::fabs(e[m]) <= 1e-15 * dd) break;
+      }
+      if (m != l) {
+        if (iter++ == max_iter) {
+          return Status::NotConverged("TridiagonalEigen: too many iterations");
+        }
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = std::hypot(g, 1.0);
+        g = d[m] - d[l] + e[l] / (g + (g >= 0 ? std::fabs(r) : -std::fabs(r)));
+        double s = 1.0, c = 1.0, p = 0.0;
+        for (size_t i = m; i-- > l;) {
+          double f = s * e[i];
+          const double b = c * e[i];
+          r = std::hypot(f, g);
+          e[i + 1] = r;
+          if (r == 0.0) {
+            d[i + 1] -= p;
+            e[m] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+          // Accumulate effect on first-row components.
+          f = z[i + 1];
+          z[i + 1] = s * z[i] + c * f;
+          z[i] = c * z[i] - s * f;
+        }
+        if (r == 0.0 && m - l > 1) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+  // Sort ascending along with z.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return d[a] < d[b]; });
+  std::vector<double> vals(n), zs(n);
+  for (size_t i = 0; i < n; ++i) {
+    vals[i] = d[order[i]];
+    zs[i] = z[order[i]];
+  }
+  if (first_components != nullptr) *first_components = std::move(zs);
+  return vals;
+}
+
+Result<SvdDecomposition> Svd(const Matrix& a, int max_sweeps) {
+  const size_t m = a.rows();
+  const size_t n = a.cols();
+  if (m < n) {
+    // Handle wide matrices by transposing and swapping U/V.
+    MSKETCH_ASSIGN_OR_RETURN(SvdDecomposition t, Svd(a.Transpose(), max_sweeps));
+    SvdDecomposition out;
+    out.u = std::move(t.v);
+    out.v = std::move(t.u);
+    out.singular = std::move(t.singular);
+    return out;
+  }
+  Matrix u = a;  // columns orthogonalized in place
+  Matrix v = Matrix::Identity(n);
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool converged = true;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        double alpha = 0.0, beta = 0.0, gamma = 0.0;
+        for (size_t i = 0; i < m; ++i) {
+          alpha += u(i, p) * u(i, p);
+          beta += u(i, q) * u(i, q);
+          gamma += u(i, p) * u(i, q);
+        }
+        if (std::fabs(gamma) <= 1e-15 * std::sqrt(alpha * beta) ||
+            gamma == 0.0) {
+          continue;
+        }
+        converged = false;
+        const double zeta = (beta - alpha) / (2.0 * gamma);
+        const double t = (zeta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (size_t i = 0; i < m; ++i) {
+          const double up = u(i, p);
+          const double uq = u(i, q);
+          u(i, p) = c * up - s * uq;
+          u(i, q) = s * up + c * uq;
+        }
+        for (size_t i = 0; i < n; ++i) {
+          const double vp = v(i, p);
+          const double vq = v(i, q);
+          v(i, p) = c * vp - s * vq;
+          v(i, q) = s * vp + c * vq;
+        }
+      }
+    }
+    if (converged) break;
+  }
+  SvdDecomposition out;
+  out.singular.resize(n);
+  out.u = Matrix(m, n);
+  for (size_t j = 0; j < n; ++j) {
+    double norm = 0.0;
+    for (size_t i = 0; i < m; ++i) norm += u(i, j) * u(i, j);
+    norm = std::sqrt(norm);
+    out.singular[j] = norm;
+    if (norm > 0.0) {
+      for (size_t i = 0; i < m; ++i) out.u(i, j) = u(i, j) / norm;
+    }
+  }
+  // Sort singular values descending.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    return out.singular[x] > out.singular[y];
+  });
+  SvdDecomposition sorted;
+  sorted.singular.resize(n);
+  sorted.u = Matrix(m, n);
+  sorted.v = Matrix(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    sorted.singular[j] = out.singular[order[j]];
+    for (size_t i = 0; i < m; ++i) sorted.u(i, j) = out.u(i, order[j]);
+    for (size_t i = 0; i < n; ++i) sorted.v(i, j) = v(i, order[j]);
+  }
+  return sorted;
+}
+
+Result<std::vector<double>> SvdLeastSquares(const Matrix& a,
+                                            const std::vector<double>& b,
+                                            double rcond) {
+  if (a.rows() != b.size()) {
+    return Status::InvalidArgument("SvdLeastSquares: dimension mismatch");
+  }
+  MSKETCH_ASSIGN_OR_RETURN(SvdDecomposition svd, Svd(a));
+  const size_t n = a.cols();
+  const double cutoff = svd.singular.empty()
+                            ? 0.0
+                            : rcond * svd.singular[0];
+  std::vector<double> x(n, 0.0);
+  for (size_t j = 0; j < svd.singular.size(); ++j) {
+    if (svd.singular[j] <= cutoff) continue;
+    double dot = 0.0;
+    for (size_t i = 0; i < a.rows(); ++i) dot += svd.u(i, j) * b[i];
+    const double coef = dot / svd.singular[j];
+    for (size_t i = 0; i < n; ++i) x[i] += coef * svd.v(i, j);
+  }
+  return x;
+}
+
+}  // namespace msketch

@@ -1,0 +1,56 @@
+// Symmetric eigensolvers and SVD.
+//
+// - Cyclic Jacobi for dense symmetric matrices: condition numbers of maxent
+//   Hessians (Section 4.3.1 uses kappa_max = 1e4 to pick k1, k2).
+// - Implicit-shift QL for symmetric tridiagonal matrices: Golub-Welsch
+//   quadrature nodes/weights inside the RTT moment bounds.
+// - One-sided Jacobi SVD: the "svd" lesion estimator's minimum-norm solve.
+#ifndef MSKETCH_NUMERICS_EIGEN_H_
+#define MSKETCH_NUMERICS_EIGEN_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "numerics/matrix.h"
+
+namespace msketch {
+
+struct EigenDecomposition {
+  std::vector<double> values;  // ascending
+  Matrix vectors;              // column j pairs with values[j]
+};
+
+/// Eigendecomposition of a symmetric matrix via cyclic Jacobi rotations.
+Result<EigenDecomposition> SymmetricEigen(const Matrix& a,
+                                          int max_sweeps = 64);
+
+/// Condition number (|lambda|_max / |lambda|_min) of a symmetric matrix;
+/// returns infinity when the smallest magnitude eigenvalue is ~0.
+double SymmetricConditionNumber(const Matrix& a);
+
+/// Eigenvalues/vectors of a symmetric tridiagonal matrix with diagonal d
+/// and off-diagonal e (e[i] couples i and i+1; e.size() == d.size()-1).
+/// `first_components`, if non-null, receives the first row of the
+/// eigenvector matrix (used for Golub-Welsch quadrature weights).
+Result<std::vector<double>> TridiagonalEigen(
+    std::vector<double> d, std::vector<double> e,
+    std::vector<double>* first_components = nullptr, int max_iter = 64);
+
+struct SvdDecomposition {
+  Matrix u;                      // rows x min(rows, cols)... here rows x cols
+  std::vector<double> singular;  // descending
+  Matrix v;                      // cols x cols, columns are right vectors
+};
+
+/// Thin SVD via one-sided Jacobi: A (m x n, m >= n) = U diag(s) V^T.
+Result<SvdDecomposition> Svd(const Matrix& a, int max_sweeps = 96);
+
+/// Minimum-norm least squares solve of A x = b via SVD with relative
+/// singular value cutoff `rcond`.
+Result<std::vector<double>> SvdLeastSquares(const Matrix& a,
+                                            const std::vector<double>& b,
+                                            double rcond = 1e-12);
+
+}  // namespace msketch
+
+#endif  // MSKETCH_NUMERICS_EIGEN_H_

@@ -1,0 +1,74 @@
+#include "numerics/fft.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace msketch {
+
+void Fft(std::vector<std::complex<double>>* data, bool inverse) {
+  std::vector<std::complex<double>>& a = *data;
+  const size_t n = a.size();
+  MSKETCH_CHECK((n & (n - 1)) == 0);
+  if (n <= 1) return;
+
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double ang = 2.0 * M_PI / static_cast<double>(len) *
+                       (inverse ? 1.0 : -1.0);
+    const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+    for (size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (size_t j = 0; j < len / 2; ++j) {
+        std::complex<double> u = a[i + j];
+        std::complex<double> v = a[i + j + len / 2] * w;
+        a[i + j] = u + v;
+        a[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<double> DctINaive(const std::vector<double>& x) {
+  const size_t n1 = x.size();
+  MSKETCH_CHECK(n1 >= 2);
+  const size_t n = n1 - 1;
+  std::vector<double> out(n1, 0.0);
+  for (size_t k = 0; k <= n; ++k) {
+    double acc = 0.5 * (x[0] + ((k % 2 == 0) ? x[n] : -x[n]));
+    for (size_t j = 1; j < n; ++j) {
+      acc += x[j] * std::cos(M_PI * static_cast<double>(j * k) /
+                             static_cast<double>(n));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+std::vector<double> DctI(const std::vector<double>& x) {
+  const size_t n1 = x.size();
+  MSKETCH_CHECK(n1 >= 2);
+  const size_t n = n1 - 1;
+  MSKETCH_CHECK((n & (n - 1)) == 0);
+  if (n < 8) return DctINaive(x);
+
+  // Even extension of length 2N: y = [x0, x1, .., xN, x_{N-1}, .., x1];
+  // DCT-I(x)[k] = Re(FFT(y)[k]) / 2.
+  std::vector<std::complex<double>> y(2 * n);
+  for (size_t j = 0; j <= n; ++j) y[j] = x[j];
+  for (size_t j = 1; j < n; ++j) y[2 * n - j] = x[j];
+  Fft(&y, /*inverse=*/false);
+  std::vector<double> out(n1);
+  for (size_t k = 0; k <= n; ++k) out[k] = 0.5 * y[k].real();
+  return out;
+}
+
+}  // namespace msketch

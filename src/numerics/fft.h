@@ -1,0 +1,31 @@
+// Radix-2 FFT and the type-I discrete cosine transform.
+//
+// The DCT-I is the workhorse behind Chebyshev interpolation: the Chebyshev
+// coefficients of a function sampled at the N+1 Chebyshev-Lobatto points
+// cos(pi*j/N) are (up to scaling) the DCT-I of the samples. The maximum
+// entropy solver calls this once per Newton iteration, which is why the
+// paper identifies the cosine transform as the estimation bottleneck.
+#ifndef MSKETCH_NUMERICS_FFT_H_
+#define MSKETCH_NUMERICS_FFT_H_
+
+#include <complex>
+#include <vector>
+
+namespace msketch {
+
+/// In-place iterative radix-2 complex FFT. `data.size()` must be a power of
+/// two. `inverse` applies the conjugate transform *without* the 1/N scaling.
+void Fft(std::vector<std::complex<double>>* data, bool inverse);
+
+/// DCT-I of `x` (length N+1, N a power of two):
+///   out[k] = x[0]/2 + (-1)^k x[N]/2 + sum_{j=1}^{N-1} x[j] cos(pi j k / N).
+/// Uses an O(N log N) FFT of the even extension for N >= 8, and the direct
+/// O(N^2) sum below that.
+std::vector<double> DctI(const std::vector<double>& x);
+
+/// Direct O(N^2) DCT-I reference implementation (used for testing).
+std::vector<double> DctINaive(const std::vector<double>& x);
+
+}  // namespace msketch
+
+#endif  // MSKETCH_NUMERICS_FFT_H_

@@ -1,0 +1,71 @@
+#include "numerics/integration.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace msketch {
+
+std::vector<double> ClenshawCurtisWeights(int n) {
+  MSKETCH_CHECK(n >= 2);
+  // Weights via the cosine-series formula (Waldvogel 2006, explicit form):
+  //   w_j = (c_j / n) * (1 - sum_{k=1}^{n/2} b_k / (4k^2 - 1) * 2 cos(2k j pi / n))
+  // with c_j = 1 for endpoints and 2 otherwise, b_k = 1 for k = n/2, else 2.
+  // Direct O(n^2) evaluation; called once per grid size and cached upstream.
+  std::vector<double> w(n + 1, 0.0);
+  const int half = n / 2;
+  for (int j = 0; j <= n; ++j) {
+    double acc = 1.0;
+    for (int k = 1; k <= half; ++k) {
+      const double bk = (2 * k == n) ? 1.0 : 2.0;
+      acc -= bk / (4.0 * k * k - 1.0) *
+             std::cos(2.0 * M_PI * static_cast<double>(k * j) /
+                      static_cast<double>(n));
+    }
+    const double cj = (j == 0 || j == n) ? 1.0 : 2.0;
+    w[j] = cj * acc / static_cast<double>(n);
+  }
+  return w;
+}
+
+Result<double> RombergIntegrate(const std::function<double(double)>& f,
+                                double a, double b, double rel_tol,
+                                double abs_tol, int max_levels) {
+  if (!(a < b)) {
+    if (a == b) return 0.0;
+    return Status::InvalidArgument("Romberg: a > b");
+  }
+  std::vector<double> row(max_levels, 0.0);
+  std::vector<double> prev(max_levels, 0.0);
+  double h = b - a;
+  prev[0] = 0.5 * h * (f(a) + f(b));
+  long npts = 1;
+  for (int level = 1; level < max_levels; ++level) {
+    // Trapezoid refinement: add midpoints.
+    double sum = 0.0;
+    double x = a + 0.5 * h;
+    for (long i = 0; i < npts; ++i) {
+      sum += f(x);
+      x += h;
+    }
+    row[0] = 0.5 * (prev[0] + h * sum);
+    // Richardson extrapolation.
+    double factor = 4.0;
+    for (int m = 1; m <= level; ++m) {
+      row[m] = row[m - 1] + (row[m - 1] - prev[m - 1]) / (factor - 1.0);
+      factor *= 4.0;
+    }
+    if (level >= 3) {
+      const double err = std::fabs(row[level] - prev[level - 1]);
+      if (err <= rel_tol * std::fabs(row[level]) + abs_tol) {
+        return row[level];
+      }
+    }
+    std::swap(row, prev);
+    h *= 0.5;
+    npts *= 2;
+  }
+  return Status::NotConverged("Romberg integration did not converge");
+}
+
+}  // namespace msketch

@@ -1,0 +1,32 @@
+// Numerical quadrature: Clenshaw-Curtis rules on the Chebyshev-Lobatto grid
+// and adaptive Romberg integration.
+//
+// Clenshaw-Curtis is what makes the maximum entropy solve fast: one shared
+// grid of N+1 nodes turns every gradient/Hessian entry into a weighted dot
+// product (footnote 1 in the paper). Romberg is used by the "newton" lesion
+// estimator, which deliberately skips this optimization.
+#ifndef MSKETCH_NUMERICS_INTEGRATION_H_
+#define MSKETCH_NUMERICS_INTEGRATION_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+
+namespace msketch {
+
+/// Weights w_j for the (n+1)-point Clenshaw-Curtis rule on [-1, 1] at the
+/// Lobatto nodes x_j = cos(pi j / n):  int_{-1}^{1} f ~= sum w_j f(x_j).
+/// Exact for polynomials of degree <= n (n even). n must be >= 2.
+std::vector<double> ClenshawCurtisWeights(int n);
+
+/// Adaptive Romberg integration of f over [a, b] to relative tolerance
+/// `rel_tol` (falls back to absolute tolerance `abs_tol` near zero).
+/// Returns NotConverged if the tableau fails to settle within `max_levels`.
+Result<double> RombergIntegrate(const std::function<double(double)>& f,
+                                double a, double b, double rel_tol = 1e-10,
+                                double abs_tol = 1e-14, int max_levels = 22);
+
+}  // namespace msketch
+
+#endif  // MSKETCH_NUMERICS_INTEGRATION_H_

@@ -1,0 +1,146 @@
+#include "numerics/matrix.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace msketch {
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix t(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  }
+  return t;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  MSKETCH_CHECK(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      for (size_t j = 0; j < other.cols_; ++j) {
+        out(i, j) += aik * other(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::MultiplyVec(const std::vector<double>& v) const {
+  MSKETCH_CHECK(cols_ == v.size());
+  std::vector<double> out(rows_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    for (size_t j = 0; j < cols_; ++j) acc += (*this)(i, j) * v[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+Result<std::vector<double>> LuSolve(Matrix a, std::vector<double> b) {
+  const size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) {
+    return Status::InvalidArgument("LuSolve: dimension mismatch");
+  }
+  std::vector<size_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = i;
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    size_t pivot = col;
+    double best = std::fabs(a(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      const double v = std::fabs(a(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best == 0.0) return Status::Singular("LuSolve: zero pivot");
+    if (pivot != col) {
+      for (size_t j = 0; j < n; ++j) std::swap(a(col, j), a(pivot, j));
+      std::swap(b[col], b[pivot]);
+    }
+    const double inv = 1.0 / a(col, col);
+    for (size_t r = col + 1; r < n; ++r) {
+      const double factor = a(r, col) * inv;
+      if (factor == 0.0) continue;
+      a(r, col) = 0.0;
+      for (size_t j = col + 1; j < n; ++j) a(r, j) -= factor * a(col, j);
+      b[r] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (size_t j = i + 1; j < n; ++j) acc -= a(i, j) * x[j];
+    x[i] = acc / a(i, i);
+  }
+  return x;
+}
+
+Result<Matrix> CholeskyFactor(const Matrix& a, double min_pivot) {
+  const size_t n = a.rows();
+  if (a.cols() != n) {
+    return Status::InvalidArgument("Cholesky: matrix not square");
+  }
+  Matrix l(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (!(diag > min_pivot)) {
+      return Status::Singular("Cholesky: non-positive pivot");
+    }
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    const double inv = 1.0 / ljj;
+    for (size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
+      l(i, j) = acc * inv;
+    }
+  }
+  return l;
+}
+
+std::vector<double> ForwardSubstitute(const Matrix& l,
+                                      const std::vector<double>& b) {
+  const size_t n = l.rows();
+  MSKETCH_CHECK(b.size() == n);
+  std::vector<double> y(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (size_t j = 0; j < i; ++j) acc -= l(i, j) * y[j];
+    y[i] = acc / l(i, i);
+  }
+  return y;
+}
+
+std::vector<double> BackSubstituteTranspose(const Matrix& l,
+                                            const std::vector<double>& y) {
+  const size_t n = l.rows();
+  MSKETCH_CHECK(y.size() == n);
+  std::vector<double> x(n, 0.0);
+  for (size_t i = n; i-- > 0;) {
+    double acc = y[i];
+    for (size_t j = i + 1; j < n; ++j) acc -= l(j, i) * x[j];
+    x[i] = acc / l(i, i);
+  }
+  return x;
+}
+
+std::vector<double> CholeskySolve(const Matrix& l,
+                                  const std::vector<double>& b) {
+  return BackSubstituteTranspose(l, ForwardSubstitute(l, b));
+}
+
+}  // namespace msketch

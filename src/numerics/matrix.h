@@ -1,0 +1,62 @@
+// Small dense linear algebra: row-major Matrix, LU and Cholesky
+// factorizations, and solvers.
+//
+// Problem sizes here are tiny (k <= ~20 moment constraints), so the
+// implementations favor clarity and numerical robustness over blocking.
+#ifndef MSKETCH_NUMERICS_MATRIX_H_
+#define MSKETCH_NUMERICS_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace msketch {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  double& operator()(size_t i, size_t j) { return data_[i * cols_ + j]; }
+  double operator()(size_t i, size_t j) const { return data_[i * cols_ + j]; }
+  const std::vector<double>& data() const { return data_; }
+
+  Matrix Transpose() const;
+  Matrix Multiply(const Matrix& other) const;
+  std::vector<double> MultiplyVec(const std::vector<double>& v) const;
+
+ private:
+  size_t rows_, cols_;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b by LU with partial pivoting. A must be square.
+Result<std::vector<double>> LuSolve(Matrix a, std::vector<double> b);
+
+/// Cholesky factorization of symmetric positive definite A: returns lower
+/// triangular L with A = L L^T, or Singular if a pivot drops below
+/// `min_pivot`.
+Result<Matrix> CholeskyFactor(const Matrix& a, double min_pivot = 0.0);
+
+/// Solves A x = b given the Cholesky factor L of A.
+std::vector<double> CholeskySolve(const Matrix& l,
+                                  const std::vector<double>& b);
+
+/// Solves L y = b (forward substitution, L lower triangular).
+std::vector<double> ForwardSubstitute(const Matrix& l,
+                                      const std::vector<double>& b);
+
+/// Solves L^T x = y (back substitution with the transpose of lower L).
+std::vector<double> BackSubstituteTranspose(const Matrix& l,
+                                            const std::vector<double>& y);
+
+}  // namespace msketch
+
+#endif  // MSKETCH_NUMERICS_MATRIX_H_

@@ -1,0 +1,70 @@
+// Unconstrained smooth convex minimization: damped Newton with backtracking
+// line search, and limited-memory BFGS.
+//
+// The maximum entropy potential L(theta) (Eq. 5 in the paper) is smooth and
+// convex; Newton with an exact (cheaply computed) Hessian is the paper's
+// "opt" solver, and L-BFGS is the first-order comparison in the lesion
+// study (Section 6.3).
+#ifndef MSKETCH_NUMERICS_OPTIM_H_
+#define MSKETCH_NUMERICS_OPTIM_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "numerics/matrix.h"
+
+namespace msketch {
+
+/// Objective oracle for second-order methods: fills value, gradient, and
+/// (for Newton) the Hessian at x.
+struct ObjectiveEval {
+  double value = 0.0;
+  std::vector<double> gradient;
+  Matrix hessian;  // empty unless requested
+};
+
+using ObjectiveFn =
+    std::function<void(const std::vector<double>& x, bool need_hessian,
+                       ObjectiveEval* out)>;
+
+struct NewtonOptions {
+  int max_iter = 200;
+  double grad_tol = 1e-9;         // max-norm of gradient at convergence
+  double armijo_c = 1e-4;         // sufficient-decrease constant
+  double backtrack = 0.5;         // step shrink factor
+  int max_backtracks = 60;
+  double ridge0 = 1e-10;          // initial ridge when Cholesky fails
+};
+
+struct OptimResult {
+  std::vector<double> x;
+  double value = 0.0;
+  double grad_norm = 0.0;
+  int iterations = 0;
+};
+
+/// Damped Newton: solve H d = -g (Cholesky, escalating ridge on failure),
+/// then Armijo backtracking. Converges when ||g||_inf <= grad_tol.
+Result<OptimResult> NewtonMinimize(const ObjectiveFn& objective,
+                                   std::vector<double> x0,
+                                   const NewtonOptions& options = {});
+
+struct LbfgsOptions {
+  int max_iter = 2000;
+  int history = 10;
+  double grad_tol = 1e-9;
+  double armijo_c = 1e-4;
+  double backtrack = 0.5;
+  int max_backtracks = 60;
+};
+
+/// L-BFGS with two-loop recursion and Armijo backtracking. The oracle is
+/// called with need_hessian = false.
+Result<OptimResult> LbfgsMinimize(const ObjectiveFn& objective,
+                                  std::vector<double> x0,
+                                  const LbfgsOptions& options = {});
+
+}  // namespace msketch
+
+#endif  // MSKETCH_NUMERICS_OPTIM_H_

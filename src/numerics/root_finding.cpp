@@ -1,0 +1,97 @@
+#include "numerics/root_finding.h"
+
+#include <cmath>
+
+namespace msketch {
+
+Result<double> BrentRoot(const std::function<double(double)>& f, double a,
+                         double b, double tol, int max_iter) {
+  double fa = f(a);
+  double fb = f(b);
+  if (fa == 0.0) return a;
+  if (fb == 0.0) return b;
+  if (fa * fb > 0.0) {
+    return Status::InvalidArgument("BrentRoot: endpoints do not bracket");
+  }
+  double c = a, fc = fa;
+  double d = b - a, e = d;
+  for (int iter = 0; iter < max_iter; ++iter) {
+    if (std::fabs(fc) < std::fabs(fb)) {
+      a = b; b = c; c = a;
+      fa = fb; fb = fc; fc = fa;
+    }
+    const double tol1 =
+        2.0 * 2.220446049250313e-16 * std::fabs(b) + 0.5 * tol;
+    const double xm = 0.5 * (c - b);
+    if (std::fabs(xm) <= tol1 || fb == 0.0) return b;
+    if (std::fabs(e) >= tol1 && std::fabs(fa) > std::fabs(fb)) {
+      // Attempt inverse quadratic interpolation / secant.
+      const double s = fb / fa;
+      double p, q;
+      if (a == c) {
+        p = 2.0 * xm * s;
+        q = 1.0 - s;
+      } else {
+        const double qq = fa / fc;
+        const double r = fb / fc;
+        p = s * (2.0 * xm * qq * (qq - r) - (b - a) * (r - 1.0));
+        q = (qq - 1.0) * (r - 1.0) * (s - 1.0);
+      }
+      if (p > 0.0) q = -q;
+      p = std::fabs(p);
+      const double min1 = 3.0 * xm * q - std::fabs(tol1 * q);
+      const double min2 = std::fabs(e * q);
+      if (2.0 * p < (min1 < min2 ? min1 : min2)) {
+        e = d;
+        d = p / q;
+      } else {
+        d = xm;
+        e = d;
+      }
+    } else {
+      d = xm;
+      e = d;
+    }
+    a = b;
+    fa = fb;
+    if (std::fabs(d) > tol1) {
+      b += d;
+    } else {
+      b += (xm >= 0.0 ? tol1 : -tol1);
+    }
+    fb = f(b);
+    if (fb * fc > 0.0) {
+      c = a;
+      fc = fa;
+      d = b - a;
+      e = d;
+    }
+  }
+  return Status::NotConverged("BrentRoot: max iterations");
+}
+
+std::vector<double> FindRealRoots(const std::function<double(double)>& f,
+                                  double a, double b, int samples,
+                                  double tol) {
+  std::vector<double> roots;
+  if (samples < 2 || !(a < b)) return roots;
+  const double h = (b - a) / static_cast<double>(samples);
+  double x0 = a;
+  double f0 = f(x0);
+  for (int i = 1; i <= samples; ++i) {
+    const double x1 = (i == samples) ? b : a + h * i;
+    const double f1 = f(x1);
+    if (f0 == 0.0) {
+      roots.push_back(x0);
+    } else if (f0 * f1 < 0.0) {
+      Result<double> r = BrentRoot(f, x0, x1, tol);
+      if (r.ok()) roots.push_back(r.value());
+    }
+    x0 = x1;
+    f0 = f1;
+  }
+  if (f0 == 0.0) roots.push_back(x0);
+  return roots;
+}
+
+}  // namespace msketch

@@ -1,0 +1,30 @@
+// Scalar root finding (Brent's method) and root bracketing helpers.
+//
+// Quantile extraction inverts the estimated CDF with Brent's method
+// (Section 4.2); the RTT bound locates the real roots of kernel polynomials
+// by sampling-based bracketing followed by Brent refinement.
+#ifndef MSKETCH_NUMERICS_ROOT_FINDING_H_
+#define MSKETCH_NUMERICS_ROOT_FINDING_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+
+namespace msketch {
+
+/// Brent's method on [a, b]; requires f(a) and f(b) of opposite sign (or one
+/// of them zero). Converges to |interval| <= `tol` or |f| == 0.
+Result<double> BrentRoot(const std::function<double(double)>& f, double a,
+                         double b, double tol = 1e-12, int max_iter = 200);
+
+/// Finds all sign-change brackets of f on [a, b] using `samples` uniform
+/// probes, then polishes each with Brent. Intended for functions with a
+/// modest number of simple real roots (e.g. kernel polynomials).
+std::vector<double> FindRealRoots(const std::function<double(double)>& f,
+                                  double a, double b, int samples = 512,
+                                  double tol = 1e-12);
+
+}  // namespace msketch
+
+#endif  // MSKETCH_NUMERICS_ROOT_FINDING_H_

@@ -1,0 +1,180 @@
+#include "numerics/simplex.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace msketch {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Tableau-based simplex core. Columns 0..ncols-1 are variables, last column
+// is the RHS. Row nrows-1 is the objective row (reduced costs). `basis[r]`
+// is the variable basic in row r.
+class Tableau {
+ public:
+  Tableau(size_t rows, size_t cols) : rows_(rows), cols_(cols),
+                                      t_(rows * cols, 0.0) {}
+  double& at(size_t r, size_t c) { return t_[r * cols_ + c]; }
+  double at(size_t r, size_t c) const { return t_[r * cols_ + c]; }
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  void Pivot(size_t pr, size_t pc) {
+    const double pivot = at(pr, pc);
+    MSKETCH_DCHECK(std::fabs(pivot) > kEps);
+    const double inv = 1.0 / pivot;
+    for (size_t c = 0; c < cols_; ++c) at(pr, c) *= inv;
+    for (size_t r = 0; r < rows_; ++r) {
+      if (r == pr) continue;
+      const double factor = at(r, pc);
+      if (factor == 0.0) continue;
+      for (size_t c = 0; c < cols_; ++c) {
+        at(r, c) -= factor * at(pr, c);
+      }
+      at(r, pc) = 0.0;  // keep the column numerically clean
+    }
+  }
+
+ private:
+  size_t rows_, cols_;
+  std::vector<double> t_;
+};
+
+// Runs simplex iterations on the tableau until optimal/unbounded/iteration
+// cap. `nvars` = number of eligible entering columns. Returns OK when the
+// objective row has no negative reduced cost.
+Status RunSimplex(Tableau* tab, std::vector<size_t>* basis, size_t nvars,
+                  int max_iter) {
+  const size_t obj = tab->rows() - 1;
+  const size_t rhs = tab->cols() - 1;
+  for (int iter = 0; iter < max_iter; ++iter) {
+    // Entering column: most negative reduced cost; Bland's rule on ties /
+    // after long runs to guarantee termination.
+    const bool bland = iter > max_iter / 2;
+    size_t enter = nvars;
+    double best = -kEps;
+    for (size_t c = 0; c < nvars; ++c) {
+      const double rc = tab->at(obj, c);
+      if (rc < -kEps) {
+        if (bland) {
+          enter = c;
+          break;
+        }
+        if (rc < best) {
+          best = rc;
+          enter = c;
+        }
+      }
+    }
+    if (enter == nvars) return Status::OK();  // optimal
+
+    // Leaving row: min ratio test.
+    size_t leave = obj;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (size_t r = 0; r < obj; ++r) {
+      const double a = tab->at(r, enter);
+      if (a > kEps) {
+        const double ratio = tab->at(r, rhs) / a;
+        if (ratio < best_ratio - kEps ||
+            (ratio < best_ratio + kEps && leave != obj &&
+             (*basis)[r] < (*basis)[leave])) {
+          best_ratio = ratio;
+          leave = r;
+        }
+      }
+    }
+    if (leave == obj) {
+      return Status::Infeasible("simplex: problem unbounded");
+    }
+    tab->Pivot(leave, enter);
+    (*basis)[leave] = enter;
+  }
+  return Status::NotConverged("simplex: iteration cap reached");
+}
+
+}  // namespace
+
+Result<LpSolution> SolveStandardFormLp(const Matrix& a,
+                                       const std::vector<double>& b,
+                                       const std::vector<double>& c,
+                                       int max_iter) {
+  const size_t m = a.rows();
+  const size_t n = a.cols();
+  if (b.size() != m || c.size() != n) {
+    return Status::InvalidArgument("LP: dimension mismatch");
+  }
+
+  // Phase 1: artificial variables, minimize their sum.
+  const size_t total = n + m;  // original + artificial
+  Tableau tab(m + 1, total + 1);
+  std::vector<size_t> basis(m);
+  for (size_t r = 0; r < m; ++r) {
+    const double sign = (b[r] < 0.0) ? -1.0 : 1.0;
+    for (size_t cidx = 0; cidx < n; ++cidx) {
+      tab.at(r, cidx) = sign * a(r, cidx);
+    }
+    tab.at(r, n + r) = 1.0;
+    tab.at(r, total) = sign * b[r];
+    basis[r] = n + r;
+  }
+  // Phase-1 objective: sum of artificials => reduced costs.
+  for (size_t cidx = 0; cidx <= total; ++cidx) {
+    double acc = 0.0;
+    for (size_t r = 0; r < m; ++r) acc -= tab.at(r, cidx);
+    tab.at(m, cidx) = acc;
+  }
+  for (size_t r = 0; r < m; ++r) tab.at(m, n + r) = 0.0;
+
+  MSKETCH_RETURN_NOT_OK(RunSimplex(&tab, &basis, total, max_iter));
+  if (tab.at(m, total) < -1e-6) {
+    return Status::Infeasible("LP: phase 1 objective positive");
+  }
+
+  // Drive leftover artificial variables out of the basis when possible.
+  for (size_t r = 0; r < m; ++r) {
+    if (basis[r] >= n) {
+      size_t enter = n;
+      for (size_t cidx = 0; cidx < n; ++cidx) {
+        if (std::fabs(tab.at(r, cidx)) > kEps) {
+          enter = cidx;
+          break;
+        }
+      }
+      if (enter < n) {
+        tab.Pivot(r, enter);
+        basis[r] = enter;
+      }
+      // Otherwise the row is redundant; keep the artificial at value ~0.
+    }
+  }
+
+  // Phase 2: real objective. Rebuild the objective row.
+  for (size_t cidx = 0; cidx <= total; ++cidx) tab.at(m, cidx) = 0.0;
+  for (size_t cidx = 0; cidx < n; ++cidx) tab.at(m, cidx) = c[cidx];
+  // Make reduced costs consistent with current basis.
+  for (size_t r = 0; r < m; ++r) {
+    if (basis[r] < n && std::fabs(tab.at(m, basis[r])) > 0.0) {
+      const double factor = tab.at(m, basis[r]);
+      for (size_t cidx = 0; cidx <= total; ++cidx) {
+        tab.at(m, cidx) -= factor * tab.at(r, cidx);
+      }
+    }
+  }
+  // Artificial columns are no longer eligible.
+  MSKETCH_RETURN_NOT_OK(RunSimplex(&tab, &basis, n, max_iter));
+
+  LpSolution sol;
+  sol.x.assign(n, 0.0);
+  for (size_t r = 0; r < m; ++r) {
+    if (basis[r] < n) sol.x[basis[r]] = tab.at(r, total);
+  }
+  sol.objective = 0.0;
+  for (size_t i = 0; i < n; ++i) sol.objective += c[i] * sol.x[i];
+  return sol;
+}
+
+}  // namespace msketch

@@ -1,0 +1,31 @@
+// Two-phase dense simplex for small linear programs.
+//
+// Used by the "cvx-min" lesion estimator (Section 6.3): minimize the maximum
+// density of a discretized distribution subject to moment-matching equality
+// constraints. Stands in for the generic SOCP solver (ECOS) the paper used.
+#ifndef MSKETCH_NUMERICS_SIMPLEX_H_
+#define MSKETCH_NUMERICS_SIMPLEX_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "numerics/matrix.h"
+
+namespace msketch {
+
+/// Solves:  minimize c^T x  subject to  A x = b,  x >= 0.
+/// Rows of A with negative b are flipped internally. Bland's rule guards
+/// against cycling.
+struct LpSolution {
+  std::vector<double> x;
+  double objective = 0.0;
+};
+
+Result<LpSolution> SolveStandardFormLp(const Matrix& a,
+                                       const std::vector<double>& b,
+                                       const std::vector<double>& c,
+                                       int max_iter = 200000);
+
+}  // namespace msketch
+
+#endif  // MSKETCH_NUMERICS_SIMPLEX_H_

@@ -1,0 +1,143 @@
+#include "numerics/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace msketch {
+
+Descriptive DescribeData(const std::vector<double>& data) {
+  Descriptive d;
+  d.count = data.size();
+  if (data.empty()) return d;
+  d.min = data[0];
+  d.max = data[0];
+  double sum = 0.0;
+  for (double x : data) {
+    d.min = std::min(d.min, x);
+    d.max = std::max(d.max, x);
+    sum += x;
+  }
+  d.mean = sum / static_cast<double>(d.count);
+  double m2 = 0.0, m3 = 0.0;
+  for (double x : data) {
+    const double c = x - d.mean;
+    m2 += c * c;
+    m3 += c * c * c;
+  }
+  m2 /= static_cast<double>(d.count);
+  m3 /= static_cast<double>(d.count);
+  d.stddev = std::sqrt(m2);
+  d.skew = (m2 > 0.0) ? m3 / (m2 * std::sqrt(m2)) : 0.0;
+  return d;
+}
+
+double QuantileOfSorted(const std::vector<double>& sorted, double phi) {
+  MSKETCH_CHECK(!sorted.empty());
+  const double n = static_cast<double>(sorted.size());
+  size_t rank = static_cast<size_t>(std::floor(phi * n));
+  if (rank >= sorted.size()) rank = sorted.size() - 1;
+  return sorted[rank];
+}
+
+uint64_t RankOfSorted(const std::vector<double>& sorted, double x) {
+  return static_cast<uint64_t>(
+      std::lower_bound(sorted.begin(), sorted.end(), x) - sorted.begin());
+}
+
+double QuantileError(const std::vector<double>& sorted, double phi,
+                     double estimate) {
+  MSKETCH_CHECK(!sorted.empty());
+  const double n = static_cast<double>(sorted.size());
+  const double target = std::floor(phi * n);
+  const double rank = static_cast<double>(RankOfSorted(sorted, estimate));
+  return std::fabs(rank - target) / n;
+}
+
+double MeanQuantileError(const std::vector<double>& sorted,
+                         const std::vector<double>& estimates,
+                         const std::vector<double>& phis) {
+  MSKETCH_CHECK(estimates.size() == phis.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < phis.size(); ++i) {
+    acc += QuantileError(sorted, phis[i], estimates[i]);
+  }
+  return phis.empty() ? 0.0 : acc / static_cast<double>(phis.size());
+}
+
+std::vector<double> DefaultPhiGrid() {
+  std::vector<double> phis(21);
+  for (int i = 0; i < 21; ++i) {
+    phis[i] = 0.01 + (0.99 - 0.01) * static_cast<double>(i) / 20.0;
+  }
+  return phis;
+}
+
+double NormalQuantile(double p) {
+  MSKETCH_CHECK(p > 0.0 && p < 1.0);
+  // Acklam's algorithm.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  double q, r;
+  if (p < plow) {
+    q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - plow) {
+    q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  q = p - 0.5;
+  r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+          a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+double LogGamma(double x) {
+  // Lanczos approximation (g = 7, n = 9).
+  static const double coeffs[] = {
+      0.99999999999980993,  676.5203681218851,   -1259.1392167224028,
+      771.32342877765313,   -176.61502916214059, 12.507343278686905,
+      -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+  if (x < 0.5) {
+    // Reflection formula.
+    return std::log(M_PI / std::sin(M_PI * x)) - LogGamma(1.0 - x);
+  }
+  x -= 1.0;
+  double a = coeffs[0];
+  const double t = x + 7.5;
+  for (int i = 1; i < 9; ++i) a += coeffs[i] / (x + i);
+  return 0.5 * std::log(2.0 * M_PI) + (x + 0.5) * std::log(t) - t +
+         std::log(a);
+}
+
+double BinomialCoefficient(int n, int k) {
+  MSKETCH_CHECK(n >= 0 && k >= 0);
+  if (k > n) return 0.0;
+  if (k > n - k) k = n - k;
+  double result = 1.0;
+  for (int i = 0; i < k; ++i) {
+    result = result * static_cast<double>(n - i) /
+             static_cast<double>(i + 1);
+  }
+  return result;
+}
+
+}  // namespace msketch

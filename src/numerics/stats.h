@@ -1,0 +1,55 @@
+// Descriptive statistics, quantile utilities, and special functions used
+// across the evaluation harness.
+#ifndef MSKETCH_NUMERICS_STATS_H_
+#define MSKETCH_NUMERICS_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace msketch {
+
+struct Descriptive {
+  uint64_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double skew = 0.0;
+};
+
+/// One-pass descriptive statistics (population stddev / skewness).
+Descriptive DescribeData(const std::vector<double>& data);
+
+/// phi-quantile of *sorted* data with rank floor(phi * n), matching the
+/// paper's Section 3.1 definition.
+double QuantileOfSorted(const std::vector<double>& sorted, double phi);
+
+/// rank(x) = number of elements < x in sorted data (binary search).
+uint64_t RankOfSorted(const std::vector<double>& sorted, double x);
+
+/// Quantile error epsilon = |rank(q_hat) - floor(phi n)| / n  (Eq. 1).
+double QuantileError(const std::vector<double>& sorted, double phi,
+                     double estimate);
+
+/// Mean quantile error over `num_phis` equally spaced phis in
+/// [phi_lo, phi_hi] (the paper uses 21 phis in [0.01, 0.99]).
+double MeanQuantileError(const std::vector<double>& sorted,
+                         const std::vector<double>& estimates,
+                         const std::vector<double>& phis);
+
+/// 21 equally spaced phi values in [0.01, 0.99] (the paper's grid).
+std::vector<double> DefaultPhiGrid();
+
+/// Inverse standard normal CDF (Acklam's rational approximation, |eps| ~
+/// 1e-9; sufficient for the "gaussian" lesion estimator).
+double NormalQuantile(double p);
+
+/// ln Gamma(x) (Lanczos); used by generators and closed-form estimators.
+double LogGamma(double x);
+
+/// Binomial coefficient as double (exact for n <= 50-ish).
+double BinomialCoefficient(int n, int k);
+
+}  // namespace msketch
+
+#endif  // MSKETCH_NUMERICS_STATS_H_

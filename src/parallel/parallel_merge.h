@@ -1,0 +1,51 @@
+// Parallel sharded merging (Appendix F): partitions a collection of
+// summaries across worker threads, merges each shard independently, then
+// combines the per-thread partials sequentially. Merges are independent,
+// so single-threaded merge throughput is predictive of parallel behavior.
+#ifndef MSKETCH_PARALLEL_PARALLEL_MERGE_H_
+#define MSKETCH_PARALLEL_PARALLEL_MERGE_H_
+
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace msketch {
+
+template <typename Summary>
+Summary ParallelMerge(const std::vector<Summary>& parts, int threads) {
+  MSKETCH_CHECK(!parts.empty());
+  MSKETCH_CHECK(threads >= 1);
+  if (threads == 1 || parts.size() < 2 * static_cast<size_t>(threads)) {
+    Summary out = parts[0].CloneEmpty();
+    for (const Summary& p : parts) {
+      MSKETCH_CHECK(out.Merge(p).ok());
+    }
+    return out;
+  }
+  std::vector<Summary> partials;
+  partials.reserve(threads);
+  for (int t = 0; t < threads; ++t) partials.push_back(parts[0].CloneEmpty());
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  const size_t shard = (parts.size() + threads - 1) / threads;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t]() {
+      const size_t begin = static_cast<size_t>(t) * shard;
+      const size_t end = std::min(parts.size(), begin + shard);
+      for (size_t i = begin; i < end; ++i) {
+        MSKETCH_CHECK(partials[t].Merge(parts[i]).ok());
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  Summary out = parts[0].CloneEmpty();
+  for (const Summary& p : partials) {
+    MSKETCH_CHECK(out.Merge(p).ok());
+  }
+  return out;
+}
+
+}  // namespace msketch
+
+#endif  // MSKETCH_PARALLEL_PARALLEL_MERGE_H_

@@ -1,0 +1,126 @@
+#include "sketches/buffer_hierarchy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace msketch {
+
+BufferHierarchySketch::BufferHierarchySketch(int k, CollapseRule rule,
+                                             uint64_t seed)
+    : k_(k), rule_(rule), rng_seed_(seed), rng_(seed) {
+  MSKETCH_CHECK(k >= 2);
+  MSKETCH_CHECK(k % 2 == 0);
+  base_.reserve(2 * static_cast<size_t>(k));
+}
+
+void BufferHierarchySketch::Accumulate(double x) {
+  base_.push_back(x);
+  ++count_;
+  if (base_.size() >= 2 * static_cast<size_t>(k_)) FlushBase();
+}
+
+void BufferHierarchySketch::FlushBase() {
+  MSKETCH_DCHECK(base_.size() == 2 * static_cast<size_t>(k_));
+  std::sort(base_.begin(), base_.end());
+  // Split the sorted 2k buffer into two k-buffers and collapse them into a
+  // level-1 buffer (each element weight 2).
+  std::vector<double> lo(base_.begin(), base_.begin() + k_);
+  std::vector<double> hi(base_.begin() + k_, base_.end());
+  base_.clear();
+  PushLevel(Collapse(lo, hi), 1);
+}
+
+std::vector<double> BufferHierarchySketch::Collapse(
+    const std::vector<double>& a, const std::vector<double>& b) {
+  MSKETCH_DCHECK(a.size() == static_cast<size_t>(k_));
+  MSKETCH_DCHECK(b.size() == static_cast<size_t>(k_));
+  std::vector<double> merged(2 * static_cast<size_t>(k_));
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), merged.begin());
+  std::vector<double> out;
+  out.reserve(k_);
+  if (rule_ == CollapseRule::kLowDiscrepancyZip) {
+    const size_t offset = rng_.NextU64() & 1;
+    for (size_t i = offset; i < merged.size(); i += 2) {
+      out.push_back(merged[i]);
+    }
+  } else {
+    for (size_t i = 0; i + 1 < merged.size(); i += 2) {
+      out.push_back(merged[i + (rng_.NextU64() & 1)]);
+    }
+  }
+  return out;
+}
+
+void BufferHierarchySketch::PushLevel(std::vector<double> buf, size_t level) {
+  while (true) {
+    if (levels_.size() <= level) levels_.resize(level + 1);
+    if (levels_[level].empty()) {
+      levels_[level] = std::move(buf);
+      return;
+    }
+    std::vector<double> existing = std::move(levels_[level]);
+    levels_[level].clear();
+    buf = Collapse(existing, buf);
+    ++level;
+  }
+}
+
+Status BufferHierarchySketch::Merge(const BufferHierarchySketch& other) {
+  if (other.k_ != k_ || other.rule_ != rule_) {
+    return Status::InvalidArgument("BufferHierarchySketch: mismatched params");
+  }
+  count_ += other.count_;
+  // Note count_ was already advanced; Accumulate below would double count,
+  // so insert raw base elements manually.
+  for (double x : other.base_) {
+    base_.push_back(x);
+    if (base_.size() >= 2 * static_cast<size_t>(k_)) FlushBase();
+  }
+  for (size_t level = 1; level < other.levels_.size(); ++level) {
+    if (!other.levels_[level].empty()) {
+      PushLevel(other.levels_[level], level);
+    }
+  }
+  return Status::OK();
+}
+
+Result<double> BufferHierarchySketch::EstimateQuantile(double phi) const {
+  if (count_ == 0) {
+    return Status::InvalidArgument("EstimateQuantile on empty summary");
+  }
+  // Weighted rank scan over base buffer (weight 1) and level buffers
+  // (weight 2^level).
+  std::vector<std::pair<double, double>> weighted;
+  weighted.reserve(base_.size() + levels_.size() * k_);
+  for (double x : base_) weighted.emplace_back(x, 1.0);
+  for (size_t level = 1; level < levels_.size(); ++level) {
+    const double w = std::ldexp(1.0, static_cast<int>(level - 1)) * 2.0;
+    for (double x : levels_[level]) weighted.emplace_back(x, w);
+  }
+  if (weighted.empty()) {
+    return Status::Internal("BufferHierarchySketch: no stored elements");
+  }
+  std::sort(weighted.begin(), weighted.end());
+  double total = 0.0;
+  for (const auto& [x, w] : weighted) total += w;
+  const double target = phi * total;
+  double acc = 0.0;
+  for (const auto& [x, w] : weighted) {
+    acc += w;
+    if (acc >= target) return x;
+  }
+  return weighted.back().first;
+}
+
+size_t BufferHierarchySketch::SizeBytes() const {
+  // Serialized form: k, rule, count, base buffer, one bitmap of occupied
+  // levels plus the level payloads. We charge capacity for the base buffer
+  // (it is part of the in-memory footprint that merges touch).
+  size_t doubles = 2 * static_cast<size_t>(k_);
+  for (const auto& level : levels_) doubles += level.size();
+  return sizeof(uint64_t) * 2 + sizeof(uint32_t) + doubles * sizeof(double);
+}
+
+}  // namespace msketch

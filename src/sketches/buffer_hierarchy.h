@@ -1,0 +1,75 @@
+// Buffer-hierarchy mergeable quantile summaries: the low-discrepancy
+// "Merge12" sketch of Agarwal et al. (PODS 2012) and the "Random" sketch
+// benchmarked by Wang/Luo et al., which the paper uses as its strongest
+// mergeable baselines (RandomW).
+//
+// Both maintain a base buffer plus a hierarchy of level buffers of k
+// elements; a buffer at level i represents each stored element with weight
+// 2^i. Two same-level buffers collapse by merge-sorting their 2k elements
+// and keeping k of them:
+//   - Merge12 keeps every other element starting from one random parity
+//     ("randomized zip"; low discrepancy, anti-correlated),
+//   - Random keeps one uniformly random element of each consecutive pair
+//     (independent per pair).
+#ifndef MSKETCH_SKETCHES_BUFFER_HIERARCHY_H_
+#define MSKETCH_SKETCHES_BUFFER_HIERARCHY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace msketch {
+
+enum class CollapseRule {
+  kLowDiscrepancyZip,  // Merge12
+  kPerPairRandom,      // RandomW
+};
+
+class BufferHierarchySketch {
+ public:
+  /// `k`: elements per level buffer (the paper's Table 2 uses k=32 for
+  /// Merge12); base buffer holds 2k raw elements.
+  BufferHierarchySketch(int k, CollapseRule rule, uint64_t seed = 0xB0FFE2);
+
+  void Accumulate(double x);
+  Status Merge(const BufferHierarchySketch& other);
+  Result<double> EstimateQuantile(double phi) const;
+
+  uint64_t count() const { return count_; }
+  size_t SizeBytes() const;
+  int k() const { return k_; }
+
+  BufferHierarchySketch CloneEmpty() const {
+    return BufferHierarchySketch(k_, rule_, rng_seed_ + 1);
+  }
+
+ private:
+  void FlushBase();
+  // Pushes a sorted k-element buffer into level `level`, collapsing upward.
+  void PushLevel(std::vector<double> buf, size_t level);
+  std::vector<double> Collapse(const std::vector<double>& a,
+                               const std::vector<double>& b);
+
+  int k_;
+  CollapseRule rule_;
+  uint64_t rng_seed_;
+  Rng rng_;
+  uint64_t count_ = 0;
+  std::vector<double> base_;                     // unsorted, size < 2k
+  std::vector<std::vector<double>> levels_;      // levels_[i]: empty or k
+};
+
+/// Factory helpers matching the paper's names.
+inline BufferHierarchySketch MakeMerge12(int k, uint64_t seed = 0xB0FFE2) {
+  return BufferHierarchySketch(k, CollapseRule::kLowDiscrepancyZip, seed);
+}
+inline BufferHierarchySketch MakeRandomW(int k, uint64_t seed = 0xB0FFE2) {
+  return BufferHierarchySketch(k, CollapseRule::kPerPairRandom, seed);
+}
+
+}  // namespace msketch
+
+#endif  // MSKETCH_SKETCHES_BUFFER_HIERARCHY_H_

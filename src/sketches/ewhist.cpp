@@ -1,0 +1,180 @@
+#include "sketches/ewhist.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace msketch {
+
+EwHist::EwHist(size_t bins) : bins_(bins) {
+  MSKETCH_CHECK(bins >= 2);
+  counts_.assign(bins, 0);
+}
+
+int64_t EwHist::BinIndexOf(double x) const {
+  return static_cast<int64_t>(std::floor(x / width_));
+}
+
+void EwHist::WidenOnce() {
+  // Realign start_ to an even global index by extending one bin left.
+  if (start_ % 2 != 0) {
+    // Shift contents right by one; drop nothing (the rightmost bin must be
+    // empty for this to be exact, which CoverValue guarantees by widening
+    // before the window is full at the edges; if not, we fold it into the
+    // new last bin after pairing).
+    counts_.insert(counts_.begin(), 0);
+    --start_;
+  }
+  std::vector<uint64_t> next((counts_.size() + 1) / 2, 0);
+  for (size_t i = 0; i < counts_.size(); ++i) next[i / 2] += counts_[i];
+  next.resize(bins_, 0);
+  counts_ = std::move(next);
+  start_ /= 2;
+  width_ *= 2.0;
+}
+
+void EwHist::CoverValue(double x) {
+  if (!initialized_) {
+    // Pick an initial width so typical data lands mid-range; anchored at
+    // global index multiples so merges stay exact.
+    double w = 1.0;
+    const double mag = std::fabs(x);
+    if (mag > 0.0) {
+      w = std::ldexp(1.0, static_cast<int>(std::ceil(
+                              std::log2(std::max(mag / bins_, 1e-300)))));
+      if (w <= 0.0 || !std::isfinite(w)) w = 1.0;
+    }
+    width_ = w;
+    start_ = static_cast<int64_t>(std::floor(x / width_)) -
+             static_cast<int64_t>(bins_ / 2);
+    initialized_ = true;
+    min_ = max_ = x;
+    return;
+  }
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+  // Widen until the bin index fits in [start_, start_ + bins_).
+  for (int guard = 0; guard < 2048; ++guard) {
+    const int64_t idx = BinIndexOf(x);
+    if (idx >= start_ && idx < start_ + static_cast<int64_t>(bins_)) return;
+    // Try sliding the window if the occupied span allows it; otherwise
+    // widen. Sliding is only exact when the vacated bins are empty.
+    size_t lo = 0, hi = counts_.size();
+    while (lo < counts_.size() && counts_[lo] == 0) ++lo;
+    while (hi > lo && counts_[hi - 1] == 0) --hi;
+    if (lo == hi) {  // all empty: recenter outright
+      start_ = idx - static_cast<int64_t>(bins_ / 2);
+      return;
+    }
+    const int64_t occ_lo = start_ + static_cast<int64_t>(lo);
+    const int64_t occ_hi = start_ + static_cast<int64_t>(hi);  // exclusive
+    const int64_t span = std::max(occ_hi, idx + 1) - std::min(occ_lo, idx);
+    if (span <= static_cast<int64_t>(bins_)) {
+      // Slide window to cover [min(occ_lo, idx), ...).
+      const int64_t new_start = std::min(occ_lo, idx);
+      std::vector<uint64_t> next(bins_, 0);
+      for (size_t i = lo; i < hi; ++i) {
+        next[static_cast<size_t>(start_ + static_cast<int64_t>(i) -
+                                 new_start)] = counts_[i];
+      }
+      counts_ = std::move(next);
+      start_ = new_start;
+      return;
+    }
+    WidenOnce();
+  }
+  MSKETCH_CHECK_MSG(false, "EwHist::CoverValue failed to converge");
+}
+
+void EwHist::Accumulate(double x) {
+  CoverValue(x);
+  ++count_;
+  const int64_t idx = BinIndexOf(x) - start_;
+  MSKETCH_DCHECK(idx >= 0 && idx < static_cast<int64_t>(bins_));
+  ++counts_[static_cast<size_t>(idx)];
+}
+
+Status EwHist::Merge(const EwHist& other) {
+  if (other.count_ == 0) return Status::OK();
+  if (count_ == 0) {
+    *this = other;
+    return Status::OK();
+  }
+  if (other.bins_ != bins_) {
+    return Status::InvalidArgument("EwHist: mismatched bin counts");
+  }
+  EwHist o = other;
+  // Equalize widths.
+  while (width_ < o.width_) WidenOnce();
+  while (o.width_ < width_) o.WidenOnce();
+  // Expand until both occupied ranges fit one window.
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+  for (int guard = 0; guard < 2048; ++guard) {
+    // Occupied global ranges.
+    auto occupied = [](const EwHist& h, int64_t* lo, int64_t* hi) {
+      size_t l = 0, r = h.counts_.size();
+      while (l < h.counts_.size() && h.counts_[l] == 0) ++l;
+      while (r > l && h.counts_[r - 1] == 0) --r;
+      *lo = h.start_ + static_cast<int64_t>(l);
+      *hi = h.start_ + static_cast<int64_t>(r);
+    };
+    int64_t alo, ahi, blo, bhi;
+    occupied(*this, &alo, &ahi);
+    occupied(o, &blo, &bhi);
+    const int64_t lo = std::min(alo, blo);
+    const int64_t hi = std::max(ahi, bhi);
+    if (hi - lo <= static_cast<int64_t>(bins_)) {
+      // Rebase self to [lo, lo + bins) and add counts.
+      std::vector<uint64_t> next(bins_, 0);
+      for (size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] == 0) continue;
+        next[static_cast<size_t>(start_ + static_cast<int64_t>(i) - lo)] +=
+            counts_[i];
+      }
+      for (size_t i = 0; i < o.counts_.size(); ++i) {
+        if (o.counts_[i] == 0) continue;
+        next[static_cast<size_t>(o.start_ + static_cast<int64_t>(i) - lo)] +=
+            o.counts_[i];
+      }
+      counts_ = std::move(next);
+      start_ = lo;
+      count_ += o.count_;
+      return Status::OK();
+    }
+    WidenOnce();
+    o.WidenOnce();
+  }
+  return Status::Internal("EwHist::Merge failed to align ranges");
+}
+
+Result<double> EwHist::EstimateQuantile(double phi) const {
+  if (count_ == 0) {
+    return Status::InvalidArgument("EstimateQuantile on empty summary");
+  }
+  const double target = phi * static_cast<double>(count_);
+  double acc = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double next = acc + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      // Uniform interpolation within the bin, clamped to observed range.
+      const double lo = static_cast<double>(start_ + static_cast<int64_t>(i)) *
+                        width_;
+      const double frac =
+          (target - acc) / static_cast<double>(counts_[i]);
+      const double v = lo + frac * width_;
+      return std::clamp(v, min_, max_);
+    }
+    acc = next;
+  }
+  return max_;
+}
+
+size_t EwHist::SizeBytes() const {
+  return bins_ * sizeof(double) + 2 * sizeof(double) + sizeof(int64_t) +
+         sizeof(uint64_t);
+}
+
+}  // namespace msketch

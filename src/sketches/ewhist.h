@@ -1,0 +1,52 @@
+// Mergeable equi-width histogram with power-of-two range growth
+// ("EW-Hist", Rabkin et al. NSDI 2014; the paper's fastest-but-least-
+// accurate baseline).
+//
+// Bins have width 2^j anchored at integer multiples of the width, so two
+// histograms always share compatible boundaries after widening to a common
+// scale — merges and range growth are exact rebinning operations.
+#ifndef MSKETCH_SKETCHES_EWHIST_H_
+#define MSKETCH_SKETCHES_EWHIST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace msketch {
+
+class EwHist {
+ public:
+  explicit EwHist(size_t bins);
+
+  void Accumulate(double x);
+  Status Merge(const EwHist& other);
+  Result<double> EstimateQuantile(double phi) const;
+
+  uint64_t count() const { return count_; }
+  size_t SizeBytes() const;
+  size_t bins() const { return bins_; }
+  double bin_width() const { return width_; }
+
+  EwHist CloneEmpty() const { return EwHist(bins_); }
+
+ private:
+  // Doubles the bin width, combining pairs of bins (start index realigned
+  // to even multiples first).
+  void WidenOnce();
+  // Grows range/width until x falls inside the covered window.
+  void CoverValue(double x);
+  int64_t BinIndexOf(double x) const;  // global index floor(x / width_)
+
+  size_t bins_;
+  uint64_t count_ = 0;
+  double width_ = 1.0;
+  int64_t start_ = 0;  // counts_[i] covers [ (start_+i) w, (start_+i+1) w )
+  std::vector<uint64_t> counts_;
+  bool initialized_ = false;
+  double min_ = 0.0, max_ = 0.0;
+};
+
+}  // namespace msketch
+
+#endif  // MSKETCH_SKETCHES_EWHIST_H_

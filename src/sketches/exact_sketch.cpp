@@ -1,0 +1,31 @@
+#include "sketches/exact_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numerics/stats.h"
+
+namespace msketch {
+
+Status ExactSketch::Merge(const ExactSketch& other) {
+  data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+  sorted_ = false;
+  return Status::OK();
+}
+
+const std::vector<double>& ExactSketch::SortedData() const {
+  if (!sorted_) {
+    std::sort(data_.begin(), data_.end());
+    sorted_ = true;
+  }
+  return data_;
+}
+
+Result<double> ExactSketch::EstimateQuantile(double phi) const {
+  if (data_.empty()) {
+    return Status::InvalidArgument("EstimateQuantile on empty summary");
+  }
+  return QuantileOfSorted(SortedData(), phi);
+}
+
+}  // namespace msketch

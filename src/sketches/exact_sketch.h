@@ -1,0 +1,39 @@
+// Exact quantiles by retaining all values. Ground truth for accuracy
+// evaluation and the paper's "sorting the dataset" baseline.
+#ifndef MSKETCH_SKETCHES_EXACT_SKETCH_H_
+#define MSKETCH_SKETCHES_EXACT_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace msketch {
+
+class ExactSketch {
+ public:
+  ExactSketch() = default;
+
+  void Accumulate(double x) {
+    data_.push_back(x);
+    sorted_ = false;
+  }
+  Status Merge(const ExactSketch& other);
+  Result<double> EstimateQuantile(double phi) const;
+
+  uint64_t count() const { return data_.size(); }
+  size_t SizeBytes() const { return data_.size() * sizeof(double); }
+
+  ExactSketch CloneEmpty() const { return ExactSketch(); }
+
+  /// Sorted view (sorts lazily).
+  const std::vector<double>& SortedData() const;
+
+ private:
+  mutable std::vector<double> data_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace msketch
+
+#endif  // MSKETCH_SKETCHES_EXACT_SKETCH_H_

@@ -1,0 +1,145 @@
+#include "sketches/gk_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace msketch {
+
+namespace {
+constexpr size_t kBufferCap = 64;
+}
+
+GkSketch::GkSketch(double epsilon) : epsilon_(epsilon) {
+  MSKETCH_CHECK(epsilon > 0.0 && epsilon < 1.0);
+  buffer_.reserve(kBufferCap);
+}
+
+void GkSketch::Accumulate(double x) {
+  buffer_.push_back(x);
+  ++count_;
+  if (buffer_.size() >= kBufferCap) {
+    FlushBuffer();
+    Compress();
+  }
+}
+
+void GkSketch::FlushBuffer() const {
+  if (buffer_.empty()) return;
+  std::sort(buffer_.begin(), buffer_.end());
+  std::vector<Entry> merged;
+  merged.reserve(entries_.size() + buffer_.size());
+  const uint64_t delta_new = static_cast<uint64_t>(
+      std::floor(2.0 * epsilon_ * static_cast<double>(count_)));
+  size_t ei = 0;
+  for (double x : buffer_) {
+    while (ei < entries_.size() && entries_[ei].v < x) {
+      merged.push_back(entries_[ei++]);
+    }
+    // New elements at the extremes must have exact rank (delta = 0).
+    const bool extreme =
+        (merged.empty() && (ei == 0)) ||
+        (ei == entries_.size() &&
+         (merged.empty() || x >= merged.back().v));
+    merged.push_back(Entry{x, 1, extreme ? 0 : delta_new});
+  }
+  while (ei < entries_.size()) merged.push_back(entries_[ei++]);
+  entries_ = std::move(merged);
+  buffer_.clear();
+}
+
+void GkSketch::Compress() {
+  if (entries_.size() < 3) return;
+  const double threshold = 2.0 * epsilon_ * static_cast<double>(count_);
+  std::vector<Entry> out;
+  out.reserve(entries_.size());
+  out.push_back(entries_.front());
+  // Greedily fold entry i into its successor when the combined uncertainty
+  // stays under 2 eps n; always retain the first and last entries.
+  uint64_t pending_g = 0;
+  for (size_t i = 1; i + 1 < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    const Entry& next = entries_[i + 1];
+    const double combined = static_cast<double>(pending_g + e.g + next.g) +
+                            static_cast<double>(next.delta);
+    if (combined <= threshold) {
+      pending_g += e.g;  // fold into the next entry
+    } else {
+      out.push_back(Entry{e.v, e.g + pending_g, e.delta});
+      pending_g = 0;
+    }
+  }
+  Entry last = entries_.back();
+  last.g += pending_g;
+  out.push_back(last);
+  entries_ = std::move(out);
+}
+
+Status GkSketch::Merge(const GkSketch& other) {
+  other.FlushBuffer();
+  FlushBuffer();
+  // Standard mergeable-GK combine (Greenwald-Khanna; see Agarwal et al.
+  // 2012): tuple lists merge by value, and a tuple absorbs the rank
+  // uncertainty of the *next* tuple from the opposite summary:
+  //   delta' = delta + (g_next_other + delta_next_other - 1).
+  // The merged summary has error eps1 + eps2, so repeated merging grows
+  // the structure — the pathology the paper observes on production
+  // workloads (Section 6.1, Appendix D.4).
+  std::vector<Entry> merged;
+  merged.reserve(entries_.size() + other.entries_.size());
+  size_t i = 0, j = 0;
+  auto next_uncertainty = [](const std::vector<Entry>& list, size_t pos) {
+    if (pos >= list.size()) return static_cast<uint64_t>(0);
+    const uint64_t u = list[pos].g + list[pos].delta;
+    return u > 0 ? u - 1 : 0;
+  };
+  while (i < entries_.size() || j < other.entries_.size()) {
+    bool take_self;
+    if (i >= entries_.size()) {
+      take_self = false;
+    } else if (j >= other.entries_.size()) {
+      take_self = true;
+    } else {
+      take_self = entries_[i].v <= other.entries_[j].v;
+    }
+    if (take_self) {
+      Entry e = entries_[i++];
+      e.delta += next_uncertainty(other.entries_, j);
+      merged.push_back(e);
+    } else {
+      Entry e = other.entries_[j++];
+      e.delta += next_uncertainty(entries_, i);
+      merged.push_back(e);
+    }
+  }
+  entries_ = std::move(merged);
+  count_ += other.count_;
+  Compress();
+  return Status::OK();
+}
+
+Result<double> GkSketch::EstimateQuantile(double phi) const {
+  FlushBuffer();
+  if (entries_.empty()) {
+    return Status::InvalidArgument("EstimateQuantile on empty summary");
+  }
+  const double target = phi * static_cast<double>(count_);
+  uint64_t rmin = 0;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    rmin += entries_[i].g;
+    const double rmax = static_cast<double>(rmin + entries_[i].delta);
+    if (0.5 * (static_cast<double>(rmin) + rmax) >= target) {
+      return entries_[i].v;
+    }
+  }
+  return entries_.back().v;
+}
+
+size_t GkSketch::SizeBytes() const {
+  FlushBuffer();
+  return entries_.size() * (sizeof(double) + 2 * sizeof(uint32_t)) +
+         sizeof(uint64_t);
+}
+
+}  // namespace msketch

@@ -1,0 +1,54 @@
+// Greenwald-Khanna quantile summary, "GKArray" variant (Luo, Wang, Yi,
+// Cormode, VLDB J. 2016).
+//
+// Stores tuples (v, g, delta) with the invariant that the rank of v_i lies
+// in [sum_{j<=i} g_j, sum_{j<=i} g_j + delta_i]. Inserts are buffered and
+// batch-merged. GK is not strictly mergeable (Agarwal et al. 2012): merges
+// concatenate tuple lists and the summary grows, which is exactly the
+// pathology the paper observes in its production benchmarks.
+#ifndef MSKETCH_SKETCHES_GK_SKETCH_H_
+#define MSKETCH_SKETCHES_GK_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace msketch {
+
+class GkSketch {
+ public:
+  /// `epsilon`: target rank-error fraction (Table 2 uses 1/40 .. 1/60).
+  explicit GkSketch(double epsilon);
+
+  void Accumulate(double x);
+  Status Merge(const GkSketch& other);
+  Result<double> EstimateQuantile(double phi) const;
+
+  uint64_t count() const { return count_; }
+  size_t SizeBytes() const;
+  double epsilon() const { return epsilon_; }
+  size_t num_tuples() const { return entries_.size(); }
+
+  GkSketch CloneEmpty() const { return GkSketch(epsilon_); }
+
+ private:
+  struct Entry {
+    double v;
+    uint64_t g;
+    uint64_t delta;
+  };
+
+  void FlushBuffer() const;  // logically const: summary state is deferred
+  void Compress();
+
+  double epsilon_;
+  uint64_t count_ = 0;
+  // Mutable: estimation flushes pending inserts first.
+  mutable std::vector<Entry> entries_;  // sorted by v
+  mutable std::vector<double> buffer_;
+};
+
+}  // namespace msketch
+
+#endif  // MSKETCH_SKETCHES_GK_SKETCH_H_

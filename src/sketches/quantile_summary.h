@@ -1,0 +1,92 @@
+// Abstract interface shared by all mergeable quantile summaries in the
+// evaluation (Section 6.1 of the paper), plus an adapter that wraps the
+// concrete sketch types.
+//
+// Hot paths (merge loops in benchmarks) use the concrete types directly;
+// the virtual interface exists for the generic accuracy/size harnesses
+// where a virtual dispatch is noise.
+#ifndef MSKETCH_SKETCHES_QUANTILE_SUMMARY_H_
+#define MSKETCH_SKETCHES_QUANTILE_SUMMARY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace msketch {
+
+class QuantileSummary {
+ public:
+  virtual ~QuantileSummary() = default;
+
+  /// Adds one element.
+  virtual void Accumulate(double x) = 0;
+
+  /// Merges another summary of the same concrete type and parameters.
+  virtual Status Merge(const QuantileSummary& other) = 0;
+
+  /// Estimates the phi-quantile, phi in (0, 1).
+  virtual Result<double> EstimateQuantile(double phi) const = 0;
+
+  /// Number of accumulated elements.
+  virtual uint64_t count() const = 0;
+
+  /// Approximate serialized footprint in bytes (what the paper reports as
+  /// summary size).
+  virtual size_t SizeBytes() const = 0;
+
+  /// Short identifier used in benchmark tables (e.g. "GK", "T-Digest").
+  virtual std::string Name() const = 0;
+
+  /// Fresh empty summary with identical parameters.
+  virtual std::unique_ptr<QuantileSummary> CloneEmpty() const = 0;
+
+  /// Deep copy.
+  virtual std::unique_ptr<QuantileSummary> Clone() const = 0;
+};
+
+/// Wraps a concrete sketch type (with Accumulate/Merge/EstimateQuantile/
+/// count/SizeBytes members) in the QuantileSummary interface.
+template <typename T>
+class SummaryAdapter : public QuantileSummary {
+ public:
+  explicit SummaryAdapter(T sketch, std::string name)
+      : sketch_(std::move(sketch)), name_(std::move(name)) {}
+
+  void Accumulate(double x) override { sketch_.Accumulate(x); }
+
+  Status Merge(const QuantileSummary& other) override {
+    const auto* o = dynamic_cast<const SummaryAdapter<T>*>(&other);
+    if (o == nullptr) {
+      return Status::InvalidArgument("Merge: mismatched summary types");
+    }
+    return sketch_.Merge(o->sketch_);
+  }
+
+  Result<double> EstimateQuantile(double phi) const override {
+    return sketch_.EstimateQuantile(phi);
+  }
+
+  uint64_t count() const override { return sketch_.count(); }
+  size_t SizeBytes() const override { return sketch_.SizeBytes(); }
+  std::string Name() const override { return name_; }
+
+  std::unique_ptr<QuantileSummary> CloneEmpty() const override {
+    return std::make_unique<SummaryAdapter<T>>(sketch_.CloneEmpty(), name_);
+  }
+  std::unique_ptr<QuantileSummary> Clone() const override {
+    return std::make_unique<SummaryAdapter<T>>(sketch_, name_);
+  }
+
+  const T& sketch() const { return sketch_; }
+  T& sketch() { return sketch_; }
+
+ private:
+  T sketch_;
+  std::string name_;
+};
+
+}  // namespace msketch
+
+#endif  // MSKETCH_SKETCHES_QUANTILE_SUMMARY_H_

@@ -1,0 +1,79 @@
+#include "sketches/sampling_sketch.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace msketch {
+
+SamplingSketch::SamplingSketch(size_t capacity, uint64_t seed)
+    : capacity_(capacity), seed_(seed), rng_(seed) {
+  MSKETCH_CHECK(capacity >= 1);
+  sample_.reserve(capacity);
+}
+
+void SamplingSketch::Accumulate(double x) {
+  ++count_;
+  if (sample_.size() < capacity_) {
+    sample_.push_back(x);
+    return;
+  }
+  // Vitter's Algorithm R.
+  const uint64_t j = rng_.NextBelow(count_);
+  if (j < capacity_) sample_[j] = x;
+}
+
+Status SamplingSketch::Merge(const SamplingSketch& other) {
+  if (other.count_ == 0) return Status::OK();
+  if (count_ == 0) {
+    sample_ = other.sample_;
+    count_ = other.count_;
+    return Status::OK();
+  }
+  // Weighted merge: each output slot draws from self with probability
+  // count/(count+other.count), sampling without replacement within each
+  // side (approximated by shuffling copies and consuming sequentially).
+  std::vector<double> a = sample_;
+  std::vector<double> b = other.sample_;
+  for (size_t i = a.size(); i > 1; --i) {
+    std::swap(a[i - 1], a[rng_.NextBelow(i)]);
+  }
+  for (size_t i = b.size(); i > 1; --i) {
+    std::swap(b[i - 1], b[rng_.NextBelow(i)]);
+  }
+  const double pa = static_cast<double>(count_) /
+                    static_cast<double>(count_ + other.count_);
+  std::vector<double> merged;
+  const size_t target = std::min(capacity_, a.size() + b.size());
+  merged.reserve(target);
+  size_t ia = 0, ib = 0;
+  while (merged.size() < target) {
+    const bool from_a =
+        (ib >= b.size()) || (ia < a.size() && rng_.NextDouble() < pa);
+    if (from_a) {
+      merged.push_back(a[ia++]);
+    } else {
+      merged.push_back(b[ib++]);
+    }
+  }
+  sample_ = std::move(merged);
+  count_ += other.count_;
+  return Status::OK();
+}
+
+Result<double> SamplingSketch::EstimateQuantile(double phi) const {
+  if (sample_.empty()) {
+    return Status::InvalidArgument("EstimateQuantile on empty summary");
+  }
+  std::vector<double> sorted = sample_;
+  std::sort(sorted.begin(), sorted.end());
+  size_t rank = static_cast<size_t>(phi * static_cast<double>(sorted.size()));
+  if (rank >= sorted.size()) rank = sorted.size() - 1;
+  return sorted[rank];
+}
+
+size_t SamplingSketch::SizeBytes() const {
+  return capacity_ * sizeof(double) + sizeof(uint64_t) + sizeof(uint16_t);
+}
+
+}  // namespace msketch

@@ -1,0 +1,42 @@
+// Mergeable reservoir sample (Vitter 1985 reservoir; merge by weighted
+// subsampling of the union, as in the Yahoo datasketches "Sampling"
+// baseline used by the paper).
+#ifndef MSKETCH_SKETCHES_SAMPLING_SKETCH_H_
+#define MSKETCH_SKETCHES_SAMPLING_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace msketch {
+
+class SamplingSketch {
+ public:
+  explicit SamplingSketch(size_t capacity, uint64_t seed = 0x5A3D1E);
+
+  void Accumulate(double x);
+  Status Merge(const SamplingSketch& other);
+  Result<double> EstimateQuantile(double phi) const;
+
+  uint64_t count() const { return count_; }
+  size_t SizeBytes() const;
+  size_t capacity() const { return capacity_; }
+  const std::vector<double>& sample() const { return sample_; }
+
+  SamplingSketch CloneEmpty() const {
+    return SamplingSketch(capacity_, seed_ + 1);
+  }
+
+ private:
+  size_t capacity_;
+  uint64_t seed_;
+  Rng rng_;
+  uint64_t count_ = 0;
+  std::vector<double> sample_;
+};
+
+}  // namespace msketch
+
+#endif  // MSKETCH_SKETCHES_SAMPLING_SKETCH_H_

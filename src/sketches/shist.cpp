@@ -1,0 +1,134 @@
+#include "sketches/shist.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+#include "numerics/root_finding.h"
+
+namespace msketch {
+
+SHist::SHist(size_t bins) : bins_(bins) {
+  MSKETCH_CHECK(bins >= 2);
+  data_.reserve(bins + 1);
+}
+
+void SHist::Accumulate(double x) {
+  ++count_;
+  if (!has_minmax_) {
+    min_ = max_ = x;
+    has_minmax_ = true;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  InsertBin(x, 1.0);
+}
+
+void SHist::InsertBin(double p, double m) {
+  auto it = std::lower_bound(
+      data_.begin(), data_.end(), p,
+      [](const Bin& b, double v) { return b.p < v; });
+  if (it != data_.end() && it->p == p) {
+    it->m += m;
+  } else {
+    data_.insert(it, Bin{p, m});
+  }
+  if (data_.size() > bins_) Reduce();
+}
+
+void SHist::Reduce() {
+  while (data_.size() > bins_) {
+    // Merge the pair of adjacent bins with minimal gap.
+    size_t best = 0;
+    double best_gap = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i + 1 < data_.size(); ++i) {
+      const double gap = data_[i + 1].p - data_[i].p;
+      if (gap < best_gap) {
+        best_gap = gap;
+        best = i;
+      }
+    }
+    Bin& a = data_[best];
+    const Bin& b = data_[best + 1];
+    const double m = a.m + b.m;
+    a.p = (a.p * a.m + b.p * b.m) / m;
+    a.m = m;
+    data_.erase(data_.begin() + static_cast<long>(best) + 1);
+  }
+}
+
+Status SHist::Merge(const SHist& other) {
+  if (other.count_ == 0) return Status::OK();
+  if (!has_minmax_) {
+    min_ = other.min_;
+    max_ = other.max_;
+    has_minmax_ = other.has_minmax_;
+  } else if (other.has_minmax_) {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  std::vector<Bin> merged;
+  merged.reserve(data_.size() + other.data_.size());
+  std::merge(data_.begin(), data_.end(), other.data_.begin(),
+             other.data_.end(), std::back_inserter(merged),
+             [](const Bin& a, const Bin& b) { return a.p < b.p; });
+  data_ = std::move(merged);
+  Reduce();
+  return Status::OK();
+}
+
+double SHist::CumulativeCount(double x) const {
+  // BHTT "sum" procedure: each bin contributes half its mass at its
+  // centroid; between centroids the mass ramps linearly (trapezoid).
+  if (data_.empty()) return 0.0;
+  if (x < data_.front().p) {
+    // Ramp from min_ to the first centroid.
+    if (x <= min_ || data_.front().p <= min_) return 0.0;
+    const double t = (x - min_) / (data_.front().p - min_);
+    return 0.5 * data_.front().m * t * t;
+  }
+  if (x >= data_.back().p) {
+    if (x >= max_ || max_ <= data_.back().p) {
+      return static_cast<double>(count_);
+    }
+    const double t = (max_ - x) / (max_ - data_.back().p);
+    return static_cast<double>(count_) - 0.5 * data_.back().m * t * t;
+  }
+  double acc = 0.0;
+  for (size_t i = 0; i + 1 < data_.size(); ++i) {
+    const Bin& a = data_[i];
+    const Bin& b = data_[i + 1];
+    if (x < b.p) {
+      const double t = (x - a.p) / (b.p - a.p);
+      const double mx = a.m + (b.m - a.m) * t;  // interpolated bin mass
+      acc += a.m / 2.0;
+      acc += (a.m + mx) * t / 2.0;
+      return acc;
+    }
+    acc += a.m;
+  }
+  return acc;
+}
+
+Result<double> SHist::EstimateQuantile(double phi) const {
+  if (count_ == 0) {
+    return Status::InvalidArgument("EstimateQuantile on empty summary");
+  }
+  if (data_.size() == 1) return data_.front().p;
+  const double target = phi * static_cast<double>(count_);
+  if (target <= CumulativeCount(min_)) return min_;
+  if (target >= CumulativeCount(max_)) return max_;
+  auto fn = [&](double x) { return CumulativeCount(x) - target; };
+  Result<double> root = BrentRoot(fn, min_, max_, 1e-9 * (max_ - min_));
+  if (root.ok()) return root.value();
+  return Status::Internal("SHist: CDF inversion failed");
+}
+
+size_t SHist::SizeBytes() const {
+  return bins_ * 2 * sizeof(double) + 2 * sizeof(double) + sizeof(uint64_t);
+}
+
+}  // namespace msketch

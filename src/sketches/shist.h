@@ -1,0 +1,53 @@
+// Streaming histogram of Ben-Haim & Tom-Tov (JMLR 2010) — the default
+// quantile summary in Druid ("S-Hist" in the paper).
+//
+// Maintains at most B (centroid, count) bins; inserting adds a unit bin and
+// merges the two closest bins; merging summaries concatenates bins and
+// re-reduces. Quantiles come from the trapezoidal interpolation of the
+// cumulative "sum" procedure in the BHTT paper.
+#ifndef MSKETCH_SKETCHES_SHIST_H_
+#define MSKETCH_SKETCHES_SHIST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace msketch {
+
+class SHist {
+ public:
+  explicit SHist(size_t bins);
+
+  void Accumulate(double x);
+  Status Merge(const SHist& other);
+  Result<double> EstimateQuantile(double phi) const;
+
+  uint64_t count() const { return count_; }
+  size_t SizeBytes() const;
+  size_t bins() const { return bins_; }
+
+  SHist CloneEmpty() const { return SHist(bins_); }
+
+ private:
+  struct Bin {
+    double p;  // centroid position
+    double m;  // count
+  };
+
+  // Inserts a bin keeping the array sorted, then reduces to `bins_`.
+  void InsertBin(double p, double m);
+  void Reduce();
+  // Interpolated count of points <= x ("sum" procedure).
+  double CumulativeCount(double x) const;
+
+  size_t bins_;
+  uint64_t count_ = 0;
+  std::vector<Bin> data_;  // sorted by p
+  double min_ = 0.0, max_ = 0.0;
+  bool has_minmax_ = false;
+};
+
+}  // namespace msketch
+
+#endif  // MSKETCH_SKETCHES_SHIST_H_

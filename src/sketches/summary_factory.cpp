@@ -1,0 +1,57 @@
+#include "sketches/summary_factory.h"
+
+#include "sketches/buffer_hierarchy.h"
+#include "sketches/ewhist.h"
+#include "sketches/exact_sketch.h"
+#include "sketches/gk_sketch.h"
+#include "sketches/sampling_sketch.h"
+#include "sketches/shist.h"
+#include "sketches/tdigest.h"
+
+namespace msketch {
+
+Result<std::unique_ptr<QuantileSummary>> MakeSummary(const std::string& name,
+                                                     double param) {
+  if (name == "Merge12") {
+    int k = static_cast<int>(param);
+    if (k % 2 != 0) ++k;
+    return std::unique_ptr<QuantileSummary>(
+        new SummaryAdapter<BufferHierarchySketch>(MakeMerge12(k), name));
+  }
+  if (name == "RandomW") {
+    int k = static_cast<int>(param);
+    if (k % 2 != 0) ++k;
+    return std::unique_ptr<QuantileSummary>(
+        new SummaryAdapter<BufferHierarchySketch>(MakeRandomW(k), name));
+  }
+  if (name == "GK") {
+    if (param <= 1.0) {
+      return Status::InvalidArgument("GK: param must be 1/epsilon > 1");
+    }
+    return std::unique_ptr<QuantileSummary>(
+        new SummaryAdapter<GkSketch>(GkSketch(1.0 / param), name));
+  }
+  if (name == "T-Digest") {
+    return std::unique_ptr<QuantileSummary>(
+        new SummaryAdapter<TDigest>(TDigest(param), name));
+  }
+  if (name == "Sampling") {
+    return std::unique_ptr<QuantileSummary>(new SummaryAdapter<SamplingSketch>(
+        SamplingSketch(static_cast<size_t>(param)), name));
+  }
+  if (name == "S-Hist") {
+    return std::unique_ptr<QuantileSummary>(new SummaryAdapter<SHist>(
+        SHist(static_cast<size_t>(param)), name));
+  }
+  if (name == "EW-Hist") {
+    return std::unique_ptr<QuantileSummary>(new SummaryAdapter<EwHist>(
+        EwHist(static_cast<size_t>(param)), name));
+  }
+  if (name == "Exact") {
+    return std::unique_ptr<QuantileSummary>(
+        new SummaryAdapter<ExactSketch>(ExactSketch(), name));
+  }
+  return Status::InvalidArgument("unknown summary name: " + name);
+}
+
+}  // namespace msketch

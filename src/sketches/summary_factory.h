@@ -1,0 +1,25 @@
+// Creates baseline summaries by name + size parameter, wrapped in the
+// QuantileSummary interface. The benchmark harness uses this to sweep
+// summary types uniformly; the moments sketch has its own factory in
+// core/ (it is not a comparison-based summary).
+#ifndef MSKETCH_SKETCHES_SUMMARY_FACTORY_H_
+#define MSKETCH_SKETCHES_SUMMARY_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "sketches/quantile_summary.h"
+
+namespace msketch {
+
+/// Known names: "Merge12" (param: k), "RandomW" (param: k), "GK" (param:
+/// 1/epsilon), "T-Digest" (param: delta), "Sampling" (param: capacity),
+/// "S-Hist" (param: bins), "EW-Hist" (param: bins), "Exact" (param
+/// ignored).
+Result<std::unique_ptr<QuantileSummary>> MakeSummary(const std::string& name,
+                                                     double param);
+
+}  // namespace msketch
+
+#endif  // MSKETCH_SKETCHES_SUMMARY_FACTORY_H_

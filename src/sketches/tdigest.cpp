@@ -1,0 +1,156 @@
+#include "sketches/tdigest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace msketch {
+
+namespace {
+constexpr size_t kBufferCap = 128;
+
+// Scale function k1(q) = (delta / 2 pi) asin(2q - 1); its inverse bounds
+// centroid sizes so tails get fine resolution.
+double ScaleK(double q, double delta) {
+  q = std::clamp(q, 0.0, 1.0);
+  return delta / (2.0 * M_PI) * std::asin(2.0 * q - 1.0);
+}
+}  // namespace
+
+TDigest::TDigest(double delta) : delta_(delta) {
+  MSKETCH_CHECK(delta >= 1.0);
+  buffer_.reserve(kBufferCap);
+}
+
+void TDigest::Accumulate(double x) {
+  if (!has_minmax_) {
+    min_ = max_ = x;
+    has_minmax_ = true;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  buffer_.push_back(x);
+  ++count_;
+  if (buffer_.size() >= kBufferCap) Compress();
+}
+
+void TDigest::Compress() const {
+  if (buffer_.empty() && centroids_.size() <= 2 * delta_ + 2) return;
+  std::sort(buffer_.begin(), buffer_.end());
+  // Merge sorted centroids and buffered points into a combined weighted
+  // stream, then re-cluster greedily under the scale-function budget.
+  std::vector<Centroid> stream;
+  stream.reserve(centroids_.size() + buffer_.size());
+  size_t ci = 0, bi = 0;
+  while (ci < centroids_.size() || bi < buffer_.size()) {
+    const bool take_centroid =
+        bi >= buffer_.size() ||
+        (ci < centroids_.size() && centroids_[ci].mean <= buffer_[bi]);
+    if (take_centroid) {
+      stream.push_back(centroids_[ci++]);
+    } else {
+      stream.push_back(Centroid{buffer_[bi++], 1.0});
+    }
+  }
+  buffer_.clear();
+  centroids_.clear();
+  if (stream.empty()) return;
+
+  const double total = static_cast<double>(count_);
+  double w_so_far = 0.0;
+  Centroid current = stream[0];
+  double k_lo = ScaleK(0.0, delta_);
+  for (size_t i = 1; i < stream.size(); ++i) {
+    const double q_hi = (w_so_far + current.weight + stream[i].weight) / total;
+    if (ScaleK(q_hi, delta_) - k_lo <= 1.0) {
+      // Absorb into current centroid.
+      const double w = current.weight + stream[i].weight;
+      current.mean += (stream[i].mean - current.mean) *
+                      stream[i].weight / w;
+      current.weight = w;
+    } else {
+      centroids_.push_back(current);
+      w_so_far += current.weight;
+      k_lo = ScaleK(w_so_far / total, delta_);
+      current = stream[i];
+    }
+  }
+  centroids_.push_back(current);
+}
+
+Status TDigest::Merge(const TDigest& other) {
+  if (other.count_ == 0) return Status::OK();
+  other.Compress();
+  if (!has_minmax_) {
+    min_ = other.min_;
+    max_ = other.max_;
+    has_minmax_ = other.has_minmax_;
+  } else if (other.has_minmax_) {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  centroids_.insert(centroids_.end(), other.centroids_.begin(),
+                    other.centroids_.end());
+  std::sort(centroids_.begin(), centroids_.end(),
+            [](const Centroid& a, const Centroid& b) {
+              return a.mean < b.mean;
+            });
+  Compress();
+  return Status::OK();
+}
+
+Result<double> TDigest::EstimateQuantile(double phi) const {
+  if (count_ == 0) {
+    return Status::InvalidArgument("EstimateQuantile on empty summary");
+  }
+  Compress();
+  if (centroids_.empty()) return min_;
+  const double target = phi * static_cast<double>(count_);
+  // Interpolate within the centroid sequence, pinning the extremes to the
+  // tracked min/max.
+  double w_before = 0.0;
+  for (size_t i = 0; i < centroids_.size(); ++i) {
+    const double w_mid = w_before + centroids_[i].weight / 2.0;
+    if (target < w_mid || i + 1 == centroids_.size()) {
+      double lo_w, lo_v, hi_w, hi_v;
+      if (i == 0) {
+        lo_w = 0.0;
+        lo_v = min_;
+        hi_w = centroids_[0].weight / 2.0;
+        hi_v = centroids_[0].mean;
+      } else {
+        lo_w = w_before - centroids_[i - 1].weight / 2.0;
+        lo_v = centroids_[i - 1].mean;
+        hi_w = w_mid;
+        hi_v = centroids_[i].mean;
+      }
+      if (target >= w_mid) {  // beyond the last centroid midpoint
+        lo_w = w_mid;
+        lo_v = centroids_[i].mean;
+        hi_w = static_cast<double>(count_);
+        hi_v = max_;
+      }
+      if (hi_w <= lo_w) return hi_v;
+      const double t = std::clamp((target - lo_w) / (hi_w - lo_w), 0.0, 1.0);
+      return lo_v + t * (hi_v - lo_v);
+    }
+    w_before += centroids_[i].weight;
+  }
+  return max_;
+}
+
+size_t TDigest::num_centroids() const {
+  Compress();
+  return centroids_.size();
+}
+
+size_t TDigest::SizeBytes() const {
+  Compress();
+  return centroids_.size() * 2 * sizeof(double) + 3 * sizeof(double) +
+         sizeof(uint64_t);
+}
+
+}  // namespace msketch

@@ -1,0 +1,51 @@
+// t-digest quantile sketch (Dunning & Ertl), merging variant.
+//
+// The paper benchmarks the AVL-tree t-digest; we implement the merging
+// t-digest, which maintains the same centroid/scale-function accuracy model
+// with batch re-clustering instead of per-point tree updates (see DESIGN.md
+// substitution table). `delta` is the compression parameter: centroid count
+// is bounded by ~2*delta.
+#ifndef MSKETCH_SKETCHES_TDIGEST_H_
+#define MSKETCH_SKETCHES_TDIGEST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace msketch {
+
+class TDigest {
+ public:
+  explicit TDigest(double delta);
+
+  void Accumulate(double x);
+  Status Merge(const TDigest& other);
+  Result<double> EstimateQuantile(double phi) const;
+
+  uint64_t count() const { return count_; }
+  size_t SizeBytes() const;
+  double delta() const { return delta_; }
+  size_t num_centroids() const;
+
+  TDigest CloneEmpty() const { return TDigest(delta_); }
+
+ private:
+  struct Centroid {
+    double mean;
+    double weight;
+  };
+
+  void Compress() const;
+
+  double delta_;
+  uint64_t count_ = 0;
+  mutable std::vector<Centroid> centroids_;  // sorted by mean when flushed
+  mutable std::vector<double> buffer_;
+  mutable double min_ = 0.0, max_ = 0.0;
+  bool has_minmax_ = false;
+};
+
+}  // namespace msketch
+
+#endif  // MSKETCH_SKETCHES_TDIGEST_H_

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace msketch {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, CopyIsCheapAndShared) {
+  Status s = Status::NotConverged("solver");
+  Status t = s;
+  EXPECT_EQ(t.code(), StatusCode::kNotConverged);
+  EXPECT_EQ(t.message(), "solver");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::OutOfRange("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<double>> r(std::vector<double>{1.0, 2.0});
+  std::vector<double> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(BytesTest, RoundTripScalars) {
+  BytesWriter w;
+  w.PutU8(7);
+  w.PutU32(123456u);
+  w.PutU64(1ULL << 40);
+  w.PutI64(-12345);
+  w.PutDouble(3.14159);
+  BytesReader r(w.bytes());
+  uint8_t u8;
+  uint32_t u32;
+  uint64_t u64;
+  int64_t i64;
+  double d;
+  ASSERT_TRUE(r.GetU8(&u8).ok());
+  ASSERT_TRUE(r.GetU32(&u32).ok());
+  ASSERT_TRUE(r.GetU64(&u64).ok());
+  ASSERT_TRUE(r.GetI64(&i64).ok());
+  ASSERT_TRUE(r.GetDouble(&d).ok());
+  EXPECT_EQ(u8, 7);
+  EXPECT_EQ(u32, 123456u);
+  EXPECT_EQ(u64, 1ULL << 40);
+  EXPECT_EQ(i64, -12345);
+  EXPECT_DOUBLE_EQ(d, 3.14159);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BytesTest, RoundTripVectorsAndStrings) {
+  BytesWriter w;
+  w.PutDoubles({1.5, -2.5, 0.0});
+  w.PutString("moments sketch");
+  BytesReader r(w.bytes());
+  std::vector<double> v;
+  std::string s;
+  ASSERT_TRUE(r.GetDoubles(&v).ok());
+  ASSERT_TRUE(r.GetString(&s).ok());
+  EXPECT_EQ(v, (std::vector<double>{1.5, -2.5, 0.0}));
+  EXPECT_EQ(s, "moments sketch");
+}
+
+TEST(BytesTest, UnderflowIsReportedNotFatal) {
+  BytesWriter w;
+  w.PutU8(1);
+  BytesReader r(w.bytes());
+  double d;
+  Status s = r.GetDouble(&d);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kSerialization);
+}
+
+TEST(BytesTest, CorruptLengthPrefixRejected) {
+  BytesWriter w;
+  w.PutU32(1000000);  // claims 1M doubles but provides none
+  BytesReader r(w.bytes());
+  std::vector<double> v;
+  EXPECT_FALSE(r.GetDoubles(&v).ok());
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(7);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, GammaMeanVariance) {
+  Rng rng(11);
+  const double shape = 3.0, scale = 2.0;
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGamma(shape, scale);
+    sum += g;
+    sum2 += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, shape * scale, 0.1);
+  EXPECT_NEAR(var, shape * scale * scale, 0.5);
+}
+
+TEST(RngTest, GammaSmallShape) {
+  Rng rng(13);
+  const double shape = 0.1;
+  double sum = 0.0;
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGamma(shape, 1.0);
+    ASSERT_GE(g, 0.0);
+    sum += g;
+  }
+  EXPECT_NEAR(sum / n, shape, 0.01);
+}
+
+}  // namespace
+}  // namespace msketch

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/moments_summary.h"
+#include "cube/data_cube.h"
+#include "cube/dictionary.h"
+#include "numerics/stats.h"
+#include "sketches/exact_sketch.h"
+
+namespace msketch {
+namespace {
+
+// Builds a 3-dim cube (4 x 3 x 2 coordinate space) over synthetic data.
+// Values in cell (a, b, c) are drawn around a cell-specific location so
+// filters have distinguishable quantiles.
+template <typename Summary>
+DataCube<Summary> BuildCube(Summary prototype, std::vector<double>* rows,
+                            std::vector<CubeCoords>* coords_out = nullptr) {
+  DataCube<Summary> cube(3, std::move(prototype));
+  Rng rng(91);
+  for (int i = 0; i < 30000; ++i) {
+    CubeCoords coords = {static_cast<uint32_t>(rng.NextBelow(4)),
+                         static_cast<uint32_t>(rng.NextBelow(3)),
+                         static_cast<uint32_t>(rng.NextBelow(2))};
+    const double base = 10.0 * coords[0] + 3.0 * coords[1] + coords[2];
+    const double v = base + rng.NextLognormal(0.0, 0.5);
+    cube.Ingest(coords, v);
+    rows->push_back(v);
+    if (coords_out != nullptr) coords_out->push_back(coords);
+  }
+  return cube;
+}
+
+TEST(DataCubeTest, CellAndRowAccounting) {
+  std::vector<double> rows;
+  auto cube = BuildCube(ExactSketch(), &rows);
+  EXPECT_EQ(cube.num_rows(), 30000u);
+  EXPECT_EQ(cube.num_cells(), 4u * 3u * 2u);
+  EXPECT_EQ(cube.MergeAll().count(), 30000u);
+}
+
+TEST(DataCubeTest, FilteredMergeMatchesBruteForce) {
+  std::vector<double> rows;
+  std::vector<CubeCoords> coords;
+  auto cube = BuildCube(ExactSketch(), &rows, &coords);
+  CubeFilter filter = {2, kAnyValue, kAnyValue};
+  ExactSketch merged = cube.MergeWhere(filter);
+  // Brute force.
+  std::vector<double> expect;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (coords[i][0] == 2) expect.push_back(rows[i]);
+  }
+  EXPECT_EQ(merged.count(), expect.size());
+  std::sort(expect.begin(), expect.end());
+  auto q = merged.EstimateQuantile(0.5);
+  ASSERT_TRUE(q.ok());
+  EXPECT_DOUBLE_EQ(q.value(), QuantileOfSorted(expect, 0.5));
+}
+
+TEST(DataCubeTest, SumMatchesBruteForce) {
+  std::vector<double> rows;
+  std::vector<CubeCoords> coords;
+  auto cube = BuildCube(ExactSketch(), &rows, &coords);
+  CubeFilter filter = {kAnyValue, 1, kAnyValue};
+  double expect = 0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (coords[i][1] == 1) expect += rows[i];
+  }
+  EXPECT_NEAR(cube.SumWhere(filter), expect, 1e-6 * std::fabs(expect));
+}
+
+TEST(DataCubeTest, QuantileQueryWithMomentsSummary) {
+  std::vector<double> rows;
+  std::vector<CubeCoords> coords;
+  auto cube = BuildCube(MomentsSummary(10), &rows, &coords);
+  CubeFilter filter = {3, kAnyValue, kAnyValue};
+  auto q = cube.QueryQuantile(filter, 0.9);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  std::vector<double> expect;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (coords[i][0] == 3) expect.push_back(rows[i]);
+  }
+  std::sort(expect.begin(), expect.end());
+  EXPECT_LE(QuantileError(expect, 0.9, q.value()), 0.02);
+}
+
+TEST(DataCubeTest, MergeCountReported) {
+  std::vector<double> rows;
+  auto cube = BuildCube(ExactSketch(), &rows);
+  uint64_t merges = 0;
+  cube.MergeWhere({kAnyValue, kAnyValue, 0}, &merges);
+  EXPECT_EQ(merges, 4u * 3u);
+}
+
+TEST(DataCubeTest, GroupByCoversAllGroups) {
+  std::vector<double> rows;
+  auto cube = BuildCube(ExactSketch(), &rows);
+  size_t groups = 0;
+  uint64_t total = 0;
+  cube.ForEachGroup({0}, [&](const CubeCoords& key,
+                             const ExactSketch& summary) {
+    ASSERT_EQ(key.size(), 1u);
+    ++groups;
+    total += summary.count();
+  });
+  EXPECT_EQ(groups, 4u);
+  EXPECT_EQ(total, 30000u);
+}
+
+TEST(DataCubeTest, GroupByPairs) {
+  std::vector<double> rows;
+  auto cube = BuildCube(ExactSketch(), &rows);
+  size_t groups = 0;
+  cube.ForEachGroup({1, 2}, [&](const CubeCoords& key, const ExactSketch&) {
+    ASSERT_EQ(key.size(), 2u);
+    ++groups;
+  });
+  EXPECT_EQ(groups, 3u * 2u);
+}
+
+TEST(DataCubeTest, EmptySelectionRejected) {
+  DataCube<ExactSketch> cube(2, ExactSketch());
+  cube.Ingest({0, 0}, 1.0);
+  auto q = cube.QueryQuantile({1, 1}, 0.5);
+  EXPECT_FALSE(q.ok());
+}
+
+TEST(DictionaryTest, InternAndLookup) {
+  Dictionary dict;
+  EXPECT_EQ(dict.Intern("USA"), 0u);
+  EXPECT_EQ(dict.Intern("CAN"), 1u);
+  EXPECT_EQ(dict.Intern("USA"), 0u);
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.ValueOf(1), "CAN");
+  auto found = dict.Find("USA");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value(), 0u);
+  EXPECT_FALSE(dict.Find("MEX").ok());
+}
+
+}  // namespace
+}  // namespace msketch

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "datasets/datasets.h"
+#include "numerics/stats.h"
+
+namespace msketch {
+namespace {
+
+// Table 1 shape targets. We validate that the synthetic substitutes land
+// near the paper's reported characteristics (generous tolerances — the
+// goal is distributional shape, not digit-for-digit replication).
+struct Target {
+  DatasetId id;
+  double min_lo, min_hi;
+  double mean_lo, mean_hi;
+  double stddev_lo, stddev_hi;
+  double skew_lo, skew_hi;
+};
+
+class DatasetShapeTest : public ::testing::TestWithParam<Target> {};
+
+TEST_P(DatasetShapeTest, MatchesTable1Characteristics) {
+  const Target& t = GetParam();
+  auto data = GenerateDataset(t.id, 400000);
+  auto d = DescribeData(data);
+  EXPECT_GE(d.min, t.min_lo) << DatasetName(t.id);
+  EXPECT_LE(d.min, t.min_hi) << DatasetName(t.id);
+  EXPECT_GE(d.mean, t.mean_lo) << DatasetName(t.id);
+  EXPECT_LE(d.mean, t.mean_hi) << DatasetName(t.id);
+  EXPECT_GE(d.stddev, t.stddev_lo) << DatasetName(t.id);
+  EXPECT_LE(d.stddev, t.stddev_hi) << DatasetName(t.id);
+  EXPECT_GE(d.skew, t.skew_lo) << DatasetName(t.id);
+  EXPECT_LE(d.skew, t.skew_hi) << DatasetName(t.id);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, DatasetShapeTest,
+    ::testing::Values(
+        // paper:   min      mean   stddev  skew
+        // milan:   2.3e-6   36.77  103.5   8.59
+        Target{DatasetId::kMilan, 0.0, 1.0, 25.0, 55.0, 70.0, 160.0, 4.0,
+               28.0},
+        // hepmass: -1.961   0.016  1.004   0.29
+        Target{DatasetId::kHepmass, -1.962, -1.0, -0.15, 0.15, 0.85, 1.15,
+               0.05, 0.65},
+        // occupancy: 412.8  690.6  311.2   1.65
+        Target{DatasetId::kOccupancy, 412.0, 460.0, 600.0, 780.0, 230.0,
+               400.0, 1.0, 2.3},
+        // retail:  1        10.66  156.8   460 (skew fluctuates at 400k)
+        Target{DatasetId::kRetail, 0.9, 1.1, 5.0, 18.0, 50.0, 400.0, 30.0,
+               700.0},
+        // power:   0.076    1.092  1.057   1.79
+        Target{DatasetId::kPower, 0.05, 0.25, 0.85, 1.35, 0.75, 1.4, 1.2,
+               2.5},
+        // exponential: Exp(1): mean 1, std 1, skew 2
+        Target{DatasetId::kExponential, 0.0, 0.01, 0.95, 1.05, 0.95, 1.05,
+               1.8, 2.2}),
+    [](const ::testing::TestParamInfo<Target>& info) {
+      return DatasetName(info.param.id);
+    });
+
+TEST(DatasetsTest, Deterministic) {
+  auto a = GenerateDataset(DatasetId::kMilan, 1000, 1);
+  auto b = GenerateDataset(DatasetId::kMilan, 1000, 1);
+  EXPECT_EQ(a, b);
+  auto c = GenerateDataset(DatasetId::kMilan, 1000, 2);
+  EXPECT_NE(a, c);
+}
+
+TEST(DatasetsTest, NamesRoundTrip) {
+  for (DatasetId id : Table1Datasets()) {
+    auto back = DatasetFromName(DatasetName(id));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), id);
+  }
+  EXPECT_FALSE(DatasetFromName("nope").ok());
+}
+
+TEST(DatasetsTest, RetailIsIntegerValued) {
+  auto data = GenerateDataset(DatasetId::kRetail, 10000);
+  for (double v : data) {
+    EXPECT_DOUBLE_EQ(v, std::floor(v));
+    EXPECT_GE(v, 1.0);
+  }
+}
+
+TEST(DatasetsTest, MilanIsPositive) {
+  auto data = GenerateDataset(DatasetId::kMilan, 10000);
+  for (double v : data) EXPECT_GT(v, 0.0);
+}
+
+TEST(DatasetsTest, HepmassHasNegatives) {
+  auto data = GenerateDataset(DatasetId::kHepmass, 10000);
+  EXPECT_TRUE(std::any_of(data.begin(), data.end(),
+                          [](double v) { return v < 0.0; }));
+}
+
+TEST(ProductionWorkloadTest, ShapeMatchesAppendixD4) {
+  auto w = GenerateProductionWorkload(500000, 2000);
+  EXPECT_EQ(w.cell_sizes.size(), 2000u);
+  uint64_t total = 0;
+  uint64_t min_size = UINT64_MAX, max_size = 0;
+  for (uint64_t s : w.cell_sizes) {
+    total += s;
+    min_size = std::min(min_size, s);
+    max_size = std::max(max_size, s);
+  }
+  EXPECT_EQ(w.values.size(), total);
+  EXPECT_GE(min_size, 5u);          // paper: min cell size 5
+  EXPECT_GT(max_size, 50 * (total / 2000));  // heavy upper tail
+  // Values integral and positive.
+  for (size_t i = 0; i < 1000; ++i) {
+    EXPECT_GE(w.values[i], 1.0);
+    EXPECT_DOUBLE_EQ(w.values[i], std::floor(w.values[i]));
+  }
+}
+
+}  // namespace
+}  // namespace msketch

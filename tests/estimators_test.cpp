@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/compressed_sketch.h"
+#include "core/estimators/estimators.h"
+#include "core/maxent_solver.h"
+#include "core/moments_sketch.h"
+#include "datasets/datasets.h"
+#include "numerics/stats.h"
+
+namespace msketch {
+namespace {
+
+double LesionError(const std::string& name, const LesionOptions& options,
+                   const MomentsSketch& sketch, std::vector<double> data) {
+  auto est = MakeLesionEstimator(name, options);
+  EXPECT_TRUE(est.ok()) << name;
+  auto phis = DefaultPhiGrid();
+  auto q = est.value()->EstimateQuantiles(sketch, phis);
+  EXPECT_TRUE(q.ok()) << name << ": " << q.status().ToString();
+  if (!q.ok()) return 1.0;
+  std::sort(data.begin(), data.end());
+  return MeanQuantileError(data, q.value(), phis);
+}
+
+class LesionHepmassTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  static void SetUpTestSuite() {
+    data_ = new std::vector<double>(
+        GenerateDataset(DatasetId::kHepmass, 100000));
+    sketch_ = new MomentsSketch(10);
+    for (double x : *data_) sketch_->Accumulate(x);
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    delete sketch_;
+    data_ = nullptr;
+    sketch_ = nullptr;
+  }
+  static std::vector<double>* data_;
+  static MomentsSketch* sketch_;
+};
+
+std::vector<double>* LesionHepmassTest::data_ = nullptr;
+MomentsSketch* LesionHepmassTest::sketch_ = nullptr;
+
+// Every estimator must produce sane (in-range, monotone-ish) estimates on
+// hepmass with standard moments.
+TEST_P(LesionHepmassTest, ProducesInRangeEstimates) {
+  LesionOptions options;
+  options.use_log_domain = false;
+  options.grid_points = 500;   // keep CI fast
+  options.lp_grid_points = 96;
+  auto est = MakeLesionEstimator(GetParam(), options);
+  ASSERT_TRUE(est.ok());
+  auto q = est.value()->EstimateQuantiles(*sketch_, DefaultPhiGrid());
+  ASSERT_TRUE(q.ok()) << GetParam() << ": " << q.status().ToString();
+  for (double v : q.value()) {
+    EXPECT_GE(v, sketch_->min()) << GetParam();
+    EXPECT_LE(v, sketch_->max()) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEstimators, LesionHepmassTest,
+    ::testing::Values("gaussian", "mnat", "svd", "cvx-min", "cvx-maxent",
+                      "newton", "bfgs", "opt"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// The lesion study's qualitative finding: maxent estimators beat the
+// non-maxent ones, and "opt" is among the most accurate.
+TEST(LesionStudyTest, MaxEntBeatsClosedFormsOnHepmass) {
+  auto data = GenerateDataset(DatasetId::kHepmass, 100000);
+  MomentsSketch sketch(10);
+  for (double x : data) sketch.Accumulate(x);
+  LesionOptions options;
+  options.grid_points = 500;
+  options.lp_grid_points = 96;
+
+  const double e_opt = LesionError("opt", options, sketch, data);
+  const double e_mnat = LesionError("mnat", options, sketch, data);
+  const double e_gauss = LesionError("gaussian", options, sketch, data);
+  EXPECT_LT(e_opt, 0.01);
+  EXPECT_LT(e_opt, e_mnat);
+  EXPECT_LT(e_opt, e_gauss);
+}
+
+TEST(LesionStudyTest, MaxEntVariantsAgreeOnHepmass) {
+  auto data = GenerateDataset(DatasetId::kHepmass, 50000);
+  MomentsSketch sketch(10);
+  for (double x : data) sketch.Accumulate(x);
+  LesionOptions options;
+  options.grid_points = 500;
+  const double e_opt = LesionError("opt", options, sketch, data);
+  const double e_newton = LesionError("newton", options, sketch, data);
+  const double e_bfgs = LesionError("bfgs", options, sketch, data);
+  // All three solve the same convex problem; accuracies should agree
+  // within a small absolute gap.
+  EXPECT_NEAR(e_opt, e_newton, 0.01);
+  EXPECT_NEAR(e_opt, e_bfgs, 0.01);
+}
+
+TEST(LesionStudyTest, LogDomainOnMilan) {
+  auto data = GenerateDataset(DatasetId::kMilan, 100000);
+  MomentsSketch sketch(10);
+  for (double x : data) sketch.Accumulate(x);
+  LesionOptions options;
+  options.use_log_domain = true;
+  options.grid_points = 500;
+  const double e_opt = LesionError("opt", options, sketch, data);
+  const double e_gauss = LesionError("gaussian", options, sketch, data);
+  EXPECT_LT(e_opt, 0.02);
+  // gaussian-in-log-domain = lognormal fit; our milan generator is nearly
+  // lognormal so it does fine — but opt must not be dramatically worse.
+  EXPECT_LT(e_opt, std::max(0.02, 3.0 * e_gauss));
+}
+
+TEST(LesionStudyTest, LogDomainRejectedForNegativeData) {
+  MomentsSketch sketch(10);
+  sketch.Accumulate(-1.0);
+  sketch.Accumulate(2.0);
+  LesionOptions options;
+  options.use_log_domain = true;
+  auto est = MakeLesionEstimator("svd", options);
+  ASSERT_TRUE(est.ok());
+  auto q = est.value()->EstimateQuantiles(sketch, {0.5});
+  EXPECT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(LesionStudyTest, UnknownEstimatorRejected) {
+  EXPECT_FALSE(MakeLesionEstimator("magic").ok());
+}
+
+TEST(LesionStudyTest, NamesListMatchesFactory) {
+  for (const auto& name : LesionEstimatorNames()) {
+    EXPECT_TRUE(MakeLesionEstimator(name).ok()) << name;
+  }
+}
+
+// --------------------------------------------- Low-precision storage
+
+TEST(CompressedSketchTest, QuantizeValueErrorBounded) {
+  Rng rng(41);
+  for (int bits : {20, 32, 44}) {
+    const int mant = bits - 12;
+    for (int i = 0; i < 200; ++i) {
+      const double v = rng.NextLognormal(0.0, 3.0);
+      const double q = QuantizeValue(v, bits, &rng);
+      EXPECT_LE(std::fabs(q - v) / v, std::ldexp(1.0, -mant) * 1.01)
+          << "bits=" << bits;
+    }
+  }
+}
+
+TEST(CompressedSketchTest, QuantizeIsUnbiasedOnAverage) {
+  Rng rng(42);
+  const double v = 1.0 + 1.0 / 3.0;  // non-representable tail
+  double acc = 0.0;
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) acc += QuantizeValue(v, 16, &rng);
+  EXPECT_NEAR(acc / trials, v, 2e-4);
+}
+
+TEST(CompressedSketchTest, EncodeDecodeRoundTrip) {
+  MomentsSketch s(10);
+  Rng rng(43);
+  for (int i = 0; i < 10000; ++i) s.Accumulate(rng.NextLognormal(1.0, 1.0));
+  for (int bits : {20, 32, 64}) {
+    auto blob = EncodeLowPrecision(s, bits, 7);
+    EXPECT_EQ(blob.size(), LowPrecisionSizeBytes(10, bits));
+    auto back = DecodeLowPrecision(blob);
+    ASSERT_TRUE(back.ok()) << "bits=" << bits;
+    EXPECT_EQ(back->count(), s.count());
+    EXPECT_EQ(back->k(), s.k());
+    // Values close at 32 bits (20-bit mantissa ~ 1e-6 relative).
+    if (bits >= 32) {
+      for (int i = 0; i < 10; ++i) {
+        EXPECT_NEAR(back->power_sums()[i], s.power_sums()[i],
+                    1e-5 * std::fabs(s.power_sums()[i]));
+      }
+    }
+  }
+}
+
+TEST(CompressedSketchTest, DecodeRejectsCorrupt) {
+  EXPECT_FALSE(DecodeLowPrecision({1, 2, 3}).ok());
+  MomentsSketch s(4);
+  s.Accumulate(1.0);
+  auto blob = EncodeLowPrecision(s, 20, 1);
+  blob.resize(blob.size() - 2);
+  EXPECT_FALSE(DecodeLowPrecision(blob).ok());
+}
+
+TEST(CompressedSketchTest, TwentyBitsPreservesAccuracy) {
+  // Figure 17's conclusion: 20 bits/value is enough for k=10 sketches.
+  auto data = GenerateDataset(DatasetId::kHepmass, 100000);
+  MomentsSketch merged(10);
+  const size_t cell = 1000;
+  Rng seed_rng(44);
+  for (size_t start = 0; start < data.size(); start += cell) {
+    MomentsSketch part(10);
+    for (size_t i = start; i < start + cell && i < data.size(); ++i) {
+      part.Accumulate(data[i]);
+    }
+    ASSERT_TRUE(
+        merged.Merge(QuantizeSketch(part, 24, seed_rng.NextU64())).ok());
+  }
+  auto phis = DefaultPhiGrid();
+  auto est = EstimateQuantiles(merged, phis);
+  ASSERT_TRUE(est.ok()) << est.status().ToString();
+  std::sort(data.begin(), data.end());
+  EXPECT_LE(MeanQuantileError(data, est.value(), phis), 0.02);
+}
+
+}  // namespace
+}  // namespace msketch

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/maxent_solver.h"
+#include "core/moments_sketch.h"
+#include "datasets/datasets.h"
+#include "numerics/stats.h"
+
+namespace msketch {
+namespace {
+
+double MeanErrorOnData(const MomentsSketch& sketch,
+                       std::vector<double> data,
+                       const MaxEntOptions& options = {},
+                       bool round_to_int = false) {
+  auto phis = DefaultPhiGrid();
+  auto est = EstimateQuantiles(sketch, phis, options);
+  EXPECT_TRUE(est.ok()) << est.status().ToString();
+  if (!est.ok()) return 1.0;
+  if (round_to_int) {
+    for (double& q : est.value()) q = std::round(q);
+  }
+  std::sort(data.begin(), data.end());
+  return MeanQuantileError(data, est.value(), phis);
+}
+
+TEST(MaxEntSolverTest, EmptySketchRejected) {
+  MomentsSketch s(10);
+  EXPECT_FALSE(SolveMaxEnt(s).ok());
+}
+
+TEST(MaxEntSolverTest, PointMassIsDegenerate) {
+  MomentsSketch s(10);
+  for (int i = 0; i < 100; ++i) s.Accumulate(42.0);
+  auto dist = SolveMaxEnt(s);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_DOUBLE_EQ(dist->Quantile(0.01), 42.0);
+  EXPECT_DOUBLE_EQ(dist->Quantile(0.99), 42.0);
+}
+
+TEST(MaxEntSolverTest, RecoversUniformDistribution) {
+  MomentsSketch s(10);
+  Rng rng(31);
+  std::vector<double> data;
+  for (int i = 0; i < 200000; ++i) data.push_back(rng.Uniform(2.0, 6.0));
+  for (double x : data) s.Accumulate(x);
+  auto dist = SolveMaxEnt(s);
+  ASSERT_TRUE(dist.ok()) << dist.status().ToString();
+  // Quantiles of U(2, 6): q(phi) = 2 + 4 phi.
+  for (double phi : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    EXPECT_NEAR(dist->Quantile(phi), 2.0 + 4.0 * phi, 0.05) << phi;
+  }
+}
+
+TEST(MaxEntSolverTest, RecoversGaussianQuantiles) {
+  MomentsSketch s(10);
+  Rng rng(32);
+  std::vector<double> data;
+  for (int i = 0; i < 200000; ++i) data.push_back(rng.NextGaussian());
+  for (double x : data) s.Accumulate(x);
+  const double err = MeanErrorOnData(s, data);
+  EXPECT_LE(err, 0.01);
+}
+
+TEST(MaxEntSolverTest, ExponentialNeedsLogMoments) {
+  // The paper reports eps <= 1e-4 on Exp(1) with the full sketch.
+  MomentsSketch s(10);
+  auto data = GenerateDataset(DatasetId::kExponential, 200000);
+  for (double x : data) s.Accumulate(x);
+  const double err_full = MeanErrorOnData(s, data);
+  EXPECT_LE(err_full, 0.005);
+
+  MaxEntOptions no_log;
+  no_log.use_log_moments = false;
+  const double err_nolog = MeanErrorOnData(s, data, no_log);
+  EXPECT_LE(err_nolog, 0.05);  // still sane, just worse
+}
+
+TEST(MaxEntSolverTest, LognormalLogPrimary) {
+  MomentsSketch s(10);
+  Rng rng(33);
+  std::vector<double> data;
+  for (int i = 0; i < 200000; ++i) {
+    data.push_back(rng.NextLognormal(0.0, 1.0));
+  }
+  for (double x : data) s.Accumulate(x);
+  auto dist = SolveMaxEnt(s);
+  ASSERT_TRUE(dist.ok()) << dist.status().ToString();
+  EXPECT_TRUE(dist->diagnostics().log_primary);
+  // log X ~ N(0,1) exactly, so the log-domain maxent fit should be tight:
+  // median = 1, q(0.841) ~ e^1.
+  EXPECT_NEAR(dist->Quantile(0.5), 1.0, 0.05);
+  EXPECT_NEAR(dist->Quantile(0.8413), std::exp(1.0), 0.15);
+}
+
+TEST(MaxEntSolverTest, NegativeDataFallsBackToStdMoments) {
+  MomentsSketch s(10);
+  Rng rng(34);
+  std::vector<double> data;
+  for (int i = 0; i < 100000; ++i) data.push_back(rng.NextGaussian() - 1.0);
+  for (double x : data) s.Accumulate(x);
+  auto dist = SolveMaxEnt(s);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_EQ(dist->diagnostics().k2, 0);
+  EXPECT_FALSE(dist->diagnostics().log_primary);
+}
+
+TEST(MaxEntSolverTest, CdfQuantileConsistency) {
+  MomentsSketch s(8);
+  Rng rng(35);
+  for (int i = 0; i < 50000; ++i) s.Accumulate(rng.Uniform(0.0, 1.0));
+  auto dist = SolveMaxEnt(s);
+  ASSERT_TRUE(dist.ok());
+  for (double phi : {0.1, 0.5, 0.9}) {
+    const double q = dist->Quantile(phi);
+    EXPECT_NEAR(dist->Cdf(q), phi, 1e-6);
+  }
+  EXPECT_DOUBLE_EQ(dist->Cdf(-10.0), 0.0);
+  EXPECT_DOUBLE_EQ(dist->Cdf(10.0), 1.0);
+}
+
+TEST(MaxEntSolverTest, QuantilesMonotone) {
+  MomentsSketch s(10);
+  auto data = GenerateDataset(DatasetId::kMilan, 100000);
+  for (double x : data) s.Accumulate(x);
+  auto dist = SolveMaxEnt(s);
+  ASSERT_TRUE(dist.ok());
+  double prev = -1e300;
+  for (double phi = 0.01; phi < 1.0; phi += 0.01) {
+    const double q = dist->Quantile(phi);
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+}
+
+TEST(MaxEntSolverTest, FewDistinctValuesFailsToConverge) {
+  // Section 6.2.3: the solver fails on datasets with < 5 distinct values
+  // (no density matches discrete moments). Must surface as NotConverged,
+  // not hang or crash.
+  MomentsSketch s(10);
+  for (int i = 0; i < 1000; ++i) {
+    s.Accumulate((i % 3 == 0) ? 1.0 : ((i % 3 == 1) ? 2.0 : 5.0));
+  }
+  auto dist = SolveMaxEnt(s);
+  if (dist.ok()) {
+    // If it does converge, estimates must at least stay in range.
+    EXPECT_GE(dist->Quantile(0.5), 1.0);
+    EXPECT_LE(dist->Quantile(0.5), 5.0);
+  } else {
+    EXPECT_EQ(dist.status().code(), StatusCode::kNotConverged);
+  }
+}
+
+TEST(MaxEntSolverTest, EstimatesWithinRangeAlways) {
+  MomentsSketch s(10);
+  auto data = GenerateDataset(DatasetId::kRetail, 50000);
+  for (double x : data) s.Accumulate(x);
+  auto dist = SolveMaxEnt(s);
+  ASSERT_TRUE(dist.ok()) << dist.status().ToString();
+  for (double phi : DefaultPhiGrid()) {
+    const double q = dist->Quantile(phi);
+    EXPECT_GE(q, s.min());
+    EXPECT_LE(q, s.max());
+  }
+}
+
+// The paper's headline accuracy claim (Figure 7): eps_avg <= 0.015 with
+// <= 200 bytes (k = 10) across the evaluation datasets.
+class DatasetAccuracyTest : public ::testing::TestWithParam<DatasetId> {};
+
+TEST_P(DatasetAccuracyTest, K10MeanErrorUnderOnePercent) {
+  MomentsSketch s(10);
+  auto data = GenerateDataset(GetParam(), 300000);
+  for (double x : data) s.Accumulate(x);
+  // Round integer datasets to the nearest integer as in the paper
+  // ("On the integer retail dataset we round estimates").
+  const bool round = GetParam() == DatasetId::kRetail;
+  const double budget =
+      (GetParam() == DatasetId::kRetail || GetParam() == DatasetId::kOccupancy)
+          ? 0.05    // semi-discrete datasets: the paper's hard cases
+          : 0.015;
+  EXPECT_LE(MeanErrorOnData(s, data, {}, round), budget)
+      << DatasetName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, DatasetAccuracyTest,
+    ::testing::Values(DatasetId::kMilan, DatasetId::kHepmass,
+                      DatasetId::kOccupancy, DatasetId::kRetail,
+                      DatasetId::kPower, DatasetId::kExponential),
+    [](const ::testing::TestParamInfo<DatasetId>& info) {
+      return DatasetName(info.param);
+    });
+
+// Merging property: estimates from a merged sketch are identical to the
+// pointwise sketch (same moments up to fp rounding) — "no accuracy loss in
+// pre-aggregating" (Section 4.1).
+TEST(MaxEntSolverTest, MergedSketchSameEstimates) {
+  auto data = GenerateDataset(DatasetId::kPower, 50000);
+  MomentsSketch whole(10), merged(10);
+  for (double x : data) whole.Accumulate(x);
+  for (size_t start = 0; start < data.size(); start += 200) {
+    MomentsSketch part(10);
+    for (size_t i = start; i < start + 200 && i < data.size(); ++i) {
+      part.Accumulate(data[i]);
+    }
+    ASSERT_TRUE(merged.Merge(part).ok());
+  }
+  auto phis = DefaultPhiGrid();
+  auto qw = EstimateQuantiles(whole, phis);
+  auto qm = EstimateQuantiles(merged, phis);
+  ASSERT_TRUE(qw.ok());
+  ASSERT_TRUE(qm.ok());
+  for (size_t i = 0; i < phis.size(); ++i) {
+    EXPECT_NEAR(qw.value()[i], qm.value()[i],
+                1e-4 * std::max(1.0, std::fabs(qw.value()[i])));
+  }
+}
+
+TEST(MaxEntSolverTest, DiagnosticsPopulated) {
+  MomentsSketch s(10);
+  auto data = GenerateDataset(DatasetId::kExponential, 50000);
+  for (double x : data) s.Accumulate(x);
+  auto dist = SolveMaxEnt(s);
+  ASSERT_TRUE(dist.ok());
+  const auto& d = dist->diagnostics();
+  EXPECT_GT(d.k1 + d.k2, 0);
+  EXPECT_GT(d.newton_iterations, 0);
+  EXPECT_GE(d.grid_size, 64);
+  EXPECT_GT(d.condition_number, 0.0);
+  EXPECT_LE(d.condition_number, 1e4);
+}
+
+}  // namespace
+}  // namespace msketch

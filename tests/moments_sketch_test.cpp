@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/chebyshev_moments.h"
+#include "core/moments_sketch.h"
+
+namespace msketch {
+namespace {
+
+TEST(MomentsSketchTest, AccumulateTracksExactSums) {
+  MomentsSketch s(4);
+  s.Accumulate(2.0);
+  s.Accumulate(3.0);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_DOUBLE_EQ(s.power_sums()[0], 5.0);    // x
+  EXPECT_DOUBLE_EQ(s.power_sums()[1], 13.0);   // x^2
+  EXPECT_DOUBLE_EQ(s.power_sums()[2], 35.0);   // x^3
+  EXPECT_DOUBLE_EQ(s.power_sums()[3], 97.0);   // x^4
+  EXPECT_DOUBLE_EQ(s.log_sums()[0], std::log(2.0) + std::log(3.0));
+}
+
+TEST(MomentsSketchTest, StandardMomentsNormalized) {
+  MomentsSketch s(3);
+  for (int i = 1; i <= 4; ++i) s.Accumulate(i);
+  auto mu = s.StandardMoments();
+  EXPECT_DOUBLE_EQ(mu[0], 1.0);
+  EXPECT_DOUBLE_EQ(mu[1], 2.5);
+  EXPECT_DOUBLE_EQ(mu[2], (1 + 4 + 9 + 16) / 4.0);
+}
+
+TEST(MomentsSketchTest, NegativeValuesDisableLogMoments) {
+  MomentsSketch s(3);
+  s.Accumulate(1.0);
+  s.Accumulate(-2.0);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_EQ(s.log_count(), 1u);
+  EXPECT_FALSE(s.LogMomentsUsable());
+}
+
+TEST(MomentsSketchTest, ZeroDisablesLogMoments) {
+  MomentsSketch s(3);
+  s.Accumulate(0.0);
+  s.Accumulate(5.0);
+  EXPECT_FALSE(s.LogMomentsUsable());
+}
+
+TEST(MomentsSketchTest, AllPositiveEnablesLogMoments) {
+  MomentsSketch s(3);
+  s.Accumulate(0.5);
+  s.Accumulate(5.0);
+  EXPECT_TRUE(s.LogMomentsUsable());
+}
+
+// Algorithm 1's key property: merge of partition sketches is identical to
+// a pointwise-built sketch, up to floating point associativity. With exact
+// binary values the sums are bit-identical.
+TEST(MomentsSketchTest, MergeIdenticalToAccumulate) {
+  MomentsSketch whole(10);
+  MomentsSketch left(10), right(10);
+  Rng rng(21);
+  for (int i = 0; i < 1000; ++i) {
+    // Use dyadic values so double addition is exact in any order.
+    const double x = static_cast<double>(1 + rng.NextBelow(1024)) / 64.0;
+    whole.Accumulate(x);
+    if (i < 500) {
+      left.Accumulate(x);
+    } else {
+      right.Accumulate(x);
+    }
+  }
+  ASSERT_TRUE(left.Merge(right).ok());
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_NEAR(left.power_sums()[i], whole.power_sums()[i],
+                1e-9 * std::fabs(whole.power_sums()[i]));
+  }
+}
+
+TEST(MomentsSketchTest, MergeRejectsMismatchedOrder) {
+  MomentsSketch a(4), b(6);
+  EXPECT_FALSE(a.Merge(b).ok());
+  EXPECT_FALSE(a.Subtract(b).ok());
+}
+
+TEST(MomentsSketchTest, SubtractUndoesMerge) {
+  MomentsSketch a(6), b(6);
+  Rng rng(22);
+  for (int i = 0; i < 300; ++i) a.Accumulate(1.0 + rng.NextDouble());
+  for (int i = 0; i < 200; ++i) b.Accumulate(2.0 + rng.NextDouble());
+  MomentsSketch merged = a;
+  ASSERT_TRUE(merged.Merge(b).ok());
+  ASSERT_TRUE(merged.Subtract(b).ok());
+  merged.SetRange(a.min(), a.max());
+  EXPECT_EQ(merged.count(), a.count());
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_NEAR(merged.power_sums()[i], a.power_sums()[i],
+                1e-7 * std::max(1.0, std::fabs(a.power_sums()[i])));
+  }
+}
+
+TEST(MomentsSketchTest, SubtractingTooMuchFails) {
+  MomentsSketch a(3), b(3);
+  a.Accumulate(1.0);
+  b.Accumulate(1.0);
+  b.Accumulate(2.0);
+  EXPECT_FALSE(a.Subtract(b).ok());
+}
+
+TEST(MomentsSketchTest, SerializationRoundTrip) {
+  MomentsSketch s(8);
+  Rng rng(23);
+  for (int i = 0; i < 500; ++i) s.Accumulate(rng.NextLognormal(0.0, 1.0));
+  BytesWriter w;
+  s.Serialize(&w);
+  EXPECT_EQ(w.bytes().size(),
+            sizeof(uint32_t) + 2 * sizeof(uint64_t) + (2 + 16) * 8);
+  BytesReader r(w.bytes());
+  auto back = MomentsSketch::Deserialize(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->IdenticalTo(s));
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(MomentsSketchTest, DeserializeRejectsCorruptHeader) {
+  BytesWriter w;
+  w.PutU32(1000);  // k too large
+  BytesReader r(w.bytes());
+  EXPECT_FALSE(MomentsSketch::Deserialize(&r).ok());
+}
+
+TEST(MomentsSketchTest, DeserializeRejectsTruncated) {
+  MomentsSketch s(4);
+  s.Accumulate(1.0);
+  BytesWriter w;
+  s.Serialize(&w);
+  auto bytes = w.bytes();
+  bytes.resize(bytes.size() - 8);
+  BytesReader r(bytes);
+  EXPECT_FALSE(MomentsSketch::Deserialize(&r).ok());
+}
+
+TEST(MomentsSketchTest, SizeBytesMatchesPaper) {
+  // k=10 with both moment families: ~200 bytes (the paper's headline).
+  MomentsSketch s(10);
+  EXPECT_LE(s.SizeBytes(), 200u);
+  EXPECT_GE(s.SizeBytes(), 150u);
+}
+
+TEST(MomentsSketchTest, EmptySketchMergesAsIdentity) {
+  MomentsSketch a(5), b(5);
+  b.Accumulate(3.0);
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.min(), 3.0);
+}
+
+// ------------------------------------------------- Chebyshev conversion
+
+TEST(ChebyshevMomentsTest, ShiftMatchesDirectComputation) {
+  // Data: {2, 4, 6}; map to [-1,1] over [2,6]: u = (x-4)/2 -> {-1, 0, 1}.
+  std::vector<double> mu = {1.0, 4.0, (4.0 + 16 + 36) / 3,
+                            (8.0 + 64 + 216) / 3};
+  ScaleMap map = MakeScaleMap(2.0, 6.0);
+  auto shifted = ShiftPowerMoments(mu, map);
+  EXPECT_NEAR(shifted[0], 1.0, 1e-12);
+  EXPECT_NEAR(shifted[1], 0.0, 1e-12);          // mean of {-1,0,1}
+  EXPECT_NEAR(shifted[2], 2.0 / 3.0, 1e-12);    // mean of {1,0,1}
+  EXPECT_NEAR(shifted[3], 0.0, 1e-12);
+}
+
+TEST(ChebyshevMomentsTest, ChebMomentsMatchDirect) {
+  Rng rng(24);
+  std::vector<double> data(2000);
+  for (auto& v : data) v = rng.Uniform(2.0, 10.0);
+  // Build raw moments.
+  const int k = 8;
+  std::vector<double> mu(k + 1, 0.0);
+  mu[0] = 1.0;
+  double lo = data[0], hi = data[0];
+  for (double x : data) {
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  for (double x : data) {
+    double p = 1.0;
+    for (int i = 1; i <= k; ++i) {
+      p *= x;
+      mu[i] += p / data.size();
+    }
+  }
+  ScaleMap map = MakeScaleMap(lo, hi);
+  auto cheb = PowerMomentsToChebyshev(mu, map);
+  // Direct: average of T_i(s(x)).
+  for (int i = 0; i <= k; ++i) {
+    double direct = 0.0;
+    for (double x : data) {
+      double t_prev = 1.0, t_cur = map.Forward(x);
+      double ti;
+      if (i == 0) {
+        ti = 1.0;
+      } else {
+        for (int j = 2; j <= i; ++j) {
+          const double nxt = 2.0 * map.Forward(x) * t_cur - t_prev;
+          t_prev = t_cur;
+          t_cur = nxt;
+        }
+        ti = t_cur;
+      }
+      direct += ti / data.size();
+    }
+    EXPECT_NEAR(cheb[i], direct, 1e-8) << "i=" << i;
+  }
+}
+
+TEST(ChebyshevMomentsTest, StableKBoundMatchesAppendixB) {
+  // Eq. 21: c = 0 -> 13.35/0.78 = 17.1 -> capped at 15.
+  EXPECT_EQ(StableKBound(0.0), 15);
+  // c = 2 -> 13.35 / (0.78 + log10(3)) = 13.35 / 1.257 = 10.6 -> 10.
+  EXPECT_EQ(StableKBound(2.0), 10);
+  // Large offsets leave almost nothing.
+  EXPECT_LE(StableKBound(1000.0), 4);
+  EXPECT_GE(StableKBound(1000.0), 2);
+}
+
+TEST(ChebyshevMomentsTest, UniformExpectations) {
+  EXPECT_DOUBLE_EQ(UniformChebyshevMoment(0), 1.0);
+  EXPECT_DOUBLE_EQ(UniformChebyshevMoment(1), 0.0);
+  EXPECT_DOUBLE_EQ(UniformChebyshevMoment(2), -1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(UniformChebyshevMoment(4), -1.0 / 15.0);
+}
+
+TEST(ChebyshevMomentsTest, DegenerateRangeGetsUnitRadius) {
+  ScaleMap m = MakeScaleMap(5.0, 5.0);
+  EXPECT_DOUBLE_EQ(m.radius, 1.0);
+  EXPECT_DOUBLE_EQ(m.Forward(5.0), 0.0);
+}
+
+}  // namespace
+}  // namespace msketch

@@ -1,0 +1,470 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "datasets/datasets.h"
+#include "numerics/stats.h"
+#include "sketches/buffer_hierarchy.h"
+#include "sketches/ewhist.h"
+#include "sketches/exact_sketch.h"
+#include "sketches/gk_sketch.h"
+#include "sketches/sampling_sketch.h"
+#include "sketches/shist.h"
+#include "sketches/summary_factory.h"
+#include "sketches/tdigest.h"
+
+namespace msketch {
+namespace {
+
+// Shared helpers ------------------------------------------------------
+
+std::vector<double> UniformData(size_t n, uint64_t seed = 77) {
+  Rng rng(seed);
+  std::vector<double> data(n);
+  for (auto& v : data) v = rng.NextDouble();
+  return data;
+}
+
+double EvalMeanError(const QuantileSummary& summary,
+                     std::vector<double> data) {
+  std::sort(data.begin(), data.end());
+  auto phis = DefaultPhiGrid();
+  std::vector<double> ests;
+  for (double phi : phis) {
+    auto q = summary.EstimateQuantile(phi);
+    EXPECT_TRUE(q.ok()) << summary.Name() << " phi=" << phi << ": "
+                        << q.status().ToString();
+    ests.push_back(q.ok() ? q.value() : 0.0);
+  }
+  return MeanQuantileError(data, ests, phis);
+}
+
+// ---------------------------------------------------------------- Exact
+
+TEST(ExactSketchTest, QuantilesMatchDefinition) {
+  ExactSketch s;
+  for (int i = 1000; i >= 1; --i) s.Accumulate(i);
+  EXPECT_DOUBLE_EQ(s.EstimateQuantile(0.5).value(), 501.0);
+  EXPECT_DOUBLE_EQ(s.EstimateQuantile(0.01).value(), 11.0);
+}
+
+TEST(ExactSketchTest, MergePreservesAll) {
+  ExactSketch a, b;
+  for (int i = 0; i < 100; ++i) a.Accumulate(i);
+  for (int i = 100; i < 200; ++i) b.Accumulate(i);
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_DOUBLE_EQ(a.EstimateQuantile(0.995).value(), 199.0);
+}
+
+// ------------------------------------------------------------------- GK
+
+TEST(GkSketchTest, AccuracyWithinEpsilon) {
+  GkSketch s(0.01);
+  auto data = UniformData(50000);
+  for (double x : data) s.Accumulate(x);
+  std::sort(data.begin(), data.end());
+  for (double phi : DefaultPhiGrid()) {
+    auto q = s.EstimateQuantile(phi);
+    ASSERT_TRUE(q.ok());
+    EXPECT_LE(QuantileError(data, phi, q.value()), 0.016) << "phi=" << phi;
+  }
+}
+
+TEST(GkSketchTest, SizeSublinear) {
+  GkSketch s(0.02);
+  for (int i = 0; i < 100000; ++i) s.Accumulate(std::sin(i * 0.1) * i);
+  EXPECT_LT(s.num_tuples(), 2000u);
+  EXPECT_EQ(s.count(), 100000u);
+}
+
+TEST(GkSketchTest, MergeGrowsButStaysAccurate) {
+  auto data = UniformData(40000, 3);
+  std::vector<GkSketch> parts;
+  for (int p = 0; p < 40; ++p) {
+    GkSketch s(0.02);
+    for (int i = 0; i < 1000; ++i) s.Accumulate(data[p * 1000 + i]);
+    parts.push_back(std::move(s));
+  }
+  GkSketch merged = parts[0];
+  for (size_t i = 1; i < parts.size(); ++i) {
+    ASSERT_TRUE(merged.Merge(parts[i]).ok());
+  }
+  EXPECT_EQ(merged.count(), 40000u);
+  std::sort(data.begin(), data.end());
+  auto q = merged.EstimateQuantile(0.5);
+  ASSERT_TRUE(q.ok());
+  // Merged-GK error degrades with merges; just require sane estimates.
+  EXPECT_LE(QuantileError(data, 0.5, q.value()), 0.15);
+}
+
+TEST(GkSketchTest, EmptyEstimateFails) {
+  GkSketch s(0.05);
+  EXPECT_FALSE(s.EstimateQuantile(0.5).ok());
+}
+
+// -------------------------------------------------------------- TDigest
+
+TEST(TDigestTest, AccurateOnUniform) {
+  TDigest s(100.0);
+  auto data = UniformData(100000);
+  for (double x : data) s.Accumulate(x);
+  std::sort(data.begin(), data.end());
+  for (double phi : {0.01, 0.1, 0.5, 0.9, 0.99}) {
+    auto q = s.EstimateQuantile(phi);
+    ASSERT_TRUE(q.ok());
+    EXPECT_LE(QuantileError(data, phi, q.value()), 0.01) << "phi=" << phi;
+  }
+}
+
+TEST(TDigestTest, TailsAreTight) {
+  TDigest s(100.0);
+  auto data = UniformData(100000, 5);
+  for (double x : data) s.Accumulate(x);
+  std::sort(data.begin(), data.end());
+  auto q = s.EstimateQuantile(0.999);
+  ASSERT_TRUE(q.ok());
+  EXPECT_LE(QuantileError(data, 0.999, q.value()), 0.002);
+}
+
+TEST(TDigestTest, CentroidCountBounded) {
+  TDigest s(50.0);
+  Rng rng(6);
+  for (int i = 0; i < 200000; ++i) s.Accumulate(rng.NextGaussian());
+  EXPECT_LE(s.num_centroids(), 130u);  // ~2*delta + slack
+}
+
+TEST(TDigestTest, MergeMatchesDistribution) {
+  auto data = UniformData(60000, 8);
+  TDigest whole(100.0);
+  for (double x : data) whole.Accumulate(x);
+  TDigest merged(100.0);
+  for (int p = 0; p < 60; ++p) {
+    TDigest part(100.0);
+    for (int i = 0; i < 1000; ++i) part.Accumulate(data[p * 1000 + i]);
+    ASSERT_TRUE(merged.Merge(part).ok());
+  }
+  EXPECT_EQ(merged.count(), whole.count());
+  std::sort(data.begin(), data.end());
+  for (double phi : {0.05, 0.5, 0.95}) {
+    auto q = merged.EstimateQuantile(phi);
+    ASSERT_TRUE(q.ok());
+    EXPECT_LE(QuantileError(data, phi, q.value()), 0.02);
+  }
+}
+
+// ------------------------------------------------- BufferHierarchy (x2)
+
+TEST(BufferHierarchyTest, Merge12AccurateOnUniform) {
+  auto sketch = MakeMerge12(64);
+  auto data = UniformData(100000, 9);
+  for (double x : data) sketch.Accumulate(x);
+  std::sort(data.begin(), data.end());
+  double err_sum = 0;
+  auto phis = DefaultPhiGrid();
+  for (double phi : phis) {
+    auto q = sketch.EstimateQuantile(phi);
+    ASSERT_TRUE(q.ok());
+    err_sum += QuantileError(data, phi, q.value());
+  }
+  EXPECT_LE(err_sum / phis.size(), 0.02);
+}
+
+TEST(BufferHierarchyTest, RandomWAccurateOnUniform) {
+  auto sketch = MakeRandomW(64);
+  auto data = UniformData(100000, 10);
+  for (double x : data) sketch.Accumulate(x);
+  std::sort(data.begin(), data.end());
+  double err_sum = 0;
+  auto phis = DefaultPhiGrid();
+  for (double phi : phis) {
+    auto q = sketch.EstimateQuantile(phi);
+    ASSERT_TRUE(q.ok());
+    err_sum += QuantileError(data, phi, q.value());
+  }
+  EXPECT_LE(err_sum / phis.size(), 0.02);
+}
+
+TEST(BufferHierarchyTest, CountsExactUnderMerging) {
+  auto merged = MakeMerge12(16);
+  uint64_t expect = 0;
+  Rng rng(11);
+  for (int p = 0; p < 37; ++p) {
+    auto part = MakeMerge12(16, 1000 + p);
+    const int n = 1 + static_cast<int>(rng.NextBelow(700));
+    for (int i = 0; i < n; ++i) part.Accumulate(rng.NextGaussian());
+    expect += n;
+    ASSERT_TRUE(merged.Merge(part).ok());
+  }
+  EXPECT_EQ(merged.count(), expect);
+}
+
+TEST(BufferHierarchyTest, RejectsMismatchedParams) {
+  auto a = MakeMerge12(16);
+  auto b = MakeMerge12(32);
+  EXPECT_FALSE(a.Merge(b).ok());
+  auto c = MakeRandomW(16);
+  EXPECT_FALSE(a.Merge(c).ok());
+}
+
+TEST(BufferHierarchyTest, MergeOfManyPartsStaysAccurate) {
+  auto data = UniformData(80000, 12);
+  auto merged = MakeMerge12(64);
+  for (int p = 0; p < 400; ++p) {
+    auto part = MakeMerge12(64, 50 + p);
+    for (int i = 0; i < 200; ++i) part.Accumulate(data[p * 200 + i]);
+    ASSERT_TRUE(merged.Merge(part).ok());
+  }
+  std::sort(data.begin(), data.end());
+  double err_sum = 0;
+  auto phis = DefaultPhiGrid();
+  for (double phi : phis) {
+    auto q = merged.EstimateQuantile(phi);
+    ASSERT_TRUE(q.ok());
+    err_sum += QuantileError(data, phi, q.value());
+  }
+  EXPECT_LE(err_sum / phis.size(), 0.03);
+}
+
+// -------------------------------------------------------------- Sampling
+
+TEST(SamplingSketchTest, ReservoirIsUnbiasedishOnUniform) {
+  SamplingSketch s(2000);
+  auto data = UniformData(100000, 13);
+  for (double x : data) s.Accumulate(x);
+  EXPECT_EQ(s.sample().size(), 2000u);
+  std::sort(data.begin(), data.end());
+  auto q = s.EstimateQuantile(0.5);
+  ASSERT_TRUE(q.ok());
+  EXPECT_LE(QuantileError(data, 0.5, q.value()), 0.05);
+}
+
+TEST(SamplingSketchTest, MergeKeepsCapacityAndCount) {
+  SamplingSketch a(500), b(500, 99);
+  for (int i = 0; i < 10000; ++i) a.Accumulate(i);
+  for (int i = 0; i < 30000; ++i) b.Accumulate(100000 + i);
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_EQ(a.count(), 40000u);
+  EXPECT_LE(a.sample().size(), 500u);
+  // After merging, ~3/4 of samples should come from b's range.
+  size_t from_b = 0;
+  for (double v : a.sample()) {
+    if (v >= 100000) ++from_b;
+  }
+  EXPECT_GT(from_b, a.sample().size() / 2);
+  EXPECT_LT(from_b, a.sample().size());
+}
+
+// ---------------------------------------------------------------- S-Hist
+
+TEST(SHistTest, AccurateOnSmoothData) {
+  SHist s(100);
+  Rng rng(14);
+  std::vector<double> data;
+  for (int i = 0; i < 50000; ++i) data.push_back(rng.NextGaussian());
+  for (double x : data) s.Accumulate(x);
+  std::sort(data.begin(), data.end());
+  for (double phi : {0.1, 0.5, 0.9}) {
+    auto q = s.EstimateQuantile(phi);
+    ASSERT_TRUE(q.ok());
+    EXPECT_LE(QuantileError(data, phi, q.value()), 0.02) << "phi=" << phi;
+  }
+}
+
+TEST(SHistTest, BinCountRespected) {
+  SHist s(32);
+  Rng rng(15);
+  for (int i = 0; i < 10000; ++i) s.Accumulate(rng.NextGaussian());
+  EXPECT_LE(s.SizeBytes(), 32 * 16 + 64);
+}
+
+TEST(SHistTest, MergeMatchesPointwiseBuild) {
+  auto data = UniformData(20000, 16);
+  SHist merged(64);
+  for (int p = 0; p < 100; ++p) {
+    SHist part(64);
+    for (int i = 0; i < 200; ++i) part.Accumulate(data[p * 200 + i]);
+    ASSERT_TRUE(merged.Merge(part).ok());
+  }
+  EXPECT_EQ(merged.count(), 20000u);
+  std::sort(data.begin(), data.end());
+  auto q = merged.EstimateQuantile(0.5);
+  ASSERT_TRUE(q.ok());
+  EXPECT_LE(QuantileError(data, 0.5, q.value()), 0.03);
+}
+
+TEST(SHistTest, LongTailLosesAccuracy) {
+  // The paper finds S-Hist inaccurate on long-tailed data (milan);
+  // reproduce that qualitative behavior: tail quantile error worse than
+  // a comparable-size Merge12.
+  auto data = GenerateDataset(DatasetId::kMilan, 50000);
+  SHist shist(100);
+  auto m12 = MakeMerge12(64);
+  for (double x : data) {
+    shist.Accumulate(x);
+    m12.Accumulate(x);
+  }
+  std::sort(data.begin(), data.end());
+  const double phi = 0.5;
+  auto qs = shist.EstimateQuantile(phi);
+  auto qm = m12.EstimateQuantile(phi);
+  ASSERT_TRUE(qs.ok());
+  ASSERT_TRUE(qm.ok());
+  EXPECT_GT(QuantileError(data, phi, qs.value()),
+            QuantileError(data, phi, qm.value()));
+}
+
+// ---------------------------------------------------------------- EW-Hist
+
+TEST(EwHistTest, ExactCountsAndRangeGrowth) {
+  EwHist h(16);
+  h.Accumulate(1.0);
+  h.Accumulate(2.0);
+  h.Accumulate(1000.0);  // forces widening
+  EXPECT_EQ(h.count(), 3u);
+  auto q = h.EstimateQuantile(0.99);
+  ASSERT_TRUE(q.ok());
+  EXPECT_LE(q.value(), 1000.0);
+  EXPECT_GE(q.value(), 2.0);
+}
+
+TEST(EwHistTest, UniformDataInterpolatesWell) {
+  EwHist h(128);
+  auto data = UniformData(100000, 17);
+  for (double x : data) h.Accumulate(x);
+  std::sort(data.begin(), data.end());
+  for (double phi : {0.1, 0.5, 0.9}) {
+    auto q = h.EstimateQuantile(phi);
+    ASSERT_TRUE(q.ok());
+    EXPECT_LE(QuantileError(data, phi, q.value()), 0.02);
+  }
+}
+
+TEST(EwHistTest, MergeEqualsPointwise) {
+  auto data = UniformData(30000, 18);
+  for (auto& v : data) v = v * 100.0 - 50.0;  // include negatives
+  EwHist whole(64);
+  EwHist merged(64);
+  for (double x : data) whole.Accumulate(x);
+  for (int p = 0; p < 30; ++p) {
+    EwHist part(64);
+    for (int i = 0; i < 1000; ++i) part.Accumulate(data[p * 1000 + i]);
+    ASSERT_TRUE(merged.Merge(part).ok());
+  }
+  EXPECT_EQ(merged.count(), whole.count());
+  // Same width after alignment implies identical estimates up to widening
+  // differences; compare quantiles loosely.
+  for (double phi : {0.25, 0.5, 0.75}) {
+    auto qw = whole.EstimateQuantile(phi);
+    auto qm = merged.EstimateQuantile(phi);
+    ASSERT_TRUE(qw.ok());
+    ASSERT_TRUE(qm.ok());
+    EXPECT_NEAR(qw.value(), qm.value(), 8.0);
+  }
+}
+
+TEST(EwHistTest, LongTailedDataIsHard) {
+  // Power-of-two equi-width bins squander resolution on long tails — the
+  // reason the paper's milan EW-Hist needs >100k buckets for 1% error.
+  auto data = GenerateDataset(DatasetId::kMilan, 50000);
+  EwHist h(100);
+  for (double x : data) h.Accumulate(x);
+  std::sort(data.begin(), data.end());
+  double err = 0;
+  auto phis = DefaultPhiGrid();
+  for (double phi : phis) {
+    auto q = h.EstimateQuantile(phi);
+    ASSERT_TRUE(q.ok());
+    err += QuantileError(data, phi, q.value());
+  }
+  EXPECT_GT(err / phis.size(), 0.01);
+}
+
+// ------------------------------------------ Factory + property sweeps
+
+TEST(SummaryFactoryTest, KnownNames) {
+  for (const char* name : {"Merge12", "RandomW", "GK", "T-Digest",
+                           "Sampling", "S-Hist", "EW-Hist", "Exact"}) {
+    auto s = MakeSummary(name, 64);
+    ASSERT_TRUE(s.ok()) << name;
+    EXPECT_EQ(s.value()->Name(), name);
+    EXPECT_EQ(s.value()->count(), 0u);
+  }
+  EXPECT_FALSE(MakeSummary("bogus", 1).ok());
+}
+
+struct SweepCase {
+  const char* summary;
+  double param;
+  const char* dataset;
+  double err_budget;
+};
+
+class MergeVsAccumulateTest : public ::testing::TestWithParam<SweepCase> {};
+
+// Property: for a mergeable summary, building from merged partitions must
+// be roughly as accurate as pointwise accumulation (Section 3.2's
+// definition of mergeability). We allow a 2.5x slack plus small absolute
+// floor for randomized summaries.
+TEST_P(MergeVsAccumulateTest, MergedAccuracyComparable) {
+  const SweepCase& c = GetParam();
+  auto ds = DatasetFromName(c.dataset);
+  ASSERT_TRUE(ds.ok());
+  auto data = GenerateDataset(ds.value(), 40000);
+
+  auto whole = MakeSummary(c.summary, c.param);
+  ASSERT_TRUE(whole.ok());
+  for (double x : data) whole.value()->Accumulate(x);
+
+  auto merged = MakeSummary(c.summary, c.param);
+  ASSERT_TRUE(merged.ok());
+  const size_t cell = 200;
+  for (size_t start = 0; start < data.size(); start += cell) {
+    auto part = merged.value()->CloneEmpty();
+    for (size_t i = start; i < start + cell && i < data.size(); ++i) {
+      part->Accumulate(data[i]);
+    }
+    ASSERT_TRUE(merged.value()->Merge(*part).ok());
+  }
+  EXPECT_EQ(merged.value()->count(), whole.value()->count());
+
+  const double e_whole = EvalMeanError(*whole.value(), data);
+  const double e_merged = EvalMeanError(*merged.value(), data);
+  EXPECT_LE(e_whole, c.err_budget)
+      << c.summary << " pointwise on " << c.dataset;
+  EXPECT_LE(e_merged, std::max(2.5 * c.err_budget, e_whole + 0.02))
+      << c.summary << " merged on " << c.dataset;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSummaries, MergeVsAccumulateTest,
+    ::testing::Values(
+        SweepCase{"Merge12", 64, "expon", 0.02},
+        SweepCase{"Merge12", 64, "milan", 0.02},
+        SweepCase{"Merge12", 64, "hepmass", 0.02},
+        SweepCase{"RandomW", 64, "expon", 0.02},
+        SweepCase{"RandomW", 64, "milan", 0.02},
+        SweepCase{"T-Digest", 100, "expon", 0.01},
+        SweepCase{"T-Digest", 100, "milan", 0.01},
+        SweepCase{"T-Digest", 100, "retail", 0.035},
+        SweepCase{"Sampling", 2000, "expon", 0.03},
+        SweepCase{"Sampling", 2000, "power", 0.03},
+        SweepCase{"S-Hist", 100, "hepmass", 0.02},
+        SweepCase{"S-Hist", 100, "power", 0.03},
+        SweepCase{"EW-Hist", 128, "hepmass", 0.02},
+        SweepCase{"EW-Hist", 128, "occupancy", 0.03},
+        SweepCase{"GK", 50, "expon", 0.02},
+        SweepCase{"GK", 50, "occupancy", 0.02}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      std::string name = std::string(info.param.summary) + "_" +
+                         info.param.dataset;
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace msketch
