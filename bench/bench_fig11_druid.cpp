@@ -3,10 +3,16 @@
 // the query computes a p99 over the whole dataset by merging every cell.
 // Compared: native sum, M-Sketch@10, S-Hist@{10,100,1000} (Druid's
 // default summary at three sizes).
+//
+// The M-Sketch cube runs on the columnar CubeStore engine. A second
+// section measures what the per-dimension inverted indexes buy on
+// *filtered* queries: the same selective filters answered through the
+// index intersection vs. a full scan of every cell's coordinates.
 #include <cstdio>
 
 #include "bench/bench_util.h"
 #include "common/rng.h"
+#include "cube/cube_store.h"
 #include "cube/data_cube.h"
 #include "datasets/datasets.h"
 #include "sketches/shist.h"
@@ -57,8 +63,9 @@ int main(int argc, char** argv) {
   auto values = GenerateDataset(DatasetId::kMilan, rows);
 
   // Native sum baseline (uses the same cube layout as the sketch query).
+  // Built once; the filtered-query section below reuses it.
+  auto cube = BuildDruidCube(values, grids, MomentsSummary(10));
   {
-    auto cube = BuildDruidCube(values, grids, MomentsSummary(10));
     std::printf("cube: %llu rows in %zu cells\n",
                 static_cast<unsigned long long>(cube.num_rows()),
                 cube.num_cells());
@@ -75,6 +82,53 @@ int main(int argc, char** argv) {
     const double secs = TimeQuantileQuery(cube, &q99);
     std::printf("%-11s@%-4zu %6.3f s   (p99 = %.2f)\n", "S-Hist", bins,
                 secs, q99);
+  }
+
+  // ---- Indexed vs full-scan filtered queries (columnar M-Sketch cube).
+  // Each filter pins one or more dimensions; the indexed path intersects
+  // the dimensions' postings lists and merges only matching cells, the
+  // scan path tests every cell's coordinates.
+  {
+    const CubeStore& store = cube.store();
+    struct FilterCase {
+      const char* label;
+      CubeFilter filter;
+    };
+    const FilterCase cases[] = {
+        {"hour=3", {3, kAnyValue, kAnyValue}},
+        {"grid=17", {kAnyValue, 17, kAnyValue}},
+        {"grid=17,country=2", {kAnyValue, 17, 2}},
+        {"hour=3,grid=17,country=2", {3, 17, 2}},
+    };
+    const int reps = 20;
+    std::printf("\n--- filtered queries: inverted index vs full scan "
+                "(%zu cells, %d reps) ---\n",
+                store.num_cells(), reps);
+    std::printf("%-26s %10s %11s %11s %12s %12s %8s\n", "filter", "matched",
+                "visit(idx)", "visit(scan)", "indexed(ms)", "scan(ms)",
+                "speedup");
+    for (const FilterCase& c : cases) {
+      CubeStore::QueryStats idx_stats, scan_stats;
+      Timer t_idx;
+      MomentsSketch idx(10);
+      for (int r = 0; r < reps; ++r) {
+        idx = store.MergeWhere(c.filter, &idx_stats);
+      }
+      const double idx_ms = t_idx.Millis() / reps;
+      Timer t_scan;
+      MomentsSketch scan(10);
+      for (int r = 0; r < reps; ++r) {
+        scan = store.MergeWhereScan(c.filter, &scan_stats);
+      }
+      const double scan_ms = t_scan.Millis() / reps;
+      MSKETCH_CHECK(idx.IdenticalTo(scan));
+      std::printf("%-26s %10llu %11llu %11llu %12.4f %12.4f %7.1fx\n",
+                  c.label,
+                  static_cast<unsigned long long>(idx_stats.merges),
+                  static_cast<unsigned long long>(idx_stats.visited),
+                  static_cast<unsigned long long>(scan_stats.visited),
+                  idx_ms, scan_ms, scan_ms / idx_ms);
+    }
   }
   return 0;
 }

@@ -7,6 +7,7 @@
 
 #include "bench/bench_util.h"
 #include "bench/calibrate.h"
+#include "cube/cube_store.h"
 #include "datasets/datasets.h"
 
 int main(int argc, char** argv) {
@@ -54,9 +55,11 @@ int main(int argc, char** argv) {
                 cell_size);
     std::printf("%-10s %8s %10s %12s %10s\n", "summary", "param", "bytes",
                 "query(ms)", "eps_avg");
+    int msketch_k = 10;  // calibrated below; paper default as fallback
     for (const auto& sweep : DefaultSweeps()) {
       Calibration cal =
           CalibrateOne(sweep, calib, calib_sorted, 0.01, false);
+      if (cal.summary == "M-Sketch") msketch_k = static_cast<int>(cal.param);
       auto prototype = MakeAnySummary(cal.summary, cal.param);
       MSKETCH_CHECK(prototype.ok());
       auto cells = BuildCells(data, cell_size, *prototype.value());
@@ -72,6 +75,29 @@ int main(int argc, char** argv) {
       std::printf("%-10s %8g %10zu %12.2f %10.4f%s\n", cal.summary.c_str(),
                   cal.param, cal.bytes, query_ms, err,
                   cal.achieved ? "" : "   (target eps unreachable)");
+      (void)q;
+    }
+    // Columnar M-Sketch at the same calibrated order as the M-Sketch
+    // row above: the same cells laid out struct-of-arrays in a
+    // CubeStore (one cell per id), merged by the flat range kernel
+    // instead of object-by-object — isolates what the columnar layout
+    // buys on the merge-dominated path.
+    {
+      CubeStore store(1, msketch_k);
+      for (size_t i = 0; i < data.size(); ++i) {
+        store.Ingest({static_cast<uint32_t>(i / cell_size)}, data[i]);
+      }
+      Timer t;
+      MomentsSketch merged = store.MergeAll();
+      MomentsSummary summary(std::move(merged));
+      auto q = summary.EstimateQuantile(0.5);
+      const double query_ms = t.Millis();
+      const double err =
+          MeanError(SummaryAdapter<MomentsSummary>(summary, "M-Sk(col)"),
+                    sorted);
+      std::printf("%-10s %8d %10zu %12.2f %10.4f   (flat-merge kernel)\n",
+                  "M-Sk(col)", msketch_k,
+                  store.SummaryBytes() / store.num_cells(), query_ms, err);
       (void)q;
     }
     std::printf("baseline: std::sort of raw data: %.1f ms\n\n", sort_ms);

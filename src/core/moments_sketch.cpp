@@ -66,6 +66,99 @@ Status MomentsSketch::Subtract(const MomentsSketch& other) {
   return Status::OK();
 }
 
+Status MomentsSketch::MergeFlat(const FlatMomentColumns& cols,
+                                const uint32_t* cell_ids, size_t n) {
+  if (cols.k != k_) {
+    return Status::InvalidArgument("MergeFlat: mismatched order k");
+  }
+  if (n == 0) return Status::OK();
+  for (size_t j = 0; j < n; ++j) {
+    if (cell_ids[j] >= cols.num_cells) {
+      return Status::OutOfRange("MergeFlat: cell id out of range");
+    }
+  }
+  // Cell-outer, order-inner: the k accumulators form independent FP
+  // dependency chains (same instruction-level parallelism as per-object
+  // Merge), while each column's additions still happen in id order — so
+  // the result is bit-identical to per-object merges in the same order.
+  double* power = power_sums_.data();
+  double* logs = log_sums_.data();
+  uint64_t count = 0, log_count = 0;
+  double mn = min_, mx = max_;
+  for (size_t j = 0; j < n; ++j) {
+    const uint32_t id = cell_ids[j];
+    for (int i = 0; i < k_; ++i) power[i] += cols.power_sums[i][id];
+    for (int i = 0; i < k_; ++i) logs[i] += cols.log_sums[i][id];
+    count += cols.counts[id];
+    log_count += cols.log_counts[id];
+    mn = std::min(mn, cols.mins[id]);
+    mx = std::max(mx, cols.maxs[id]);
+  }
+  count_ += count;
+  log_count_ += log_count;
+  min_ = mn;
+  max_ = mx;
+  return Status::OK();
+}
+
+Status MomentsSketch::MergeFlatRange(const FlatMomentColumns& cols,
+                                     size_t begin, size_t end) {
+  if (cols.k != k_) {
+    return Status::InvalidArgument("MergeFlatRange: mismatched order k");
+  }
+  if (begin > end || end > cols.num_cells) {
+    return Status::OutOfRange("MergeFlatRange: bad cell range");
+  }
+  // Unit-stride streams over every column, cell-outer for ILP (see
+  // MergeFlat); per-column addition order is ascending cell id.
+  double* power = power_sums_.data();
+  double* logs = log_sums_.data();
+  uint64_t count = 0, log_count = 0;
+  double mn = min_, mx = max_;
+  for (size_t j = begin; j < end; ++j) {
+    for (int i = 0; i < k_; ++i) power[i] += cols.power_sums[i][j];
+    for (int i = 0; i < k_; ++i) logs[i] += cols.log_sums[i][j];
+    count += cols.counts[j];
+    log_count += cols.log_counts[j];
+    mn = std::min(mn, cols.mins[j]);
+    mx = std::max(mx, cols.maxs[j]);
+  }
+  count_ += count;
+  log_count_ += log_count;
+  min_ = mn;
+  max_ = mx;
+  return Status::OK();
+}
+
+Status MomentsSketch::SubtractFlat(const FlatMomentColumns& cols,
+                                   const uint32_t* cell_ids, size_t n) {
+  if (cols.k != k_) {
+    return Status::InvalidArgument("SubtractFlat: mismatched order k");
+  }
+  uint64_t count = 0, log_count = 0;
+  for (size_t j = 0; j < n; ++j) {
+    if (cell_ids[j] >= cols.num_cells) {
+      return Status::OutOfRange("SubtractFlat: cell id out of range");
+    }
+    count += cols.counts[cell_ids[j]];
+    log_count += cols.log_counts[cell_ids[j]];
+  }
+  if (count > count_ || log_count > log_count_) {
+    return Status::InvalidArgument(
+        "SubtractFlat: subtracting more elements than present");
+  }
+  double* power = power_sums_.data();
+  double* logs = log_sums_.data();
+  for (size_t j = 0; j < n; ++j) {
+    const uint32_t id = cell_ids[j];
+    for (int i = 0; i < k_; ++i) power[i] -= cols.power_sums[i][id];
+    for (int i = 0; i < k_; ++i) logs[i] -= cols.log_sums[i][id];
+  }
+  count_ -= count;
+  log_count_ -= log_count;
+  return Status::OK();
+}
+
 void MomentsSketch::SetRange(double min, double max) {
   MSKETCH_CHECK(min <= max);
   min_ = min;

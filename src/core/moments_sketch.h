@@ -20,6 +20,23 @@
 
 namespace msketch {
 
+/// Struct-of-arrays view over the moment state of many sketches at once
+/// (the columnar cube layout in cube/cube_store.h). Column `power_sums[i]`
+/// holds sum(x^(i+1)) for every cell contiguously, so a merge over a cell
+/// set is k independent unit-stride (or gather) reductions instead of a
+/// pointer chase per cell. The view does not own the columns; it is valid
+/// only as long as the backing storage is unchanged.
+struct FlatMomentColumns {
+  int k = 0;
+  size_t num_cells = 0;
+  const double* const* power_sums = nullptr;  // k column pointers
+  const double* const* log_sums = nullptr;    // k column pointers
+  const uint64_t* counts = nullptr;
+  const uint64_t* log_counts = nullptr;
+  const double* mins = nullptr;
+  const double* maxs = nullptr;
+};
+
 class MomentsSketch {
  public:
   /// `k`: highest moment power tracked (the sketch order). The paper's
@@ -37,6 +54,24 @@ class MomentsSketch {
   /// semantics). min/max are left untouched and are stale afterwards;
   /// callers must follow up with SetRange (see window/).
   Status Subtract(const MomentsSketch& other);
+
+  /// Batched merge against columnar storage: folds in the cells named by
+  /// `cell_ids` (indices into the columns). The kernel is a tight loop
+  /// with k independent accumulator chains, performing each column's
+  /// additions in id order — bit-identical to merging the same cells'
+  /// MomentsSketch objects one by one in the same order.
+  Status MergeFlat(const FlatMomentColumns& cols, const uint32_t* cell_ids,
+                   size_t n);
+
+  /// Contiguous-range variant of MergeFlat: folds in cells
+  /// [begin, end). The inner loops are unit-stride and vectorizable.
+  Status MergeFlatRange(const FlatMomentColumns& cols, size_t begin,
+                        size_t end);
+
+  /// Batched turnstile subtraction against columnar storage. Like
+  /// Subtract, leaves min/max stale; follow up with SetRange.
+  Status SubtractFlat(const FlatMomentColumns& cols, const uint32_t* cell_ids,
+                      size_t n);
 
   /// Overrides the tracked range. Used after Subtract, and by tests.
   void SetRange(double min, double max);

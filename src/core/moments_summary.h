@@ -43,6 +43,8 @@ class MomentsSummary {
     return MomentsSummary(sketch_.k(), options_);
   }
 
+  const MaxEntOptions& options() const { return options_; }
+
   const MomentsSketch& sketch() const { return sketch_; }
   MomentsSketch& sketch() {
     cached_.reset();

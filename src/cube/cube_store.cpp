@@ -1,0 +1,239 @@
+#include "cube/cube_store.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace msketch {
+
+CubeStore::CubeStore(size_t num_dims, int k) : num_dims_(num_dims), k_(k) {
+  MSKETCH_CHECK(num_dims >= 1);
+  MSKETCH_CHECK(k >= 1 && k <= 64);
+  power_cols_.resize(k);
+  log_cols_.resize(k);
+  power_ptrs_.resize(k, nullptr);
+  log_ptrs_.resize(k, nullptr);
+  dim_indexes_.resize(num_dims);
+}
+
+CubeStore::CubeStore(const CubeStore& other)
+    : num_dims_(other.num_dims_),
+      k_(other.k_),
+      num_rows_(other.num_rows_),
+      cell_ids_(other.cell_ids_),
+      coords_(other.coords_),
+      power_cols_(other.power_cols_),
+      log_cols_(other.log_cols_),
+      counts_(other.counts_),
+      log_counts_(other.log_counts_),
+      mins_(other.mins_),
+      maxs_(other.maxs_),
+      sums_(other.sums_),
+      power_ptrs_(other.power_ptrs_),
+      log_ptrs_(other.log_ptrs_),
+      dim_indexes_(other.dim_indexes_) {
+  RefreshColumnPtrs();
+}
+
+CubeStore& CubeStore::operator=(const CubeStore& other) {
+  if (this != &other) {
+    *this = CubeStore(other);  // copy-construct (refreshes ptrs), then move
+  }
+  return *this;
+}
+
+void CubeStore::RefreshColumnPtrs() {
+  for (int i = 0; i < k_; ++i) {
+    power_ptrs_[i] = power_cols_[i].data();
+    log_ptrs_[i] = log_cols_[i].data();
+  }
+}
+
+uint32_t CubeStore::Ingest(const CubeCoords& coords, double value) {
+  MSKETCH_DCHECK(coords.size() == num_dims_);
+  MSKETCH_DCHECK(std::isfinite(value));
+  uint32_t id;
+  auto it = cell_ids_.find(coords);
+  if (it != cell_ids_.end()) {
+    id = it->second;
+  } else {
+    id = static_cast<uint32_t>(coords_.size());
+    cell_ids_.emplace(coords, id);
+    coords_.push_back(coords);
+    for (auto& col : power_cols_) col.push_back(0.0);
+    for (auto& col : log_cols_) col.push_back(0.0);
+    counts_.push_back(0);
+    log_counts_.push_back(0);
+    mins_.push_back(std::numeric_limits<double>::infinity());
+    maxs_.push_back(-std::numeric_limits<double>::infinity());
+    sums_.push_back(0.0);
+    for (size_t d = 0; d < num_dims_; ++d) {
+      dim_indexes_[d].Add(coords[d], id);
+    }
+    // The push_backs may have reallocated; refresh the cached column
+    // bases here so Columns() stays a pure read.
+    RefreshColumnPtrs();
+  }
+  // Same accumulation recurrence as MomentsSketch::Accumulate, applied to
+  // the cell's column entries.
+  mins_[id] = std::min(mins_[id], value);
+  maxs_[id] = std::max(maxs_[id], value);
+  ++counts_[id];
+  sums_[id] += value;
+  double p = 1.0;
+  for (int i = 0; i < k_; ++i) {
+    p *= value;
+    power_cols_[i][id] += p;
+  }
+  if (value > 0.0) {
+    ++log_counts_[id];
+    const double lx = std::log(value);
+    double lp = 1.0;
+    for (int i = 0; i < k_; ++i) {
+      lp *= lx;
+      log_cols_[i][id] += lp;
+    }
+  }
+  ++num_rows_;
+  return id;
+}
+
+FlatMomentColumns CubeStore::Columns() const {
+  FlatMomentColumns cols;
+  cols.k = k_;
+  cols.num_cells = coords_.size();
+  cols.power_sums = power_ptrs_.data();
+  cols.log_sums = log_ptrs_.data();
+  cols.counts = counts_.data();
+  cols.log_counts = log_counts_.data();
+  cols.mins = mins_.data();
+  cols.maxs = maxs_.data();
+  return cols;
+}
+
+std::vector<uint32_t> CubeStore::MatchingCells(const CubeFilter& filter) const {
+  MSKETCH_CHECK(filter.size() == num_dims_);
+  std::vector<const std::vector<uint32_t>*> constrained;
+  for (size_t d = 0; d < num_dims_; ++d) {
+    if (filter[d] == kAnyValue) continue;
+    if (!FilterValueInRange(filter[d])) return {};  // impossible value
+    constrained.push_back(
+        &dim_indexes_[d].Postings(static_cast<uint32_t>(filter[d])));
+  }
+  if (constrained.empty()) {
+    std::vector<uint32_t> all(coords_.size());
+    for (uint32_t id = 0; id < all.size(); ++id) all[id] = id;
+    return all;
+  }
+  return IntersectPostings(constrained);
+}
+
+MomentsSketch CubeStore::MergeWhere(const CubeFilter& filter,
+                                    QueryStats* stats) const {
+  MomentsSketch out(k_);
+  bool unconstrained = true;
+  for (int64_t f : filter) unconstrained &= (f == kAnyValue);
+  if (unconstrained) {
+    MSKETCH_CHECK(filter.size() == num_dims_);
+    MSKETCH_CHECK(out.MergeFlatRange(Columns(), 0, coords_.size()).ok());
+    if (stats != nullptr) {
+      stats->merges = coords_.size();
+      stats->visited = coords_.size();
+    }
+    return out;
+  }
+  // Every constrained dimension participated in the intersection, so the
+  // candidates are exactly the matching cells — no re-check needed.
+  std::vector<uint32_t> ids = MatchingCells(filter);
+  MSKETCH_CHECK(out.MergeFlat(Columns(), ids.data(), ids.size()).ok());
+  if (stats != nullptr) {
+    stats->merges = ids.size();
+    stats->visited = ids.size();
+  }
+  return out;
+}
+
+MomentsSketch CubeStore::MergeWhereScan(const CubeFilter& filter,
+                                        QueryStats* stats) const {
+  MSKETCH_CHECK(filter.size() == num_dims_);
+  std::vector<uint32_t> ids;
+  for (uint32_t id = 0; id < coords_.size(); ++id) {
+    if (FilterMatches(coords_[id], filter)) ids.push_back(id);
+  }
+  MomentsSketch out(k_);
+  MSKETCH_CHECK(out.MergeFlat(Columns(), ids.data(), ids.size()).ok());
+  if (stats != nullptr) {
+    stats->merges = ids.size();
+    stats->visited = coords_.size();
+  }
+  return out;
+}
+
+MomentsSketch CubeStore::MergeAll() const {
+  return MergeRange(0, coords_.size());
+}
+
+MomentsSketch CubeStore::MergeCells(const uint32_t* cell_ids,
+                                    size_t n) const {
+  MomentsSketch out(k_);
+  MSKETCH_CHECK(out.MergeFlat(Columns(), cell_ids, n).ok());
+  return out;
+}
+
+MomentsSketch CubeStore::MergeRange(size_t begin, size_t end) const {
+  MomentsSketch out(k_);
+  MSKETCH_CHECK(out.MergeFlatRange(Columns(), begin, end).ok());
+  return out;
+}
+
+double CubeStore::SumWhere(const CubeFilter& filter) const {
+  MSKETCH_CHECK(filter.size() == num_dims_);
+  double acc = 0.0;
+  bool unconstrained = true;
+  for (int64_t f : filter) unconstrained &= (f == kAnyValue);
+  if (unconstrained) {
+    // Stream the packed sums column directly; no id list needed.
+    for (double s : sums_) acc += s;
+    return acc;
+  }
+  for (uint32_t id : MatchingCells(filter)) acc += sums_[id];
+  return acc;
+}
+
+void CubeStore::ForEachGroup(
+    const std::vector<size_t>& group_dims,
+    const std::function<void(const CubeCoords&, const MomentsSketch&)>& fn)
+    const {
+  const FlatMomentColumns cols = Columns();
+  std::unordered_map<CubeCoords, MomentsSketch, CubeCoordsHash> groups;
+  groups.reserve(coords_.size());
+  CubeCoords key;
+  key.reserve(group_dims.size());
+  for (uint32_t id = 0; id < coords_.size(); ++id) {
+    key.clear();
+    for (size_t d : group_dims) key.push_back(coords_[id][d]);
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      it = groups.emplace(key, MomentsSketch(k_)).first;
+    }
+    MSKETCH_CHECK(it->second.MergeFlat(cols, &id, 1).ok());
+  }
+  for (const auto& [group_key, sketch] : groups) fn(group_key, sketch);
+}
+
+MomentsSketch CubeStore::CellSketch(uint32_t cell_id) const {
+  MSKETCH_CHECK(cell_id < coords_.size());
+  return MergeCells(&cell_id, 1);
+}
+
+size_t CubeStore::SummaryBytes() const {
+  // Per cell: 2k sum doubles + min/max + count/log_count — the same
+  // state a standalone sketch serializes, minus per-object overhead.
+  return coords_.size() * ((2 * static_cast<size_t>(k_) + 2) *
+                               sizeof(double) +
+                           2 * sizeof(uint64_t));
+}
+
+}  // namespace msketch

@@ -9,37 +9,25 @@
 //
 // Templated on the summary type so benchmarks can swap in M-Sketch,
 // S-Hist, Merge12, etc. without virtual dispatch on the merge path.
+// The MomentsSummary instantiation is specialized below to run on the
+// columnar CubeStore engine (struct-of-arrays sketch storage with
+// per-dimension inverted indexes) instead of object-per-cell storage.
 #ifndef MSKETCH_CUBE_DATA_CUBE_H_
 #define MSKETCH_CUBE_DATA_CUBE_H_
 
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/macros.h"
 #include "common/status.h"
+#include "core/moments_summary.h"
+#include "cube/cube_store.h"
+#include "cube/cube_types.h"
 
 namespace msketch {
-
-/// Cell coordinates: one dictionary-encoded value id per dimension.
-using CubeCoords = std::vector<uint32_t>;
-
-struct CubeCoordsHash {
-  size_t operator()(const CubeCoords& c) const {
-    uint64_t h = 0xcbf29ce484222325ULL;
-    for (uint32_t v : c) {
-      h ^= v;
-      h *= 0x100000001b3ULL;
-      h ^= h >> 29;
-    }
-    return static_cast<size_t>(h);
-  }
-};
-
-/// Filter: one entry per dimension; kAnyValue matches every value.
-constexpr int64_t kAnyValue = -1;
-using CubeFilter = std::vector<int64_t>;
 
 template <typename Summary>
 class DataCube {
@@ -70,14 +58,12 @@ class DataCube {
   /// non-null (benchmarks report merge counts).
   Summary MergeWhere(const CubeFilter& filter,
                      uint64_t* merges_out = nullptr) const {
-    MSKETCH_CHECK(filter.size() == num_dims_);
     Summary out = prototype_.CloneEmpty();
     uint64_t merges = 0;
-    for (const auto& [coords, cell] : cells_) {
-      if (!Matches(coords, filter)) continue;
+    ForEachMatching(filter, [&](const CubeCoords&, const Cell& cell) {
       MSKETCH_CHECK(out.Merge(cell.summary).ok());
       ++merges;
-    }
+    });
     if (merges_out != nullptr) *merges_out = merges;
     return out;
   }
@@ -88,11 +74,10 @@ class DataCube {
 
   /// Native sum aggregation over matching cells (Figure 11 baseline).
   double SumWhere(const CubeFilter& filter) const {
-    MSKETCH_CHECK(filter.size() == num_dims_);
     double acc = 0.0;
-    for (const auto& [coords, cell] : cells_) {
-      if (Matches(coords, filter)) acc += cell.sum;
-    }
+    ForEachMatching(filter, [&](const CubeCoords&, const Cell& cell) {
+      acc += cell.sum;
+    });
     return acc;
   }
 
@@ -113,9 +98,11 @@ class DataCube {
       const std::function<void(const CubeCoords&, const Summary&)>& fn)
       const {
     std::unordered_map<CubeCoords, Summary, CubeCoordsHash> groups;
+    groups.reserve(cells_.size());
+    CubeCoords key;
+    key.reserve(group_dims.size());
     for (const auto& [coords, cell] : cells_) {
-      CubeCoords key;
-      key.reserve(group_dims.size());
+      key.clear();
       for (size_t d : group_dims) key.push_back(coords[d]);
       auto it = groups.find(key);
       if (it == groups.end()) {
@@ -123,7 +110,7 @@ class DataCube {
       }
       MSKETCH_CHECK(it->second.Merge(cell.summary).ok());
     }
-    for (const auto& [key, summary] : groups) fn(key, summary);
+    for (const auto& [group_key, summary] : groups) fn(group_key, summary);
   }
 
   /// Visits every cell (used by benchmarks that need raw access).
@@ -148,20 +135,92 @@ class DataCube {
     double sum;
   };
 
-  static bool Matches(const CubeCoords& coords, const CubeFilter& filter) {
-    for (size_t d = 0; d < coords.size(); ++d) {
-      if (filter[d] != kAnyValue &&
-          coords[d] != static_cast<uint32_t>(filter[d])) {
-        return false;
-      }
+  /// Single filter pass shared by MergeWhere / SumWhere: one coordinate
+  /// match per cell, callers consume the matching cells.
+  template <typename Fn>
+  void ForEachMatching(const CubeFilter& filter, Fn&& fn) const {
+    MSKETCH_CHECK(filter.size() == num_dims_);
+    for (const auto& [coords, cell] : cells_) {
+      if (FilterMatches(coords, filter)) fn(coords, cell);
     }
-    return true;
   }
 
   size_t num_dims_;
   Summary prototype_;
   std::unordered_map<CubeCoords, Cell, CubeCoordsHash> cells_;
   uint64_t num_rows_ = 0;
+};
+
+/// Columnar specialization: a moments-sketch cube runs on CubeStore —
+/// struct-of-arrays columns plus per-dimension inverted indexes — while
+/// presenting the exact API of the generic cube. MergeWhere goes through
+/// the index intersection, so selective filters merge only matching
+/// cells; MergeAll streams the packed columns.
+template <>
+class DataCube<MomentsSummary> {
+ public:
+  DataCube(size_t num_dims, MomentsSummary prototype)
+      : store_(num_dims, prototype.k()),
+        options_(prototype.options()) {}
+
+  void Ingest(const CubeCoords& coords, double value) {
+    store_.Ingest(coords, value);
+  }
+
+  size_t num_cells() const { return store_.num_cells(); }
+  uint64_t num_rows() const { return store_.num_rows(); }
+  size_t num_dims() const { return store_.num_dims(); }
+
+  MomentsSummary MergeWhere(const CubeFilter& filter,
+                            uint64_t* merges_out = nullptr) const {
+    CubeStore::QueryStats stats;
+    MomentsSketch merged = store_.MergeWhere(filter, &stats);
+    if (merges_out != nullptr) *merges_out = stats.merges;
+    return MomentsSummary(std::move(merged), options_);
+  }
+
+  MomentsSummary MergeAll() const {
+    return MomentsSummary(store_.MergeAll(), options_);
+  }
+
+  double SumWhere(const CubeFilter& filter) const {
+    return store_.SumWhere(filter);
+  }
+
+  Result<double> QueryQuantile(const CubeFilter& filter, double phi) const {
+    MomentsSummary merged = MergeWhere(filter);
+    if (merged.count() == 0) {
+      return Status::InvalidArgument("QueryQuantile: empty selection");
+    }
+    return merged.EstimateQuantile(phi);
+  }
+
+  void ForEachGroup(
+      const std::vector<size_t>& group_dims,
+      const std::function<void(const CubeCoords&, const MomentsSummary&)>& fn)
+      const {
+    store_.ForEachGroup(group_dims, [&](const CubeCoords& key,
+                                        const MomentsSketch& sketch) {
+      fn(key, MomentsSummary(sketch, options_));
+    });
+  }
+
+  void ForEachCell(
+      const std::function<void(const CubeCoords&, const MomentsSummary&)>& fn)
+      const {
+    for (uint32_t id = 0; id < store_.num_cells(); ++id) {
+      fn(store_.CoordsOf(id), MomentsSummary(store_.CellSketch(id), options_));
+    }
+  }
+
+  size_t SummaryBytes() const { return store_.SummaryBytes(); }
+
+  /// The columnar engine, for benchmarks and the parallel/window layers.
+  const CubeStore& store() const { return store_; }
+
+ private:
+  CubeStore store_;
+  MaxEntOptions options_;
 };
 
 }  // namespace msketch

@@ -1,0 +1,51 @@
+#include "cube/dim_index.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace msketch {
+
+namespace {
+const std::vector<uint32_t> kEmptyPostings;
+}  // namespace
+
+void DimIndex::Add(uint32_t value, uint32_t cell_id) {
+  std::vector<uint32_t>& list = postings_[value];
+  MSKETCH_DCHECK(list.empty() || list.back() < cell_id);
+  list.push_back(cell_id);
+  ++total_;
+}
+
+const std::vector<uint32_t>& DimIndex::Postings(uint32_t value) const {
+  auto it = postings_.find(value);
+  if (it == postings_.end()) return kEmptyPostings;
+  return it->second;
+}
+
+std::vector<uint32_t> IntersectPostings(
+    const std::vector<const std::vector<uint32_t>*>& lists) {
+  MSKETCH_CHECK(!lists.empty());
+  // Probe from the smallest list: every survivor must appear everywhere.
+  size_t smallest = 0;
+  for (size_t i = 1; i < lists.size(); ++i) {
+    if (lists[i]->size() < lists[smallest]->size()) smallest = i;
+  }
+  std::vector<uint32_t> out;
+  if (lists[smallest]->empty()) return out;
+  out.reserve(lists[smallest]->size());
+  for (uint32_t id : *lists[smallest]) {
+    bool in_all = true;
+    for (size_t i = 0; i < lists.size(); ++i) {
+      if (i == smallest) continue;
+      if (!std::binary_search(lists[i]->begin(), lists[i]->end(), id)) {
+        in_all = false;
+        break;
+      }
+    }
+    if (in_all) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace msketch

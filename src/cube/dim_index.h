@@ -1,0 +1,57 @@
+// Per-dimension inverted indexes for the columnar cube engine.
+//
+// Each dimension keeps one postings list per distinct value id: the
+// sorted cell ids whose coordinate takes that value. A filtered query
+// intersects the postings of its constrained dimensions, so the merge
+// kernel visits only matching cells instead of scanning the whole cube
+// (the Druid-style bitmap-index plan from Section 7.1 of the paper,
+// specialized to sorted id lists).
+//
+// Cell ids are assigned in ingest order and only ever appended, so
+// postings stay sorted without any re-sorting.
+#ifndef MSKETCH_CUBE_DIM_INDEX_H_
+#define MSKETCH_CUBE_DIM_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace msketch {
+
+/// Inverted index for one cube dimension: value id -> sorted cell ids.
+class DimIndex {
+ public:
+  /// Records that `cell_id` has value `value` in this dimension. Cell ids
+  /// must arrive in increasing order (they do: ids are assigned
+  /// sequentially on first touch), keeping each postings list sorted.
+  void Add(uint32_t value, uint32_t cell_id);
+
+  /// The sorted cell ids carrying `value`; empty for unseen values.
+  const std::vector<uint32_t>& Postings(uint32_t value) const;
+
+  /// Number of distinct values seen.
+  size_t num_values() const { return postings_.size(); }
+
+  /// Total ids across all postings lists (== number of cells indexed).
+  size_t total_postings() const { return total_; }
+
+ private:
+  // Keyed by value id (not a dense array) so sparse or adversarial ids
+  // cost memory proportional to distinct values, like the hash-keyed
+  // cube this index accelerates. Neither Add (once per new cell) nor
+  // Postings (once per query per constrained dim) is on the merge path.
+  std::unordered_map<uint32_t, std::vector<uint32_t>> postings_;
+  size_t total_ = 0;
+};
+
+/// Intersects sorted postings lists into one sorted id list. With a
+/// single list the result is a copy; with several, the smallest list is
+/// probed against the others by binary search (galloping-style), so cost
+/// scales with the most selective dimension, not the cube size.
+std::vector<uint32_t> IntersectPostings(
+    const std::vector<const std::vector<uint32_t>*>& lists);
+
+}  // namespace msketch
+
+#endif  // MSKETCH_CUBE_DIM_INDEX_H_

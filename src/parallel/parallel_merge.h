@@ -2,13 +2,21 @@
 // summaries across worker threads, merges each shard independently, then
 // combines the per-thread partials sequentially. Merges are independent,
 // so single-threaded merge throughput is predictive of parallel behavior.
+//
+// The flat overloads shard the columnar merge kernel (core/
+// moments_sketch.h FlatMomentColumns) over cell-id ranges instead of
+// summary objects: each worker reduces a contiguous slice of the packed
+// columns, so the threads stream disjoint memory with no false sharing.
 #ifndef MSKETCH_PARALLEL_PARALLEL_MERGE_H_
 #define MSKETCH_PARALLEL_PARALLEL_MERGE_H_
 
+#include <algorithm>
+#include <cstdint>
 #include <thread>
 #include <vector>
 
 #include "common/macros.h"
+#include "core/moments_sketch.h"
 
 namespace msketch {
 
@@ -41,6 +49,73 @@ Summary ParallelMerge(const std::vector<Summary>& parts, int threads) {
   for (std::thread& w : workers) w.join();
   Summary out = parts[0].CloneEmpty();
   for (const Summary& p : partials) {
+    MSKETCH_CHECK(out.Merge(p).ok());
+  }
+  return out;
+}
+
+/// Merges the cells named by `cell_ids` from columnar storage across
+/// `threads` workers. Each worker folds a contiguous shard of the id
+/// list into a private partial sketch via MergeFlat; partials combine
+/// sequentially in shard order, so the result equals the single-thread
+/// merge up to floating-point re-association (and exactly when the
+/// column sums are exact, as the tests verify with dyadic data).
+inline MomentsSketch ParallelMergeCells(const FlatMomentColumns& cols,
+                                        const uint32_t* cell_ids, size_t n,
+                                        int threads) {
+  MSKETCH_CHECK(threads >= 1);
+  MomentsSketch out(cols.k);
+  if (threads == 1 || n < 2 * static_cast<size_t>(threads)) {
+    MSKETCH_CHECK(out.MergeFlat(cols, cell_ids, n).ok());
+    return out;
+  }
+  std::vector<MomentsSketch> partials(threads, MomentsSketch(cols.k));
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  const size_t shard = (n + threads - 1) / threads;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t]() {
+      const size_t begin = static_cast<size_t>(t) * shard;
+      const size_t end = std::min(n, begin + shard);
+      if (begin >= end) return;
+      MSKETCH_CHECK(
+          partials[t].MergeFlat(cols, cell_ids + begin, end - begin).ok());
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (const MomentsSketch& p : partials) {
+    MSKETCH_CHECK(out.Merge(p).ok());
+  }
+  return out;
+}
+
+/// Contiguous cell-id-range variant: shards [begin, end) so every worker
+/// runs the unit-stride column reduction on its own slice.
+inline MomentsSketch ParallelMergeRange(const FlatMomentColumns& cols,
+                                        size_t begin, size_t end,
+                                        int threads) {
+  MSKETCH_CHECK(threads >= 1);
+  MSKETCH_CHECK(begin <= end);
+  MomentsSketch out(cols.k);
+  const size_t n = end - begin;
+  if (threads == 1 || n < 2 * static_cast<size_t>(threads)) {
+    MSKETCH_CHECK(out.MergeFlatRange(cols, begin, end).ok());
+    return out;
+  }
+  std::vector<MomentsSketch> partials(threads, MomentsSketch(cols.k));
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  const size_t shard = (n + threads - 1) / threads;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t]() {
+      const size_t lo = begin + static_cast<size_t>(t) * shard;
+      const size_t hi = std::min(end, lo + shard);
+      if (lo >= hi) return;
+      MSKETCH_CHECK(partials[t].MergeFlatRange(cols, lo, hi).ok());
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (const MomentsSketch& p : partials) {
     MSKETCH_CHECK(out.Merge(p).ok());
   }
   return out;

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "common/rng.h"
 #include "core/moments_summary.h"
+#include "cube/cube_store.h"
 #include "cube/data_cube.h"
 #include "cube/dictionary.h"
+#include "cube/dim_index.h"
 #include "numerics/stats.h"
 #include "sketches/exact_sketch.h"
 
@@ -126,6 +129,246 @@ TEST(DataCubeTest, EmptySelectionRejected) {
   cube.Ingest({0, 0}, 1.0);
   auto q = cube.QueryQuantile({1, 1}, 0.5);
   EXPECT_FALSE(q.ok());
+}
+
+// --------------------------------------------------- columnar CubeStore
+
+// Store plus a parallel object-per-cell shadow (cell id order preserved),
+// so columnar results can be checked bit-for-bit against per-object
+// merges performed in the same cell order.
+struct ShadowedStore {
+  CubeStore store;
+  std::vector<MomentsSketch> cells;  // indexed by cell id
+  std::vector<CubeCoords> coords;    // one entry per row
+  std::vector<double> rows;
+
+  ShadowedStore(size_t dims, int k) : store(dims, k) {}
+
+  void Ingest(const CubeCoords& c, double v) {
+    const uint32_t id = store.Ingest(c, v);
+    if (id == cells.size()) cells.emplace_back(store.k());
+    cells[id].Accumulate(v);
+    coords.push_back(c);
+    rows.push_back(v);
+  }
+};
+
+ShadowedStore BuildShadowedStore(uint64_t seed, int num_rows,
+                                 const std::vector<uint32_t>& cards) {
+  ShadowedStore s(cards.size(), 10);
+  Rng rng(seed);
+  for (int i = 0; i < num_rows; ++i) {
+    CubeCoords c;
+    c.reserve(cards.size());
+    for (uint32_t card : cards) {
+      c.push_back(static_cast<uint32_t>(rng.NextBelow(card)));
+    }
+    s.Ingest(c, rng.NextLognormal(0.0, 0.7));
+  }
+  return s;
+}
+
+TEST(CubeStoreTest, CellSketchMatchesObjectAccumulation) {
+  auto s = BuildShadowedStore(101, 5000, {5, 4});
+  ASSERT_EQ(s.store.num_cells(), s.cells.size());
+  for (uint32_t id = 0; id < s.store.num_cells(); ++id) {
+    // Column state was built by the same accumulation recurrence in the
+    // same row order, so reconstruction is bit-identical.
+    EXPECT_TRUE(s.store.CellSketch(id).IdenticalTo(s.cells[id])) << id;
+  }
+}
+
+TEST(CubeStoreTest, ColumnarMergeBitIdenticalToObjectMerge) {
+  auto s = BuildShadowedStore(102, 20000, {6, 5, 3});
+  const CubeFilter filters[] = {
+      {kAnyValue, kAnyValue, kAnyValue},
+      {2, kAnyValue, kAnyValue},
+      {kAnyValue, 4, 1},
+      {5, 0, 2},
+  };
+  for (const CubeFilter& filter : filters) {
+    MomentsSketch columnar = s.store.MergeWhere(filter);
+    // Object path in the same ascending cell-id order.
+    MomentsSketch object(10);
+    for (uint32_t id = 0; id < s.store.num_cells(); ++id) {
+      if (!FilterMatches(s.store.CoordsOf(id), filter)) continue;
+      ASSERT_TRUE(object.Merge(s.cells[id]).ok());
+    }
+    EXPECT_TRUE(columnar.IdenticalTo(object));
+  }
+}
+
+// Property test: across random filters (including unconstrained and
+// empty-result ones), the indexed path is bit-identical to the full-scan
+// path — both visit matching cells in ascending cell-id order.
+TEST(CubeStoreTest, IndexedMergeIdenticalToScanAcrossRandomFilters) {
+  auto s = BuildShadowedStore(103, 30000, {12, 7, 5});
+  Rng rng(104);
+  for (int trial = 0; trial < 200; ++trial) {
+    CubeFilter filter(3, kAnyValue);
+    for (size_t d = 0; d < filter.size(); ++d) {
+      // ~half the dims constrained; occasionally to an unseen value.
+      if (rng.NextBelow(2) == 0) {
+        filter[d] = static_cast<int64_t>(rng.NextBelow(14));
+      }
+    }
+    CubeStore::QueryStats indexed_stats, scan_stats;
+    MomentsSketch indexed = s.store.MergeWhere(filter, &indexed_stats);
+    MomentsSketch scanned = s.store.MergeWhereScan(filter, &scan_stats);
+    EXPECT_TRUE(indexed.IdenticalTo(scanned)) << "trial " << trial;
+    EXPECT_EQ(indexed_stats.merges, scan_stats.merges);
+    // The index visits exactly the matching cells; the scan visits all.
+    EXPECT_EQ(indexed_stats.visited, indexed_stats.merges);
+    EXPECT_EQ(scan_stats.visited, s.store.num_cells());
+  }
+}
+
+// Acceptance: a selective filter's work is proportional to matching
+// cells only, verified through the merges/visited counters.
+TEST(CubeStoreTest, SelectiveFilterMergesOnlyMatchingCells) {
+  // 2048 potential cells; a fully-pinned filter matches exactly 1
+  // (<1% of cells).
+  auto s = BuildShadowedStore(105, 60000, {16, 16, 8});
+  ASSERT_GT(s.store.num_cells(), 1000u);
+  const CubeFilter filter = {3, 9, 4};
+  uint64_t expect_matches = 0;
+  for (uint32_t id = 0; id < s.store.num_cells(); ++id) {
+    if (FilterMatches(s.store.CoordsOf(id), filter)) ++expect_matches;
+  }
+  ASSERT_GE(expect_matches, 1u);
+  ASSERT_LE(expect_matches * 100, s.store.num_cells());  // <= 1% of cells
+  CubeStore::QueryStats stats;
+  MomentsSketch merged = s.store.MergeWhere(filter, &stats);
+  EXPECT_EQ(stats.merges, expect_matches);
+  EXPECT_EQ(stats.visited, expect_matches);
+  EXPECT_GT(merged.count(), 0u);
+}
+
+TEST(CubeStoreTest, SumWhereMatchesBruteForce) {
+  auto s = BuildShadowedStore(106, 10000, {4, 3});
+  const CubeFilter filter = {2, kAnyValue};
+  double expect = 0.0;
+  for (size_t i = 0; i < s.rows.size(); ++i) {
+    if (s.coords[i][0] == 2) expect += s.rows[i];
+  }
+  EXPECT_NEAR(s.store.SumWhere(filter), expect, 1e-9 * std::fabs(expect));
+}
+
+TEST(CubeStoreTest, UnseenFilterValueYieldsEmptySketch) {
+  auto s = BuildShadowedStore(107, 1000, {3, 3});
+  CubeStore::QueryStats stats;
+  MomentsSketch merged = s.store.MergeWhere({999, kAnyValue}, &stats);
+  EXPECT_EQ(merged.count(), 0u);
+  EXPECT_EQ(stats.merges, 0u);
+  EXPECT_EQ(stats.visited, 0u);
+}
+
+TEST(CubeStoreTest, SparseAndExtremeValueIdsIndexCheaply) {
+  // Value ids need not be dense: the postings map must cost memory per
+  // distinct value, and UINT32_MAX must not wrap the index.
+  CubeStore store(2, 4);
+  store.Ingest({0xFFFFFFFFu, 1'000'000'000u}, 2.0);
+  store.Ingest({0xFFFFFFFFu, 7u}, 3.0);
+  store.Ingest({5u, 1'000'000'000u}, 4.0);
+  EXPECT_EQ(store.num_cells(), 3u);
+  CubeStore::QueryStats stats;
+  MomentsSketch m = store.MergeWhere(
+      {static_cast<int64_t>(0xFFFFFFFFu), kAnyValue}, &stats);
+  EXPECT_EQ(m.count(), 2u);
+  EXPECT_EQ(stats.merges, 2u);
+  MomentsSketch scan = store.MergeWhereScan(
+      {static_cast<int64_t>(0xFFFFFFFFu), kAnyValue});
+  EXPECT_TRUE(m.IdenticalTo(scan));
+  EXPECT_EQ(store.MergeWhere({kAnyValue, 1'000'000'000}).count(), 2u);
+}
+
+TEST(CubeStoreTest, CopiedStoreReadsItsOwnColumns) {
+  auto original = std::make_unique<CubeStore>(2, 6);
+  Rng rng(108);
+  for (int i = 0; i < 2000; ++i) {
+    original->Ingest({static_cast<uint32_t>(rng.NextBelow(8)),
+                      static_cast<uint32_t>(rng.NextBelow(4))},
+                     rng.NextLognormal(0.0, 0.5));
+  }
+  CubeStore copy = *original;
+  MomentsSketch before = original->MergeAll();
+  // Mutate the original (may reallocate its columns), then destroy it:
+  // the copy must keep answering from its own buffers.
+  for (int i = 0; i < 500; ++i) original->Ingest({9, 9}, 1.0);
+  original.reset();
+  EXPECT_TRUE(copy.MergeAll().IdenticalTo(before));
+  // Ingest into the copy for an existing cell, then query again.
+  copy.Ingest({0, 0}, 2.0);
+  EXPECT_EQ(copy.MergeAll().count(), before.count() + 1);
+  // Copy assignment too.
+  CubeStore assigned(2, 6);
+  assigned = copy;
+  EXPECT_TRUE(assigned.MergeAll().IdenticalTo(copy.MergeAll()));
+}
+
+TEST(CubeStoreTest, OutOfRangeFilterValuesMatchNothing) {
+  CubeStore store(2, 4);
+  store.Ingest({0u, 0xFFFFFFFEu}, 1.0);
+  store.Ingest({1u, 2u}, 2.0);
+  // -2 would truncate to 0xFFFFFFFE, 2^32 to 0 — both must match nothing
+  // on the indexed and the scan path alike.
+  for (const CubeFilter& filter :
+       {CubeFilter{kAnyValue, -2}, CubeFilter{4294967296ll, kAnyValue}}) {
+    EXPECT_EQ(store.MergeWhere(filter).count(), 0u);
+    EXPECT_EQ(store.MergeWhereScan(filter).count(), 0u);
+    EXPECT_EQ(store.SumWhere(filter), 0.0);
+  }
+}
+
+TEST(DimIndexTest, PostingsAndIntersection) {
+  DimIndex a, b;
+  // Dim a: value 0 -> {0, 2, 4}; value 1 -> {1, 3}.
+  a.Add(0, 0);
+  a.Add(1, 1);
+  a.Add(0, 2);
+  a.Add(1, 3);
+  a.Add(0, 4);
+  // Dim b: value 7 -> {2, 3, 4}.
+  b.Add(7, 2);
+  b.Add(7, 3);
+  b.Add(7, 4);
+  EXPECT_EQ(a.Postings(0), (std::vector<uint32_t>{0, 2, 4}));
+  EXPECT_TRUE(a.Postings(99).empty());
+  auto both = IntersectPostings({&a.Postings(0), &b.Postings(7)});
+  EXPECT_EQ(both, (std::vector<uint32_t>{2, 4}));
+  auto none = IntersectPostings({&a.Postings(1), &b.Postings(8)});
+  EXPECT_TRUE(none.empty());
+}
+
+// The DataCube<MomentsSummary> specialization must behave exactly like
+// the generic cube API while running on the columnar engine.
+TEST(CubeStoreTest, SpecializedDataCubeMatchesGenericSemantics) {
+  std::vector<double> rows;
+  std::vector<CubeCoords> coords;
+  auto cube = BuildCube(MomentsSummary(10), &rows, &coords);
+  EXPECT_EQ(cube.num_rows(), 30000u);
+  EXPECT_EQ(cube.num_cells(), 4u * 3u * 2u);
+  EXPECT_EQ(cube.MergeAll().count(), 30000u);
+  uint64_t merges = 0;
+  cube.MergeWhere({kAnyValue, kAnyValue, 0}, &merges);
+  EXPECT_EQ(merges, 4u * 3u);
+  size_t groups = 0;
+  uint64_t total = 0;
+  cube.ForEachGroup({0}, [&](const CubeCoords& key,
+                             const MomentsSummary& summary) {
+    ASSERT_EQ(key.size(), 1u);
+    ++groups;
+    total += summary.count();
+  });
+  EXPECT_EQ(groups, 4u);
+  EXPECT_EQ(total, 30000u);
+  // Filtered sum agrees with brute force.
+  double expect = 0.0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (coords[i][1] == 1) expect += rows[i];
+  }
+  EXPECT_NEAR(cube.SumWhere({kAnyValue, 1, kAnyValue}), expect,
+              1e-9 * std::fabs(expect));
 }
 
 TEST(DictionaryTest, InternAndLookup) {

@@ -104,6 +104,45 @@ TEST(MomentsSketchTest, SubtractUndoesMerge) {
   }
 }
 
+// Turnstile round trip: Merge(b) then Subtract(b) then SetRange must be
+// IdenticalTo the never-merged sketch — including log_count_ bookkeeping.
+// Values are chosen so every floating-point addition is exact (integer
+// power sums; b's positive values are all 1.0, whose log sums are zero),
+// making bit-identity deterministic rather than luck.
+TEST(MomentsSketchTest, SubtractSetRangeRoundTripsToIdentical) {
+  MomentsSketch a(8), b(8);
+  Rng rng(25);
+  // a: mixed-sign integers, so a.log_count < a.count and both matter.
+  for (int i = 0; i < 400; ++i) {
+    a.Accumulate(static_cast<double>(1 + rng.NextBelow(6)));  // 1..6
+  }
+  for (int i = 0; i < 100; ++i) {
+    a.Accumulate(-static_cast<double>(rng.NextBelow(4)));  // 0..-3
+  }
+  ASSERT_EQ(a.count(), 500u);
+  ASSERT_LT(a.log_count(), a.count());
+  ASSERT_GT(a.log_count(), 0u);
+  // b: values in {1, -3, 0} — nonzero log_count (the 1s), zero log sums,
+  // integer power sums.
+  for (int i = 0; i < 300; ++i) {
+    const uint64_t pick = rng.NextBelow(3);
+    b.Accumulate(pick == 0 ? 1.0 : (pick == 1 ? -3.0 : 0.0));
+  }
+  ASSERT_GT(b.log_count(), 0u);
+
+  MomentsSketch merged = a;
+  ASSERT_TRUE(merged.Merge(b).ok());
+  EXPECT_EQ(merged.count(), a.count() + b.count());
+  EXPECT_EQ(merged.log_count(), a.log_count() + b.log_count());
+  EXPECT_FALSE(merged.IdenticalTo(a));
+
+  ASSERT_TRUE(merged.Subtract(b).ok());
+  // Subtraction cannot recover min/max; restore them per the contract.
+  merged.SetRange(a.min(), a.max());
+  EXPECT_EQ(merged.log_count(), a.log_count());
+  EXPECT_TRUE(merged.IdenticalTo(a));
+}
+
 TEST(MomentsSketchTest, SubtractingTooMuchFails) {
   MomentsSketch a(3), b(3);
   a.Accumulate(1.0);

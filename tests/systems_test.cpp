@@ -201,6 +201,37 @@ TEST(SlidingWindowTest, DetectsInjectedSpike) {
   EXPECT_LE(fired, 7);
 }
 
+// SlabWindow performs the same scalar operations as TurnstileWindow in
+// the same order (per-order add of the incoming pane, subtract of the
+// outgoing), so the aggregates must be bit-identical at every step.
+TEST(SlidingWindowTest, SlabWindowIdenticalToTurnstile) {
+  Rng rng(78);
+  const size_t w = 6;
+  TurnstileWindow turnstile(10, w);
+  SlabWindow slab(10, w);
+  for (int step = 0; step < 40; ++step) {
+    MomentsSketch pane = MakePane(&rng, 1.0 + 0.1 * (step % 5));
+    turnstile.PushPane(pane);
+    slab.PushPane(pane);
+    EXPECT_EQ(slab.Full(), turnstile.Full());
+    EXPECT_EQ(slab.size(), turnstile.size());
+    EXPECT_TRUE(slab.Current().IdenticalTo(turnstile.Current()))
+        << "step " << step;
+  }
+}
+
+TEST(SlidingWindowTest, SlabWindowQuantilesUsable) {
+  Rng rng(79);
+  SlabWindow window(10, 4);
+  for (int step = 0; step < 9; ++step) {
+    window.PushPane(MakePane(&rng, 1.0));
+  }
+  ASSERT_TRUE(window.Full());
+  auto dist = SolveMaxEnt(window.Current());
+  ASSERT_TRUE(dist.ok()) << dist.status().ToString();
+  EXPECT_NEAR(dist->Quantile(0.5), 1.0, 0.15);
+}
+
 // ------------------------------------------------------------- Parallel
 
 TEST(ParallelMergeTest, MatchesSequential) {
@@ -238,6 +269,37 @@ TEST(ParallelMergeTest, WorksWithBaselineSummaries) {
   auto q = merged.EstimateQuantile(0.5);
   ASSERT_TRUE(q.ok());
   EXPECT_NEAR(q.value(), 0.0, 0.1);
+}
+
+// Columnar parallel merge over cell-id ranges must match the sequential
+// columnar merge *exactly*. Data is crafted so all column sums are exact
+// (negative eighths: |x| <= 1, no log accumulation, power sums are
+// multiples of 2^-30 well within 53 bits), so re-association across
+// thread shards cannot change any bit.
+TEST(ParallelMergeTest, ColumnarRangeMergeMatchesSequentialExactly) {
+  CubeStore store(2, 10);
+  Rng rng(80);
+  for (int i = 0; i < 12000; ++i) {
+    CubeCoords c = {static_cast<uint32_t>(rng.NextBelow(40)),
+                    static_cast<uint32_t>(rng.NextBelow(16))};
+    store.Ingest(c, -static_cast<double>(1 + rng.NextBelow(8)) / 8.0);
+  }
+  const FlatMomentColumns cols = store.Columns();
+  MomentsSketch seq = store.MergeRange(0, store.num_cells());
+  for (int threads : {2, 4, 8}) {
+    MomentsSketch par =
+        ParallelMergeRange(cols, 0, store.num_cells(), threads);
+    EXPECT_TRUE(par.IdenticalTo(seq)) << "threads=" << threads;
+  }
+  // Id-list variant over a filtered selection.
+  std::vector<uint32_t> ids = store.MatchingCells({kAnyValue, 3});
+  ASSERT_GT(ids.size(), 16u);
+  MomentsSketch seq_ids = store.MergeCells(ids.data(), ids.size());
+  for (int threads : {2, 4, 8}) {
+    MomentsSketch par =
+        ParallelMergeCells(cols, ids.data(), ids.size(), threads);
+    EXPECT_TRUE(par.IdenticalTo(seq_ids)) << "threads=" << threads;
+  }
 }
 
 TEST(ParallelMergeTest, FewPartsFallsBackToSequential) {
