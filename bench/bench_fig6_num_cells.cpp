@@ -2,10 +2,82 @@
 // mergeable summaries (M-Sketch k=10, Merge12 k=32, RandomW). Merge time
 // dominates past ~1e4 cells, which is where the moments sketch wins; below
 // ~1e2 cells its estimation cost dominates.
+//
+// Extended with a group-count sweep for the batched estimation pipeline:
+// GROUP BY queries returning per-group quantiles pay one maxent solve per
+// group, and the batch path (similarity-ordered warm chains + solver
+// cache + thread sharding) amortizes that against a cold per-group loop.
+#include <cmath>
 #include <cstdio>
+#include <thread>
 
 #include "bench/bench_util.h"
+#include "bench/cohorts.h"
+#include "common/rng.h"
+#include "core/maxent_solver.h"
+#include "cube/data_cube.h"
 #include "datasets/datasets.h"
+
+namespace {
+
+using namespace msketch;
+using namespace msketch::bench;
+
+// GROUP BY sweep: total estimation time vs number of groups, cold loop
+// vs batched pipeline (1 thread and hardware threads).
+void RunGroupCountSweep(const std::vector<uint64_t>& group_counts) {
+  PrintHeader("Figure 6b: GROUP BY estimation time vs number of groups");
+  std::printf("cold = per-group SolveMaxEnt loop; batch = GroupByQuantiles\n"
+              "(warm chains + solver cache); batchN = same with threads\n\n");
+  std::printf("%10s %12s %12s %12s %10s %10s %12s\n", "groups", "cold(ms)",
+              "batch(ms)", "batchN(ms)", "it/cold", "it/batch",
+              "warm/cache");
+  const int hw = std::max(2u, std::thread::hardware_concurrency());
+  for (uint64_t groups : group_counts) {
+    DataCube<MomentsSummary> cube = BuildDriftingCohortCube(groups, 200);
+    // Cold loop.
+    uint64_t cold_iters = 0, cold_solves = 0;
+    Timer tc;
+    cube.store().ForEachGroup({0}, [&](const CubeCoords&,
+                                       const MomentsSketch& sketch) {
+      auto dist = SolveMaxEnt(sketch);
+      if (dist.ok()) {
+        cold_iters +=
+            static_cast<uint64_t>(dist->diagnostics().newton_iterations);
+        ++cold_solves;
+      }
+    });
+    const double cold_ms = tc.Millis();
+    // Batched, one thread.
+    BatchOptions options;
+    BatchStats stats;
+    Timer tb;
+    auto results = cube.GroupByQuantiles({0}, {0.5, 0.99}, options, &stats);
+    const double batch_ms = tb.Millis();
+    // Batched, hardware threads.
+    BatchOptions threaded = options;
+    threaded.threads = hw;
+    BatchStats tstats;
+    Timer tt;
+    auto tresults =
+        cube.GroupByQuantiles({0}, {0.5, 0.99}, threaded, &tstats);
+    const double threaded_ms = tt.Millis();
+    MSKETCH_CHECK(results.size() == tresults.size());
+    std::printf(
+        "%10llu %12.1f %12.1f %12.1f %10.2f %10.2f %6llu/%-5llu\n",
+        static_cast<unsigned long long>(groups), cold_ms, batch_ms,
+        threaded_ms,
+        cold_solves ? static_cast<double>(cold_iters) /
+                          static_cast<double>(cold_solves)
+                    : 0.0,
+        stats.MeanNewtonIterations(),
+        static_cast<unsigned long long>(stats.warm_solves),
+        static_cast<unsigned long long>(stats.cache_hits));
+  }
+  std::printf("\n(batchN uses %d threads)\n", hw);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace msketch;
@@ -54,5 +126,9 @@ int main(int argc, char** argv) {
       }
     }
   }
+
+  std::vector<uint64_t> group_counts = {100, 1'000, 10'000};
+  if (args.Has("full")) group_counts.push_back(100'000);
+  RunGroupCountSweep(group_counts);
   return 0;
 }

@@ -33,4 +33,11 @@
 #define MSKETCH_DCHECK(cond) MSKETCH_CHECK(cond)
 #endif
 
+// No-alias qualifier for hot-loop pointers (vectorization hint).
+#if defined(__GNUC__) || defined(__clang__)
+#define MSKETCH_GCC_RESTRICT __restrict__
+#else
+#define MSKETCH_GCC_RESTRICT
+#endif
+
 #endif  // MSKETCH_COMMON_MACROS_H_

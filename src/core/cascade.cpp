@@ -1,68 +1,141 @@
 #include "core/cascade.h"
 
-#include "core/atomic_fit.h"
-
 #include <cmath>
 
 namespace msketch {
 
-bool ThresholdCascade::Threshold(const MomentsSketch& sketch, double phi,
-                                 double t) {
+ThresholdCascade::Decision ThresholdCascade::CheckBounds(
+    const MomentsSketch& sketch, double phi, double t,
+    RankBounds* bounds_out) {
   ++stats_.total;
-  if (sketch.count() == 0) return false;
+  *bounds_out = RankBounds{0.0, static_cast<double>(sketch.count())};
+  if (sketch.count() == 0) return Decision::kFalse;
   const double rt = phi * static_cast<double>(sketch.count());
 
   if (opt_.use_simple_check) {
     if (t > sketch.max()) {
       ++stats_.resolved_simple;
-      return false;  // every element <= xmax < t
+      return Decision::kFalse;  // every element <= xmax < t
     }
     if (t < sketch.min()) {
       ++stats_.resolved_simple;
-      return true;  // every element >= xmin > t
+      return Decision::kTrue;  // every element >= xmin > t
     }
   }
 
   // rank(t) upper bound < n phi  =>  q_phi >= t       => predicate true
   // rank(t) lower bound > n phi  =>  q_phi < t        => predicate false
-  RankBounds last_bounds{0.0, static_cast<double>(sketch.count())};
   if (opt_.use_markov) {
-    last_bounds = MarkovBound(sketch, t);
-    if (last_bounds.upper < rt) {
+    *bounds_out = MarkovBound(sketch, t);
+    if (bounds_out->upper < rt) {
       ++stats_.resolved_markov;
-      return true;
+      return Decision::kTrue;
     }
-    if (last_bounds.lower > rt) {
+    if (bounds_out->lower > rt) {
       ++stats_.resolved_markov;
-      return false;
+      return Decision::kFalse;
     }
   }
   if (opt_.use_rtt) {
     RankBounds rtt = RttBound(sketch, t);
-    rtt.Intersect(last_bounds);
-    last_bounds = rtt;
-    if (last_bounds.upper < rt) {
+    rtt.Intersect(*bounds_out);
+    *bounds_out = rtt;
+    if (bounds_out->upper < rt) {
       ++stats_.resolved_rtt;
+      return Decision::kTrue;
+    }
+    if (bounds_out->lower > rt) {
+      ++stats_.resolved_rtt;
+      return Decision::kFalse;
+    }
+  }
+  return Decision::kUnresolved;
+}
+
+const ThresholdCascade::SolveMemo& ThresholdCascade::SolveMemoized(
+    const MomentsSketch& sketch) {
+  if (memo_.valid && memo_.sketch.IdenticalTo(sketch)) {
+    ++stats_.maxent_memo_hits;
+    return memo_;
+  }
+  memo_.valid = true;
+  memo_.sketch = sketch;
+  memo_.atomic_ok = false;
+  Result<MaxEntDistribution> dist = SolveMaxEnt(sketch, opt_.maxent);
+  memo_.solve_ok = dist.ok();
+  if (dist.ok()) {
+    memo_.dist = std::move(dist.value());
+  } else {
+    // Non-convergent maxent usually means near-discrete data (Section
+    // 6.2.3): try recovering the atoms directly.
+    Result<DiscreteDistribution> atomic = FitAtomicDistribution(sketch);
+    memo_.atomic_ok = atomic.ok();
+    if (atomic.ok()) memo_.atomic = std::move(atomic.value());
+  }
+  return memo_;
+}
+
+bool ThresholdCascade::DecideFrom(const MaxEntDistribution* dist,
+                                  const DiscreteDistribution* atomic,
+                                  const MomentsSketch& sketch, double phi,
+                                  double t, const RankBounds& bounds,
+                                  MaxEntResolution* resolution_out) {
+  if (dist != nullptr) {
+    if (resolution_out != nullptr) {
+      *resolution_out = MaxEntResolution::kDistribution;
+    }
+    return dist->Quantile(phi) > t;
+  }
+  if (atomic != nullptr) {
+    if (resolution_out != nullptr) {
+      *resolution_out = MaxEntResolution::kAtomic;
+    }
+    return atomic->Quantile(phi) > t;
+  }
+  // Decide by the midpoint of the tightest valid rank bounds.
+  if (resolution_out != nullptr) *resolution_out = MaxEntResolution::kBounds;
+  const double rt = phi * static_cast<double>(sketch.count());
+  return 0.5 * (bounds.lower + bounds.upper) < rt;
+}
+
+bool ThresholdCascade::DecideWithDistribution(
+    const MaxEntDistribution* dist, const MomentsSketch& sketch, double phi,
+    double t, const RankBounds& bounds, MaxEntResolution* resolution_out) {
+  ++stats_.resolved_maxent;
+  if (dist == nullptr) {
+    if (auto atomic = FitAtomicDistribution(sketch); atomic.ok()) {
+      return DecideFrom(nullptr, &atomic.value(), sketch, phi, t, bounds,
+                        resolution_out);
+    }
+  }
+  return DecideFrom(dist, nullptr, sketch, phi, t, bounds, resolution_out);
+}
+
+bool ThresholdCascade::Threshold(const MomentsSketch& sketch, double phi,
+                                 double t) {
+  RankBounds bounds;
+  switch (CheckBounds(sketch, phi, t, &bounds)) {
+    case Decision::kTrue:
       return true;
-    }
-    if (last_bounds.lower > rt) {
-      ++stats_.resolved_rtt;
+    case Decision::kFalse:
       return false;
-    }
+    case Decision::kUnresolved:
+      break;
+  }
+
+  if (!opt_.memoize_solution) {
+    // No memo bookkeeping (sketch copy + stored distribution) when the
+    // caller opted out; DecideWithDistribution counts the resolution.
+    Result<MaxEntDistribution> dist = SolveMaxEnt(sketch, opt_.maxent);
+    return DecideWithDistribution(dist.ok() ? &dist.value() : nullptr,
+                                  sketch, phi, t, bounds);
   }
 
   ++stats_.resolved_maxent;
-  Result<MaxEntDistribution> dist = SolveMaxEnt(sketch, opt_.maxent);
-  if (dist.ok()) {
-    return dist->Quantile(phi) > t;
-  }
-  // Non-convergent maxent usually means near-discrete data (Section
-  // 6.2.3): try recovering the atoms directly, else decide by the
-  // midpoint of the tightest valid rank bounds.
-  if (auto atomic = FitAtomicDistribution(sketch); atomic.ok()) {
-    return atomic->Quantile(phi) > t;
-  }
-  return 0.5 * (last_bounds.lower + last_bounds.upper) < rt;
+  const SolveMemo& memo = SolveMemoized(sketch);
+  return DecideFrom(memo.solve_ok ? &memo.dist : nullptr,
+                    memo.atomic_ok ? &memo.atomic : nullptr, sketch, phi, t,
+                    bounds, nullptr);
 }
 
 }  // namespace msketch

@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "common/status.h"
+#include "core/atomic_fit.h"
 #include "core/bounds.h"
 #include "core/maxent_solver.h"
 #include "core/moments_sketch.h"
@@ -27,6 +28,9 @@ struct CascadeOptions {
   bool use_simple_check = true;  // [xmin, xmax] range filter
   bool use_markov = true;
   bool use_rtt = true;
+  /// Reuse the solved maxent distribution while consecutive queries hit
+  /// the same sketch — multi-(phi, t) alert sweeps solve once.
+  bool memoize_solution = true;
   MaxEntOptions maxent;
 };
 
@@ -38,8 +42,19 @@ struct CascadeStats {
   uint64_t resolved_markov = 0;
   uint64_t resolved_rtt = 0;
   uint64_t resolved_maxent = 0;
+  /// Of the resolved_maxent queries, how many reused the memoized
+  /// solution instead of re-solving.
+  uint64_t maxent_memo_hits = 0;
 
   void Reset() { *this = CascadeStats{}; }
+  void MergeFrom(const CascadeStats& other) {
+    total += other.total;
+    resolved_simple += other.resolved_simple;
+    resolved_markov += other.resolved_markov;
+    resolved_rtt += other.resolved_rtt;
+    resolved_maxent += other.resolved_maxent;
+    maxent_memo_hits += other.maxent_memo_hits;
+  }
 };
 
 class ThresholdCascade {
@@ -53,12 +68,62 @@ class ThresholdCascade {
   /// bounds (the bounds remain valid for any matching dataset).
   bool Threshold(const MomentsSketch& sketch, double phi, double t);
 
+  /// Outcome of the bounds-only prefix of Algorithm 2.
+  enum class Decision { kTrue, kFalse, kUnresolved };
+
+  /// Runs the range / Markov / RTT stages without the maxent fallback and
+  /// updates the per-stage counters (including `total`). The tightest
+  /// rank bounds seen are written to `*bounds_out`, so an unresolved
+  /// caller can finish the decision with its own estimator — the batch
+  /// layer does this to route the final solve through its warm-start
+  /// chain and solver cache.
+  Decision CheckBounds(const MomentsSketch& sketch, double phi, double t,
+                       RankBounds* bounds_out);
+
+  /// How an unresolved query was ultimately decided.
+  enum class MaxEntResolution {
+    kDistribution,  // solved maxent distribution
+    kAtomic,        // atomic-fit fallback (near-discrete data)
+    kBounds,        // midpoint of the rank bounds (everything failed)
+  };
+
+  /// Decides an unresolved query from a solved distribution (or, when the
+  /// solver failed, the cascade's fallback chain: atomic fit, then the
+  /// midpoint of `bounds`). Counts the query as maxent-resolved and
+  /// reports which estimator decided via `resolution_out` when non-null.
+  bool DecideWithDistribution(const MaxEntDistribution* dist,
+                              const MomentsSketch& sketch, double phi,
+                              double t, const RankBounds& bounds,
+                              MaxEntResolution* resolution_out = nullptr);
+
   const CascadeStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
 
  private:
+  // Memoized solver outcome for the last sketch that reached the maxent
+  // stage, keyed on the sketch's full state (count + power sums + range).
+  struct SolveMemo {
+    bool valid = false;
+    MomentsSketch sketch{1};
+    bool solve_ok = false;
+    MaxEntDistribution dist;       // meaningful when solve_ok
+    bool atomic_ok = false;
+    DiscreteDistribution atomic;   // fallback when !solve_ok
+  };
+
+  const SolveMemo& SolveMemoized(const MomentsSketch& sketch);
+
+  // The shared dist -> atomic -> bounds-midpoint decision chain; both
+  // Threshold paths and DecideWithDistribution route through it so the
+  // fallback order cannot drift between them.
+  bool DecideFrom(const MaxEntDistribution* dist,
+                  const DiscreteDistribution* atomic,
+                  const MomentsSketch& sketch, double phi, double t,
+                  const RankBounds& bounds, MaxEntResolution* resolution_out);
+
   CascadeOptions opt_;
   CascadeStats stats_;
+  SolveMemo memo_;
 };
 
 }  // namespace msketch

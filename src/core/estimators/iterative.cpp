@@ -186,6 +186,9 @@ class OptEstimator : public MomentQuantileEstimator {
     MaxEntOptions opts;
     opts.use_log_moments = options_.use_log_domain;
     opts.use_std_moments = !options_.use_log_domain;
+    // The lesion study times solver strategies; a cache hit would
+    // measure the memo, not the solve.
+    opts.use_solver_cache = false;
     return msketch::EstimateQuantiles(sketch, phis, opts);
   }
 

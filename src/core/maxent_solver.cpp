@@ -7,6 +7,7 @@
 
 #include "common/macros.h"
 #include "core/atomic_fit.h"
+#include "core/solver_cache.h"
 #include "numerics/chebyshev.h"
 #include "numerics/eigen.h"
 #include "numerics/integration.h"
@@ -46,8 +47,9 @@ const std::vector<double>& CachedLobatto(int n) {
 // Newton objective.
 class MaxEntSolver {
  public:
-  MaxEntSolver(const MomentsSketch& sketch, const MaxEntOptions& options)
-      : sketch_(sketch), opt_(options) {}
+  MaxEntSolver(const MomentsSketch& sketch, const MaxEntOptions& options,
+               const WarmStart* hint = nullptr)
+      : sketch_(sketch), opt_(options), hint_(hint) {}
 
   Result<MaxEntDistribution> Solve();
 
@@ -67,16 +69,29 @@ class MaxEntSolver {
   // Greedy (k1, k2) selection under the kappa_max budget.
   void SelectMoments();
 
-  // Newton solve for the selected rows; returns optimizer output.
-  Result<OptimResult> RunNewton(std::vector<double> theta0);
+  // Newton solve for the selected rows; returns optimizer output. Warm
+  // (seeded) runs use the adaptive opening step — their damping needs
+  // repeat across iterations.
+  Result<OptimResult> RunNewton(std::vector<double> theta0, bool warm);
 
   // True when the Chebyshev tail of f(.; theta) is resolved on this grid.
   bool GridResolved(const std::vector<double>& theta) const;
 
   std::vector<double> FValues(const std::vector<double>& theta) const;
 
+  // Maps the hint's (family, order) entries onto this solve's basis rows
+  // and accepts them when they pass the conditioning screen. Returns true
+  // with selected_/theta seeded on success.
+  bool TrySeedFromHint(std::vector<double>* theta);
+  // The zero-theta cold seed for the currently selected rows.
+  void ResetColdSeed(std::vector<double>* theta);
+  // Cold-start selection: greedy screen from zero theta. Fails when
+  // conditioning excludes every moment.
+  bool ColdStart(std::vector<double>* theta);
+
   const MomentsSketch& sketch_;
   MaxEntOptions opt_;
+  const WarmStart* hint_ = nullptr;
 
   bool log_primary_ = false;
   ScaleMap std_map_, log_map_;
@@ -92,6 +107,8 @@ class MaxEntSolver {
   std::vector<int> selected_;  // rows in use (always includes 0)
   double selected_cond_ = 1.0;
   int total_newton_iters_ = 0;
+  int total_function_evals_ = 0;
+  int total_hessian_evals_ = 0;
 };
 
 void MaxEntSolver::BuildGrid(int n) {
@@ -229,7 +246,8 @@ std::vector<double> MaxEntSolver::FValues(
   return f;
 }
 
-Result<OptimResult> MaxEntSolver::RunNewton(std::vector<double> theta0) {
+Result<OptimResult> MaxEntSolver::RunNewton(std::vector<double> theta0,
+                                            bool warm) {
   const size_t d = selected_.size();
   // Target vector: [1, selected moments...].
   std::vector<double> target(d);
@@ -240,17 +258,27 @@ Result<OptimResult> MaxEntSolver::RunNewton(std::vector<double> theta0) {
                              : secondary_moments_[row - a1_];
   }
 
-  ObjectiveFn objective = [&](const std::vector<double>& theta,
-                              bool need_hessian, ObjectiveEval* out) {
-    const size_t npts = nodes_.size();
-    std::vector<double> f(npts);
+  // Buffers hoisted out of the objective: it runs ~100 times per solve
+  // and per-call allocation plus the point-outer accumulation loop were
+  // measurable in profiles. Row-outer loops are unit-stride over the
+  // grid, which the compiler vectorizes.
+  const size_t npts = nodes_.size();
+  std::vector<double> ebuf(npts), fbuf(npts);
+  ObjectiveFn objective = [&, d](const std::vector<double>& theta,
+                                 bool need_hessian, ObjectiveEval* out) {
+    double* MSKETCH_GCC_RESTRICT e = ebuf.data();
+    double* MSKETCH_GCC_RESTRICT f = fbuf.data();
+    const double t0v = theta[0];
+    for (size_t j = 0; j < npts; ++j) e[j] = t0v;  // basis row 0 == 1
+    for (size_t p = 1; p < d; ++p) {
+      const double tp = theta[p];
+      const double* bp = basis_[selected_[p]].data();
+      for (size_t j = 0; j < npts; ++j) e[j] += tp * bp[j];
+    }
     double integral = 0.0;
+    const double* w = weights_.data();
     for (size_t j = 0; j < npts; ++j) {
-      double e = 0.0;
-      for (size_t p = 0; p < d; ++p) {
-        e += theta[p] * basis_[selected_[p]][j];
-      }
-      const double fj = std::exp(std::min(e, 700.0)) * weights_[j];
+      const double fj = std::exp(std::min(e[j], 700.0)) * w[j];
       f[j] = fj;  // pre-weighted density values
       integral += fj;
     }
@@ -259,16 +287,16 @@ Result<OptimResult> MaxEntSolver::RunNewton(std::vector<double> theta0) {
     out->gradient.assign(d, 0.0);
     for (size_t p = 0; p < d; ++p) {
       double acc = 0.0;
-      const std::vector<double>& bp = basis_[selected_[p]];
+      const double* bp = basis_[selected_[p]].data();
       for (size_t j = 0; j < npts; ++j) acc += bp[j] * f[j];
       out->gradient[p] = acc - target[p];
     }
     if (need_hessian) {
       out->hessian = Matrix(d, d);
       for (size_t p = 0; p < d; ++p) {
-        const std::vector<double>& bp = basis_[selected_[p]];
+        const double* bp = basis_[selected_[p]].data();
         for (size_t q = p; q < d; ++q) {
-          const std::vector<double>& bq = basis_[selected_[q]];
+          const double* bq = basis_[selected_[q]].data();
           double acc = 0.0;
           for (size_t j = 0; j < npts; ++j) acc += bp[j] * bq[j] * f[j];
           out->hessian(p, q) = acc;
@@ -281,6 +309,7 @@ Result<OptimResult> MaxEntSolver::RunNewton(std::vector<double> theta0) {
   NewtonOptions nopts;
   nopts.max_iter = opt_.max_newton_iter;
   nopts.grad_tol = opt_.grad_tol;
+  nopts.adaptive_initial_step = warm;
   return NewtonMinimize(objective, std::move(theta0), nopts);
 }
 
@@ -300,6 +329,60 @@ bool MaxEntSolver::GridResolved(const std::vector<double>& theta) const {
     tail = std::max(tail, std::fabs(coeffs[i]));
   }
   return tail <= 1e-5 * cmax;
+}
+
+bool MaxEntSolver::TrySeedFromHint(std::vector<double>* theta) {
+  if (hint_ == nullptr || !hint_->valid() ||
+      hint_->log_primary != log_primary_) {
+    return false;
+  }
+  // The greedy selection has already run (cold start), so the fitted
+  // moment subset is greedy's regardless of the hint — the potential is
+  // strictly convex on that subset, and any seed converges to the same
+  // unique optimum. Seed the multipliers of the rows the hint also
+  // selected and leave the rest at zero; require a majority overlap so
+  // the seed is actually near the optimum rather than a stale fragment.
+  std::vector<double> seeded(selected_.size(), 0.0);
+  seeded[0] = hint_->theta0;
+  size_t matched = 0;
+  for (size_t p = 1; p < selected_.size(); ++p) {
+    const int row = selected_[p];
+    const bool primary = row <= a1_;
+    const int order = primary ? row : row - a1_;
+    for (const WarmStart::Entry& e : hint_->entries) {
+      if (e.primary == primary && e.order == order) {
+        // Distance gate: a seed fitted to distant moments starts Newton
+        // in heavily-damped territory and costs more than a zero start.
+        const double target = primary ? primary_moments_[row]
+                                      : secondary_moments_[row - a1_];
+        if (std::fabs(target - e.moment) > opt_.warm_gate) return false;
+        seeded[p] = e.theta;
+        ++matched;
+        break;
+      }
+    }
+  }
+  if (2 * matched < selected_.size() - 1) return false;
+  *theta = std::move(seeded);
+  // Deliberately NOT seeding the quadrature grid: grid escalation is
+  // per-density, and inheriting a neighbor's escalated grid makes every
+  // downstream solve in a warm chain pay the fine-grid cost ("sticky"
+  // escalation). Starting at min_grid re-escalates only when this
+  // density needs it, reusing the converged theta between grids.
+  return true;
+}
+
+void MaxEntSolver::ResetColdSeed(std::vector<double>* theta) {
+  theta->assign(selected_.size(), 0.0);
+  (*theta)[0] = -std::log(2.0);
+}
+
+bool MaxEntSolver::ColdStart(std::vector<double>* theta) {
+  if (grid_n_ != opt_.min_grid) BuildGrid(opt_.min_grid);
+  SelectMoments();
+  if (selected_.size() <= 1) return false;
+  ResetColdSeed(theta);
+  return true;
 }
 
 Result<MaxEntDistribution> MaxEntSolver::Solve() {
@@ -381,35 +464,43 @@ Result<MaxEntDistribution> MaxEntSolver::Solve() {
         cheb_log.begin() + (cheb_log.empty() ? 0 : a2_ + 1));
   }
 
-  int n = opt_.min_grid;
-  BuildGrid(n);
-  SelectMoments();
-  if (selected_.size() <= 1) {
+  // Cold start always runs the greedy selection, so a warm solve fits the
+  // same moment subset a cold solve would — the hint only relocates the
+  // Newton start and the quadrature grid.
+  std::vector<double> theta;
+  if (!ColdStart(&theta)) {
     return Status::NotConverged(
         "SolveMaxEnt: conditioning excluded all moments");
   }
-
-  std::vector<double> theta(selected_.size(), 0.0);
-  theta[0] = -std::log(2.0);
+  bool warm = TrySeedFromHint(&theta);
   for (;;) {
-    Result<OptimResult> res = RunNewton(theta);
+    Result<OptimResult> res = RunNewton(theta, warm);
     if (!res.ok()) {
+      if (warm) {
+        // The seed did not transfer (the sketches were less similar than
+        // the caller hoped); restart from the zero-theta cold seed, which
+        // must succeed or fail exactly as a hint-free solve would.
+        warm = false;
+        if (grid_n_ != opt_.min_grid) BuildGrid(opt_.min_grid);
+        ResetColdSeed(&theta);
+        continue;
+      }
       // Divergence usually means the moment set admits no density (heavy
       // atoms / near-discrete data, Section 6.2.3). Mirror the paper's
       // query-time remedy: back off to fewer moments and re-solve.
       if (selected_.size() > 2) {
         selected_.pop_back();
-        theta.assign(selected_.size(), 0.0);
-        theta[0] = -std::log(2.0);
+        ResetColdSeed(&theta);
         continue;
       }
       return res.status();
     }
     total_newton_iters_ += res->iterations;
+    total_function_evals_ += res->function_evals;
+    total_hessian_evals_ += res->hessian_evals;
     theta = res->x;
-    if (GridResolved(theta) || n >= opt_.max_grid) break;
-    n *= 2;
-    BuildGrid(n);
+    if (GridResolved(theta) || grid_n_ >= opt_.max_grid) break;
+    BuildGrid(grid_n_ * 2);
   }
 
   // Package the result: a monotone tabulated CDF of the solved density.
@@ -418,12 +509,20 @@ Result<MaxEntDistribution> MaxEntSolver::Solve() {
   std::vector<double> antider = ChebyshevAntiderivative(coeffs);
   const int kCdfPoints = 513;
   dist.cdf_values_.resize(kCdfPoints);
-  double running = 0.0;
-  for (int i = 0; i < kCdfPoints; ++i) {
-    const double u = -1.0 + 2.0 * static_cast<double>(i) /
-                                (kCdfPoints - 1);
-    running = std::max(running, ChebyshevEval(antider, u));
-    dist.cdf_values_[i] = running;
+  {
+    // Batched evaluation (point-blocked Clenshaw), then the monotone
+    // running-max pass.
+    std::vector<double> us(kCdfPoints);
+    for (int i = 0; i < kCdfPoints; ++i) {
+      us[i] = -1.0 + 2.0 * static_cast<double>(i) / (kCdfPoints - 1);
+    }
+    ChebyshevEvalMany(antider, us.data(), us.size(),
+                      dist.cdf_values_.data());
+    double running = 0.0;
+    for (double& v : dist.cdf_values_) {
+      running = std::max(running, v);
+      v = running;
+    }
   }
   const double total = dist.cdf_values_.back();
   if (!(total > 0.0) || !std::isfinite(total)) {
@@ -445,9 +544,28 @@ Result<MaxEntDistribution> MaxEntSolver::Solve() {
   dist.diag_.k1 = log_primary_ ? sel_secondary : sel_primary;
   dist.diag_.k2 = log_primary_ ? sel_primary : sel_secondary;
   dist.diag_.newton_iterations = total_newton_iters_;
+  dist.diag_.function_evals = total_function_evals_;
+  dist.diag_.hessian_evals = total_hessian_evals_;
   dist.diag_.grid_size = grid_n_;
   dist.diag_.condition_number = selected_cond_;
   dist.diag_.log_primary = log_primary_;
+  dist.diag_.warm_started = warm;
+  // Export the solution as a seed for the next (similar) sketch.
+  dist.warm_.log_primary = log_primary_;
+  dist.warm_.grid_n = grid_n_;
+  dist.warm_.theta0 = theta[0];
+  dist.warm_.entries.clear();
+  dist.warm_.entries.reserve(selected_.size() - 1);
+  for (size_t p = 1; p < selected_.size(); ++p) {
+    const int row = selected_[p];
+    WarmStart::Entry e;
+    e.primary = row <= a1_;
+    e.order = e.primary ? row : row - a1_;
+    e.theta = theta[p];
+    e.moment = e.primary ? primary_moments_[row]
+                         : secondary_moments_[row - a1_];
+    dist.warm_.entries.push_back(e);
+  }
   return dist;
 }
 
@@ -501,17 +619,37 @@ std::vector<double> MaxEntDistribution::Quantiles(
 }
 
 Result<MaxEntDistribution> SolveMaxEnt(const MomentsSketch& sketch,
-                                       const MaxEntOptions& options) {
-  MaxEntSolver solver(sketch, options);
+                                       const MaxEntOptions& options,
+                                       const WarmStart* hint) {
+  MaxEntSolver solver(sketch, options, hint);
   return solver.Solve();
 }
 
 Result<std::vector<double>> EstimateQuantiles(const MomentsSketch& sketch,
                                               const std::vector<double>& phis,
-                                              const MaxEntOptions& options) {
+                                              const MaxEntOptions& options,
+                                              const WarmStart* hint) {
+  // Tiered path: cache hit -> reuse the solved distribution verbatim;
+  // miss -> (optionally warm-started) solve, then publish for the next
+  // identical-moment estimate. The solver is deterministic, so the cache
+  // is semantically transparent.
+  if (!options.use_solver_cache) {
+    MSKETCH_ASSIGN_OR_RETURN(MaxEntDistribution dist,
+                             SolveMaxEnt(sketch, options, hint));
+    return dist.Quantiles(phis);
+  }
+  SolverCache& cache = GlobalSolverCache();
+  std::string key;
+  if (auto dist = cache.Lookup(sketch, options, &key)) {
+    return dist->Quantiles(phis);
+  }
   MSKETCH_ASSIGN_OR_RETURN(MaxEntDistribution dist,
-                           SolveMaxEnt(sketch, options));
-  return dist.Quantiles(phis);
+                           SolveMaxEnt(sketch, options, hint));
+  std::vector<double> quantiles = dist.Quantiles(phis);
+  cache.InsertWithKey(
+      std::move(key),
+      std::make_shared<const MaxEntDistribution>(std::move(dist)));
+  return quantiles;
 }
 
 }  // namespace msketch

@@ -39,15 +39,65 @@ struct MaxEntOptions {
   /// Optional hard caps on selected moment counts (-1 = no cap).
   int max_k1 = -1;
   int max_k2 = -1;
+  /// Warm-start acceptance gate: a hint is applied only when every shared
+  /// selected moment differs from the hint's fitted value by at most this
+  /// (Chebyshev moments live in [-1, 1]). With the adaptive opening step
+  /// even mediocre seeds win, so the default only screens out seeds from
+  /// a genuinely different distribution shape. Affects the solve path,
+  /// not the solution.
+  double warm_gate = 0.5;
+  /// Lets EstimateQuantiles consult the process-wide solver cache.
+  /// Disable to force a real solve — solver benchmarks and tests that
+  /// compare independent solves need the cold path, not a memo hit.
+  bool use_solver_cache = true;
 };
 
 struct MaxEntDiagnostics {
   int k1 = 0;              // standard moments used
   int k2 = 0;              // log moments used
   int newton_iterations = 0;
+  /// Objective evaluations without / with the Hessian, across every
+  /// Newton run of the solve (line-search backtracks land in
+  /// function_evals).
+  int function_evals = 0;
+  int hessian_evals = 0;
   int grid_size = 0;       // final N
   double condition_number = 0.0;
   bool log_primary = false;  // solved in log-domain (Appendix A, Eq. 8)
+  bool warm_started = false;  // solution seeded from a WarmStart hint
+};
+
+/// Seed state exported from a previous solve. Warm-starting a
+/// distributionally similar sketch from it starts Newton near the
+/// previous optimum, cutting the per-group cost for chains of neighboring
+/// cube cells. The greedy (k1, k2) selection still runs and the seed is
+/// applied to the multipliers of the moments both solves selected — the
+/// potential is strictly convex on the selected subset, so the seed moves
+/// the Newton path, not the answer. The hint is advisory: on a majority
+/// subset mismatch, or if Newton diverges from the seed, the solver falls
+/// back to the cold zero-theta start. (One visible difference remains:
+/// a good seed can converge on moment subsets where the zero start
+/// diverges and drops moments — there the warm solve matches *more*
+/// moments than the cold one.)
+struct WarmStart {
+  /// One selected moment with its multiplier. Selection is recorded as
+  /// (family, order) rather than basis-row index so it survives the two
+  /// sketches having different numbers of usable moments.
+  struct Entry {
+    bool primary;   // true: primary-domain Chebyshev row T_order
+    int order;      // 1-based within its family
+    double theta;
+    double moment;  // the Chebyshev moment this theta fitted (gate input)
+  };
+
+  bool log_primary = false;
+  /// Clenshaw-Curtis grid the previous solve settled on (diagnostic; the
+  /// solver re-escalates per density rather than inheriting it).
+  int grid_n = 0;
+  double theta0 = 0.0;  // constant-row multiplier
+  std::vector<Entry> entries;
+
+  bool valid() const { return grid_n > 0 && !entries.empty(); }
 };
 
 /// The solved maximum entropy distribution; supports quantile and CDF
@@ -65,6 +115,10 @@ class MaxEntDistribution {
   double xmax() const { return xmax_; }
   const MaxEntDiagnostics& diagnostics() const { return diag_; }
 
+  /// Seed for warm-starting the next solve (invalid for degenerate point
+  /// masses, which carry no solver state).
+  const WarmStart& warm_start() const { return warm_; }
+
  private:
   friend class MaxEntSolver;
 
@@ -78,18 +132,26 @@ class MaxEntDistribution {
   // by ~1e-5 between nodes, and quantile inversion must stay monotone.
   std::vector<double> cdf_values_;  // normalized to [0, 1]
   MaxEntDiagnostics diag_;
+  WarmStart warm_;
 };
 
 /// Solves the maximum entropy problem for the sketch. Returns NotConverged
 /// when no density matches the moments (e.g. datasets with fewer than ~5
 /// distinct values, Section 6.2.3) and InvalidArgument for empty sketches.
+/// A non-null `hint` (from a previous solution's warm_start()) seeds the
+/// moment selection, theta, and quadrature grid; the solver falls back to
+/// the cold path when the hint does not transfer.
 Result<MaxEntDistribution> SolveMaxEnt(const MomentsSketch& sketch,
-                                       const MaxEntOptions& options = {});
+                                       const MaxEntOptions& options = {},
+                                       const WarmStart* hint = nullptr);
 
-/// Convenience wrapper: solve + evaluate a batch of quantiles.
+/// Convenience wrapper: solve + evaluate a batch of quantiles. Routed
+/// through the process-wide solver cache (core/solver_cache.h), so
+/// re-estimating a sketch with unchanged moments skips the solve; pass a
+/// `hint` to additionally warm-start on a cache miss.
 Result<std::vector<double>> EstimateQuantiles(
     const MomentsSketch& sketch, const std::vector<double>& phis,
-    const MaxEntOptions& options = {});
+    const MaxEntOptions& options = {}, const WarmStart* hint = nullptr);
 
 }  // namespace msketch
 

@@ -47,6 +47,14 @@ class MomentsSketch {
   /// Adds one element (Algorithm 1, accumulate).
   void Accumulate(double x);
 
+  /// Adds `n` elements. Semantically — and bit-for-bit — equal to calling
+  /// Accumulate on each element in order, but processes four elements per
+  /// step with independent power/log-power multiply chains, breaking the
+  /// serial p *= x dependence that bounds the scalar path. Each column's
+  /// additions still happen in element order, which is what keeps the
+  /// result bit-identical.
+  void AccumulateBatch(const double* xs, size_t n);
+
   /// Merges another sketch of the same order (Algorithm 1, merge).
   Status Merge(const MomentsSketch& other);
 

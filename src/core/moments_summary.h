@@ -26,6 +26,13 @@ class MomentsSummary {
     cached_.reset();
   }
 
+  /// Bulk ingestion through the unrolled kernel; bit-identical to an
+  /// Accumulate loop (see MomentsSketch::AccumulateBatch).
+  void AccumulateBatch(const double* xs, size_t n) {
+    sketch_.AccumulateBatch(xs, n);
+    cached_.reset();
+  }
+
   Status Merge(const MomentsSummary& other) {
     cached_.reset();
     return sketch_.Merge(other.sketch_);

@@ -1,0 +1,148 @@
+#include "core/solver_cache.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "core/chebyshev_moments.h"
+
+namespace msketch {
+
+namespace {
+
+void AppendBytes(std::string* key, const void* data, size_t n) {
+  key->append(static_cast<const char*>(data), n);
+}
+
+void AppendDoubleBits(std::string* key, double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v), "double is not 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendBytes(key, &bits, sizeof(bits));
+}
+
+void AppendQuantized(std::string* key, const std::vector<double>& values,
+                     double quantum) {
+  for (double v : values) {
+    const int64_t q = std::llround(v / quantum);
+    AppendBytes(key, &q, sizeof(q));
+  }
+}
+
+}  // namespace
+
+SolverCache::SolverCache(SolverCacheOptions options) : opt_(options) {
+  if (opt_.capacity == 0) opt_.capacity = 1;
+  if (!(opt_.quantum > 0.0)) opt_.quantum = 1e-9;
+}
+
+std::string SolverCache::MakeKey(const MomentsSketch& sketch,
+                                 const MaxEntOptions& options) const {
+  std::string key;
+  key.reserve(16 + 16 * (sketch.k() + 1) * 2 + 64);
+  const int32_t k = sketch.k();
+  AppendBytes(&key, &k, sizeof(k));
+  // Domain: the distribution maps scaled quantiles back through min/max,
+  // so those must match exactly for a hit to be reusable.
+  AppendDoubleBits(&key, sketch.min());
+  AppendDoubleBits(&key, sketch.max());
+  // The solver consumes scaled Chebyshev moments, not raw power sums; two
+  // sketches with equal scaled moments solve to the same distribution
+  // regardless of count.
+  const ScaleMap std_map = MakeScaleMap(sketch.min(), sketch.max());
+  AppendQuantized(&key, PowerMomentsToChebyshev(sketch.StandardMoments(),
+                                                std_map),
+                  opt_.quantum);
+  const uint8_t log_usable = sketch.LogMomentsUsable() ? 1 : 0;
+  AppendBytes(&key, &log_usable, sizeof(log_usable));
+  if (log_usable) {
+    const ScaleMap log_map =
+        MakeScaleMap(std::log(sketch.min()), std::log(sketch.max()));
+    AppendQuantized(&key,
+                    PowerMomentsToChebyshev(sketch.LogMoments(), log_map),
+                    opt_.quantum);
+  }
+  // Options fingerprint: every knob that changes the solution.
+  AppendDoubleBits(&key, options.kappa_max);
+  AppendDoubleBits(&key, options.grad_tol);
+  AppendDoubleBits(&key, options.warm_gate);
+  const int32_t ints[] = {options.min_grid, options.max_grid,
+                          options.max_newton_iter, options.max_k1,
+                          options.max_k2};
+  AppendBytes(&key, ints, sizeof(ints));
+  const uint8_t flags = (options.use_std_moments ? 1 : 0) |
+                        (options.use_log_moments ? 2 : 0);
+  AppendBytes(&key, &flags, sizeof(flags));
+  return key;
+}
+
+std::shared_ptr<const MaxEntDistribution> SolverCache::Lookup(
+    const MomentsSketch& sketch, const MaxEntOptions& options,
+    std::string* key_out) {
+  if (sketch.count() == 0) return nullptr;
+  std::string key = MakeKey(sketch, options);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (key_out != nullptr) *key_out = std::move(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+void SolverCache::Insert(const MomentsSketch& sketch,
+                         const MaxEntOptions& options,
+                         std::shared_ptr<const MaxEntDistribution> dist) {
+  if (sketch.count() == 0 || dist == nullptr) return;
+  InsertWithKey(MakeKey(sketch, options), std::move(dist));
+}
+
+void SolverCache::InsertWithKey(
+    std::string key, std::shared_ptr<const MaxEntDistribution> dist) {
+  if (key.empty() || dist == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    // Keep the first solution: concurrent solvers of quantized-equal
+    // sketches may race here, and stability beats last-writer-wins.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(dist));
+  map_.emplace(std::move(key), lru_.begin());
+  ++stats_.insertions;
+  while (map_.size() > opt_.capacity) {
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+SolverCache::Stats SolverCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t SolverCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+void SolverCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  map_.clear();
+  stats_ = Stats{};
+}
+
+SolverCache& GlobalSolverCache() {
+  // Sized for dashboard-style workloads: a few hundred distinct cells
+  // re-estimated across queries (~1 MB of CDF tables), not a whole cube.
+  static SolverCache* cache =
+      new SolverCache(SolverCacheOptions{256, 1e-9});
+  return *cache;
+}
+
+}  // namespace msketch

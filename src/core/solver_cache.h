@@ -1,0 +1,100 @@
+// Memoization of solved maximum entropy distributions.
+//
+// A high-cardinality group-by pays a ~1 ms Newton solve per group; real
+// workloads repeat groups across queries (dashboards re-polling) and
+// contain many cells whose merged moments are identical (uniform shards
+// of the same stream). The cache keys on the *scaled Chebyshev moments*
+// quantized to a small absolute grid — the quantities the solver actually
+// fits — plus the exact min/max bits and a fingerprint of the solver
+// options, so a hit returns a distribution that a fresh solve would have
+// reproduced to within the quantization (bit-identical for identical
+// sketches, since the solver is deterministic).
+//
+// Thread-safe: the batch layer shares one cache across its worker
+// threads. Entries are shared_ptrs, so a returned distribution stays
+// valid after eviction.
+#ifndef MSKETCH_CORE_SOLVER_CACHE_H_
+#define MSKETCH_CORE_SOLVER_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "core/maxent_solver.h"
+#include "core/moments_sketch.h"
+
+namespace msketch {
+
+struct SolverCacheOptions {
+  /// Maximum resident distributions (each ~4 KB of CDF table).
+  size_t capacity = 1024;
+  /// Absolute quantization grid on the scaled Chebyshev moments (which
+  /// live in [-1, 1]). Two sketches whose scaled moments agree to within
+  /// the quantum share an entry; at 1e-9 (the solver's moment-matching
+  /// tolerance) a hit is indistinguishable from a fresh solve.
+  double quantum = 1e-9;
+};
+
+class SolverCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+  };
+
+  explicit SolverCache(SolverCacheOptions options = {});
+
+  /// The cached solution for an equivalent (sketch, options) pair, or
+  /// nullptr. Promotes the entry to most-recently-used. When `key_out`
+  /// is non-null it receives the computed key, which a miss-path caller
+  /// can hand back to InsertWithKey instead of re-deriving it.
+  std::shared_ptr<const MaxEntDistribution> Lookup(
+      const MomentsSketch& sketch, const MaxEntOptions& options,
+      std::string* key_out = nullptr);
+
+  /// Publishes a solved distribution, evicting the least-recently-used
+  /// entry at capacity.
+  void Insert(const MomentsSketch& sketch, const MaxEntOptions& options,
+              std::shared_ptr<const MaxEntDistribution> dist);
+  /// Insert under a key previously obtained from Lookup(..., key_out) —
+  /// skips rebuilding the key (a Chebyshev conversion of all moments).
+  void InsertWithKey(std::string key,
+                     std::shared_ptr<const MaxEntDistribution> dist);
+  void Insert(const MomentsSketch& sketch, const MaxEntOptions& options,
+              MaxEntDistribution dist) {
+    Insert(sketch, options,
+           std::make_shared<const MaxEntDistribution>(std::move(dist)));
+  }
+
+  Stats stats() const;
+  size_t size() const;
+  void Clear();
+
+ private:
+  // Key: raw bytes of (k, log-usable flag, min/max bit patterns, quantized
+  // scaled std + log Chebyshev moments, options fingerprint).
+  std::string MakeKey(const MomentsSketch& sketch,
+                      const MaxEntOptions& options) const;
+
+  using LruList =
+      std::list<std::pair<std::string, std::shared_ptr<const MaxEntDistribution>>>;
+
+  SolverCacheOptions opt_;
+  mutable std::mutex mu_;
+  LruList lru_;  // front = most recent
+  std::unordered_map<std::string, LruList::iterator> map_;
+  Stats stats_;
+};
+
+/// Process-wide cache used by the EstimateQuantiles convenience wrapper.
+SolverCache& GlobalSolverCache();
+
+}  // namespace msketch
+
+#endif  // MSKETCH_CORE_SOLVER_CACHE_H_

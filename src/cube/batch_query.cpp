@@ -1,0 +1,280 @@
+#include "cube/batch_query.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "common/macros.h"
+#include "core/atomic_fit.h"
+#include "core/chebyshev_moments.h"
+#include "cube/data_cube.h"
+#include "parallel/parallel_for.h"
+
+namespace msketch {
+
+namespace {
+
+// A materialized group with its similarity-ordering features.
+struct Group {
+  CubeCoords key;
+  MomentsSketch sketch;
+  bool log_usable = false;
+  double m1 = 0.0, m2 = 0.0;  // scaled first/second moments
+};
+
+// Scaled first and second moments — the cheap 2-D proxy for "these two
+// sketches will accept each other's theta". Full Chebyshev conversion is
+// overkill for ordering; mean and spread in the scaled domain capture
+// most of the distributional distance.
+void FillSimilarityFeatures(Group* g) {
+  const MomentsSketch& s = g->sketch;
+  g->log_usable = s.LogMomentsUsable();
+  if (s.count() == 0 || !(s.min() < s.max())) return;
+  // Order in the domain the solver will integrate in: log moments when
+  // they are usable (they win the primary-domain vote for long-tailed
+  // data and are available whenever standard moments are).
+  if (g->log_usable) {
+    const ScaleMap map = MakeScaleMap(std::log(s.min()), std::log(s.max()));
+    const std::vector<double> nu = s.LogMoments();
+    g->m1 = map.Forward(nu[1]);
+    if (s.k() >= 2) {
+      g->m2 = (nu[2] - 2.0 * map.center * nu[1] + map.center * map.center) /
+              (map.radius * map.radius);
+    }
+  } else {
+    const ScaleMap map = MakeScaleMap(s.min(), s.max());
+    const std::vector<double> mu = s.StandardMoments();
+    g->m1 = map.Forward(mu[1]);
+    if (s.k() >= 2) {
+      g->m2 = (mu[2] - 2.0 * map.center * mu[1] + map.center * map.center) /
+              (map.radius * map.radius);
+    }
+  }
+}
+
+std::vector<Group> CollectGroups(const CubeStore& store,
+                                 const std::vector<size_t>& group_dims) {
+  std::vector<Group> groups;
+  store.ForEachGroup(group_dims, [&](const CubeCoords& key,
+                                     const MomentsSketch& sketch) {
+    Group g;
+    g.key = key;
+    g.sketch = sketch;
+    FillSimilarityFeatures(&g);
+    groups.push_back(std::move(g));
+  });
+  // Similarity order: identical-moment groups land adjacent (same chain,
+  // so the cache absorbs them), near-identical ones neighbor each other
+  // for warm starts. A plain lexicographic (m1, m2) sort jumps in m2 at
+  // every m1 step; snaking through coarse m1 buckets keeps *both*
+  // coordinates slowly varying along a chain, which is what the solver's
+  // warm gate rewards. Key as final tiebreak keeps the order
+  // deterministic.
+  auto bucket = [](double m1) {
+    return static_cast<int>(std::floor((m1 + 1.0) / 0.02));
+  };
+  std::sort(groups.begin(), groups.end(),
+            [&](const Group& a, const Group& b) {
+              if (a.log_usable != b.log_usable) {
+                return a.log_usable < b.log_usable;
+              }
+              const int ba = bucket(a.m1), bb = bucket(b.m1);
+              if (ba != bb) return ba < bb;
+              const bool reverse = (ba & 1) != 0;  // snake direction
+              if (a.m2 != b.m2) return reverse ? a.m2 > b.m2 : a.m2 < b.m2;
+              if (a.m1 != b.m1) return a.m1 < b.m1;
+              return a.key < b.key;
+            });
+  return groups;
+}
+
+// The cache -> warm-start -> cold solve tiers, chained per worker.
+class TieredSolver {
+ public:
+  TieredSolver(SolverCache* cache, bool use_warm,
+               const MaxEntOptions& maxent, BatchStats* stats)
+      : cache_(cache), use_warm_(use_warm), maxent_(maxent), stats_(stats) {}
+
+  /// Solved distribution for the sketch, or the solver's error. Updates
+  /// the chain state and stats.
+  Result<std::shared_ptr<const MaxEntDistribution>> Solve(
+      const MomentsSketch& sketch) {
+    // Failure memo first (cheaper than a cache key build): the
+    // similarity order puts identical-moment groups adjacent, and a
+    // failed solve (near-discrete data) is the most expensive kind — the
+    // full Newton backoff chain. Don't repeat it, and don't charge a
+    // cache miss, for a byte-identical neighbor.
+    if (failed_valid_ && failed_sketch_.IdenticalTo(sketch)) {
+      return failed_status_;
+    }
+    std::string key;
+    if (cache_ != nullptr) {
+      if (auto hit = cache_->Lookup(sketch, maxent_, &key)) {
+        ++stats_->cache_hits;
+        if (hit->warm_start().valid()) last_ = hit;
+        return hit;
+      }
+    }
+    const WarmStart* hint =
+        (use_warm_ && last_ != nullptr && last_->warm_start().valid())
+            ? &last_->warm_start()
+            : nullptr;
+    Result<MaxEntDistribution> res = SolveMaxEnt(sketch, maxent_, hint);
+    if (!res.ok()) {
+      failed_valid_ = true;
+      failed_sketch_ = sketch;
+      failed_status_ = res.status();
+      return res.status();
+    }
+    stats_->newton_iterations +=
+        static_cast<uint64_t>(res->diagnostics().newton_iterations);
+    if (res->diagnostics().warm_started) {
+      ++stats_->warm_solves;
+    } else {
+      ++stats_->cold_solves;
+    }
+    auto dist =
+        std::make_shared<const MaxEntDistribution>(std::move(res.value()));
+    if (cache_ != nullptr) cache_->InsertWithKey(std::move(key), dist);
+    if (dist->warm_start().valid()) last_ = dist;
+    return dist;
+  }
+
+ private:
+  SolverCache* cache_;
+  bool use_warm_;
+  const MaxEntOptions& maxent_;
+  BatchStats* stats_;
+  std::shared_ptr<const MaxEntDistribution> last_;
+  bool failed_valid_ = false;
+  MomentsSketch failed_sketch_{1};
+  Status failed_status_;
+};
+
+// Shards the similarity-ordered groups and runs `process(index, solver,
+// shard_stats, shard)` for each group index; merges per-shard stats into
+// *stats.
+template <typename ProcessFn>
+void RunChains(size_t num_groups, const BatchOptions& options,
+               BatchStats* stats, const ProcessFn& process) {
+  const int threads = std::max(1, options.threads);
+  SolverCache local_cache(SolverCacheOptions{options.cache_capacity, 1e-9});
+  SolverCache* cache = nullptr;
+  if (options.use_cache) {
+    cache = options.cache != nullptr ? options.cache : &local_cache;
+  }
+  std::vector<BatchStats> shard_stats(static_cast<size_t>(threads));
+  ParallelShards(num_groups, threads,
+                 [&](size_t begin, size_t end, int shard) {
+                   BatchStats& st = shard_stats[shard];
+                   TieredSolver solver(cache, options.use_warm_start,
+                                       options.maxent, &st);
+                   for (size_t i = begin; i < end; ++i) {
+                     process(i, &solver, &st, shard);
+                   }
+                 });
+  stats->groups = num_groups;
+  for (const BatchStats& st : shard_stats) stats->MergeFrom(st);
+}
+
+}  // namespace
+
+std::vector<GroupQuantiles> DataCube<MomentsSummary>::GroupByQuantiles(
+    const std::vector<size_t>& group_dims, const std::vector<double>& phis,
+    const BatchOptions& options, BatchStats* stats) const {
+  std::vector<Group> groups = CollectGroups(store_, group_dims);
+  // Shards write disjoint slots of `out`; no locking needed.
+  std::vector<GroupQuantiles> out(groups.size());
+  BatchStats local_stats;
+  RunChains(groups.size(), options, &local_stats,
+            [&](size_t i, TieredSolver* solver, BatchStats* st, int) {
+              const Group& g = groups[i];
+              GroupQuantiles& r = out[i];
+              r.key = g.key;
+              r.count = g.sketch.count();
+              auto dist = solver->Solve(g.sketch);
+              if (dist.ok()) {
+                r.quantiles = dist.value()->Quantiles(phis);
+                r.k1 = dist.value()->diagnostics().k1;
+                r.k2 = dist.value()->diagnostics().k2;
+                return;
+              }
+              // Near-discrete group: mirror the cascade's fallback.
+              if (auto atomic = FitAtomicDistribution(g.sketch);
+                  atomic.ok()) {
+                ++st->atomic_fallbacks;
+                r.used_atomic = true;
+                r.quantiles.reserve(phis.size());
+                for (double phi : phis) {
+                  r.quantiles.push_back(atomic->Quantile(phi));
+                }
+                return;
+              }
+              ++st->failed_solves;
+              r.status = dist.status();
+            });
+  std::sort(out.begin(), out.end(),
+            [](const GroupQuantiles& a, const GroupQuantiles& b) {
+              return a.key < b.key;
+            });
+  if (stats != nullptr) *stats = local_stats;
+  return out;
+}
+
+std::vector<GroupThreshold> DataCube<MomentsSummary>::GroupByThreshold(
+    const std::vector<size_t>& group_dims, double phi, double t,
+    const BatchOptions& options, BatchStats* stats) const {
+  std::vector<Group> groups = CollectGroups(store_, group_dims);
+  std::vector<GroupThreshold> out(groups.size());
+  BatchStats local_stats;
+  // One bounds cascade per shard; stats merge afterwards. The cascade's
+  // own maxent stage is bypassed — unresolved groups route through the
+  // shard's tiered solver so they join the warm-start chain.
+  std::vector<ThresholdCascade> cascades(
+      static_cast<size_t>(std::max(1, options.threads)),
+      ThresholdCascade(options.cascade));
+  RunChains(groups.size(), options, &local_stats,
+            [&](size_t i, TieredSolver* solver, BatchStats* st, int shard) {
+              const Group& g = groups[i];
+              GroupThreshold& r = out[i];
+              r.key = g.key;
+              r.count = g.sketch.count();
+              ThresholdCascade& cascade = cascades[shard];
+              RankBounds bounds;
+              switch (cascade.CheckBounds(g.sketch, phi, t, &bounds)) {
+                case ThresholdCascade::Decision::kTrue:
+                  r.exceeds = true;
+                  return;
+                case ThresholdCascade::Decision::kFalse:
+                  r.exceeds = false;
+                  return;
+                case ThresholdCascade::Decision::kUnresolved:
+                  break;
+              }
+              auto dist = solver->Solve(g.sketch);
+              const MaxEntDistribution* dp =
+                  dist.ok() ? dist.value().get() : nullptr;
+              ThresholdCascade::MaxEntResolution resolution;
+              r.exceeds = cascade.DecideWithDistribution(
+                  dp, g.sketch, phi, t, bounds, &resolution);
+              if (resolution ==
+                  ThresholdCascade::MaxEntResolution::kAtomic) {
+                ++st->atomic_fallbacks;
+              } else if (resolution ==
+                         ThresholdCascade::MaxEntResolution::kBounds) {
+                ++st->failed_solves;
+              }
+            });
+  for (const ThresholdCascade& c : cascades) {
+    local_stats.cascade.MergeFrom(c.stats());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const GroupThreshold& a, const GroupThreshold& b) {
+              return a.key < b.key;
+            });
+  if (stats != nullptr) *stats = local_stats;
+  return out;
+}
+
+}  // namespace msketch

@@ -1,0 +1,110 @@
+// Batched estimation over cube groups: the query-side complement of the
+// columnar merge engine.
+//
+// A high-cardinality GROUP BY pays one maximum entropy solve per group
+// (Section 4.3, ~1 ms each), which dominates end-to-end latency past a
+// few thousand groups. The batch pipeline amortizes that work three ways:
+//
+//   1. groups are ordered by moment similarity, so each solve can
+//      warm-start from its neighbor's solution (fewer Newton iterations,
+//      no greedy moment re-selection);
+//   2. a SolverCache keyed on quantized scaled moments lets repeated and
+//      identical-moment groups skip the solve entirely;
+//   3. threshold queries run the cascade's bound stages first, so most
+//      groups never reach the solver at all (Section 5.2).
+//
+// Chains are contiguous slices of the similarity order, sharded across
+// threads via parallel/parallel_for.h; the cache is shared.
+#ifndef MSKETCH_CUBE_BATCH_QUERY_H_
+#define MSKETCH_CUBE_BATCH_QUERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/cascade.h"
+#include "core/maxent_solver.h"
+#include "core/solver_cache.h"
+#include "cube/cube_types.h"
+
+namespace msketch {
+
+struct BatchOptions {
+  MaxEntOptions maxent;
+  /// Stage switches for GroupByThreshold's per-batch cascade.
+  CascadeOptions cascade;
+  /// Worker threads; each gets a contiguous chain of similar groups.
+  int threads = 1;
+  /// Seed each solve from the previous solution in its chain. Warm and
+  /// cold solves converge to the same grad_tol moment match, but may pick
+  /// slightly different moment subsets; disable for bit-exact parity with
+  /// per-group SolveMaxEnt.
+  bool use_warm_start = true;
+  /// Consult/populate a solver cache. Uses `cache` when set, else a
+  /// per-batch cache of `cache_capacity` entries.
+  bool use_cache = true;
+  SolverCache* cache = nullptr;
+  size_t cache_capacity = 1024;
+};
+
+/// Per-batch estimation diagnostics (surfaced by the fig5/fig6 benches).
+struct BatchStats {
+  uint64_t groups = 0;
+  uint64_t cold_solves = 0;
+  uint64_t warm_solves = 0;
+  uint64_t cache_hits = 0;
+  uint64_t failed_solves = 0;     // solver + atomic fallback both failed
+  uint64_t atomic_fallbacks = 0;  // answered by the atomic-fit estimator
+  uint64_t newton_iterations = 0;  // summed over warm + cold solves
+  /// Bound-stage counters (GroupByThreshold only).
+  CascadeStats cascade;
+
+  double MeanNewtonIterations() const {
+    const uint64_t solves = cold_solves + warm_solves;
+    return solves == 0
+               ? 0.0
+               : static_cast<double>(newton_iterations) /
+                     static_cast<double>(solves);
+  }
+  uint64_t CascadePruned() const {
+    return cascade.resolved_simple + cascade.resolved_markov +
+           cascade.resolved_rtt;
+  }
+  void MergeFrom(const BatchStats& other) {
+    groups += other.groups;
+    cold_solves += other.cold_solves;
+    warm_solves += other.warm_solves;
+    cache_hits += other.cache_hits;
+    failed_solves += other.failed_solves;
+    atomic_fallbacks += other.atomic_fallbacks;
+    newton_iterations += other.newton_iterations;
+    cascade.MergeFrom(other.cascade);
+  }
+};
+
+/// One group's quantile estimates. `status` is non-OK only when both the
+/// solver and the atomic-fit fallback failed; `used_atomic` marks
+/// estimates from the fallback (near-discrete groups, Section 6.2.3).
+struct GroupQuantiles {
+  CubeCoords key;
+  uint64_t count = 0;
+  std::vector<double> quantiles;  // parallel to the phis argument
+  bool used_atomic = false;
+  /// Moment subset the solve fitted (from MaxEntDiagnostics; 0/0 for
+  /// atomic fallbacks). Lets callers tell a tolerance miss from a warm
+  /// solve that legitimately fitted a different subset.
+  int k1 = 0;
+  int k2 = 0;
+  Status status = Status::OK();
+};
+
+/// One group's threshold decision ("is the phi-quantile above t?").
+struct GroupThreshold {
+  CubeCoords key;
+  uint64_t count = 0;
+  bool exceeds = false;
+};
+
+}  // namespace msketch
+
+#endif  // MSKETCH_CUBE_BATCH_QUERY_H_

@@ -24,6 +24,7 @@
 #include "common/macros.h"
 #include "common/status.h"
 #include "core/moments_summary.h"
+#include "cube/batch_query.h"
 #include "cube/cube_store.h"
 #include "cube/cube_types.h"
 
@@ -214,6 +215,24 @@ class DataCube<MomentsSummary> {
   }
 
   size_t SummaryBytes() const { return store_.SummaryBytes(); }
+
+  /// Batched GROUP BY quantiles: merges each group's cells columnar-side,
+  /// orders groups by moment similarity into warm-start chains, shards
+  /// chains across options.threads, and solves each group through the
+  /// cache -> warm-start -> cold tiers (see cube/batch_query.h). Results
+  /// are sorted by group key, so output is independent of thread count.
+  /// Defined in batch_query.cpp.
+  std::vector<GroupQuantiles> GroupByQuantiles(
+      const std::vector<size_t>& group_dims, const std::vector<double>& phis,
+      const BatchOptions& options = {}, BatchStats* stats = nullptr) const;
+
+  /// Batched GROUP BY ... HAVING q_phi > t: each group first runs the
+  /// cascade's bound stages (range / Markov / RTT); only unresolved
+  /// groups reach the solver, which again goes through the cache and
+  /// warm-start chain. Defined in batch_query.cpp.
+  std::vector<GroupThreshold> GroupByThreshold(
+      const std::vector<size_t>& group_dims, double phi, double t,
+      const BatchOptions& options = {}, BatchStats* stats = nullptr) const;
 
   /// The columnar engine, for benchmarks and the parallel/window layers.
   const CubeStore& store() const { return store_; }

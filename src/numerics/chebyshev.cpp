@@ -42,6 +42,32 @@ double ChebyshevEval(const std::vector<double>& coeffs, double x) {
   return x * b1 - b2 + coeffs[0];
 }
 
+void ChebyshevEvalMany(const std::vector<double>& coeffs, const double* xs,
+                       size_t n, double* out) {
+  if (coeffs.empty()) {
+    for (size_t j = 0; j < n; ++j) out[j] = 0.0;
+    return;
+  }
+  constexpr size_t kLanes = 8;
+  size_t j = 0;
+  for (; j + kLanes <= n; j += kLanes) {
+    double b1[kLanes] = {0.0}, b2[kLanes] = {0.0}, x2[kLanes];
+    for (size_t l = 0; l < kLanes; ++l) x2[l] = 2.0 * xs[j + l];
+    for (size_t i = coeffs.size(); i-- > 1;) {
+      const double c = coeffs[i];
+      for (size_t l = 0; l < kLanes; ++l) {
+        const double b0 = x2[l] * b1[l] - b2[l] + c;
+        b2[l] = b1[l];
+        b1[l] = b0;
+      }
+    }
+    for (size_t l = 0; l < kLanes; ++l) {
+      out[j + l] = xs[j + l] * b1[l] - b2[l] + coeffs[0];
+    }
+  }
+  for (; j < n; ++j) out[j] = ChebyshevEval(coeffs, xs[j]);
+}
+
 std::vector<std::vector<double>> ChebyshevToMonomialMatrix(int n) {
   MSKETCH_CHECK(n >= 0);
   std::vector<std::vector<double>> m(n + 1,

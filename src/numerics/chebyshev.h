@@ -23,6 +23,14 @@ void ChebyshevTAll(int n, double x, double* out);
 /// Evaluates the series sum_i coeffs[i] * T_i(x) by Clenshaw's algorithm.
 double ChebyshevEval(const std::vector<double>& coeffs, double x);
 
+/// Evaluates the series at n points: out[j] = sum_i coeffs[i] * T_i(xs[j]).
+/// Point-blocked Clenshaw — the recurrence runs over coefficients while
+/// eight points advance in independent lanes, so the compiler can keep
+/// the whole block in vector registers. This is the estimator's CDF
+/// tabulation hot path (~500 evaluations per maxent solve).
+void ChebyshevEvalMany(const std::vector<double>& coeffs, const double* xs,
+                       size_t n, double* out);
+
 /// Row i of the returned matrix holds the monomial coefficients of T_i:
 ///   T_i(x) = sum_j M[i][j] x^j,  for i, j in 0..n.
 /// Integer-valued but returned as doubles; coefficients grow like 2^n so

@@ -37,6 +37,8 @@ Result<OptimResult> NewtonMinimize(const ObjectiveFn& objective,
   OptimResult result;
   result.x = std::move(x0);
   result.value = eval.value;
+  result.hessian_evals = 1;
+  double prev_step = 1.0;
 
   for (int iter = 0; iter < options.max_iter; ++iter) {
     result.grad_norm = MaxAbs(eval.gradient);
@@ -71,9 +73,12 @@ Result<OptimResult> NewtonMinimize(const ObjectiveFn& objective,
 
     // Armijo backtracking. Trial points are evaluated without the
     // Hessian (it costs O(d^2 N) per evaluation); the Hessian is computed
-    // once at the accepted point.
+    // once at the accepted point. See NewtonOptions::adaptive_initial_step
+    // for the warm-start opening-step policy.
     const double slope = Dot(eval.gradient, direction);
-    double step = 1.0;
+    double step = options.adaptive_initial_step
+                      ? std::min(1.0, 4.0 * prev_step)
+                      : 1.0;
     std::vector<double> x_new(n);
     ObjectiveEval eval_new;
     bool accepted = false;
@@ -82,6 +87,7 @@ Result<OptimResult> NewtonMinimize(const ObjectiveFn& objective,
         x_new[i] = result.x[i] + step * direction[i];
       }
       objective(x_new, /*need_hessian=*/false, &eval_new);
+      ++result.function_evals;
       if (std::isfinite(eval_new.value) &&
           eval_new.value <=
               result.value + options.armijo_c * step * slope) {
@@ -97,7 +103,9 @@ Result<OptimResult> NewtonMinimize(const ObjectiveFn& objective,
           std::string("NewtonMinimize: line search failed (gradient ") + buf +
           ")");
     }
+    prev_step = step;
     objective(x_new, /*need_hessian=*/true, &eval_new);
+    ++result.hessian_evals;
     result.x = x_new;
     result.value = eval_new.value;
     eval = std::move(eval_new);

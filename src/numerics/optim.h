@@ -35,6 +35,13 @@ struct NewtonOptions {
   double backtrack = 0.5;         // step shrink factor
   int max_backtracks = 60;
   double ridge0 = 1e-10;          // initial ridge when Cholesky fails
+  /// Open each line search at min(1, 4x the previously accepted step)
+  /// instead of always at 1. When consecutive iterations need similar
+  /// damping — typical for warm-started solves landing in exp-overflow
+  /// territory — this saves several objective evaluations per iteration;
+  /// the 4x recovery restores full steps within two clean iterations.
+  /// Off by default so cold solves keep their exact historical paths.
+  bool adaptive_initial_step = false;
 };
 
 struct OptimResult {
@@ -42,6 +49,10 @@ struct OptimResult {
   double value = 0.0;
   double grad_norm = 0.0;
   int iterations = 0;
+  /// Objective-oracle calls without / with the Hessian. Line-search
+  /// backtracks show up here, not in `iterations`.
+  int function_evals = 0;
+  int hessian_evals = 0;
 };
 
 /// Damped Newton: solve H d = -g (Cholesky, escalating ridge on failure),

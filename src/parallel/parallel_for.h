@@ -1,0 +1,43 @@
+// Contiguous-shard parallel execution, the same sharding discipline as
+// parallel_merge.h: split [0, n) into `threads` contiguous slices, one
+// worker per slice, join. Contiguity matters to the batch estimation
+// layer — each slice is a warm-start chain, so neighboring (similar)
+// items must stay on the same worker.
+#ifndef MSKETCH_PARALLEL_PARALLEL_FOR_H_
+#define MSKETCH_PARALLEL_PARALLEL_FOR_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace msketch {
+
+/// Runs fn(begin, end, shard_index) over `threads` contiguous shards of
+/// [0, n). Runs inline (no thread spawn) for a single thread or when n is
+/// too small to shard. `fn` must be safe to call concurrently on disjoint
+/// ranges.
+template <typename Fn>
+void ParallelShards(size_t n, int threads, Fn&& fn) {
+  MSKETCH_CHECK(threads >= 1);
+  if (threads == 1 || n < 2 * static_cast<size_t>(threads)) {
+    if (n > 0) fn(size_t{0}, n, 0);
+    return;
+  }
+  const size_t shard = (n + threads - 1) / threads;
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    const size_t begin = static_cast<size_t>(t) * shard;
+    const size_t end = std::min(n, begin + shard);
+    if (begin >= end) break;
+    workers.emplace_back([&fn, begin, end, t]() { fn(begin, end, t); });
+  }
+  for (std::thread& w : workers) w.join();
+}
+
+}  // namespace msketch
+
+#endif  // MSKETCH_PARALLEL_PARALLEL_FOR_H_

@@ -1,0 +1,346 @@
+// Tests for the batched estimation pipeline: warm-started maxent solves,
+// the solver cache, and the cube's GroupByQuantiles / GroupByThreshold
+// batch APIs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/cascade.h"
+#include "core/maxent_solver.h"
+#include "core/moments_sketch.h"
+#include "core/solver_cache.h"
+#include "cube/data_cube.h"
+
+namespace msketch {
+namespace {
+
+// A sketch over lognormal data whose parameters drift with `shift`, so a
+// family of sketches is distributionally similar but not identical.
+MomentsSketch DriftingSketch(uint64_t seed, double shift, int rows = 4000) {
+  MomentsSketch s(10);
+  Rng rng(seed);
+  for (int i = 0; i < rows; ++i) {
+    s.Accumulate(rng.NextLognormal(1.0 + 0.05 * shift, 0.5 + 0.01 * shift));
+  }
+  return s;
+}
+
+TEST(WarmStartTest, WarmSolveMatchesColdSolve) {
+  const std::vector<double> phis = {0.01, 0.1, 0.5, 0.9, 0.99};
+  uint64_t cold_iters = 0, warm_iters = 0;
+  int warm_used = 0;
+  for (int trial = 0; trial < 12; ++trial) {
+    // Neighboring cells: same distribution family, slightly drifted
+    // parameters — close enough for the solver's warm gate.
+    MomentsSketch a = DriftingSketch(1000 + trial, trial);
+    MomentsSketch b = DriftingSketch(2000 + trial, trial + 0.1);
+    auto seed = SolveMaxEnt(a);
+    ASSERT_TRUE(seed.ok()) << seed.status().ToString();
+    auto cold = SolveMaxEnt(b);
+    ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+    auto warm = SolveMaxEnt(b, {}, &seed->warm_start());
+    ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+    cold_iters += cold->diagnostics().newton_iterations;
+    warm_iters += warm->diagnostics().newton_iterations;
+    warm_used += warm->diagnostics().warm_started ? 1 : 0;
+    // Both converge the selected moments to grad_tol, so the quantiles
+    // must agree to well within the estimator's own error scale.
+    for (double phi : phis) {
+      const double qc = cold->Quantile(phi);
+      const double qw = warm->Quantile(phi);
+      EXPECT_NEAR(qw, qc, 2e-3 * (b.max() - b.min()))
+          << "trial " << trial << " phi " << phi;
+    }
+  }
+  // The hint should actually be taken for a majority of neighboring
+  // pairs (subset overlap varies with the drift), and seeding near the
+  // optimum must save Newton work in aggregate.
+  EXPECT_GE(warm_used, 6);
+  EXPECT_LT(warm_iters, cold_iters);
+}
+
+TEST(WarmStartTest, MismatchedDomainFallsBackToColdPath) {
+  // Gaussian data (negative values: std-moment primary) seeded with a
+  // lognormal hint (log primary): the hint must be rejected, and the
+  // solve must equal the cold solve exactly.
+  MomentsSketch lognormal = DriftingSketch(7, 0.0);
+  auto seed = SolveMaxEnt(lognormal);
+  ASSERT_TRUE(seed.ok());
+  ASSERT_TRUE(seed->diagnostics().log_primary);
+
+  MomentsSketch gauss(10);
+  Rng rng(8);
+  for (int i = 0; i < 4000; ++i) gauss.Accumulate(rng.NextGaussian());
+  auto cold = SolveMaxEnt(gauss);
+  auto warm = SolveMaxEnt(gauss, {}, &seed->warm_start());
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE(warm.ok());
+  EXPECT_FALSE(warm->diagnostics().warm_started);
+  for (double phi : {0.1, 0.5, 0.9}) {
+    EXPECT_DOUBLE_EQ(warm->Quantile(phi), cold->Quantile(phi));
+  }
+}
+
+TEST(WarmStartTest, DegenerateSketchExportsInvalidWarmStart) {
+  MomentsSketch s(10);
+  for (int i = 0; i < 10; ++i) s.Accumulate(3.0);
+  auto dist = SolveMaxEnt(s);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_FALSE(dist->warm_start().valid());
+  // An invalid hint must be ignored, not crash.
+  MomentsSketch b = DriftingSketch(9, 1.0);
+  auto warm = SolveMaxEnt(b, {}, &dist->warm_start());
+  ASSERT_TRUE(warm.ok());
+  EXPECT_FALSE(warm->diagnostics().warm_started);
+}
+
+TEST(SolverCacheTest, HitIsBitIdenticalToCachedSolution) {
+  SolverCache cache;
+  MomentsSketch s = DriftingSketch(21, 2.0);
+  MaxEntOptions options;
+  EXPECT_EQ(cache.Lookup(s, options), nullptr);
+  auto solved = SolveMaxEnt(s, options);
+  ASSERT_TRUE(solved.ok());
+  cache.Insert(s, options, solved.value());
+  auto hit = cache.Lookup(s, options);
+  ASSERT_NE(hit, nullptr);
+  for (double phi = 0.01; phi < 1.0; phi += 0.01) {
+    EXPECT_EQ(hit->Quantile(phi), solved->Quantile(phi)) << phi;
+  }
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+}
+
+TEST(SolverCacheTest, DistinguishesSketchesAndOptions) {
+  SolverCache cache;
+  MomentsSketch a = DriftingSketch(31, 0.0);
+  MomentsSketch b = DriftingSketch(32, 8.0);
+  MaxEntOptions options;
+  auto da = SolveMaxEnt(a, options);
+  ASSERT_TRUE(da.ok());
+  cache.Insert(a, options, da.value());
+  EXPECT_EQ(cache.Lookup(b, options), nullptr);
+  MaxEntOptions tighter;
+  tighter.kappa_max = 100.0;
+  EXPECT_EQ(cache.Lookup(a, tighter), nullptr);
+  EXPECT_NE(cache.Lookup(a, options), nullptr);
+}
+
+TEST(SolverCacheTest, EvictsLeastRecentlyUsed) {
+  SolverCache cache(SolverCacheOptions{2, 1e-9});
+  MaxEntOptions options;
+  std::vector<MomentsSketch> sketches;
+  for (int i = 0; i < 3; ++i) {
+    sketches.push_back(DriftingSketch(41 + i, 4.0 * i));
+    auto d = SolveMaxEnt(sketches.back(), options);
+    ASSERT_TRUE(d.ok());
+    cache.Insert(sketches.back(), options, d.value());
+  }
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.Lookup(sketches[0], options), nullptr);  // evicted
+  EXPECT_NE(cache.Lookup(sketches[2], options), nullptr);
+}
+
+TEST(SolverCacheTest, EstimateQuantilesRoutesThroughGlobalCache) {
+  MomentsSketch s = DriftingSketch(51, 3.0);
+  const std::vector<double> phis = {0.25, 0.5, 0.75};
+  const auto before = GlobalSolverCache().stats();
+  auto first = EstimateQuantiles(s, phis);
+  auto second = EstimateQuantiles(s, phis);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  for (size_t i = 0; i < phis.size(); ++i) {
+    EXPECT_EQ(first.value()[i], second.value()[i]);
+  }
+  const auto after = GlobalSolverCache().stats();
+  EXPECT_GE(after.hits, before.hits + 1);
+}
+
+// ------------------------------------------------------------ batch APIs
+
+DataCube<MomentsSummary> BuildGroupedCube(size_t num_groups,
+                                          int rows_per_group,
+                                          uint64_t seed = 0xBA7C4) {
+  DataCube<MomentsSummary> cube(2, MomentsSummary(10));
+  Rng rng(seed);
+  std::vector<double> buf;
+  for (size_t grp = 0; grp < num_groups; ++grp) {
+    buf.clear();
+    for (int i = 0; i < rows_per_group; ++i) {
+      buf.push_back(
+          rng.NextLognormal(1.0 + 0.002 * grp, 0.4 + 0.0005 * grp));
+    }
+    // Two cells per group on the second dimension, so grouping actually
+    // merges cells.
+    const size_t half = buf.size() / 2;
+    for (size_t i = 0; i < buf.size(); ++i) {
+      cube.Ingest({static_cast<uint32_t>(grp), i < half ? 0u : 1u}, buf[i]);
+    }
+  }
+  return cube;
+}
+
+TEST(BatchQueryTest, GroupByQuantilesMatchesPerGroupSolveExactly) {
+  const auto cube = BuildGroupedCube(24, 500);
+  const std::vector<double> phis = {0.1, 0.5, 0.95};
+  // Cold path (no warm start, no cache) must reproduce per-group
+  // SolveMaxEnt bit-for-bit.
+  BatchOptions options;
+  options.use_warm_start = false;
+  options.use_cache = false;
+  BatchStats stats;
+  auto results = cube.GroupByQuantiles({0}, phis, options, &stats);
+  ASSERT_EQ(results.size(), 24u);
+  EXPECT_EQ(stats.groups, 24u);
+  EXPECT_EQ(stats.cold_solves + stats.atomic_fallbacks + stats.failed_solves,
+            24u);
+  EXPECT_EQ(stats.warm_solves, 0u);
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    MomentsSketch group(10);
+    cube.store().ForEachGroup({0}, [&](const CubeCoords& key,
+                                       const MomentsSketch& sketch) {
+      if (key == r.key) group = sketch;
+    });
+    auto dist = SolveMaxEnt(group);
+    ASSERT_TRUE(dist.ok());
+    for (size_t i = 0; i < phis.size(); ++i) {
+      EXPECT_EQ(r.quantiles[i], dist->Quantile(phis[i]))
+          << "group " << r.key[0] << " phi " << phis[i];
+    }
+  }
+}
+
+TEST(BatchQueryTest, WarmBatchWithinToleranceOfColdAndCheaper) {
+  const auto cube = BuildGroupedCube(40, 400);
+  const std::vector<double> phis = {0.5, 0.99};
+
+  BatchOptions cold;
+  cold.use_warm_start = false;
+  cold.use_cache = false;
+  BatchStats cold_stats;
+  auto cold_results = cube.GroupByQuantiles({0}, phis, cold, &cold_stats);
+
+  BatchOptions warm;  // defaults: warm start + cache on
+  BatchStats warm_stats;
+  auto warm_results = cube.GroupByQuantiles({0}, phis, warm, &warm_stats);
+
+  ASSERT_EQ(cold_results.size(), warm_results.size());
+  for (size_t g = 0; g < cold_results.size(); ++g) {
+    ASSERT_EQ(cold_results[g].key, warm_results[g].key);
+    for (size_t i = 0; i < phis.size(); ++i) {
+      const double qc = cold_results[g].quantiles[i];
+      const double qw = warm_results[g].quantiles[i];
+      EXPECT_NEAR(qw, qc, 2e-3 * std::max(1.0, std::fabs(qc)));
+    }
+  }
+  EXPECT_GT(warm_stats.warm_solves, 0u);
+  EXPECT_LT(warm_stats.MeanNewtonIterations(),
+            cold_stats.MeanNewtonIterations());
+}
+
+TEST(BatchQueryTest, ThreadedBatchMatchesSingleThread) {
+  const auto cube = BuildGroupedCube(32, 300);
+  const std::vector<double> phis = {0.25, 0.9};
+  BatchOptions single;
+  single.use_warm_start = false;
+  single.use_cache = false;
+  single.threads = 1;
+  BatchOptions quad = single;
+  quad.threads = 4;
+  auto r1 = cube.GroupByQuantiles({0}, phis, single);
+  auto r4 = cube.GroupByQuantiles({0}, phis, quad);
+  ASSERT_EQ(r1.size(), r4.size());
+  for (size_t g = 0; g < r1.size(); ++g) {
+    EXPECT_EQ(r1[g].key, r4[g].key);
+    ASSERT_TRUE(r1[g].status.ok());
+    ASSERT_TRUE(r4[g].status.ok());
+    for (size_t i = 0; i < phis.size(); ++i) {
+      EXPECT_EQ(r1[g].quantiles[i], r4[g].quantiles[i]);
+    }
+  }
+}
+
+TEST(BatchQueryTest, IdenticalGroupsHitTheCache) {
+  // Many groups with byte-identical content: one solve, rest cache hits.
+  DataCube<MomentsSummary> cube(2, MomentsSummary(10));
+  std::vector<double> buf;
+  Rng rng(77);
+  for (int i = 0; i < 800; ++i) buf.push_back(rng.NextLognormal(0.5, 0.7));
+  for (uint32_t grp = 0; grp < 16; ++grp) {
+    for (double x : buf) cube.Ingest({grp, 0u}, x);
+  }
+  BatchOptions options;
+  BatchStats stats;
+  auto results = cube.GroupByQuantiles({0}, {0.5, 0.9}, options, &stats);
+  ASSERT_EQ(results.size(), 16u);
+  EXPECT_GE(stats.cache_hits, 12u);
+  EXPECT_EQ(stats.cache_hits + stats.cold_solves + stats.warm_solves, 16u);
+  for (size_t g = 1; g < results.size(); ++g) {
+    for (size_t i = 0; i < results[0].quantiles.size(); ++i) {
+      EXPECT_EQ(results[g].quantiles[i], results[0].quantiles[i]);
+    }
+  }
+}
+
+TEST(BatchQueryTest, GroupByThresholdMatchesPerGroupCascade) {
+  const auto cube = BuildGroupedCube(30, 400);
+  const double phi = 0.7;
+  // Pick a threshold inside the data range so some groups reach maxent.
+  auto global = cube.MergeAll();
+  auto t_result = global.EstimateQuantile(0.9);
+  ASSERT_TRUE(t_result.ok());
+  const double t = t_result.value();
+
+  BatchOptions options;
+  options.use_warm_start = false;  // exact parity with the plain cascade
+  options.use_cache = false;
+  BatchStats stats;
+  auto batched = cube.GroupByThreshold({0}, phi, t, options, &stats);
+  ASSERT_EQ(batched.size(), 30u);
+  EXPECT_EQ(stats.cascade.total, 30u);
+
+  for (const auto& r : batched) {
+    MomentsSketch group(10);
+    cube.store().ForEachGroup({0}, [&](const CubeCoords& key,
+                                       const MomentsSketch& sketch) {
+      if (key == r.key) group = sketch;
+    });
+    ThresholdCascade reference;
+    EXPECT_EQ(r.exceeds, reference.Threshold(group, phi, t))
+        << "group " << r.key[0];
+  }
+}
+
+TEST(CascadeMemoTest, MultiThresholdSweepSolvesOnce) {
+  // One sketch, many (phi, t) pairs chosen inside the bulk of the
+  // distribution so the bound stages cannot resolve them: the memoized
+  // cascade must solve once and reuse the distribution.
+  MomentsSketch s = DriftingSketch(61, 1.0, 20000);
+  auto dist = SolveMaxEnt(s);
+  ASSERT_TRUE(dist.ok());
+  const std::vector<double> phis = {0.45, 0.5, 0.55, 0.6, 0.65};
+
+  ThresholdCascade memoized;
+  CascadeOptions no_memo_options;
+  no_memo_options.memoize_solution = false;
+  ThresholdCascade no_memo(no_memo_options);
+
+  for (double phi : phis) {
+    const double t = dist->Quantile(0.5);
+    EXPECT_EQ(memoized.Threshold(s, phi, t), no_memo.Threshold(s, phi, t))
+        << phi;
+  }
+  const auto& st = memoized.stats();
+  EXPECT_GE(st.resolved_maxent, 2u);
+  EXPECT_GE(st.maxent_memo_hits, st.resolved_maxent - 1);
+  EXPECT_EQ(no_memo.stats().maxent_memo_hits, 0u);
+}
+
+}  // namespace
+}  // namespace msketch

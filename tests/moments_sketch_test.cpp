@@ -55,6 +55,56 @@ TEST(MomentsSketchTest, AllPositiveEnablesLogMoments) {
   EXPECT_TRUE(s.LogMomentsUsable());
 }
 
+// AccumulateBatch is an unrolled kernel, not a semantic variant: for any
+// input (signs mixed, zeros, remainder tails) it must produce the exact
+// bit pattern of the scalar Accumulate loop.
+TEST(MomentsSketchTest, AccumulateBatchBitIdenticalToLoop) {
+  Rng rng(91);
+  for (size_t n : {0u, 1u, 3u, 4u, 5u, 7u, 8u, 1000u}) {
+    std::vector<double> data;
+    data.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      // Mix of positives, negatives, and exact zeros exercises both log
+      // paths of the blocked kernel.
+      const double roll = rng.NextDouble();
+      if (roll < 0.1) {
+        data.push_back(0.0);
+      } else if (roll < 0.4) {
+        data.push_back(-rng.NextLognormal(1.0, 2.0));
+      } else {
+        data.push_back(rng.NextLognormal(1.0, 2.0));
+      }
+    }
+    MomentsSketch loop(10), batch(10);
+    for (double x : data) loop.Accumulate(x);
+    batch.AccumulateBatch(data.data(), data.size());
+    EXPECT_TRUE(batch.IdenticalTo(loop)) << "n=" << n;
+  }
+}
+
+TEST(MomentsSketchTest, AccumulateBatchAllPositiveBitIdentical) {
+  Rng rng(92);
+  std::vector<double> data;
+  for (int i = 0; i < 4097; ++i) data.push_back(rng.NextLognormal(0.0, 1.0));
+  MomentsSketch loop(15), batch(15);
+  for (double x : data) loop.Accumulate(x);
+  batch.AccumulateBatch(data.data(), data.size());
+  EXPECT_TRUE(batch.IdenticalTo(loop));
+  EXPECT_TRUE(batch.LogMomentsUsable());
+}
+
+TEST(MomentsSketchTest, AccumulateBatchAppendsToExistingState) {
+  Rng rng(93);
+  std::vector<double> data;
+  for (int i = 0; i < 100; ++i) data.push_back(rng.Uniform(-3.0, 9.0));
+  MomentsSketch loop(8), batch(8);
+  loop.Accumulate(4.0);
+  batch.Accumulate(4.0);
+  for (double x : data) loop.Accumulate(x);
+  batch.AccumulateBatch(data.data(), data.size());
+  EXPECT_TRUE(batch.IdenticalTo(loop));
+}
+
 // Algorithm 1's key property: merge of partition sketches is identical to
 // a pointwise-built sketch, up to floating point associativity. With exact
 // binary values the sums are bit-identical.
