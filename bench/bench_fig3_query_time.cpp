@@ -7,13 +7,80 @@
 
 #include "bench/bench_util.h"
 #include "bench/calibrate.h"
+#include "common/rng.h"
 #include "cube/cube_store.h"
+#include "cube/dim_index.h"
 #include "datasets/datasets.h"
+
+namespace {
+
+// Pre-galloping intersection (binary search from scratch per probe id),
+// kept local as the microbench baseline.
+std::vector<uint32_t> IntersectBinaryProbe(
+    const std::vector<uint32_t>& probe, const std::vector<uint32_t>& other) {
+  std::vector<uint32_t> out;
+  out.reserve(probe.size());
+  for (uint32_t id : probe) {
+    if (std::binary_search(other.begin(), other.end(), id)) out.push_back(id);
+  }
+  return out;
+}
+
+// Postings intersection microbench: a small probe list against a larger
+// list at increasing skew. Galloping cursors win big at high skew and
+// must not lose at low skew (where the cursors run linear).
+void RunIntersectionSection(msketch::bench::JsonReport* report,
+                            double scale) {
+  using namespace msketch;
+  using namespace msketch::bench;
+  PrintHeader("intersection microbench: binary-probe vs galloping cursors");
+  std::printf("%-24s %10s %12s %12s %8s\n", "lists", "matches", "binary(ms)",
+              "gallop(ms)", "ratio");
+  const size_t probe_len = static_cast<size_t>(20'000 * scale);
+  Rng rng(515);
+  for (size_t skew : {1, 8, 64, 512}) {
+    // Probe ids stride through a universe `skew` times denser.
+    const size_t other_len = probe_len * skew;
+    std::vector<uint32_t> probe, other;
+    probe.reserve(probe_len);
+    other.reserve(other_len);
+    for (size_t i = 0; i < other_len; ++i) {
+      other.push_back(static_cast<uint32_t>(i));
+    }
+    for (size_t i = 0; i < probe_len; ++i) {
+      // ~half the probe ids hit `other`, the rest fall past its end.
+      probe.push_back(static_cast<uint32_t>(
+          rng.NextBelow(2) == 0 ? i * skew : other_len + i));
+    }
+    std::sort(probe.begin(), probe.end());
+    probe.erase(std::unique(probe.begin(), probe.end()), probe.end());
+
+    std::vector<uint32_t> out_a, out_b;
+    auto binary_ms =
+        TimeReps(11, [&] { out_a = IntersectBinaryProbe(probe, other); });
+    auto gallop_ms =
+        TimeReps(11, [&] { out_b = IntersectPostings({&probe, &other}); });
+    MSKETCH_CHECK(out_a == out_b);
+    const double med_b = MedianOf(binary_ms), med_g = MedianOf(gallop_ms);
+    char name[64];
+    std::snprintf(name, sizeof(name), "%zu vs %zu (skew %zux)", probe.size(),
+                  other.size(), skew);
+    std::printf("%-24s %10zu %12.3f %12.3f %8.2f\n", name, out_a.size(),
+                med_b, med_g, med_g > 0 ? med_b / med_g : 0.0);
+    report->Add("intersect", name, gallop_ms,
+                {{"binary_median_ms", med_b},
+                 {"matches", static_cast<double>(out_a.size())}});
+  }
+  std::printf("\n");
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace msketch;
   using namespace msketch::bench;
   Args args(argc, argv);
+  JsonReport report("fig3");
   // Paper: milan 81M rows -> 406k cells of 200. Default here: 2M rows ->
   // 10k cells (the merge-time ordering is row-count independent).
   const uint64_t milan_rows = args.GetU64("rows", 2'000'000) *
@@ -98,9 +165,43 @@ int main(int argc, char** argv) {
       std::printf("%-10s %8d %10zu %12.2f %10.4f   (flat-merge kernel)\n",
                   "M-Sk(col)", msketch_k,
                   store.SummaryBytes() / store.num_cells(), query_ms, err);
+      report.Add(std::string("query/") + c.dataset, "M-Sk(col)", {query_ms},
+                 {{"cells", static_cast<double>(store.num_cells())}});
+      // SIMD range kernel, then the planned query against a fresh
+      // rollup (the unconstrained query returns the pre-merged total).
+      t.Reset();
+      MomentsSketch simd(msketch_k);
+      MSKETCH_CHECK(
+          simd.MergeFlatRangeFast(store.Columns(), 0, store.num_cells())
+              .ok());
+      MomentsSummary simd_summary(std::move(simd));
+      auto q_simd = simd_summary.EstimateQuantile(0.5);
+      const double simd_ms = t.Millis();
+      std::printf("%-10s %8d %10zu %12.2f %10s   (simd range kernel)\n",
+                  "M-Sk(simd)", msketch_k,
+                  store.SummaryBytes() / store.num_cells(), simd_ms, "-");
+      report.Add(std::string("query/") + c.dataset, "M-Sk(simd)", {simd_ms},
+                 {{"cells", static_cast<double>(store.num_cells())}});
+      store.BuildRollup();
+      t.Reset();
+      CubeStore::QueryStats stats;
+      MomentsSummary planned(
+          store.QueryWhere(CubeFilter(1, kAnyValue), &stats));
+      auto q_plan = planned.EstimateQuantile(0.5);
+      const double plan_ms = t.Millis();
+      std::printf("%-10s %8d %10zu %12.2f %10s   (rollup total, plan=%s)\n",
+                  "M-Sk(roll)", msketch_k,
+                  store.SummaryBytes() / store.num_cells(), plan_ms, "-",
+                  QueryPlanName(stats.plan));
+      report.Add(std::string("query/") + c.dataset, "M-Sk(rollup)",
+                 {plan_ms},
+                 {{"cells", static_cast<double>(store.num_cells())}});
       (void)q;
+      (void)q_simd;
+      (void)q_plan;
     }
     std::printf("baseline: std::sort of raw data: %.1f ms\n\n", sort_ms);
   }
+  RunIntersectionSection(&report, args.Scale());
   return 0;
 }

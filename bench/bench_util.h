@@ -14,6 +14,7 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/macros.h"
@@ -132,6 +133,100 @@ inline void PrintHeader(const std::string& title) {
   std::printf("%s\n", title.c_str());
   std::printf("==============================================================\n");
 }
+
+// ------------------------------------------------- machine-readable output
+//
+// Each figure bench can emit a BENCH_<fig>.json next to the binary so
+// the perf trajectory is trackable across PRs (CI uploads them as
+// artifacts). Schema: {"bench": "<fig>", "sections": [{"section": ...,
+// "name": ..., "median_ms": ..., "p95_ms": ..., "extra": {...}}]}.
+
+/// p-th percentile (0 <= p <= 1) by nearest-rank on a copy of `samples`.
+inline double PercentileOf(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[std::min(idx, samples.size() - 1)];
+}
+
+inline double MedianOf(const std::vector<double>& samples) {
+  return PercentileOf(samples, 0.5);
+}
+
+/// Runs `fn` `reps` times and returns per-rep milliseconds.
+template <typename Fn>
+std::vector<double> TimeReps(int reps, Fn&& fn) {
+  std::vector<double> ms;
+  ms.reserve(reps);
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    fn();
+    ms.push_back(t.Millis());
+  }
+  return ms;
+}
+
+/// Collects named timing rows and writes them as BENCH_<fig>.json on
+/// destruction (or an explicit Write). Keys and numeric values only —
+/// enough for a trend dashboard, simple enough to have no dependencies.
+class JsonReport {
+ public:
+  explicit JsonReport(const std::string& fig) : fig_(fig) {}
+  ~JsonReport() { Write(); }
+
+  /// Adds one row; `extra` carries counters (throughput, plan counts...).
+  void Add(const std::string& section, const std::string& name,
+           const std::vector<double>& samples_ms,
+           const std::vector<std::pair<std::string, double>>& extra = {}) {
+    Row row;
+    row.section = section;
+    row.name = name;
+    row.median_ms = MedianOf(samples_ms);
+    row.p95_ms = PercentileOf(samples_ms, 0.95);
+    row.extra = extra;
+    rows_.push_back(std::move(row));
+  }
+
+  void Write() {
+    if (written_ || rows_.empty()) return;
+    written_ = true;
+    const std::string path = "BENCH_" + fig_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "JsonReport: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"sections\": [\n",
+                 fig_.c_str());
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      std::fprintf(f,
+                   "    {\"section\": \"%s\", \"name\": \"%s\", "
+                   "\"median_ms\": %.6g, \"p95_ms\": %.6g",
+                   r.section.c_str(), r.name.c_str(), r.median_ms, r.p95_ms);
+      for (const auto& [key, value] : r.extra) {
+        std::fprintf(f, ", \"%s\": %.6g", key.c_str(), value);
+      }
+      std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+  }
+
+ private:
+  struct Row {
+    std::string section;
+    std::string name;
+    double median_ms = 0.0;
+    double p95_ms = 0.0;
+    std::vector<std::pair<std::string, double>> extra;
+  };
+  std::string fig_;
+  std::vector<Row> rows_;
+  bool written_ = false;
+};
 
 }  // namespace bench
 }  // namespace msketch

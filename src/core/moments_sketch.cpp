@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/macros.h"
+#include "core/simd_reduce.h"
 
 namespace msketch {
 
@@ -124,6 +125,9 @@ Status MomentsSketch::Subtract(const MomentsSketch& other) {
     power_sums_[i] -= other.power_sums_[i];
     log_sums_[i] -= other.log_sums_[i];
   }
+  // Same guards as SubtractFlat, so the object and columnar turnstile
+  // paths stay bit-identical step for step.
+  ApplyCancellationGuards();
   return Status::OK();
 }
 
@@ -217,7 +221,125 @@ Status MomentsSketch::SubtractFlat(const FlatMomentColumns& cols,
   }
   count_ -= count;
   log_count_ -= log_count;
+  ApplyCancellationGuards();
   return Status::OK();
+}
+
+Status MomentsSketch::MergeFlatRangeFast(const FlatMomentColumns& cols,
+                                         size_t begin, size_t end) {
+  if (cols.k != k_) {
+    return Status::InvalidArgument("MergeFlatRangeFast: mismatched order k");
+  }
+  if (begin > end || end > cols.num_cells) {
+    return Status::OutOfRange("MergeFlatRangeFast: bad cell range");
+  }
+  const size_t n = end - begin;
+  if (n == 0) return Status::OK();
+  // Column-major: each column is one vectorized unit-stride reduction
+  // into a register sum, folded into the sketch with a single add — no
+  // per-cell store/reload of the accumulators, and one prefetch-friendly
+  // stream at a time.
+  for (int i = 0; i < k_; ++i) {
+    power_sums_[i] += simd::ReduceAddRange(cols.power_sums[i] + begin, n);
+  }
+  for (int i = 0; i < k_; ++i) {
+    log_sums_[i] += simd::ReduceAddRange(cols.log_sums[i] + begin, n);
+  }
+  uint64_t count = 0, log_count = 0;
+  for (size_t j = begin; j < end; ++j) count += cols.counts[j];
+  for (size_t j = begin; j < end; ++j) log_count += cols.log_counts[j];
+  count_ += count;
+  log_count_ += log_count;
+  double mn, mx;
+  simd::ReduceMinMaxRange(cols.mins + begin, n, &mn, &mx);
+  min_ = std::min(min_, mn);
+  simd::ReduceMinMaxRange(cols.maxs + begin, n, &mn, &mx);
+  max_ = std::max(max_, mx);
+  return Status::OK();
+}
+
+Status MomentsSketch::MergeFlatFast(const FlatMomentColumns& cols,
+                                    const uint32_t* cell_ids, size_t n) {
+  if (cols.k != k_) {
+    return Status::InvalidArgument("MergeFlatFast: mismatched order k");
+  }
+  if (n == 0) return Status::OK();
+  for (size_t j = 0; j < n; ++j) {
+    if (cell_ids[j] >= cols.num_cells) {
+      return Status::OutOfRange("MergeFlatFast: cell id out of range");
+    }
+  }
+  for (int i = 0; i < k_; ++i) {
+    power_sums_[i] += simd::ReduceAddGather(cols.power_sums[i], cell_ids, n);
+  }
+  for (int i = 0; i < k_; ++i) {
+    log_sums_[i] += simd::ReduceAddGather(cols.log_sums[i], cell_ids, n);
+  }
+  uint64_t count = 0, log_count = 0;
+  double mn = min_, mx = max_;
+  for (size_t j = 0; j < n; ++j) {
+    const uint32_t id = cell_ids[j];
+    count += cols.counts[id];
+    log_count += cols.log_counts[id];
+    mn = std::min(mn, cols.mins[id]);
+    mx = std::max(mx, cols.maxs[id]);
+  }
+  count_ += count;
+  log_count_ += log_count;
+  min_ = mn;
+  max_ = mx;
+  return Status::OK();
+}
+
+Status MomentsSketch::SubtractFlatFast(const FlatMomentColumns& cols,
+                                       const uint32_t* cell_ids, size_t n) {
+  if (cols.k != k_) {
+    return Status::InvalidArgument("SubtractFlatFast: mismatched order k");
+  }
+  uint64_t count = 0, log_count = 0;
+  for (size_t j = 0; j < n; ++j) {
+    if (cell_ids[j] >= cols.num_cells) {
+      return Status::OutOfRange("SubtractFlatFast: cell id out of range");
+    }
+    count += cols.counts[cell_ids[j]];
+    log_count += cols.log_counts[cell_ids[j]];
+  }
+  if (count > count_ || log_count > log_count_) {
+    return Status::InvalidArgument(
+        "SubtractFlatFast: subtracting more elements than present");
+  }
+  // One lane-structured sum of the subtrahend per column, then a single
+  // subtract — the complement-plan analogue of MergeFlatFast.
+  for (int i = 0; i < k_; ++i) {
+    power_sums_[i] -= simd::ReduceAddGather(cols.power_sums[i], cell_ids, n);
+  }
+  for (int i = 0; i < k_; ++i) {
+    log_sums_[i] -= simd::ReduceAddGather(cols.log_sums[i], cell_ids, n);
+  }
+  count_ -= count;
+  log_count_ -= log_count;
+  ApplyCancellationGuards();
+  return Status::OK();
+}
+
+void MomentsSketch::ApplyCancellationGuards() {
+  if (count_ == 0) {
+    std::fill(power_sums_.begin(), power_sums_.end(), 0.0);
+    std::fill(log_sums_.begin(), log_sums_.end(), 0.0);
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+    return;
+  }
+  if (log_count_ == 0) {
+    std::fill(log_sums_.begin(), log_sums_.end(), 0.0);
+  }
+  // power_sums_[i] holds the exponent-(i+1) sum, so odd i is an even
+  // power: a sum of non-negative terms that only cancellation noise can
+  // drive negative.
+  for (int i = 1; i < k_; i += 2) {
+    if (power_sums_[i] < 0.0) power_sums_[i] = 0.0;
+    if (log_sums_[i] < 0.0) log_sums_[i] = 0.0;
+  }
 }
 
 void MomentsSketch::SetRange(double min, double max) {

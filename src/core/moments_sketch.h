@@ -60,7 +60,9 @@ class MomentsSketch {
 
   /// Removes a previously merged sketch's contributions (turnstile
   /// semantics). min/max are left untouched and are stale afterwards;
-  /// callers must follow up with SetRange (see window/).
+  /// callers must follow up with SetRange (see window/). Subtracting to
+  /// an empty sketch resets the moment state to exact zeros, and
+  /// even-power sums are clamped at zero (cancellation guard).
   Status Subtract(const MomentsSketch& other);
 
   /// Batched merge against columnar storage: folds in the cells named by
@@ -76,10 +78,37 @@ class MomentsSketch {
   Status MergeFlatRange(const FlatMomentColumns& cols, size_t begin,
                         size_t end);
 
+  /// SIMD merge over the contiguous cell range [begin, end): column-major
+  /// (one full pass per column) with the 8-lane accumulation of
+  /// core/simd_reduce.h, so each column is one vectorized unit-stride
+  /// stream instead of a strided store-reload per cell. Results are
+  /// bit-identical across the AVX2/SSE2/scalar fallback chain, but the
+  /// lane re-association means they differ from MergeFlatRange in the
+  /// last ulps (exactly equal when the column sums are exactly
+  /// representable, e.g. dyadic data). Integer counts and min/max are
+  /// always exact.
+  Status MergeFlatRangeFast(const FlatMomentColumns& cols, size_t begin,
+                            size_t end);
+
+  /// SIMD gather-merge over an id list: same column-major 8-lane
+  /// structure as MergeFlatRangeFast applied to cols[*][cell_ids[j]].
+  /// Deterministic across builds; within-tolerance of MergeFlat.
+  Status MergeFlatFast(const FlatMomentColumns& cols, const uint32_t* cell_ids,
+                       size_t n);
+
   /// Batched turnstile subtraction against columnar storage. Like
-  /// Subtract, leaves min/max stale; follow up with SetRange.
+  /// Subtract, leaves min/max stale; follow up with SetRange. When the
+  /// subtraction empties the sketch, the moment state is reset to exact
+  /// zeros, and even-power sums are clamped at zero otherwise (they are
+  /// sums of non-negative terms, so a negative value is pure cancellation
+  /// noise) — see ApplyCancellationGuards.
   Status SubtractFlat(const FlatMomentColumns& cols, const uint32_t* cell_ids,
                       size_t n);
+
+  /// SIMD gather variant of SubtractFlat (column-major 8-lane sums of the
+  /// subtrahend, one subtract per column). Same cancellation guards.
+  Status SubtractFlatFast(const FlatMomentColumns& cols,
+                          const uint32_t* cell_ids, size_t n);
 
   /// Overrides the tracked range. Used after Subtract, and by tests.
   void SetRange(double min, double max);
@@ -123,6 +152,14 @@ class MomentsSketch {
   bool IdenticalTo(const MomentsSketch& other) const;
 
  private:
+  /// Post-subtraction numeric hygiene: resets to exact zeros when the
+  /// sketch emptied (count == 0 admits only the all-zero moment state),
+  /// and clamps even-power sums — sums of x^(2i) and log^(2i), both
+  /// non-negative by construction — at 0.0, so catastrophic cancellation
+  /// from subtracting nearly everything cannot leave an infeasible
+  /// moment vector for the solver.
+  void ApplyCancellationGuards();
+
   int k_;
   uint64_t count_ = 0;
   uint64_t log_count_ = 0;

@@ -1,0 +1,179 @@
+// Lane-structured floating point reductions for the columnar merge
+// kernels (core/moments_sketch.h MergeFlat*Fast).
+//
+// Plain left-to-right summation serializes on one FP-add dependency
+// chain (3-4 cycle latency against 2 add ports), so the fast kernels
+// accumulate into kReduceLanes = 8 independent logical lanes: lane L
+// takes elements whose position is congruent to L modulo 8, and lanes
+// combine in one fixed tree,
+//
+//   u_l = S_l + S_{l+4}                       (l = 0..3)
+//   sum = (u_0 + u_1) + (u_2 + u_3)
+//
+// followed by the tail (n mod 8 elements) added sequentially. Because
+// the lane assignment and combine tree are fixed, the AVX2 (two 4-wide
+// accumulators), SSE2 (four 2-wide), and scalar (eight doubles) bodies
+// all produce bit-identical results — the compile-time fallback chain
+// changes speed, never answers. The lane-structured sum does re-order
+// additions relative to a sequential loop, which is why the exact
+// id-order kernels (MergeFlat / MergeFlatRange) stay separate.
+//
+// ISA selection is purely compile-time: __AVX2__ when the TU is built
+// with -mavx2 (e.g. -march=native / MSKETCH_NATIVE), else __SSE2__
+// (always set on x86-64), else portable scalar.
+#ifndef MSKETCH_CORE_SIMD_REDUCE_H_
+#define MSKETCH_CORE_SIMD_REDUCE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__AVX2__) || defined(__SSE2__)
+#include <immintrin.h>
+#endif
+
+namespace msketch {
+namespace simd {
+
+/// Logical accumulation lanes of the fast reductions (fixed by the
+/// combine-tree contract above; not an ISA property).
+constexpr size_t kReduceLanes = 8;
+
+namespace detail {
+
+// Combines the eight lane sums S_0..S_7 with the fixed tree.
+inline double CombineLanes(const double* s) {
+  const double u0 = s[0] + s[4];
+  const double u1 = s[1] + s[5];
+  const double u2 = s[2] + s[6];
+  const double u3 = s[3] + s[7];
+  return (u0 + u1) + (u2 + u3);
+}
+
+}  // namespace detail
+
+/// Sum of x[0..n) in the lane-structured order.
+inline double ReduceAddRange(const double* x, size_t n) {
+  const size_t main = n - (n % kReduceLanes);
+  double sum;
+#if defined(__AVX2__)
+  {
+    // v0 holds lanes 0-3, v1 lanes 4-7; v0+v1 realizes u_l = S_l+S_{l+4}.
+    __m256d v0 = _mm256_setzero_pd();
+    __m256d v1 = _mm256_setzero_pd();
+    for (size_t j = 0; j < main; j += 8) {
+      v0 = _mm256_add_pd(v0, _mm256_loadu_pd(x + j));
+      v1 = _mm256_add_pd(v1, _mm256_loadu_pd(x + j + 4));
+    }
+    const __m256d u = _mm256_add_pd(v0, v1);
+    alignas(32) double ul[4];
+    _mm256_store_pd(ul, u);
+    sum = (ul[0] + ul[1]) + (ul[2] + ul[3]);
+  }
+#elif defined(__SSE2__)
+  {
+    // x0..x3 hold lane pairs (0,1) (2,3) (4,5) (6,7); x0+x2 and x1+x3
+    // realize the same u_l terms as the AVX2 body.
+    __m128d x0 = _mm_setzero_pd();
+    __m128d x1 = _mm_setzero_pd();
+    __m128d x2 = _mm_setzero_pd();
+    __m128d x3 = _mm_setzero_pd();
+    for (size_t j = 0; j < main; j += 8) {
+      x0 = _mm_add_pd(x0, _mm_loadu_pd(x + j));
+      x1 = _mm_add_pd(x1, _mm_loadu_pd(x + j + 2));
+      x2 = _mm_add_pd(x2, _mm_loadu_pd(x + j + 4));
+      x3 = _mm_add_pd(x3, _mm_loadu_pd(x + j + 6));
+    }
+    const __m128d y0 = _mm_add_pd(x0, x2);  // (u0, u1)
+    const __m128d y1 = _mm_add_pd(x1, x3);  // (u2, u3)
+    alignas(16) double a[2], b[2];
+    _mm_store_pd(a, y0);
+    _mm_store_pd(b, y1);
+    sum = (a[0] + a[1]) + (b[0] + b[1]);
+  }
+#else
+  {
+    double s[kReduceLanes] = {0, 0, 0, 0, 0, 0, 0, 0};
+    for (size_t j = 0; j < main; j += 8) {
+      for (size_t l = 0; l < kReduceLanes; ++l) s[l] += x[j + l];
+    }
+    sum = detail::CombineLanes(s);
+  }
+#endif
+  for (size_t j = main; j < n; ++j) sum += x[j];
+  return sum;
+}
+
+/// Sum of col[ids[0..n)] in the lane-structured order (gather variant —
+/// same lane assignment and combine tree as ReduceAddRange, so both are
+/// deterministic across the ISA fallback chain).
+inline double ReduceAddGather(const double* col, const uint32_t* ids,
+                              size_t n) {
+  const size_t main = n - (n % kReduceLanes);
+  double sum;
+  {
+    // Scattered loads don't benefit from vector gathers on most x86
+    // cores; eight independent scalar chains already saturate the load
+    // ports and keep the result identical to the SIMD range kernel's
+    // lane structure.
+    double s[kReduceLanes] = {0, 0, 0, 0, 0, 0, 0, 0};
+    for (size_t j = 0; j < main; j += 8) {
+      s[0] += col[ids[j]];
+      s[1] += col[ids[j + 1]];
+      s[2] += col[ids[j + 2]];
+      s[3] += col[ids[j + 3]];
+      s[4] += col[ids[j + 4]];
+      s[5] += col[ids[j + 5]];
+      s[6] += col[ids[j + 6]];
+      s[7] += col[ids[j + 7]];
+    }
+    sum = detail::CombineLanes(s);
+  }
+  for (size_t j = main; j < n; ++j) sum += col[ids[j]];
+  return sum;
+}
+
+/// Min/max of x[0..n) (order-free, so no lane contract needed). `n`
+/// must be >= 1.
+inline void ReduceMinMaxRange(const double* x, size_t n, double* mn_out,
+                              double* mx_out) {
+  double mn = x[0], mx = x[0];
+#if defined(__AVX2__)
+  if (n >= 4) {
+    __m256d vmn = _mm256_loadu_pd(x);
+    __m256d vmx = vmn;
+    size_t j = 4;
+    for (; j + 4 <= n; j += 4) {
+      const __m256d v = _mm256_loadu_pd(x + j);
+      vmn = _mm256_min_pd(vmn, v);
+      vmx = _mm256_max_pd(vmx, v);
+    }
+    alignas(32) double a[4], b[4];
+    _mm256_store_pd(a, vmn);
+    _mm256_store_pd(b, vmx);
+    mn = a[0];
+    mx = b[0];
+    for (int l = 1; l < 4; ++l) {
+      mn = a[l] < mn ? a[l] : mn;
+      mx = b[l] > mx ? b[l] : mx;
+    }
+    for (; j < n; ++j) {
+      mn = x[j] < mn ? x[j] : mn;
+      mx = x[j] > mx ? x[j] : mx;
+    }
+    *mn_out = mn;
+    *mx_out = mx;
+    return;
+  }
+#endif
+  for (size_t j = 1; j < n; ++j) {
+    mn = x[j] < mn ? x[j] : mn;
+    mx = x[j] > mx ? x[j] : mx;
+  }
+  *mn_out = mn;
+  *mx_out = mx;
+}
+
+}  // namespace simd
+}  // namespace msketch
+
+#endif  // MSKETCH_CORE_SIMD_REDUCE_H_

@@ -56,14 +56,33 @@ void FillSimilarityFeatures(Group* g) {
 std::vector<Group> CollectGroups(const CubeStore& store,
                                  const std::vector<size_t>& group_dims) {
   std::vector<Group> groups;
-  store.ForEachGroup(group_dims, [&](const CubeCoords& key,
-                                     const MomentsSketch& sketch) {
-    Group g;
-    g.key = key;
-    g.sketch = sketch;
-    FillSimilarityFeatures(&g);
-    groups.push_back(std::move(g));
-  });
+  if (group_dims.size() == 1 && store.HasFreshRollup()) {
+    // A single-dimension GROUP BY partitions the cells by that
+    // dimension's value — exactly the per-value postings the rollup
+    // index pre-merged. One planned query per distinct value folds span
+    // nodes instead of every cell, so the merge side of a
+    // high-cardinality GROUP BY shrinks by ~the span width.
+    const size_t d = group_dims[0];
+    CubeFilter filter(store.num_dims(), kAnyValue);
+    store.dim_index(d).ForEachValue(
+        [&](uint32_t value, const std::vector<uint32_t>&) {
+          filter[d] = static_cast<int64_t>(value);
+          Group g;
+          g.key = {value};
+          g.sketch = store.QueryWhere(filter);
+          FillSimilarityFeatures(&g);
+          groups.push_back(std::move(g));
+        });
+  } else {
+    store.ForEachGroup(group_dims, [&](const CubeCoords& key,
+                                       const MomentsSketch& sketch) {
+      Group g;
+      g.key = key;
+      g.sketch = sketch;
+      FillSimilarityFeatures(&g);
+      groups.push_back(std::move(g));
+    });
+  }
   // Similarity order: identical-moment groups land adjacent (same chain,
   // so the cache absorbs them), near-identical ones neighbor each other
   // for warm starts. A plain lexicographic (m1, m2) sort jumps in m2 at

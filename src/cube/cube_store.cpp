@@ -8,6 +8,47 @@
 
 namespace msketch {
 
+namespace {
+
+// QueryWhere plan-selection thresholds (see src/cube/README.md).
+//
+// Complement starts from the pre-merged total and subtracts the N - m
+// non-matching cells instead of gathering m matching ones; it needs a
+// fresh rollup (computing the total on the fly costs a full range merge,
+// which measures at break-even against the direct gather) and wins once
+// m is about two thirds of the cube.
+constexpr uint64_t kComplementNum = 2, kComplementDen = 3;
+// Scan beats intersecting when the postings volume the cursors would
+// walk exceeds the coordinate pass by more than the per-element cost
+// gap: a postings element is one packed uint32 step, a coordinate check
+// dereferences the cell's heap-allocated coords vector (~an order of
+// magnitude more), so the scan only wins against many near-full lists.
+constexpr uint64_t kScanCostFactor = 12;
+// Complement cancellation guard: subtracting the non-matching cells'
+// k-th power sums amplifies rounding noise by up to
+// (amax_nonmatching / amax_matching)^k relative to the matching-scale
+// result. Decline the plan once that amplification could exceed 2^12
+// (~4096 ulps, leaving answers well inside solver tolerance); same-
+// distribution populations sit far below the bound, magnitude-skewed
+// adversarial ones far above.
+constexpr double kMaxCancellationBits = 12.0;
+
+}  // namespace
+
+const char* QueryPlanName(QueryPlan plan) {
+  switch (plan) {
+    case QueryPlan::kScan:
+      return "scan";
+    case QueryPlan::kIntersect:
+      return "intersect";
+    case QueryPlan::kRollup:
+      return "rollup";
+    case QueryPlan::kComplement:
+      return "complement";
+  }
+  return "unknown";
+}
+
 CubeStore::CubeStore(size_t num_dims, int k) : num_dims_(num_dims), k_(k) {
   MSKETCH_CHECK(num_dims >= 1);
   MSKETCH_CHECK(k >= 1 && k <= 64);
@@ -22,6 +63,7 @@ CubeStore::CubeStore(const CubeStore& other)
     : num_dims_(other.num_dims_),
       k_(other.k_),
       num_rows_(other.num_rows_),
+      version_(other.version_),
       cell_ids_(other.cell_ids_),
       coords_(other.coords_),
       power_cols_(other.power_cols_),
@@ -33,7 +75,12 @@ CubeStore::CubeStore(const CubeStore& other)
       sums_(other.sums_),
       power_ptrs_(other.power_ptrs_),
       log_ptrs_(other.log_ptrs_),
-      dim_indexes_(other.dim_indexes_) {
+      dim_indexes_(other.dim_indexes_),
+      rollup_(other.rollup_ ? std::make_unique<RollupIndex>(*other.rollup_)
+                            : nullptr),
+      dirty_cells_(other.dirty_cells_),
+      cell_dirty_(other.cell_dirty_),
+      plan_counters_(other.plan_counters_) {
   RefreshColumnPtrs();
 }
 
@@ -51,6 +98,19 @@ void CubeStore::RefreshColumnPtrs() {
   }
 }
 
+void CubeStore::OnColumnsChanged() {
+  ++version_;
+  RefreshColumnPtrs();
+}
+
+void CubeStore::OnCellMutated(uint32_t cell_id) {
+  ++version_;
+  if (rollup_ != nullptr && !cell_dirty_[cell_id]) {
+    cell_dirty_[cell_id] = 1;
+    dirty_cells_.push_back(cell_id);
+  }
+}
+
 uint32_t CubeStore::Ingest(const CubeCoords& coords, double value) {
   MSKETCH_DCHECK(coords.size() == num_dims_);
   MSKETCH_DCHECK(std::isfinite(value));
@@ -58,6 +118,7 @@ uint32_t CubeStore::Ingest(const CubeCoords& coords, double value) {
   auto it = cell_ids_.find(coords);
   if (it != cell_ids_.end()) {
     id = it->second;
+    OnCellMutated(id);
   } else {
     id = static_cast<uint32_t>(coords_.size());
     cell_ids_.emplace(coords, id);
@@ -69,12 +130,15 @@ uint32_t CubeStore::Ingest(const CubeCoords& coords, double value) {
     mins_.push_back(std::numeric_limits<double>::infinity());
     maxs_.push_back(-std::numeric_limits<double>::infinity());
     sums_.push_back(0.0);
+    cell_dirty_.push_back(0);
     for (size_t d = 0; d < num_dims_; ++d) {
       dim_indexes_[d].Add(coords[d], id);
     }
-    // The push_backs may have reallocated; refresh the cached column
-    // bases here so Columns() stays a pure read.
-    RefreshColumnPtrs();
+    // The push_backs may have reallocated; this is the one place the
+    // cached column bases are re-pointed (and the version bumped), so
+    // Columns() stays a pure read and no caller can observe stale
+    // pointers after column growth.
+    OnColumnsChanged();
   }
   // Same accumulation recurrence as MomentsSketch::Accumulate, applied to
   // the cell's column entries.
@@ -113,6 +177,20 @@ FlatMomentColumns CubeStore::Columns() const {
   return cols;
 }
 
+void CubeStore::BuildRollup(const RollupOptions& options) {
+  rollup_ = std::make_unique<RollupIndex>(k_, options);
+  rollup_->Build(Columns(), dim_indexes_, version_);
+  std::fill(cell_dirty_.begin(), cell_dirty_.end(), 0);
+  dirty_cells_.clear();
+}
+
+void CubeStore::RefreshRollup() {
+  if (rollup_ == nullptr || rollup_->FreshAt(version_)) return;
+  rollup_->Refresh(Columns(), dim_indexes_, coords_, dirty_cells_, version_);
+  for (uint32_t c : dirty_cells_) cell_dirty_[c] = 0;
+  dirty_cells_.clear();
+}
+
 std::vector<uint32_t> CubeStore::MatchingCells(const CubeFilter& filter) const {
   MSKETCH_CHECK(filter.size() == num_dims_);
   std::vector<const std::vector<uint32_t>*> constrained;
@@ -128,6 +206,188 @@ std::vector<uint32_t> CubeStore::MatchingCells(const CubeFilter& filter) const {
     return all;
   }
   return IntersectPostings(constrained);
+}
+
+MomentsSketch CubeStore::QueryWhere(const CubeFilter& filter,
+                                    QueryStats* stats) const {
+  MSKETCH_CHECK(filter.size() == num_dims_);
+  QueryStats local;
+  QueryStats& st = stats != nullptr ? *stats : local;
+  st = QueryStats();
+  const FlatMomentColumns cols = Columns();
+  const size_t n_cells = coords_.size();
+  const bool rollup_fresh = HasFreshRollup();
+  MomentsSketch out(k_);
+
+  // Constrained dimensions and their postings ( = the selectivity
+  // counters the planner reads).
+  std::vector<size_t> cdims;
+  std::vector<const std::vector<uint32_t>*> postings;
+  for (size_t d = 0; d < num_dims_; ++d) {
+    if (filter[d] == kAnyValue) continue;
+    if (!FilterValueInRange(filter[d])) {
+      st.plan = QueryPlan::kIntersect;  // impossible value: empty result
+      plan_counters_.intersect.fetch_add(1, std::memory_order_relaxed);
+      return out;
+    }
+    cdims.push_back(d);
+    postings.push_back(
+        &dim_indexes_[d].Postings(static_cast<uint32_t>(filter[d])));
+  }
+
+  // Unconstrained: the fresh rollup answers in O(k); otherwise one SIMD
+  // range merge over the packed columns.
+  if (cdims.empty()) {
+    st.merges = n_cells;
+    if (rollup_fresh) {
+      st.plan = QueryPlan::kRollup;
+      plan_counters_.rollup.fetch_add(1, std::memory_order_relaxed);
+      return rollup_->total();
+    }
+    st.plan = QueryPlan::kScan;
+    st.visited = n_cells;
+    plan_counters_.scan.fetch_add(1, std::memory_order_relaxed);
+    MSKETCH_CHECK(out.MergeFlatRangeFast(cols, 0, n_cells).ok());
+    return out;
+  }
+
+  // Single constrained dimension with a fresh rollup: fold the value's
+  // pre-merged span nodes, then the residual postings tail.
+  if (cdims.size() == 1) {
+    const std::vector<uint32_t>& list = *postings[0];
+    if (rollup_fresh) {
+      const RollupIndex::ValueSpans spans = rollup_->SpansFor(
+          cdims[0], static_cast<uint32_t>(filter[cdims[0]]));
+      if (spans.nodes != nullptr) {
+        st.plan = QueryPlan::kRollup;
+        plan_counters_.rollup.fetch_add(1, std::memory_order_relaxed);
+        MSKETCH_CHECK(out.MergeFlatFast(rollup_->slab().Columns(),
+                                        spans.nodes->data(),
+                                        spans.nodes->size())
+                          .ok());
+        const size_t residual = list.size() - spans.covered;
+        if (residual > 0) {
+          MSKETCH_CHECK(
+              out.MergeFlatFast(cols, list.data() + spans.covered, residual)
+                  .ok());
+        }
+        st.merges = list.size();
+        st.span_merges = spans.nodes->size();
+        st.residual_merges = residual;
+        st.visited = st.span_merges + st.residual_merges;
+        return out;
+      }
+    }
+    return ExecuteIds(cols, list.data(), list.size(), QueryPlan::kIntersect,
+                      rollup_fresh, &st);
+  }
+
+  // Multiple constrained dimensions: intersect the postings, unless the
+  // total postings volume the cursors would walk dwarfs one coordinate
+  // pass — then scanning is cheaper than walking many near-full lists.
+  size_t sum_postings = 0;
+  for (const auto* p : postings) sum_postings += p->size();
+  std::vector<uint32_t> ids;
+  QueryPlan source_plan;
+  if (sum_postings > kScanCostFactor * n_cells) {
+    source_plan = QueryPlan::kScan;
+    ids.reserve(n_cells);
+    for (uint32_t id = 0; id < n_cells; ++id) {
+      if (FilterMatches(coords_[id], filter)) ids.push_back(id);
+    }
+    st.visited = n_cells;
+  } else {
+    source_plan = QueryPlan::kIntersect;
+    ids = IntersectPostings(postings);
+  }
+  return ExecuteIds(cols, ids.data(), ids.size(), source_plan, rollup_fresh,
+                    &st);
+}
+
+MomentsSketch CubeStore::ExecuteIds(const FlatMomentColumns& cols,
+                                    const uint32_t* ids, size_t m,
+                                    QueryPlan source_plan, bool rollup_fresh,
+                                    QueryStats* st) const {
+  const size_t n_cells = coords_.size();
+  MomentsSketch out(k_);
+  st->merges = m;
+  st->plan = source_plan;
+
+  // Complement: when nearly everything matches and the pre-merged total
+  // is fresh, start from the total and subtract the few non-matching
+  // cells; min/max are re-derived exactly from the matching cells'
+  // packed extrema. Guarded against catastrophic cancellation: the
+  // subtracted moment sums grow like amax^k, so if any non-matching cell
+  // has larger magnitude than every matching cell, the subtraction could
+  // bury the true sums below the operands' ulp — fall through to the
+  // direct gather merge instead, which sums the matching cells at full
+  // precision.
+  if (rollup_fresh && m * kComplementDen >= n_cells * kComplementNum &&
+      m < n_cells) {
+    double mn = std::numeric_limits<double>::infinity();
+    double mx = -std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < m; ++i) {
+      mn = std::min(mn, cols.mins[ids[i]]);
+      mx = std::max(mx, cols.maxs[ids[i]]);
+    }
+    const double amax_matching =
+        std::max(std::fabs(mn), std::fabs(mx));
+    std::vector<uint32_t> non_matching;
+    non_matching.reserve(n_cells - m);
+    double amax_non_matching = 0.0;
+    size_t j = 0;
+    for (uint32_t id = 0; id < n_cells; ++id) {
+      if (j < m && ids[j] == id) {
+        ++j;
+        continue;
+      }
+      non_matching.push_back(id);
+      if (cols.counts[id] > 0) {
+        amax_non_matching =
+            std::max(amax_non_matching,
+                     std::max(std::fabs(cols.mins[id]),
+                              std::fabs(cols.maxs[id])));
+      }
+    }
+    const bool cancellation_safe =
+        amax_non_matching <= amax_matching ||
+        (amax_matching > 0.0 &&
+         k_ * std::log2(amax_non_matching / amax_matching) <
+             kMaxCancellationBits);
+    if (cancellation_safe) {
+      st->plan = QueryPlan::kComplement;
+      plan_counters_.complement.fetch_add(1, std::memory_order_relaxed);
+      out = rollup_->total();
+      MSKETCH_CHECK(
+          out.SubtractFlatFast(cols, non_matching.data(),
+                               non_matching.size())
+              .ok());
+      if (out.count() > 0) out.SetRange(mn, mx);
+      st->subtract_merges = non_matching.size();
+      st->visited += non_matching.size();
+      return out;
+    }
+  }
+
+  if (m == n_cells) {
+    // Everything matches: unit-stride merge (or the pre-merged total).
+    if (rollup_fresh) {
+      st->plan = QueryPlan::kRollup;
+      plan_counters_.rollup.fetch_add(1, std::memory_order_relaxed);
+      return rollup_->total();
+    }
+    st->visited += n_cells;
+    MSKETCH_CHECK(out.MergeFlatRangeFast(cols, 0, n_cells).ok());
+  } else {
+    st->visited += m;
+    MSKETCH_CHECK(out.MergeFlatFast(cols, ids, m).ok());
+  }
+  if (st->plan == QueryPlan::kScan) {
+    plan_counters_.scan.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    plan_counters_.intersect.fetch_add(1, std::memory_order_relaxed);
+  }
+  return out;
 }
 
 MomentsSketch CubeStore::MergeWhere(const CubeFilter& filter,

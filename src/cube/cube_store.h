@@ -1,5 +1,6 @@
 // Columnar cube engine: struct-of-arrays storage for per-cell moments
-// sketches plus per-dimension inverted indexes.
+// sketches plus per-dimension inverted indexes and a rollup index of
+// pre-merged span partials.
 //
 // Layout. Instead of one heap-allocated MomentsSketch object per cell,
 // the store keeps one contiguous double column per moment order:
@@ -13,13 +14,26 @@
 // columns instead of chasing a pointer per cell, which is what makes
 // the paper's merge-dominated query path run at hardware speed.
 //
-// Cost model. Merging m cells costs (2k + 4) * m double loads and adds
-// with no per-cell allocation or indirection; a full-cube query over N
-// cells is (2k + 4) * N sequential column traversals (unit stride). A
-// filtered query first intersects the constrained dimensions' postings
-// (cost ~ size of the smallest postings list, times log for the binary
-// probes) and then pays the merge only for the m matching cells — so
-// selective filters cost O(m), not O(N). See src/cube/README.md.
+// Query planning. QueryWhere picks one of four plans from the postings
+// sizes (the selectivity counters the indexes already maintain):
+//
+//   kRollup     single constrained dimension with a fresh RollupIndex —
+//               fold the value's pre-merged span nodes plus the residual
+//               tail cells (~2^span_log2 x fewer adds); the unfiltered
+//               query returns the pre-merged grand total outright
+//   kComplement matching set nearly the whole cube and the rollup fresh
+//               — take the pre-merged total and subtract the few
+//               non-matching cells
+//   kScan       many constrained dimensions whose combined postings
+//               volume dwarfs one coordinate pass — scanning beats
+//               walking a stack of near-full postings lists
+//   kIntersect  everything else — intersect the constrained postings
+//               (galloping cursors) and gather-merge the matching cells
+//
+// All plans agree with the exact MergeWhere to within floating point
+// re-association (counts and min/max are always exact); MergeWhere
+// remains the bit-exact reference path. See src/cube/README.md for the
+// cost model and the plan-selection thresholds.
 //
 // The store is moments-sketch-specific by design: the SoA layout relies
 // on the sketch being a fixed set of linear accumulators. Other summary
@@ -27,16 +41,57 @@
 #ifndef MSKETCH_CUBE_CUBE_STORE_H_
 #define MSKETCH_CUBE_CUBE_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "core/moments_sketch.h"
 #include "cube/cube_types.h"
 #include "cube/dim_index.h"
+#include "cube/rollup_index.h"
 
 namespace msketch {
+
+/// Which strategy QueryWhere executed for a query.
+enum class QueryPlan : uint8_t {
+  kScan = 0,
+  kIntersect = 1,
+  kRollup = 2,
+  kComplement = 3,
+};
+const char* QueryPlanName(QueryPlan plan);
+
+/// Cumulative per-plan query counts (relaxed atomics: const queries may
+/// run concurrently; the counters are diagnostics, not synchronization).
+struct PlanCounters {
+  std::atomic<uint64_t> scan{0};
+  std::atomic<uint64_t> intersect{0};
+  std::atomic<uint64_t> rollup{0};
+  std::atomic<uint64_t> complement{0};
+
+  PlanCounters() = default;
+  PlanCounters(const PlanCounters& other) { *this = other; }
+  PlanCounters& operator=(const PlanCounters& other) {
+    scan.store(other.scan.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+    intersect.store(other.intersect.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    rollup.store(other.rollup.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    complement.store(other.complement.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    return *this;
+  }
+  uint64_t total() const {
+    return scan.load(std::memory_order_relaxed) +
+           intersect.load(std::memory_order_relaxed) +
+           rollup.load(std::memory_order_relaxed) +
+           complement.load(std::memory_order_relaxed);
+  }
+};
 
 class CubeStore {
  public:
@@ -51,7 +106,8 @@ class CubeStore {
   CubeStore& operator=(CubeStore&&) = default;
 
   /// Adds one row, creating the cell (and its index postings) on first
-  /// touch. Returns the cell id.
+  /// touch. Returns the cell id. Every ingest bumps the column version,
+  /// so a built rollup reads as stale until RefreshRollup().
   uint32_t Ingest(const CubeCoords& coords, double value);
 
   size_t num_cells() const { return coords_.size(); }
@@ -71,16 +127,32 @@ class CubeStore {
   /// no thread is ingesting.
   FlatMomentColumns Columns() const;
 
-  /// Per-query work counters. `visited` counts cells the query examined;
-  /// `merges` counts cells actually folded into the result. The indexed
-  /// path visits exactly the matching cells; the scan path visits all.
+  /// Per-query work counters. `merges` counts the matching cells folded
+  /// into the result (logically — the rollup and complement plans fold
+  /// them without touching each one); `visited` counts the units of
+  /// merge work the plan actually performed (cells scanned or gathered,
+  /// rollup nodes, subtracted cells), so visited << merges is the rollup
+  /// win and visited > merges marks a scan.
   struct QueryStats {
     uint64_t merges = 0;
     uint64_t visited = 0;
+    QueryPlan plan = QueryPlan::kIntersect;
+    uint64_t span_merges = 0;      // rollup nodes folded
+    uint64_t residual_merges = 0;  // cells merged beyond full spans
+    uint64_t subtract_merges = 0;  // complement-plan subtracted cells
   };
+
+  /// Planned filtered merge: picks scan / intersect / rollup /
+  /// complement from the postings sizes (see file comment). Counts and
+  /// min/max are exact under every plan; moment sums agree with
+  /// MergeWhere to within re-association (bit-equal when the sums are
+  /// exactly representable).
+  MomentsSketch QueryWhere(const CubeFilter& filter,
+                           QueryStats* stats = nullptr) const;
 
   /// Filtered merge through the inverted indexes: intersects the
   /// constrained dimensions' postings and merges only matching cells.
+  /// Bit-exact reference path (visits cells in ascending id order).
   MomentsSketch MergeWhere(const CubeFilter& filter,
                            QueryStats* stats = nullptr) const;
 
@@ -120,12 +192,61 @@ class CubeStore {
   /// Bytes of sketch state across all cells (columns, not per-object).
   size_t SummaryBytes() const;
 
+  // ------------------------------------------------------------- rollup
+
+  /// Builds (or rebuilds) the rollup index over the current contents.
+  void BuildRollup(const RollupOptions& options = {});
+
+  /// Incrementally re-validates a built rollup: rebuilds only the span
+  /// nodes covering cells ingested into since the last build/refresh,
+  /// appends newly completed spans, re-reduces the total (one SIMD range
+  /// merge over all cells — see RollupIndex::Refresh for the cost
+  /// breakdown). No-op when no rollup exists or it is already fresh.
+  void RefreshRollup();
+
+  /// The rollup index, or null when none was built.
+  const RollupIndex* rollup() const { return rollup_.get(); }
+
+  /// True when a rollup exists and no ingest happened since it was
+  /// built/refreshed (the only state QueryWhere will use it in).
+  bool HasFreshRollup() const {
+    return rollup_ != nullptr && rollup_->FreshAt(version_);
+  }
+
+  /// Monotone column version: bumped by every Ingest. Snapshot it next
+  /// to a FlatMomentColumns view to detect staleness.
+  uint64_t column_version() const { return version_; }
+
+  /// Cumulative QueryWhere plan counts (benchmark/diagnostic surface).
+  const PlanCounters& plan_counters() const { return plan_counters_; }
+
+  /// The inverted index of one dimension (batch_query's rollup-backed
+  /// GROUP BY enumerates a dimension's values through this).
+  const DimIndex& dim_index(size_t d) const { return dim_indexes_[d]; }
+
  private:
+  /// Re-points the cached column bases at the current buffers (used by
+  /// the copy constructor, which must not bump the version).
   void RefreshColumnPtrs();
+  /// The single place cached column base pointers are rebuilt and the
+  /// version is bumped after column growth; Ingest must route every
+  /// reallocation-capable mutation through here so no stale-pointer
+  /// window can exist.
+  void OnColumnsChanged();
+  /// Executes the tail of QueryWhere once the sorted matching ids are
+  /// known: complement when nearly everything matches, total/range merge
+  /// when everything does, gather merge otherwise.
+  MomentsSketch ExecuteIds(const FlatMomentColumns& cols, const uint32_t* ids,
+                           size_t m, QueryPlan source_plan, bool rollup_fresh,
+                           QueryStats* st) const;
+  /// Bookkeeping for an in-place update of an existing cell: bumps the
+  /// version and records the cell for incremental rollup refresh.
+  void OnCellMutated(uint32_t cell_id);
 
   size_t num_dims_;
   int k_;
   uint64_t num_rows_ = 0;
+  uint64_t version_ = 0;
 
   // Cell directory.
   std::unordered_map<CubeCoords, uint32_t, CubeCoordsHash> cell_ids_;
@@ -140,13 +261,20 @@ class CubeStore {
   std::vector<double> maxs_;
   std::vector<double> sums_;
 
-  // Column base pointers, kept current by Ingest so Columns() and the
-  // const query methods never write shared state.
+  // Column base pointers, kept current by OnColumnsChanged so Columns()
+  // and the const query methods never write shared state.
   std::vector<const double*> power_ptrs_;
   std::vector<const double*> log_ptrs_;
 
   // One inverted index per dimension.
   std::vector<DimIndex> dim_indexes_;
+
+  // Rollup index + the cells mutated since its last build/refresh.
+  std::unique_ptr<RollupIndex> rollup_;
+  std::vector<uint32_t> dirty_cells_;
+  std::vector<uint8_t> cell_dirty_;  // parallel to coords_
+
+  mutable PlanCounters plan_counters_;
 };
 
 }  // namespace msketch

@@ -172,10 +172,14 @@ class DataCube<MomentsSummary> {
   uint64_t num_rows() const { return store_.num_rows(); }
   size_t num_dims() const { return store_.num_dims(); }
 
+  /// Runs through CubeStore::QueryWhere, so the planner may answer from
+  /// the rollup index or by complement; counts are exact under every
+  /// plan, moment sums agree with the exact merge to within FP
+  /// re-association (see cube_store.h).
   MomentsSummary MergeWhere(const CubeFilter& filter,
                             uint64_t* merges_out = nullptr) const {
     CubeStore::QueryStats stats;
-    MomentsSketch merged = store_.MergeWhere(filter, &stats);
+    MomentsSketch merged = store_.QueryWhere(filter, &stats);
     if (merges_out != nullptr) *merges_out = stats.merges;
     return MomentsSummary(std::move(merged), options_);
   }
@@ -183,6 +187,15 @@ class DataCube<MomentsSummary> {
   MomentsSummary MergeAll() const {
     return MomentsSummary(store_.MergeAll(), options_);
   }
+
+  /// Builds / incrementally refreshes the rollup acceleration structure
+  /// (pre-merged span partials per dimension value plus the grand
+  /// total). Queries use it automatically while it is fresh; any ingest
+  /// marks it stale until the next RefreshRollup().
+  void BuildRollup(const RollupOptions& options = {}) {
+    store_.BuildRollup(options);
+  }
+  void RefreshRollup() { store_.RefreshRollup(); }
 
   double SumWhere(const CubeFilter& filter) const {
     return store_.SumWhere(filter);

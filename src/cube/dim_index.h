@@ -36,6 +36,14 @@ class DimIndex {
   /// Total ids across all postings lists (== number of cells indexed).
   size_t total_postings() const { return total_; }
 
+  /// Visits every (value, postings) pair in unspecified order (the
+  /// rollup builder walks all values; nothing query-path depends on the
+  /// iteration order).
+  template <typename Fn>
+  void ForEachValue(Fn&& fn) const {
+    for (const auto& [value, list] : postings_) fn(value, list);
+  }
+
  private:
   // Keyed by value id (not a dense array) so sparse or adversarial ids
   // cost memory proportional to distinct values, like the hash-keyed
@@ -46,11 +54,22 @@ class DimIndex {
 };
 
 /// Intersects sorted postings lists into one sorted id list. With a
-/// single list the result is a copy; with several, the smallest list is
-/// probed against the others by binary search (galloping-style), so cost
-/// scales with the most selective dimension, not the cube size.
+/// single list the result is a copy; with several, the smallest list
+/// drives and every other list keeps a monotone cursor: because probe
+/// ids ascend, each cursor only moves forward, advanced by galloping
+/// (exponential then binary) search when the list is >8x longer than the
+/// probe — cost O(p log(gap)) — and by a linear scan when lengths are
+/// comparable, where the cursors degrade to an O(sum of lengths)
+/// multiway merge instead of p binary searches from scratch.
 std::vector<uint32_t> IntersectPostings(
     const std::vector<const std::vector<uint32_t>*>& lists);
+
+/// First index >= `from` with list[index] >= target (list.size() when
+/// none): exponential probe doubling from `from`, then binary search in
+/// the bracketed window. Cost O(log(answer - from)) — cheap when the
+/// cursor is near, which is exactly the skewed-list intersection case.
+size_t GallopLowerBound(const std::vector<uint32_t>& list, size_t from,
+                        uint32_t target);
 
 }  // namespace msketch
 

@@ -1,0 +1,165 @@
+#include "cube/rollup_index.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/macros.h"
+
+namespace msketch {
+
+MomentSlab::MomentSlab(int k) : k_(k) {
+  MSKETCH_CHECK(k >= 1 && k <= 64);
+  power_cols_.resize(k);
+  log_cols_.resize(k);
+  power_ptrs_.resize(k);
+  log_ptrs_.resize(k);
+}
+
+uint32_t MomentSlab::Append(const MomentsSketch& s) {
+  MSKETCH_CHECK(s.k() == k_);
+  const uint32_t node = static_cast<uint32_t>(counts_.size());
+  for (int i = 0; i < k_; ++i) {
+    power_cols_[i].push_back(s.power_sums()[i]);
+    log_cols_[i].push_back(s.log_sums()[i]);
+  }
+  counts_.push_back(s.count());
+  log_counts_.push_back(s.log_count());
+  mins_.push_back(s.min());
+  maxs_.push_back(s.max());
+  return node;
+}
+
+void MomentSlab::Overwrite(uint32_t node, const MomentsSketch& s) {
+  MSKETCH_CHECK(s.k() == k_ && node < counts_.size());
+  for (int i = 0; i < k_; ++i) {
+    power_cols_[i][node] = s.power_sums()[i];
+    log_cols_[i][node] = s.log_sums()[i];
+  }
+  counts_[node] = s.count();
+  log_counts_[node] = s.log_count();
+  mins_[node] = s.min();
+  maxs_[node] = s.max();
+}
+
+FlatMomentColumns MomentSlab::Columns() const {
+  for (int i = 0; i < k_; ++i) {
+    power_ptrs_[i] = power_cols_[i].data();
+    log_ptrs_[i] = log_cols_[i].data();
+  }
+  FlatMomentColumns cols;
+  cols.k = k_;
+  cols.num_cells = counts_.size();
+  cols.power_sums = power_ptrs_.data();
+  cols.log_sums = log_ptrs_.data();
+  cols.counts = counts_.data();
+  cols.log_counts = log_counts_.data();
+  cols.mins = mins_.data();
+  cols.maxs = maxs_.data();
+  return cols;
+}
+
+size_t MomentSlab::SizeBytes() const {
+  return counts_.size() * ((2 * static_cast<size_t>(k_) + 2) *
+                               sizeof(double) +
+                           2 * sizeof(uint64_t));
+}
+
+RollupIndex::RollupIndex(int k, const RollupOptions& options)
+    : k_(k), span_log2_(options.span_log2), slab_(k), total_(k) {
+  MSKETCH_CHECK(span_log2_ >= 1 && span_log2_ <= 20);
+}
+
+MomentsSketch RollupIndex::BuildNode(const FlatMomentColumns& cols,
+                                     const std::vector<uint32_t>& postings,
+                                     size_t begin) const {
+  MomentsSketch node(k_);
+  MSKETCH_CHECK(
+      node.MergeFlatFast(cols, postings.data() + begin, span_width()).ok());
+  return node;
+}
+
+void RollupIndex::ExtendValue(const FlatMomentColumns& cols,
+                              const std::vector<uint32_t>& postings,
+                              std::vector<uint32_t>* nodes) {
+  const size_t width = span_width();
+  size_t covered = nodes->size() << span_log2_;
+  while (covered + width <= postings.size()) {
+    nodes->push_back(slab_.Append(BuildNode(cols, postings, covered)));
+    covered += width;
+  }
+}
+
+void RollupIndex::Build(const FlatMomentColumns& cols,
+                        const std::vector<DimIndex>& dims, uint64_t version) {
+  slab_ = MomentSlab(k_);
+  per_dim_.assign(dims.size(), {});
+  for (size_t d = 0; d < dims.size(); ++d) {
+    auto& values = per_dim_[d];
+    values.reserve(dims[d].num_values());
+    dims[d].ForEachValue(
+        [&](uint32_t value, const std::vector<uint32_t>& postings) {
+          if (postings.size() < span_width()) return;  // residual-only
+          ExtendValue(cols, postings, &values[value]);
+        });
+  }
+  total_ = MomentsSketch(k_);
+  MSKETCH_CHECK(total_.MergeFlatRangeFast(cols, 0, cols.num_cells).ok());
+  built_ = true;
+  built_version_ = version;
+}
+
+void RollupIndex::Refresh(const FlatMomentColumns& cols,
+                          const std::vector<DimIndex>& dims,
+                          const std::vector<CubeCoords>& coords,
+                          const std::vector<uint32_t>& dirty_cells,
+                          uint64_t version) {
+  if (!built_) {
+    Build(cols, dims, version);
+    return;
+  }
+  // Rebuild the span node covering each dirty cell's postings position,
+  // once per node even when several dirty cells share a span.
+  std::unordered_set<uint32_t> rebuilt;
+  for (uint32_t cell : dirty_cells) {
+    for (size_t d = 0; d < dims.size(); ++d) {
+      const uint32_t value = coords[cell][d];
+      auto it = per_dim_[d].find(value);
+      if (it == per_dim_[d].end()) continue;  // no full span for this value
+      const std::vector<uint32_t>& postings = dims[d].Postings(value);
+      const size_t pos = static_cast<size_t>(
+          std::lower_bound(postings.begin(), postings.end(), cell) -
+          postings.begin());
+      const size_t span = pos >> span_log2_;
+      if (span >= it->second.size()) continue;  // cell sits in the residual
+      const uint32_t node = it->second[span];
+      if (!rebuilt.insert(node).second) continue;
+      slab_.Overwrite(node, BuildNode(cols, postings, span << span_log2_));
+    }
+  }
+  // Append spans completed by newly created cells (postings only grow at
+  // the tail, so existing nodes are unaffected).
+  for (size_t d = 0; d < dims.size(); ++d) {
+    auto& values = per_dim_[d];
+    dims[d].ForEachValue(
+        [&](uint32_t value, const std::vector<uint32_t>& postings) {
+          if (postings.size() < span_width()) return;
+          ExtendValue(cols, postings, &values[value]);
+        });
+  }
+  total_ = MomentsSketch(k_);
+  MSKETCH_CHECK(total_.MergeFlatRangeFast(cols, 0, cols.num_cells).ok());
+  built_version_ = version;
+}
+
+RollupIndex::ValueSpans RollupIndex::SpansFor(size_t dim,
+                                              uint32_t value) const {
+  ValueSpans out;
+  if (!built_ || dim >= per_dim_.size()) return out;
+  auto it = per_dim_[dim].find(value);
+  if (it == per_dim_[dim].end() || it->second.empty()) return out;
+  out.nodes = &it->second;
+  out.covered = it->second.size() << span_log2_;
+  return out;
+}
+
+}  // namespace msketch

@@ -56,17 +56,18 @@ Summary ParallelMerge(const std::vector<Summary>& parts, int threads) {
 
 /// Merges the cells named by `cell_ids` from columnar storage across
 /// `threads` workers. Each worker folds a contiguous shard of the id
-/// list into a private partial sketch via MergeFlat; partials combine
-/// sequentially in shard order, so the result equals the single-thread
-/// merge up to floating-point re-association (and exactly when the
-/// column sums are exact, as the tests verify with dyadic data).
+/// list into a private partial sketch via the SIMD gather kernel
+/// (MergeFlatFast); partials combine sequentially in shard order, so the
+/// result equals the single-thread merge up to floating-point
+/// re-association (and exactly when the column sums are exact, as the
+/// tests verify with dyadic data).
 inline MomentsSketch ParallelMergeCells(const FlatMomentColumns& cols,
                                         const uint32_t* cell_ids, size_t n,
                                         int threads) {
   MSKETCH_CHECK(threads >= 1);
   MomentsSketch out(cols.k);
   if (threads == 1 || n < 2 * static_cast<size_t>(threads)) {
-    MSKETCH_CHECK(out.MergeFlat(cols, cell_ids, n).ok());
+    MSKETCH_CHECK(out.MergeFlatFast(cols, cell_ids, n).ok());
     return out;
   }
   std::vector<MomentsSketch> partials(threads, MomentsSketch(cols.k));
@@ -79,7 +80,8 @@ inline MomentsSketch ParallelMergeCells(const FlatMomentColumns& cols,
       const size_t end = std::min(n, begin + shard);
       if (begin >= end) return;
       MSKETCH_CHECK(
-          partials[t].MergeFlat(cols, cell_ids + begin, end - begin).ok());
+          partials[t].MergeFlatFast(cols, cell_ids + begin, end - begin)
+              .ok());
     });
   }
   for (std::thread& w : workers) w.join();
@@ -90,7 +92,8 @@ inline MomentsSketch ParallelMergeCells(const FlatMomentColumns& cols,
 }
 
 /// Contiguous cell-id-range variant: shards [begin, end) so every worker
-/// runs the unit-stride column reduction on its own slice.
+/// runs the SIMD unit-stride column reduction (MergeFlatRangeFast) on
+/// its own slice.
 inline MomentsSketch ParallelMergeRange(const FlatMomentColumns& cols,
                                         size_t begin, size_t end,
                                         int threads) {
@@ -99,7 +102,7 @@ inline MomentsSketch ParallelMergeRange(const FlatMomentColumns& cols,
   MomentsSketch out(cols.k);
   const size_t n = end - begin;
   if (threads == 1 || n < 2 * static_cast<size_t>(threads)) {
-    MSKETCH_CHECK(out.MergeFlatRange(cols, begin, end).ok());
+    MSKETCH_CHECK(out.MergeFlatRangeFast(cols, begin, end).ok());
     return out;
   }
   std::vector<MomentsSketch> partials(threads, MomentsSketch(cols.k));
@@ -111,7 +114,7 @@ inline MomentsSketch ParallelMergeRange(const FlatMomentColumns& cols,
       const size_t lo = begin + static_cast<size_t>(t) * shard;
       const size_t hi = std::min(end, lo + shard);
       if (lo >= hi) return;
-      MSKETCH_CHECK(partials[t].MergeFlatRange(cols, lo, hi).ok());
+      MSKETCH_CHECK(partials[t].MergeFlatRangeFast(cols, lo, hi).ok());
     });
   }
   for (std::thread& w : workers) w.join();

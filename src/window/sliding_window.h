@@ -90,6 +90,9 @@ class SlabWindow {
   /// Slides the window forward by one pane. Merge happens before the
   /// eviction subtract — the same operation order as TurnstileWindow, so
   /// the aggregates stay bit-identical to the object-per-pane path.
+  /// Single-slot updates route through the SIMD kernels' scalar tails
+  /// (a one-element batch never enters the lane-structured main loop),
+  /// which is what preserves that bit-identity.
   void PushPane(const MomentsSketch& pane) {
     MSKETCH_CHECK(pane.k() == k_);
     const uint32_t slot = static_cast<uint32_t>(head_);
@@ -101,12 +104,12 @@ class SlabWindow {
     log_counts_[slot] = pane.log_count();
     mins_[slot] = pane.min();
     maxs_[slot] = pane.max();
-    MSKETCH_CHECK(agg_.MergeFlat(Columns(), &slot, 1).ok());
+    MSKETCH_CHECK(agg_.MergeFlatFast(Columns(), &slot, 1).ok());
     head_ = (head_ + 1) % capacity_;
     ++live_;
     if (live_ > window_panes_) {
       const uint32_t oldest = static_cast<uint32_t>(tail_);
-      MSKETCH_CHECK(agg_.SubtractFlat(Columns(), &oldest, 1).ok());
+      MSKETCH_CHECK(agg_.SubtractFlatFast(Columns(), &oldest, 1).ok());
       tail_ = (tail_ + 1) % capacity_;
       --live_;
     }

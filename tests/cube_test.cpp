@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <memory>
 
 #include "common/rng.h"
@@ -369,6 +370,279 @@ TEST(CubeStoreTest, SpecializedDataCubeMatchesGenericSemantics) {
   }
   EXPECT_NEAR(cube.SumWhere({kAnyValue, 1, kAnyValue}), expect,
               1e-9 * std::fabs(expect));
+}
+
+// ------------------------------------------------- rollup + planner
+
+// Cube with postings long enough for full rollup spans: dim 0 and 1 are
+// low-cardinality (long postings), dim 2 is high-cardinality (short,
+// residual-only postings).
+CubeStore BuildRollupStore(uint64_t seed, int num_rows) {
+  CubeStore store(3, 10);
+  Rng rng(seed);
+  for (int i = 0; i < num_rows; ++i) {
+    const CubeCoords c = {static_cast<uint32_t>(rng.NextBelow(4)),
+                          static_cast<uint32_t>(rng.NextBelow(3)),
+                          static_cast<uint32_t>(rng.NextBelow(1500))};
+    store.Ingest(c, rng.NextLognormal(0.0, 0.7));
+  }
+  return store;
+}
+
+void ExpectAgreesWithExact(const MomentsSketch& got,
+                           const MomentsSketch& want, const char* label) {
+  EXPECT_EQ(got.count(), want.count()) << label;
+  EXPECT_EQ(got.log_count(), want.log_count()) << label;
+  if (want.count() > 0) {
+    EXPECT_DOUBLE_EQ(got.min(), want.min()) << label;
+    EXPECT_DOUBLE_EQ(got.max(), want.max()) << label;
+  }
+  for (int i = 0; i < want.k(); ++i) {
+    EXPECT_NEAR(got.power_sums()[i], want.power_sums()[i],
+                1e-11 * std::fabs(want.power_sums()[i]) + 1e-300)
+        << label << " power " << i;
+    EXPECT_NEAR(got.log_sums()[i], want.log_sums()[i],
+                1e-11 * std::fabs(want.log_sums()[i]) + 1e-9)
+        << label << " log " << i;
+  }
+}
+
+// Across random filters (spans, residual-only values, multi-dim,
+// unconstrained, unseen values), the planned query with a fresh rollup
+// must agree with the exact scan path: counts and min/max bit-exact,
+// moment sums within re-association tolerance.
+TEST(CubeStoreTest, RollupQueryAgreesWithExactAcrossRandomFilters) {
+  CubeStore store = BuildRollupStore(301, 40000);
+  store.BuildRollup(RollupOptions{/*span_log2=*/5});
+  ASSERT_TRUE(store.HasFreshRollup());
+  Rng rng(302);
+  for (int trial = 0; trial < 120; ++trial) {
+    CubeFilter filter(3, kAnyValue);
+    for (size_t d = 0; d < filter.size(); ++d) {
+      if (rng.NextBelow(2) == 0) {
+        filter[d] = static_cast<int64_t>(rng.NextBelow(d == 2 ? 1600 : 5));
+      }
+    }
+    CubeStore::QueryStats stats, scan_stats;
+    MomentsSketch planned = store.QueryWhere(filter, &stats);
+    MomentsSketch exact = store.MergeWhereScan(filter, &scan_stats);
+    ExpectAgreesWithExact(planned, exact, QueryPlanName(stats.plan));
+    // Every plan reports the logical matching-cell count identically.
+    EXPECT_EQ(stats.merges, scan_stats.merges) << trial;
+  }
+}
+
+// The planner must pick each plan where it is designed to, and the
+// cumulative counters must record it.
+TEST(CubeStoreTest, PlannerSelectsExpectedPlans) {
+  CubeStore store = BuildRollupStore(303, 30000);
+  store.BuildRollup();
+  const uint64_t base = store.plan_counters().total();
+  CubeStore::QueryStats stats;
+
+  // Unconstrained: pre-merged total.
+  store.QueryWhere({kAnyValue, kAnyValue, kAnyValue}, &stats);
+  EXPECT_EQ(stats.plan, QueryPlan::kRollup);
+  EXPECT_EQ(stats.visited, 0u);
+
+  // Single constrained dim with long postings: span nodes + residual.
+  store.QueryWhere({2, kAnyValue, kAnyValue}, &stats);
+  EXPECT_EQ(stats.plan, QueryPlan::kRollup);
+  EXPECT_GT(stats.span_merges, 0u);
+  EXPECT_LT(stats.visited, stats.merges / 4);  // >= 4x fewer fold units
+
+  // Multi-dim selective filter: postings intersection.
+  store.QueryWhere({2, 1, kAnyValue}, &stats);
+  EXPECT_EQ(stats.plan, QueryPlan::kIntersect);
+
+  // Stale rollup (ingest after build) falls back to intersect, refresh
+  // restores the rollup plan.
+  store.Ingest({0, 0, 0}, 1.0);
+  EXPECT_FALSE(store.HasFreshRollup());
+  store.QueryWhere({2, kAnyValue, kAnyValue}, &stats);
+  EXPECT_EQ(stats.plan, QueryPlan::kIntersect);
+  store.RefreshRollup();
+  EXPECT_TRUE(store.HasFreshRollup());
+  store.QueryWhere({2, kAnyValue, kAnyValue}, &stats);
+  EXPECT_EQ(stats.plan, QueryPlan::kRollup);
+
+  const PlanCounters& pc = store.plan_counters();
+  EXPECT_EQ(pc.total() - base, 5u);
+  EXPECT_EQ(pc.rollup.load(), 3u);
+  EXPECT_EQ(pc.intersect.load(), 2u);
+}
+
+// Complement plan: a multi-dimension filter matching nearly everything
+// is answered as total - non-matching, with exact count and range.
+TEST(CubeStoreTest, ComplementPlanForHighSelectivityFilters) {
+  CubeStore store(3, 10);
+  Rng rng(304);
+  for (int c = 0; c < 4000; ++c) {
+    const CubeCoords coords = {static_cast<uint32_t>(c % 10 == 0 ? 1 : 0),
+                               static_cast<uint32_t>(c % 7 == 0 ? 1 : 0),
+                               static_cast<uint32_t>(c)};
+    // Matching cells ({0, 0, *}) hold values >= 1, non-matching ones
+    // values < 1, so the complement cancellation guard provably passes.
+    const bool matching = coords[0] == 0 && coords[1] == 0;
+    store.Ingest(coords, matching ? 1.0 + rng.NextDouble()
+                                  : 0.25 + 0.5 * rng.NextDouble());
+  }
+  store.BuildRollup();
+  const CubeFilter filter = {0, 0, kAnyValue};  // ~77% of cells
+  CubeStore::QueryStats stats;
+  MomentsSketch planned = store.QueryWhere(filter, &stats);
+  EXPECT_EQ(stats.plan, QueryPlan::kComplement);
+  EXPECT_GT(stats.subtract_merges, 0u);
+  EXPECT_LT(stats.subtract_merges, stats.merges);
+  MomentsSketch exact = store.MergeWhereScan(filter);
+  ExpectAgreesWithExact(planned, exact, "complement");
+  EXPECT_GE(store.plan_counters().complement.load(), 1u);
+}
+
+// The complement plan must refuse filters whose non-matching cells
+// dwarf the matching ones in magnitude: subtracting their huge moment
+// sums from the total would bury the true answer below the operands'
+// ulp. The planner falls back to the direct gather merge, which stays
+// at full precision.
+TEST(CubeStoreTest, ComplementDeclinedUnderCancellationRisk) {
+  CubeStore store(3, 8);
+  Rng rng(310);
+  for (int c = 0; c < 3000; ++c) {
+    // A multi-dim filter {0, 0, *} matches ~76% of cells (so the
+    // complement branch is considered) and the non-matching cells hold
+    // values 18 orders of magnitude larger than the matching ones.
+    const uint32_t d0 = c % 10 == 0 ? 1u : 0u;
+    const uint32_t d1 = c % 7 == 0 ? 1u : 0u;
+    const bool matching = d0 == 0 && d1 == 0;
+    store.Ingest({d0, d1, static_cast<uint32_t>(c)},
+                 (matching ? 1e-9 : 1e9) * (1.0 + rng.NextDouble()));
+  }
+  store.BuildRollup();
+  const CubeFilter filter = {0, 0, kAnyValue};
+  CubeStore::QueryStats stats;
+  MomentsSketch planned = store.QueryWhere(filter, &stats);
+  EXPECT_NE(stats.plan, QueryPlan::kComplement);
+  MomentsSketch exact = store.MergeWhereScan(filter);
+  ExpectAgreesWithExact(planned, exact, "cancellation-guarded");
+}
+
+// Scan plan: many constrained dimensions with near-full postings make
+// the postings volume dwarf one coordinate pass.
+TEST(CubeStoreTest, ScanPlanForManyNearFullPostings) {
+  CubeStore store(15, 4);
+  Rng rng(305);
+  for (int c = 0; c < 2000; ++c) {
+    CubeCoords coords(15, 0);
+    coords[13] = static_cast<uint32_t>(c % 3);  // selective-ish dim
+    coords[14] = static_cast<uint32_t>(c);      // makes cells distinct
+    store.Ingest(coords, rng.NextLognormal(0.0, 0.5));
+  }
+  CubeFilter filter(15, 0);   // pins 13 all-zero dims + d13=0
+  filter[14] = kAnyValue;
+  CubeStore::QueryStats stats;
+  MomentsSketch planned = store.QueryWhere(filter, &stats);
+  EXPECT_EQ(stats.plan, QueryPlan::kScan);
+  EXPECT_EQ(stats.visited, store.num_cells() + stats.merges);
+  MomentsSketch exact = store.MergeWhereScan(filter);
+  ExpectAgreesWithExact(planned, exact, "scan");
+  EXPECT_GE(store.plan_counters().scan.load(), 1u);
+}
+
+// Incremental refresh must reproduce exactly what a from-scratch build
+// produces: both rebuild nodes from the same columns with the same
+// kernel, so every planned answer is bit-identical between the two.
+TEST(CubeStoreTest, RollupRefreshMatchesFullRebuild) {
+  CubeStore store = BuildRollupStore(306, 25000);
+  store.BuildRollup();
+  Rng rng(307);
+  // Mutate existing cells and create new ones.
+  for (int i = 0; i < 3000; ++i) {
+    const CubeCoords c = {static_cast<uint32_t>(rng.NextBelow(4)),
+                          static_cast<uint32_t>(rng.NextBelow(3)),
+                          static_cast<uint32_t>(rng.NextBelow(2500))};
+    store.Ingest(c, rng.NextLognormal(0.0, 0.7));
+  }
+  CubeStore rebuilt = store;
+  rebuilt.BuildRollup();
+  store.RefreshRollup();
+  ASSERT_TRUE(store.HasFreshRollup());
+  EXPECT_TRUE(store.rollup()->total().IdenticalTo(rebuilt.rollup()->total()));
+  for (const CubeFilter& filter :
+       {CubeFilter{1, kAnyValue, kAnyValue}, CubeFilter{kAnyValue, 2,
+                                                        kAnyValue},
+        CubeFilter{kAnyValue, kAnyValue, kAnyValue}}) {
+    CubeStore::QueryStats a, b;
+    MomentsSketch refreshed = store.QueryWhere(filter, &a);
+    MomentsSketch scratch = rebuilt.QueryWhere(filter, &b);
+    EXPECT_EQ(a.plan, QueryPlan::kRollup);
+    EXPECT_EQ(b.plan, QueryPlan::kRollup);
+    EXPECT_TRUE(refreshed.IdenticalTo(scratch));
+  }
+}
+
+// The MomentsSummary cube surfaces the planner through MergeWhere and
+// the rollup-backed GROUP BY path; results must agree with the
+// unaccelerated cube within estimation tolerance and keep exact counts.
+TEST(CubeStoreTest, DataCubeRollupGroupByAgrees) {
+  std::vector<double> rows;
+  auto cube = BuildCube(MomentsSummary(10), &rows);
+  auto baseline = cube.GroupByQuantiles({0}, {0.5});
+  cube.BuildRollup();
+  auto accelerated = cube.GroupByQuantiles({0}, {0.5});
+  ASSERT_EQ(accelerated.size(), baseline.size());
+  for (size_t g = 0; g < baseline.size(); ++g) {
+    EXPECT_EQ(accelerated[g].key, baseline[g].key);
+    EXPECT_EQ(accelerated[g].count, baseline[g].count);
+    ASSERT_TRUE(accelerated[g].status.ok());
+    EXPECT_NEAR(accelerated[g].quantiles[0], baseline[g].quantiles[0],
+                2e-2 * (1.0 + std::fabs(baseline[g].quantiles[0])));
+  }
+}
+
+// ------------------------------------------------- galloping intersect
+
+TEST(DimIndexTest, GallopLowerBoundMatchesStdLowerBound) {
+  Rng rng(308);
+  std::vector<uint32_t> list;
+  uint32_t v = 0;
+  for (int i = 0; i < 500; ++i) {
+    v += 1 + static_cast<uint32_t>(rng.NextBelow(20));
+    list.push_back(v);
+  }
+  for (int trial = 0; trial < 2000; ++trial) {
+    const size_t from = rng.NextBelow(list.size() + 1);
+    const uint32_t target = static_cast<uint32_t>(rng.NextBelow(v + 100));
+    const size_t got = GallopLowerBound(list, from, target);
+    const size_t want = std::max(
+        from, static_cast<size_t>(
+                  std::lower_bound(list.begin(), list.end(), target) -
+                  list.begin()));
+    EXPECT_EQ(got, want) << "from=" << from << " target=" << target;
+  }
+}
+
+TEST(DimIndexTest, IntersectionMatchesReferenceAcrossSkews) {
+  Rng rng(309);
+  for (size_t skew : {size_t{1}, size_t{4}, size_t{16}, size_t{64}}) {
+    std::vector<uint32_t> small, large;
+    for (uint32_t id = 0; id < 20000; ++id) {
+      if (rng.NextBelow(skew * 4) == 0) small.push_back(id);
+      if (rng.NextBelow(2) == 0) large.push_back(id);
+    }
+    // Reference: linear two-pointer intersection.
+    std::vector<uint32_t> want;
+    std::set_intersection(small.begin(), small.end(), large.begin(),
+                          large.end(), std::back_inserter(want));
+    EXPECT_EQ(IntersectPostings({&small, &large}), want) << skew;
+    EXPECT_EQ(IntersectPostings({&large, &small}), want) << skew;
+    // Three-way, mixing skews.
+    std::vector<uint32_t> third;
+    for (uint32_t id = 0; id < 20000; id += 3) third.push_back(id);
+    std::vector<uint32_t> want3;
+    std::set_intersection(want.begin(), want.end(), third.begin(),
+                          third.end(), std::back_inserter(want3));
+    EXPECT_EQ(IntersectPostings({&small, &large, &third}), want3) << skew;
+  }
 }
 
 TEST(DictionaryTest, InternAndLookup) {

@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
+#include "common/macros.h"
 #include "common/rng.h"
 #include "core/chebyshev_moments.h"
 #include "core/moments_sketch.h"
+#include "cube/rollup_index.h"
 
 namespace msketch {
 namespace {
@@ -328,6 +332,163 @@ TEST(ChebyshevMomentsTest, DegenerateRangeGetsUnitRadius) {
   ScaleMap m = MakeScaleMap(5.0, 5.0);
   EXPECT_DOUBLE_EQ(m.radius, 1.0);
   EXPECT_DOUBLE_EQ(m.Forward(5.0), 0.0);
+}
+
+// -------------------------------------------------- flat SIMD kernels
+
+// Packs per-cell sketches into columnar form for the MergeFlat* kernels
+// (MomentSlab is the cube layer's node slab; here it doubles as a
+// columns fixture).
+MomentSlab BuildSlab(int k, int num_cells, int rows_per_cell, Rng* rng,
+                     bool dyadic) {
+  MomentSlab slab(k);
+  for (int c = 0; c < num_cells; ++c) {
+    MomentsSketch cell(k);
+    for (int i = 0; i < rows_per_cell; ++i) {
+      if (dyadic) {
+        // Negative eighths: |x| <= 1 and no log accumulation, so every
+        // column sum is an exact multiple of 2^-30 — re-association
+        // cannot change any bit.
+        cell.Accumulate(-static_cast<double>(1 + rng->NextBelow(8)) / 8.0);
+      } else {
+        cell.Accumulate(rng->NextLognormal(0.0, 0.8));
+      }
+    }
+    slab.Append(cell);
+  }
+  return slab;
+}
+
+// With dyadic data the lane-structured fast kernels must agree with the
+// exact id-order kernels bit for bit, across block boundaries (n mod 8)
+// and the scalar tail.
+TEST(MomentsSketchTest, FastKernelsBitIdenticalOnDyadicData) {
+  Rng rng(92);
+  MomentSlab slab = BuildSlab(10, 300, 20, &rng, /*dyadic=*/true);
+  const FlatMomentColumns cols = slab.Columns();
+  for (size_t n : {size_t{0}, size_t{1}, size_t{5}, size_t{8}, size_t{17},
+                   size_t{300}}) {
+    MomentsSketch exact(10), fast(10);
+    ASSERT_TRUE(exact.MergeFlatRange(cols, 0, n).ok());
+    ASSERT_TRUE(fast.MergeFlatRangeFast(cols, 0, n).ok());
+    EXPECT_TRUE(fast.IdenticalTo(exact)) << "range n=" << n;
+    std::vector<uint32_t> ids;
+    for (uint32_t id = 0; id < n; ++id) ids.push_back(id * 300 / (n + 1) % 300);
+    std::sort(ids.begin(), ids.end());
+    MomentsSketch exact_g(10), fast_g(10);
+    ASSERT_TRUE(exact_g.MergeFlat(cols, ids.data(), ids.size()).ok());
+    ASSERT_TRUE(fast_g.MergeFlatFast(cols, ids.data(), ids.size()).ok());
+    EXPECT_TRUE(fast_g.IdenticalTo(exact_g)) << "gather n=" << n;
+  }
+}
+
+// General data: counts and min/max stay exact under the fast kernels;
+// moment sums agree to within re-association noise.
+TEST(MomentsSketchTest, FastKernelsMatchExactWithinTolerance) {
+  Rng rng(93);
+  MomentSlab slab = BuildSlab(10, 257, 15, &rng, /*dyadic=*/false);
+  const FlatMomentColumns cols = slab.Columns();
+  MomentsSketch exact(10), fast(10);
+  ASSERT_TRUE(exact.MergeFlatRange(cols, 0, cols.num_cells).ok());
+  ASSERT_TRUE(fast.MergeFlatRangeFast(cols, 0, cols.num_cells).ok());
+  EXPECT_EQ(fast.count(), exact.count());
+  EXPECT_EQ(fast.log_count(), exact.log_count());
+  EXPECT_DOUBLE_EQ(fast.min(), exact.min());
+  EXPECT_DOUBLE_EQ(fast.max(), exact.max());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_NEAR(fast.power_sums()[i], exact.power_sums()[i],
+                1e-12 * std::fabs(exact.power_sums()[i])) << i;
+    EXPECT_NEAR(fast.log_sums()[i], exact.log_sums()[i],
+                1e-12 * std::fabs(exact.log_sums()[i])) << i;
+  }
+}
+
+TEST(MomentsSketchTest, SubtractFlatEmptyCellSetIsNoOp) {
+  Rng rng(94);
+  MomentSlab slab = BuildSlab(6, 10, 5, &rng, /*dyadic=*/false);
+  const FlatMomentColumns cols = slab.Columns();
+  MomentsSketch s(6);
+  ASSERT_TRUE(s.MergeFlatRange(cols, 0, cols.num_cells).ok());
+  const MomentsSketch before = s;
+  ASSERT_TRUE(s.SubtractFlat(cols, nullptr, 0).ok());
+  EXPECT_TRUE(s.IdenticalTo(before));
+  ASSERT_TRUE(s.SubtractFlatFast(cols, nullptr, 0).ok());
+  EXPECT_TRUE(s.IdenticalTo(before));
+}
+
+// Subtracting everything must leave a pristine empty sketch — exact
+// zero sums, infinite range, log moments disabled — not cancellation
+// residue scaled by 1/0 downstream.
+TEST(MomentsSketchTest, SubtractFlatToZeroResetsExactly) {
+  Rng rng(95);
+  MomentSlab slab = BuildSlab(8, 40, 7, &rng, /*dyadic=*/false);
+  const FlatMomentColumns cols = slab.Columns();
+  std::vector<uint32_t> all;
+  for (uint32_t id = 0; id < cols.num_cells; ++id) all.push_back(id);
+  for (bool fast : {false, true}) {
+    MomentsSketch s(8);
+    ASSERT_TRUE(s.MergeFlatRange(cols, 0, cols.num_cells).ok());
+    ASSERT_TRUE((fast ? s.SubtractFlatFast(cols, all.data(), all.size())
+                      : s.SubtractFlat(cols, all.data(), all.size()))
+                    .ok());
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.log_count(), 0u);
+    EXPECT_FALSE(s.LogMomentsUsable());
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_EQ(s.power_sums()[i], 0.0) << i;
+      EXPECT_EQ(s.log_sums()[i], 0.0) << i;
+    }
+    // The emptied sketch must accumulate from scratch correctly.
+    s.Accumulate(2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 2.0);
+    EXPECT_DOUBLE_EQ(s.power_sums()[1], 4.0);
+  }
+}
+
+// Crafts a sketch with arbitrary moment state via the serialized form.
+MomentsSketch CraftSketch(int k, uint64_t count, uint64_t log_count,
+                          double mn, double mx,
+                          const std::vector<double>& power,
+                          const std::vector<double>& logs) {
+  BytesWriter w;
+  w.PutU32(static_cast<uint32_t>(k));
+  w.PutU64(count);
+  w.PutU64(log_count);
+  w.PutDouble(mn);
+  w.PutDouble(mx);
+  for (double v : power) w.PutDouble(v);
+  for (double v : logs) w.PutDouble(v);
+  BytesReader r(w.bytes());
+  auto s = MomentsSketch::Deserialize(&r);
+  MSKETCH_CHECK(s.ok());
+  return std::move(s.value());
+}
+
+// Catastrophic cancellation guard: a subtrahend whose even-power sum is
+// a hair larger than the minuend's (the situation differing summation
+// orders produce) must clamp the even moment at zero, never leave an
+// infeasible negative x^2 sum for the solver.
+TEST(MomentsSketchTest, SubtractClampsCancellationNoise) {
+  MomentsSketch s(2);
+  s.Accumulate(2.0);
+  s.Accumulate(3.0);  // power sums {5, 13}
+  const MomentsSketch noisy =
+      CraftSketch(2, 1, 0, 3.0, 3.0, {3.0, 13.0 + 1e-9}, {0.0, 0.0});
+  ASSERT_TRUE(s.Subtract(noisy).ok());
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.power_sums()[0], 2.0);
+  EXPECT_EQ(s.power_sums()[1], 0.0);  // clamped, not -1e-9
+
+  // Same through the columnar path.
+  MomentSlab slab(2);
+  slab.Append(noisy);
+  MomentsSketch t(2);
+  t.Accumulate(2.0);
+  t.Accumulate(3.0);
+  const uint32_t id = 0;
+  ASSERT_TRUE(t.SubtractFlatFast(slab.Columns(), &id, 1).ok());
+  EXPECT_EQ(t.power_sums()[1], 0.0);
 }
 
 }  // namespace
