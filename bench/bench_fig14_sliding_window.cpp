@@ -4,6 +4,8 @@
 //   Baseline - turnstile updates, direct maxent estimate per window
 //   +Simple/+Markov/+RTT - turnstile + cascade stages
 //   Merge12  - re-merge all panes per window slide + estimate
+// Emits BENCH_fig14.json (one row per variant) via bench_util's
+// JsonReport so the window-path trajectory is tracked like fig3/fig4.
 #include <cstdio>
 
 #include "bench/bench_util.h"
@@ -60,6 +62,7 @@ int main(int argc, char** argv) {
   }
 
   const double threshold = 1500.0;
+  JsonReport report("fig14");
   struct Variant {
     const char* name;
     bool cascade_enabled;
@@ -79,7 +82,7 @@ int main(int argc, char** argv) {
     Timer t;
     int alerts = 0;
     for (const auto& pane : moment_panes) {
-      window.PushPane(pane);
+      MSKETCH_CHECK(window.PushPane(pane).ok());
       if (!window.Full()) continue;
       bool above;
       if (v.cascade_enabled) {
@@ -90,8 +93,12 @@ int main(int argc, char** argv) {
       }
       alerts += above ? 1 : 0;
     }
-    std::printf("%-10s %8.3f s   (%d window alerts)\n", v.name, t.Seconds(),
+    const double secs = t.Seconds();
+    std::printf("%-10s %8.3f s   (%d window alerts)\n", v.name, secs,
                 alerts);
+    report.Add("window", v.name, {secs * 1e3},
+               {{"alerts", static_cast<double>(alerts)},
+                {"panes", static_cast<double>(total_panes)}});
   }
 
   // Merge12: re-merge the window every slide, estimate directly.
@@ -108,8 +115,12 @@ int main(int argc, char** argv) {
       auto q = merged.EstimateQuantile(0.99);
       alerts += (q.ok() && q.value() > threshold) ? 1 : 0;
     }
-    std::printf("%-10s %8.3f s   (%d window alerts)\n", "Merge12",
-                t.Seconds(), alerts);
+    const double secs = t.Seconds();
+    std::printf("%-10s %8.3f s   (%d window alerts)\n", "Merge12", secs,
+                alerts);
+    report.Add("window", "Merge12", {secs * 1e3},
+               {{"alerts", static_cast<double>(alerts)},
+                {"panes", static_cast<double>(total_panes)}});
   }
   return 0;
 }

@@ -1,0 +1,270 @@
+// Streaming ingest engine bench: sustained multi-writer throughput and
+// query-while-ingest latency, against the single-thread baselines.
+//
+// Sections (emitted to BENCH_ingest.json via bench_util's JsonReport):
+//   baseline  single-thread AccumulateBatch into one sketch (the PR-2
+//             ingest kernel ceiling) and row-at-a-time CubeStore::Ingest
+//   ingest    StreamingCube at 1/2/4 shards, one writer thread per
+//             shard, background publisher running; per-row Append and
+//             pre-grouped AppendBatch variants. `speedup_vs_accumulate`
+//             is the headline: sharded throughput over the single-
+//             thread AccumulateBatch baseline (scales with cores; on a
+//             single-core host the threads time-slice and it sits near
+//             or below 1).
+//   query     QueryWhere latency on a published snapshot — quiescent
+//             and with writers streaming — vs the static cube numbers
+//             (the BENCH_fig3 comparison point).
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "core/moments_sketch.h"
+#include "cube/cube_store.h"
+#include "cube/data_cube.h"
+#include "datasets/datasets.h"
+#include "ingest/streaming_cube.h"
+#include "parallel/parallel_for.h"
+
+namespace {
+
+using namespace msketch;
+using namespace msketch::bench;
+
+constexpr size_t kDims = 3;
+
+struct Row {
+  CubeCoords coords;
+  double value;
+};
+
+std::vector<Row> MakeRows(uint64_t n) {
+  auto values = GenerateDataset(DatasetId::kMilan, n);
+  Rng rng(1234);
+  std::vector<Row> rows;
+  rows.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    rows.push_back(Row{{static_cast<uint32_t>(rng.NextBelow(100)),
+                        static_cast<uint32_t>(rng.NextBelow(10)),
+                        static_cast<uint32_t>(rng.NextBelow(5))},
+                       values[i]});
+  }
+  return rows;
+}
+
+std::vector<std::vector<Row>> PartitionByShard(const std::vector<Row>& rows,
+                                               size_t shards) {
+  std::vector<std::vector<Row>> parts(shards);
+  for (const Row& r : rows) {
+    parts[CubeCoordsHash()(r.coords) % shards].push_back(r);
+  }
+  return parts;
+}
+
+/// Pre-grouped micro-batches for the AppendBatch fast path: consecutive
+/// same-cell runs capped at `cap` values (a keyed burst feed).
+struct MicroBatch {
+  CubeCoords coords;
+  std::vector<double> values;
+};
+
+std::vector<std::vector<MicroBatch>> GroupPerShard(
+    const std::vector<std::vector<Row>>& parts, size_t cap) {
+  std::vector<std::vector<MicroBatch>> grouped(parts.size());
+  for (size_t s = 0; s < parts.size(); ++s) {
+    for (const Row& r : parts[s]) {
+      auto& out = grouped[s];
+      if (out.empty() || !(out.back().coords == r.coords) ||
+          out.back().values.size() >= cap) {
+        out.push_back(MicroBatch{r.coords, {}});
+        out.back().values.reserve(cap);
+      }
+      out.back().values.push_back(r.value);
+    }
+  }
+  return grouped;
+}
+
+double Mrps(uint64_t rows, double ms) { return rows / ms / 1e3; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const uint64_t total_rows =
+      args.GetU64("rows", 1'000'000) * static_cast<uint64_t>(args.Scale());
+  const int reps = static_cast<int>(args.GetU64("reps", 3));
+  const int query_reps = static_cast<int>(args.GetU64("query-reps", 51));
+  const double hw_threads =
+      static_cast<double>(std::thread::hardware_concurrency());
+
+  PrintHeader("Streaming ingest: multi-writer throughput + "
+              "query-while-ingest");
+  std::printf("rows=%llu, hardware threads=%.0f\n\n",
+              static_cast<unsigned long long>(total_rows), hw_threads);
+  JsonReport report("ingest");
+
+  std::vector<Row> rows = MakeRows(total_rows);
+  std::vector<double> values;
+  values.reserve(rows.size());
+  for (const Row& r : rows) values.push_back(r.value);
+
+  // ------------------------------------------------------------ baseline
+  double accumulate_mrps = 0.0;
+  {
+    auto ms = TimeReps(reps, [&] {
+      MomentsSketch sketch(10);
+      sketch.AccumulateBatch(values.data(), values.size());
+    });
+    accumulate_mrps = Mrps(total_rows, MedianOf(ms));
+    std::printf("%-28s %8.1f M rows/s\n", "AccumulateBatch (1 thread)",
+                accumulate_mrps);
+    report.Add("baseline", "accumulate_batch", ms,
+               {{"mrows_per_s", accumulate_mrps}});
+  }
+  {
+    auto ms = TimeReps(reps, [&] {
+      CubeStore store(kDims, 10);
+      for (const Row& r : rows) store.Ingest(r.coords, r.value);
+    });
+    const double mrps = Mrps(total_rows, MedianOf(ms));
+    std::printf("%-28s %8.1f M rows/s\n", "CubeStore::Ingest (1 thread)",
+                mrps);
+    report.Add("baseline", "cube_ingest", ms, {{"mrows_per_s", mrps}});
+  }
+
+  // -------------------------------------------------------------- ingest
+  for (const size_t shards : {size_t{1}, size_t{2}, size_t{4}}) {
+    auto parts = PartitionByShard(rows, shards);
+    auto grouped = GroupPerShard(parts, 64);
+    for (const bool batched : {false, true}) {
+      double epochs = 0.0, staleness = 0.0, cells = 0.0;
+      auto ms = TimeReps(reps, [&] {
+        IngestOptions options;
+        options.num_shards = shards;
+        options.epoch_interval = std::chrono::milliseconds(10);
+        StreamingCube cube(kDims, MomentsSummary(10), options);
+        cube.StartPublisher();
+        RunWorkers(static_cast<int>(shards), [&](int w) {
+          if (batched) {
+            for (const MicroBatch& mb : grouped[w]) {
+              cube.AppendBatch(w, mb.coords, mb.values.data(),
+                               mb.values.size());
+            }
+          } else {
+            for (const Row& r : parts[w]) {
+              cube.AppendToShard(w, r.coords, r.value);
+            }
+          }
+        });
+        staleness = static_cast<double>(cube.staleness_rows());
+        auto snap = cube.Flush();
+        cube.StopPublisher();
+        MSKETCH_CHECK(snap->rows() == total_rows);
+        epochs = static_cast<double>(snap->epoch);
+        cells = static_cast<double>(snap->store.num_cells());
+      });
+      const double mrps = Mrps(total_rows, MedianOf(ms));
+      char name[64];
+      std::snprintf(name, sizeof(name), "%s x%zu",
+                    batched ? "append_batch64" : "append_row", shards);
+      std::printf("%-28s %8.1f M rows/s   (%.2fx accumulate baseline, "
+                  "%.0f epochs)\n",
+                  name, mrps,
+                  accumulate_mrps > 0 ? mrps / accumulate_mrps : 0.0,
+                  epochs);
+      report.Add("ingest", name, ms,
+                 {{"mrows_per_s", mrps},
+                  {"speedup_vs_accumulate",
+                   accumulate_mrps > 0 ? mrps / accumulate_mrps : 0.0},
+                  {"shards", static_cast<double>(shards)},
+                  {"epochs", epochs},
+                  {"pre_flush_staleness_rows", staleness},
+                  {"cells", cells},
+                  {"hw_threads", hw_threads}});
+    }
+  }
+  std::printf("\n");
+
+  // --------------------------------------------------------------- query
+  {
+    // Static reference cube with a fresh rollup (the BENCH_fig3 shape).
+    DataCube<MomentsSummary> staticc(kDims, MomentsSummary(10));
+    for (const Row& r : rows) staticc.Ingest(r.coords, r.value);
+    staticc.BuildRollup();
+
+    IngestOptions options;
+    options.num_shards = 2;
+    options.epoch_interval = std::chrono::milliseconds(10);
+    StreamingCube streaming(kDims, MomentsSummary(10), options);
+    auto parts = PartitionByShard(rows, options.num_shards);
+    RunWorkers(static_cast<int>(options.num_shards), [&](int w) {
+      for (const Row& r : parts[w]) streaming.AppendToShard(w, r.coords, r.value);
+    });
+    streaming.Flush();
+
+    struct QueryCase {
+      const char* name;
+      CubeFilter filter;
+    };
+    const std::vector<QueryCase> cases = {
+        {"unfiltered", CubeFilter(kDims, kAnyValue)},
+        {"one_dim", [] {
+           CubeFilter f(kDims, kAnyValue);
+           f[0] = 7;
+           return f;
+         }()},
+        {"two_dim", [] {
+           CubeFilter f(kDims, kAnyValue);
+           f[0] = 7;
+           f[1] = 3;
+           return f;
+         }()}};
+    std::printf("%-24s %14s %14s\n", "query", "static (us)",
+                "snapshot (us)");
+    for (const QueryCase& qc : cases) {
+      auto static_ms = TimeReps(query_reps, [&] {
+        (void)staticc.MergeWhere(qc.filter);
+      });
+      auto snap_ms = TimeReps(query_reps, [&] {
+        (void)streaming.QueryWhere(qc.filter);
+      });
+      const double s_us = MedianOf(static_ms) * 1e3;
+      const double p_us = MedianOf(snap_ms) * 1e3;
+      std::printf("%-24s %14.2f %14.2f\n", qc.name, s_us, p_us);
+      report.Add("query", qc.name, snap_ms,
+                 {{"static_median_ms", MedianOf(static_ms)},
+                  {"snapshot_over_static",
+                   s_us > 0 ? p_us / s_us : 0.0}});
+    }
+
+    // Query latency while two writers stream into the cube.
+    std::vector<Row> more = MakeRows(std::max<uint64_t>(total_rows / 4, 1));
+    auto more_parts = PartitionByShard(more, options.num_shards);
+    streaming.StartPublisher();
+    std::atomic<bool> done{false};
+    std::thread writer([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        for (size_t w = 0; w < more_parts.size(); ++w) {
+          for (const Row& r : more_parts[w]) {
+            if (done.load(std::memory_order_relaxed)) return;
+            streaming.AppendToShard(w, r.coords, r.value);
+          }
+        }
+      }
+    });
+    auto live_ms = TimeReps(query_reps, [&] {
+      (void)streaming.QueryWhere(cases[1].filter);
+    });
+    done.store(true, std::memory_order_release);
+    writer.join();
+    streaming.StopPublisher();
+    const double live_us = MedianOf(live_ms) * 1e3;
+    std::printf("%-24s %14s %14.2f\n", "one_dim (live ingest)", "-",
+                live_us);
+    report.Add("query", "one_dim_live_ingest", live_ms, {});
+  }
+  return 0;
+}

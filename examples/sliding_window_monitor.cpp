@@ -37,7 +37,7 @@ int main() {
       for (int i = 0; i < 200; ++i) pane.Accumulate(2000.0);
     }
 
-    window.PushPane(pane);
+    if (!window.PushPane(pane).ok()) continue;
     if (!window.Full()) continue;
 
     // Cascade decides "p99 > threshold?" — usually from bounds alone.

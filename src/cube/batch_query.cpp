@@ -199,10 +199,11 @@ void RunChains(size_t num_groups, const BatchOptions& options,
 
 }  // namespace
 
-std::vector<GroupQuantiles> DataCube<MomentsSummary>::GroupByQuantiles(
-    const std::vector<size_t>& group_dims, const std::vector<double>& phis,
-    const BatchOptions& options, BatchStats* stats) const {
-  std::vector<Group> groups = CollectGroups(store_, group_dims);
+std::vector<GroupQuantiles> GroupByQuantiles(
+    const CubeStore& store, const std::vector<size_t>& group_dims,
+    const std::vector<double>& phis, const BatchOptions& options,
+    BatchStats* stats) {
+  std::vector<Group> groups = CollectGroups(store, group_dims);
   // Shards write disjoint slots of `out`; no locking needed.
   std::vector<GroupQuantiles> out(groups.size());
   BatchStats local_stats;
@@ -241,10 +242,10 @@ std::vector<GroupQuantiles> DataCube<MomentsSummary>::GroupByQuantiles(
   return out;
 }
 
-std::vector<GroupThreshold> DataCube<MomentsSummary>::GroupByThreshold(
-    const std::vector<size_t>& group_dims, double phi, double t,
-    const BatchOptions& options, BatchStats* stats) const {
-  std::vector<Group> groups = CollectGroups(store_, group_dims);
+std::vector<GroupThreshold> GroupByThreshold(
+    const CubeStore& store, const std::vector<size_t>& group_dims,
+    double phi, double t, const BatchOptions& options, BatchStats* stats) {
+  std::vector<Group> groups = CollectGroups(store, group_dims);
   std::vector<GroupThreshold> out(groups.size());
   BatchStats local_stats;
   // One bounds cascade per shard; stats merge afterwards. The cascade's
@@ -294,6 +295,19 @@ std::vector<GroupThreshold> DataCube<MomentsSummary>::GroupByThreshold(
             });
   if (stats != nullptr) *stats = local_stats;
   return out;
+}
+
+std::vector<GroupQuantiles> DataCube<MomentsSummary>::GroupByQuantiles(
+    const std::vector<size_t>& group_dims, const std::vector<double>& phis,
+    const BatchOptions& options, BatchStats* stats) const {
+  return msketch::GroupByQuantiles(store_, group_dims, phis, options, stats);
+}
+
+std::vector<GroupThreshold> DataCube<MomentsSummary>::GroupByThreshold(
+    const std::vector<size_t>& group_dims, double phi, double t,
+    const BatchOptions& options, BatchStats* stats) const {
+  return msketch::GroupByThreshold(store_, group_dims, phi, t, options,
+                                   stats);
 }
 
 }  // namespace msketch

@@ -105,6 +105,24 @@ struct GroupThreshold {
   bool exceeds = false;
 };
 
+class CubeStore;
+
+/// Store-level batch GROUP BY entry points. The DataCube<MomentsSummary>
+/// members and the streaming ingest engine's snapshot queries both route
+/// here, so a published CubeSnapshot runs the identical similarity-order
+/// + warm-start + cache pipeline as a static cube. Defined in
+/// batch_query.cpp.
+std::vector<GroupQuantiles> GroupByQuantiles(const CubeStore& store,
+                                             const std::vector<size_t>& group_dims,
+                                             const std::vector<double>& phis,
+                                             const BatchOptions& options = {},
+                                             BatchStats* stats = nullptr);
+std::vector<GroupThreshold> GroupByThreshold(const CubeStore& store,
+                                             const std::vector<size_t>& group_dims,
+                                             double phi, double t,
+                                             const BatchOptions& options = {},
+                                             BatchStats* stats = nullptr);
+
 }  // namespace msketch
 
 #endif  // MSKETCH_CUBE_BATCH_QUERY_H_

@@ -92,9 +92,15 @@ CubeStore& CubeStore::operator=(const CubeStore& other) {
 }
 
 void CubeStore::RefreshColumnPtrs() {
+  // resize (not resize-in-ctor only): the copy constructor reaches here
+  // before its own mutable-ptr vectors are sized.
+  power_mut_ptrs_.resize(k_);
+  log_mut_ptrs_.resize(k_);
   for (int i = 0; i < k_; ++i) {
     power_ptrs_[i] = power_cols_[i].data();
     log_ptrs_[i] = log_cols_[i].data();
+    power_mut_ptrs_[i] = power_cols_[i].data();
+    log_mut_ptrs_[i] = log_cols_[i].data();
   }
 }
 
@@ -111,6 +117,29 @@ void CubeStore::OnCellMutated(uint32_t cell_id) {
   }
 }
 
+uint32_t CubeStore::CreateCell(const CubeCoords& coords) {
+  const uint32_t id = static_cast<uint32_t>(coords_.size());
+  cell_ids_.emplace(coords, id);
+  coords_.push_back(coords);
+  for (auto& col : power_cols_) col.push_back(0.0);
+  for (auto& col : log_cols_) col.push_back(0.0);
+  counts_.push_back(0);
+  log_counts_.push_back(0);
+  mins_.push_back(std::numeric_limits<double>::infinity());
+  maxs_.push_back(-std::numeric_limits<double>::infinity());
+  sums_.push_back(0.0);
+  cell_dirty_.push_back(0);
+  for (size_t d = 0; d < num_dims_; ++d) {
+    dim_indexes_[d].Add(coords[d], id);
+  }
+  // The push_backs may have reallocated; this is the one place the
+  // cached column bases are re-pointed (and the version bumped), so
+  // Columns() stays a pure read and no caller can observe stale
+  // pointers after column growth.
+  OnColumnsChanged();
+  return id;
+}
+
 uint32_t CubeStore::Ingest(const CubeCoords& coords, double value) {
   MSKETCH_DCHECK(coords.size() == num_dims_);
   MSKETCH_DCHECK(std::isfinite(value));
@@ -120,25 +149,7 @@ uint32_t CubeStore::Ingest(const CubeCoords& coords, double value) {
     id = it->second;
     OnCellMutated(id);
   } else {
-    id = static_cast<uint32_t>(coords_.size());
-    cell_ids_.emplace(coords, id);
-    coords_.push_back(coords);
-    for (auto& col : power_cols_) col.push_back(0.0);
-    for (auto& col : log_cols_) col.push_back(0.0);
-    counts_.push_back(0);
-    log_counts_.push_back(0);
-    mins_.push_back(std::numeric_limits<double>::infinity());
-    maxs_.push_back(-std::numeric_limits<double>::infinity());
-    sums_.push_back(0.0);
-    cell_dirty_.push_back(0);
-    for (size_t d = 0; d < num_dims_; ++d) {
-      dim_indexes_[d].Add(coords[d], id);
-    }
-    // The push_backs may have reallocated; this is the one place the
-    // cached column bases are re-pointed (and the version bumped), so
-    // Columns() stays a pure read and no caller can observe stale
-    // pointers after column growth.
-    OnColumnsChanged();
+    id = CreateCell(coords);
   }
   // Same accumulation recurrence as MomentsSketch::Accumulate, applied to
   // the cell's column entries.
@@ -162,6 +173,42 @@ uint32_t CubeStore::Ingest(const CubeCoords& coords, double value) {
   }
   ++num_rows_;
   return id;
+}
+
+Status CubeStore::ApplyDelta(const CubeCoords& coords,
+                             const MomentsSketch& delta) {
+  if (coords.size() != num_dims_) {
+    return Status::InvalidArgument("ApplyDelta: wrong coordinate arity");
+  }
+  if (delta.k() != k_) {
+    return Status::InvalidArgument("ApplyDelta: mismatched order k");
+  }
+  if (delta.count() == 0) return Status::OK();
+  uint32_t id;
+  auto it = cell_ids_.find(coords);
+  if (it != cell_ids_.end()) {
+    id = it->second;
+    OnCellMutated(id);
+  } else {
+    id = CreateCell(coords);
+  }
+  MutableFlatMomentColumns mut;
+  mut.k = k_;
+  mut.num_cells = coords_.size();
+  mut.power_sums = power_mut_ptrs_.data();
+  mut.log_sums = log_mut_ptrs_.data();
+  mut.counts = counts_.data();
+  mut.log_counts = log_counts_.data();
+  mut.mins = mins_.data();
+  mut.maxs = maxs_.data();
+  Status s = delta.DrainIntoCell(mut, id);
+  if (!s.ok()) return s;
+  // power_sums()[0] is the same addition sequence the sums_ column saw
+  // per row, so the native-sum baseline stays consistent with the
+  // sketch columns bit-for-bit.
+  sums_[id] += delta.power_sums()[0];
+  num_rows_ += delta.count();
+  return Status::OK();
 }
 
 FlatMomentColumns CubeStore::Columns() const {

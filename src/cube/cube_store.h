@@ -110,6 +110,17 @@ class CubeStore {
   /// so a built rollup reads as stale until RefreshRollup().
   uint32_t Ingest(const CubeCoords& coords, double value);
 
+  /// Folds a pre-aggregated delta sketch into the cell at `coords`,
+  /// creating the cell (and its postings) on first touch — the epoch
+  /// drain path of the streaming ingest engine. Column sums get one add
+  /// each (MomentsSketch::DrainIntoCell), counts add exactly, min/max
+  /// widen to cover the delta, and the native-sum column grows by the
+  /// delta's first power sum (the same addition sequence Ingest applies
+  /// per row). Version and rollup-dirtiness bookkeeping matches Ingest:
+  /// the cell is marked dirty so the next RefreshRollup rebuilds only
+  /// its spans. Empty deltas are a no-op.
+  Status ApplyDelta(const CubeCoords& coords, const MomentsSketch& delta);
+
   size_t num_cells() const { return coords_.size(); }
   uint64_t num_rows() const { return num_rows_; }
   size_t num_dims() const { return num_dims_; }
@@ -242,6 +253,11 @@ class CubeStore {
   /// Bookkeeping for an in-place update of an existing cell: bumps the
   /// version and records the cell for incremental rollup refresh.
   void OnCellMutated(uint32_t cell_id);
+  /// Allocates the cell for `coords`: appends one zeroed slot to every
+  /// column, registers the postings, and routes through
+  /// OnColumnsChanged (push_backs may reallocate). Shared by Ingest and
+  /// ApplyDelta so the parallel columns can never diverge.
+  uint32_t CreateCell(const CubeCoords& coords);
 
   size_t num_dims_;
   int k_;
@@ -262,9 +278,12 @@ class CubeStore {
   std::vector<double> sums_;
 
   // Column base pointers, kept current by OnColumnsChanged so Columns()
-  // and the const query methods never write shared state.
+  // and the const query methods never write shared state. The mutable
+  // twins back ApplyDelta's drain view (same lifetime discipline).
   std::vector<const double*> power_ptrs_;
   std::vector<const double*> log_ptrs_;
+  std::vector<double*> power_mut_ptrs_;
+  std::vector<double*> log_mut_ptrs_;
 
   // One inverted index per dimension.
   std::vector<DimIndex> dim_indexes_;

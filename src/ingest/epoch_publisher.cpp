@@ -1,0 +1,182 @@
+#include "ingest/epoch_publisher.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace msketch {
+
+EpochPublisher::EpochPublisher(size_t num_dims, int k,
+                               const IngestOptions& options,
+                               std::vector<IngestShard*> shards)
+    : num_dims_(num_dims),
+      k_(k),
+      options_(options),
+      shards_(std::move(shards)) {
+  MSKETCH_CHECK(num_dims >= 1);
+  MSKETCH_CHECK(k >= 1 && k <= 64);
+  MSKETCH_CHECK(options_.snapshot_buffers >= 2);
+  MSKETCH_CHECK(!shards_.empty());
+  total_buffers_ = options_.snapshot_buffers;
+  buffer_epoch_.assign(total_buffers_, 0);
+  for (size_t b = 0; b < total_buffers_; ++b) {
+    auto snap = std::make_unique<CubeSnapshot>(num_dims_, k_);
+    snap->buffer_index = b;
+    free_.push_back(std::move(snap));
+  }
+  // Publish an empty epoch-0 snapshot so readers always have a cube.
+  // Nothing is drained here: rows already sitting in the shards belong
+  // to the first real epoch (epoch 0 is structurally empty, which is
+  // what lets the catch-up replay skip it).
+  std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  std::unique_ptr<CubeSnapshot> buf = TakeBuffer();
+  if (options_.build_rollup) buf->store.BuildRollup(options_.rollup);
+  std::shared_ptr<const CubeSnapshot> snap(
+      buf.release(), [this](const CubeSnapshot* s) {
+        ReturnBuffer(const_cast<CubeSnapshot*>(s));
+      });
+  std::atomic_store(&published_, snap);
+}
+
+EpochPublisher::~EpochPublisher() {
+  Stop();
+  // Drop the publisher's own reference, then wait for every reader
+  // handle to return its buffer: buffers must not outlive the pool.
+  std::atomic_store(&published_, std::shared_ptr<const CubeSnapshot>());
+  std::unique_lock<std::mutex> lock(pool_mu_);
+  pool_cv_.wait(lock, [&] { return free_.size() == total_buffers_; });
+}
+
+std::shared_ptr<const CubeSnapshot> EpochPublisher::Current() const {
+  return std::atomic_load(&published_);
+}
+
+EpochPublisher::DeltaBatch EpochPublisher::DrainShards() {
+  DeltaBatch all;
+  for (IngestShard* shard : shards_) {
+    DeltaBatch part = shard->Drain();
+    std::move(part.begin(), part.end(), std::back_inserter(all));
+  }
+  // Deterministic application order: cells ascend by coordinates, and
+  // the stable sort keeps a cell's multiple shard deltas in shard order
+  // (they were appended shard-major above).
+  std::stable_sort(all.begin(), all.end(),
+                   [](const IngestShard::DeltaCell& a,
+                      const IngestShard::DeltaCell& b) {
+                     return a.coords < b.coords;
+                   });
+  return all;
+}
+
+void EpochPublisher::ApplyBatch(CubeStore* store, const DeltaBatch& batch) {
+  for (const IngestShard::DeltaCell& dc : batch) {
+    // Arity and order are publisher invariants; a failure here is a
+    // programming error, not a data error.
+    MSKETCH_CHECK(store->ApplyDelta(dc.coords, dc.sketch).ok());
+  }
+}
+
+std::shared_ptr<const CubeSnapshot> EpochPublisher::Publish() {
+  std::unique_lock<std::mutex> publish_lock(publish_mu_);
+  DeltaBatch batch = DrainShards();
+  if (batch.empty()) {
+    // Nothing new arrived: the current snapshot already covers every
+    // appended row, so re-publishing would only churn buffers.
+    return Current();
+  }
+  const uint64_t epoch = next_epoch_++;
+  // The epoch's pane delta: merged total of the batch, in batch order.
+  MomentsSketch epoch_delta(k_);
+  for (const IngestShard::DeltaCell& dc : batch) {
+    MSKETCH_CHECK(epoch_delta.Merge(dc.sketch).ok());
+  }
+  history_.emplace_back(epoch, std::move(batch));
+
+  std::unique_ptr<CubeSnapshot> buf = TakeBuffer();
+  // Catch the buffer up on every batch it missed while it was the
+  // published snapshot — one batch in steady state. `buf->epoch` is the
+  // epoch the buffer has applied through (0 for a fresh buffer; the
+  // epoch-0 batch is always empty, so nothing is skipped).
+  for (const auto& [e, b] : history_) {
+    if (e > buf->epoch) ApplyBatch(&buf->store, b);
+  }
+  buf->epoch = epoch;
+  buf->epoch_delta = std::move(epoch_delta);
+  if (options_.build_rollup) {
+    if (buf->store.rollup() == nullptr) {
+      buf->store.BuildRollup(options_.rollup);
+    } else {
+      buf->store.RefreshRollup();
+    }
+  }
+  buffer_epoch_[buf->buffer_index] = epoch;
+  // Batches already replayed into every buffer can go.
+  const uint64_t applied_min =
+      *std::min_element(buffer_epoch_.begin(), buffer_epoch_.end());
+  while (!history_.empty() && history_.front().first <= applied_min) {
+    history_.pop_front();
+  }
+
+  std::shared_ptr<const CubeSnapshot> snap(
+      buf.release(), [this](const CubeSnapshot* s) {
+        ReturnBuffer(const_cast<CubeSnapshot*>(s));
+      });
+  std::atomic_store(&published_, snap);
+  epochs_published_.fetch_add(1, std::memory_order_relaxed);
+  // The sink runs outside publish_mu_ so it may query the publisher
+  // (Current, lag_batches); sink_mu_ is taken before the publish lock
+  // drops, which keeps sink invocations in epoch order.
+  std::lock_guard<std::mutex> sink_lock(sink_mu_);
+  publish_lock.unlock();
+  if (sink_) sink_(*snap);
+  return snap;
+}
+
+std::unique_ptr<CubeSnapshot> EpochPublisher::TakeBuffer() {
+  std::unique_lock<std::mutex> lock(pool_mu_);
+  pool_cv_.wait(lock, [&] { return !free_.empty(); });
+  // FIFO: take the longest-idle buffer so every pool member cycles
+  // through publishes. LIFO would let a third buffer sit idle forever
+  // with its applied-epoch stuck at 0, pinning the whole batch history
+  // in memory (the trim below keys off the minimum applied epoch).
+  std::unique_ptr<CubeSnapshot> buf = std::move(free_.front());
+  free_.pop_front();
+  return buf;
+}
+
+void EpochPublisher::ReturnBuffer(CubeSnapshot* snap) {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  free_.emplace_back(snap);
+  pool_cv_.notify_all();
+}
+
+void EpochPublisher::Start() {
+  std::lock_guard<std::mutex> lock(stop_mu_);
+  if (loop_.joinable()) return;
+  stop_requested_ = false;
+  loop_ = std::thread([this] {
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lk(stop_mu_);
+        stop_cv_.wait_for(lk, options_.epoch_interval,
+                          [&] { return stop_requested_; });
+        if (stop_requested_) return;
+      }
+      Publish();
+    }
+  });
+}
+
+void EpochPublisher::Stop() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stop_requested_ = true;
+    to_join = std::move(loop_);
+  }
+  stop_cv_.notify_all();
+  if (to_join.joinable()) to_join.join();
+}
+
+}  // namespace msketch

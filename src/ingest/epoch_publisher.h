@@ -1,0 +1,192 @@
+// Epoch publication for the streaming ingest engine: drains shard
+// deltas into double-buffered immutable cube snapshots and swaps them
+// in atomically, so queries run against a consistent cube while writers
+// keep appending (see src/ingest/README.md for the consistency model).
+//
+// Mechanism. The publisher owns a small pool of CubeStore buffers
+// (default two). Each Publish():
+//
+//   1. drains every shard's delta map (an O(1)-lock swap per shard) and
+//      stable-sorts the combined batch by cell coordinates, so cells
+//      are created in a deterministic order and same-cell deltas apply
+//      in shard order;
+//   2. takes a free buffer from the pool — a buffer is free once the
+//      epoch that retired it has no readers left — and catches it up by
+//      replaying every batch published since the buffer last left the
+//      pool (one batch behind in steady state, the classic
+//      double-buffer lag);
+//   3. incrementally refreshes the buffer's rollup index (only the
+//      spans covering dirty cells rebuild — CubeStore's existing
+//      dirty-cell tracking does the bookkeeping);
+//   4. publishes the buffer with an atomic shared_ptr swap.
+//
+// Reclamation is epoch-based via the snapshot handles themselves: every
+// reader holds a shared_ptr whose deleter returns the buffer to the
+// pool, so a retired buffer is recycled exactly when its last in-flight
+// query finishes — queries never observe torn columns, and memory stays
+// bounded at pool_size copies of the cube. The pointer swap is the only
+// coupling between readers and the publisher; readers never block
+// writers and vice versa.
+//
+// Lifetime rule: snapshot handles must be released before the publisher
+// is destroyed (the destructor waits for all buffers to return).
+#ifndef MSKETCH_INGEST_EPOCH_PUBLISHER_H_
+#define MSKETCH_INGEST_EPOCH_PUBLISHER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/moments_sketch.h"
+#include "cube/cube_store.h"
+#include "cube/rollup_index.h"
+#include "ingest/ingest_shard.h"
+
+namespace msketch {
+
+/// Streaming ingest engine configuration (shared by IngestShard,
+/// EpochPublisher, and StreamingCube).
+struct IngestOptions {
+  /// Writer shards. Throughput scales with shards when each writer
+  /// thread appends to its own shard.
+  size_t num_shards = 4;
+  /// Per-cell pending-value buffer length before an AccumulateBatch
+  /// flush inside the shard.
+  size_t batch_size = 64;
+  /// Snapshot buffers in the publisher pool. Two gives the classic
+  /// double buffer; more tolerates slower readers without stalling
+  /// Publish at the cost of extra cube copies.
+  size_t snapshot_buffers = 2;
+  /// Build and incrementally refresh the rollup index on every
+  /// published snapshot (unfiltered and single-dimension queries answer
+  /// from pre-merged spans).
+  bool build_rollup = true;
+  RollupOptions rollup;
+  /// Cadence of the background publisher thread (Start()).
+  std::chrono::milliseconds epoch_interval{20};
+};
+
+/// One published, immutable-while-published cube state. `epoch` is the
+/// publish sequence number; `epoch_delta` is the merged sketch of the
+/// rows that entered in this epoch (the sliding-window pane feed —
+/// window/epoch_feed.h). Readers hold the snapshot via shared_ptr; the
+/// backing buffer is recycled when the last holder releases it.
+struct CubeSnapshot {
+  CubeSnapshot(size_t num_dims, int k)
+      : store(num_dims, k), epoch_delta(k) {}
+
+  uint64_t epoch = 0;
+  CubeStore store;
+  MomentsSketch epoch_delta;
+  size_t buffer_index = 0;  // pool slot backing this snapshot
+
+  uint64_t rows() const { return store.num_rows(); }
+};
+
+class EpochPublisher {
+ public:
+  using DeltaBatch = std::vector<IngestShard::DeltaCell>;
+  /// Called after each non-empty publish, from the publishing thread,
+  /// with the snapshot just made current.
+  using EpochSink = std::function<void(const CubeSnapshot&)>;
+
+  /// `shards` are borrowed and must outlive the publisher. Publishes an
+  /// empty epoch-0 snapshot immediately (without draining), so
+  /// Current() is never null; rows already buffered in the shards enter
+  /// at the first Publish().
+  EpochPublisher(size_t num_dims, int k, const IngestOptions& options,
+                 std::vector<IngestShard*> shards);
+  /// Stops the background thread and waits for every outstanding
+  /// snapshot handle to be released.
+  ~EpochPublisher();
+
+  EpochPublisher(const EpochPublisher&) = delete;
+  EpochPublisher& operator=(const EpochPublisher&) = delete;
+
+  /// Drains all shards and publishes one epoch. When the drain comes
+  /// back empty the current snapshot already covers every appended row
+  /// and is returned unchanged (no epoch is spent). Serialized against
+  /// the background thread; safe to call concurrently with readers and
+  /// writers.
+  std::shared_ptr<const CubeSnapshot> Publish();
+
+  /// The latest published snapshot (atomic pointer load; wait-free with
+  /// respect to the publisher).
+  std::shared_ptr<const CubeSnapshot> Current() const;
+
+  /// Publish-loop thread control. Start is idempotent.
+  void Start();
+  void Stop();
+
+  /// Must be set before Start() or concurrent Publish() calls. The
+  /// sink runs on the publishing thread, serialized in epoch order; it
+  /// may read the publisher (Current, lag_batches) but must not call
+  /// Publish()/Flush() — that would re-enter the sink serialization.
+  void SetEpochSink(EpochSink sink) { sink_ = std::move(sink); }
+
+  uint64_t epochs_published() const {
+    return epochs_published_.load(std::memory_order_relaxed);
+  }
+
+  /// Delta batches retained for buffers that have not replayed them yet
+  /// (diagnostics; bounded by the pool size when publishing regularly).
+  size_t lag_batches() const {
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    return history_.size();
+  }
+
+ private:
+  std::unique_ptr<CubeSnapshot> TakeBuffer();
+  void ReturnBuffer(CubeSnapshot* snap);
+  /// Drains every shard and stable-sorts the combined batch by coords
+  /// (stability keeps same-cell deltas in shard order).
+  DeltaBatch DrainShards();
+  void ApplyBatch(CubeStore* store, const DeltaBatch& batch);
+
+  const size_t num_dims_;
+  const int k_;
+  const IngestOptions options_;
+  std::vector<IngestShard*> shards_;
+
+  // Buffer pool (FIFO, so every buffer cycles through publishes).
+  // Buffers are mutated only between TakeBuffer and the publish swap;
+  // pool_mu_/pool_cv_ carry the reader-to-publisher happens-before edge
+  // when a buffer is recycled.
+  std::mutex pool_mu_;
+  std::condition_variable pool_cv_;
+  std::deque<std::unique_ptr<CubeSnapshot>> free_;
+  size_t total_buffers_;
+
+  // Publish state (guarded by publish_mu_): batches not yet replayed
+  // into every buffer, and each buffer's applied-through epoch. Epoch 0
+  // is the constructor's empty snapshot; real epochs start at 1.
+  mutable std::mutex publish_mu_;
+  uint64_t next_epoch_ = 1;
+  std::deque<std::pair<uint64_t, DeltaBatch>> history_;
+  std::vector<uint64_t> buffer_epoch_;
+
+  // The published snapshot; accessed via std::atomic_load/atomic_store.
+  std::shared_ptr<const CubeSnapshot> published_;
+
+  std::atomic<uint64_t> epochs_published_{0};
+  // Serializes sink invocations in epoch order (see Publish).
+  std::mutex sink_mu_;
+  EpochSink sink_;
+
+  // Background publish loop.
+  std::thread loop_;
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+};
+
+}  // namespace msketch
+
+#endif  // MSKETCH_INGEST_EPOCH_PUBLISHER_H_

@@ -1,0 +1,87 @@
+#include "ingest/ingest_shard.h"
+
+#include <utility>
+
+#include "common/macros.h"
+
+namespace msketch {
+
+IngestShard::IngestShard(size_t num_dims, int k, size_t batch_size)
+    : num_dims_(num_dims), k_(k), batch_size_(batch_size) {
+  MSKETCH_CHECK(num_dims >= 1);
+  MSKETCH_CHECK(k >= 1 && k <= 64);
+  MSKETCH_CHECK(batch_size >= 1);
+}
+
+void IngestShard::Append(const CubeCoords& coords, double value) {
+  MSKETCH_DCHECK(coords.size() == num_dims_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = cells_.find(coords);
+  if (it == cells_.end()) {
+    it = cells_.emplace(coords, Cell{MomentsSketch(k_), {}}).first;
+    it->second.pending.reserve(batch_size_);
+  }
+  Cell& cell = it->second;
+  cell.pending.push_back(value);
+  if (cell.pending.size() >= batch_size_) FlushCell(&cell);
+  rows_appended_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void IngestShard::AppendBatch(const CubeCoords& coords, const double* values,
+                              size_t n) {
+  MSKETCH_DCHECK(coords.size() == num_dims_);
+  if (n == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = cells_.find(coords);
+  if (it == cells_.end()) {
+    it = cells_.emplace(coords, Cell{MomentsSketch(k_), {}}).first;
+    it->second.pending.reserve(batch_size_);
+  }
+  Cell& cell = it->second;
+  // Keep the same per-cell value order as n calls to Append: top up the
+  // pending buffer to a full flush, then run whole batches straight
+  // through the kernel, then buffer the tail.
+  size_t i = 0;
+  if (!cell.pending.empty()) {
+    while (i < n && cell.pending.size() < batch_size_) {
+      cell.pending.push_back(values[i++]);
+    }
+    if (cell.pending.size() >= batch_size_) FlushCell(&cell);
+  }
+  if (i < n) {
+    const size_t whole = ((n - i) / batch_size_) * batch_size_;
+    if (whole > 0) {
+      cell.sketch.AccumulateBatch(values + i, whole);
+      i += whole;
+    }
+    for (; i < n; ++i) cell.pending.push_back(values[i]);
+  }
+  rows_appended_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void IngestShard::FlushCell(Cell* cell) {
+  if (cell->pending.empty()) return;
+  cell->sketch.AccumulateBatch(cell->pending.data(), cell->pending.size());
+  cell->pending.clear();
+}
+
+std::vector<IngestShard::DeltaCell> IngestShard::Drain() {
+  std::unordered_map<CubeCoords, Cell, CubeCoordsHash> taken;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    taken.swap(cells_);
+  }
+  // Pending-buffer flushes run outside the lock: the swapped-out map is
+  // private to this call, so writers keep appending into the fresh map
+  // while the publisher finishes the deltas.
+  std::vector<DeltaCell> out;
+  out.reserve(taken.size());
+  for (auto& [coords, cell] : taken) {
+    FlushCell(&cell);
+    if (cell.sketch.count() == 0) continue;
+    out.push_back(DeltaCell{coords, std::move(cell.sketch)});
+  }
+  return out;
+}
+
+}  // namespace msketch

@@ -1,0 +1,89 @@
+// Per-writer ingest shard: the write side of the streaming ingest
+// engine (see src/ingest/README.md).
+//
+// A shard buffers incoming rows as per-cell moments-sketch *deltas*,
+// keyed by dictionary-encoded cell coordinates. Appends never touch the
+// published cube: each cell keeps a small pending-value buffer that is
+// folded into the cell's delta sketch through the 4-lane
+// MomentsSketch::AccumulateBatch kernel once full, so the hot path is a
+// hash probe plus one buffered store per row, and the expensive power
+// chains run batched. The epoch publisher periodically Drain()s every
+// shard — an O(1)-lock handoff that swaps the whole delta map out — and
+// folds the deltas into the next snapshot with the flat drain kernels.
+//
+// Thread safety: one mutex per shard. The intended deployment gives
+// each writer thread its own shard (uncontended lock), but any thread
+// may append to any shard; the publisher's drain contends only for the
+// duration of a map swap plus the final pending-buffer flushes.
+//
+// Determinism: within a shard, each cell's values accumulate in arrival
+// order, and AccumulateBatch is bit-identical to an in-order Accumulate
+// loop — so a drained delta is bit-identical to a single-threaded
+// sketch fed the same per-cell value sequence.
+#ifndef MSKETCH_INGEST_INGEST_SHARD_H_
+#define MSKETCH_INGEST_INGEST_SHARD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/moments_sketch.h"
+#include "cube/cube_types.h"
+
+namespace msketch {
+
+class IngestShard {
+ public:
+  /// `batch_size`: pending values buffered per cell before a flush
+  /// through AccumulateBatch (also the drain-time flush granularity).
+  IngestShard(size_t num_dims, int k, size_t batch_size);
+
+  /// Buffers one row into the cell at `coords`.
+  void Append(const CubeCoords& coords, double value);
+
+  /// Buffers `n` rows for one cell — one hash probe for the whole run
+  /// (pre-grouped micro-batches are the high-rate ingest fast path).
+  void AppendBatch(const CubeCoords& coords, const double* values, size_t n);
+
+  /// One drained cell delta: the sketch holds the cell's buffered
+  /// moment state (counts, min/max, power and log sums).
+  struct DeltaCell {
+    CubeCoords coords;
+    MomentsSketch sketch;
+  };
+
+  /// Flushes every pending buffer and moves the accumulated deltas out,
+  /// leaving the shard empty. Order of the returned cells is
+  /// unspecified; the publisher sorts the combined batch.
+  std::vector<DeltaCell> Drain();
+
+  /// Rows appended so far (relaxed; readable while writers run).
+  uint64_t rows_appended() const {
+    return rows_appended_.load(std::memory_order_relaxed);
+  }
+
+  size_t num_dims() const { return num_dims_; }
+  int k() const { return k_; }
+
+ private:
+  struct Cell {
+    MomentsSketch sketch;
+    std::vector<double> pending;
+  };
+
+  // Folds the cell's pending values into its delta sketch.
+  void FlushCell(Cell* cell);
+
+  const size_t num_dims_;
+  const int k_;
+  const size_t batch_size_;
+  std::atomic<uint64_t> rows_appended_{0};
+  std::mutex mutex_;
+  std::unordered_map<CubeCoords, Cell, CubeCoordsHash> cells_;
+};
+
+}  // namespace msketch
+
+#endif  // MSKETCH_INGEST_INGEST_SHARD_H_

@@ -1,0 +1,133 @@
+#include "ingest/streaming_cube.h"
+
+#include <utility>
+
+#include "common/macros.h"
+
+namespace msketch {
+
+StreamingCube::StreamingCube(size_t num_dims, MomentsSummary prototype,
+                             IngestOptions options)
+    : num_dims_(num_dims),
+      prototype_k_(prototype.k()),
+      options_maxent_(prototype.options()),
+      options_(options),
+      dicts_(num_dims) {
+  MSKETCH_CHECK(num_dims >= 1);
+  MSKETCH_CHECK(options_.num_shards >= 1);
+  shards_.reserve(options_.num_shards);
+  for (size_t s = 0; s < options_.num_shards; ++s) {
+    shards_.push_back(std::make_unique<IngestShard>(num_dims_, prototype_k_,
+                                                    options_.batch_size));
+  }
+  std::vector<IngestShard*> shard_ptrs;
+  shard_ptrs.reserve(shards_.size());
+  for (auto& s : shards_) shard_ptrs.push_back(s.get());
+  publisher_ = std::make_unique<EpochPublisher>(num_dims_, prototype_k_,
+                                                options_, shard_ptrs);
+}
+
+StreamingCube::~StreamingCube() { publisher_->Stop(); }
+
+Status StreamingCube::AppendRow(const std::vector<std::string>& dims,
+                                double value) {
+  Result<CubeCoords> coords = EncodeRow(dims);
+  if (!coords.ok()) return coords.status();
+  Append(coords.value(), value);
+  return Status::OK();
+}
+
+Result<CubeCoords> StreamingCube::EncodeRow(
+    const std::vector<std::string>& dims) {
+  if (dims.size() != num_dims_) {
+    return Status::InvalidArgument("EncodeRow: wrong dimension arity");
+  }
+  CubeCoords coords(num_dims_);
+  // Fast path: every value already interned, shared lock only.
+  {
+    std::shared_lock<std::shared_mutex> lock(dict_mu_);
+    bool all_known = true;
+    for (size_t d = 0; d < num_dims_; ++d) {
+      Result<uint32_t> id = dicts_[d].Find(dims[d]);
+      if (!id.ok()) {
+        all_known = false;
+        break;
+      }
+      coords[d] = id.value();
+    }
+    if (all_known) return coords;
+  }
+  std::unique_lock<std::shared_mutex> lock(dict_mu_);
+  for (size_t d = 0; d < num_dims_; ++d) {
+    coords[d] = dicts_[d].Intern(dims[d]);
+  }
+  return coords;
+}
+
+Result<CubeFilter> StreamingCube::EncodeFilter(
+    const std::vector<std::string>& dims) const {
+  if (dims.size() != num_dims_) {
+    return Status::InvalidArgument("EncodeFilter: wrong dimension arity");
+  }
+  CubeFilter filter(num_dims_, kAnyValue);
+  std::shared_lock<std::shared_mutex> lock(dict_mu_);
+  for (size_t d = 0; d < num_dims_; ++d) {
+    if (dims[d].empty()) continue;
+    Result<uint32_t> id = dicts_[d].Find(dims[d]);
+    if (!id.ok()) return id.status();
+    filter[d] = static_cast<int64_t>(id.value());
+  }
+  return filter;
+}
+
+Result<std::string> StreamingCube::DecodeValue(size_t dim,
+                                               uint32_t id) const {
+  if (dim >= num_dims_) {
+    return Status::InvalidArgument("DecodeValue: dimension out of range");
+  }
+  std::shared_lock<std::shared_mutex> lock(dict_mu_);
+  if (id >= dicts_[dim].size()) {
+    return Status::OutOfRange("DecodeValue: unknown value id");
+  }
+  return dicts_[dim].ValueOf(id);
+}
+
+MomentsSummary StreamingCube::QueryWhere(const CubeFilter& filter,
+                                         CubeStore::QueryStats* stats) const {
+  std::shared_ptr<const CubeSnapshot> snap = Snapshot();
+  return MomentsSummary(snap->store.QueryWhere(filter, stats),
+                        options_maxent_);
+}
+
+Result<double> StreamingCube::QueryQuantile(const CubeFilter& filter,
+                                            double phi) const {
+  MomentsSummary merged = QueryWhere(filter);
+  if (merged.count() == 0) {
+    return Status::InvalidArgument("QueryQuantile: empty selection");
+  }
+  return merged.EstimateQuantile(phi);
+}
+
+std::vector<GroupQuantiles> StreamingCube::GroupByQuantiles(
+    const std::vector<size_t>& group_dims, const std::vector<double>& phis,
+    const BatchOptions& options, BatchStats* stats) const {
+  std::shared_ptr<const CubeSnapshot> snap = Snapshot();
+  return msketch::GroupByQuantiles(snap->store, group_dims, phis, options,
+                                   stats);
+}
+
+std::vector<GroupThreshold> StreamingCube::GroupByThreshold(
+    const std::vector<size_t>& group_dims, double phi, double t,
+    const BatchOptions& options, BatchStats* stats) const {
+  std::shared_ptr<const CubeSnapshot> snap = Snapshot();
+  return msketch::GroupByThreshold(snap->store, group_dims, phi, t, options,
+                                   stats);
+}
+
+uint64_t StreamingCube::rows_appended() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) total += s->rows_appended();
+  return total;
+}
+
+}  // namespace msketch

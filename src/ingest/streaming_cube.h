@@ -1,0 +1,178 @@
+// StreamingCube: query-while-ingest façade over the streaming ingest
+// engine (sharded writers + epoch-published snapshots).
+//
+// Writers append rows — dictionary-encoded coordinates plus a metric
+// value — into per-shard delta buffers; the epoch publisher folds the
+// deltas into immutable cube snapshots on a fixed cadence (or on
+// Flush()); queries run the full static-cube machinery — planned
+// QueryWhere, rollup spans, batched GROUP BY — against the latest
+// published snapshot. Consistency contract (src/ingest/README.md):
+//
+//   * a query sees every row drained into the snapshot it runs on — a
+//     consistent prefix of each shard's append stream, never a torn or
+//     partially applied epoch;
+//   * staleness is bounded by one epoch interval plus publish time;
+//     Flush() publishes synchronously, after which queries see every
+//     row appended before the Flush call;
+//   * a fully drained StreamingCube holds the state of a single-writer
+//     DataCube fed the same per-shard row streams: counts, min/max and
+//     cell sets exactly, moment sums to FP re-association. Per-cell
+//     bit-identity additionally needs each cell's values to reach the
+//     cube as one in-order sequence — one shard per cell (the default
+//     coordinate-hash routing) AND a single drain (epoch boundaries
+//     split a cell's stream into separately-summed deltas) — or
+//     exact-arithmetic data, for which any interleaving is
+//     bit-identical.
+//
+// Thread safety: any number of writer threads (Append*), one or more
+// query threads, plus the background publisher may run concurrently.
+// Snapshot handles returned by Snapshot()/Flush() pin a buffer; release
+// them before destroying the cube.
+#ifndef MSKETCH_INGEST_STREAMING_CUBE_H_
+#define MSKETCH_INGEST_STREAMING_CUBE_H_
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/moments_summary.h"
+#include "cube/batch_query.h"
+#include "cube/cube_store.h"
+#include "cube/cube_types.h"
+#include "cube/dictionary.h"
+#include "ingest/epoch_publisher.h"
+#include "ingest/ingest_shard.h"
+
+namespace msketch {
+
+class StreamingCube {
+ public:
+  /// The prototype fixes the sketch order and estimator options, as in
+  /// DataCube<MomentsSummary>. The background publisher is NOT started;
+  /// call StartPublisher() (or drive epochs manually via Flush()).
+  StreamingCube(size_t num_dims, MomentsSummary prototype,
+                IngestOptions options = IngestOptions());
+  ~StreamingCube();
+
+  StreamingCube(const StreamingCube&) = delete;
+  StreamingCube& operator=(const StreamingCube&) = delete;
+
+  // ------------------------------------------------------------ writers
+
+  /// Appends one row, routing to a shard by coordinate hash. The hash
+  /// routing makes every cell shard-affine, which keeps per-cell
+  /// accumulation order deterministic no matter which thread appends.
+  void Append(const CubeCoords& coords, double value) {
+    AppendToShard(CubeCoordsHash()(coords) % shards_.size(), coords, value);
+  }
+
+  /// Appends one row into an explicit shard (writer-per-shard setups).
+  void AppendToShard(size_t shard, const CubeCoords& coords, double value) {
+    shards_[shard]->Append(coords, value);
+  }
+
+  /// Appends a pre-grouped run of values for one cell (single hash
+  /// probe; the high-rate path).
+  void AppendBatch(size_t shard, const CubeCoords& coords,
+                   const double* values, size_t n) {
+    shards_[shard]->AppendBatch(coords, values, n);
+  }
+
+  /// Dictionary-encodes a row of string dimension values (interning new
+  /// ones) and appends it.
+  Status AppendRow(const std::vector<std::string>& dims, double value);
+
+  /// Interns `dims` and returns the encoded coordinates (for callers
+  /// that batch rows per cell before appending).
+  Result<CubeCoords> EncodeRow(const std::vector<std::string>& dims);
+
+  /// Encodes a string filter: empty string = unconstrained dimension.
+  /// Unknown values yield an error (nothing to match).
+  Result<CubeFilter> EncodeFilter(const std::vector<std::string>& dims) const;
+
+  /// Decodes one dimension value id (thread-safe dictionary read).
+  Result<std::string> DecodeValue(size_t dim, uint32_t id) const;
+
+  // ------------------------------------------------------------- epochs
+
+  /// Synchronously drains all shards and publishes a fresh snapshot
+  /// covering every row appended before this call.
+  std::shared_ptr<const CubeSnapshot> Flush() { return publisher_->Publish(); }
+
+  /// The latest published snapshot. Hold the handle to run several
+  /// queries against one consistent state.
+  std::shared_ptr<const CubeSnapshot> Snapshot() const {
+    return publisher_->Current();
+  }
+
+  /// Background epoch publication at options.epoch_interval.
+  void StartPublisher() { publisher_->Start(); }
+  void StopPublisher() { publisher_->Stop(); }
+
+  /// Called after every non-empty publish with the new snapshot (e.g.
+  /// the sliding-window pane feed). Set before StartPublisher().
+  void SetEpochSink(EpochPublisher::EpochSink sink) {
+    publisher_->SetEpochSink(std::move(sink));
+  }
+
+  // ------------------------------------------------------------ queries
+  //
+  // Convenience wrappers that run against the latest snapshot. Each
+  // call pins the snapshot for its own duration only; hold Snapshot()
+  // yourself for multi-query consistency.
+
+  MomentsSummary QueryWhere(const CubeFilter& filter,
+                            CubeStore::QueryStats* stats = nullptr) const;
+  Result<double> QueryQuantile(const CubeFilter& filter, double phi) const;
+  std::vector<GroupQuantiles> GroupByQuantiles(
+      const std::vector<size_t>& group_dims, const std::vector<double>& phis,
+      const BatchOptions& options = BatchOptions(),
+      BatchStats* stats = nullptr) const;
+  std::vector<GroupThreshold> GroupByThreshold(
+      const std::vector<size_t>& group_dims, double phi, double t,
+      const BatchOptions& options = BatchOptions(),
+      BatchStats* stats = nullptr) const;
+
+  // --------------------------------------------------------- accounting
+
+  /// Rows appended across all shards (includes rows not yet published).
+  uint64_t rows_appended() const;
+  /// Rows covered by the latest published snapshot.
+  uint64_t rows_published() const { return Snapshot()->rows(); }
+  /// The staleness bound: appended-but-not-yet-published rows. Zero
+  /// right after Flush() (with writers paused).
+  uint64_t staleness_rows() const {
+    // Read the published count first: rows only move appended ->
+    // published, so this ordering can only over-report staleness, never
+    // report published rows as missing.
+    const uint64_t published = rows_published();
+    return rows_appended() - published;
+  }
+  uint64_t last_published_epoch() const { return Snapshot()->epoch; }
+
+  size_t num_dims() const { return num_dims_; }
+  size_t num_shards() const { return shards_.size(); }
+  int k() const { return prototype_k_; }
+  const MaxEntOptions& estimator_options() const { return options_maxent_; }
+
+ private:
+  const size_t num_dims_;
+  const int prototype_k_;
+  const MaxEntOptions options_maxent_;
+  const IngestOptions options_;
+
+  // Dictionaries are read-mostly: Find under a shared lock, falling
+  // back to an exclusive lock only to intern a new value.
+  mutable std::shared_mutex dict_mu_;
+  std::vector<Dictionary> dicts_;
+
+  std::vector<std::unique_ptr<IngestShard>> shards_;
+  std::unique_ptr<EpochPublisher> publisher_;
+};
+
+}  // namespace msketch
+
+#endif  // MSKETCH_INGEST_STREAMING_CUBE_H_

@@ -38,6 +38,22 @@ void ParallelShards(size_t n, int threads, Fn&& fn) {
   for (std::thread& w : workers) w.join();
 }
 
+/// Spawns exactly `workers` threads running fn(worker_index) and joins
+/// them all. Unlike ParallelShards there is no inline fast path: each
+/// worker is a real thread even for workers == 1, which is what the
+/// concurrent ingest tests and benches need (they measure and stress
+/// actual cross-thread interleavings, not sharded loops).
+template <typename Fn>
+void RunWorkers(int workers, Fn&& fn) {
+  MSKETCH_CHECK(workers >= 1);
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&fn, w]() { fn(w); });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
 }  // namespace msketch
 
 #endif  // MSKETCH_PARALLEL_PARALLEL_FOR_H_

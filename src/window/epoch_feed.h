@@ -1,0 +1,80 @@
+// Pane feed from ingest epochs: adapts the streaming ingest engine's
+// per-epoch delta sketches into sliding-window panes.
+//
+// The epoch publisher produces one delta sketch per published epoch (the
+// merged contribution of the rows that arrived in that epoch). Epochs
+// are time-driven, so their row counts are irregular — idle periods
+// publish empty deltas and bursts publish large ones. The feed coalesces
+// consecutive epoch deltas until a pane holds at least `min_pane_rows`
+// rows, then pushes the pane into the window, so the window's panes stay
+// comparable in weight regardless of epoch cadence. With the default
+// min_pane_rows = 1, every non-empty epoch becomes one pane (empty
+// epochs are always skipped).
+//
+// Works with any window whose PushPane(const MomentsSketch&) returns
+// Status (TurnstileWindow and SlabWindow in sliding_window.h).
+#ifndef MSKETCH_WINDOW_EPOCH_FEED_H_
+#define MSKETCH_WINDOW_EPOCH_FEED_H_
+
+#include <cstdint>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "core/moments_sketch.h"
+
+namespace msketch {
+
+template <typename Window>
+class EpochPaneFeed {
+ public:
+  /// `window` must outlive the feed.
+  explicit EpochPaneFeed(Window* window, uint64_t min_pane_rows = 1)
+      : window_(window), min_pane_rows_(min_pane_rows) {
+    MSKETCH_CHECK(window != nullptr);
+    MSKETCH_CHECK(min_pane_rows >= 1);
+  }
+
+  /// Folds one epoch's delta into the pending pane; pushes the pane into
+  /// the window once it holds at least min_pane_rows rows. Empty deltas
+  /// are skipped outright.
+  Status OnEpochDelta(const MomentsSketch& delta) {
+    if (delta.count() == 0) return Status::OK();
+    if (pending_.count() == 0) {
+      pending_ = delta;
+    } else {
+      Status s = pending_.Merge(delta);
+      if (!s.ok()) return s;
+    }
+    if (pending_.count() < min_pane_rows_) return Status::OK();
+    return PushPending();
+  }
+
+  /// Pushes a partial pane (fewer than min_pane_rows rows), e.g. at end
+  /// of stream. No-op when nothing is pending.
+  Status FlushPane() {
+    if (pending_.count() == 0) return Status::OK();
+    return PushPending();
+  }
+
+  uint64_t panes_pushed() const { return panes_pushed_; }
+  uint64_t pending_rows() const { return pending_.count(); }
+
+ private:
+  Status PushPending() {
+    Status s = window_->PushPane(pending_);
+    if (s.ok()) {
+      pending_ = pending_.CloneEmpty();
+      ++panes_pushed_;
+    }
+    return s;
+  }
+
+  Window* window_;
+  uint64_t min_pane_rows_;
+  MomentsSketch pending_{1};  // re-created at the incoming delta's order
+  uint64_t panes_pushed_ = 0;
+};
+
+}  // namespace msketch
+
+#endif  // MSKETCH_WINDOW_EPOCH_FEED_H_

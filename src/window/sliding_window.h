@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/status.h"
 #include "core/moments_sketch.h"
 
 namespace msketch {
@@ -28,15 +29,21 @@ class TurnstileWindow {
     MSKETCH_CHECK(window_panes >= 1);
   }
 
-  /// Slides the window forward by one pane.
-  void PushPane(const MomentsSketch& pane) {
-    MSKETCH_CHECK(agg_.Merge(pane).ok());
+  /// Slides the window forward by one pane. A merge/subtract failure
+  /// (mismatched sketch order) leaves the window unchanged and is
+  /// reported rather than aborting — streaming feeds push panes from
+  /// data the process does not control.
+  Status PushPane(const MomentsSketch& pane) {
+    Status s = agg_.Merge(pane);
+    if (!s.ok()) return s;
     panes_.push_back(pane);
     if (panes_.size() > window_panes_) {
-      MSKETCH_CHECK(agg_.Subtract(panes_.front()).ok());
+      s = agg_.Subtract(panes_.front());
+      if (!s.ok()) return s;
       panes_.pop_front();
     }
     RefreshRange();
+    return Status::OK();
   }
 
   bool Full() const { return panes_.size() == window_panes_; }
@@ -47,8 +54,12 @@ class TurnstileWindow {
 
  private:
   void RefreshRange() {
-    double mn = panes_.front().min();
-    double mx = panes_.front().max();
+    // Seed from infinities and let only non-empty panes contribute: an
+    // empty pane contributes no data, so its tracked range — sentinel or
+    // stale (e.g. left over from subtraction) — must not poison the
+    // window extrema.
+    double mn = std::numeric_limits<double>::infinity();
+    double mx = -std::numeric_limits<double>::infinity();
     for (const MomentsSketch& p : panes_) {
       if (p.count() == 0) continue;
       mn = std::min(mn, p.min());
@@ -93,8 +104,10 @@ class SlabWindow {
   /// Single-slot updates route through the SIMD kernels' scalar tails
   /// (a one-element batch never enters the lane-structured main loop),
   /// which is what preserves that bit-identity.
-  void PushPane(const MomentsSketch& pane) {
-    MSKETCH_CHECK(pane.k() == k_);
+  Status PushPane(const MomentsSketch& pane) {
+    if (pane.k() != k_) {
+      return Status::InvalidArgument("SlabWindow: mismatched order k");
+    }
     const uint32_t slot = static_cast<uint32_t>(head_);
     for (int i = 0; i < k_; ++i) {
       power_cols_[i][slot] = pane.power_sums()[i];
@@ -104,16 +117,19 @@ class SlabWindow {
     log_counts_[slot] = pane.log_count();
     mins_[slot] = pane.min();
     maxs_[slot] = pane.max();
-    MSKETCH_CHECK(agg_.MergeFlatFast(Columns(), &slot, 1).ok());
+    Status s = agg_.MergeFlatFast(Columns(), &slot, 1);
+    if (!s.ok()) return s;
     head_ = (head_ + 1) % capacity_;
     ++live_;
     if (live_ > window_panes_) {
       const uint32_t oldest = static_cast<uint32_t>(tail_);
-      MSKETCH_CHECK(agg_.SubtractFlatFast(Columns(), &oldest, 1).ok());
+      s = agg_.SubtractFlatFast(Columns(), &oldest, 1);
+      if (!s.ok()) return s;
       tail_ = (tail_ + 1) % capacity_;
       --live_;
     }
     RefreshRange();
+    return Status::OK();
   }
 
   bool Full() const { return live_ == window_panes_; }

@@ -1,0 +1,74 @@
+// Direct coverage for cube/dictionary.h: interning, encode/decode
+// round-trips, and lookup error paths (previously only exercised
+// indirectly through the bench harnesses).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cube/dictionary.h"
+
+namespace msketch {
+namespace {
+
+TEST(DictionaryTest, InternAssignsDenseIdsInFirstSightOrder) {
+  Dictionary dict;
+  EXPECT_EQ(dict.size(), 0u);
+  EXPECT_EQ(dict.Intern("alpha"), 0u);
+  EXPECT_EQ(dict.Intern("beta"), 1u);
+  EXPECT_EQ(dict.Intern("gamma"), 2u);
+  EXPECT_EQ(dict.size(), 3u);
+}
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary dict;
+  const uint32_t id = dict.Intern("value");
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(dict.Intern("value"), id);
+  }
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(DictionaryTest, EncodeDecodeRoundTripsManyValues) {
+  Dictionary dict;
+  std::vector<std::string> values;
+  for (int i = 0; i < 1000; ++i) {
+    values.push_back("dim-value-" + std::to_string(i * 7919 % 1000));
+  }
+  std::vector<uint32_t> ids;
+  ids.reserve(values.size());
+  for (const auto& v : values) ids.push_back(dict.Intern(v));
+  for (size_t i = 0; i < values.size(); ++i) {
+    // Decode returns the exact interned string...
+    EXPECT_EQ(dict.ValueOf(ids[i]), values[i]);
+    // ...and re-encoding (via lookup or intern) returns the same id.
+    auto found = dict.Find(values[i]);
+    ASSERT_TRUE(found.ok());
+    EXPECT_EQ(found.value(), ids[i]);
+    EXPECT_EQ(dict.Intern(values[i]), ids[i]);
+  }
+}
+
+TEST(DictionaryTest, FindDoesNotIntern) {
+  Dictionary dict;
+  dict.Intern("known");
+  auto missing = dict.Find("unknown");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(dict.size(), 1u);  // the failed lookup added nothing
+  auto hit = dict.Find("known");
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit.value(), 0u);
+}
+
+TEST(DictionaryTest, EmptyStringIsAnOrdinaryValue) {
+  Dictionary dict;
+  const uint32_t id = dict.Intern("");
+  EXPECT_EQ(dict.ValueOf(id), "");
+  auto found = dict.Find("");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value(), id);
+}
+
+}  // namespace
+}  // namespace msketch

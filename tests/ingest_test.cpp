@@ -1,0 +1,482 @@
+// Concurrent streaming ingest engine tests: shard drain determinism,
+// snapshot bit-identity against a single-writer cube, query-while-ingest
+// invariants under multi-threaded stress (the TSan target), epoch
+// reclamation, dictionary-encoded appends, and the epoch pane feed.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/moments_summary.h"
+#include "cube/cube_store.h"
+#include "cube/data_cube.h"
+#include "ingest/epoch_publisher.h"
+#include "ingest/ingest_shard.h"
+#include "ingest/streaming_cube.h"
+#include "parallel/parallel_for.h"
+#include "window/epoch_feed.h"
+#include "window/sliding_window.h"
+
+namespace msketch {
+namespace {
+
+constexpr size_t kDims = 3;
+
+struct Row {
+  CubeCoords coords;
+  double value;
+};
+
+CubeCoords RandomCoords(Rng* rng) {
+  return {static_cast<uint32_t>(rng->NextBelow(5)),
+          static_cast<uint32_t>(rng->NextBelow(4)),
+          static_cast<uint32_t>(rng->NextBelow(3))};
+}
+
+/// Arbitrary continuous values: exercises the FP-sensitive paths.
+std::vector<Row> MakeLognormalRows(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Row> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    rows.push_back(Row{RandomCoords(&rng), rng.NextLognormal(0.5, 0.6)});
+  }
+  return rows;
+}
+
+/// Exact-arithmetic values: small mixed-sign integers whose only
+/// positive member is 1.0 (log sums stay exactly zero), so every
+/// floating-point addition in the pipeline is exact and the final state
+/// is bit-identical under ANY accumulation or merge order — the
+/// property the concurrent stress test relies on.
+std::vector<Row> MakeExactRows(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Row> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    double v = static_cast<double>(1 + rng.NextBelow(8));  // 1..8
+    if (rng.NextBelow(3) != 0) v = -v;  // negatives keep log sums at 0
+    if (v > 1.0) v = 1.0;               // sole positive value is 1.0
+    rows.push_back(Row{RandomCoords(&rng), v});
+  }
+  return rows;
+}
+
+/// Reference: single-writer columnar cube fed `rows` in order.
+DataCube<MomentsSummary> BuildReference(const std::vector<Row>& rows) {
+  DataCube<MomentsSummary> cube(kDims, MomentsSummary(10));
+  for (const Row& r : rows) cube.Ingest(r.coords, r.value);
+  return cube;
+}
+
+/// Per-cell state keyed by coordinates (cell ids differ between a
+/// streaming snapshot and the reference cube, coordinates do not).
+std::unordered_map<CubeCoords, MomentsSketch, CubeCoordsHash> CellsByCoords(
+    const CubeStore& store) {
+  std::unordered_map<CubeCoords, MomentsSketch, CubeCoordsHash> out;
+  out.reserve(store.num_cells());
+  for (uint32_t id = 0; id < store.num_cells(); ++id) {
+    out.emplace(store.CoordsOf(id), store.CellSketch(id));
+  }
+  return out;
+}
+
+void ExpectCellsIdentical(const CubeStore& got, const CubeStore& want) {
+  ASSERT_EQ(got.num_cells(), want.num_cells());
+  ASSERT_EQ(got.num_rows(), want.num_rows());
+  auto got_cells = CellsByCoords(got);
+  auto want_cells = CellsByCoords(want);
+  for (const auto& [coords, sketch] : want_cells) {
+    auto it = got_cells.find(coords);
+    ASSERT_NE(it, got_cells.end());
+    EXPECT_TRUE(it->second.IdenticalTo(sketch));
+  }
+}
+
+// ---------------------------------------------------------- IngestShard
+
+// A drained delta is bit-identical to accumulating the same per-cell
+// value sequence in order (AccumulateBatch's bit-identity, preserved
+// through the pending-buffer chunking).
+TEST(IngestShardTest, DrainMatchesInOrderAccumulate) {
+  IngestShard shard(kDims, 10, /*batch_size=*/7);
+  auto rows = MakeLognormalRows(5000, 11);
+  std::unordered_map<CubeCoords, MomentsSketch, CubeCoordsHash> direct;
+  for (const Row& r : rows) {
+    shard.Append(r.coords, r.value);
+    auto it = direct.find(r.coords);
+    if (it == direct.end()) {
+      it = direct.emplace(r.coords, MomentsSketch(10)).first;
+    }
+    it->second.Accumulate(r.value);
+  }
+  EXPECT_EQ(shard.rows_appended(), rows.size());
+  auto drained = shard.Drain();
+  ASSERT_EQ(drained.size(), direct.size());
+  for (const auto& dc : drained) {
+    EXPECT_TRUE(dc.sketch.IdenticalTo(direct.at(dc.coords)));
+  }
+  // The shard is empty after a drain.
+  EXPECT_TRUE(shard.Drain().empty());
+}
+
+// AppendBatch == the equivalent Append loop, including the buffer
+// top-up and tail paths around the batch_size boundary.
+TEST(IngestShardTest, AppendBatchBitIdenticalToAppendLoop) {
+  auto rows = MakeLognormalRows(1, 17);
+  const CubeCoords coords = rows[0].coords;
+  Rng rng(19);
+  std::vector<double> values;
+  for (int i = 0; i < 331; ++i) values.push_back(rng.NextLognormal(0.0, 1.0));
+
+  IngestShard batched(kDims, 10, 64), looped(kDims, 10, 64);
+  // Pre-load three values so AppendBatch starts from a partial buffer.
+  for (int i = 0; i < 3; ++i) {
+    batched.Append(coords, values[i]);
+    looped.Append(coords, values[i]);
+  }
+  batched.AppendBatch(coords, values.data() + 3, values.size() - 3);
+  for (size_t i = 3; i < values.size(); ++i) looped.Append(coords, values[i]);
+
+  auto a = batched.Drain();
+  auto b = looped.Drain();
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_TRUE(a[0].sketch.IdenticalTo(b[0].sketch));
+}
+
+// -------------------------------------------------- drained bit-identity
+
+// Concurrent writers with coordinate-hash routing, one final flush:
+// every cell is written by exactly one shard, so the drained snapshot is
+// bit-identical to a single-writer cube fed the same rows shard-major —
+// for arbitrary (not just exact-arithmetic) values.
+TEST(StreamingCubeTest, SingleFlushBitIdenticalToShardMajorReference) {
+  const size_t kShards = 4;
+  auto rows = MakeLognormalRows(60000, 23);
+
+  // Partition rows by the cube's own routing (coordinate hash).
+  std::vector<std::vector<Row>> per_shard(kShards);
+  for (const Row& r : rows) {
+    per_shard[CubeCoordsHash()(r.coords) % kShards].push_back(r);
+  }
+
+  IngestOptions options;
+  options.num_shards = kShards;
+  StreamingCube cube(kDims, MomentsSummary(10), options);
+  RunWorkers(static_cast<int>(kShards), [&](int w) {
+    for (const Row& r : per_shard[w]) cube.Append(r.coords, r.value);
+  });
+  auto snap = cube.Flush();
+  ASSERT_EQ(snap->rows(), rows.size());
+  EXPECT_EQ(cube.staleness_rows(), 0u);
+
+  std::vector<Row> shard_major;
+  shard_major.reserve(rows.size());
+  for (const auto& part : per_shard) {
+    shard_major.insert(shard_major.end(), part.begin(), part.end());
+  }
+  DataCube<MomentsSummary> reference = BuildReference(shard_major);
+  ExpectCellsIdentical(snap->store, reference.store());
+}
+
+// Epoch boundaries split each cell's value stream into several deltas;
+// totals and cells must still agree with the reference to FP
+// re-association (exactly on counts, min, max).
+TEST(StreamingCubeTest, MultiEpochConsistencyArbitraryValues) {
+  auto rows = MakeLognormalRows(30000, 31);
+  IngestOptions options;
+  options.num_shards = 2;
+  StreamingCube cube(kDims, MomentsSummary(10), options);
+  uint64_t epochs = 0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    cube.Append(rows[i].coords, rows[i].value);
+    if (i % 7000 == 6999) {
+      cube.Flush();
+      ++epochs;
+    }
+  }
+  auto snap = cube.Flush();
+  EXPECT_GE(snap->epoch, epochs);
+  ASSERT_EQ(snap->rows(), rows.size());
+
+  DataCube<MomentsSummary> reference = BuildReference(rows);
+  MomentsSketch got = snap->store.MergeAll();
+  MomentsSketch want = reference.store().MergeAll();
+  EXPECT_EQ(got.count(), want.count());
+  EXPECT_EQ(got.log_count(), want.log_count());
+  EXPECT_DOUBLE_EQ(got.min(), want.min());
+  EXPECT_DOUBLE_EQ(got.max(), want.max());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_NEAR(got.power_sums()[i], want.power_sums()[i],
+                1e-9 * std::fabs(want.power_sums()[i]));
+    EXPECT_NEAR(got.log_sums()[i], want.log_sums()[i],
+                1e-9 * std::max(1.0, std::fabs(want.log_sums()[i])));
+  }
+}
+
+// ------------------------------------------------- concurrent stress
+
+// The TSan target: 4 writers, a background publisher on a 1 ms cadence,
+// and 2 readers querying published snapshots while ingest runs. With
+// exact-arithmetic values the fully drained cube must be bit-identical
+// to the single-writer reference REGARDLESS of how appends, epoch
+// drains, and queries interleave.
+TEST(StreamingCubeTest, ConcurrentQueryWhileIngestStress) {
+  const size_t kShards = 4;
+  const size_t kRowsPerWriter = 30000;
+  std::vector<std::vector<Row>> per_writer;
+  std::vector<Row> all;
+  for (size_t w = 0; w < kShards; ++w) {
+    per_writer.push_back(
+        MakeExactRows(kRowsPerWriter, /*seed=*/100 + w));
+    all.insert(all.end(), per_writer[w].begin(), per_writer[w].end());
+  }
+
+  IngestOptions options;
+  options.num_shards = kShards;
+  options.epoch_interval = std::chrono::milliseconds(1);
+  StreamingCube cube(kDims, MomentsSummary(10), options);
+  cube.StartPublisher();
+
+  std::atomic<bool> writers_done{false};
+  std::atomic<uint64_t> reader_checks{0};
+  std::thread readers[2];
+  for (int r = 0; r < 2; ++r) {
+    readers[r] = std::thread([&, r] {
+      Rng rng(900 + r);
+      CubeFilter all_filter(kDims, kAnyValue);
+      uint64_t last_epoch = 0;
+      while (!writers_done.load(std::memory_order_acquire)) {
+        auto snap = cube.Snapshot();
+        // Epochs only move forward for any single reader.
+        ASSERT_GE(snap->epoch, last_epoch);
+        last_epoch = snap->epoch;
+        // A snapshot is internally consistent: the unconstrained query
+        // covers exactly the published rows, and published rows never
+        // exceed appended rows.
+        CubeStore::QueryStats stats;
+        MomentsSketch total = snap->store.QueryWhere(all_filter, &stats);
+        ASSERT_EQ(total.count(), snap->rows());
+        ASSERT_LE(snap->rows(), cube.rows_appended());
+        // Filtered query against the same pinned snapshot agrees with
+        // the exact reference path.
+        CubeFilter f(kDims, kAnyValue);
+        f[0] = static_cast<int64_t>(rng.NextBelow(5));
+        MomentsSketch planned = snap->store.QueryWhere(f);
+        MomentsSketch exact = snap->store.MergeWhere(f);
+        ASSERT_EQ(planned.count(), exact.count());
+        reader_checks.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  RunWorkers(static_cast<int>(kShards), [&](int w) {
+    for (const Row& r : per_writer[w]) {
+      // Hash routing: cells are shard-affine no matter which writer
+      // thread appends them.
+      cube.Append(r.coords, r.value);
+    }
+  });
+  writers_done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  cube.StopPublisher();
+  EXPECT_GT(reader_checks.load(), 0u);
+
+  auto snap = cube.Flush();
+  ASSERT_EQ(snap->rows(), all.size());
+  DataCube<MomentsSummary> reference = BuildReference(all);
+  ExpectCellsIdentical(snap->store, reference.store());
+  // Exact arithmetic: the merged totals are bit-identical too, in any
+  // interleaving — and the native-sum column agrees with the reference.
+  EXPECT_TRUE(snap->store.MergeAll().IdenticalTo(reference.MergeAll().sketch()));
+  const CubeFilter unfiltered(kDims, kAnyValue);
+  EXPECT_DOUBLE_EQ(snap->store.SumWhere(unfiltered),
+                   reference.SumWhere(unfiltered));
+}
+
+// ---------------------------------------------------- epochs + snapshots
+
+TEST(StreamingCubeTest, FlushWithNoNewDataReusesSnapshot) {
+  StreamingCube cube(kDims, MomentsSummary(10));
+  cube.Append({0, 0, 0}, 2.5);
+  auto a = cube.Flush();
+  auto b = cube.Flush();
+  EXPECT_EQ(a.get(), b.get());  // no data, no epoch spent
+  cube.Append({0, 0, 1}, 3.5);
+  auto c = cube.Flush();
+  EXPECT_NE(b.get(), c.get());
+  EXPECT_GT(c->epoch, b->epoch);
+}
+
+TEST(StreamingCubeTest, SnapshotQueriesUseRollupPlans) {
+  auto rows = MakeLognormalRows(20000, 41);
+  StreamingCube cube(kDims, MomentsSummary(10));
+  for (const Row& r : rows) cube.Append(r.coords, r.value);
+  auto snap = cube.Flush();
+  CubeStore::QueryStats stats;
+  MomentsSketch total =
+      snap->store.QueryWhere(CubeFilter(kDims, kAnyValue), &stats);
+  EXPECT_EQ(stats.plan, QueryPlan::kRollup);
+  EXPECT_EQ(total.count(), rows.size());
+
+  // Facade wrappers agree with the snapshot they pin.
+  MomentsSummary merged = cube.QueryWhere(CubeFilter(kDims, kAnyValue));
+  EXPECT_EQ(merged.count(), rows.size());
+  auto q = cube.QueryQuantile(CubeFilter(kDims, kAnyValue), 0.5);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_GT(q.value(), 0.0);
+
+  BatchStats bstats;
+  auto groups = cube.GroupByQuantiles({0}, {0.5}, BatchOptions(), &bstats);
+  EXPECT_EQ(groups.size(), 5u);
+  uint64_t group_rows = 0;
+  for (const auto& g : groups) group_rows += g.count;
+  EXPECT_EQ(group_rows, rows.size());
+}
+
+// A pinned snapshot keeps its buffer out of the pool: publishing can
+// proceed on the other buffer, but a third epoch must wait until the
+// pin is released (epoch-based reclamation, not copy-on-publish).
+TEST(StreamingCubeTest, PinnedSnapshotBlocksBufferReuseUntilReleased) {
+  StreamingCube cube(kDims, MomentsSummary(10));
+  cube.Append({1, 1, 1}, 1.0);
+  auto pinned = cube.Flush();
+  const uint64_t pinned_rows = pinned->rows();
+
+  cube.Append({1, 1, 2}, 2.0);
+  cube.Flush();  // other buffer; pinned stays valid
+
+  std::atomic<bool> third_done{false};
+  cube.Append({1, 2, 2}, 3.0);
+  std::thread publisher([&] {
+    cube.Flush();  // needs the pinned buffer -> waits
+    third_done.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(third_done.load(std::memory_order_acquire));
+  // The pinned snapshot is still fully queryable while the publisher
+  // waits on it.
+  EXPECT_EQ(pinned->rows(), pinned_rows);
+  EXPECT_EQ(pinned->store.MergeAll().count(), pinned_rows);
+  pinned.reset();  // release -> the blocked publish proceeds
+  publisher.join();
+  EXPECT_TRUE(third_done.load(std::memory_order_acquire));
+  EXPECT_EQ(cube.Snapshot()->rows(), 3u);
+}
+
+// A pool larger than two must still cycle every buffer through
+// publishes (FIFO reuse): otherwise an idle buffer pins the whole
+// batch history in memory. lag_batches() stays bounded by the pool
+// size, and no rows are lost across many epochs.
+TEST(EpochPublisherTest, ThreeBufferPoolBoundsBatchHistory) {
+  IngestShard shard(kDims, 10, 64);
+  IngestOptions options;
+  options.snapshot_buffers = 3;
+  EpochPublisher publisher(kDims, 10, options, {&shard});
+  auto rows = MakeLognormalRows(5000, 53);
+  size_t i = 0;
+  for (int epoch = 0; epoch < 50; ++epoch) {
+    for (int j = 0; j < 100; ++j, ++i) {
+      shard.Append(rows[i].coords, rows[i].value);
+    }
+    publisher.Publish();
+    EXPECT_LE(publisher.lag_batches(), options.snapshot_buffers);
+  }
+  EXPECT_EQ(publisher.Current()->rows(), i);
+}
+
+// Rows buffered in a shard before the publisher exists are drained by
+// the first Publish(), not silently dropped by the constructor's empty
+// epoch-0 snapshot.
+TEST(EpochPublisherTest, PreExistingShardRowsSurviveFirstPublish) {
+  IngestShard shard(kDims, 10, 64);
+  auto rows = MakeLognormalRows(1000, 59);
+  for (const Row& r : rows) shard.Append(r.coords, r.value);
+  EpochPublisher publisher(kDims, 10, IngestOptions(), {&shard});
+  EXPECT_EQ(publisher.Current()->rows(), 0u);  // epoch 0 is empty
+  auto snap = publisher.Publish();
+  EXPECT_EQ(snap->rows(), rows.size());
+  EXPECT_EQ(snap->store.MergeAll().count(), rows.size());
+}
+
+// ------------------------------------------------------- dictionaries
+
+TEST(StreamingCubeTest, DictionaryEncodedAppendAndFilter) {
+  StreamingCube cube(2, MomentsSummary(10));
+  ASSERT_TRUE(cube.AppendRow({"us-east", "checkout"}, 12.0).ok());
+  ASSERT_TRUE(cube.AppendRow({"us-east", "search"}, 3.0).ok());
+  ASSERT_TRUE(cube.AppendRow({"eu-west", "checkout"}, 7.0).ok());
+  EXPECT_FALSE(cube.AppendRow({"one-dim-only"}, 1.0).ok());
+  cube.Flush();
+
+  auto filter = cube.EncodeFilter({"us-east", ""});
+  ASSERT_TRUE(filter.ok());
+  EXPECT_EQ(cube.QueryWhere(filter.value()).count(), 2u);
+  auto both = cube.EncodeFilter({"", ""});
+  ASSERT_TRUE(both.ok());
+  EXPECT_EQ(cube.QueryWhere(both.value()).count(), 3u);
+  EXPECT_FALSE(cube.EncodeFilter({"ap-south", ""}).ok());  // never seen
+
+  auto coords = cube.EncodeRow({"eu-west", "checkout"});
+  ASSERT_TRUE(coords.ok());
+  auto name = cube.DecodeValue(0, coords.value()[0]);
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(name.value(), "eu-west");
+  EXPECT_FALSE(cube.DecodeValue(0, 999).ok());
+}
+
+// --------------------------------------------------------- pane feed
+
+// Epoch deltas feed a sliding window: after W epochs the window holds
+// exactly the rows of the last W epochs, and the feed skips empty
+// publishes.
+TEST(StreamingCubeTest, EpochPaneFeedDrivesSlabWindow) {
+  const size_t kWindow = 3;
+  SlabWindow window(10, kWindow);
+  EpochPaneFeed<SlabWindow> feed(&window);
+  StreamingCube cube(kDims, MomentsSummary(10));
+  cube.SetEpochSink([&](const CubeSnapshot& snap) {
+    ASSERT_TRUE(feed.OnEpochDelta(snap.epoch_delta).ok());
+  });
+
+  Rng rng(71);
+  const uint64_t kRowsPerEpoch = 500;
+  for (int e = 0; e < 6; ++e) {
+    for (uint64_t i = 0; i < kRowsPerEpoch; ++i) {
+      cube.Append(RandomCoords(&rng), rng.NextLognormal(0.0, 0.5));
+    }
+    cube.Flush();
+  }
+  EXPECT_EQ(feed.panes_pushed(), 6u);
+  EXPECT_TRUE(window.Full());
+  EXPECT_EQ(window.Current().count(), kWindow * kRowsPerEpoch);
+}
+
+TEST(EpochPaneFeedTest, CoalescesSmallEpochsIntoPanes) {
+  TurnstileWindow window(10, 4);
+  EpochPaneFeed<TurnstileWindow> feed(&window, /*min_pane_rows=*/100);
+  MomentsSketch small(10);
+  for (int i = 0; i < 60; ++i) small.Accumulate(1.0 + i);
+  ASSERT_TRUE(feed.OnEpochDelta(small).ok());
+  EXPECT_EQ(feed.panes_pushed(), 0u);  // 60 rows buffered
+  ASSERT_TRUE(feed.OnEpochDelta(small).ok());
+  EXPECT_EQ(feed.panes_pushed(), 1u);  // 120 rows -> one pane
+  EXPECT_EQ(window.Current().count(), 120u);
+  MomentsSketch empty(10);
+  ASSERT_TRUE(feed.OnEpochDelta(empty).ok());  // skipped
+  EXPECT_EQ(feed.pending_rows(), 0u);
+  ASSERT_TRUE(feed.OnEpochDelta(small).ok());
+  ASSERT_TRUE(feed.FlushPane().ok());  // partial pane on demand
+  EXPECT_EQ(feed.panes_pushed(), 2u);
+  EXPECT_EQ(window.Current().count(), 180u);
+}
+
+}  // namespace
+}  // namespace msketch

@@ -191,7 +191,7 @@ TEST_P(WindowSizeTest, TurnstileEqualsRemergeAtAllSizes) {
     for (int i = 0; i < n; ++i) {
       pane.Accumulate(rng.NextLognormal(0.1 * (step % 5), 0.7));
     }
-    turnstile.PushPane(pane);
+    ASSERT_TRUE(turnstile.PushPane(pane).ok());
     remerge.PushPane(pane);
     MomentsSketch expect = remerge.Current();
     const MomentsSketch& got = turnstile.Current();

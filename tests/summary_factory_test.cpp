@@ -1,0 +1,108 @@
+// Direct coverage for sketches/summary_factory.h: every registered
+// summary type constructs through the factory, behaves as a usable
+// quantile summary (accumulate / merge / estimate / clone), and the
+// error paths reject bad names and parameters.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sketches/quantile_summary.h"
+#include "sketches/summary_factory.h"
+
+namespace msketch {
+namespace {
+
+struct FactoryCase {
+  const char* name;
+  double param;
+};
+
+// Every name summary_factory.cpp registers, with a sensible parameter.
+const std::vector<FactoryCase>& AllCases() {
+  static const std::vector<FactoryCase> cases = {
+      {"Merge12", 32},  {"RandomW", 32},  {"GK", 50},
+      {"T-Digest", 100}, {"Sampling", 512}, {"S-Hist", 64},
+      {"EW-Hist", 64},   {"Exact", 0},
+  };
+  return cases;
+}
+
+TEST(SummaryFactoryTest, ConstructsEveryRegisteredType) {
+  for (const FactoryCase& c : AllCases()) {
+    auto made = MakeSummary(c.name, c.param);
+    ASSERT_TRUE(made.ok()) << c.name << ": " << made.status().ToString();
+    EXPECT_EQ((*made)->Name(), c.name);
+    EXPECT_EQ((*made)->count(), 0u);
+  }
+}
+
+TEST(SummaryFactoryTest, EverySummaryEstimatesAfterAccumulate) {
+  for (const FactoryCase& c : AllCases()) {
+    auto made = MakeSummary(c.name, c.param);
+    ASSERT_TRUE(made.ok()) << c.name;
+    QuantileSummary& s = **made;
+    Rng rng(7);
+    std::vector<double> data;
+    for (int i = 0; i < 4000; ++i) {
+      data.push_back(rng.NextLognormal(0.0, 0.5));
+    }
+    for (double x : data) s.Accumulate(x);
+    EXPECT_EQ(s.count(), data.size()) << c.name;
+    EXPECT_GT(s.SizeBytes(), 0u) << c.name;
+    std::sort(data.begin(), data.end());
+    auto q = s.EstimateQuantile(0.5);
+    ASSERT_TRUE(q.ok()) << c.name << ": " << q.status().ToString();
+    // Loose sanity bound only — accuracy per type is benchmarked, not
+    // unit-tested: the estimate lands inside the central data mass.
+    EXPECT_GE(q.value(), data.front()) << c.name;
+    EXPECT_LE(q.value(), data.back()) << c.name;
+  }
+}
+
+TEST(SummaryFactoryTest, CloneEmptyPreservesTypeAndMergeCompatibility) {
+  for (const FactoryCase& c : AllCases()) {
+    auto made = MakeSummary(c.name, c.param);
+    ASSERT_TRUE(made.ok()) << c.name;
+    QuantileSummary& a = **made;
+    for (int i = 1; i <= 100; ++i) a.Accumulate(static_cast<double>(i));
+    std::unique_ptr<QuantileSummary> b = a.CloneEmpty();
+    EXPECT_EQ(b->Name(), a.Name());
+    EXPECT_EQ(b->count(), 0u);
+    for (int i = 101; i <= 200; ++i) b->Accumulate(static_cast<double>(i));
+    ASSERT_TRUE(b->Merge(a).ok()) << c.name;
+    EXPECT_EQ(b->count(), 200u) << c.name;
+  }
+}
+
+TEST(SummaryFactoryTest, MergeRejectsMismatchedConcreteTypes) {
+  auto gk = MakeSummary("GK", 50);
+  auto td = MakeSummary("T-Digest", 100);
+  ASSERT_TRUE(gk.ok());
+  ASSERT_TRUE(td.ok());
+  EXPECT_FALSE((*gk)->Merge(**td).ok());
+}
+
+TEST(SummaryFactoryTest, RejectsUnknownNameAndBadParams) {
+  auto unknown = MakeSummary("No-Such-Sketch", 10);
+  EXPECT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kInvalidArgument);
+  // GK requires 1/epsilon > 1.
+  EXPECT_FALSE(MakeSummary("GK", 0.5).ok());
+}
+
+TEST(SummaryFactoryTest, OddBufferSizesRoundUpToEven) {
+  // Merge12/RandomW require an even k; the factory rounds odd up.
+  for (const char* name : {"Merge12", "RandomW"}) {
+    auto made = MakeSummary(name, 31);
+    ASSERT_TRUE(made.ok()) << name;
+    (*made)->Accumulate(1.0);
+    EXPECT_EQ((*made)->count(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace msketch

@@ -117,7 +117,7 @@ TEST(SlidingWindowTest, TurnstileMatchesRemerge) {
   for (int step = 0; step < 40; ++step) {
     MomentsSketch pane = MakePane(&rng, 1.0 + 0.1 * (step % 7));
     history.push_back(pane);
-    window.PushPane(pane);
+    ASSERT_TRUE(window.PushPane(pane).ok());
     if (!window.Full()) continue;
 
     MomentsSketch expect(10);
@@ -140,7 +140,7 @@ TEST(SlidingWindowTest, TurnstileQuantilesUsable) {
   Rng rng(73);
   TurnstileWindow window(10, 4);
   for (int step = 0; step < 10; ++step) {
-    window.PushPane(MakePane(&rng, 1.0));
+    ASSERT_TRUE(window.PushPane(MakePane(&rng, 1.0)).ok());
   }
   ASSERT_TRUE(window.Full());
   auto dist = SolveMaxEnt(window.Current());
@@ -157,7 +157,7 @@ TEST(SlidingWindowTest, RemergeWindowMatchesTurnstile) {
   RemergeWindow<MomentsSketch> remerge(MomentsSketch(10), w);
   for (int step = 0; step < 20; ++step) {
     MomentsSketch pane = MakePane(&rng, 1.0 + 0.05 * step);
-    turnstile.PushPane(pane);
+    ASSERT_TRUE(turnstile.PushPane(pane).ok());
     remerge.PushPane(pane);
   }
   MomentsSketch a = remerge.Current();
@@ -184,7 +184,7 @@ TEST(SlidingWindowTest, DetectsInjectedSpike) {
     if (spike) {
       for (int i = 0; i < 60; ++i) pane.Accumulate(2000.0);
     }
-    window.PushPane(pane);
+    ASSERT_TRUE(window.PushPane(pane).ok());
     if (!window.Full()) continue;
     alerts.push_back(cascade.Threshold(window.Current(), 0.99, 1500.0));
   }
@@ -211,8 +211,8 @@ TEST(SlidingWindowTest, SlabWindowIdenticalToTurnstile) {
   SlabWindow slab(10, w);
   for (int step = 0; step < 40; ++step) {
     MomentsSketch pane = MakePane(&rng, 1.0 + 0.1 * (step % 5));
-    turnstile.PushPane(pane);
-    slab.PushPane(pane);
+    ASSERT_TRUE(turnstile.PushPane(pane).ok());
+    ASSERT_TRUE(slab.PushPane(pane).ok());
     EXPECT_EQ(slab.Full(), turnstile.Full());
     EXPECT_EQ(slab.size(), turnstile.size());
     EXPECT_TRUE(slab.Current().IdenticalTo(turnstile.Current()))
@@ -224,12 +224,43 @@ TEST(SlidingWindowTest, SlabWindowQuantilesUsable) {
   Rng rng(79);
   SlabWindow window(10, 4);
   for (int step = 0; step < 9; ++step) {
-    window.PushPane(MakePane(&rng, 1.0));
+    ASSERT_TRUE(window.PushPane(MakePane(&rng, 1.0)).ok());
   }
   ASSERT_TRUE(window.Full());
   auto dist = SolveMaxEnt(window.Current());
   ASSERT_TRUE(dist.ok()) << dist.status().ToString();
   EXPECT_NEAR(dist->Quantile(0.5), 1.0, 0.15);
+}
+
+// An empty pane whose tracked range is stale (real-looking numbers left
+// over from subtraction / SetRange) contributes no data and must not
+// poison the window extrema.
+TEST(SlidingWindowTest, EmptyPaneStaleRangeDoesNotPoisonExtrema) {
+  TurnstileWindow window(10, 4);
+  MomentsSketch empty(10);
+  empty.SetRange(-500.0, 9000.0);  // stale, no data behind it
+  ASSERT_TRUE(window.PushPane(empty).ok());
+  MomentsSketch data(10);
+  for (int i = 0; i < 100; ++i) data.Accumulate(2.0 + (i % 5));
+  ASSERT_TRUE(window.PushPane(data).ok());
+  EXPECT_DOUBLE_EQ(window.Current().min(), 2.0);
+  EXPECT_DOUBLE_EQ(window.Current().max(), 6.0);
+}
+
+TEST(SlidingWindowTest, PushPaneReportsMismatchedOrder) {
+  TurnstileWindow turnstile(10, 4);
+  SlabWindow slab(10, 4);
+  MomentsSketch wrong(6);
+  wrong.Accumulate(1.0);
+  EXPECT_FALSE(turnstile.PushPane(wrong).ok());
+  EXPECT_FALSE(slab.PushPane(wrong).ok());
+  // The failed push left both windows usable.
+  MomentsSketch good(10);
+  good.Accumulate(3.0);
+  EXPECT_TRUE(turnstile.PushPane(good).ok());
+  EXPECT_TRUE(slab.PushPane(good).ok());
+  EXPECT_EQ(turnstile.Current().count(), 1u);
+  EXPECT_TRUE(slab.Current().IdenticalTo(turnstile.Current()));
 }
 
 // ------------------------------------------------------------- Parallel
