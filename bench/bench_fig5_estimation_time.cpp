@@ -160,97 +160,151 @@ void RegisterAll() {
   }
 }
 
-// --------------------------------------- warm-vs-cold batch estimation
+// ------------------------------- batched estimation: lane vs scalar
 //
-// The acceptance experiment for the batched pipeline: G drifting
-// lognormal groups, solved (a) by a cold per-group loop and (b) by
-// GroupByQuantiles with similarity-ordered warm-start chains and a
-// per-batch solver cache. Reports wall clock per group, mean Newton
-// iterations, the BatchStats tier counters, and the worst quantile
-// deviation between the two paths.
-void RunWarmVsColdSection(size_t groups, int threads) {
+// The acceptance experiment for the estimation engines. Two workloads
+// (drifting lognormal cohorts; uniform cells — the lane solver's
+// packing benchmark), three paths each:
+//
+//   cold    per-group SolveMaxEnt loop (the PR-2 baseline)
+//   scalar  GroupByQuantiles, warm chains + cache, lane solver OFF
+//   lane    GroupByQuantiles with the lane-batched SIMD Newton solver
+//
+// Reports wall clock per group, groups/s, the BatchStats lane counters
+// (occupancy, packed solves, fallbacks), and the worst quantile
+// deviation of the lane path against the scalar chain. Everything lands
+// in BENCH_fig5.json.
+struct BatchRunResult {
+  std::vector<double> ms;  // per-rep wall clock
+  BatchStats stats;
+  std::vector<GroupQuantiles> results;
+};
+
+BatchRunResult RunBatch(const DataCube<MomentsSummary>& cube,
+                        const std::vector<double>& phis, bool lane,
+                        int threads, int reps) {
+  BatchRunResult out;
+  BatchOptions options;
+  options.use_lane_solver = lane;
+  options.threads = threads;
+  for (int r = 0; r < reps; ++r) {
+    BatchStats stats;
+    Timer t;
+    auto results = cube.GroupByQuantiles({0}, phis, options, &stats);
+    out.ms.push_back(t.Millis());
+    out.stats = stats;
+    out.results = std::move(results);
+  }
+  return out;
+}
+
+void RunBatchSolverSection(JsonReport* report, const char* workload,
+                           const DataCube<MomentsSummary>& cube,
+                           size_t groups, int threads, int reps) {
   std::printf(
       "\n-------------------------------------------------------------\n"
-      "warm-vs-cold batched estimation (%zu groups, %d thread%s)\n",
-      groups, threads, threads == 1 ? "" : "s");
+      "batched estimation, %s workload (%zu groups, %d thread%s)\n",
+      workload, groups, threads, threads == 1 ? "" : "s");
   const std::vector<double> phis = {0.5, 0.99};
-  const int rows_per_group = 200;
 
-  DataCube<MomentsSummary> cube =
-      BuildDriftingCohortCube(groups, rows_per_group);
-
-  // (a) cold loop: one independent solve per group.
-  std::vector<std::vector<double>> cold_q(groups);
-  std::vector<std::pair<int, int>> cold_k(groups, {0, 0});
+  // Cold loop: one independent solve per group (single rep; it is the
+  // slow baseline).
   uint64_t cold_newton = 0, cold_solved = 0;
   Timer tc;
-  cube.store().ForEachGroup({0}, [&](const CubeCoords& key,
+  cube.store().ForEachGroup({0}, [&](const CubeCoords&,
                                      const MomentsSketch& sketch) {
     auto dist = SolveMaxEnt(sketch);
     if (!dist.ok()) return;
     cold_newton +=
         static_cast<uint64_t>(dist->diagnostics().newton_iterations);
     ++cold_solved;
-    cold_q[key[0]] = dist->Quantiles(phis);
-    cold_k[key[0]] = {dist->diagnostics().k1, dist->diagnostics().k2};
   });
-  const double cold_s = tc.Seconds();
+  const double cold_ms = tc.Millis();
 
-  // (b) batched: similarity-ordered warm chains + per-batch cache.
-  BatchOptions options;
-  options.threads = threads;
-  BatchStats stats;
-  Timer tb;
-  auto batched = cube.GroupByQuantiles({0}, phis, options, &stats);
-  const double batch_s = tb.Seconds();
+  BatchRunResult scalar = RunBatch(cube, phis, /*lane=*/false, threads, reps);
+  BatchRunResult lane = RunBatch(cube, phis, /*lane=*/true, threads, reps);
 
-  // Deviation vs the cold loop. Two regimes: groups where both paths fit
-  // the same moment subset must agree to Newton tolerance; on
-  // near-degenerate groups a warm seed can converge where the cold zero
-  // start diverges and drops moments, so the warm answer fits a
-  // different (larger) subset — count those separately, keyed on the
-  // actual (k1, k2) diagnostics rather than the deviation size.
+  // Lane-vs-scalar parity: groups fitting the same moment subset must
+  // agree to Newton tolerance; subset changes (fallback chains dropping
+  // moments differently) are counted, not folded into the deviation.
   double max_rel_dev = 0.0;
   size_t subset_diff = 0;
-  for (const auto& r : batched) {
-    if (!r.status.ok() || cold_q[r.key[0]].empty()) continue;
-    double dev = 0.0;
-    for (size_t p = 0; p < phis.size(); ++p) {
-      const double qc = cold_q[r.key[0]][p];
-      const double denom = std::max(1.0, std::fabs(qc));
-      dev = std::max(dev, std::fabs(r.quantiles[p] - qc) / denom);
-    }
-    if (std::make_pair(r.k1, r.k2) != cold_k[r.key[0]]) {
+  for (size_t g = 0; g < lane.results.size(); ++g) {
+    const GroupQuantiles& rl = lane.results[g];
+    const GroupQuantiles& rs = scalar.results[g];
+    if (!rl.status.ok() || !rs.status.ok()) continue;
+    if (std::make_pair(rl.k1, rl.k2) != std::make_pair(rs.k1, rs.k2)) {
       ++subset_diff;
-    } else {
-      max_rel_dev = std::max(max_rel_dev, dev);
+      continue;
+    }
+    for (size_t p = 0; p < phis.size(); ++p) {
+      const double qs = rs.quantiles[p];
+      max_rel_dev = std::max(
+          max_rel_dev,
+          std::fabs(rl.quantiles[p] - qs) / std::max(1.0, std::fabs(qs)));
     }
   }
 
+  const double g = static_cast<double>(groups);
+  const double scalar_ms = MedianOf(scalar.ms);
+  const double lane_ms = MedianOf(lane.ms);
+  const double speedup = lane_ms > 0 ? scalar_ms / lane_ms : 0.0;
+  auto groups_per_s = [&](double ms) { return ms > 0 ? 1e3 * g / ms : 0.0; };
   std::printf(
-      "  cold loop : %8.3f s  (%7.1f us/group)  mean Newton iters %.2f\n",
-      cold_s, 1e6 * cold_s / static_cast<double>(groups),
+      "  cold loop   : %9.1f ms  (%7.1f us/group)  iters %.2f\n", cold_ms,
+      1e3 * cold_ms / g,
       cold_solved ? static_cast<double>(cold_newton) /
                         static_cast<double>(cold_solved)
                   : 0.0);
   std::printf(
-      "  batched   : %8.3f s  (%7.1f us/group)  mean Newton iters %.2f\n",
-      batch_s, 1e6 * batch_s / static_cast<double>(groups),
-      stats.MeanNewtonIterations());
+      "  scalar chain: %9.1f ms  (%7.1f us/group, %8.0f groups/s)  "
+      "iters %.2f\n",
+      scalar_ms, 1e3 * scalar_ms / g, groups_per_s(scalar_ms),
+      scalar.stats.MeanNewtonIterations());
   std::printf(
-      "  batch stats: cold %llu | warm %llu | cache hits %llu | atomic %llu "
-      "| failed %llu\n",
-      static_cast<unsigned long long>(stats.cold_solves),
-      static_cast<unsigned long long>(stats.warm_solves),
-      static_cast<unsigned long long>(stats.cache_hits),
-      static_cast<unsigned long long>(stats.atomic_fallbacks),
-      static_cast<unsigned long long>(stats.failed_solves));
+      "  lane solver : %9.1f ms  (%7.1f us/group, %8.0f groups/s)  "
+      "iters %.2f  -> %.2fx scalar chain\n",
+      lane_ms, 1e3 * lane_ms / g, groups_per_s(lane_ms),
+      lane.stats.MeanNewtonIterations(), speedup);
   std::printf(
-      "  max relative quantile deviation vs cold: %.3g  (same moment "
-      "subset)\n"
-      "  groups fitting a different subset than cold (warm seed converged "
-      "where cold dropped moments): %zu\n",
+      "  lane stats  : occupancy %.2f | packed %llu (%llu lanes) | "
+      "escalated %llu | fallbacks %llu | warm lanes %llu\n",
+      lane.stats.LaneOccupancy(),
+      static_cast<unsigned long long>(lane.stats.lane.packed_solves),
+      static_cast<unsigned long long>(lane.stats.lane.packed_lanes),
+      static_cast<unsigned long long>(lane.stats.lane.lane_escalated),
+      static_cast<unsigned long long>(lane.stats.lane.lane_fallbacks),
+      static_cast<unsigned long long>(lane.stats.lane.warm_lanes));
+  std::printf(
+      "  parity      : max relative quantile deviation vs scalar %.3g "
+      "(same subset); %zu group(s) fit a different subset\n",
       max_rel_dev, subset_diff);
+
+  const std::string section = std::string("batch_") + workload;
+  report->Add(section, "cold_loop", {cold_ms},
+              {{"groups", g}, {"groups_per_s", groups_per_s(cold_ms)}});
+  report->Add(section, "scalar_chain", scalar.ms,
+              {{"groups", g},
+               {"groups_per_s", groups_per_s(scalar_ms)},
+               {"mean_newton_iters", scalar.stats.MeanNewtonIterations()},
+               {"cache_hits",
+                static_cast<double>(scalar.stats.cache_hits)}});
+  report->Add(
+      section, "lane_solver", lane.ms,
+      {{"groups", g},
+       {"groups_per_s", groups_per_s(lane_ms)},
+       {"speedup_vs_scalar_chain", speedup},
+       {"lane_occupancy", lane.stats.LaneOccupancy()},
+       {"packed_solves",
+        static_cast<double>(lane.stats.lane.packed_solves)},
+       {"packed_lanes", static_cast<double>(lane.stats.lane.packed_lanes)},
+       {"lane_fallbacks",
+        static_cast<double>(lane.stats.lane.lane_fallbacks)},
+       {"lane_escalated",
+        static_cast<double>(lane.stats.lane.lane_escalated)},
+       {"mean_newton_iters", lane.stats.MeanNewtonIterations()},
+       {"max_rel_dev_vs_scalar", max_rel_dev},
+       {"subset_diffs", static_cast<double>(subset_diff)}});
 }
 
 }  // namespace
@@ -259,12 +313,15 @@ int main(int argc, char** argv) {
   // Strip our custom flags before google-benchmark sees argv.
   size_t batch_groups = 10'000;
   int batch_threads = 1;
+  int batch_reps = 3;
   std::vector<char*> passthrough;
   for (int i = 0; i < argc; ++i) {
     if (std::strncmp(argv[i], "--batch-groups=", 15) == 0) {
       batch_groups = static_cast<size_t>(std::atoll(argv[i] + 15));
     } else if (std::strncmp(argv[i], "--batch-threads=", 16) == 0) {
       batch_threads = std::atoi(argv[i] + 16);
+    } else if (std::strncmp(argv[i], "--batch-reps=", 13) == 0) {
+      batch_reps = std::atoi(argv[i] + 13);
     } else {
       passthrough.push_back(argv[i]);
     }
@@ -278,7 +335,19 @@ int main(int argc, char** argv) {
       "cold solves; M-Sketch-cached rows hit the solver cache.\n");
   benchmark::RunSpecifiedBenchmarks();
   if (batch_groups > 0) {
-    RunWarmVsColdSection(batch_groups, std::max(1, batch_threads));
+    JsonReport report("fig5");
+    const int threads = std::max(1, batch_threads);
+    const int reps = std::max(1, batch_reps);
+    {
+      auto cube = BuildDriftingCohortCube(batch_groups, 200);
+      RunBatchSolverSection(&report, "cohorts", cube, batch_groups, threads,
+                            reps);
+    }
+    {
+      auto cube = BuildUniformCellsCube(batch_groups, 200);
+      RunBatchSolverSection(&report, "uniform_cells", cube, batch_groups,
+                            threads, reps);
+    }
   }
   return 0;
 }

@@ -23,15 +23,18 @@ namespace {
 using namespace msketch;
 using namespace msketch::bench;
 
-// GROUP BY sweep: total estimation time vs number of groups, cold loop
-// vs batched pipeline (1 thread and hardware threads).
-void RunGroupCountSweep(const std::vector<uint64_t>& group_counts) {
+// GROUP BY sweep: total estimation time vs number of groups — cold
+// loop, scalar chain (lane solver off), lane-batched solver, and the
+// lane solver with hardware threads. Rows land in BENCH_fig6.json.
+void RunGroupCountSweep(JsonReport* report,
+                        const std::vector<uint64_t>& group_counts) {
   PrintHeader("Figure 6b: GROUP BY estimation time vs number of groups");
-  std::printf("cold = per-group SolveMaxEnt loop; batch = GroupByQuantiles\n"
-              "(warm chains + solver cache); batchN = same with threads\n\n");
-  std::printf("%10s %12s %12s %12s %10s %10s %12s\n", "groups", "cold(ms)",
-              "batch(ms)", "batchN(ms)", "it/cold", "it/batch",
-              "warm/cache");
+  std::printf(
+      "cold = per-group SolveMaxEnt loop; scalar = GroupByQuantiles warm\n"
+      "chains (lane solver off); lane = lane-batched SIMD Newton solver;\n"
+      "laneN = lane solver with threads\n\n");
+  std::printf("%10s %12s %12s %12s %12s %10s %8s\n", "groups", "cold(ms)",
+              "scalar(ms)", "lane(ms)", "laneN(ms)", "it/lane", "occ");
   const int hw = std::max(2u, std::thread::hardware_concurrency());
   for (uint64_t groups : group_counts) {
     DataCube<MomentsSummary> cube = BuildDriftingCohortCube(groups, 200);
@@ -48,33 +51,40 @@ void RunGroupCountSweep(const std::vector<uint64_t>& group_counts) {
       }
     });
     const double cold_ms = tc.Millis();
-    // Batched, one thread.
-    BatchOptions options;
-    BatchStats stats;
-    Timer tb;
-    auto results = cube.GroupByQuantiles({0}, {0.5, 0.99}, options, &stats);
-    const double batch_ms = tb.Millis();
-    // Batched, hardware threads.
-    BatchOptions threaded = options;
-    threaded.threads = hw;
-    BatchStats tstats;
-    Timer tt;
-    auto tresults =
-        cube.GroupByQuantiles({0}, {0.5, 0.99}, threaded, &tstats);
-    const double threaded_ms = tt.Millis();
-    MSKETCH_CHECK(results.size() == tresults.size());
-    std::printf(
-        "%10llu %12.1f %12.1f %12.1f %10.2f %10.2f %6llu/%-5llu\n",
-        static_cast<unsigned long long>(groups), cold_ms, batch_ms,
-        threaded_ms,
-        cold_solves ? static_cast<double>(cold_iters) /
-                          static_cast<double>(cold_solves)
-                    : 0.0,
-        stats.MeanNewtonIterations(),
-        static_cast<unsigned long long>(stats.warm_solves),
-        static_cast<unsigned long long>(stats.cache_hits));
+    auto run = [&](bool lane, int threads, BatchStats* stats) {
+      BatchOptions options;
+      options.use_lane_solver = lane;
+      options.threads = threads;
+      Timer t;
+      auto results = cube.GroupByQuantiles({0}, {0.5, 0.99}, options, stats);
+      MSKETCH_CHECK(results.size() == groups);
+      return t.Millis();
+    };
+    BatchStats scalar_stats, lane_stats, threaded_stats;
+    const double scalar_ms = run(false, 1, &scalar_stats);
+    const double lane_ms = run(true, 1, &lane_stats);
+    const double threaded_ms = run(true, hw, &threaded_stats);
+    std::printf("%10llu %12.1f %12.1f %12.1f %12.1f %10.2f %8.2f\n",
+                static_cast<unsigned long long>(groups), cold_ms, scalar_ms,
+                lane_ms, threaded_ms, lane_stats.MeanNewtonIterations(),
+                lane_stats.LaneOccupancy());
+    const double g = static_cast<double>(groups);
+    char name[32];
+    std::snprintf(name, sizeof(name), "groups_%llu",
+                  static_cast<unsigned long long>(groups));
+    report->Add(
+        "group_sweep", name, {lane_ms},
+        {{"groups", g},
+         {"cold_ms", cold_ms},
+         {"scalar_chain_ms", scalar_ms},
+         {"lane_ms", lane_ms},
+         {"lane_threaded_ms", threaded_ms},
+         {"speedup_vs_scalar_chain",
+          lane_ms > 0 ? scalar_ms / lane_ms : 0.0},
+         {"lane_occupancy", lane_stats.LaneOccupancy()},
+         {"mean_newton_iters_lane", lane_stats.MeanNewtonIterations()}});
   }
-  std::printf("\n(batchN uses %d threads)\n", hw);
+  std::printf("\n(laneN uses %d threads)\n", hw);
 }
 
 }  // namespace
@@ -129,6 +139,7 @@ int main(int argc, char** argv) {
 
   std::vector<uint64_t> group_counts = {100, 1'000, 10'000};
   if (args.Has("full")) group_counts.push_back(100'000);
-  RunGroupCountSweep(group_counts);
+  JsonReport report("fig6");
+  RunGroupCountSweep(&report, group_counts);
   return 0;
 }

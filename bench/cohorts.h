@@ -37,6 +37,26 @@ inline DataCube<MomentsSummary> BuildDriftingCohortCube(
   return cube;
 }
 
+/// Uniform-cells workload: `groups` cells of uniform data whose support
+/// drifts over a small family of (offset, width) pairs. Most groups
+/// select the same moment subset, so this is the lane solver's
+/// best-case packing benchmark (the acceptance workload for lane
+/// occupancy); it also models the common telemetry shape of many
+/// near-identical cells.
+inline DataCube<MomentsSummary> BuildUniformCellsCube(
+    size_t groups, int rows_per_group, uint64_t seed = 0xFACE) {
+  DataCube<MomentsSummary> cube(1, MomentsSummary(10));
+  Rng rng(seed);
+  std::vector<double> buf(rows_per_group);
+  for (size_t g = 0; g < groups; ++g) {
+    const double lo = 10.0 + 0.01 * static_cast<double>(g % 97);
+    const double width = 5.0 + 0.003 * static_cast<double>(g % 53);
+    for (double& x : buf) x = lo + width * rng.NextDouble();
+    for (double x : buf) cube.Ingest({static_cast<uint32_t>(g)}, x);
+  }
+  return cube;
+}
+
 }  // namespace bench
 }  // namespace msketch
 

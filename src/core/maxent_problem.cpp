@@ -1,0 +1,585 @@
+#include "core/maxent_problem.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/macros.h"
+#include "core/atomic_fit.h"
+#include "numerics/chebyshev.h"
+#include "numerics/eigen.h"
+#include "numerics/integration.h"
+
+namespace msketch {
+
+namespace {
+
+// Clenshaw-Curtis weights are O(N^2) to build; cache per grid size.
+const std::vector<double>& CachedCcWeights(int n) {
+  static std::mutex mu;
+  static std::unordered_map<int, std::vector<double>> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    it = cache.emplace(n, ClenshawCurtisWeights(n)).first;
+  }
+  return it->second;
+}
+
+const std::vector<double>& CachedLobatto(int n) {
+  static std::mutex mu;
+  static std::unordered_map<int, std::vector<double>> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    it = cache.emplace(n, ChebyshevLobattoPoints(n)).first;
+  }
+  return it->second;
+}
+
+}  // namespace
+
+void MaxEntProblem::BuildGridInternal(int n) {
+  grid_n_ = n;
+  fit_valid_ = false;
+  nodes_ = CachedLobatto(n);
+  weights_ = CachedCcWeights(n);
+  const size_t npts = nodes_.size();
+  basis_.assign(static_cast<size_t>(1 + a1_ + a2_) * npts, 0.0);
+  // Primary basis (rows 0..a1): plain Chebyshev polynomials in u,
+  // tabulated in one batched recurrence pass directly into the flat
+  // row-major matrix (same three-term recurrence as ChebyshevTAll, so
+  // values are bit-identical to a per-point build). Row 0 is the
+  // constant.
+  ChebyshevTAllMany(a1_, nodes_.data(), npts, basis_.data());
+  // Secondary basis: Chebyshev polynomials in the other domain's scaled
+  // coordinate, evaluated through the domain transform.
+  if (a2_ > 0) {
+    std::vector<double> ws(npts);
+    for (size_t j = 0; j < npts; ++j) {
+      const double u = nodes_[j];
+      double w;
+      if (!log_primary_) {
+        // x-primary: secondary functions are T_j(s2(log x)).
+        const double x = std::max(std_map_.Inverse(u), 1e-300);
+        w = log_map_.Forward(std::log(x));
+      } else {
+        // log-primary: secondary functions are T_i(s1(exp(y))).
+        const double y = log_map_.Inverse(u);
+        w = std_map_.Forward(std::exp(y));
+      }
+      ws[j] = std::clamp(w, -1.0, 1.0);
+    }
+    std::vector<double> flat(static_cast<size_t>(a2_ + 1) * npts);
+    ChebyshevTAllMany(a2_, ws.data(), npts, flat.data());
+    std::copy(flat.begin() + npts, flat.end(),
+              basis_.begin() + static_cast<size_t>(a1_ + 1) * npts);
+  }
+}
+
+void MaxEntProblem::BuildGrid(int n) { BuildGridInternal(n); }
+
+Matrix MaxEntProblem::UniformHessian(const std::vector<int>& rows) const {
+  const size_t d = rows.size();
+  Matrix h(d, d);
+  for (size_t p = 0; p < d; ++p) {
+    for (size_t q = p; q < d; ++q) {
+      double acc = 0.0;
+      const double* bp = BasisRow(rows[p]);
+      const double* bq = BasisRow(rows[q]);
+      for (size_t j = 0; j < weights_.size(); ++j) {
+        acc += weights_[j] * bp[j] * bq[j];
+      }
+      h(p, q) = 0.5 * acc;
+      h(q, p) = h(p, q);
+    }
+  }
+  return h;
+}
+
+void MaxEntProblem::SelectMoments(CondMemo* cond_memo) {
+  selected_ = {0};
+  selected_cond_ = 1.0;
+  int k1 = 0, k2 = 0;
+  int limit1 = a1_, limit2 = a2_;  // greedy caps; basis row offsets stay put
+  // Uniform expectations of the secondary basis rows (numeric; the primary
+  // rows have the closed form UniformChebyshevMoment).
+  auto uniform_expect = [&](int row) {
+    double acc = 0.0;
+    for (size_t j = 0; j < weights_.size(); ++j) {
+      acc += weights_[j] * BasisRow(row)[j];
+    }
+    return 0.5 * acc;
+  };
+  // Primary-orders bitmask of the current selection; valid (and the memo
+  // applicable) only while no secondary row has been accepted.
+  uint64_t primary_mask = 0;
+  // Condition number of `trial`, through the memo when every non-zero
+  // row is primary. The memoized value is the same matrix's condition
+  // number computed on an earlier group — identical basis rows, so this
+  // is a cache, not an approximation.
+  auto trial_cond = [&](const std::vector<int>& trial, bool all_primary,
+                        uint64_t trial_mask) {
+    double cond;
+    if (all_primary && cond_memo != nullptr &&
+        cond_memo->Lookup(grid_n_, trial_mask, &cond)) {
+      return cond;
+    }
+    cond = SymmetricConditionNumber(UniformHessian(trial));
+    if (all_primary && cond_memo != nullptr) {
+      cond_memo->Insert(grid_n_, trial_mask, cond);
+    }
+    return cond;
+  };
+
+  while (k1 < limit1 || k2 < limit2) {
+    struct Candidate {
+      int row;
+      double distance;  // |moment - uniform expectation|
+      bool is_primary;
+    };
+    std::vector<Candidate> cands;
+    if (k1 < limit1) {
+      const int row = k1 + 1;
+      cands.push_back({row,
+                       std::fabs(primary_moments_[row] -
+                                 UniformChebyshevMoment(row)),
+                       true});
+    }
+    if (k2 < limit2) {
+      const int row = a1_ + k2 + 1;
+      cands.push_back({row,
+                       std::fabs(secondary_moments_[k2 + 1] -
+                                 uniform_expect(row)),
+                       false});
+    }
+    std::sort(cands.begin(), cands.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.distance < b.distance;
+              });
+    bool advanced = false;
+    for (const Candidate& c : cands) {
+      std::vector<int> trial = selected_;
+      trial.push_back(c.row);
+      const bool all_primary = k2 == 0 && c.is_primary;
+      const uint64_t trial_mask =
+          all_primary ? (primary_mask | (1ull << (c.row - 1))) : 0;
+      const double cond = trial_cond(trial, all_primary, trial_mask);
+      if (cond <= opt_.kappa_max) {
+        selected_ = std::move(trial);
+        selected_cond_ = cond;
+        if (c.is_primary) {
+          ++k1;
+          primary_mask |= 1ull << (c.row - 1);
+        } else {
+          ++k2;
+        }
+        advanced = true;
+        break;
+      }
+      // Candidate rejected for conditioning; stop growing this family.
+      if (c.is_primary) {
+        limit1 = k1;
+      } else {
+        limit2 = k2;
+      }
+    }
+    if (!advanced) break;
+  }
+  // Canonical slot order: ascending basis row (row 0 stays first). The
+  // greedy trials above keep their historical insertion order — the
+  // condition screen sees the same matrices as always — but downstream
+  // consumers (Newton, packaging, the lane solver's bucket packing) see
+  // one deterministic layout per selected subset.
+  std::sort(selected_.begin(), selected_.end());
+}
+
+std::vector<double> MaxEntProblem::FValues(
+    const std::vector<double>& theta) const {
+  const size_t npts = nodes_.size();
+  std::vector<double> f(npts);
+  for (size_t j = 0; j < npts; ++j) {
+    double e = 0.0;
+    for (size_t p = 0; p < selected_.size(); ++p) {
+      e += theta[p] * BasisRow(selected_[p])[j];
+    }
+    f[j] = std::exp(std::min(e, 700.0));
+  }
+  return f;
+}
+
+double MaxEntProblem::TargetFor(size_t p) const {
+  const int row = selected_[p];
+  if (row == 0) return 1.0;
+  return (row <= a1_) ? primary_moments_[row]
+                      : secondary_moments_[row - a1_];
+}
+
+uint64_t MaxEntProblem::SelectedPrimaryMask() const {
+  uint64_t mask = 0;
+  for (int row : selected_) {
+    if (row >= 1 && row <= a1_) mask |= 1ull << (row - 1);
+  }
+  return mask;
+}
+
+uint64_t MaxEntProblem::SelectedSecondaryMask() const {
+  uint64_t mask = 0;
+  for (int row : selected_) {
+    if (row > a1_) mask |= 1ull << (row - a1_ - 1);
+  }
+  return mask;
+}
+
+Result<OptimResult> MaxEntProblem::RunNewton(std::vector<double> theta0,
+                                             bool warm) {
+  const size_t d = selected_.size();
+  // Target vector: [1, selected moments...].
+  std::vector<double> target(d);
+  for (size_t p = 0; p < d; ++p) target[p] = TargetFor(p);
+
+  // Buffers hoisted out of the objective: it runs ~100 times per solve
+  // and per-call allocation plus the point-outer accumulation loop were
+  // measurable in profiles. Row-outer loops are unit-stride over the
+  // grid, which the compiler vectorizes.
+  const size_t npts = nodes_.size();
+  std::vector<double> ebuf(npts), fbuf(npts);
+  ObjectiveFn objective = [&, d](const std::vector<double>& theta,
+                                 bool need_hessian, ObjectiveEval* out) {
+    double* MSKETCH_GCC_RESTRICT e = ebuf.data();
+    double* MSKETCH_GCC_RESTRICT f = fbuf.data();
+    const double t0v = theta[0];
+    for (size_t j = 0; j < npts; ++j) e[j] = t0v;  // basis row 0 == 1
+    for (size_t p = 1; p < d; ++p) {
+      const double tp = theta[p];
+      const double* bp = BasisRow(selected_[p]);
+      for (size_t j = 0; j < npts; ++j) e[j] += tp * bp[j];
+    }
+    double integral = 0.0;
+    const double* w = weights_.data();
+    for (size_t j = 0; j < npts; ++j) {
+      const double fj = std::exp(std::min(e[j], 700.0)) * w[j];
+      f[j] = fj;  // pre-weighted density values
+      integral += fj;
+    }
+    out->value = integral;
+    for (size_t p = 0; p < d; ++p) out->value -= theta[p] * target[p];
+    out->gradient.assign(d, 0.0);
+    for (size_t p = 0; p < d; ++p) {
+      double acc = 0.0;
+      const double* bp = BasisRow(selected_[p]);
+      for (size_t j = 0; j < npts; ++j) acc += bp[j] * f[j];
+      out->gradient[p] = acc - target[p];
+    }
+    if (need_hessian) {
+      out->hessian = Matrix(d, d);
+      for (size_t p = 0; p < d; ++p) {
+        const double* bp = BasisRow(selected_[p]);
+        for (size_t q = p; q < d; ++q) {
+          const double* bq = BasisRow(selected_[q]);
+          double acc = 0.0;
+          for (size_t j = 0; j < npts; ++j) acc += bp[j] * bq[j] * f[j];
+          out->hessian(p, q) = acc;
+          out->hessian(q, p) = acc;
+        }
+      }
+    }
+  };
+
+  NewtonOptions nopts;
+  nopts.max_iter = opt_.max_newton_iter;
+  nopts.grad_tol = opt_.grad_tol;
+  nopts.adaptive_initial_step = warm;
+  return NewtonMinimize(objective, std::move(theta0), nopts);
+}
+
+bool MaxEntProblem::GridResolved(const std::vector<double>& theta) {
+  std::vector<double> f = FValues(theta);
+  std::vector<double> coeffs = ChebyshevFit(f);
+  // Cache the fit: Package reuses it when called with the same theta on
+  // the same grid, saving the second FValues + fit pass.
+  fit_valid_ = true;
+  fit_grid_ = grid_n_;
+  fit_theta_ = theta;
+  fit_coeffs_ = coeffs;
+  double cmax = 0.0;
+  for (double c : coeffs) cmax = std::max(cmax, std::fabs(c));
+  if (cmax == 0.0) return true;
+  // Tail: last eighth of the coefficients must be negligible. 1e-5
+  // relative keeps the quadrature bias well below quantile-error
+  // resolution (eps_avg ~ 1e-3) while avoiding needless regrids; on
+  // milan a 4x finer grid moves q99 by < 0.3%.
+  const size_t tail_start = coeffs.size() - coeffs.size() / 8;
+  double tail = 0.0;
+  for (size_t i = tail_start; i < coeffs.size(); ++i) {
+    tail = std::max(tail, std::fabs(coeffs[i]));
+  }
+  return tail <= 1e-5 * cmax;
+}
+
+bool MaxEntProblem::TrySeedFromHint(const WarmStart& hint,
+                                    std::vector<double>* theta) const {
+  if (!hint.valid() || hint.log_primary != log_primary_) {
+    return false;
+  }
+  // The greedy selection has already run (cold start), so the fitted
+  // moment subset is greedy's regardless of the hint — the potential is
+  // strictly convex on that subset, and any seed converges to the same
+  // unique optimum. Seed the multipliers of the rows the hint also
+  // selected and leave the rest at zero; require a majority overlap so
+  // the seed is actually near the optimum rather than a stale fragment.
+  std::vector<double> seeded(selected_.size(), 0.0);
+  seeded[0] = hint.theta0;
+  size_t matched = 0;
+  for (size_t p = 1; p < selected_.size(); ++p) {
+    const int row = selected_[p];
+    const bool primary = row <= a1_;
+    const int order = primary ? row : row - a1_;
+    for (const WarmStart::Entry& e : hint.entries) {
+      if (e.primary == primary && e.order == order) {
+        // Distance gate: a seed fitted to distant moments starts Newton
+        // in heavily-damped territory and costs more than a zero start.
+        const double target = primary ? primary_moments_[row]
+                                      : secondary_moments_[row - a1_];
+        if (std::fabs(target - e.moment) > opt_.warm_gate) return false;
+        seeded[p] = e.theta;
+        ++matched;
+        break;
+      }
+    }
+  }
+  if (2 * matched < selected_.size() - 1) return false;
+  *theta = std::move(seeded);
+  // Deliberately NOT seeding the quadrature grid: grid escalation is
+  // per-density, and inheriting a neighbor's escalated grid makes every
+  // downstream solve in a warm chain pay the fine-grid cost ("sticky"
+  // escalation). Starting at min_grid re-escalates only when this
+  // density needs it, reusing the converged theta between grids.
+  return true;
+}
+
+void MaxEntProblem::ResetColdSeed(std::vector<double>* theta) const {
+  theta->assign(selected_.size(), 0.0);
+  (*theta)[0] = -std::log(2.0);
+}
+
+Status MaxEntProblem::Prepare(const MomentsSketch& sketch,
+                              const MaxEntOptions& options,
+                              CondMemo* cond_memo) {
+  opt_ = options;
+  if (sketch.count() == 0) {
+    return Status::InvalidArgument("SolveMaxEnt: empty sketch");
+  }
+  xmin_ = sketch.min();
+  xmax_ = sketch.max();
+  if (sketch.min() >= sketch.max()) {  // point mass
+    degenerate_ = true;
+    return Status::OK();
+  }
+
+  // Moment availability under floating point stability (Section 4.3.2).
+  std_map_ = MakeScaleMap(sketch.min(), sketch.max());
+  const double c_std = std_map_.center / std_map_.radius;
+  int avail_std = opt_.use_std_moments
+                      ? std::min(sketch.k(), StableKBound(c_std))
+                      : 0;
+  if (opt_.max_k1 >= 0) avail_std = std::min(avail_std, opt_.max_k1);
+
+  int avail_log = 0;
+  const bool log_ok = opt_.use_log_moments && sketch.LogMomentsUsable();
+  if (log_ok) {
+    log_map_ = MakeScaleMap(std::log(sketch.min()),
+                            std::log(sketch.max()));
+    const double c_log = log_map_.center / log_map_.radius;
+    avail_log = std::min(sketch.k(), StableKBound(c_log));
+    if (opt_.max_k2 >= 0) avail_log = std::min(avail_log, opt_.max_k2);
+  }
+  if (avail_std + avail_log == 0) {
+    return Status::Unsupported("SolveMaxEnt: no usable moments");
+  }
+
+  // Refuse to fit a density when the moments are exactly consistent with
+  // a handful of atoms: no density matches them, and the drop-moments
+  // retry below would otherwise converge to a confidently wrong answer
+  // (the paper: the solver fails on < 5 distinct values, Section 6.2.3).
+  // Every usable domain must look atomic — heavy-tailed data squeezed
+  // into a sliver of the standard domain (e.g. retail) can spuriously
+  // admit an atomic fit there while its log moments are plainly
+  // continuous.
+  {
+    auto std_scaled = ShiftPowerMoments(sketch.StandardMoments(), std_map_);
+    std_scaled.resize(std::max(2 * (avail_std / 2), 2) + 1);
+    bool atomic = FitAtomicScaled(std_scaled, 1e-9).ok();
+    if (atomic && avail_log > 0) {
+      auto log_scaled = ShiftPowerMoments(sketch.LogMoments(), log_map_);
+      log_scaled.resize(std::max(2 * (avail_log / 2), 2) + 1);
+      atomic = FitAtomicScaled(log_scaled, 1e-9).ok();
+    }
+    if (atomic) {
+      return Status::NotConverged(
+          "SolveMaxEnt: moments match an atomic (near-discrete) measure");
+    }
+  }
+
+  // Primary domain (Appendix A, Eq. 8): integrate in log space when log
+  // moments dominate — they do for long-tailed data.
+  log_primary_ = log_ok && avail_log >= avail_std;
+  const std::vector<double> cheb_std = PowerMomentsToChebyshev(
+      sketch.StandardMoments(), std_map_);
+  std::vector<double> cheb_log;
+  if (log_ok) {
+    cheb_log = PowerMomentsToChebyshev(sketch.LogMoments(), log_map_);
+  }
+  if (log_primary_) {
+    a1_ = avail_log;
+    a2_ = avail_std;
+    primary_moments_.assign(cheb_log.begin(), cheb_log.begin() + a1_ + 1);
+    secondary_moments_.assign(cheb_std.begin(), cheb_std.begin() + a2_ + 1);
+  } else {
+    a1_ = avail_std;
+    a2_ = avail_log;
+    primary_moments_.assign(cheb_std.begin(), cheb_std.begin() + a1_ + 1);
+    secondary_moments_.assign(
+        cheb_log.begin(),
+        cheb_log.begin() + (cheb_log.empty() ? 0 : a2_ + 1));
+  }
+
+  BuildGridInternal(opt_.min_grid);
+  SelectMoments(cond_memo);
+  if (selected_.size() <= 1) {
+    return Status::NotConverged(
+        "SolveMaxEnt: conditioning excluded all moments");
+  }
+  return Status::OK();
+}
+
+MaxEntDistribution MaxEntProblem::MakeDegenerate() const {
+  MaxEntDistribution dist;
+  dist.degenerate_ = true;
+  dist.xmin_ = xmin_;
+  dist.xmax_ = xmax_;
+  return dist;
+}
+
+Result<MaxEntDistribution> MaxEntProblem::SolveFrom(std::vector<double> theta,
+                                                    bool warm) {
+  for (;;) {
+    Result<OptimResult> res = RunNewton(theta, warm);
+    if (!res.ok()) {
+      if (warm) {
+        // The seed did not transfer (the sketches were less similar than
+        // the caller hoped); restart from the zero-theta cold seed, which
+        // must succeed or fail exactly as a hint-free solve would.
+        warm = false;
+        if (grid_n_ != opt_.min_grid) BuildGridInternal(opt_.min_grid);
+        ResetColdSeed(&theta);
+        continue;
+      }
+      // Divergence usually means the moment set admits no density (heavy
+      // atoms / near-discrete data, Section 6.2.3). Mirror the paper's
+      // query-time remedy: back off to fewer moments and re-solve.
+      if (selected_.size() > 2) {
+        selected_.pop_back();
+        ResetColdSeed(&theta);
+        continue;
+      }
+      return res.status();
+    }
+    total_newton_iters_ += res->iterations;
+    total_function_evals_ += res->function_evals;
+    total_hessian_evals_ += res->hessian_evals;
+    theta = res->x;
+    if (GridResolved(theta) || grid_n_ >= opt_.max_grid) break;
+    BuildGridInternal(grid_n_ * 2);
+  }
+  return Package(theta, warm);
+}
+
+Result<MaxEntDistribution> MaxEntProblem::Package(
+    const std::vector<double>& theta, bool warm) {
+  MaxEntDistribution dist;
+  dist.xmin_ = xmin_;
+  dist.xmax_ = xmax_;
+
+  // Package the result: a monotone tabulated CDF of the solved density.
+  // The Chebyshev fit of f is normally cached by the GridResolved call
+  // that ended the solve loop; recompute defensively otherwise.
+  std::vector<double> coeffs;
+  if (fit_valid_ && fit_grid_ == grid_n_ && fit_theta_ == theta) {
+    coeffs = fit_coeffs_;
+  } else {
+    coeffs = ChebyshevFit(FValues(theta));
+  }
+  std::vector<double> antider = ChebyshevAntiderivative(coeffs);
+  // Evaluate only the significant prefix: the antiderivative of a
+  // resolved density decays geometrically, and the 513-point tabulation
+  // below was the single largest non-Newton cost of a solve. Dropping
+  // coefficients below 1e-10 of the peak perturbs the (normalized,
+  // interpolated) CDF at ~1e-9 — three orders below the table's own
+  // interpolation error.
+  antider.resize(
+      std::max<size_t>(ChebyshevSignificantPrefix(antider, 1e-10), 2));
+  const int kCdfPoints = 513;
+  dist.cdf_values_.resize(kCdfPoints);
+  {
+    // Batched evaluation (point-blocked Clenshaw), then the monotone
+    // running-max pass.
+    std::vector<double> us(kCdfPoints);
+    for (int i = 0; i < kCdfPoints; ++i) {
+      us[i] = -1.0 + 2.0 * static_cast<double>(i) / (kCdfPoints - 1);
+    }
+    ChebyshevEvalMany(antider, us.data(), us.size(),
+                      dist.cdf_values_.data());
+    double running = 0.0;
+    for (double& v : dist.cdf_values_) {
+      running = std::max(running, v);
+      v = running;
+    }
+  }
+  const double total = dist.cdf_values_.back();
+  if (!(total > 0.0) || !std::isfinite(total)) {
+    return Status::NotConverged("SolveMaxEnt: degenerate total mass");
+  }
+  for (double& v : dist.cdf_values_) v /= total;
+  dist.log_primary_ = log_primary_;
+  dist.primary_map_ = log_primary_ ? log_map_ : std_map_;
+  // Count only the *selected* rows per family.
+  int sel_primary = 0, sel_secondary = 0;
+  for (int row : selected_) {
+    if (row == 0) continue;
+    if (row <= a1_) {
+      ++sel_primary;
+    } else {
+      ++sel_secondary;
+    }
+  }
+  dist.diag_.k1 = log_primary_ ? sel_secondary : sel_primary;
+  dist.diag_.k2 = log_primary_ ? sel_primary : sel_secondary;
+  dist.diag_.newton_iterations = total_newton_iters_;
+  dist.diag_.function_evals = total_function_evals_;
+  dist.diag_.hessian_evals = total_hessian_evals_;
+  dist.diag_.grid_size = grid_n_;
+  dist.diag_.condition_number = selected_cond_;
+  dist.diag_.log_primary = log_primary_;
+  dist.diag_.warm_started = warm;
+  // Export the solution as a seed for the next (similar) sketch.
+  dist.warm_.log_primary = log_primary_;
+  dist.warm_.grid_n = grid_n_;
+  dist.warm_.theta0 = theta[0];
+  dist.warm_.entries.clear();
+  dist.warm_.entries.reserve(selected_.size() - 1);
+  for (size_t p = 1; p < selected_.size(); ++p) {
+    const int row = selected_[p];
+    WarmStart::Entry e;
+    e.primary = row <= a1_;
+    e.order = e.primary ? row : row - a1_;
+    e.theta = theta[p];
+    e.moment = e.primary ? primary_moments_[row]
+                         : secondary_moments_[row - a1_];
+    dist.warm_.entries.push_back(e);
+  }
+  return dist;
+}
+
+}  // namespace msketch

@@ -2,572 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
-#include <unordered_map>
 
 #include "common/macros.h"
-#include "core/atomic_fit.h"
+#include "core/maxent_problem.h"
 #include "core/solver_cache.h"
-#include "numerics/chebyshev.h"
-#include "numerics/eigen.h"
-#include "numerics/integration.h"
-#include "numerics/optim.h"
-#include "numerics/root_finding.h"
 
 namespace msketch {
 
-namespace {
-
-// Clenshaw-Curtis weights are O(N^2) to build; cache per grid size.
-const std::vector<double>& CachedCcWeights(int n) {
-  static std::mutex mu;
-  static std::unordered_map<int, std::vector<double>> cache;
-  std::lock_guard<std::mutex> lock(mu);
-  auto it = cache.find(n);
-  if (it == cache.end()) {
-    it = cache.emplace(n, ClenshawCurtisWeights(n)).first;
-  }
-  return it->second;
-}
-
-const std::vector<double>& CachedLobatto(int n) {
-  static std::mutex mu;
-  static std::unordered_map<int, std::vector<double>> cache;
-  std::lock_guard<std::mutex> lock(mu);
-  auto it = cache.find(n);
-  if (it == cache.end()) {
-    it = cache.emplace(n, ChebyshevLobattoPoints(n)).first;
-  }
-  return it->second;
-}
-
-}  // namespace
-
-// Internal solver state. Owns the grid, the basis-function matrix, and the
-// Newton objective.
-class MaxEntSolver {
- public:
-  MaxEntSolver(const MomentsSketch& sketch, const MaxEntOptions& options,
-               const WarmStart* hint = nullptr)
-      : sketch_(sketch), opt_(options), hint_(hint) {}
-
-  Result<MaxEntDistribution> Solve();
-
- private:
-  // Fills grid nodes/weights and the full basis-value matrix for the
-  // currently available moment counts (a1_, a2_) at grid size n.
-  void BuildGrid(int n);
-  // Basis row r evaluated on the grid (r = 0 is the constant; rows
-  // 1..a1 are primary-basis T_i; rows a1+1..a1+a2 are secondary).
-  // With log_primary_, "primary" means the log-domain basis.
-  const std::vector<double>& BasisRow(int r) const { return basis_[r]; }
-
-  // Gram matrix (uniform-density Hessian) restricted to the selected rows;
-  // used for condition-number screening.
-  Matrix UniformHessian(const std::vector<int>& rows) const;
-
-  // Greedy (k1, k2) selection under the kappa_max budget.
-  void SelectMoments();
-
-  // Newton solve for the selected rows; returns optimizer output. Warm
-  // (seeded) runs use the adaptive opening step — their damping needs
-  // repeat across iterations.
-  Result<OptimResult> RunNewton(std::vector<double> theta0, bool warm);
-
-  // True when the Chebyshev tail of f(.; theta) is resolved on this grid.
-  bool GridResolved(const std::vector<double>& theta) const;
-
-  std::vector<double> FValues(const std::vector<double>& theta) const;
-
-  // Maps the hint's (family, order) entries onto this solve's basis rows
-  // and accepts them when they pass the conditioning screen. Returns true
-  // with selected_/theta seeded on success.
-  bool TrySeedFromHint(std::vector<double>* theta);
-  // The zero-theta cold seed for the currently selected rows.
-  void ResetColdSeed(std::vector<double>* theta);
-  // Cold-start selection: greedy screen from zero theta. Fails when
-  // conditioning excludes every moment.
-  bool ColdStart(std::vector<double>* theta);
-
-  const MomentsSketch& sketch_;
-  MaxEntOptions opt_;
-  const WarmStart* hint_ = nullptr;
-
-  bool log_primary_ = false;
-  ScaleMap std_map_, log_map_;
-  int a1_ = 0, a2_ = 0;  // available moment counts (primary, secondary)
-  std::vector<double> primary_moments_;    // E[T_i(primary)], i = 0..a1
-  std::vector<double> secondary_moments_;  // E[T_j(secondary)], j = 1..a2
-
-  int grid_n_ = 0;
-  std::vector<double> nodes_;    // primary-domain u in [-1, 1]
-  std::vector<double> weights_;  // CC weights
-  std::vector<std::vector<double>> basis_;  // (1 + a1 + a2) x (N+1)
-
-  std::vector<int> selected_;  // rows in use (always includes 0)
-  double selected_cond_ = 1.0;
-  int total_newton_iters_ = 0;
-  int total_function_evals_ = 0;
-  int total_hessian_evals_ = 0;
-};
-
-void MaxEntSolver::BuildGrid(int n) {
-  grid_n_ = n;
-  nodes_ = CachedLobatto(n);
-  weights_ = CachedCcWeights(n);
-  const size_t npts = nodes_.size();
-  basis_.assign(1 + a1_ + a2_, std::vector<double>(npts));
-  std::vector<double> tbuf(static_cast<size_t>(std::max(a1_, a2_)) + 1);
-
-  for (size_t j = 0; j < npts; ++j) {
-    const double u = nodes_[j];
-    basis_[0][j] = 1.0;
-    // Primary basis: plain Chebyshev polynomials in u.
-    if (a1_ > 0) {
-      ChebyshevTAll(a1_, u, tbuf.data());
-      for (int i = 1; i <= a1_; ++i) basis_[i][j] = tbuf[i];
-    }
-    // Secondary basis: Chebyshev polynomials in the other domain's scaled
-    // coordinate, evaluated through the domain transform.
-    if (a2_ > 0) {
-      double w;
-      if (!log_primary_) {
-        // x-primary: secondary functions are T_j(s2(log x)).
-        const double x = std::max(std_map_.Inverse(u), 1e-300);
-        w = log_map_.Forward(std::log(x));
-      } else {
-        // log-primary: secondary functions are T_i(s1(exp(y))).
-        const double y = log_map_.Inverse(u);
-        w = std_map_.Forward(std::exp(y));
-      }
-      w = std::clamp(w, -1.0, 1.0);
-      ChebyshevTAll(a2_, w, tbuf.data());
-      for (int i = 1; i <= a2_; ++i) basis_[a1_ + i][j] = tbuf[i];
-    }
-  }
-}
-
-Matrix MaxEntSolver::UniformHessian(const std::vector<int>& rows) const {
-  const size_t d = rows.size();
-  Matrix h(d, d);
-  for (size_t p = 0; p < d; ++p) {
-    for (size_t q = p; q < d; ++q) {
-      double acc = 0.0;
-      const std::vector<double>& bp = basis_[rows[p]];
-      const std::vector<double>& bq = basis_[rows[q]];
-      for (size_t j = 0; j < weights_.size(); ++j) {
-        acc += weights_[j] * bp[j] * bq[j];
-      }
-      h(p, q) = 0.5 * acc;
-      h(q, p) = h(p, q);
-    }
-  }
-  return h;
-}
-
-void MaxEntSolver::SelectMoments() {
-  selected_ = {0};
-  selected_cond_ = 1.0;
-  int k1 = 0, k2 = 0;
-  int limit1 = a1_, limit2 = a2_;  // greedy caps; basis row offsets stay put
-  // Uniform expectations of the secondary basis rows (numeric; the primary
-  // rows have the closed form UniformChebyshevMoment).
-  auto uniform_expect = [&](int row) {
-    double acc = 0.0;
-    for (size_t j = 0; j < weights_.size(); ++j) {
-      acc += weights_[j] * basis_[row][j];
-    }
-    return 0.5 * acc;
-  };
-
-  while (k1 < limit1 || k2 < limit2) {
-    struct Candidate {
-      int row;
-      double distance;  // |moment - uniform expectation|
-      bool is_primary;
-    };
-    std::vector<Candidate> cands;
-    if (k1 < limit1) {
-      const int row = k1 + 1;
-      cands.push_back({row,
-                       std::fabs(primary_moments_[row] -
-                                 UniformChebyshevMoment(row)),
-                       true});
-    }
-    if (k2 < limit2) {
-      const int row = a1_ + k2 + 1;
-      cands.push_back({row,
-                       std::fabs(secondary_moments_[k2 + 1] -
-                                 uniform_expect(row)),
-                       false});
-    }
-    std::sort(cands.begin(), cands.end(),
-              [](const Candidate& a, const Candidate& b) {
-                return a.distance < b.distance;
-              });
-    bool advanced = false;
-    for (const Candidate& c : cands) {
-      std::vector<int> trial = selected_;
-      trial.push_back(c.row);
-      const double cond = SymmetricConditionNumber(UniformHessian(trial));
-      if (cond <= opt_.kappa_max) {
-        selected_ = std::move(trial);
-        selected_cond_ = cond;
-        if (c.is_primary) {
-          ++k1;
-        } else {
-          ++k2;
-        }
-        advanced = true;
-        break;
-      }
-      // Candidate rejected for conditioning; stop growing this family.
-      if (c.is_primary) {
-        limit1 = k1;
-      } else {
-        limit2 = k2;
-      }
-    }
-    if (!advanced) break;
-  }
-}
-
-std::vector<double> MaxEntSolver::FValues(
-    const std::vector<double>& theta) const {
-  const size_t npts = nodes_.size();
-  std::vector<double> f(npts);
-  for (size_t j = 0; j < npts; ++j) {
-    double e = 0.0;
-    for (size_t p = 0; p < selected_.size(); ++p) {
-      e += theta[p] * basis_[selected_[p]][j];
-    }
-    f[j] = std::exp(std::min(e, 700.0));
-  }
-  return f;
-}
-
-Result<OptimResult> MaxEntSolver::RunNewton(std::vector<double> theta0,
-                                            bool warm) {
-  const size_t d = selected_.size();
-  // Target vector: [1, selected moments...].
-  std::vector<double> target(d);
-  target[0] = 1.0;
-  for (size_t p = 1; p < d; ++p) {
-    const int row = selected_[p];
-    target[p] = (row <= a1_) ? primary_moments_[row]
-                             : secondary_moments_[row - a1_];
-  }
-
-  // Buffers hoisted out of the objective: it runs ~100 times per solve
-  // and per-call allocation plus the point-outer accumulation loop were
-  // measurable in profiles. Row-outer loops are unit-stride over the
-  // grid, which the compiler vectorizes.
-  const size_t npts = nodes_.size();
-  std::vector<double> ebuf(npts), fbuf(npts);
-  ObjectiveFn objective = [&, d](const std::vector<double>& theta,
-                                 bool need_hessian, ObjectiveEval* out) {
-    double* MSKETCH_GCC_RESTRICT e = ebuf.data();
-    double* MSKETCH_GCC_RESTRICT f = fbuf.data();
-    const double t0v = theta[0];
-    for (size_t j = 0; j < npts; ++j) e[j] = t0v;  // basis row 0 == 1
-    for (size_t p = 1; p < d; ++p) {
-      const double tp = theta[p];
-      const double* bp = basis_[selected_[p]].data();
-      for (size_t j = 0; j < npts; ++j) e[j] += tp * bp[j];
-    }
-    double integral = 0.0;
-    const double* w = weights_.data();
-    for (size_t j = 0; j < npts; ++j) {
-      const double fj = std::exp(std::min(e[j], 700.0)) * w[j];
-      f[j] = fj;  // pre-weighted density values
-      integral += fj;
-    }
-    out->value = integral;
-    for (size_t p = 0; p < d; ++p) out->value -= theta[p] * target[p];
-    out->gradient.assign(d, 0.0);
-    for (size_t p = 0; p < d; ++p) {
-      double acc = 0.0;
-      const double* bp = basis_[selected_[p]].data();
-      for (size_t j = 0; j < npts; ++j) acc += bp[j] * f[j];
-      out->gradient[p] = acc - target[p];
-    }
-    if (need_hessian) {
-      out->hessian = Matrix(d, d);
-      for (size_t p = 0; p < d; ++p) {
-        const double* bp = basis_[selected_[p]].data();
-        for (size_t q = p; q < d; ++q) {
-          const double* bq = basis_[selected_[q]].data();
-          double acc = 0.0;
-          for (size_t j = 0; j < npts; ++j) acc += bp[j] * bq[j] * f[j];
-          out->hessian(p, q) = acc;
-          out->hessian(q, p) = acc;
-        }
-      }
-    }
-  };
-
-  NewtonOptions nopts;
-  nopts.max_iter = opt_.max_newton_iter;
-  nopts.grad_tol = opt_.grad_tol;
-  nopts.adaptive_initial_step = warm;
-  return NewtonMinimize(objective, std::move(theta0), nopts);
-}
-
-bool MaxEntSolver::GridResolved(const std::vector<double>& theta) const {
-  std::vector<double> f = FValues(theta);
-  std::vector<double> coeffs = ChebyshevFit(f);
-  double cmax = 0.0;
-  for (double c : coeffs) cmax = std::max(cmax, std::fabs(c));
-  if (cmax == 0.0) return true;
-  // Tail: last eighth of the coefficients must be negligible. 1e-5
-  // relative keeps the quadrature bias well below quantile-error
-  // resolution (eps_avg ~ 1e-3) while avoiding needless regrids; on
-  // milan a 4x finer grid moves q99 by < 0.3%.
-  const size_t tail_start = coeffs.size() - coeffs.size() / 8;
-  double tail = 0.0;
-  for (size_t i = tail_start; i < coeffs.size(); ++i) {
-    tail = std::max(tail, std::fabs(coeffs[i]));
-  }
-  return tail <= 1e-5 * cmax;
-}
-
-bool MaxEntSolver::TrySeedFromHint(std::vector<double>* theta) {
-  if (hint_ == nullptr || !hint_->valid() ||
-      hint_->log_primary != log_primary_) {
-    return false;
-  }
-  // The greedy selection has already run (cold start), so the fitted
-  // moment subset is greedy's regardless of the hint — the potential is
-  // strictly convex on that subset, and any seed converges to the same
-  // unique optimum. Seed the multipliers of the rows the hint also
-  // selected and leave the rest at zero; require a majority overlap so
-  // the seed is actually near the optimum rather than a stale fragment.
-  std::vector<double> seeded(selected_.size(), 0.0);
-  seeded[0] = hint_->theta0;
-  size_t matched = 0;
-  for (size_t p = 1; p < selected_.size(); ++p) {
-    const int row = selected_[p];
-    const bool primary = row <= a1_;
-    const int order = primary ? row : row - a1_;
-    for (const WarmStart::Entry& e : hint_->entries) {
-      if (e.primary == primary && e.order == order) {
-        // Distance gate: a seed fitted to distant moments starts Newton
-        // in heavily-damped territory and costs more than a zero start.
-        const double target = primary ? primary_moments_[row]
-                                      : secondary_moments_[row - a1_];
-        if (std::fabs(target - e.moment) > opt_.warm_gate) return false;
-        seeded[p] = e.theta;
-        ++matched;
-        break;
-      }
-    }
-  }
-  if (2 * matched < selected_.size() - 1) return false;
-  *theta = std::move(seeded);
-  // Deliberately NOT seeding the quadrature grid: grid escalation is
-  // per-density, and inheriting a neighbor's escalated grid makes every
-  // downstream solve in a warm chain pay the fine-grid cost ("sticky"
-  // escalation). Starting at min_grid re-escalates only when this
-  // density needs it, reusing the converged theta between grids.
-  return true;
-}
-
-void MaxEntSolver::ResetColdSeed(std::vector<double>* theta) {
-  theta->assign(selected_.size(), 0.0);
-  (*theta)[0] = -std::log(2.0);
-}
-
-bool MaxEntSolver::ColdStart(std::vector<double>* theta) {
-  if (grid_n_ != opt_.min_grid) BuildGrid(opt_.min_grid);
-  SelectMoments();
-  if (selected_.size() <= 1) return false;
-  ResetColdSeed(theta);
-  return true;
-}
-
-Result<MaxEntDistribution> MaxEntSolver::Solve() {
-  if (sketch_.count() == 0) {
-    return Status::InvalidArgument("SolveMaxEnt: empty sketch");
-  }
-  MaxEntDistribution dist;
-  dist.xmin_ = sketch_.min();
-  dist.xmax_ = sketch_.max();
-  if (sketch_.min() >= sketch_.max()) {  // point mass
-    dist.degenerate_ = true;
-    return dist;
-  }
-
-  // Moment availability under floating point stability (Section 4.3.2).
-  std_map_ = MakeScaleMap(sketch_.min(), sketch_.max());
-  const double c_std = std_map_.center / std_map_.radius;
-  int avail_std = opt_.use_std_moments
-                      ? std::min(sketch_.k(), StableKBound(c_std))
-                      : 0;
-  if (opt_.max_k1 >= 0) avail_std = std::min(avail_std, opt_.max_k1);
-
-  int avail_log = 0;
-  const bool log_ok = opt_.use_log_moments && sketch_.LogMomentsUsable();
-  if (log_ok) {
-    log_map_ = MakeScaleMap(std::log(sketch_.min()),
-                            std::log(sketch_.max()));
-    const double c_log = log_map_.center / log_map_.radius;
-    avail_log = std::min(sketch_.k(), StableKBound(c_log));
-    if (opt_.max_k2 >= 0) avail_log = std::min(avail_log, opt_.max_k2);
-  }
-  if (avail_std + avail_log == 0) {
-    return Status::Unsupported("SolveMaxEnt: no usable moments");
-  }
-
-  // Refuse to fit a density when the moments are exactly consistent with
-  // a handful of atoms: no density matches them, and the drop-moments
-  // retry below would otherwise converge to a confidently wrong answer
-  // (the paper: the solver fails on < 5 distinct values, Section 6.2.3).
-  // Every usable domain must look atomic — heavy-tailed data squeezed
-  // into a sliver of the standard domain (e.g. retail) can spuriously
-  // admit an atomic fit there while its log moments are plainly
-  // continuous.
-  {
-    auto std_scaled = ShiftPowerMoments(sketch_.StandardMoments(), std_map_);
-    std_scaled.resize(std::max(2 * (avail_std / 2), 2) + 1);
-    bool atomic = FitAtomicScaled(std_scaled, 1e-9).ok();
-    if (atomic && avail_log > 0) {
-      auto log_scaled = ShiftPowerMoments(sketch_.LogMoments(), log_map_);
-      log_scaled.resize(std::max(2 * (avail_log / 2), 2) + 1);
-      atomic = FitAtomicScaled(log_scaled, 1e-9).ok();
-    }
-    if (atomic) {
-      return Status::NotConverged(
-          "SolveMaxEnt: moments match an atomic (near-discrete) measure");
-    }
-  }
-
-  // Primary domain (Appendix A, Eq. 8): integrate in log space when log
-  // moments dominate — they do for long-tailed data.
-  log_primary_ = log_ok && avail_log >= avail_std;
-  const std::vector<double> cheb_std = PowerMomentsToChebyshev(
-      sketch_.StandardMoments(), std_map_);
-  std::vector<double> cheb_log;
-  if (log_ok) {
-    cheb_log = PowerMomentsToChebyshev(sketch_.LogMoments(), log_map_);
-  }
-  if (log_primary_) {
-    a1_ = avail_log;
-    a2_ = avail_std;
-    primary_moments_.assign(cheb_log.begin(), cheb_log.begin() + a1_ + 1);
-    secondary_moments_.assign(cheb_std.begin(), cheb_std.begin() + a2_ + 1);
-  } else {
-    a1_ = avail_std;
-    a2_ = avail_log;
-    primary_moments_.assign(cheb_std.begin(), cheb_std.begin() + a1_ + 1);
-    secondary_moments_.assign(
-        cheb_log.begin(),
-        cheb_log.begin() + (cheb_log.empty() ? 0 : a2_ + 1));
-  }
-
-  // Cold start always runs the greedy selection, so a warm solve fits the
-  // same moment subset a cold solve would — the hint only relocates the
-  // Newton start and the quadrature grid.
-  std::vector<double> theta;
-  if (!ColdStart(&theta)) {
-    return Status::NotConverged(
-        "SolveMaxEnt: conditioning excluded all moments");
-  }
-  bool warm = TrySeedFromHint(&theta);
-  for (;;) {
-    Result<OptimResult> res = RunNewton(theta, warm);
-    if (!res.ok()) {
-      if (warm) {
-        // The seed did not transfer (the sketches were less similar than
-        // the caller hoped); restart from the zero-theta cold seed, which
-        // must succeed or fail exactly as a hint-free solve would.
-        warm = false;
-        if (grid_n_ != opt_.min_grid) BuildGrid(opt_.min_grid);
-        ResetColdSeed(&theta);
-        continue;
-      }
-      // Divergence usually means the moment set admits no density (heavy
-      // atoms / near-discrete data, Section 6.2.3). Mirror the paper's
-      // query-time remedy: back off to fewer moments and re-solve.
-      if (selected_.size() > 2) {
-        selected_.pop_back();
-        ResetColdSeed(&theta);
-        continue;
-      }
-      return res.status();
-    }
-    total_newton_iters_ += res->iterations;
-    total_function_evals_ += res->function_evals;
-    total_hessian_evals_ += res->hessian_evals;
-    theta = res->x;
-    if (GridResolved(theta) || grid_n_ >= opt_.max_grid) break;
-    BuildGrid(grid_n_ * 2);
-  }
-
-  // Package the result: a monotone tabulated CDF of the solved density.
-  std::vector<double> f = FValues(theta);
-  std::vector<double> coeffs = ChebyshevFit(f);
-  std::vector<double> antider = ChebyshevAntiderivative(coeffs);
-  const int kCdfPoints = 513;
-  dist.cdf_values_.resize(kCdfPoints);
-  {
-    // Batched evaluation (point-blocked Clenshaw), then the monotone
-    // running-max pass.
-    std::vector<double> us(kCdfPoints);
-    for (int i = 0; i < kCdfPoints; ++i) {
-      us[i] = -1.0 + 2.0 * static_cast<double>(i) / (kCdfPoints - 1);
-    }
-    ChebyshevEvalMany(antider, us.data(), us.size(),
-                      dist.cdf_values_.data());
-    double running = 0.0;
-    for (double& v : dist.cdf_values_) {
-      running = std::max(running, v);
-      v = running;
-    }
-  }
-  const double total = dist.cdf_values_.back();
-  if (!(total > 0.0) || !std::isfinite(total)) {
-    return Status::NotConverged("SolveMaxEnt: degenerate total mass");
-  }
-  for (double& v : dist.cdf_values_) v /= total;
-  dist.log_primary_ = log_primary_;
-  dist.primary_map_ = log_primary_ ? log_map_ : std_map_;
-  // Count only the *selected* rows per family.
-  int sel_primary = 0, sel_secondary = 0;
-  for (int row : selected_) {
-    if (row == 0) continue;
-    if (row <= a1_) {
-      ++sel_primary;
-    } else {
-      ++sel_secondary;
-    }
-  }
-  dist.diag_.k1 = log_primary_ ? sel_secondary : sel_primary;
-  dist.diag_.k2 = log_primary_ ? sel_primary : sel_secondary;
-  dist.diag_.newton_iterations = total_newton_iters_;
-  dist.diag_.function_evals = total_function_evals_;
-  dist.diag_.hessian_evals = total_hessian_evals_;
-  dist.diag_.grid_size = grid_n_;
-  dist.diag_.condition_number = selected_cond_;
-  dist.diag_.log_primary = log_primary_;
-  dist.diag_.warm_started = warm;
-  // Export the solution as a seed for the next (similar) sketch.
-  dist.warm_.log_primary = log_primary_;
-  dist.warm_.grid_n = grid_n_;
-  dist.warm_.theta0 = theta[0];
-  dist.warm_.entries.clear();
-  dist.warm_.entries.reserve(selected_.size() - 1);
-  for (size_t p = 1; p < selected_.size(); ++p) {
-    const int row = selected_[p];
-    WarmStart::Entry e;
-    e.primary = row <= a1_;
-    e.order = e.primary ? row : row - a1_;
-    e.theta = theta[p];
-    e.moment = e.primary ? primary_moments_[row]
-                         : secondary_moments_[row - a1_];
-    dist.warm_.entries.push_back(e);
-  }
-  return dist;
-}
+// The solve machinery (grid, basis, greedy selection, Newton objective,
+// packaging) lives in core/maxent_problem.{h,cc}, shared with the
+// lane-batched solver. This file keeps the public scalar entry points
+// and the solved-distribution query methods.
 
 double MaxEntDistribution::Cdf(double x) const {
   if (degenerate_) return x >= xmin_ ? 1.0 : 0.0;
@@ -621,8 +66,15 @@ std::vector<double> MaxEntDistribution::Quantiles(
 Result<MaxEntDistribution> SolveMaxEnt(const MomentsSketch& sketch,
                                        const MaxEntOptions& options,
                                        const WarmStart* hint) {
-  MaxEntSolver solver(sketch, options, hint);
-  return solver.Solve();
+  MaxEntProblem problem;
+  Status st = problem.Prepare(sketch, options);
+  if (!st.ok()) return st;
+  if (problem.degenerate()) return problem.MakeDegenerate();
+  std::vector<double> theta;
+  problem.ResetColdSeed(&theta);
+  const bool warm =
+      hint != nullptr && problem.TrySeedFromHint(*hint, &theta);
+  return problem.SolveFrom(std::move(theta), warm);
 }
 
 Result<std::vector<double>> EstimateQuantiles(const MomentsSketch& sketch,

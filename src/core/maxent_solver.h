@@ -120,7 +120,7 @@ class MaxEntDistribution {
   const WarmStart& warm_start() const { return warm_; }
 
  private:
-  friend class MaxEntSolver;
+  friend class MaxEntProblem;
 
   bool degenerate_ = false;  // point mass (xmin == xmax)
   double xmin_ = 0.0, xmax_ = 0.0;

@@ -1,0 +1,157 @@
+// Lane-parallel exponential kernel for the batched maxent solver.
+//
+// The lane-batched Newton iteration (core/batch_solver.h) evaluates
+// exp(theta . basis) for eight solver lanes at every quadrature node.
+// libm's exp cannot be auto-vectorized (it is an opaque call with errno
+// semantics), so the batched objective would serialize on it. This
+// kernel is a classic range-reduction + polynomial exp,
+//
+//   exp(x) = 2^n * exp(r),  n = round(x / ln 2),  r = x - n ln 2,
+//
+// with the reduction done against a two-part ln 2 (so r is exact to
+// ~1 ulp), a degree-13 Taylor/Horner polynomial for exp(r) on
+// |r| <= ln(2)/2 (relative error < 1e-16, far below the solver's 1e-9
+// moment tolerance), and 2^n assembled by writing the exponent field.
+//
+// Determinism contract (same spirit as core/simd_reduce.h): every lane
+// is an independent chain of IEEE add/mul/compare operations in a fixed
+// order — there are no cross-lane reductions and no data-dependent
+// branches, only per-lane selects. A lane's result therefore depends
+// only on that lane's input, never on which other lanes it was packed
+// with, and repeat runs are bit-identical. (Across *builds* the result
+// can differ from libm exp by ~1 ulp — the batched solver's parity with
+// the scalar path is a tolerance statement, not bit-identity.)
+//
+// Out-of-range inputs: x >= kExpMaxArg saturates (callers clamp at 700
+// like the scalar solver); x below ~-744 underflows smoothly to 0
+// through a two-step scale so the subnormal range stays usable.
+#ifndef MSKETCH_CORE_SIMD_EXP_H_
+#define MSKETCH_CORE_SIMD_EXP_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace msketch {
+namespace simd {
+
+/// Lanes processed per ExpLanes call (the batched solver's lane width).
+constexpr size_t kExpLanes = 8;
+
+/// Largest argument the kernel evaluates without overflow (the solver
+/// clamps exponents at 700, comfortably inside).
+constexpr double kExpMaxArg = 709.0;
+
+namespace detail {
+
+// One lane of the kernel; ExpLanes unrolls this across kExpLanes inputs
+// so the compiler can vectorize the arithmetic. Kept in a detail
+// function (not private to ExpLanes) so tests can pin the scalar and
+// lane paths against each other.
+inline double ExpLane(double x) {
+  // Saturate the argument range first; the selects below keep every
+  // lane's operation sequence identical.
+  x = x > kExpMaxArg ? kExpMaxArg : x;
+  x = x < -745.0 ? -745.0 : x;
+  // Round-to-nearest via the 1.5 * 2^52 shifter trick: adding the magic
+  // constant pushes the fraction out of the mantissa, subtracting it
+  // back leaves the rounded integer. Valid for |v| < 2^51; |x / ln2| is
+  // at most ~1075.
+  constexpr double kLog2e = 1.4426950408889634074;
+  constexpr double kShift = 6755399441055744.0;  // 1.5 * 2^52
+  const double t = x * kLog2e + kShift;
+  const double n = t - kShift;
+  // Two-part Cody-Waite reduction: r = x - n * ln2 with ln2 split so
+  // the high product is exact.
+  constexpr double kLn2Hi = 6.93147180369123816490e-01;
+  constexpr double kLn2Lo = 1.90821492927058770002e-10;
+  double r = x - n * kLn2Hi;
+  r -= n * kLn2Lo;
+  // exp(r) by Horner on the degree-13 Taylor series. |r| <= 0.34658, so
+  // the truncation error |r|^14 / 14! is below 4e-18 relative.
+  double p = 1.0 / 6227020800.0;   // 1/13!
+  p = p * r + 1.0 / 479001600.0;   // 1/12!
+  p = p * r + 1.0 / 39916800.0;    // 1/11!
+  p = p * r + 1.0 / 3628800.0;     // 1/10!
+  p = p * r + 1.0 / 362880.0;      // 1/9!
+  p = p * r + 1.0 / 40320.0;       // 1/8!
+  p = p * r + 1.0 / 5040.0;        // 1/7!
+  p = p * r + 1.0 / 720.0;         // 1/6!
+  p = p * r + 1.0 / 120.0;         // 1/5!
+  p = p * r + 1.0 / 24.0;          // 1/4!
+  p = p * r + 1.0 / 6.0;           // 1/3!
+  p = p * r + 0.5;                 // 1/2!
+  p = p * r + 1.0;
+  p = p * r + 1.0;
+  // 2^n through the exponent field. n below the normal range (< -1021)
+  // is lifted by 64 and the result rescaled by 2^-64, which lands
+  // gradually in the subnormal range instead of producing a garbage
+  // exponent.
+  const int64_t ni = static_cast<int64_t>(n);
+  const bool tiny = ni < -1021;
+  const int64_t lifted = tiny ? ni + 64 : ni;
+  const uint64_t bits = static_cast<uint64_t>(lifted + 1023) << 52;
+  double scale;
+  std::memcpy(&scale, &bits, sizeof(scale));
+  const double rescale = tiny ? 0x1p-64 : 1.0;
+  return p * scale * rescale;
+}
+
+}  // namespace detail
+
+/// out[l] = exp-kernel(x[l]) for l = 0..kExpLanes-1, bit-identical to
+/// detail::ExpLane per lane. Phased so the compiler vectorizes the
+/// floating point reduction and polynomial across lanes (calling the
+/// one-lane function in a loop defeats vectorization: the exponent
+/// assembly's integer conversion and bit store read as control flow).
+/// Only the final per-lane exponent insertion runs scalar — a handful
+/// of integer ops against ~27 vectorizable FP ops per lane.
+inline void ExpLanes(const double* MSKETCH_GCC_RESTRICT x,
+                     double* MSKETCH_GCC_RESTRICT out) {
+  constexpr double kLog2e = 1.4426950408889634074;
+  constexpr double kShift = 6755399441055744.0;  // 1.5 * 2^52
+  constexpr double kLn2Hi = 6.93147180369123816490e-01;
+  constexpr double kLn2Lo = 1.90821492927058770002e-10;
+  double n[kExpLanes], p[kExpLanes];
+  for (size_t l = 0; l < kExpLanes; ++l) {
+    double xl = x[l];
+    xl = xl > kExpMaxArg ? kExpMaxArg : xl;
+    xl = xl < -745.0 ? -745.0 : xl;
+    const double t = xl * kLog2e + kShift;
+    const double nl = t - kShift;
+    double r = xl - nl * kLn2Hi;
+    r -= nl * kLn2Lo;
+    double pl = 1.0 / 6227020800.0;
+    pl = pl * r + 1.0 / 479001600.0;
+    pl = pl * r + 1.0 / 39916800.0;
+    pl = pl * r + 1.0 / 3628800.0;
+    pl = pl * r + 1.0 / 362880.0;
+    pl = pl * r + 1.0 / 40320.0;
+    pl = pl * r + 1.0 / 5040.0;
+    pl = pl * r + 1.0 / 720.0;
+    pl = pl * r + 1.0 / 120.0;
+    pl = pl * r + 1.0 / 24.0;
+    pl = pl * r + 1.0 / 6.0;
+    pl = pl * r + 0.5;
+    pl = pl * r + 1.0;
+    pl = pl * r + 1.0;
+    n[l] = nl;
+    p[l] = pl;
+  }
+  for (size_t l = 0; l < kExpLanes; ++l) {
+    const int64_t ni = static_cast<int64_t>(n[l]);
+    const bool tiny = ni < -1021;
+    const int64_t lifted = tiny ? ni + 64 : ni;
+    const uint64_t bits = static_cast<uint64_t>(lifted + 1023) << 52;
+    double scale;
+    std::memcpy(&scale, &bits, sizeof(scale));
+    const double rescale = tiny ? 0x1p-64 : 1.0;
+    out[l] = p[l] * scale * rescale;
+  }
+}
+
+}  // namespace simd
+}  // namespace msketch
+
+#endif  // MSKETCH_CORE_SIMD_EXP_H_

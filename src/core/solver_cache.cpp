@@ -1,5 +1,6 @@
 #include "core/solver_cache.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
@@ -28,11 +29,32 @@ void AppendQuantized(std::string* key, const std::vector<double>& values,
   }
 }
 
+SolverCacheOptions Normalize(SolverCacheOptions options) {
+  if (options.capacity == 0) options.capacity = 1;
+  if (!(options.quantum > 0.0)) options.quantum = 1e-9;
+  if (options.segments == 0) options.segments = 1;
+  // More segments than entries would make per-segment capacity zero.
+  options.segments = std::min(options.segments, options.capacity);
+  return options;
+}
+
 }  // namespace
 
-SolverCache::SolverCache(SolverCacheOptions options) : opt_(options) {
-  if (opt_.capacity == 0) opt_.capacity = 1;
-  if (!(opt_.quantum > 0.0)) opt_.quantum = 1e-9;
+SolverCache::SolverCache(SolverCacheOptions options)
+    : opt_(Normalize(options)),
+      per_segment_capacity_(
+          (opt_.capacity + opt_.segments - 1) / opt_.segments),
+      segments_(opt_.segments) {}
+
+std::unique_lock<std::mutex> SolverCache::LockSegment(Segment& seg) {
+  std::unique_lock<std::mutex> lock(seg.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    lock.lock();
+    // Counted under the lock we just won; contention on the counter
+    // itself is impossible.
+    ++seg.stats.lock_contention;
+  }
+  return lock;
 }
 
 std::string SolverCache::MakeKey(const MomentsSketch& sketch,
@@ -80,15 +102,16 @@ std::shared_ptr<const MaxEntDistribution> SolverCache::Lookup(
     std::string* key_out) {
   if (sketch.count() == 0) return nullptr;
   std::string key = MakeKey(sketch, options);
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = map_.find(key);
+  Segment& seg = SegmentFor(key);
+  auto lock = LockSegment(seg);
+  auto it = seg.map.find(key);
   if (key_out != nullptr) *key_out = std::move(key);
-  if (it == map_.end()) {
-    ++stats_.misses;
+  if (it == seg.map.end()) {
+    ++seg.stats.misses;
     return nullptr;
   }
-  ++stats_.hits;
-  lru_.splice(lru_.begin(), lru_, it->second);
+  ++seg.stats.hits;
+  seg.lru.splice(seg.lru.begin(), seg.lru, it->second);
   return it->second->second;
 }
 
@@ -102,46 +125,57 @@ void SolverCache::Insert(const MomentsSketch& sketch,
 void SolverCache::InsertWithKey(
     std::string key, std::shared_ptr<const MaxEntDistribution> dist) {
   if (key.empty() || dist == nullptr) return;
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = map_.find(key);
-  if (it != map_.end()) {
+  Segment& seg = SegmentFor(key);
+  auto lock = LockSegment(seg);
+  auto it = seg.map.find(key);
+  if (it != seg.map.end()) {
     // Keep the first solution: concurrent solvers of quantized-equal
     // sketches may race here, and stability beats last-writer-wins.
-    lru_.splice(lru_.begin(), lru_, it->second);
+    seg.lru.splice(seg.lru.begin(), seg.lru, it->second);
     return;
   }
-  lru_.emplace_front(key, std::move(dist));
-  map_.emplace(std::move(key), lru_.begin());
-  ++stats_.insertions;
-  while (map_.size() > opt_.capacity) {
-    map_.erase(lru_.back().first);
-    lru_.pop_back();
-    ++stats_.evictions;
+  seg.lru.emplace_front(key, std::move(dist));
+  seg.map.emplace(std::move(key), seg.lru.begin());
+  ++seg.stats.insertions;
+  while (seg.map.size() > per_segment_capacity_) {
+    seg.map.erase(seg.lru.back().first);
+    seg.lru.pop_back();
+    ++seg.stats.evictions;
   }
 }
 
-SolverCache::Stats SolverCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+CacheStats SolverCache::stats() const {
+  CacheStats total;
+  for (const Segment& seg : segments_) {
+    std::lock_guard<std::mutex> lock(seg.mu);
+    total.MergeFrom(seg.stats);
+  }
+  return total;
 }
 
 size_t SolverCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return map_.size();
+  size_t total = 0;
+  for (const Segment& seg : segments_) {
+    std::lock_guard<std::mutex> lock(seg.mu);
+    total += seg.map.size();
+  }
+  return total;
 }
 
 void SolverCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  lru_.clear();
-  map_.clear();
-  stats_ = Stats{};
+  for (Segment& seg : segments_) {
+    std::lock_guard<std::mutex> lock(seg.mu);
+    seg.lru.clear();
+    seg.map.clear();
+    seg.stats = CacheStats{};
+  }
 }
 
 SolverCache& GlobalSolverCache() {
   // Sized for dashboard-style workloads: a few hundred distinct cells
   // re-estimated across queries (~1 MB of CDF tables), not a whole cube.
   static SolverCache* cache =
-      new SolverCache(SolverCacheOptions{256, 1e-9});
+      new SolverCache(SolverCacheOptions{256, 1e-9, 8});
   return *cache;
 }
 

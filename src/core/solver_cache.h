@@ -10,9 +10,12 @@
 // reproduced to within the quantization (bit-identical for identical
 // sketches, since the solver is deterministic).
 //
-// Thread-safe: the batch layer shares one cache across its worker
-// threads. Entries are shared_ptrs, so a returned distribution stays
-// valid after eviction.
+// Thread-safe and lock-striped: entries are spread over `segments`
+// independent LRU shards by the hash of the quantized-moment key, so
+// multi-threaded batch workers stop serializing on one mutex. Each
+// lookup/insert locks exactly one segment; CacheStats counts how often
+// a segment lock was contended. Entries are shared_ptrs, so a returned
+// distribution stays valid after eviction.
 #ifndef MSKETCH_CORE_SOLVER_CACHE_H_
 #define MSKETCH_CORE_SOLVER_CACHE_H_
 
@@ -23,6 +26,7 @@
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "core/maxent_solver.h"
 #include "core/moments_sketch.h"
@@ -30,36 +34,58 @@
 namespace msketch {
 
 struct SolverCacheOptions {
-  /// Maximum resident distributions (each ~4 KB of CDF table).
+  /// Maximum resident distributions (each ~4 KB of CDF table), summed
+  /// across segments.
   size_t capacity = 1024;
   /// Absolute quantization grid on the scaled Chebyshev moments (which
   /// live in [-1, 1]). Two sketches whose scaled moments agree to within
   /// the quantum share an entry; at 1e-9 (the solver's moment-matching
   /// tolerance) a hit is indistinguishable from a fresh solve.
   double quantum = 1e-9;
+  /// Lock stripes. Each segment owns capacity/segments entries and its
+  /// own LRU list; eviction is per-segment. 1 restores the single
+  /// global-LRU cache (tests that assert exact LRU order use it).
+  /// Clamped to capacity so tiny caches keep meaningful eviction.
+  size_t segments = 8;
+};
+
+/// Aggregate counters across every segment. `lock_contention` counts
+/// acquisitions that found the segment lock already held (try_lock
+/// failed and the caller blocked) — the signal the striping exists to
+/// drive toward zero.
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  uint64_t lock_contention = 0;
+
+  void MergeFrom(const CacheStats& other) {
+    hits += other.hits;
+    misses += other.misses;
+    insertions += other.insertions;
+    evictions += other.evictions;
+    lock_contention += other.lock_contention;
+  }
 };
 
 class SolverCache {
  public:
-  struct Stats {
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t insertions = 0;
-    uint64_t evictions = 0;
-  };
+  using Stats = CacheStats;
 
   explicit SolverCache(SolverCacheOptions options = {});
 
   /// The cached solution for an equivalent (sketch, options) pair, or
-  /// nullptr. Promotes the entry to most-recently-used. When `key_out`
-  /// is non-null it receives the computed key, which a miss-path caller
-  /// can hand back to InsertWithKey instead of re-deriving it.
+  /// nullptr. Promotes the entry to most-recently-used in its segment.
+  /// When `key_out` is non-null it receives the computed key, which a
+  /// miss-path caller can hand back to InsertWithKey instead of
+  /// re-deriving it.
   std::shared_ptr<const MaxEntDistribution> Lookup(
       const MomentsSketch& sketch, const MaxEntOptions& options,
       std::string* key_out = nullptr);
 
   /// Publishes a solved distribution, evicting the least-recently-used
-  /// entry at capacity.
+  /// entry of its segment at capacity.
   void Insert(const MomentsSketch& sketch, const MaxEntOptions& options,
               std::shared_ptr<const MaxEntDistribution> dist);
   /// Insert under a key previously obtained from Lookup(..., key_out) —
@@ -72,8 +98,9 @@ class SolverCache {
            std::make_shared<const MaxEntDistribution>(std::move(dist)));
   }
 
-  Stats stats() const;
+  CacheStats stats() const;
   size_t size() const;
+  size_t num_segments() const { return segments_.size(); }
   void Clear();
 
  private:
@@ -85,11 +112,22 @@ class SolverCache {
   using LruList =
       std::list<std::pair<std::string, std::shared_ptr<const MaxEntDistribution>>>;
 
+  struct Segment {
+    mutable std::mutex mu;
+    LruList lru;  // front = most recent
+    std::unordered_map<std::string, LruList::iterator> map;
+    CacheStats stats;
+  };
+
+  Segment& SegmentFor(const std::string& key) {
+    return segments_[std::hash<std::string>{}(key) % segments_.size()];
+  }
+  // Locks `seg` and charges a contention tick when the lock was held.
+  static std::unique_lock<std::mutex> LockSegment(Segment& seg);
+
   SolverCacheOptions opt_;
-  mutable std::mutex mu_;
-  LruList lru_;  // front = most recent
-  std::unordered_map<std::string, LruList::iterator> map_;
-  Stats stats_;
+  size_t per_segment_capacity_ = 1;
+  std::vector<Segment> segments_;
 };
 
 /// Process-wide cache used by the EstimateQuantiles convenience wrapper.

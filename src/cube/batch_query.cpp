@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
+#include <functional>
 #include <memory>
+#include <string>
+#include <unordered_map>
 #include <utility>
 
 #include "common/macros.h"
@@ -171,14 +175,123 @@ class TieredSolver {
   Status failed_status_;
 };
 
+// Per-shard solve facade over the two engines: the lane-batched solver
+// (default; results delivered through a consumer, possibly after later
+// Solve calls fill the lane bucket) or the scalar TieredSolver (consumer
+// invoked synchronously; bit-exact with per-group SolveMaxEnt when warm
+// starts are off). Callers must invoke Finish() to drain pending lanes
+// before reading results.
+class ChainSolver {
+ public:
+  using DistResult = Result<std::shared_ptr<const MaxEntDistribution>>;
+  using Consumer = std::function<void(const DistResult&)>;
+
+  ChainSolver(SolverCache* cache, const BatchOptions& options,
+              BatchStats* stats)
+      : cache_(cache),
+        options_(options),
+        stats_(stats),
+        tiered_(cache, options.use_warm_start, options.maxent, stats) {
+    if (options_.use_lane_solver) {
+      lane_.reset(new LaneMaxEntSolver(
+          options_.maxent, options_.use_warm_start,
+          [this](size_t req, Result<MaxEntDistribution> res) {
+            OnLaneResult(req, std::move(res));
+          }));
+    }
+  }
+
+  /// Requests a solve; `consumer` runs exactly once, either now (cache
+  /// hit / scalar engine / degenerate group) or when the group's lane
+  /// bucket solves. References captured by the consumer must outlive
+  /// Finish().
+  void Solve(const MomentsSketch& sketch, Consumer consumer) {
+    if (lane_ == nullptr) {
+      consumer(tiered_.Solve(sketch));
+      return;
+    }
+    std::string key;
+    if (cache_ != nullptr) {
+      if (auto hit = cache_->Lookup(sketch, options_.maxent, &key)) {
+        ++stats_->cache_hits;
+        consumer(DistResult(std::move(hit)));
+        return;
+      }
+      // In-flight coalescing: an identical-key group already waiting in
+      // a lane bucket answers this request too — the similarity order
+      // packs duplicates back-to-back, and solving them in separate
+      // lanes would waste the cache's whole economy.
+      auto pending = pending_by_key_.find(key);
+      if (pending != pending_by_key_.end()) {
+        ++stats_->cache_hits;
+        requests_[pending->second].consumers.push_back(std::move(consumer));
+        return;
+      }
+    }
+    const size_t req = requests_.size();
+    requests_.push_back(Request{std::move(key), {}});
+    requests_[req].consumers.push_back(std::move(consumer));
+    if (cache_ != nullptr) pending_by_key_[requests_[req].key] = req;
+    lane_->Enqueue(req, sketch);
+  }
+
+  /// Drains every pending lane bucket (delivering their consumers).
+  void Finish() {
+    if (lane_ != nullptr) {
+      lane_->FlushAll();
+      stats_->lane.MergeFrom(lane_->stats());
+    }
+  }
+
+ private:
+  struct Request {
+    std::string key;  // cache key ("" when the cache is off)
+    std::vector<Consumer> consumers;
+  };
+
+  void OnLaneResult(size_t req, Result<MaxEntDistribution> res) {
+    Request& r = requests_[req];
+    if (cache_ != nullptr) pending_by_key_.erase(r.key);
+    DistResult out = [&]() -> DistResult {
+      if (!res.ok()) return res.status();
+      stats_->newton_iterations +=
+          static_cast<uint64_t>(res->diagnostics().newton_iterations);
+      if (res->diagnostics().warm_started) {
+        ++stats_->warm_solves;
+      } else {
+        ++stats_->cold_solves;
+      }
+      auto dist =
+          std::make_shared<const MaxEntDistribution>(std::move(res.value()));
+      if (cache_ != nullptr && !r.key.empty()) {
+        cache_->InsertWithKey(std::move(r.key), dist);
+      }
+      return dist;
+    }();
+    for (const Consumer& c : r.consumers) c(out);
+    r.consumers.clear();
+  }
+
+  SolverCache* cache_;
+  const BatchOptions& options_;
+  BatchStats* stats_;
+  TieredSolver tiered_;
+  std::unique_ptr<LaneMaxEntSolver> lane_;
+  std::deque<Request> requests_;
+  std::unordered_map<std::string, size_t> pending_by_key_;
+};
+
 // Shards the similarity-ordered groups and runs `process(index, solver,
 // shard_stats, shard)` for each group index; merges per-shard stats into
-// *stats.
+// *stats. Pending lane solves drain before a shard finishes, so every
+// consumer has run by the time this returns.
 template <typename ProcessFn>
 void RunChains(size_t num_groups, const BatchOptions& options,
                BatchStats* stats, const ProcessFn& process) {
   const int threads = std::max(1, options.threads);
-  SolverCache local_cache(SolverCacheOptions{options.cache_capacity, 1e-9});
+  SolverCache local_cache(
+      SolverCacheOptions{options.cache_capacity, 1e-9,
+                         static_cast<size_t>(std::max(1, threads))});
   SolverCache* cache = nullptr;
   if (options.use_cache) {
     cache = options.cache != nullptr ? options.cache : &local_cache;
@@ -187,11 +300,11 @@ void RunChains(size_t num_groups, const BatchOptions& options,
   ParallelShards(num_groups, threads,
                  [&](size_t begin, size_t end, int shard) {
                    BatchStats& st = shard_stats[shard];
-                   TieredSolver solver(cache, options.use_warm_start,
-                                       options.maxent, &st);
+                   ChainSolver solver(cache, options, &st);
                    for (size_t i = begin; i < end; ++i) {
                      process(i, &solver, &st, shard);
                    }
+                   solver.Finish();
                  });
   stats->groups = num_groups;
   for (const BatchStats& st : shard_stats) stats->MergeFrom(st);
@@ -208,31 +321,39 @@ std::vector<GroupQuantiles> GroupByQuantiles(
   std::vector<GroupQuantiles> out(groups.size());
   BatchStats local_stats;
   RunChains(groups.size(), options, &local_stats,
-            [&](size_t i, TieredSolver* solver, BatchStats* st, int) {
+            [&](size_t i, ChainSolver* solver, BatchStats* st, int) {
               const Group& g = groups[i];
               GroupQuantiles& r = out[i];
               r.key = g.key;
               r.count = g.sketch.count();
-              auto dist = solver->Solve(g.sketch);
-              if (dist.ok()) {
-                r.quantiles = dist.value()->Quantiles(phis);
-                r.k1 = dist.value()->diagnostics().k1;
-                r.k2 = dist.value()->diagnostics().k2;
-                return;
-              }
-              // Near-discrete group: mirror the cascade's fallback.
-              if (auto atomic = FitAtomicDistribution(g.sketch);
-                  atomic.ok()) {
-                ++st->atomic_fallbacks;
-                r.used_atomic = true;
-                r.quantiles.reserve(phis.size());
-                for (double phi : phis) {
-                  r.quantiles.push_back(atomic->Quantile(phi));
-                }
-                return;
-              }
-              ++st->failed_solves;
-              r.status = dist.status();
+              // `st` is this per-group lambda's parameter: the consumer
+              // may run after this frame is gone (lane bucket fill /
+              // Finish), so it must be captured by value — it points at
+              // the long-lived shard_stats slot.
+              solver->Solve(
+                  g.sketch, [&, i, st](const ChainSolver::DistResult& dist) {
+                    const Group& g = groups[i];
+                    GroupQuantiles& r = out[i];
+                    if (dist.ok()) {
+                      r.quantiles = dist.value()->Quantiles(phis);
+                      r.k1 = dist.value()->diagnostics().k1;
+                      r.k2 = dist.value()->diagnostics().k2;
+                      return;
+                    }
+                    // Near-discrete group: mirror the cascade's fallback.
+                    if (auto atomic = FitAtomicDistribution(g.sketch);
+                        atomic.ok()) {
+                      ++st->atomic_fallbacks;
+                      r.used_atomic = true;
+                      r.quantiles.reserve(phis.size());
+                      for (double phi : phis) {
+                        r.quantiles.push_back(atomic->Quantile(phi));
+                      }
+                      return;
+                    }
+                    ++st->failed_solves;
+                    r.status = dist.status();
+                  });
             });
   std::sort(out.begin(), out.end(),
             [](const GroupQuantiles& a, const GroupQuantiles& b) {
@@ -255,7 +376,7 @@ std::vector<GroupThreshold> GroupByThreshold(
       static_cast<size_t>(std::max(1, options.threads)),
       ThresholdCascade(options.cascade));
   RunChains(groups.size(), options, &local_stats,
-            [&](size_t i, TieredSolver* solver, BatchStats* st, int shard) {
+            [&](size_t i, ChainSolver* solver, BatchStats* st, int shard) {
               const Group& g = groups[i];
               GroupThreshold& r = out[i];
               r.key = g.key;
@@ -272,19 +393,28 @@ std::vector<GroupThreshold> GroupByThreshold(
                 case ThresholdCascade::Decision::kUnresolved:
                   break;
               }
-              auto dist = solver->Solve(g.sketch);
-              const MaxEntDistribution* dp =
-                  dist.ok() ? dist.value().get() : nullptr;
-              ThresholdCascade::MaxEntResolution resolution;
-              r.exceeds = cascade.DecideWithDistribution(
-                  dp, g.sketch, phi, t, bounds, &resolution);
-              if (resolution ==
-                  ThresholdCascade::MaxEntResolution::kAtomic) {
-                ++st->atomic_fallbacks;
-              } else if (resolution ==
-                         ThresholdCascade::MaxEntResolution::kBounds) {
-                ++st->failed_solves;
-              }
+              // Cascade survivor: the final maxent stage streams through
+              // the shard's chain solver, lane-filling with the other
+              // survivors; the decision lands when the lane solves. `st`
+              // (this lambda's parameter) is captured by value — the
+              // consumer can outlive this frame.
+              solver->Solve(
+                  g.sketch, [&, i, shard, bounds,
+                             st](const ChainSolver::DistResult& dist) {
+                    const Group& g = groups[i];
+                    const MaxEntDistribution* dp =
+                        dist.ok() ? dist.value().get() : nullptr;
+                    ThresholdCascade::MaxEntResolution resolution;
+                    out[i].exceeds = cascades[shard].DecideWithDistribution(
+                        dp, g.sketch, phi, t, bounds, &resolution);
+                    if (resolution ==
+                        ThresholdCascade::MaxEntResolution::kAtomic) {
+                      ++st->atomic_fallbacks;
+                    } else if (resolution ==
+                               ThresholdCascade::MaxEntResolution::kBounds) {
+                      ++st->failed_solves;
+                    }
+                  });
             });
   for (const ThresholdCascade& c : cascades) {
     local_stats.cascade.MergeFrom(c.stats());

@@ -5,16 +5,23 @@
 // (Section 4.3, ~1 ms each), which dominates end-to-end latency past a
 // few thousand groups. The batch pipeline amortizes that work three ways:
 //
-//   1. groups are ordered by moment similarity, so each solve can
-//      warm-start from its neighbor's solution (fewer Newton iterations,
-//      no greedy moment re-selection);
-//   2. a SolverCache keyed on quantized scaled moments lets repeated and
-//      identical-moment groups skip the solve entirely;
-//   3. threshold queries run the cascade's bound stages first, so most
-//      groups never reach the solver at all (Section 5.2).
+//   1. groups from a chain that selected the same moment subset are
+//      packed eight-wide into the lane-batched SIMD Newton solver
+//      (core/batch_solver.h), which runs their solves simultaneously
+//      over one shared quadrature grid;
+//   2. groups are ordered by moment similarity, so solves warm-start
+//      from their neighbors' solutions (fewer Newton iterations) and
+//      same-subset groups land in the same lane bucket;
+//   3. a SolverCache keyed on quantized scaled moments lets repeated and
+//      identical-moment groups skip the solve entirely (in-flight
+//      duplicates coalesce onto one pending lane);
+//   4. threshold queries run the cascade's bound stages first, so most
+//      groups never reach the solver at all (Section 5.2) — survivors
+//      stream into the lane buckets.
 //
 // Chains are contiguous slices of the similarity order, sharded across
-// threads via parallel/parallel_for.h; the cache is shared.
+// threads via parallel/parallel_for.h; the (lock-striped) cache is
+// shared.
 #ifndef MSKETCH_CUBE_BATCH_QUERY_H_
 #define MSKETCH_CUBE_BATCH_QUERY_H_
 
@@ -22,6 +29,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/batch_solver.h"
 #include "core/cascade.h"
 #include "core/maxent_solver.h"
 #include "core/solver_cache.h"
@@ -40,6 +48,12 @@ struct BatchOptions {
   /// slightly different moment subsets; disable for bit-exact parity with
   /// per-group SolveMaxEnt.
   bool use_warm_start = true;
+  /// Pack same-subset groups into the lane-batched SIMD Newton solver
+  /// (core/batch_solver.h) — the default estimation engine. Lane solves
+  /// agree with scalar solves to Newton tolerance but not bit-for-bit
+  /// (the vectorized exp kernel differs from libm by ~1 ulp); disable
+  /// for bit-exact parity with per-group SolveMaxEnt.
+  bool use_lane_solver = true;
   /// Consult/populate a solver cache. Uses `cache` when set, else a
   /// per-batch cache of `cache_capacity` entries.
   bool use_cache = true;
@@ -58,6 +72,12 @@ struct BatchStats {
   uint64_t newton_iterations = 0;  // summed over warm + cold solves
   /// Bound-stage counters (GroupByThreshold only).
   CascadeStats cascade;
+  /// Lane-solver counters (packed solves, occupancy, fallbacks); all
+  /// zero when use_lane_solver is off.
+  LaneSolverStats lane;
+
+  /// Mean fraction of solver lanes occupied per packed Newton run.
+  double LaneOccupancy() const { return lane.LaneOccupancy(); }
 
   double MeanNewtonIterations() const {
     const uint64_t solves = cold_solves + warm_solves;
@@ -79,6 +99,7 @@ struct BatchStats {
     atomic_fallbacks += other.atomic_fallbacks;
     newton_iterations += other.newton_iterations;
     cascade.MergeFrom(other.cascade);
+    lane.MergeFrom(other.lane);
   }
 };
 

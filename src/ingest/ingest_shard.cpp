@@ -59,6 +59,37 @@ void IngestShard::AppendBatch(const CubeCoords& coords, const double* values,
   rows_appended_.fetch_add(n, std::memory_order_relaxed);
 }
 
+void IngestShard::AppendRows(const IngestRow* rows, size_t n) {
+  if (n == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Last-cell memo: feeds are bursty (runs of rows for one cell), and
+  // repeating the hash probe per row is the next cost after the lock.
+  // The map iterator stays valid across other cells' inserts
+  // (unordered_map never invalidates unrelated iterators).
+  Cell* last_cell = nullptr;
+  const CubeCoords* last_coords = nullptr;
+  for (size_t i = 0; i < n; ++i) {
+    const IngestRow& r = rows[i];
+    MSKETCH_DCHECK(r.coords.size() == num_dims_);
+    Cell* cell;
+    if (last_cell != nullptr && *last_coords == r.coords) {
+      cell = last_cell;
+    } else {
+      auto it = cells_.find(r.coords);
+      if (it == cells_.end()) {
+        it = cells_.emplace(r.coords, Cell{MomentsSketch(k_), {}}).first;
+        it->second.pending.reserve(batch_size_);
+      }
+      cell = &it->second;
+      last_cell = cell;
+      last_coords = &it->first;
+    }
+    cell->pending.push_back(r.value);
+    if (cell->pending.size() >= batch_size_) FlushCell(cell);
+  }
+  rows_appended_.fetch_add(n, std::memory_order_relaxed);
+}
+
 void IngestShard::FlushCell(Cell* cell) {
   if (cell->pending.empty()) return;
   cell->sketch.AccumulateBatch(cell->pending.data(), cell->pending.size());

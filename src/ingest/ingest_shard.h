@@ -34,6 +34,12 @@
 
 namespace msketch {
 
+/// One encoded row for the batched append paths.
+struct IngestRow {
+  CubeCoords coords;
+  double value = 0.0;
+};
+
 class IngestShard {
  public:
   /// `batch_size`: pending values buffered per cell before a flush
@@ -46,6 +52,13 @@ class IngestShard {
   /// Buffers `n` rows for one cell — one hash probe for the whole run
   /// (pre-grouped micro-batches are the high-rate ingest fast path).
   void AppendBatch(const CubeCoords& coords, const double* values, size_t n);
+
+  /// Buffers `n` mixed-cell rows under ONE lock acquisition, with a
+  /// last-cell memo that skips the hash probe for consecutive same-cell
+  /// rows. Semantically identical to `n` Append calls (same per-cell
+  /// value order), amortizing the per-row mutex + counter cost that
+  /// dominates the row-at-a-time path.
+  void AppendRows(const IngestRow* rows, size_t n);
 
   /// One drained cell delta: the sketch holds the cell's buffered
   /// moment state (counts, min/max, power and log sums).

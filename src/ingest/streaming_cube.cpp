@@ -37,6 +37,35 @@ Status StreamingCube::AppendRow(const std::vector<std::string>& dims,
   return Status::OK();
 }
 
+void StreamingCube::AppendRows(const IngestRow* rows, size_t n) {
+  if (n == 0) return;
+  // Partition into per-shard runs, preserving arrival order within each
+  // shard (cells are shard-affine, so per-cell order is preserved too).
+  std::vector<std::vector<IngestRow>> parts(shards_.size());
+  for (size_t i = 0; i < n; ++i) {
+    parts[CubeCoordsHash()(rows[i].coords) % shards_.size()].push_back(
+        rows[i]);
+  }
+  for (size_t s = 0; s < parts.size(); ++s) {
+    if (!parts[s].empty()) {
+      shards_[s]->AppendRows(parts[s].data(), parts[s].size());
+    }
+  }
+}
+
+Status StreamingCube::AppendRowBatch(
+    const std::vector<std::vector<std::string>>& rows, const double* values) {
+  Result<std::vector<CubeCoords>> coords = EncodeRows(rows);
+  if (!coords.ok()) return coords.status();
+  std::vector<IngestRow> encoded(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    encoded[i].coords = std::move(coords.value()[i]);
+    encoded[i].value = values[i];
+  }
+  AppendRows(encoded.data(), encoded.size());
+  return Status::OK();
+}
+
 Result<CubeCoords> StreamingCube::EncodeRow(
     const std::vector<std::string>& dims) {
   if (dims.size() != num_dims_) {
@@ -62,6 +91,41 @@ Result<CubeCoords> StreamingCube::EncodeRow(
     coords[d] = dicts_[d].Intern(dims[d]);
   }
   return coords;
+}
+
+Result<std::vector<CubeCoords>> StreamingCube::EncodeRows(
+    const std::vector<std::vector<std::string>>& rows) {
+  std::vector<CubeCoords> out(rows.size(), CubeCoords(num_dims_));
+  // Fast path: one shared lock for the whole batch; every value already
+  // interned. Misses remember where to resume under the exclusive lock.
+  size_t first_miss = rows.size();
+  {
+    std::shared_lock<std::shared_mutex> lock(dict_mu_);
+    for (size_t i = 0; i < rows.size() && first_miss == rows.size(); ++i) {
+      if (rows[i].size() != num_dims_) {
+        return Status::InvalidArgument("EncodeRows: wrong dimension arity");
+      }
+      for (size_t d = 0; d < num_dims_; ++d) {
+        Result<uint32_t> id = dicts_[d].Find(rows[i][d]);
+        if (!id.ok()) {
+          first_miss = i;
+          break;
+        }
+        out[i][d] = id.value();
+      }
+    }
+  }
+  if (first_miss == rows.size()) return out;
+  std::unique_lock<std::shared_mutex> lock(dict_mu_);
+  for (size_t i = first_miss; i < rows.size(); ++i) {
+    if (rows[i].size() != num_dims_) {
+      return Status::InvalidArgument("EncodeRows: wrong dimension arity");
+    }
+    for (size_t d = 0; d < num_dims_; ++d) {
+      out[i][d] = dicts_[d].Intern(rows[i][d]);
+    }
+  }
+  return out;
 }
 
 Result<CubeFilter> StreamingCube::EncodeFilter(

@@ -81,13 +81,38 @@ class StreamingCube {
     shards_[shard]->AppendBatch(coords, values, n);
   }
 
+  /// Appends a run of encoded mixed-cell rows into one shard under a
+  /// single shard-lock acquisition (IngestShard::AppendRows) — the
+  /// high-rate path for writer-per-shard feeds that cannot pre-group
+  /// rows by cell.
+  void AppendRowsToShard(size_t shard, const IngestRow* rows, size_t n) {
+    shards_[shard]->AppendRows(rows, n);
+  }
+
+  /// Appends encoded rows, routing each to its coordinate-hash shard.
+  /// Rows for the same shard are delivered as one batch (per-cell order
+  /// preserved), so the per-row lock cost amortizes across the batch.
+  void AppendRows(const IngestRow* rows, size_t n);
+
   /// Dictionary-encodes a row of string dimension values (interning new
   /// ones) and appends it.
   Status AppendRow(const std::vector<std::string>& dims, double value);
 
+  /// Batch variant of AppendRow: encodes all `n` rows under one
+  /// dictionary lock (hoisting the per-row shared-lock out of the hot
+  /// loop), then appends via the batched shard path. Either every row
+  /// is appended or none (the first malformed row aborts the batch).
+  Status AppendRowBatch(const std::vector<std::vector<std::string>>& rows,
+                        const double* values);
+
   /// Interns `dims` and returns the encoded coordinates (for callers
   /// that batch rows per cell before appending).
   Result<CubeCoords> EncodeRow(const std::vector<std::string>& dims);
+
+  /// Batch encode: one dictionary lock for all rows (shared when every
+  /// value is already interned, exclusive only to intern stragglers).
+  Result<std::vector<CubeCoords>> EncodeRows(
+      const std::vector<std::vector<std::string>>& rows);
 
   /// Encodes a string filter: empty string = unconstrained dimension.
   /// Unknown values yield an error (nothing to match).

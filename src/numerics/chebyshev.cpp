@@ -1,5 +1,6 @@
 #include "numerics/chebyshev.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 
@@ -66,6 +67,33 @@ void ChebyshevEvalMany(const std::vector<double>& coeffs, const double* xs,
     }
   }
   for (; j < n; ++j) out[j] = ChebyshevEval(coeffs, xs[j]);
+}
+
+void ChebyshevTAllMany(int n, const double* xs, size_t m, double* out) {
+  MSKETCH_CHECK(n >= 0);
+  for (size_t j = 0; j < m; ++j) out[j] = 1.0;
+  if (n == 0) return;
+  double* MSKETCH_GCC_RESTRICT row1 = out + m;
+  for (size_t j = 0; j < m; ++j) row1[j] = xs[j];
+  for (int i = 2; i <= n; ++i) {
+    const double* MSKETCH_GCC_RESTRICT prev = out + (i - 1) * m;
+    const double* MSKETCH_GCC_RESTRICT prev2 = out + (i - 2) * m;
+    double* MSKETCH_GCC_RESTRICT row = out + i * m;
+    for (size_t j = 0; j < m; ++j) {
+      row[j] = 2.0 * xs[j] * prev[j] - prev2[j];
+    }
+  }
+}
+
+size_t ChebyshevSignificantPrefix(const std::vector<double>& coeffs,
+                                  double rel_tol) {
+  double cmax = 0.0;
+  for (double c : coeffs) cmax = std::max(cmax, std::fabs(c));
+  if (cmax == 0.0) return 1;
+  const double cut = rel_tol * cmax;
+  size_t len = coeffs.size();
+  while (len > 1 && std::fabs(coeffs[len - 1]) <= cut) --len;
+  return len;
 }
 
 std::vector<std::vector<double>> ChebyshevToMonomialMatrix(int n) {

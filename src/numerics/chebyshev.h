@@ -31,6 +31,22 @@ double ChebyshevEval(const std::vector<double>& coeffs, double x);
 void ChebyshevEvalMany(const std::vector<double>& coeffs, const double* xs,
                        size_t n, double* out);
 
+/// Batched basis tabulation: fills out[i * m + j] = T_i(xs[j]) for
+/// i = 0..n, j = 0..m-1 (row-major by order). The three-term recurrence
+/// runs point-parallel — each point is an independent lane — so the
+/// maxent grid builds (solver and lane-batched solver) get one
+/// vectorizable pass instead of m ChebyshevTAll calls.
+void ChebyshevTAllMany(int n, const double* xs, size_t m, double* out);
+
+/// Length of the shortest coefficient prefix that keeps every dropped
+/// tail coefficient below rel_tol * max|c| (at least 1; coeffs.size()
+/// when nothing can be dropped). Chebyshev series of smooth densities
+/// decay geometrically, so evaluating only the significant prefix cuts
+/// the CDF tabulation cost without measurable error: the dropped mass
+/// is bounded by n * rel_tol * max|c|.
+size_t ChebyshevSignificantPrefix(const std::vector<double>& coeffs,
+                                  double rel_tol);
+
 /// Row i of the returned matrix holds the monomial coefficients of T_i:
 ///   T_i(x) = sum_j M[i][j] x^j,  for i, j in 0..n.
 /// Integer-valued but returned as doubles; coefficients grow like 2^n so

@@ -132,7 +132,9 @@ TEST(SolverCacheTest, DistinguishesSketchesAndOptions) {
 }
 
 TEST(SolverCacheTest, EvictsLeastRecentlyUsed) {
-  SolverCache cache(SolverCacheOptions{2, 1e-9});
+  // One segment: exact global LRU order (the striped default evicts per
+  // segment; see batch_solver_test for the striping behavior).
+  SolverCache cache(SolverCacheOptions{2, 1e-9, 1});
   MaxEntOptions options;
   std::vector<MomentsSketch> sketches;
   for (int i = 0; i < 3; ++i) {
@@ -188,11 +190,13 @@ DataCube<MomentsSummary> BuildGroupedCube(size_t num_groups,
 TEST(BatchQueryTest, GroupByQuantilesMatchesPerGroupSolveExactly) {
   const auto cube = BuildGroupedCube(24, 500);
   const std::vector<double> phis = {0.1, 0.5, 0.95};
-  // Cold path (no warm start, no cache) must reproduce per-group
-  // SolveMaxEnt bit-for-bit.
+  // Cold scalar path (no warm start, no cache, no lane packing) must
+  // reproduce per-group SolveMaxEnt bit-for-bit. The lane engine's
+  // tolerance-level parity is covered in batch_solver_test.
   BatchOptions options;
   options.use_warm_start = false;
   options.use_cache = false;
+  options.use_lane_solver = false;
   BatchStats stats;
   auto results = cube.GroupByQuantiles({0}, phis, options, &stats);
   ASSERT_EQ(results.size(), 24u);

@@ -151,6 +151,31 @@ TEST(IngestShardTest, AppendBatchBitIdenticalToAppendLoop) {
   EXPECT_TRUE(a[0].sketch.IdenticalTo(b[0].sketch));
 }
 
+// AppendRows (the one-lock batched mixed-cell path) == the equivalent
+// Append loop, bit for bit, including the last-cell memo around cell
+// switches and the pending-buffer flush boundary.
+TEST(IngestShardTest, AppendRowsBitIdenticalToAppendLoop) {
+  auto rows = MakeLognormalRows(5000, 29);
+  std::vector<IngestRow> batch;
+  batch.reserve(rows.size());
+  for (const Row& r : rows) batch.push_back(IngestRow{r.coords, r.value});
+
+  IngestShard batched(kDims, 10, /*batch_size=*/7);
+  IngestShard looped(kDims, 10, /*batch_size=*/7);
+  batched.AppendRows(batch.data(), batch.size());
+  for (const Row& r : rows) looped.Append(r.coords, r.value);
+  EXPECT_EQ(batched.rows_appended(), looped.rows_appended());
+
+  auto a = batched.Drain();
+  auto b = looped.Drain();
+  ASSERT_EQ(a.size(), b.size());
+  std::unordered_map<CubeCoords, MomentsSketch, CubeCoordsHash> ref;
+  for (auto& dc : b) ref.emplace(dc.coords, std::move(dc.sketch));
+  for (const auto& dc : a) {
+    EXPECT_TRUE(dc.sketch.IdenticalTo(ref.at(dc.coords)));
+  }
+}
+
 // -------------------------------------------------- drained bit-identity
 
 // Concurrent writers with coordinate-hash routing, one final flush:
@@ -430,6 +455,49 @@ TEST(StreamingCubeTest, DictionaryEncodedAppendAndFilter) {
   ASSERT_TRUE(name.ok());
   EXPECT_EQ(name.value(), "eu-west");
   EXPECT_FALSE(cube.DecodeValue(0, 999).ok());
+}
+
+// AppendRowBatch: one dictionary lock encodes the whole batch (interning
+// new values), one shard-batch append per shard — and the result matches
+// the row-at-a-time path exactly.
+TEST(StreamingCubeTest, AppendRowBatchMatchesPerRowAppend) {
+  const std::vector<std::vector<std::string>> rows = {
+      {"us-east", "checkout"}, {"us-east", "checkout"},
+      {"eu-west", "search"},   {"us-east", "search"},
+      {"ap-south", "checkout"}};
+  const std::vector<double> values = {1.5, 2.5, 3.5, 4.5, 5.5};
+
+  StreamingCube batched(2, MomentsSummary(10));
+  ASSERT_TRUE(batched.AppendRowBatch(rows, values.data()).ok());
+  auto batched_snap = batched.Flush();
+
+  StreamingCube rowwise(2, MomentsSummary(10));
+  for (size_t i = 0; i < rows.size(); ++i) {
+    ASSERT_TRUE(rowwise.AppendRow(rows[i], values[i]).ok());
+  }
+  auto rowwise_snap = rowwise.Flush();
+
+  ASSERT_EQ(batched_snap->rows(), rows.size());
+  EXPECT_TRUE(batched_snap->store.MergeAll().IdenticalTo(
+      rowwise_snap->store.MergeAll()));
+  auto filter = batched.EncodeFilter({"us-east", ""});
+  ASSERT_TRUE(filter.ok());
+  EXPECT_EQ(batched.QueryWhere(filter.value()).count(), 3u);
+
+  // Arity errors abort the whole batch before anything is appended.
+  StreamingCube bad(2, MomentsSummary(10));
+  EXPECT_FALSE(bad.AppendRowBatch({{"only-one-dim"}}, values.data()).ok());
+  EXPECT_EQ(bad.rows_appended(), 0u);
+
+  // EncodeRows: all-known batch takes the shared-lock fast path and
+  // agrees with per-row encoding.
+  auto encoded = batched.EncodeRows(rows);
+  ASSERT_TRUE(encoded.ok());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    auto one = batched.EncodeRow(rows[i]);
+    ASSERT_TRUE(one.ok());
+    EXPECT_EQ(encoded.value()[i], one.value());
+  }
 }
 
 // --------------------------------------------------------- pane feed
