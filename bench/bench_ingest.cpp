@@ -4,19 +4,32 @@
 // Sections (emitted to BENCH_ingest.json via bench_util's JsonReport):
 //   baseline  single-thread AccumulateBatch into one sketch (the PR-2
 //             ingest kernel ceiling) and row-at-a-time CubeStore::Ingest
-//   ingest    StreamingCube at 1/2/4 shards, one writer thread per
-//             shard, background publisher running; per-row Append and
-//             pre-grouped AppendBatch variants. `speedup_vs_accumulate`
-//             is the headline: sharded throughput over the single-
-//             thread AccumulateBatch baseline (scales with cores; on a
+//   ingest    StreamingCube at 1/2/4 shards, background publisher
+//             running; per-row Append, mixed-row AppendRows, and
+//             pre-grouped AppendBatch variants. Writers default to one
+//             per shard; --writers=N decouples them (N writers over
+//             however many shards — fewer writers walk multiple shards,
+//             more writers split each shard's feed and exercise the
+//             multi-writer token hand-off). `speedup_vs_accumulate` is
+//             the headline: sharded throughput over the single-thread
+//             AccumulateBatch baseline (scales with cores; on a
 //             single-core host the threads time-slice and it sits near
-//             or below 1).
+//             or below 1). Rows carry the engine counters
+//             (backpressure, seals, ring high-water) so a throughput
+//             number can be read together with why it happened.
 //   query     QueryWhere latency on a published snapshot — quiescent
 //             and with writers streaming — vs the static cube numbers
 //             (the BENCH_fig3 comparison point).
+//
+// Rows where writers exceed the machine's hardware threads time-slice
+// instead of running in parallel: their numbers say nothing about
+// scaling and must not be read as regressions. Those rows are marked
+// "oversubscribed": true in the JSON (the CI gate skips them).
+#include <array>
 #include <atomic>
 #include <cstdio>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -87,6 +100,16 @@ std::vector<std::vector<MicroBatch>> GroupPerShard(
   return grouped;
 }
 
+/// The slice of `n` items writer `w` covers when `writers_on_shard`
+/// writers split one shard's feed contiguously ([begin, end)).
+std::pair<size_t, size_t> SliceOf(size_t n, size_t index,
+                                  size_t writers_on_shard) {
+  const size_t base = n / writers_on_shard;
+  const size_t rem = n % writers_on_shard;
+  const size_t begin = index * base + std::min(index, rem);
+  return {begin, begin + base + (index < rem ? 1 : 0)};
+}
+
 double Mrps(uint64_t rows, double ms) { return rows / ms / 1e3; }
 
 }  // namespace
@@ -97,13 +120,16 @@ int main(int argc, char** argv) {
       args.GetU64("rows", 1'000'000) * static_cast<uint64_t>(args.Scale());
   const int reps = static_cast<int>(args.GetU64("reps", 3));
   const int query_reps = static_cast<int>(args.GetU64("query-reps", 51));
+  const bool writers_forced = args.Has("writers");
+  const size_t forced_writers = args.GetU64("writers", 0);
   const double hw_threads =
       static_cast<double>(std::thread::hardware_concurrency());
 
   PrintHeader("Streaming ingest: multi-writer throughput + "
               "query-while-ingest");
-  std::printf("rows=%llu, hardware threads=%.0f\n\n",
-              static_cast<unsigned long long>(total_rows), hw_threads);
+  std::printf("rows=%llu, hardware threads=%.0f%s\n\n",
+              static_cast<unsigned long long>(total_rows), hw_threads,
+              writers_forced ? "  (--writers override)" : "");
   JsonReport report("ingest");
 
   std::vector<Row> rows = MakeRows(total_rows);
@@ -136,57 +162,84 @@ int main(int argc, char** argv) {
   }
 
   // -------------------------------------------------------------- ingest
-  //
-  // Shard counts above the machine's hardware threads time-slice the
-  // writers instead of running them in parallel: their throughput says
-  // nothing about shard scaling and must not be read as a regression.
-  // Those rows are flagged (oversubscribed=1, printed marker) and keep
-  // their numbers for completeness.
   enum class Mode { kRow, kRows, kBatch64 };
   for (const size_t shards : {size_t{1}, size_t{2}, size_t{4}}) {
-    const bool oversubscribed = static_cast<double>(shards) > hw_threads;
+    const size_t writers =
+        writers_forced ? std::max<size_t>(forced_writers, 1) : shards;
+    const bool oversubscribed = static_cast<double>(writers) > hw_threads;
     auto parts = PartitionByShard(rows, shards);
     auto grouped = GroupPerShard(parts, 64);
     for (const Mode mode : {Mode::kRow, Mode::kRows, Mode::kBatch64}) {
       double epochs = 0.0, staleness = 0.0, cells = 0.0;
+      IngestStats engine;
       auto ms = TimeReps(reps, [&] {
         IngestOptions options;
         options.num_shards = shards;
         options.epoch_interval = std::chrono::milliseconds(10);
+        // Size chunks to the working set (5000 distinct cells in the
+        // worst case, all on one shard): a chunk that cannot hold the
+        // working set seals constantly and the bounded pool throttles
+        // writers to pool-size chunks per epoch interval.
+        options.chunk_cells = 8192;
         StreamingCube cube(kDims, MomentsSummary(10), options);
         cube.StartPublisher();
-        RunWorkers(static_cast<int>(shards), [&](int w) {
-          switch (mode) {
-            case Mode::kRow:
-              for (const Row& r : parts[w]) {
-                cube.AppendToShard(w, r.coords, r.value);
-              }
-              break;
-            case Mode::kRows: {
-              // Mixed-cell rows in chunks through the one-lock batched
-              // append (the PR-5 hot-path fix for append_row). The chunk
-              // buffer is reused so coords assignments recycle capacity
-              // instead of allocating per row.
-              constexpr size_t kChunk = 256;
-              std::vector<IngestRow> buf(kChunk);
-              size_t fill = 0;
-              for (const Row& r : parts[w]) {
-                buf[fill].coords = r.coords;
-                buf[fill].value = r.value;
-                if (++fill == kChunk) {
-                  cube.AppendRowsToShard(w, buf.data(), fill);
-                  fill = 0;
-                }
-              }
-              if (fill > 0) cube.AppendRowsToShard(w, buf.data(), fill);
-              break;
+        // Writer w covers shards {s : s % writers == w} when writers
+        // <= shards; when writers > shards, the writers sharing shard
+        // s (w % shards == s) split its feed contiguously and drive
+        // the multi-writer token hand-off on one shard.
+        RunWorkers(static_cast<int>(writers), [&](int w) {
+          const size_t uw = static_cast<size_t>(w);
+          auto items_in = [&](size_t s) {
+            return mode == Mode::kBatch64 ? grouped[s].size()
+                                          : parts[s].size();
+          };
+          // (shard, begin, end) over the mode's per-shard item list.
+          std::vector<std::array<size_t, 3>> work;
+          if (writers <= shards) {
+            for (size_t s = uw; s < shards; s += writers) {
+              work.push_back({s, 0, items_in(s)});
             }
-            case Mode::kBatch64:
-              for (const MicroBatch& mb : grouped[w]) {
-                cube.AppendBatch(w, mb.coords, mb.values.data(),
-                                 mb.values.size());
+          } else {
+            const size_t s = uw % shards;
+            const size_t on_shard =
+                writers / shards + (s < writers % shards ? 1 : 0);
+            const auto [b, e] = SliceOf(items_in(s), uw / shards, on_shard);
+            work.push_back({s, b, e});
+          }
+          for (const auto& [s, begin, end] : work) {
+            switch (mode) {
+              case Mode::kRow:
+                for (size_t i = begin; i < end; ++i) {
+                  cube.AppendToShard(s, parts[s][i].coords,
+                                     parts[s][i].value);
+                }
+                break;
+              case Mode::kRows: {
+                // Mixed-cell rows in chunks through the batched append.
+                // The chunk buffer is reused so coords assignments
+                // recycle capacity instead of allocating per row.
+                constexpr size_t kChunk = 256;
+                std::vector<IngestRow> buf(kChunk);
+                size_t fill = 0;
+                for (size_t i = begin; i < end; ++i) {
+                  buf[fill].coords = parts[s][i].coords;
+                  buf[fill].value = parts[s][i].value;
+                  if (++fill == kChunk) {
+                    cube.AppendRowsToShard(s, buf.data(), fill);
+                    fill = 0;
+                  }
+                }
+                if (fill > 0) cube.AppendRowsToShard(s, buf.data(), fill);
+                break;
               }
-              break;
+              case Mode::kBatch64:
+                for (size_t i = begin; i < end; ++i) {
+                  cube.AppendBatch(s, grouped[s][i].coords,
+                                   grouped[s][i].values.data(),
+                                   grouped[s][i].values.size());
+                }
+                break;
+            }
           }
         });
         staleness = static_cast<double>(cube.staleness_rows());
@@ -195,6 +248,7 @@ int main(int argc, char** argv) {
         MSKETCH_CHECK(snap->rows() == total_rows);
         epochs = static_cast<double>(snap->epoch);
         cells = static_cast<double>(snap->store.num_cells());
+        engine = cube.stats();
       });
       const double mrps = Mrps(total_rows, MedianOf(ms));
       const char* mode_name = mode == Mode::kRow      ? "append_row"
@@ -203,22 +257,36 @@ int main(int argc, char** argv) {
       char name[64];
       std::snprintf(name, sizeof(name), "%s x%zu", mode_name, shards);
       std::printf("%-28s %8.1f M rows/s   (%.2fx accumulate baseline, "
-                  "%.0f epochs)%s\n",
+                  "%zu writers, %.0f epochs, %llu bp)%s\n",
                   name, mrps,
                   accumulate_mrps > 0 ? mrps / accumulate_mrps : 0.0,
-                  epochs,
-                  oversubscribed ? "  [oversubscribed: shards > hw threads]"
+                  writers, epochs,
+                  static_cast<unsigned long long>(engine.backpressure_events),
+                  oversubscribed ? "  [oversubscribed: writers > hw threads]"
                                  : "");
       report.Add("ingest", name, ms,
                  {{"mrows_per_s", mrps},
                   {"speedup_vs_accumulate",
                    accumulate_mrps > 0 ? mrps / accumulate_mrps : 0.0},
                   {"shards", static_cast<double>(shards)},
+                  {"writers", static_cast<double>(writers)},
                   {"epochs", epochs},
                   {"pre_flush_staleness_rows", staleness},
                   {"cells", cells},
                   {"hw_threads", hw_threads},
-                  {"oversubscribed", oversubscribed ? 1.0 : 0.0}});
+                  {"backpressure_events",
+                   static_cast<double>(engine.backpressure_events)},
+                  {"rows_backpressured",
+                   static_cast<double>(engine.rows_backpressured)},
+                  {"chunks_sealed",
+                   static_cast<double>(engine.chunks_sealed)},
+                  {"full_ring_high_water",
+                   static_cast<double>(engine.full_ring_high_water)},
+                  {"steal_giveups",
+                   static_cast<double>(engine.steal_giveups)},
+                  {"max_drain_ms", engine.publisher.max_drain_ms},
+                  {"max_publish_ms", engine.publisher.max_publish_ms}},
+                 {{"oversubscribed", oversubscribed}});
     }
   }
   std::printf("\n");
@@ -233,12 +301,19 @@ int main(int argc, char** argv) {
     IngestOptions options;
     options.num_shards = 2;
     options.epoch_interval = std::chrono::milliseconds(10);
+    options.chunk_cells = 8192;  // hold the working set (see above)
     StreamingCube streaming(kDims, MomentsSummary(10), options);
     auto parts = PartitionByShard(rows, options.num_shards);
+    // The fill still needs a drainer running: each epoch steal swaps in
+    // a fresh chunk, and with no drain the bounded pool would empty.
+    streaming.StartPublisher();
     RunWorkers(static_cast<int>(options.num_shards), [&](int w) {
-      for (const Row& r : parts[w]) streaming.AppendToShard(w, r.coords, r.value);
+      for (const Row& r : parts[w]) {
+        streaming.AppendToShard(w, r.coords, r.value);
+      }
     });
     streaming.Flush();
+    streaming.StopPublisher();
 
     struct QueryCase {
       const char* name;

@@ -175,16 +175,19 @@ class JsonReport {
   explicit JsonReport(const std::string& fig) : fig_(fig) {}
   ~JsonReport() { Write(); }
 
-  /// Adds one row; `extra` carries counters (throughput, plan counts...).
+  /// Adds one row; `extra` carries counters (throughput, plan counts...)
+  /// and `flags` carries true/false markers (emitted as JSON booleans).
   void Add(const std::string& section, const std::string& name,
            const std::vector<double>& samples_ms,
-           const std::vector<std::pair<std::string, double>>& extra = {}) {
+           const std::vector<std::pair<std::string, double>>& extra = {},
+           const std::vector<std::pair<std::string, bool>>& flags = {}) {
     Row row;
     row.section = section;
     row.name = name;
     row.median_ms = MedianOf(samples_ms);
     row.p95_ms = PercentileOf(samples_ms, 0.95);
     row.extra = extra;
+    row.flags = flags;
     rows_.push_back(std::move(row));
   }
 
@@ -208,6 +211,10 @@ class JsonReport {
       for (const auto& [key, value] : r.extra) {
         std::fprintf(f, ", \"%s\": %.6g", key.c_str(), value);
       }
+      for (const auto& [key, value] : r.flags) {
+        std::fprintf(f, ", \"%s\": %s", key.c_str(),
+                     value ? "true" : "false");
+      }
       std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
@@ -222,6 +229,7 @@ class JsonReport {
     double median_ms = 0.0;
     double p95_ms = 0.0;
     std::vector<std::pair<std::string, double>> extra;
+    std::vector<std::pair<std::string, bool>> flags;
   };
   std::string fig_;
   std::vector<Row> rows_;

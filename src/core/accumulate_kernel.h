@@ -1,0 +1,130 @@
+// The 4-lane moment accumulation kernel, shared between
+// MomentsSketch::AccumulateBatch (unit-stride member arrays) and the
+// ingest DeltaChunk slot lanes (column-major, stride = slot count).
+//
+// Both callers need the SAME addition sequence per column so a chunk
+// slot folded from a pending buffer is bit-identical to a MomentsSketch
+// fed the same values — that identity is what lets the lock-free ingest
+// path keep the single-writer bit-exactness guarantees. Centralizing
+// the loop makes it true by construction: the per-lane multiply chains
+// are independent (vectorizable), and each column's four adds issue in
+// lane order, matching the scalar accumulate loop element for element.
+//
+// The column index is abstracted as an inlined callable (`idx(i)` ->
+// flat offset of order i), so the unit-stride instantiation compiles to
+// exactly the pre-refactor code and the strided one pays only the
+// offset arithmetic.
+#ifndef MSKETCH_CORE_ACCUMULATE_KERNEL_H_
+#define MSKETCH_CORE_ACCUMULATE_KERNEL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/macros.h"
+
+namespace msketch {
+namespace internal {
+
+/// Adds one element to the target state (Algorithm 1, accumulate).
+/// `power[pow_idx(i)]` holds sum x^(i+1), `logs[log_idx(i)]` holds
+/// sum log^(i+1) x over positive elements.
+template <typename PowIdx, typename LogIdx>
+inline void AccumulateOneInto(int k, uint64_t* count, uint64_t* log_count,
+                              double* min, double* max, double* power,
+                              PowIdx pow_idx, double* logs, LogIdx log_idx,
+                              double x) {
+  MSKETCH_DCHECK(std::isfinite(x));
+  *min = std::min(*min, x);
+  *max = std::max(*max, x);
+  ++*count;
+  double p = 1.0;
+  for (int i = 0; i < k; ++i) {
+    p *= x;
+    power[pow_idx(i)] += p;
+  }
+  if (x > 0.0) {
+    ++*log_count;
+    const double lx = std::log(x);
+    double lp = 1.0;
+    for (int i = 0; i < k; ++i) {
+      lp *= lx;
+      logs[log_idx(i)] += lp;
+    }
+  }
+}
+
+/// Adds `n` elements, bit-for-bit equal to n in-order AccumulateOneInto
+/// calls: four elements per step with independent power/log multiply
+/// chains, each column's additions issued in element order.
+template <typename PowIdx, typename LogIdx>
+inline void AccumulateBatchInto(int k, uint64_t* count, uint64_t* log_count,
+                                double* min, double* max, double* power,
+                                PowIdx pow_idx, double* logs, LogIdx log_idx,
+                                const double* xs, size_t n) {
+  size_t j = 0;
+  double mn = *min, mx = *max;
+  for (; j + 4 <= n; j += 4) {
+    const double x0 = xs[j], x1 = xs[j + 1], x2 = xs[j + 2], x3 = xs[j + 3];
+    MSKETCH_DCHECK(std::isfinite(x0) && std::isfinite(x1) &&
+                   std::isfinite(x2) && std::isfinite(x3));
+    mn = std::min(std::min(std::min(std::min(mn, x0), x1), x2), x3);
+    mx = std::max(std::max(std::max(std::max(mx, x0), x1), x2), x3);
+    *count += 4;
+    double p0 = 1.0, p1 = 1.0, p2 = 1.0, p3 = 1.0;
+    for (int i = 0; i < k; ++i) {
+      p0 *= x0;
+      p1 *= x1;
+      p2 *= x2;
+      p3 *= x3;
+      double* slot = power + pow_idx(i);
+      *slot += p0;
+      *slot += p1;
+      *slot += p2;
+      *slot += p3;
+    }
+    if (x0 > 0.0 && x1 > 0.0 && x2 > 0.0 && x3 > 0.0) {
+      *log_count += 4;
+      const double l0 = std::log(x0), l1 = std::log(x1);
+      const double l2 = std::log(x2), l3 = std::log(x3);
+      double q0 = 1.0, q1 = 1.0, q2 = 1.0, q3 = 1.0;
+      for (int i = 0; i < k; ++i) {
+        q0 *= l0;
+        q1 *= l1;
+        q2 *= l2;
+        q3 *= l3;
+        double* slot = logs + log_idx(i);
+        *slot += q0;
+        *slot += q1;
+        *slot += q2;
+        *slot += q3;
+      }
+    } else {
+      // Mixed-sign block: fall back to per-element log accumulation so
+      // the positive elements' contributions land in element order.
+      for (size_t l = 0; l < 4; ++l) {
+        const double x = xs[j + l];
+        if (x <= 0.0) continue;
+        ++*log_count;
+        const double lx = std::log(x);
+        double lp = 1.0;
+        for (int i = 0; i < k; ++i) {
+          lp *= lx;
+          logs[log_idx(i)] += lp;
+        }
+      }
+    }
+  }
+  *min = mn;
+  *max = mx;
+  for (; j < n; ++j) {
+    AccumulateOneInto(k, count, log_count, min, max, power, pow_idx, logs,
+                      log_idx, xs[j]);
+  }
+}
+
+}  // namespace internal
+}  // namespace msketch
+
+#endif  // MSKETCH_CORE_ACCUMULATE_KERNEL_H_

@@ -4,9 +4,19 @@
 #include <cmath>
 
 #include "common/macros.h"
+#include "core/accumulate_kernel.h"
 #include "core/simd_reduce.h"
 
 namespace msketch {
+namespace {
+
+// Unit-stride column indexing: the sketch's member vectors are dense
+// order-major arrays, so the kernel's idx(i) is the identity.
+struct UnitIdx {
+  size_t operator()(int i) const { return static_cast<size_t>(i); }
+};
+
+}  // namespace
 
 MomentsSketch::MomentsSketch(int k) : k_(k) {
   MSKETCH_CHECK(k >= 1 && k <= 64);
@@ -15,85 +25,19 @@ MomentsSketch::MomentsSketch(int k) : k_(k) {
 }
 
 void MomentsSketch::Accumulate(double x) {
-  MSKETCH_DCHECK(std::isfinite(x));
-  min_ = std::min(min_, x);
-  max_ = std::max(max_, x);
-  ++count_;
-  double p = 1.0;
-  for (int i = 0; i < k_; ++i) {
-    p *= x;
-    power_sums_[i] += p;
-  }
-  if (x > 0.0) {
-    ++log_count_;
-    const double lx = std::log(x);
-    double lp = 1.0;
-    for (int i = 0; i < k_; ++i) {
-      lp *= lx;
-      log_sums_[i] += lp;
-    }
-  }
+  internal::AccumulateOneInto(k_, &count_, &log_count_, &min_, &max_,
+                              power_sums_.data(), UnitIdx{}, log_sums_.data(),
+                              UnitIdx{}, x);
 }
 
 void MomentsSketch::AccumulateBatch(const double* xs, size_t n) {
-  double* power = power_sums_.data();
-  double* logs = log_sums_.data();
-  const int k = k_;
-  size_t j = 0;
-  // Four-lane unroll. The per-lane chains p *= x are independent (the
-  // compiler can pack them into one vector multiply per order), and the
-  // four adds into power[i] are issued in lane order — the same addend
-  // sequence per column as the scalar loop, hence bit-identical.
-  for (; j + 4 <= n; j += 4) {
-    const double x0 = xs[j], x1 = xs[j + 1], x2 = xs[j + 2], x3 = xs[j + 3];
-    MSKETCH_DCHECK(std::isfinite(x0) && std::isfinite(x1) &&
-                   std::isfinite(x2) && std::isfinite(x3));
-    min_ = std::min(std::min(std::min(std::min(min_, x0), x1), x2), x3);
-    max_ = std::max(std::max(std::max(std::max(max_, x0), x1), x2), x3);
-    count_ += 4;
-    double p0 = 1.0, p1 = 1.0, p2 = 1.0, p3 = 1.0;
-    for (int i = 0; i < k; ++i) {
-      p0 *= x0;
-      p1 *= x1;
-      p2 *= x2;
-      p3 *= x3;
-      power[i] += p0;
-      power[i] += p1;
-      power[i] += p2;
-      power[i] += p3;
-    }
-    if (x0 > 0.0 && x1 > 0.0 && x2 > 0.0 && x3 > 0.0) {
-      log_count_ += 4;
-      const double l0 = std::log(x0), l1 = std::log(x1);
-      const double l2 = std::log(x2), l3 = std::log(x3);
-      double q0 = 1.0, q1 = 1.0, q2 = 1.0, q3 = 1.0;
-      for (int i = 0; i < k; ++i) {
-        q0 *= l0;
-        q1 *= l1;
-        q2 *= l2;
-        q3 *= l3;
-        logs[i] += q0;
-        logs[i] += q1;
-        logs[i] += q2;
-        logs[i] += q3;
-      }
-    } else {
-      // Mixed-sign block: fall back to per-element log accumulation so
-      // the positive elements' contributions land in element order.
-      for (size_t l = 0; l < 4; ++l) {
-        const double x = xs[j + l];
-        if (x <= 0.0) continue;
-        ++log_count_;
-        const double lx = std::log(x);
-        double lp = 1.0;
-        for (int i = 0; i < k; ++i) {
-          lp *= lx;
-          logs[i] += lp;
-        }
-      }
-    }
-  }
-  for (; j < n; ++j) Accumulate(xs[j]);
+  // The shared 4-lane kernel (core/accumulate_kernel.h), instantiated at
+  // unit stride: identical code to the pre-extraction loop, and the same
+  // per-column addend sequence as scalar Accumulate — hence bit-identical
+  // to an in-order element loop.
+  internal::AccumulateBatchInto(k_, &count_, &log_count_, &min_, &max_,
+                                power_sums_.data(), UnitIdx{},
+                                log_sums_.data(), UnitIdx{}, xs, n);
 }
 
 Status MomentsSketch::Merge(const MomentsSketch& other) {

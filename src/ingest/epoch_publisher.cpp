@@ -78,8 +78,14 @@ void EpochPublisher::ApplyBatch(CubeStore* store, const DeltaBatch& batch) {
 }
 
 std::shared_ptr<const CubeSnapshot> EpochPublisher::Publish() {
+  using Clock = std::chrono::steady_clock;
   std::unique_lock<std::mutex> publish_lock(publish_mu_);
+  const Clock::time_point t0 = Clock::now();
   DeltaBatch batch = DrainShards();
+  latency_.last_drain_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  latency_.max_drain_ms =
+      std::max(latency_.max_drain_ms, latency_.last_drain_ms);
   if (batch.empty()) {
     // Nothing new arrived: the current snapshot already covers every
     // appended row, so re-publishing would only churn buffers.
@@ -124,6 +130,10 @@ std::shared_ptr<const CubeSnapshot> EpochPublisher::Publish() {
       });
   std::atomic_store(&published_, snap);
   epochs_published_.fetch_add(1, std::memory_order_relaxed);
+  latency_.last_publish_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  latency_.max_publish_ms =
+      std::max(latency_.max_publish_ms, latency_.last_publish_ms);
   // The sink runs outside publish_mu_ so it may query the publisher
   // (Current, lag_batches); sink_mu_ is taken before the publish lock
   // drops, which keeps sink invocations in epoch order.

@@ -60,6 +60,17 @@ struct IngestOptions {
   /// Per-cell pending-value buffer length before an AccumulateBatch
   /// flush inside the shard.
   size_t batch_size = 64;
+  /// Distinct cells a shard's delta chunk holds before the writer seals
+  /// it to the publisher ring. Size it at or above the expected
+  /// per-shard working set: larger keeps each cell's epoch delta in one
+  /// chunk (better batching, per-cell bit-identity on a single drain);
+  /// smaller trades memory for more frequent hand-offs.
+  size_t chunk_cells = IngestShard::kDefaultChunkCells;
+  /// Chunk pool per shard (bounds shard memory). When sealed chunks
+  /// exhaust the pool, appends backpressure (spin-then-yield) until the
+  /// publisher recycles one — so a drainer must run (the background
+  /// publisher or periodic Flush calls) whenever writers can outrun it.
+  size_t chunks_per_shard = IngestShard::kDefaultChunksPerShard;
   /// Snapshot buffers in the publisher pool. Two gives the classic
   /// double buffer; more tolerates slower readers without stalling
   /// Publish at the cost of extra cube copies.
@@ -88,6 +99,18 @@ struct CubeSnapshot {
   size_t buffer_index = 0;  // pool slot backing this snapshot
 
   uint64_t rows() const { return store.num_rows(); }
+};
+
+/// Publisher-side latency counters (stats(); milliseconds).
+struct PublisherStats {
+  uint64_t epochs_published = 0;
+  /// Shard drain (ring sweep + chunk-to-delta conversion) of the most
+  /// recent Publish, and the maximum observed.
+  double last_drain_ms = 0.0;
+  double max_drain_ms = 0.0;
+  /// Whole Publish (drain + replay + rollup + swap), last and maximum.
+  double last_publish_ms = 0.0;
+  double max_publish_ms = 0.0;
 };
 
 class EpochPublisher {
@@ -142,6 +165,14 @@ class EpochPublisher {
     return history_.size();
   }
 
+  /// Drain/publish latency counters (serialized with Publish).
+  PublisherStats stats() const {
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    PublisherStats s = latency_;
+    s.epochs_published = epochs_published_.load(std::memory_order_relaxed);
+    return s;
+  }
+
  private:
   std::unique_ptr<CubeSnapshot> TakeBuffer();
   void ReturnBuffer(CubeSnapshot* snap);
@@ -171,6 +202,7 @@ class EpochPublisher {
   uint64_t next_epoch_ = 1;
   std::deque<std::pair<uint64_t, DeltaBatch>> history_;
   std::vector<uint64_t> buffer_epoch_;
+  PublisherStats latency_;  // epochs_published_ tracked separately
 
   // The published snapshot; accessed via std::atomic_load/atomic_store.
   std::shared_ptr<const CubeSnapshot> published_;

@@ -1,118 +1,286 @@
 #include "ingest/ingest_shard.h"
 
-#include <utility>
+#include <algorithm>
+#include <thread>
 
 #include "common/macros.h"
 
 namespace msketch {
+namespace {
 
-IngestShard::IngestShard(size_t num_dims, int k, size_t batch_size)
-    : num_dims_(num_dims), k_(k), batch_size_(batch_size) {
+// Spins with pause before yielding in the token and backpressure waits:
+// long enough to ride out another writer's append, short enough that a
+// preempted owner (single-core hosts) gets the CPU back quickly.
+constexpr int kTokenSpins = 128;
+constexpr int kBackpressureSpins = 1024;
+// The publisher's bounded wait for a mid-append writer. Interleaved
+// yields keep a preempted writer schedulable; past the bound the parked
+// rows simply ride the next epoch.
+constexpr int kStealSpins = 65536;
+constexpr int kStealYieldEvery = 1024;
+
+constexpr size_t kDirNotFound = static_cast<size_t>(-1);
+
+}  // namespace
+
+const char IngestShard::held_marker_ = 0;
+
+IngestShard::IngestShard(size_t num_dims, int k, size_t batch_size,
+                         size_t chunk_cells, size_t chunks)
+    : num_dims_(num_dims),
+      k_(k),
+      batch_size_(batch_size),
+      chunk_cells_(chunk_cells),
+      full_ring_(chunks),
+      free_ring_(chunks) {
   MSKETCH_CHECK(num_dims >= 1);
   MSKETCH_CHECK(k >= 1 && k <= 64);
   MSKETCH_CHECK(batch_size >= 1);
+  MSKETCH_CHECK(chunk_cells >= 1);
+  MSKETCH_CHECK(chunks >= 2);
+  pool_.reserve(chunks);
+  for (size_t c = 0; c < chunks; ++c) {
+    pool_.push_back(
+        std::make_unique<DeltaChunk>(k, chunk_cells, batch_size));
+    MSKETCH_CHECK(free_ring_.Push(pool_.back().get()));
+  }
+  size_t dir_cap = 1;
+  while (dir_cap < 2 * chunk_cells) dir_cap <<= 1;
+  dir_.assign(dir_cap, 0);
+  dir_mask_ = dir_cap - 1;
+}
+
+DeltaChunk* IngestShard::AcquireCurrent() {
+  int spins = 0;
+  for (;;) {
+    DeltaChunk* cur = parked_.load(std::memory_order_relaxed);
+    if (cur != Held()) {
+      if (parked_.compare_exchange_weak(cur, Held(),
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+        return cur;
+      }
+      continue;  // lost a race; the new state decides the next move
+    }
+    if (++spins < kTokenSpins) {
+      CpuRelax();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void IngestShard::Park(DeltaChunk* chunk) {
+  parked_.store(chunk, std::memory_order_release);
+}
+
+DeltaChunk* IngestShard::StealParked() {
+  for (int spins = 0; spins < kStealSpins; ++spins) {
+    DeltaChunk* cur = parked_.load(std::memory_order_relaxed);
+    if (cur == nullptr) return nullptr;  // no working chunk
+    if (cur != Held()) {
+      if (parked_.compare_exchange_weak(cur, nullptr,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+        return cur;
+      }
+      continue;
+    }
+    if (spins % kStealYieldEvery == kStealYieldEvery - 1) {
+      std::this_thread::yield();
+    } else {
+      CpuRelax();
+    }
+  }
+  steal_giveups_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;  // writer mid-append: its rows ride the next epoch
+}
+
+DeltaChunk* IngestShard::TakeFresh(size_t rows_at_stake) {
+  DeltaChunk* chunk = nullptr;
+  if (!free_ring_.Pop(&chunk)) {
+    // Pool exhausted: the publisher is behind. Spin-then-yield until a
+    // drain recycles a chunk; never drop rows, never allocate.
+    backpressure_events_.fetch_add(1, std::memory_order_relaxed);
+    rows_backpressured_.fetch_add(rows_at_stake, std::memory_order_relaxed);
+    int spins = 0;
+    while (!free_ring_.Pop(&chunk)) {
+      if (++spins < kBackpressureSpins) {
+        CpuRelax();
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+  chunk->set_session(next_session_++);
+  std::fill(dir_.begin(), dir_.end(), uint64_t{0});
+  return chunk;
+}
+
+void IngestShard::Seal(DeltaChunk* chunk, uint64_t* uncounted) {
+  // Rows pushed by the in-progress call must be visible in
+  // rows_appended_ before the chunk can publish (readers assert that
+  // published rows never exceed appended rows).
+  if (*uncounted > 0) {
+    rows_appended_.fetch_add(*uncounted, std::memory_order_relaxed);
+    *uncounted = 0;
+  }
+  chunk->FoldAll();
+  MSKETCH_CHECK(full_ring_.Push(chunk));  // ring capacity == pool size
+  chunks_sealed_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t occ = full_ring_.SizeApprox();
+  uint64_t hw = full_ring_high_water_.load(std::memory_order_relaxed);
+  while (occ > hw && !full_ring_high_water_.compare_exchange_weak(
+                         hw, occ, std::memory_order_relaxed,
+                         std::memory_order_relaxed)) {
+  }
+}
+
+size_t IngestShard::DirFind(DeltaChunk* chunk, const CubeCoords& coords,
+                            uint64_t hash) {
+  size_t idx = hash & dir_mask_;
+  const uint32_t want_tag = static_cast<uint32_t>(hash);
+  for (;;) {
+    const uint64_t entry = dir_[idx];
+    if (entry == 0) return kDirNotFound;
+    if (static_cast<uint32_t>(entry >> 32) == want_tag) {
+      const size_t slot = static_cast<size_t>(entry & 0xffffffffu) - 1;
+      if (chunk->SlotCoords(slot) == coords) return slot;
+    }
+    idx = (idx + 1) & dir_mask_;
+  }
+}
+
+void IngestShard::DirInsert(uint64_t hash, size_t slot) {
+  size_t idx = hash & dir_mask_;
+  while (dir_[idx] != 0) idx = (idx + 1) & dir_mask_;
+  dir_[idx] = (static_cast<uint64_t>(static_cast<uint32_t>(hash)) << 32) |
+              static_cast<uint64_t>(slot + 1);
+}
+
+size_t IngestShard::SlotOf(DeltaChunk** chunk, const CubeCoords& coords,
+                           size_t rows_at_stake, uint64_t* uncounted) {
+  const uint64_t hash = CubeCoordsHash()(coords);
+  const size_t found = DirFind(*chunk, coords, hash);
+  if (found != kDirNotFound) return found;
+  if ((*chunk)->full()) {
+    Seal(*chunk, uncounted);
+    *chunk = TakeFresh(rows_at_stake);
+  }
+  const size_t slot = (*chunk)->AddSlot(coords);
+  DirInsert(hash, slot);
+  return slot;
 }
 
 void IngestShard::Append(const CubeCoords& coords, double value) {
   MSKETCH_DCHECK(coords.size() == num_dims_);
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = cells_.find(coords);
-  if (it == cells_.end()) {
-    it = cells_.emplace(coords, Cell{MomentsSketch(k_), {}}).first;
-    it->second.pending.reserve(batch_size_);
-  }
-  Cell& cell = it->second;
-  cell.pending.push_back(value);
-  if (cell.pending.size() >= batch_size_) FlushCell(&cell);
+  DeltaChunk* chunk = AcquireCurrent();
+  if (chunk == nullptr) chunk = TakeFresh(1);
+  uint64_t uncounted = 0;
+  const size_t slot = SlotOf(&chunk, coords, 1, &uncounted);
+  chunk->Push(slot, value);
   rows_appended_.fetch_add(1, std::memory_order_relaxed);
+  Park(chunk);
 }
 
 void IngestShard::AppendBatch(const CubeCoords& coords, const double* values,
                               size_t n) {
   MSKETCH_DCHECK(coords.size() == num_dims_);
   if (n == 0) return;
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = cells_.find(coords);
-  if (it == cells_.end()) {
-    it = cells_.emplace(coords, Cell{MomentsSketch(k_), {}}).first;
-    it->second.pending.reserve(batch_size_);
-  }
-  Cell& cell = it->second;
-  // Keep the same per-cell value order as n calls to Append: top up the
-  // pending buffer to a full flush, then run whole batches straight
-  // through the kernel, then buffer the tail.
-  size_t i = 0;
-  if (!cell.pending.empty()) {
-    while (i < n && cell.pending.size() < batch_size_) {
-      cell.pending.push_back(values[i++]);
-    }
-    if (cell.pending.size() >= batch_size_) FlushCell(&cell);
-  }
-  if (i < n) {
-    const size_t whole = ((n - i) / batch_size_) * batch_size_;
-    if (whole > 0) {
-      cell.sketch.AccumulateBatch(values + i, whole);
-      i += whole;
-    }
-    for (; i < n; ++i) cell.pending.push_back(values[i]);
-  }
+  DeltaChunk* chunk = AcquireCurrent();
+  if (chunk == nullptr) chunk = TakeFresh(n);
+  uint64_t uncounted = 0;
+  const size_t slot = SlotOf(&chunk, coords, n, &uncounted);
+  chunk->PushRun(slot, values, n);
   rows_appended_.fetch_add(n, std::memory_order_relaxed);
+  Park(chunk);
 }
 
 void IngestShard::AppendRows(const IngestRow* rows, size_t n) {
   if (n == 0) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  DeltaChunk* chunk = AcquireCurrent();
+  if (chunk == nullptr) chunk = TakeFresh(n);
+  uint64_t uncounted = 0;
   // Last-cell memo: feeds are bursty (runs of rows for one cell), and
-  // repeating the hash probe per row is the next cost after the lock.
-  // The map iterator stays valid across other cells' inserts
-  // (unordered_map never invalidates unrelated iterators).
-  Cell* last_cell = nullptr;
-  const CubeCoords* last_coords = nullptr;
+  // the directory probe is the next cost after the buffered store. The
+  // memo pointer targets the chunk's slot-coords storage, which is
+  // stable until the chunk seals — and a seal routes the next row
+  // through SlotOf, which refreshes the memo.
+  const CubeCoords* last = nullptr;
+  size_t last_slot = 0;
   for (size_t i = 0; i < n; ++i) {
     const IngestRow& r = rows[i];
     MSKETCH_DCHECK(r.coords.size() == num_dims_);
-    Cell* cell;
-    if (last_cell != nullptr && *last_coords == r.coords) {
-      cell = last_cell;
+    size_t slot;
+    if (last != nullptr && *last == r.coords) {
+      slot = last_slot;
     } else {
-      auto it = cells_.find(r.coords);
-      if (it == cells_.end()) {
-        it = cells_.emplace(r.coords, Cell{MomentsSketch(k_), {}}).first;
-        it->second.pending.reserve(batch_size_);
-      }
-      cell = &it->second;
-      last_cell = cell;
-      last_coords = &it->first;
+      slot = SlotOf(&chunk, r.coords, n - i, &uncounted);
+      last = &chunk->SlotCoords(slot);
+      last_slot = slot;
     }
-    cell->pending.push_back(r.value);
-    if (cell->pending.size() >= batch_size_) FlushCell(cell);
+    chunk->Push(slot, r.value);
+    ++uncounted;
   }
-  rows_appended_.fetch_add(n, std::memory_order_relaxed);
-}
-
-void IngestShard::FlushCell(Cell* cell) {
-  if (cell->pending.empty()) return;
-  cell->sketch.AccumulateBatch(cell->pending.data(), cell->pending.size());
-  cell->pending.clear();
+  rows_appended_.fetch_add(uncounted, std::memory_order_relaxed);
+  Park(chunk);
 }
 
 std::vector<IngestShard::DeltaCell> IngestShard::Drain() {
-  std::unordered_map<CubeCoords, Cell, CubeCoordsHash> taken;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    taken.swap(cells_);
+  std::vector<DeltaChunk*> chunks;
+  DeltaChunk* c = nullptr;
+  // Wait-free sweep: everything already sealed, then the parked working
+  // chunk (bounded wait), then anything sealed while we were stealing.
+  while (full_ring_.Pop(&c)) chunks.push_back(c);
+  if (DeltaChunk* stolen = StealParked()) {
+    stolen->FoldAll();
+    chunks.push_back(stolen);
   }
-  // Pending-buffer flushes run outside the lock: the swapped-out map is
-  // private to this call, so writers keep appending into the fresh map
-  // while the publisher finishes the deltas.
+  while (full_ring_.Pop(&c)) chunks.push_back(c);
+  // Service-entry order == seal order == per-cell delta order: the
+  // ring is FIFO but the stolen chunk and the post-steal sweep can
+  // arrive out of sequence.
+  std::sort(chunks.begin(), chunks.end(),
+            [](const DeltaChunk* a, const DeltaChunk* b) {
+              return a->session() < b->session();
+            });
+
   std::vector<DeltaCell> out;
-  out.reserve(taken.size());
-  for (auto& [coords, cell] : taken) {
-    FlushCell(&cell);
-    if (cell.sketch.count() == 0) continue;
-    out.push_back(DeltaCell{coords, std::move(cell.sketch)});
+  size_t total_slots = 0;
+  for (const DeltaChunk* chunk : chunks) total_slots += chunk->used();
+  out.reserve(total_slots);
+  for (DeltaChunk* chunk : chunks) {
+    const FlatMomentColumns view = chunk->View();
+    const size_t used = chunk->used();
+    for (size_t s = 0; s < used; ++s) {
+      if (view.counts[s] == 0) continue;
+      // MergeFlat into an empty sketch is a bit-exact copy of the slot
+      // (0 + x == x for finite sums; min/max fold from the sentinels).
+      const uint32_t id = static_cast<uint32_t>(s);
+      MomentsSketch sketch(k_);
+      MSKETCH_CHECK(sketch.MergeFlat(view, &id, 1).ok());
+      out.push_back(DeltaCell{chunk->SlotCoords(s), std::move(sketch)});
+    }
+    chunk->Reset();
+    MSKETCH_CHECK(free_ring_.Push(chunk));
+    chunks_drained_.fetch_add(1, std::memory_order_relaxed);
   }
   return out;
+}
+
+IngestShardStats IngestShard::stats() const {
+  IngestShardStats s;
+  s.rows_appended = rows_appended_.load(std::memory_order_relaxed);
+  s.rows_backpressured =
+      rows_backpressured_.load(std::memory_order_relaxed);
+  s.backpressure_events =
+      backpressure_events_.load(std::memory_order_relaxed);
+  s.chunks_sealed = chunks_sealed_.load(std::memory_order_relaxed);
+  s.chunks_drained = chunks_drained_.load(std::memory_order_relaxed);
+  s.full_ring_high_water =
+      full_ring_high_water_.load(std::memory_order_relaxed);
+  s.steal_giveups = steal_giveups_.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace msketch

@@ -1,0 +1,102 @@
+// Bounded lock-free single-producer / single-consumer ring, the chunk
+// hand-off primitive of the streaming ingest engine.
+//
+// Classic head/tail index ring with cached counterpart indices (the
+// producer re-reads `head` only when its cached copy says full, the
+// consumer re-reads `tail` only when its cached copy says empty), so
+// the steady-state fast path touches one shared atomic per operation.
+// Push publishes the slot with a release store on `tail`; Pop consumes
+// with an acquire load — the only synchronization the payload needs.
+//
+// "Single producer" and "single consumer" are ROLES, not thread
+// identities: the ingest shard hands the producer role between writer
+// threads through its parked-token CAS (an acquire/release chain), and
+// the consumer role is serialized under the publisher's publish lock.
+// Any such happens-before chain makes the cached plain-field accesses
+// race-free.
+#ifndef MSKETCH_INGEST_SPSC_RING_H_
+#define MSKETCH_INGEST_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace msketch {
+
+/// Pause-instruction hint for spin loops (backpressure, token waits).
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two >= min_capacity; the ring
+  /// holds exactly capacity() items when full.
+  explicit SpscRing(size_t min_capacity) {
+    MSKETCH_CHECK(min_capacity >= 1);
+    size_t cap = 1;
+    while (cap < min_capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Returns false when full (never blocks).
+  bool Push(T item) {
+    const uint64_t t = tail_.load(std::memory_order_relaxed);
+    if (t - head_cache_ > mask_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (t - head_cache_ > mask_) return false;
+    }
+    slots_[t & mask_] = item;
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when empty (never blocks).
+  bool Pop(T* out) {
+    const uint64_t h = head_.load(std::memory_order_relaxed);
+    if (h == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (h == tail_cache_) return false;
+    }
+    *out = slots_[h & mask_];
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Racy occupancy estimate (stats only).
+  size_t SizeApprox() const {
+    return static_cast<size_t>(tail_.load(std::memory_order_relaxed) -
+                               head_.load(std::memory_order_relaxed));
+  }
+
+  size_t capacity() const { return mask_ + 1; }
+
+ private:
+  size_t mask_ = 0;
+  std::vector<T> slots_;
+  // Producer-written / consumer-written indices on separate cache lines;
+  // the caches are private to their role's happens-before chain.
+  alignas(64) std::atomic<uint64_t> tail_{0};
+  uint64_t head_cache_ = 0;  // producer-local
+  alignas(64) std::atomic<uint64_t> head_{0};
+  uint64_t tail_cache_ = 0;  // consumer-local
+};
+
+}  // namespace msketch
+
+#endif  // MSKETCH_INGEST_SPSC_RING_H_

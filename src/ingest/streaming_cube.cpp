@@ -1,5 +1,6 @@
 #include "ingest/streaming_cube.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/macros.h"
@@ -11,14 +12,18 @@ StreamingCube::StreamingCube(size_t num_dims, MomentsSummary prototype,
     : num_dims_(num_dims),
       prototype_k_(prototype.k()),
       options_maxent_(prototype.options()),
-      options_(options),
-      dicts_(num_dims) {
+      options_(options) {
   MSKETCH_CHECK(num_dims >= 1);
   MSKETCH_CHECK(options_.num_shards >= 1);
+  auto initial = std::make_unique<DictSnapshot>();
+  initial->dicts.resize(num_dims_);
+  dict_.store(initial.get(), std::memory_order_release);
+  dict_versions_.push_back(std::move(initial));
   shards_.reserve(options_.num_shards);
   for (size_t s = 0; s < options_.num_shards; ++s) {
-    shards_.push_back(std::make_unique<IngestShard>(num_dims_, prototype_k_,
-                                                    options_.batch_size));
+    shards_.push_back(std::make_unique<IngestShard>(
+        num_dims_, prototype_k_, options_.batch_size, options_.chunk_cells,
+        options_.chunks_per_shard));
   }
   std::vector<IngestShard*> shard_ptrs;
   shard_ptrs.reserve(shards_.size());
@@ -66,63 +71,86 @@ Status StreamingCube::AppendRowBatch(
   return Status::OK();
 }
 
+const StreamingCube::DictSnapshot* StreamingCube::InternMissing(
+    const std::vector<std::vector<std::string>>& rows) {
+  std::lock_guard<std::mutex> lock(intern_mu_);
+  dict_exclusive_locks_.fetch_add(1, std::memory_order_relaxed);
+  // Copy the newest version (dict_versions_.back(), which intern_mu_
+  // guards — dict_ always points at it). Intern is idempotent, so rows
+  // another interner published while we waited for the lock just
+  // resolve to their existing ids.
+  auto next = std::make_unique<DictSnapshot>(*dict_versions_.back());
+  for (const std::vector<std::string>& row : rows) {
+    for (size_t d = 0; d < num_dims_; ++d) {
+      next->dicts[d].Intern(row[d]);
+    }
+  }
+  const DictSnapshot* published = next.get();
+  dict_versions_.push_back(std::move(next));
+  // The release store pairs with readers' acquire loads: a reader that
+  // sees the new pointer sees the fully built dictionaries.
+  dict_.store(published, std::memory_order_release);
+  return published;
+}
+
 Result<CubeCoords> StreamingCube::EncodeRow(
     const std::vector<std::string>& dims) {
   if (dims.size() != num_dims_) {
     return Status::InvalidArgument("EncodeRow: wrong dimension arity");
   }
   CubeCoords coords(num_dims_);
-  // Fast path: every value already interned, shared lock only.
-  {
-    std::shared_lock<std::shared_mutex> lock(dict_mu_);
-    bool all_known = true;
-    for (size_t d = 0; d < num_dims_; ++d) {
-      Result<uint32_t> id = dicts_[d].Find(dims[d]);
-      if (!id.ok()) {
-        all_known = false;
-        break;
-      }
-      coords[d] = id.value();
-    }
-    if (all_known) return coords;
-  }
-  std::unique_lock<std::shared_mutex> lock(dict_mu_);
+  // Fast path: every value already interned — one acquire load, no lock.
+  const DictSnapshot* snap = Dicts();
+  bool all_known = true;
   for (size_t d = 0; d < num_dims_; ++d) {
-    coords[d] = dicts_[d].Intern(dims[d]);
+    Result<uint32_t> id = snap->dicts[d].Find(dims[d]);
+    if (!id.ok()) {
+      all_known = false;
+      break;
+    }
+    coords[d] = id.value();
+  }
+  if (all_known) return coords;
+  // Slow path: publish a version containing this row, then encode from
+  // it (every value is present by construction).
+  snap = InternMissing({dims});
+  for (size_t d = 0; d < num_dims_; ++d) {
+    coords[d] = snap->dicts[d].Find(dims[d]).value();
   }
   return coords;
 }
 
 Result<std::vector<CubeCoords>> StreamingCube::EncodeRows(
     const std::vector<std::vector<std::string>>& rows) {
+  // Validate arity for every row before interning anything, so a
+  // malformed batch fails without publishing a partial version.
+  for (const std::vector<std::string>& row : rows) {
+    if (row.size() != num_dims_) {
+      return Status::InvalidArgument("EncodeRows: wrong dimension arity");
+    }
+  }
   std::vector<CubeCoords> out(rows.size(), CubeCoords(num_dims_));
-  // Fast path: one shared lock for the whole batch; every value already
-  // interned. Misses remember where to resume under the exclusive lock.
+  // Fast path: one acquire load covers the whole batch; misses are
+  // remembered and resolved against the upgraded version below.
+  const DictSnapshot* snap = Dicts();
   size_t first_miss = rows.size();
-  {
-    std::shared_lock<std::shared_mutex> lock(dict_mu_);
-    for (size_t i = 0; i < rows.size() && first_miss == rows.size(); ++i) {
-      if (rows[i].size() != num_dims_) {
-        return Status::InvalidArgument("EncodeRows: wrong dimension arity");
+  for (size_t i = 0; i < rows.size() && first_miss == rows.size(); ++i) {
+    for (size_t d = 0; d < num_dims_; ++d) {
+      Result<uint32_t> id = snap->dicts[d].Find(rows[i][d]);
+      if (!id.ok()) {
+        first_miss = i;
+        break;
       }
-      for (size_t d = 0; d < num_dims_; ++d) {
-        Result<uint32_t> id = dicts_[d].Find(rows[i][d]);
-        if (!id.ok()) {
-          first_miss = i;
-          break;
-        }
-        out[i][d] = id.value();
-      }
+      out[i][d] = id.value();
     }
   }
   if (first_miss == rows.size()) return out;
-  std::unique_lock<std::shared_mutex> lock(dict_mu_);
+  // Slow path: exactly one exclusive upgrade for the whole batch, no
+  // matter how many rows or values are new.
+  snap = InternMissing(rows);
   for (size_t i = first_miss; i < rows.size(); ++i) {
-    if (rows[i].size() != num_dims_) {
-      return Status::InvalidArgument("EncodeRows: wrong dimension arity");
-    }
     for (size_t d = 0; d < num_dims_; ++d) {
-      out[i][d] = dicts_[d].Intern(rows[i][d]);
+      out[i][d] = snap->dicts[d].Find(rows[i][d]).value();
     }
   }
   return out;
@@ -134,10 +162,10 @@ Result<CubeFilter> StreamingCube::EncodeFilter(
     return Status::InvalidArgument("EncodeFilter: wrong dimension arity");
   }
   CubeFilter filter(num_dims_, kAnyValue);
-  std::shared_lock<std::shared_mutex> lock(dict_mu_);
+  const DictSnapshot* snap = Dicts();
   for (size_t d = 0; d < num_dims_; ++d) {
     if (dims[d].empty()) continue;
-    Result<uint32_t> id = dicts_[d].Find(dims[d]);
+    Result<uint32_t> id = snap->dicts[d].Find(dims[d]);
     if (!id.ok()) return id.status();
     filter[d] = static_cast<int64_t>(id.value());
   }
@@ -149,11 +177,11 @@ Result<std::string> StreamingCube::DecodeValue(size_t dim,
   if (dim >= num_dims_) {
     return Status::InvalidArgument("DecodeValue: dimension out of range");
   }
-  std::shared_lock<std::shared_mutex> lock(dict_mu_);
-  if (id >= dicts_[dim].size()) {
+  const DictSnapshot* snap = Dicts();
+  if (id >= snap->dicts[dim].size()) {
     return Status::OutOfRange("DecodeValue: unknown value id");
   }
-  return dicts_[dim].ValueOf(id);
+  return snap->dicts[dim].ValueOf(id);
 }
 
 MomentsSummary StreamingCube::QueryWhere(const CubeFilter& filter,
@@ -192,6 +220,25 @@ uint64_t StreamingCube::rows_appended() const {
   uint64_t total = 0;
   for (const auto& s : shards_) total += s->rows_appended();
   return total;
+}
+
+IngestStats StreamingCube::stats() const {
+  IngestStats agg;
+  for (const auto& shard : shards_) {
+    const IngestShardStats s = shard->stats();
+    agg.rows_appended += s.rows_appended;
+    agg.rows_backpressured += s.rows_backpressured;
+    agg.backpressure_events += s.backpressure_events;
+    agg.chunks_sealed += s.chunks_sealed;
+    agg.chunks_drained += s.chunks_drained;
+    agg.full_ring_high_water =
+        std::max(agg.full_ring_high_water, s.full_ring_high_water);
+    agg.steal_giveups += s.steal_giveups;
+  }
+  agg.dict_exclusive_locks =
+      dict_exclusive_locks_.load(std::memory_order_relaxed);
+  agg.publisher = publisher_->stats();
+  return agg;
 }
 
 }  // namespace msketch

@@ -31,9 +31,10 @@
 #ifndef MSKETCH_INGEST_STREAMING_CUBE_H_
 #define MSKETCH_INGEST_STREAMING_CUBE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,29 @@
 #include "ingest/ingest_shard.h"
 
 namespace msketch {
+
+/// Aggregated engine counters (StreamingCube::stats()): writer-side
+/// hand-off behavior summed over shards, the dictionary's exclusive
+/// intern count, and publisher drain/publish latency — enough to read
+/// the scaling curve (backpressure means the publisher is the
+/// bottleneck; a hot dict_exclusive_locks means the value universe is
+/// still growing).
+struct IngestStats {
+  uint64_t rows_appended = 0;
+  uint64_t rows_backpressured = 0;
+  uint64_t backpressure_events = 0;
+  uint64_t chunks_sealed = 0;
+  uint64_t chunks_drained = 0;
+  /// Max over shards of the FULL-ring occupancy high-water.
+  uint64_t full_ring_high_water = 0;
+  uint64_t steal_giveups = 0;
+  /// Writer-path blocking-lock acquisitions: every mutex the encode or
+  /// append path can take bumps this (currently only the dictionary
+  /// intern lock). Zero over an interval == the writer hot path ran
+  /// entirely lock-free.
+  uint64_t dict_exclusive_locks = 0;
+  PublisherStats publisher;
+};
 
 class StreamingCube {
  public:
@@ -98,10 +122,10 @@ class StreamingCube {
   /// ones) and appends it.
   Status AppendRow(const std::vector<std::string>& dims, double value);
 
-  /// Batch variant of AppendRow: encodes all `n` rows under one
-  /// dictionary lock (hoisting the per-row shared-lock out of the hot
-  /// loop), then appends via the batched shard path. Either every row
-  /// is appended or none (the first malformed row aborts the batch).
+  /// Batch variant of AppendRow: encodes all `n` rows against one
+  /// lock-free dictionary version, then appends via the batched shard
+  /// path. Either every row is appended or none (a malformed row aborts
+  /// the batch before any append).
   Status AppendRowBatch(const std::vector<std::vector<std::string>>& rows,
                         const double* values);
 
@@ -109,8 +133,10 @@ class StreamingCube {
   /// that batch rows per cell before appending).
   Result<CubeCoords> EncodeRow(const std::vector<std::string>& dims);
 
-  /// Batch encode: one dictionary lock for all rows (shared when every
-  /// value is already interned, exclusive only to intern stragglers).
+  /// Batch encode. The fast path is lock-free: one acquire load of the
+  /// current dictionary version covers the whole batch. Only when a row
+  /// carries a never-seen value does the call take the intern lock —
+  /// once for the entire batch — to publish a new version.
   Result<std::vector<CubeCoords>> EncodeRows(
       const std::vector<std::vector<std::string>>& rows);
 
@@ -183,16 +209,47 @@ class StreamingCube {
   int k() const { return prototype_k_; }
   const MaxEntOptions& estimator_options() const { return options_maxent_; }
 
+  /// Engine counters aggregated across shards, the dictionary, and the
+  /// publisher. Safe to call while writers and the publisher run.
+  IngestStats stats() const;
+  /// One shard's counters (diagnostics; shard load balance).
+  IngestShardStats shard_stats(size_t shard) const {
+    return shards_[shard]->stats();
+  }
+
  private:
+  /// An immutable dictionary version. Readers load the current version
+  /// with one acquire load and use it lock-free; interning publishes a
+  /// copied successor (read-copy-update). Retired versions stay alive
+  /// in dict_versions_ until the cube is destroyed — versions are tiny
+  /// next to the cube and this keeps reader lifetimes trivial (no
+  /// hazard pointers, no reader registration).
+  struct DictSnapshot {
+    std::vector<Dictionary> dicts;
+  };
+
+  /// The current dictionary version (acquire load to read).
+  const DictSnapshot* Dicts() const {
+    return dict_.load(std::memory_order_acquire);
+  }
+  /// Interns every (dim, value) pair in `rows` that the current version
+  /// lacks, publishing one new version under one intern_mu_ hold.
+  /// Returns the version containing every value in `rows`.
+  const DictSnapshot* InternMissing(
+      const std::vector<std::vector<std::string>>& rows);
+
   const size_t num_dims_;
   const int prototype_k_;
   const MaxEntOptions options_maxent_;
   const IngestOptions options_;
 
-  // Dictionaries are read-mostly: Find under a shared lock, falling
-  // back to an exclusive lock only to intern a new value.
-  mutable std::shared_mutex dict_mu_;
-  std::vector<Dictionary> dicts_;
+  // Dictionary versions: dict_ points at the newest, dict_versions_
+  // (guarded by intern_mu_) owns them all. dict_exclusive_locks_ counts
+  // intern_mu_ acquisitions — the writer-hot-path "zero mutex" witness.
+  std::atomic<const DictSnapshot*> dict_{nullptr};
+  std::mutex intern_mu_;
+  std::vector<std::unique_ptr<DictSnapshot>> dict_versions_;
+  mutable std::atomic<uint64_t> dict_exclusive_locks_{0};
 
   std::vector<std::unique_ptr<IngestShard>> shards_;
   std::unique_ptr<EpochPublisher> publisher_;

@@ -500,6 +500,180 @@ TEST(StreamingCubeTest, AppendRowBatchMatchesPerRowAppend) {
   }
 }
 
+// ------------------------------------------------- lock-free hot path
+
+// The witness for the "writer hot path takes no mutex" claim: every
+// blocking lock the encode/append path can touch bumps
+// dict_exclusive_locks (the intern lock is the only one left). Once the
+// value universe is warm, a burst of string appends and encoded appends
+// must leave the counter untouched.
+TEST(StreamingCubeTest, WriterHotPathTakesNoLockOnceDictionaryIsWarm) {
+  IngestOptions options;
+  options.num_shards = 2;
+  StreamingCube cube(2, MomentsSummary(10), options);
+  const std::vector<std::vector<std::string>> universe = {
+      {"us-east", "checkout"}, {"eu-west", "search"},
+      {"us-east", "search"},   {"eu-west", "checkout"}};
+  for (const auto& dims : universe) {
+    ASSERT_TRUE(cube.AppendRow(dims, 1.0).ok());
+  }
+  const uint64_t warm_locks = cube.stats().dict_exclusive_locks;
+  EXPECT_GT(warm_locks, 0u);  // warming interned through the slow path
+
+  Rng rng(23);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(
+        cube.AppendRow(universe[rng.NextBelow(universe.size())], 2.0).ok());
+  }
+  auto coords = cube.EncodeRow(universe[0]);
+  ASSERT_TRUE(coords.ok());
+  for (int i = 0; i < 10000; ++i) cube.Append(coords.value(), 3.0);
+  ASSERT_TRUE(cube.EncodeRows(universe).ok());
+  ASSERT_TRUE(cube.EncodeFilter({"us-east", ""}).ok());
+
+  EXPECT_EQ(cube.stats().dict_exclusive_locks, warm_locks);
+  EXPECT_EQ(cube.Flush()->rows(), 4u + 10000u + 10000u);
+}
+
+// EncodeRows takes exactly ONE exclusive upgrade per batch no matter
+// how the new values interleave with known ones — and none at all when
+// everything is known.
+TEST(StreamingCubeTest, EncodeRowsInterleavedNewValuesSingleUpgrade) {
+  StreamingCube cube(2, MomentsSummary(10));
+  ASSERT_TRUE(cube.AppendRow({"us-east", "checkout"}, 1.0).ok());
+  const uint64_t base = cube.stats().dict_exclusive_locks;
+
+  // known, new, known, new, new — misses scattered through the batch.
+  const std::vector<std::vector<std::string>> mixed = {
+      {"us-east", "checkout"}, {"eu-west", "checkout"},
+      {"us-east", "checkout"}, {"us-east", "search"},
+      {"ap-south", "browse"}};
+  auto encoded = cube.EncodeRows(mixed);
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_EQ(cube.stats().dict_exclusive_locks, base + 1);
+
+  // Every row round-trips through the published dictionary version and
+  // agrees with the single-row encoder.
+  for (size_t i = 0; i < mixed.size(); ++i) {
+    auto one = cube.EncodeRow(mixed[i]);
+    ASSERT_TRUE(one.ok());
+    EXPECT_EQ(encoded.value()[i], one.value());
+    for (size_t d = 0; d < 2; ++d) {
+      auto name = cube.DecodeValue(d, encoded.value()[i][d]);
+      ASSERT_TRUE(name.ok());
+      EXPECT_EQ(name.value(), mixed[i][d]);
+    }
+  }
+
+  // All-known batch: pure fast path, zero upgrades.
+  ASSERT_TRUE(cube.EncodeRows(mixed).ok());
+  EXPECT_EQ(cube.stats().dict_exclusive_locks, base + 1);
+}
+
+// ------------------------------------------- backpressure / wraparound
+
+// A deliberately tiny chunk pool against a slow drainer: chunks seal
+// constantly, both rings wrap many times, the freelist runs dry and the
+// writer backpressures — and still no row is lost and every cell's
+// state is exact.
+TEST(IngestShardTest, RingWraparoundAndFreelistExhaustionBackpressure) {
+  // 4-cell chunks from a 2-chunk pool against a 60-cell universe: a
+  // seal every few rows.
+  IngestShard shard(kDims, 10, /*batch_size=*/8, /*chunk_cells=*/4,
+                    /*chunks=*/2);
+  auto rows = MakeExactRows(10000, 31);
+
+  std::unordered_map<CubeCoords, MomentsSketch, CubeCoordsHash> merged;
+  std::atomic<bool> done{false};
+  std::thread drainer([&] {
+    auto drain_into = [&] {
+      for (auto& dc : shard.Drain()) {
+        auto it = merged.find(dc.coords);
+        if (it == merged.end()) {
+          it = merged.emplace(dc.coords, MomentsSketch(10)).first;
+        }
+        ASSERT_TRUE(it->second.Merge(dc.sketch).ok());
+      }
+    };
+    while (!done.load(std::memory_order_acquire)) {
+      drain_into();
+      // Slow publisher: writers outrun the drain cadence by design.
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    drain_into();
+    drain_into();  // sweep anything parked after the writer finished
+  });
+  for (const Row& r : rows) shard.Append(r.coords, r.value);
+  done.store(true, std::memory_order_release);
+  drainer.join();
+
+  const IngestShardStats stats = shard.stats();
+  EXPECT_EQ(stats.rows_appended, rows.size());
+  EXPECT_GT(stats.chunks_sealed, 10u);          // rings wrapped many times
+  EXPECT_GT(stats.rows_backpressured, 0u);      // the freelist ran dry
+  EXPECT_GT(stats.backpressure_events, 0u);
+  // Every sealed chunk came back through a drain (steals add more).
+  EXPECT_GE(stats.chunks_drained, stats.chunks_sealed);
+
+  // Exact-arithmetic rows: the merged deltas are bit-identical to an
+  // in-order single-threaded accumulation regardless of how the stream
+  // split across chunks and drains.
+  std::unordered_map<CubeCoords, MomentsSketch, CubeCoordsHash> want;
+  uint64_t total = 0;
+  for (const Row& r : rows) {
+    auto it = want.find(r.coords);
+    if (it == want.end()) {
+      it = want.emplace(r.coords, MomentsSketch(10)).first;
+    }
+    it->second.Accumulate(r.value);
+  }
+  ASSERT_EQ(merged.size(), want.size());
+  for (const auto& [coords, sketch] : want) {
+    auto it = merged.find(coords);
+    ASSERT_NE(it, merged.end());
+    EXPECT_TRUE(it->second.IdenticalTo(sketch));
+    total += it->second.count();
+  }
+  EXPECT_EQ(total, rows.size());
+}
+
+// Chunk overflow under a live publisher: chunks far smaller than the
+// working set force constant seal/recycle traffic across many epochs,
+// and the published cube still matches the single-writer reference
+// bit-for-bit (exact-arithmetic rows).
+TEST(StreamingCubeTest, ChunkOverflowPreservesTotalsAcrossEpochs) {
+  IngestOptions options;
+  options.num_shards = 2;
+  options.chunk_cells = 8;  // 60-cell universe: constant overflow
+  options.chunks_per_shard = 3;
+  options.epoch_interval = std::chrono::milliseconds(1);
+  StreamingCube cube(kDims, MomentsSummary(10), options);
+  auto rows = MakeExactRows(10000, 37);
+
+  cube.StartPublisher();
+  std::vector<std::vector<Row>> parts(options.num_shards);
+  for (const Row& r : rows) {
+    parts[CubeCoordsHash()(r.coords) % options.num_shards].push_back(r);
+  }
+  RunWorkers(static_cast<int>(options.num_shards), [&](int w) {
+    for (const Row& r : parts[w]) cube.AppendToShard(w, r.coords, r.value);
+  });
+  auto snap = cube.Flush();
+  cube.StopPublisher();
+
+  ASSERT_EQ(snap->rows(), rows.size());
+  ExpectCellsIdentical(snap->store, BuildReference(rows).store());
+
+  const IngestStats stats = cube.stats();
+  EXPECT_EQ(stats.rows_appended, rows.size());
+  EXPECT_GT(stats.chunks_sealed, 0u);
+  EXPECT_GE(stats.chunks_drained, stats.chunks_sealed);
+  EXPECT_GT(stats.publisher.epochs_published, 0u);
+  EXPECT_GT(stats.publisher.max_publish_ms, 0.0);
+  EXPECT_GT(stats.publisher.max_drain_ms, 0.0);
+  EXPECT_GE(stats.full_ring_high_water, 1u);
+}
+
 // --------------------------------------------------------- pane feed
 
 // Epoch deltas feed a sliding window: after W epochs the window holds

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""CI gate over BENCH_ingest.json: streaming ingest must hold >= 50% of
+the single-thread AccumulateBatch ceiling at 4 writers.
+
+Reads the JSON emitted by bench_ingest, takes the best 4-writer ingest
+row that is not oversubscribed (writers <= hardware threads — an
+oversubscribed row measures time-slicing, not the engine), and fails if
+its rows/s falls below half the ceiling. If every 4-writer row is
+oversubscribed (e.g. a 2-core runner), the gate skips with a warning
+instead of failing on an unmeasurable configuration.
+
+Usage: check_ingest_gate.py BENCH_ingest.json [--threshold=0.5]
+"""
+
+import json
+import sys
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    path = argv[1]
+    threshold = 0.5
+    for arg in argv[2:]:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+
+    with open(path) as f:
+        data = json.load(f)
+    rows = data.get("sections", [])
+
+    ceiling = None
+    for row in rows:
+        if row.get("section") == "baseline" and row.get("name") == "accumulate_batch":
+            ceiling = row.get("mrows_per_s")
+    if not ceiling:
+        print(f"FAIL: no baseline accumulate_batch row in {path}")
+        return 1
+
+    candidates = [
+        row
+        for row in rows
+        if row.get("section") == "ingest" and row.get("writers") == 4
+    ]
+    if not candidates:
+        print(f"FAIL: no 4-writer ingest rows in {path}")
+        return 1
+
+    eligible = [row for row in candidates if not row.get("oversubscribed")]
+    if not eligible:
+        hw = candidates[0].get("hw_threads", "?")
+        print(
+            f"SKIP: every 4-writer row is oversubscribed "
+            f"(hw_threads={hw}); gate needs a >=4-thread runner"
+        )
+        return 0
+
+    best = max(eligible, key=lambda row: row.get("mrows_per_s", 0.0))
+    best_rate = best.get("mrows_per_s", 0.0)
+    floor = threshold * ceiling
+    verdict = "PASS" if best_rate >= floor else "FAIL"
+    print(
+        f"{verdict}: best 4-writer streaming {best['name']} = "
+        f"{best_rate:.1f} M rows/s vs ceiling {ceiling:.1f} M rows/s "
+        f"(floor {floor:.1f} = {threshold:.0%}); "
+        f"backpressure_events={best.get('backpressure_events', 0):.0f}, "
+        f"full_ring_high_water={best.get('full_ring_high_water', 0):.0f}"
+    )
+    for row in sorted(eligible, key=lambda r: r.get("name", "")):
+        print(
+            f"  {row['name']}: {row.get('mrows_per_s', 0.0):.1f} M rows/s "
+            f"({row.get('speedup_vs_accumulate', 0.0):.2f}x ceiling)"
+        )
+    return 0 if verdict == "PASS" else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
