@@ -33,6 +33,8 @@ class BytesWriter {
 
   const std::vector<uint8_t>& bytes() const { return buf_; }
   std::vector<uint8_t> Take() { return std::move(buf_); }
+  /// Bytes written so far (checksum framing marks a section start here).
+  size_t size() const { return buf_.size(); }
 
  private:
   void PutRaw(const void* p, size_t n) {
@@ -60,6 +62,9 @@ class BytesReader {
 
   size_t remaining() const { return size_ - pos_; }
   bool exhausted() const { return pos_ == size_; }
+  /// Raw cursor access for checksum verification over a decoded section.
+  const uint8_t* data() const { return data_; }
+  size_t pos() const { return pos_; }
 
  private:
   Status GetRaw(void* out, size_t n) {

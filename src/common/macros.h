@@ -33,6 +33,16 @@
 #define MSKETCH_DCHECK(cond) MSKETCH_CHECK(cond)
 #endif
 
+// Propagates a non-OK Status out of the enclosing function. Textual twin
+// of MSKETCH_RETURN_NOT_OK (common/status.h) that lives here so headers
+// which only need the macro need not pull in <variant> via status.h; the
+// expansion compiles wherever ::msketch::Status is visible.
+#define MSKETCH_RETURN_IF_ERROR(expr)        \
+  do {                                       \
+    ::msketch::Status _mst = (expr);         \
+    if (!_mst.ok()) return _mst;             \
+  } while (0)
+
 // No-alias qualifier for hot-loop pointers (vectorization hint).
 #if defined(__GNUC__) || defined(__clang__)
 #define MSKETCH_GCC_RESTRICT __restrict__

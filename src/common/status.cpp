@@ -14,6 +14,9 @@ const char* CodeName(StatusCode code) {
     case StatusCode::kSerialization: return "Serialization";
     case StatusCode::kUnsupported: return "Unsupported";
     case StatusCode::kInternal: return "Internal";
+    case StatusCode::kIOError: return "IOError";
+    case StatusCode::kCorruption: return "Corruption";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
   }
   return "Unknown";
 }

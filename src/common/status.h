@@ -23,6 +23,9 @@ enum class StatusCode : int {
   kSerialization = 6,     // malformed byte stream
   kUnsupported = 7,       // operation not valid for this configuration
   kInternal = 8,
+  kIOError = 9,           // file system operation failed (may be transient)
+  kCorruption = 10,       // on-disk data failed a checksum or invariant
+  kDeadlineExceeded = 11,  // bounded wait expired (e.g. backpressure stall)
 };
 
 /// Lightweight status object. Ok status carries no allocation.
@@ -54,6 +57,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return state_ == nullptr; }

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "common/crc32c.h"
 #include "common/macros.h"
 
 namespace msketch {
@@ -185,6 +186,98 @@ Result<MomentsSketch> DecodeLowPrecision(const std::vector<uint8_t>& blob) {
 size_t LowPrecisionSizeBytes(int k, int bits) {
   const size_t payload_bits = static_cast<size_t>(2 + 2 * k) * bits;
   return 18 + (payload_bits + 7) / 8;
+}
+
+namespace {
+
+constexpr uint32_t kColumnsMagic = 0x4d534b43u;  // "MSKC"
+constexpr uint8_t kColumnsVersion = 1;
+
+}  // namespace
+
+void EncodeSketchColumns(const FlatMomentColumns& cols, BytesWriter* out) {
+  const size_t start = out->size();
+  out->PutU32(kColumnsMagic);
+  out->PutU8(kColumnsVersion);
+  out->PutU32(static_cast<uint32_t>(cols.k));
+  out->PutU64(cols.num_cells);
+  for (size_t c = 0; c < cols.num_cells; ++c) out->PutU64(cols.counts[c]);
+  for (size_t c = 0; c < cols.num_cells; ++c) out->PutU64(cols.log_counts[c]);
+  for (size_t c = 0; c < cols.num_cells; ++c) out->PutDouble(cols.mins[c]);
+  for (size_t c = 0; c < cols.num_cells; ++c) out->PutDouble(cols.maxs[c]);
+  for (int i = 0; i < cols.k; ++i) {
+    for (size_t c = 0; c < cols.num_cells; ++c) {
+      out->PutDouble(cols.power_sums[i][c]);
+    }
+  }
+  for (int i = 0; i < cols.k; ++i) {
+    for (size_t c = 0; c < cols.num_cells; ++c) {
+      out->PutDouble(cols.log_sums[i][c]);
+    }
+  }
+  const uint32_t crc =
+      crc32c::Value(out->bytes().data() + start, out->size() - start);
+  out->PutU32(crc32c::Mask(crc));
+}
+
+Result<DecodedSketchColumns> DecodeSketchColumns(BytesReader* in) {
+  const size_t start = in->pos();
+  uint32_t magic = 0;
+  uint8_t version = 0;
+  uint32_t k = 0;
+  uint64_t num_cells = 0;
+  MSKETCH_RETURN_NOT_OK(in->GetU32(&magic));
+  if (magic != kColumnsMagic) {
+    return Status::Corruption("sketch columns: bad magic");
+  }
+  MSKETCH_RETURN_NOT_OK(in->GetU8(&version));
+  if (version != kColumnsVersion) {
+    return Status::Corruption("sketch columns: unknown version");
+  }
+  MSKETCH_RETURN_NOT_OK(in->GetU32(&k));
+  MSKETCH_RETURN_NOT_OK(in->GetU64(&num_cells));
+  if (k < 1 || k > 64) {
+    return Status::Corruption("sketch columns: bad order k");
+  }
+  // Reject absurd cell counts before any allocation: the section needs
+  // (2k + 4) eight-byte entries per cell plus the CRC trailer.
+  const uint64_t per_cell = (2 * static_cast<uint64_t>(k) + 4) * 8;
+  if (num_cells > in->remaining() / per_cell + 1) {
+    return Status::Corruption("sketch columns: cell count exceeds buffer");
+  }
+  DecodedSketchColumns out;
+  out.k = static_cast<int>(k);
+  out.num_cells = static_cast<size_t>(num_cells);
+  out.counts.resize(out.num_cells);
+  out.log_counts.resize(out.num_cells);
+  out.mins.resize(out.num_cells);
+  out.maxs.resize(out.num_cells);
+  for (auto* col : {&out.counts, &out.log_counts}) {
+    for (size_t c = 0; c < out.num_cells; ++c) {
+      MSKETCH_RETURN_NOT_OK(in->GetU64(&(*col)[c]));
+    }
+  }
+  for (auto* col : {&out.mins, &out.maxs}) {
+    for (size_t c = 0; c < out.num_cells; ++c) {
+      MSKETCH_RETURN_NOT_OK(in->GetDouble(&(*col)[c]));
+    }
+  }
+  out.power_cols.assign(out.k, std::vector<double>(out.num_cells));
+  out.log_cols.assign(out.k, std::vector<double>(out.num_cells));
+  for (auto* cols2 : {&out.power_cols, &out.log_cols}) {
+    for (int i = 0; i < out.k; ++i) {
+      for (size_t c = 0; c < out.num_cells; ++c) {
+        MSKETCH_RETURN_NOT_OK(in->GetDouble(&(*cols2)[i][c]));
+      }
+    }
+  }
+  const uint32_t actual = crc32c::Value(in->data() + start, in->pos() - start);
+  uint32_t stored_masked = 0;
+  MSKETCH_RETURN_NOT_OK(in->GetU32(&stored_masked));
+  if (crc32c::Unmask(stored_masked) != actual) {
+    return Status::Corruption("sketch columns: checksum mismatch");
+  }
+  return out;
 }
 
 }  // namespace msketch

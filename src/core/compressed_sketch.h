@@ -35,6 +35,36 @@ Result<MomentsSketch> DecodeLowPrecision(const std::vector<uint8_t>& blob);
 /// Size in bytes of the packed encoding.
 size_t LowPrecisionSizeBytes(int k, int bits);
 
+// ------------------------------------------------------- column codec
+//
+// Lossless struct-of-arrays codec over many sketches at once: the disk
+// format of checkpoint files (persist/checkpoint.cpp) and the intended
+// wire format for snapshot shipping. Layout mirrors FlatMomentColumns —
+// counts / log_counts / min / max columns followed by the k power and k
+// log columns — with a CRC32C trailer over the whole section, so a
+// flipped byte or truncated buffer decodes to kCorruption instead of a
+// silently wrong cube.
+
+/// Decoded columns (owning). Same layout contract as FlatMomentColumns.
+struct DecodedSketchColumns {
+  int k = 0;
+  size_t num_cells = 0;
+  std::vector<std::vector<double>> power_cols;  // k columns
+  std::vector<std::vector<double>> log_cols;    // k columns
+  std::vector<uint64_t> counts;
+  std::vector<uint64_t> log_counts;
+  std::vector<double> mins;
+  std::vector<double> maxs;
+};
+
+/// Appends the CRC-framed section encoding `cols` bit-exactly.
+void EncodeSketchColumns(const FlatMomentColumns& cols, BytesWriter* out);
+
+/// Decodes one section. Truncation, length-prefix lies, and checksum
+/// mismatches all surface as Status (kCorruption / kSerialization) —
+/// never an out-of-bounds read.
+Result<DecodedSketchColumns> DecodeSketchColumns(BytesReader* in);
+
 }  // namespace msketch
 
 #endif  // MSKETCH_CORE_COMPRESSED_SKETCH_H_

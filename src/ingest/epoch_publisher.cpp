@@ -92,6 +92,20 @@ std::shared_ptr<const CubeSnapshot> EpochPublisher::Publish() {
     return Current();
   }
   const uint64_t epoch = next_epoch_++;
+  if (durability_) {
+    // Write-ahead: the batch is offered to the log before any query can
+    // observe the epoch. A failure is counted and publication proceeds
+    // — the durability layer marks itself broken and re-bases at its
+    // next checkpoint; ingest never stalls on a dead disk.
+    const Clock::time_point d0 = Clock::now();
+    if (!durability_(epoch, batch).ok()) {
+      latency_.durability_failures++;
+    }
+    latency_.last_durability_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - d0).count();
+    latency_.max_durability_ms =
+        std::max(latency_.max_durability_ms, latency_.last_durability_ms);
+  }
   // The epoch's pane delta: merged total of the batch, in batch order.
   MomentsSketch epoch_delta(k_);
   for (const IngestShard::DeltaCell& dc : batch) {
@@ -141,6 +155,35 @@ std::shared_ptr<const CubeSnapshot> EpochPublisher::Publish() {
   publish_lock.unlock();
   if (sink_) sink_(*snap);
   return snap;
+}
+
+Status EpochPublisher::Restore(uint64_t epoch, const CubeStore& store) {
+  std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  if (next_epoch_ != 1 || !history_.empty()) {
+    return Status::InvalidArgument(
+        "Restore: publisher has already published real epochs");
+  }
+  // Drop the constructor's epoch-0 snapshot and wait for its buffer (no
+  // reader can hold a handle yet — recovery owns the cube privately).
+  std::atomic_store(&published_, std::shared_ptr<const CubeSnapshot>());
+  std::unique_lock<std::mutex> pool_lock(pool_mu_);
+  pool_cv_.wait(pool_lock, [&] { return free_.size() == total_buffers_; });
+  for (std::unique_ptr<CubeSnapshot>& buf : free_) {
+    buf->store = store;  // copy-assign re-points the cached column bases
+    buf->epoch = epoch;
+    buf->epoch_delta = MomentsSketch(k_);
+    if (options_.build_rollup) buf->store.BuildRollup(options_.rollup);
+  }
+  pool_lock.unlock();
+  buffer_epoch_.assign(total_buffers_, epoch);
+  next_epoch_ = epoch + 1;
+  std::unique_ptr<CubeSnapshot> buf = TakeBuffer();
+  std::shared_ptr<const CubeSnapshot> snap(
+      buf.release(), [this](const CubeSnapshot* s) {
+        ReturnBuffer(const_cast<CubeSnapshot*>(s));
+      });
+  std::atomic_store(&published_, snap);
+  return Status::OK();
 }
 
 std::unique_ptr<CubeSnapshot> EpochPublisher::TakeBuffer() {

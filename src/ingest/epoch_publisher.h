@@ -82,6 +82,12 @@ struct IngestOptions {
   RollupOptions rollup;
   /// Cadence of the background publisher thread (Start()).
   std::chrono::milliseconds epoch_interval{20};
+  /// Bound on one append's backpressure wait when the chunk pool is
+  /// exhausted and nothing is draining: past it the append fails with
+  /// kDeadlineExceeded instead of spinning forever against a stopped or
+  /// wedged publisher. <= 0 waits forever (the pre-budget behavior).
+  std::chrono::milliseconds backpressure_stall_budget =
+      IngestShard::kDefaultStallBudget;
 };
 
 /// One published, immutable-while-published cube state. `epoch` is the
@@ -111,6 +117,13 @@ struct PublisherStats {
   /// Whole Publish (drain + replay + rollup + swap), last and maximum.
   double last_publish_ms = 0.0;
   double max_publish_ms = 0.0;
+  /// Durability hook (WAL append + fsync) of the most recent Publish,
+  /// and the maximum — the write-ahead cost inside the publish path.
+  double last_durability_ms = 0.0;
+  double max_durability_ms = 0.0;
+  /// Epochs whose durability hook failed: they published (availability
+  /// first) but are NOT crash-durable until the next checkpoint.
+  uint64_t durability_failures = 0;
 };
 
 class EpochPublisher {
@@ -119,6 +132,14 @@ class EpochPublisher {
   /// Called after each non-empty publish, from the publishing thread,
   /// with the snapshot just made current.
   using EpochSink = std::function<void(const CubeSnapshot&)>;
+  /// Called inside Publish with the drained batch BEFORE the epoch's
+  /// snapshot becomes visible (write-ahead ordering: an epoch a query
+  /// can observe has already been offered to the log). A non-OK return
+  /// is counted and the publish proceeds — ingest availability is never
+  /// held hostage to a failing disk; the durability layer re-bases at
+  /// its next checkpoint.
+  using DurabilityHook =
+      std::function<Status(uint64_t epoch, const DeltaBatch& batch)>;
 
   /// `shards` are borrowed and must outlive the publisher. Publishes an
   /// empty epoch-0 snapshot immediately (without draining), so
@@ -153,6 +174,18 @@ class EpochPublisher {
   /// may read the publisher (Current, lag_batches) but must not call
   /// Publish()/Flush() — that would re-enter the sink serialization.
   void SetEpochSink(EpochSink sink) { sink_ = std::move(sink); }
+
+  /// Must be set before Start() or concurrent Publish() calls. Runs
+  /// under the publish lock, so its latency (WAL fsync) extends the
+  /// publish critical section — the price of write-ahead ordering.
+  void SetDurabilityHook(DurabilityHook hook) { durability_ = std::move(hook); }
+
+  /// Resets a freshly constructed publisher to a recovered state: every
+  /// pool buffer becomes a copy of `store`, `epoch` becomes the applied
+  /// and published epoch, and the next real epoch is `epoch` + 1. Only
+  /// legal before the first Publish/Start and with no snapshot handles
+  /// outstanding (recovery constructs the cube privately).
+  Status Restore(uint64_t epoch, const CubeStore& store);
 
   uint64_t epochs_published() const {
     return epochs_published_.load(std::memory_order_relaxed);
@@ -211,6 +244,7 @@ class EpochPublisher {
   // Serializes sink invocations in epoch order (see Publish).
   std::mutex sink_mu_;
   EpochSink sink_;
+  DurabilityHook durability_;
 
   // Background publish loop.
   std::thread loop_;

@@ -18,19 +18,28 @@ constexpr int kBackpressureSpins = 1024;
 // rows simply ride the next epoch.
 constexpr int kStealSpins = 65536;
 constexpr int kStealYieldEvery = 1024;
+// Yields between stall-budget clock reads: the deadline only matters at
+// multi-second granularity, so the backpressure loop checks the clock
+// rarely enough that the steady-state wait stays syscall-free.
+constexpr int kStallCheckEveryYields = 64;
 
 constexpr size_t kDirNotFound = static_cast<size_t>(-1);
+// SlotOf's stall-budget failure sentinel (distinct from kDirNotFound,
+// which never escapes DirFind).
+constexpr size_t kSlotStalled = static_cast<size_t>(-2);
 
 }  // namespace
 
 const char IngestShard::held_marker_ = 0;
 
 IngestShard::IngestShard(size_t num_dims, int k, size_t batch_size,
-                         size_t chunk_cells, size_t chunks)
+                         size_t chunk_cells, size_t chunks,
+                         std::chrono::milliseconds stall_budget)
     : num_dims_(num_dims),
       k_(k),
       batch_size_(batch_size),
       chunk_cells_(chunk_cells),
+      stall_budget_(stall_budget),
       full_ring_(chunks),
       free_ring_(chunks) {
   MSKETCH_CHECK(num_dims >= 1);
@@ -100,21 +109,47 @@ DeltaChunk* IngestShard::TakeFresh(size_t rows_at_stake) {
   DeltaChunk* chunk = nullptr;
   if (!free_ring_.Pop(&chunk)) {
     // Pool exhausted: the publisher is behind. Spin-then-yield until a
-    // drain recycles a chunk; never drop rows, never allocate.
+    // drain recycles a chunk; never drop rows, never allocate. The
+    // stall budget bounds the wait: a publisher that died (or was never
+    // started) must surface as an error, not an unkillable spin loop.
     backpressure_events_.fetch_add(1, std::memory_order_relaxed);
     rows_backpressured_.fetch_add(rows_at_stake, std::memory_order_relaxed);
+    const bool bounded = stall_budget_.count() > 0;
+    std::chrono::steady_clock::time_point deadline;
     int spins = 0;
+    int yields = 0;
     while (!free_ring_.Pop(&chunk)) {
       if (++spins < kBackpressureSpins) {
         CpuRelax();
-      } else {
-        std::this_thread::yield();
+        continue;
+      }
+      std::this_thread::yield();
+      if (!bounded) continue;
+      // The clock is read only on this slow path, and only every few
+      // dozen yields — a stalled writer burns no syscall budget and a
+      // healthy one never gets here.
+      if (++yields == 1) {
+        deadline = std::chrono::steady_clock::now() + stall_budget_;
+      } else if (yields % kStallCheckEveryYields == 0 &&
+                 std::chrono::steady_clock::now() >= deadline) {
+        deadline_events_.fetch_add(1, std::memory_order_relaxed);
+        rows_deadline_failed_.fetch_add(rows_at_stake,
+                                        std::memory_order_relaxed);
+        return nullptr;
       }
     }
   }
   chunk->set_session(next_session_++);
   std::fill(dir_.begin(), dir_.end(), uint64_t{0});
   return chunk;
+}
+
+Status IngestShard::StallError(size_t dropped) const {
+  return Status::DeadlineExceeded(
+      "ingest backpressure stall exceeded " +
+      std::to_string(stall_budget_.count()) +
+      "ms (no drainer recycling chunks — publisher stopped or wedged); " +
+      std::to_string(dropped) + " row(s) not appended");
 }
 
 void IngestShard::Seal(DeltaChunk* chunk, uint64_t* uncounted) {
@@ -166,40 +201,63 @@ size_t IngestShard::SlotOf(DeltaChunk** chunk, const CubeCoords& coords,
   if ((*chunk)->full()) {
     Seal(*chunk, uncounted);
     *chunk = TakeFresh(rows_at_stake);
+    if (*chunk == nullptr) return kSlotStalled;
   }
   const size_t slot = (*chunk)->AddSlot(coords);
   DirInsert(hash, slot);
   return slot;
 }
 
-void IngestShard::Append(const CubeCoords& coords, double value) {
+Status IngestShard::Append(const CubeCoords& coords, double value) {
   MSKETCH_DCHECK(coords.size() == num_dims_);
   DeltaChunk* chunk = AcquireCurrent();
   if (chunk == nullptr) chunk = TakeFresh(1);
+  if (chunk == nullptr) {
+    Park(nullptr);  // release the token with no working chunk
+    return StallError(1);
+  }
   uint64_t uncounted = 0;
   const size_t slot = SlotOf(&chunk, coords, 1, &uncounted);
+  if (slot == kSlotStalled) {
+    Park(nullptr);
+    return StallError(1);
+  }
   chunk->Push(slot, value);
   rows_appended_.fetch_add(1, std::memory_order_relaxed);
   Park(chunk);
+  return Status::OK();
 }
 
-void IngestShard::AppendBatch(const CubeCoords& coords, const double* values,
-                              size_t n) {
+Status IngestShard::AppendBatch(const CubeCoords& coords,
+                                const double* values, size_t n) {
   MSKETCH_DCHECK(coords.size() == num_dims_);
-  if (n == 0) return;
+  if (n == 0) return Status::OK();
   DeltaChunk* chunk = AcquireCurrent();
   if (chunk == nullptr) chunk = TakeFresh(n);
+  if (chunk == nullptr) {
+    Park(nullptr);
+    return StallError(n);
+  }
   uint64_t uncounted = 0;
   const size_t slot = SlotOf(&chunk, coords, n, &uncounted);
+  if (slot == kSlotStalled) {
+    Park(nullptr);
+    return StallError(n);
+  }
   chunk->PushRun(slot, values, n);
   rows_appended_.fetch_add(n, std::memory_order_relaxed);
   Park(chunk);
+  return Status::OK();
 }
 
-void IngestShard::AppendRows(const IngestRow* rows, size_t n) {
-  if (n == 0) return;
+Status IngestShard::AppendRows(const IngestRow* rows, size_t n) {
+  if (n == 0) return Status::OK();
   DeltaChunk* chunk = AcquireCurrent();
   if (chunk == nullptr) chunk = TakeFresh(n);
+  if (chunk == nullptr) {
+    Park(nullptr);
+    return StallError(n);
+  }
   uint64_t uncounted = 0;
   // Last-cell memo: feeds are bursty (runs of rows for one cell), and
   // the directory probe is the next cost after the buffered store. The
@@ -208,6 +266,7 @@ void IngestShard::AppendRows(const IngestRow* rows, size_t n) {
   // through SlotOf, which refreshes the memo.
   const CubeCoords* last = nullptr;
   size_t last_slot = 0;
+  size_t appended = n;
   for (size_t i = 0; i < n; ++i) {
     const IngestRow& r = rows[i];
     MSKETCH_DCHECK(r.coords.size() == num_dims_);
@@ -216,6 +275,12 @@ void IngestShard::AppendRows(const IngestRow* rows, size_t n) {
       slot = last_slot;
     } else {
       slot = SlotOf(&chunk, r.coords, n - i, &uncounted);
+      if (slot == kSlotStalled) {
+        // Rows [0, i) are buffered (and already sealed to the
+        // publisher); the rest were dropped by the stall.
+        appended = i;
+        break;
+      }
       last = &chunk->SlotCoords(slot);
       last_slot = slot;
     }
@@ -223,7 +288,9 @@ void IngestShard::AppendRows(const IngestRow* rows, size_t n) {
     ++uncounted;
   }
   rows_appended_.fetch_add(uncounted, std::memory_order_relaxed);
-  Park(chunk);
+  Park(chunk);  // nullptr after a stall: token released, no working chunk
+  if (appended < n) return StallError(n - appended);
+  return Status::OK();
 }
 
 std::vector<IngestShard::DeltaCell> IngestShard::Drain() {
@@ -280,6 +347,9 @@ IngestShardStats IngestShard::stats() const {
   s.full_ring_high_water =
       full_ring_high_water_.load(std::memory_order_relaxed);
   s.steal_giveups = steal_giveups_.load(std::memory_order_relaxed);
+  s.deadline_events = deadline_events_.load(std::memory_order_relaxed);
+  s.rows_deadline_failed =
+      rows_deadline_failed_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -42,10 +42,12 @@
 #define MSKETCH_INGEST_INGEST_SHARD_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "common/status.h"
 #include "core/delta_chunk.h"
 #include "core/moments_sketch.h"
 #include "cube/cube_types.h"
@@ -74,6 +76,13 @@ struct IngestShardStats {
   /// Drains that found the working chunk held by a mid-append writer
   /// and left it for the next epoch.
   uint64_t steal_giveups = 0;
+  /// Backpressure waits that exhausted the stall budget (the append
+  /// returned kDeadlineExceeded instead of spinning forever against a
+  /// dead or wedged publisher).
+  uint64_t deadline_events = 0;
+  /// Rows carried by those failed appends (not appended; the caller
+  /// must retry or drop them).
+  uint64_t rows_deadline_failed = 0;
 };
 
 class IngestShard {
@@ -82,31 +91,45 @@ class IngestShard {
   static constexpr size_t kDefaultChunkCells = 2048;
   /// Chunks in the shard pool (working set + in-flight + recycling).
   static constexpr size_t kDefaultChunksPerShard = 4;
+  /// Default backpressure stall budget: generous enough that a merely
+  /// slow publisher never trips it, finite so a dead one turns a silent
+  /// hang into kDeadlineExceeded.
+  static constexpr std::chrono::milliseconds kDefaultStallBudget{10000};
 
   /// `batch_size`: pending values buffered per cell before a flush
   /// through the AccumulateBatch kernel (also the drain-time flush
   /// granularity). `chunk_cells`/`chunks` bound the shard's memory:
   /// appends backpressure rather than allocate past the pool.
+  /// `stall_budget` bounds one append's backpressure wait (<= 0 waits
+  /// forever, the pre-budget behavior).
   IngestShard(size_t num_dims, int k, size_t batch_size,
               size_t chunk_cells = kDefaultChunkCells,
-              size_t chunks = kDefaultChunksPerShard);
+              size_t chunks = kDefaultChunksPerShard,
+              std::chrono::milliseconds stall_budget = kDefaultStallBudget);
 
   IngestShard(const IngestShard&) = delete;
   IngestShard& operator=(const IngestShard&) = delete;
 
+  // Appends buffer rows into the working chunk. They fail only with
+  // kDeadlineExceeded, when backpressure outlasts the stall budget
+  // because no drainer is recycling chunks (publisher stopped, wedged,
+  // or never started); the failed call's rows are NOT appended, and
+  // rows already buffered by earlier calls are unaffected.
+
   /// Buffers one row into the cell at `coords`.
-  void Append(const CubeCoords& coords, double value);
+  Status Append(const CubeCoords& coords, double value);
 
   /// Buffers `n` rows for one cell — one directory probe and one token
   /// acquisition for the whole run (pre-grouped micro-batches are the
   /// high-rate ingest fast path).
-  void AppendBatch(const CubeCoords& coords, const double* values, size_t n);
+  Status AppendBatch(const CubeCoords& coords, const double* values, size_t n);
 
   /// Buffers `n` mixed-cell rows under ONE token acquisition, with a
   /// last-cell memo that skips the directory probe for consecutive
   /// same-cell rows. Semantically identical to `n` Append calls (same
-  /// per-cell value order).
-  void AppendRows(const IngestRow* rows, size_t n);
+  /// per-cell value order). On a stall-budget failure, rows before the
+  /// failure point stay appended; the error reports the dropped count.
+  Status AppendRows(const IngestRow* rows, size_t n);
 
   /// One drained cell delta: the sketch holds the cell's buffered
   /// moment state (counts, min/max, power and log sums).
@@ -157,8 +180,11 @@ class IngestShard {
 
   /// Pops a fresh chunk (backpressure-spinning if the FREE ring is
   /// empty), stamps its service session, and clears the directory.
-  /// Token must be held.
+  /// Token must be held. Returns nullptr when the wait exceeds the
+  /// stall budget (the caller surfaces kDeadlineExceeded).
   DeltaChunk* TakeFresh(size_t rows_at_stake);
+  /// The kDeadlineExceeded status for a failed append of `dropped` rows.
+  Status StallError(size_t dropped) const;
   /// Folds `chunk` and pushes it onto the FULL ring, first flushing any
   /// rows this call pushed into it but has not yet counted.
   void Seal(DeltaChunk* chunk, uint64_t* uncounted);
@@ -178,6 +204,7 @@ class IngestShard {
   const int k_;
   const size_t batch_size_;
   const size_t chunk_cells_;
+  const std::chrono::milliseconds stall_budget_;
 
   std::vector<std::unique_ptr<DeltaChunk>> pool_;
   SpscRing<DeltaChunk*> full_ring_;
@@ -196,6 +223,8 @@ class IngestShard {
   std::atomic<uint64_t> chunks_drained_{0};
   std::atomic<uint64_t> full_ring_high_water_{0};
   std::atomic<uint64_t> steal_giveups_{0};
+  std::atomic<uint64_t> deadline_events_{0};
+  std::atomic<uint64_t> rows_deadline_failed_{0};
 
   static const char held_marker_;
 };

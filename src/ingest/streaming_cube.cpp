@@ -23,13 +23,17 @@ StreamingCube::StreamingCube(size_t num_dims, MomentsSummary prototype,
   for (size_t s = 0; s < options_.num_shards; ++s) {
     shards_.push_back(std::make_unique<IngestShard>(
         num_dims_, prototype_k_, options_.batch_size, options_.chunk_cells,
-        options_.chunks_per_shard));
+        options_.chunks_per_shard, options_.backpressure_stall_budget));
   }
   std::vector<IngestShard*> shard_ptrs;
   shard_ptrs.reserve(shards_.size());
   for (auto& s : shards_) shard_ptrs.push_back(s.get());
   publisher_ = std::make_unique<EpochPublisher>(num_dims_, prototype_k_,
                                                 options_, shard_ptrs);
+  // The cube always owns the publisher's sink; OnEpochPublished forwards
+  // to the user's sink after the durability work (if any).
+  publisher_->SetEpochSink(
+      [this](const CubeSnapshot& snap) { OnEpochPublished(snap); });
 }
 
 StreamingCube::~StreamingCube() { publisher_->Stop(); }
@@ -38,12 +42,11 @@ Status StreamingCube::AppendRow(const std::vector<std::string>& dims,
                                 double value) {
   Result<CubeCoords> coords = EncodeRow(dims);
   if (!coords.ok()) return coords.status();
-  Append(coords.value(), value);
-  return Status::OK();
+  return Append(coords.value(), value);
 }
 
-void StreamingCube::AppendRows(const IngestRow* rows, size_t n) {
-  if (n == 0) return;
+Status StreamingCube::AppendRows(const IngestRow* rows, size_t n) {
+  if (n == 0) return Status::OK();
   // Partition into per-shard runs, preserving arrival order within each
   // shard (cells are shard-affine, so per-cell order is preserved too).
   std::vector<std::vector<IngestRow>> parts(shards_.size());
@@ -51,11 +54,17 @@ void StreamingCube::AppendRows(const IngestRow* rows, size_t n) {
     parts[CubeCoordsHash()(rows[i].coords) % shards_.size()].push_back(
         rows[i]);
   }
+  // A stalled shard fails its own run; the other shards' runs still
+  // append (per-shard streams are independent). The first error wins —
+  // with one wedged drainer every shard is wedged, so one is enough.
+  Status first;
   for (size_t s = 0; s < parts.size(); ++s) {
     if (!parts[s].empty()) {
-      shards_[s]->AppendRows(parts[s].data(), parts[s].size());
+      Status st = shards_[s]->AppendRows(parts[s].data(), parts[s].size());
+      if (!st.ok() && first.ok()) first = std::move(st);
     }
   }
+  return first;
 }
 
 Status StreamingCube::AppendRowBatch(
@@ -67,8 +76,109 @@ Status StreamingCube::AppendRowBatch(
     encoded[i].coords = std::move(coords.value()[i]);
     encoded[i].value = values[i];
   }
-  AppendRows(encoded.data(), encoded.size());
+  return AppendRows(encoded.data(), encoded.size());
+}
+
+Status StreamingCube::EnableDurability(const DurabilityOptions& options) {
+  if (log_) {
+    return Status::InvalidArgument("EnableDurability: already durable");
+  }
+  if (rows_appended() != 0 || publisher_->epochs_published() != 0) {
+    return Status::InvalidArgument(
+        "EnableDurability: cube already holds data — durability must cover "
+        "every row (use Recover() to reopen a durable directory)");
+  }
+  // Baseline: an empty checkpoint at epoch 0 (the constructor's empty
+  // snapshot) plus an empty WAL. Committed before the first row can be
+  // acknowledged, so the directory is always recoverable.
+  CubeStore empty(num_dims_, prototype_k_);
+  Result<std::unique_ptr<DurableLog>> log = DurableLog::Open(
+      options, /*epoch=*/0, empty, Dicts()->dicts, /*allow_existing=*/false);
+  if (!log.ok()) return log.status();
+  log_ = std::move(log).value();
+  publisher_->SetDurabilityHook(
+      [this](uint64_t epoch, const EpochPublisher::DeltaBatch& batch) {
+        return LogEpochDurable(epoch, batch);
+      });
   return Status::OK();
+}
+
+Status StreamingCube::LogEpochDurable(
+    uint64_t epoch, const EpochPublisher::DeltaBatch& batch) {
+  std::vector<WalCellRef> refs;
+  refs.reserve(batch.size());
+  for (const IngestShard::DeltaCell& dc : batch) {
+    refs.push_back({&dc.coords, &dc.sketch});
+  }
+  // The current dictionary version covers every id in the batch: rows
+  // encode against a version no newer than the one visible at publish
+  // time, and versions only grow.
+  return log_->LogEpoch(epoch, refs, Dicts()->dicts);
+}
+
+void StreamingCube::OnEpochPublished(const CubeSnapshot& snap) {
+  if (log_ && log_->ShouldCheckpoint()) {
+    // Best-effort: a failure is counted in DurabilityStats and retried
+    // at the next published epoch (ShouldCheckpoint stays true).
+    Status st = log_->Checkpoint(snap.epoch, snap.store, Dicts()->dicts);
+    (void)st;
+  }
+  if (user_sink_) user_sink_(snap);
+}
+
+Result<std::unique_ptr<StreamingCube>> StreamingCube::Recover(
+    size_t num_dims, MomentsSummary prototype, IngestOptions options,
+    const DurabilityOptions& durability, RecoveryStats* stats) {
+  RecoveryStats local;
+  RecoveryStats* rs = stats ? stats : &local;
+  *rs = RecoveryStats();
+  Env* env = durability.env != nullptr ? durability.env : Env::Default();
+  Result<RecoveredState> state = RecoverState(env, durability.dir, rs);
+  if (!state.ok()) return state.status();
+  if (state.value().checkpoint.num_dims != num_dims ||
+      state.value().checkpoint.k != prototype.k()) {
+    return Status::InvalidArgument(
+        "Recover: cube shape does not match the durable directory "
+        "(num_dims/k recorded at EnableDurability time)");
+  }
+  CubeStore store(num_dims, prototype.k());
+  MSKETCH_RETURN_IF_ERROR(RebuildStore(state.value(), &store, rs));
+
+  auto cube = std::unique_ptr<StreamingCube>(
+      new StreamingCube(num_dims, std::move(prototype), std::move(options)));
+  cube->InstallDicts(state.value().dict_values);
+  const uint64_t epoch = state.value().epochs.empty()
+                             ? state.value().checkpoint.epoch
+                             : state.value().epochs.back().epoch;
+  MSKETCH_RETURN_IF_ERROR(cube->publisher_->Restore(epoch, store));
+  // Re-open the directory for continued logging: commits a fresh
+  // baseline (checkpoint at the recovered epoch + empty WAL), so a
+  // recovered-then-crashed cube recovers again without replaying the old
+  // tail twice.
+  Result<std::unique_ptr<DurableLog>> log = DurableLog::Open(
+      durability, epoch, store, cube->Dicts()->dicts, /*allow_existing=*/true);
+  if (!log.ok()) return log.status();
+  cube->log_ = std::move(log).value();
+  cube->publisher_->SetDurabilityHook(
+      [raw = cube.get()](uint64_t e, const EpochPublisher::DeltaBatch& batch) {
+        return raw->LogEpochDurable(e, batch);
+      });
+  return cube;
+}
+
+void StreamingCube::InstallDicts(
+    const std::vector<std::vector<std::string>>& values) {
+  std::lock_guard<std::mutex> lock(intern_mu_);
+  dict_exclusive_locks_.fetch_add(1, std::memory_order_relaxed);
+  auto next = std::make_unique<DictSnapshot>(*dict_versions_.back());
+  MSKETCH_CHECK(values.size() == num_dims_);
+  for (size_t d = 0; d < num_dims_; ++d) {
+    MSKETCH_CHECK(next->dicts[d].size() == 0);  // recovery precedes use
+    for (const std::string& v : values[d]) next->dicts[d].Intern(v);
+  }
+  const DictSnapshot* published = next.get();
+  dict_versions_.push_back(std::move(next));
+  dict_.store(published, std::memory_order_release);
 }
 
 const StreamingCube::DictSnapshot* StreamingCube::InternMissing(
@@ -234,6 +344,8 @@ IngestStats StreamingCube::stats() const {
     agg.full_ring_high_water =
         std::max(agg.full_ring_high_water, s.full_ring_high_water);
     agg.steal_giveups += s.steal_giveups;
+    agg.deadline_events += s.deadline_events;
+    agg.rows_deadline_failed += s.rows_deadline_failed;
   }
   agg.dict_exclusive_locks =
       dict_exclusive_locks_.load(std::memory_order_relaxed);

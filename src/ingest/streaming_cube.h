@@ -46,6 +46,7 @@
 #include "cube/dictionary.h"
 #include "ingest/epoch_publisher.h"
 #include "ingest/ingest_shard.h"
+#include "persist/durable_log.h"
 
 namespace msketch {
 
@@ -69,6 +70,10 @@ struct IngestStats {
   /// intern lock). Zero over an interval == the writer hot path ran
   /// entirely lock-free.
   uint64_t dict_exclusive_locks = 0;
+  /// Stall-budget expirations across shards (appends that returned
+  /// kDeadlineExceeded) and the rows those calls failed to append.
+  uint64_t deadline_events = 0;
+  uint64_t rows_deadline_failed = 0;
   PublisherStats publisher;
 };
 
@@ -85,38 +90,44 @@ class StreamingCube {
   StreamingCube& operator=(const StreamingCube&) = delete;
 
   // ------------------------------------------------------------ writers
+  //
+  // Appends fail only with kDeadlineExceeded, when backpressure outlasts
+  // IngestOptions::backpressure_stall_budget because nothing is draining
+  // (publisher stopped or wedged); the failed call's rows are not
+  // appended.
 
   /// Appends one row, routing to a shard by coordinate hash. The hash
   /// routing makes every cell shard-affine, which keeps per-cell
   /// accumulation order deterministic no matter which thread appends.
-  void Append(const CubeCoords& coords, double value) {
-    AppendToShard(CubeCoordsHash()(coords) % shards_.size(), coords, value);
+  Status Append(const CubeCoords& coords, double value) {
+    return AppendToShard(CubeCoordsHash()(coords) % shards_.size(), coords,
+                         value);
   }
 
   /// Appends one row into an explicit shard (writer-per-shard setups).
-  void AppendToShard(size_t shard, const CubeCoords& coords, double value) {
-    shards_[shard]->Append(coords, value);
+  Status AppendToShard(size_t shard, const CubeCoords& coords, double value) {
+    return shards_[shard]->Append(coords, value);
   }
 
   /// Appends a pre-grouped run of values for one cell (single hash
   /// probe; the high-rate path).
-  void AppendBatch(size_t shard, const CubeCoords& coords,
-                   const double* values, size_t n) {
-    shards_[shard]->AppendBatch(coords, values, n);
+  Status AppendBatch(size_t shard, const CubeCoords& coords,
+                     const double* values, size_t n) {
+    return shards_[shard]->AppendBatch(coords, values, n);
   }
 
   /// Appends a run of encoded mixed-cell rows into one shard under a
   /// single shard-lock acquisition (IngestShard::AppendRows) — the
   /// high-rate path for writer-per-shard feeds that cannot pre-group
   /// rows by cell.
-  void AppendRowsToShard(size_t shard, const IngestRow* rows, size_t n) {
-    shards_[shard]->AppendRows(rows, n);
+  Status AppendRowsToShard(size_t shard, const IngestRow* rows, size_t n) {
+    return shards_[shard]->AppendRows(rows, n);
   }
 
   /// Appends encoded rows, routing each to its coordinate-hash shard.
   /// Rows for the same shard are delivered as one batch (per-cell order
   /// preserved), so the per-row lock cost amortizes across the batch.
-  void AppendRows(const IngestRow* rows, size_t n);
+  Status AppendRows(const IngestRow* rows, size_t n);
 
   /// Dictionary-encodes a row of string dimension values (interning new
   /// ones) and appends it.
@@ -124,8 +135,8 @@ class StreamingCube {
 
   /// Batch variant of AppendRow: encodes all `n` rows against one
   /// lock-free dictionary version, then appends via the batched shard
-  /// path. Either every row is appended or none (a malformed row aborts
-  /// the batch before any append).
+  /// path. A malformed row aborts the batch before any append; a
+  /// stall-budget failure mid-batch leaves the rows appended before it.
   Status AppendRowBatch(const std::vector<std::vector<std::string>>& rows,
                         const double* values);
 
@@ -166,7 +177,37 @@ class StreamingCube {
   /// Called after every non-empty publish with the new snapshot (e.g.
   /// the sliding-window pane feed). Set before StartPublisher().
   void SetEpochSink(EpochPublisher::EpochSink sink) {
-    publisher_->SetEpochSink(std::move(sink));
+    user_sink_ = std::move(sink);
+  }
+
+  // --------------------------------------------------------- durability
+  //
+  // See src/persist/README.md for the full protocol and the recovery
+  // guarantees; src/ingest/README.md states the contract.
+
+  /// Makes this cube crash-recoverable: commits a baseline (empty
+  /// checkpoint + empty WAL) under `options.dir` and wires the epoch
+  /// pipeline so every published epoch's delta batch is WAL-logged
+  /// before it becomes visible, with periodic snapshot checkpoints.
+  /// Only legal on a fresh cube (nothing appended or published) — an
+  /// existing durable directory must go through Recover() instead.
+  Status EnableDurability(const DurabilityOptions& options);
+
+  /// Rebuilds a cube from `durability.dir`: loads the last checkpoint,
+  /// replays the WAL tail (truncating torn or corrupt records), and
+  /// re-opens the directory for continued durable ingest. The recovered
+  /// cube's published state is bit-exact to the pre-crash cube at its
+  /// last durable epoch. `prototype` and `num_dims` must match the
+  /// recorded shape.
+  static Result<std::unique_ptr<StreamingCube>> Recover(
+      size_t num_dims, MomentsSummary prototype, IngestOptions options,
+      const DurabilityOptions& durability, RecoveryStats* stats = nullptr);
+
+  /// True when EnableDurability (or Recover) wired a durable log.
+  bool durable() const { return log_ != nullptr; }
+  /// Durability counters (zero-value struct when not durable).
+  DurabilityStats durability_stats() const {
+    return log_ ? log_->stats() : DurabilityStats();
   }
 
   // ------------------------------------------------------------ queries
@@ -238,6 +279,18 @@ class StreamingCube {
   const DictSnapshot* InternMissing(
       const std::vector<std::vector<std::string>>& rows);
 
+  /// Recovery: re-interns the recovered per-dimension values, in order,
+  /// as the first real dictionary version (ids are intern order, so the
+  /// recovered ids equal the originals). Dictionaries must be empty.
+  void InstallDicts(const std::vector<std::vector<std::string>>& values);
+  /// The publisher's durability hook: logs epoch `E`'s drained batch
+  /// (and the dictionary delta) through log_.
+  Status LogEpochDurable(uint64_t epoch,
+                         const EpochPublisher::DeltaBatch& batch);
+  /// The publisher's epoch sink: drives periodic checkpoints, then
+  /// forwards to the user sink.
+  void OnEpochPublished(const CubeSnapshot& snap);
+
   const size_t num_dims_;
   const int prototype_k_;
   const MaxEntOptions options_maxent_;
@@ -252,6 +305,12 @@ class StreamingCube {
   mutable std::atomic<uint64_t> dict_exclusive_locks_{0};
 
   std::vector<std::unique_ptr<IngestShard>> shards_;
+  /// Set by EnableDurability/Recover; must outlive publisher_ (whose
+  /// hook and sink call into it), hence declared before it.
+  std::unique_ptr<DurableLog> log_;
+  /// The user's epoch sink; invoked by OnEpochPublished after the
+  /// durability work (same thread and ordering contract as before).
+  EpochPublisher::EpochSink user_sink_;
   std::unique_ptr<EpochPublisher> publisher_;
 };
 

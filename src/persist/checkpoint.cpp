@@ -1,0 +1,195 @@
+#include "persist/checkpoint.h"
+
+#include <cstring>
+
+#include "common/bytes.h"
+#include "common/crc32c.h"
+#include "common/macros.h"
+
+namespace msketch {
+
+namespace {
+
+constexpr char kCheckpointMagic[8] = {'M', 'S', 'K', 'C', 'K', 'P', 'T', '1'};
+constexpr char kManifestMagic[8] = {'M', 'S', 'K', 'M', 'A', 'N', 'I', '1'};
+constexpr uint8_t kCheckpointVersion = 1;
+constexpr uint8_t kManifestVersion = 1;
+constexpr uint32_t kMaxDims = 1u << 16;
+
+void PutMagic(const char (&magic)[8], BytesWriter* out) {
+  for (char c : magic) out->PutU8(static_cast<uint8_t>(c));
+}
+
+bool MagicMatches(const std::vector<uint8_t>& file, const char (&magic)[8]) {
+  if (file.size() < sizeof(magic)) return false;
+  return std::memcmp(file.data(), magic, sizeof(magic)) == 0;
+}
+
+/// Verifies the masked-CRC32C trailer covering bytes [8, size-4), then
+/// returns a reader over exactly that span.
+Result<BytesReader> CheckedBody(const std::vector<uint8_t>& file,
+                                const char* what) {
+  if (file.size() < 8 + 4) {
+    return Status::Corruption(std::string(what) + ": file too short");
+  }
+  const size_t body_len = file.size() - 8 - 4;
+  uint32_t masked = 0;
+  std::memcpy(&masked, file.data() + 8 + body_len, 4);
+  const uint32_t actual = crc32c::Value(file.data() + 8, body_len);
+  if (crc32c::Unmask(masked) != actual) {
+    return Status::Corruption(std::string(what) + ": checksum mismatch");
+  }
+  return BytesReader(file.data() + 8, body_len);
+}
+
+/// Appends the masked trailer CRC over everything after the magic.
+void SealBody(BytesWriter* w) {
+  const uint32_t crc = crc32c::Value(w->bytes().data() + 8, w->size() - 8);
+  w->PutU32(crc32c::Mask(crc));
+}
+
+Status WriteFileDurably(Env* env, const std::string& path,
+                        const std::vector<uint8_t>& bytes) {
+  Result<std::unique_ptr<WritableFile>> file = env->NewWritableFile(path);
+  if (!file.ok()) return file.status();
+  MSKETCH_RETURN_IF_ERROR((*file)->Append(bytes.data(), bytes.size()));
+  MSKETCH_RETURN_IF_ERROR((*file)->Sync());
+  return (*file)->Close();
+}
+
+}  // namespace
+
+Status WriteCheckpoint(Env* env, const std::string& path, uint64_t epoch,
+                       const CubeStore& store,
+                       const std::vector<Dictionary>& dicts) {
+  if (dicts.size() != store.num_dims()) {
+    return Status::InvalidArgument(
+        "checkpoint: dictionary count does not match cube dimensions");
+  }
+  BytesWriter w;
+  PutMagic(kCheckpointMagic, &w);
+  w.PutU8(kCheckpointVersion);
+  w.PutU64(epoch);
+  w.PutU32(static_cast<uint32_t>(store.num_dims()));
+  w.PutU32(static_cast<uint32_t>(store.k()));
+  for (const Dictionary& dict : dicts) {
+    w.PutU32(static_cast<uint32_t>(dict.size()));
+    for (uint32_t i = 0; i < dict.size(); ++i) w.PutString(dict.ValueOf(i));
+  }
+  const uint32_t num_cells = static_cast<uint32_t>(store.num_cells());
+  w.PutU32(num_cells);
+  for (uint32_t id = 0; id < num_cells; ++id) {
+    const CubeCoords& coords = store.CoordsOf(id);
+    for (uint32_t c : coords) w.PutU32(c);
+  }
+  EncodeSketchColumns(store.Columns(), &w);
+  SealBody(&w);
+  return WriteFileDurably(env, path, w.bytes());
+}
+
+Result<CheckpointData> ReadCheckpoint(Env* env, const std::string& path) {
+  Result<std::vector<uint8_t>> data = env->ReadFile(path);
+  if (!data.ok()) return data.status();
+  const std::vector<uint8_t> file = std::move(data).value();
+  if (!MagicMatches(file, kCheckpointMagic)) {
+    return Status::Corruption("checkpoint: bad magic");
+  }
+  Result<BytesReader> body = CheckedBody(file, "checkpoint");
+  if (!body.ok()) return body.status();
+  BytesReader in = std::move(body).value();
+
+  CheckpointData ckpt;
+  uint8_t version = 0;
+  MSKETCH_RETURN_NOT_OK(in.GetU8(&version));
+  if (version != kCheckpointVersion) {
+    return Status::Corruption("checkpoint: unsupported version");
+  }
+  MSKETCH_RETURN_NOT_OK(in.GetU64(&ckpt.epoch));
+  uint32_t num_dims = 0, k = 0;
+  MSKETCH_RETURN_NOT_OK(in.GetU32(&num_dims));
+  MSKETCH_RETURN_NOT_OK(in.GetU32(&k));
+  if (num_dims == 0 || num_dims > kMaxDims) {
+    return Status::Corruption("checkpoint: bad dimension count");
+  }
+  ckpt.num_dims = num_dims;
+  ckpt.k = static_cast<int>(k);
+  ckpt.dict_values.resize(num_dims);
+  for (uint32_t d = 0; d < num_dims; ++d) {
+    uint32_t count = 0;
+    MSKETCH_RETURN_NOT_OK(in.GetU32(&count));
+    if (count > in.remaining()) {
+      return Status::Corruption("checkpoint: dictionary exceeds buffer");
+    }
+    ckpt.dict_values[d].resize(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      MSKETCH_RETURN_NOT_OK(in.GetString(&ckpt.dict_values[d][i]));
+    }
+  }
+  uint32_t num_cells = 0;
+  MSKETCH_RETURN_NOT_OK(in.GetU32(&num_cells));
+  if (static_cast<uint64_t>(num_cells) * num_dims * 4 > in.remaining()) {
+    return Status::Corruption("checkpoint: cell table exceeds buffer");
+  }
+  ckpt.cell_coords.reserve(num_cells);
+  for (uint32_t id = 0; id < num_cells; ++id) {
+    CubeCoords coords(num_dims);
+    for (uint32_t d = 0; d < num_dims; ++d) {
+      MSKETCH_RETURN_NOT_OK(in.GetU32(&coords[d]));
+    }
+    ckpt.cell_coords.push_back(std::move(coords));
+  }
+  Result<DecodedSketchColumns> cols = DecodeSketchColumns(&in);
+  if (!cols.ok()) return cols.status();
+  ckpt.columns = std::move(cols).value();
+  if (ckpt.columns.num_cells != ckpt.cell_coords.size() ||
+      ckpt.columns.k != ckpt.k) {
+    return Status::Corruption(
+        "checkpoint: column section disagrees with cell table");
+  }
+  return ckpt;
+}
+
+Status WriteManifest(Env* env, const std::string& dir,
+                     const Manifest& manifest) {
+  BytesWriter w;
+  PutMagic(kManifestMagic, &w);
+  w.PutU8(kManifestVersion);
+  w.PutU64(manifest.checkpoint_epoch);
+  w.PutString(manifest.checkpoint_file);
+  w.PutString(manifest.wal_file);
+  w.PutU64(manifest.wal_seq);
+  SealBody(&w);
+  const std::string tmp = JoinPath(dir, std::string(kManifestName) + ".tmp");
+  MSKETCH_RETURN_IF_ERROR(WriteFileDurably(env, tmp, w.bytes()));
+  // The rename is the commit point: before it the old manifest (or no
+  // manifest) is what recovery sees, after it the new state is live.
+  MSKETCH_RETURN_IF_ERROR(env->RenameFile(tmp, JoinPath(dir, kManifestName)));
+  return env->SyncDir(dir);
+}
+
+Result<Manifest> ReadManifest(Env* env, const std::string& dir) {
+  Result<std::vector<uint8_t>> data =
+      env->ReadFile(JoinPath(dir, kManifestName));
+  if (!data.ok()) return data.status();
+  const std::vector<uint8_t> file = std::move(data).value();
+  if (!MagicMatches(file, kManifestMagic)) {
+    return Status::Corruption("manifest: bad magic");
+  }
+  Result<BytesReader> body = CheckedBody(file, "manifest");
+  if (!body.ok()) return body.status();
+  BytesReader in = std::move(body).value();
+
+  Manifest m;
+  uint8_t version = 0;
+  MSKETCH_RETURN_NOT_OK(in.GetU8(&version));
+  if (version != kManifestVersion) {
+    return Status::Corruption("manifest: unsupported version");
+  }
+  MSKETCH_RETURN_NOT_OK(in.GetU64(&m.checkpoint_epoch));
+  MSKETCH_RETURN_NOT_OK(in.GetString(&m.checkpoint_file));
+  MSKETCH_RETURN_NOT_OK(in.GetString(&m.wal_file));
+  MSKETCH_RETURN_NOT_OK(in.GetU64(&m.wal_seq));
+  return m;
+}
+
+}  // namespace msketch

@@ -1,0 +1,376 @@
+#include "persist/durable_log.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/bytes.h"
+#include "common/macros.h"
+
+namespace msketch {
+
+namespace {
+
+constexpr char kCheckpointPrefix[] = "CHECKPOINT-";
+constexpr char kWalPrefix[] = "WAL-";
+
+std::string SeqName(const char* prefix, uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%06llu",
+                static_cast<unsigned long long>(seq));
+  return std::string(prefix) + buf;
+}
+
+bool HasPrefix(const std::string& name, const char* prefix) {
+  return name.rfind(prefix, 0) == 0;
+}
+
+std::vector<uint32_t> DictSizes(const std::vector<Dictionary>& dicts) {
+  std::vector<uint32_t> sizes(dicts.size());
+  for (size_t d = 0; d < dicts.size(); ++d) {
+    sizes[d] = static_cast<uint32_t>(dicts[d].size());
+  }
+  return sizes;
+}
+
+WalWriterOptions WalOptions(const DurabilityOptions& options) {
+  WalWriterOptions w;
+  w.fsync_policy = options.fsync_policy;
+  w.fsync_every_n = options.fsync_every_n;
+  w.max_write_retries = options.max_write_retries;
+  w.retry_backoff = options.retry_backoff;
+  return w;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DurableLog>> DurableLog::Open(
+    const DurabilityOptions& options, uint64_t epoch, const CubeStore& store,
+    const std::vector<Dictionary>& dicts, bool allow_existing) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("DurableLog: empty directory");
+  }
+  Env* env = options.env != nullptr ? options.env : Env::Default();
+  MSKETCH_RETURN_NOT_OK(env->CreateDir(options.dir));
+
+  uint64_t next_seq = 1;
+  if (env->FileExists(JoinPath(options.dir, kManifestName))) {
+    if (!allow_existing) {
+      return Status::InvalidArgument(
+          "DurableLog: directory already holds a durable cube (recover it, "
+          "or point a fresh cube at an empty directory): " +
+          options.dir);
+    }
+    Result<Manifest> old = ReadManifest(env, options.dir);
+    if (!old.ok()) return old.status();
+    next_seq = old->wal_seq + 1;
+  }
+
+  std::unique_ptr<DurableLog> log(new DurableLog(options, env));
+  log->next_seq_ = next_seq;
+  const uint64_t seq = log->NextSeq();
+  Manifest m;
+  m.checkpoint_epoch = epoch;
+  m.checkpoint_file = SeqName(kCheckpointPrefix, seq);
+  m.wal_file = SeqName(kWalPrefix, seq);
+  m.wal_seq = seq;
+
+  MSKETCH_RETURN_NOT_OK(WriteCheckpoint(
+      env, JoinPath(options.dir, m.checkpoint_file), epoch, store, dicts));
+  Result<std::unique_ptr<WalWriter>> wal =
+      WalWriter::Create(env, JoinPath(options.dir, m.wal_file), store.k(),
+                        store.num_dims(), WalOptions(options));
+  if (!wal.ok()) return wal.status();
+  // The manifest rename is what makes the new baseline live; a crash
+  // before this point leaves the previous manifest (if any) intact.
+  MSKETCH_RETURN_NOT_OK(WriteManifest(env, options.dir, m));
+
+  log->wal_ = std::move(wal).value();
+  log->wal_name_ = m.wal_file;
+  log->last_logged_epoch_ = epoch;
+  log->checkpoint_epoch_ = epoch;
+  log->logged_dict_sizes_ = DictSizes(dicts);
+  log->checkpoints_written_ = 1;
+  log->DeleteDeadFiles(m);
+  return log;
+}
+
+uint64_t DurableLog::NextSeq() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_++;
+}
+
+Status DurableLog::LogEpoch(uint64_t epoch,
+                            const std::vector<WalCellRef>& cells,
+                            const std::vector<Dictionary>& dicts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (log_broken_) {
+    // The WAL may end in a torn record; appending past it would hide an
+    // epoch gap from replay. Fail fast until a checkpoint rebases.
+    return Status::IOError("WAL broken (" + last_error_ +
+                           "); epochs are not durable until the next "
+                           "checkpoint succeeds");
+  }
+  if (dicts.size() != logged_dict_sizes_.size()) {
+    return Status::InvalidArgument(
+        "LogEpoch: dictionary count does not match the cube");
+  }
+  std::vector<uint32_t> dict_start(dicts.size());
+  std::vector<std::vector<std::string>> dict_delta(dicts.size());
+  for (size_t d = 0; d < dicts.size(); ++d) {
+    dict_start[d] = logged_dict_sizes_[d];
+    const uint32_t size = static_cast<uint32_t>(dicts[d].size());
+    dict_delta[d].reserve(size - dict_start[d]);
+    for (uint32_t id = dict_start[d]; id < size; ++id) {
+      dict_delta[d].push_back(dicts[d].ValueOf(id));
+    }
+  }
+  BytesWriter payload;
+  EncodeEpochRecord(epoch, dict_start, dict_delta, cells, &payload);
+  const Status st = wal_->AppendRecord(kWalRecordEpoch, payload.bytes());
+  if (!st.ok()) {
+    log_broken_ = true;
+    ++wal_append_failures_;
+    last_error_ = st.ToString();
+    return st;
+  }
+  // Only now are the delta values durable: a failed append must re-log
+  // them, so the watermark advances after success, never before.
+  for (size_t d = 0; d < dicts.size(); ++d) {
+    logged_dict_sizes_[d] = static_cast<uint32_t>(dicts[d].size());
+  }
+  last_logged_epoch_ = epoch;
+  ++epochs_logged_;
+  ++epochs_since_checkpoint_;
+  return Status::OK();
+}
+
+Status DurableLog::Checkpoint(uint64_t epoch, const CubeStore& store,
+                              const std::vector<Dictionary>& dicts) {
+  const uint64_t seq = NextSeq();
+  const std::string ckpt_name = SeqName(kCheckpointPrefix, seq);
+  // The heavy write runs outside mu_ so concurrent LogEpoch calls only
+  // stall for the commit below, not the full state serialization.
+  Status st = WriteCheckpoint(env_, JoinPath(options_.dir, ckpt_name), epoch,
+                              store, dicts);
+  if (!st.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++checkpoint_failures_;
+    last_error_ = st.ToString();
+    return st;
+  }
+
+  Manifest m;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Rotate to an empty WAL only when the current one holds nothing
+    // beyond this checkpoint — LogEpoch may already have appended later
+    // epochs (the checkpoint is cut from an older published snapshot),
+    // and those records must survive.
+    const bool rotate = last_logged_epoch_ <= epoch;
+    m.checkpoint_epoch = epoch;
+    m.checkpoint_file = ckpt_name;
+    m.wal_file = rotate ? SeqName(kWalPrefix, seq) : wal_name_;
+    m.wal_seq = seq;
+    if (rotate) {
+      Result<std::unique_ptr<WalWriter>> wal =
+          WalWriter::Create(env_, JoinPath(options_.dir, m.wal_file),
+                            store.k(), store.num_dims(), WalOptions(options_));
+      if (!wal.ok()) {
+        ++checkpoint_failures_;
+        last_error_ = wal.status().ToString();
+        return wal.status();
+      }
+      st = WriteManifest(env_, options_.dir, m);
+      if (!st.ok()) {
+        ++checkpoint_failures_;
+        last_error_ = st.ToString();
+        return st;  // old manifest still live; new files are garbage
+      }
+      retired_wal_bytes_ += wal_->bytes_appended();
+      retired_wal_syncs_ += wal_->syncs();
+      retired_wal_retries_ += wal_->write_retries();
+      wal_->Close();  // retired file; the manifest no longer names it
+      wal_ = std::move(wal).value();
+      wal_name_ = m.wal_file;
+      logged_dict_sizes_ = DictSizes(dicts);
+      last_logged_epoch_ = std::max(last_logged_epoch_, epoch);
+      log_broken_ = false;  // full state re-committed; the log is whole
+    } else {
+      st = WriteManifest(env_, options_.dir, m);
+      if (!st.ok()) {
+        ++checkpoint_failures_;
+        last_error_ = st.ToString();
+        return st;
+      }
+    }
+    checkpoint_epoch_ = epoch;
+    epochs_since_checkpoint_ = 0;
+    ++checkpoints_written_;
+  }
+  DeleteDeadFiles(m);
+  return Status::OK();
+}
+
+bool DurableLog::ShouldCheckpoint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // A broken log wants a checkpoint immediately: it is the only way
+  // durability resumes.
+  return log_broken_ ||
+         epochs_since_checkpoint_ >= options_.checkpoint_every_epochs;
+}
+
+DurabilityStats DurableLog::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DurabilityStats s;
+  s.epochs_logged = epochs_logged_;
+  s.wal_bytes = retired_wal_bytes_ + (wal_ ? wal_->bytes_appended() : 0);
+  s.wal_syncs = retired_wal_syncs_ + (wal_ ? wal_->syncs() : 0);
+  s.write_retries = retired_wal_retries_ + (wal_ ? wal_->write_retries() : 0);
+  s.wal_append_failures = wal_append_failures_;
+  s.checkpoints_written = checkpoints_written_;
+  s.checkpoint_failures = checkpoint_failures_;
+  s.log_broken = log_broken_;
+  s.last_error = last_error_;
+  return s;
+}
+
+void DurableLog::DeleteDeadFiles(const Manifest& live) {
+  Result<std::vector<std::string>> names = env_->ListDir(options_.dir);
+  if (!names.ok()) return;  // best-effort; orphans retry next checkpoint
+  for (const std::string& name : *names) {
+    const bool dead =
+        (HasPrefix(name, kCheckpointPrefix) && name != live.checkpoint_file) ||
+        (HasPrefix(name, kWalPrefix) && name != live.wal_file) ||
+        name == std::string(kManifestName) + ".tmp";
+    if (dead) env_->DeleteFile(JoinPath(options_.dir, name));
+  }
+}
+
+Result<RecoveredState> RecoverState(Env* env, const std::string& dir,
+                                    RecoveryStats* stats) {
+  RecoveryStats local;
+  RecoveryStats* st = stats != nullptr ? stats : &local;
+  *st = RecoveryStats();
+
+  RecoveredState rs;
+  Result<Manifest> manifest = ReadManifest(env, dir);
+  if (!manifest.ok()) return manifest.status();
+  rs.manifest = std::move(manifest).value();
+
+  Result<CheckpointData> ckpt =
+      ReadCheckpoint(env, JoinPath(dir, rs.manifest.checkpoint_file));
+  if (!ckpt.ok()) return ckpt.status();
+  rs.checkpoint = std::move(ckpt).value();
+  st->checkpoint_loaded = true;
+  st->checkpoint_epoch = rs.checkpoint.epoch;
+  rs.dict_values = rs.checkpoint.dict_values;
+
+  Result<std::vector<uint8_t>> wal_bytes =
+      env->ReadFile(JoinPath(dir, rs.manifest.wal_file));
+  if (!wal_bytes.ok()) return wal_bytes.status();
+
+  // Replay plan: records at or below the checkpoint epoch contribute
+  // only their dictionary deltas (the checkpoint already covers their
+  // cells); later records must chain consecutively. A record that does
+  // not chain — or whose dictionary delta leaves a gap — marks the
+  // trustworthy prefix's end, and the rest of the file is ignored the
+  // same way a torn tail is.
+  bool chain_broken = false;
+  uint64_t next_expected = rs.checkpoint.epoch + 1;
+  WalReadStats wal_stats;
+  Status read_st = ReadWalRecords(
+      *wal_bytes,
+      [&](uint8_t type, BytesReader* payload) -> Status {
+        if (chain_broken) return Status::OK();
+        if (type != kWalRecordEpoch) return Status::OK();  // future types
+        Result<WalEpochRecord> decoded = DecodeEpochRecord(payload);
+        if (!decoded.ok()) return decoded.status();
+        WalEpochRecord rec = std::move(decoded).value();
+        if (rec.dict_start.size() != rs.dict_values.size()) {
+          return Status::Corruption("WAL record dimension mismatch");
+        }
+        for (size_t d = 0; d < rec.dict_start.size(); ++d) {
+          const size_t have = rs.dict_values[d].size();
+          const uint32_t start = rec.dict_start[d];
+          if (start > have) {  // ids [have, start) are nowhere: gap
+            chain_broken = true;
+            return Status::OK();
+          }
+          // The checkpoint (or an earlier record) may already cover a
+          // prefix of this delta; append only the genuinely new tail.
+          for (size_t i = have - start; i < rec.dict_values[d].size(); ++i) {
+            rs.dict_values[d].push_back(rec.dict_values[d][i]);
+          }
+        }
+        if (rec.epoch <= rs.checkpoint.epoch) return Status::OK();
+        if (rec.epoch != next_expected) {
+          chain_broken = true;
+          return Status::OK();
+        }
+        ++next_expected;
+        st->cells_replayed += rec.cells.size();
+        rs.epochs.push_back(std::move(rec));
+        return Status::OK();
+      },
+      &wal_stats);
+  if (!read_st.ok()) return read_st;
+  if (wal_stats.k != rs.checkpoint.k ||
+      wal_stats.num_dims != rs.checkpoint.num_dims) {
+    return Status::Corruption("WAL header disagrees with checkpoint");
+  }
+  st->epochs_replayed = rs.epochs.size();
+  st->bytes_truncated = wal_stats.bytes_truncated;
+  st->checksum_failures = wal_stats.checksum_failures;
+  return rs;
+}
+
+Status RebuildStore(const RecoveredState& state, CubeStore* store,
+                    RecoveryStats* stats) {
+  const CheckpointData& ckpt = state.checkpoint;
+  if (store->num_cells() != 0 || store->num_rows() != 0) {
+    return Status::InvalidArgument("RebuildStore: store must be empty");
+  }
+  if (store->num_dims() != ckpt.num_dims || store->k() != ckpt.k) {
+    return Status::InvalidArgument(
+        "RebuildStore: store shape does not match the checkpoint");
+  }
+  std::vector<const double*> power_ptrs(ckpt.k), log_ptrs(ckpt.k);
+  for (int i = 0; i < ckpt.k; ++i) {
+    power_ptrs[i] = ckpt.columns.power_cols[i].data();
+    log_ptrs[i] = ckpt.columns.log_cols[i].data();
+  }
+  FlatMomentColumns cols;
+  cols.k = ckpt.k;
+  cols.num_cells = ckpt.columns.num_cells;
+  cols.power_sums = power_ptrs.data();
+  cols.log_sums = log_ptrs.data();
+  cols.counts = ckpt.columns.counts.data();
+  cols.log_counts = ckpt.columns.log_counts.data();
+  cols.mins = ckpt.columns.mins.data();
+  cols.maxs = ckpt.columns.maxs.data();
+
+  // Checkpoint cells in cell-id order: each ApplyDelta into the empty
+  // store is one add from zero per column — a bit-exact copy — and
+  // recreates the same id for the same coordinates.
+  for (uint32_t id = 0; id < ckpt.columns.num_cells; ++id) {
+    MomentsSketch cell(ckpt.k);
+    MSKETCH_RETURN_NOT_OK(cell.MergeFlat(cols, &id, 1));
+    if (cell.count() == 0 && cell.log_count() == 0) {
+      // ApplyDelta would skip an empty delta, shifting every later cell
+      // id — and a live cube can't produce an empty cell anyway.
+      return Status::Corruption("checkpoint contains an empty cell");
+    }
+    MSKETCH_RETURN_NOT_OK(store->ApplyDelta(ckpt.cell_coords[id], cell));
+  }
+  // WAL epochs in publish order: the exact ApplyDelta sequence the
+  // pre-crash store executed after the checkpoint.
+  for (const WalEpochRecord& rec : state.epochs) {
+    for (const auto& cell : rec.cells) {
+      MSKETCH_RETURN_NOT_OK(store->ApplyDelta(cell.first, cell.second));
+    }
+  }
+  if (stats != nullptr) stats->rows_recovered = store->num_rows();
+  return Status::OK();
+}
+
+}  // namespace msketch

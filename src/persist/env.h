@@ -1,0 +1,76 @@
+// Pluggable file-system abstraction for the persistence layer.
+//
+// Every byte the WAL, checkpoint, and manifest code touches goes through
+// an Env, so tests can substitute FaultInjectingEnv (fault_env.h) and
+// exercise short writes, fsync failures, bit flips, and deterministic
+// crash points without ever depending on luck or real disk failures.
+//
+// The surface is deliberately small: append-only writable files, whole-
+// file reads (WAL and checkpoint files are read once at recovery, never
+// random-accessed), atomic rename (the manifest commit point), and the
+// directory operations recovery needs.
+#ifndef MSKETCH_PERSIST_ENV_H_
+#define MSKETCH_PERSIST_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace msketch {
+
+/// Append-only file handle. Append buffers through the OS; Sync makes
+/// everything appended so far durable (fsync). Close implies no Sync.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(const uint8_t* data, size_t n) = 0;
+  Status Append(const std::vector<uint8_t>& data) {
+    return Append(data.data(), data.size());
+  }
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Creates (or truncates) `path` for appending.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) = 0;
+
+  /// Reads the entire file into memory.
+  virtual Result<std::vector<uint8_t>> ReadFile(const std::string& path) = 0;
+
+  /// Atomically replaces `to` with `from` (POSIX rename semantics): after
+  /// a crash either the old or the new file is visible, never a mix.
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+
+  virtual Status DeleteFile(const std::string& path) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+
+  /// Creates `path`; succeeding if it already exists.
+  virtual Status CreateDir(const std::string& path) = 0;
+
+  /// Non-recursive listing of plain-file names in `path`.
+  virtual Result<std::vector<std::string>> ListDir(
+      const std::string& path) = 0;
+
+  /// Fsyncs the directory itself so renames/creates inside it survive a
+  /// power loss (no-op where unsupported).
+  virtual Status SyncDir(const std::string& path) = 0;
+
+  /// The process-wide POSIX environment.
+  static Env* Default();
+};
+
+/// Joins a directory and a file name with exactly one separator.
+std::string JoinPath(const std::string& dir, const std::string& name);
+
+}  // namespace msketch
+
+#endif  // MSKETCH_PERSIST_ENV_H_

@@ -1,0 +1,212 @@
+#include "persist/fault_env.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace msketch {
+
+// Not in an anonymous namespace: the env's friend declaration names
+// msketch::FaultWritableFile.
+class FaultWritableFile : public WritableFile {
+ public:
+  FaultWritableFile(std::unique_ptr<WritableFile> base,
+                    FaultInjectingEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status Append(const uint8_t* data, size_t n) override;
+  Status Sync() override;
+  Status Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  FaultInjectingEnv* env_;
+};
+
+Status FaultWritableFile::Append(const uint8_t* data, size_t n) {
+  size_t landed = n;
+  const auto verdict = env_->BeforeMutation(n, &landed);
+  if (verdict == FaultInjectingEnv::WriteVerdict::kTransientFail) {
+    return Status::IOError("injected transient append failure");
+  }
+  const bool crashing =
+      verdict == FaultInjectingEnv::WriteVerdict::kCrash;
+  if (landed > 0) {
+    // Copy so a scheduled bit flip can corrupt the outgoing bytes.
+    std::vector<uint8_t> buf(data, data + landed);
+    env_->OnBytesWritten(&buf);
+    const Status st = base_->Append(buf.data(), buf.size());
+    if (!st.ok()) return st;
+  }
+  if (crashing) {
+    return Status::IOError("injected crash: write torn at " +
+                           std::to_string(landed) + "/" +
+                           std::to_string(n) + " bytes");
+  }
+  return Status::OK();
+}
+
+Status FaultWritableFile::Sync() {
+  const Status st = env_->SyncVerdict();
+  if (!st.ok()) return st;
+  return base_->Sync();
+}
+
+void FaultInjectingEnv::CrashAfterOps(uint64_t n, size_t short_write_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crashed_ = false;
+  ops_until_crash_ = static_cast<int64_t>(n);
+  crash_short_write_ = short_write_bytes;
+}
+
+bool FaultInjectingEnv::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+void FaultInjectingEnv::FailNextAppends(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_appends_ = n;
+}
+
+void FaultInjectingEnv::FailNextSyncs(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_syncs_ = n;
+}
+
+void FaultInjectingEnv::FlipBitAtWrittenByte(uint64_t offset, int bit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  flip_offset_ = static_cast<int64_t>(offset);
+  flip_bit_ = bit & 7;
+}
+
+uint64_t FaultInjectingEnv::mutating_ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return mutating_ops_;
+}
+
+uint64_t FaultInjectingEnv::bytes_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_written_;
+}
+
+FaultInjectingEnv::WriteVerdict FaultInjectingEnv::BeforeMutation(
+    size_t append_bytes, size_t* landed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  *landed = append_bytes;
+  if (crashed_) {
+    *landed = 0;
+    return WriteVerdict::kCrash;
+  }
+  if (fail_appends_ > 0 && append_bytes > 0) {
+    --fail_appends_;
+    *landed = 0;
+    return WriteVerdict::kTransientFail;
+  }
+  if (ops_until_crash_ == 0) {
+    crashed_ = true;
+    *landed = std::min(crash_short_write_, append_bytes);
+    return WriteVerdict::kCrash;
+  }
+  if (ops_until_crash_ > 0) --ops_until_crash_;
+  ++mutating_ops_;
+  return WriteVerdict::kOk;
+}
+
+void FaultInjectingEnv::OnBytesWritten(std::vector<uint8_t>* buf) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t start_offset = bytes_written_;
+  if (flip_offset_ >= 0 &&
+      static_cast<uint64_t>(flip_offset_) >= start_offset &&
+      static_cast<uint64_t>(flip_offset_) < start_offset + buf->size()) {
+    (*buf)[static_cast<size_t>(flip_offset_ - start_offset)] ^=
+        static_cast<uint8_t>(1u << flip_bit_);
+    flip_offset_ = -1;
+  }
+  bytes_written_ += buf->size();
+}
+
+Status FaultInjectingEnv::SyncVerdict() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Status::IOError("injected crash: fsync after death");
+  if (fail_syncs_ > 0) {
+    --fail_syncs_;
+    return Status::IOError("injected fsync failure");
+  }
+  return Status::OK();
+}
+
+Status FaultInjectingEnv::FlipBitInFile(Env* env, const std::string& path,
+                                        uint64_t byte_offset, int bit) {
+  Result<std::vector<uint8_t>> data = env->ReadFile(path);
+  if (!data.ok()) return data.status();
+  std::vector<uint8_t> bytes = std::move(data).value();
+  if (byte_offset >= bytes.size()) {
+    return Status::InvalidArgument("FlipBitInFile: offset past EOF");
+  }
+  bytes[byte_offset] ^= static_cast<uint8_t>(1u << (bit & 7));
+  Result<std::unique_ptr<WritableFile>> file = env->NewWritableFile(path);
+  if (!file.ok()) return file.status();
+  MSKETCH_RETURN_IF_ERROR((*file)->Append(bytes.data(), bytes.size()));
+  MSKETCH_RETURN_IF_ERROR((*file)->Sync());
+  return (*file)->Close();
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectingEnv::NewWritableFile(
+    const std::string& path) {
+  size_t landed = 0;
+  if (BeforeMutation(0, &landed) != WriteVerdict::kOk) {
+    return Status::IOError("injected crash: cannot create " + path);
+  }
+  Result<std::unique_ptr<WritableFile>> base = base_->NewWritableFile(path);
+  if (!base.ok()) return base.status();
+  return std::unique_ptr<WritableFile>(
+      new FaultWritableFile(std::move(base).value(), this));
+}
+
+Result<std::vector<uint8_t>> FaultInjectingEnv::ReadFile(
+    const std::string& path) {
+  return base_->ReadFile(path);  // reads survive the crash (recovery path)
+}
+
+Status FaultInjectingEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  size_t landed = 0;
+  if (BeforeMutation(0, &landed) != WriteVerdict::kOk) {
+    return Status::IOError("injected crash: rename not applied");
+  }
+  return base_->RenameFile(from, to);
+}
+
+Status FaultInjectingEnv::DeleteFile(const std::string& path) {
+  size_t landed = 0;
+  if (BeforeMutation(0, &landed) != WriteVerdict::kOk) {
+    return Status::IOError("injected crash: delete not applied");
+  }
+  return base_->DeleteFile(path);
+}
+
+bool FaultInjectingEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Status FaultInjectingEnv::CreateDir(const std::string& path) {
+  size_t landed = 0;
+  if (BeforeMutation(0, &landed) != WriteVerdict::kOk) {
+    return Status::IOError("injected crash: mkdir not applied");
+  }
+  return base_->CreateDir(path);
+}
+
+Result<std::vector<std::string>> FaultInjectingEnv::ListDir(
+    const std::string& path) {
+  return base_->ListDir(path);
+}
+
+Status FaultInjectingEnv::SyncDir(const std::string& path) {
+  const Status st = SyncVerdict();
+  if (!st.ok()) return st;
+  return base_->SyncDir(path);
+}
+
+}  // namespace msketch

@@ -1,0 +1,112 @@
+// Fault-injecting Env wrapper: the recovery test harness.
+//
+// Wraps a base Env and injects, deterministically:
+//
+//   * crash points   — after N more successful mutating operations the
+//                      env "dies": the crashing append may land only a
+//                      prefix (a torn write), and every later mutating
+//                      operation fails with kIOError. Reads keep working,
+//                      so a recovery pass can inspect exactly what a real
+//                      crash would have left on disk. Sweeping N across
+//                      the full operation count of a workload visits
+//                      every crash point — mid-WAL-append, mid-
+//                      checkpoint, mid-manifest-rename — by construction.
+//   * transient I/O  — the next N appends (or syncs) fail once with
+//                      kIOError and then succeed, exercising the bounded
+//                      retry paths.
+//   * bit flips      — one bit of one byte, addressed by global written-
+//                      byte offset, is inverted on its way to disk,
+//                      exercising checksum detection.
+//
+// Fidelity note: a crash here preserves every byte already appended (as
+// if the page cache always reached disk). What is modeled is torn tails
+// and un-renamed manifests — the failure modes the record CRCs and the
+// atomic-rename commit protocol exist to survive. Page-cache loss on
+// unsynced data is not simulated; fsync failures are injected as
+// transient errors instead to test the retry/surface paths.
+#ifndef MSKETCH_PERSIST_FAULT_ENV_H_
+#define MSKETCH_PERSIST_FAULT_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "persist/env.h"
+
+namespace msketch {
+
+class FaultInjectingEnv : public Env {
+ public:
+  /// `base` is borrowed and must outlive this env.
+  explicit FaultInjectingEnv(Env* base) : base_(base) {}
+
+  // ------------------------------------------------------ fault plan
+  // Configure between workloads; the env applies faults from the next
+  // operation on. All counters are cumulative over the env's lifetime.
+
+  /// Crashes after `n` more successful mutating ops. The op that hits
+  /// the crash point tears: if it is an append, its first
+  /// `short_write_bytes` bytes land (0 = nothing lands).
+  void CrashAfterOps(uint64_t n, size_t short_write_bytes = 0);
+  bool crashed() const;
+
+  /// The next `n` appends fail with kIOError without writing anything.
+  void FailNextAppends(uint64_t n);
+  /// The next `n` syncs fail with kIOError.
+  void FailNextSyncs(uint64_t n);
+  /// Inverts bit `bit` (0-7) of the byte at cumulative written-byte
+  /// offset `offset` when it is appended.
+  void FlipBitAtWrittenByte(uint64_t offset, int bit);
+
+  /// Successful mutating operations so far (the crash-sweep bound).
+  uint64_t mutating_ops() const;
+  uint64_t bytes_written() const;
+
+  /// Reads `path` through the base env, flips one bit, and rewrites it —
+  /// post-hoc corruption for targeted checksum tests.
+  static Status FlipBitInFile(Env* env, const std::string& path,
+                              uint64_t byte_offset, int bit);
+
+  // ---------------------------------------------------- Env interface
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  Result<std::vector<uint8_t>> ReadFile(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status DeleteFile(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Status CreateDir(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& path) override;
+  Status SyncDir(const std::string& path) override;
+
+ private:
+  friend class FaultWritableFile;
+
+  enum class WriteVerdict { kOk, kTransientFail, kCrash };
+
+  /// Accounts one mutating op (non-append ops call with n = 0). Returns
+  /// the verdict and, for a crashing append, how many bytes still land.
+  WriteVerdict BeforeMutation(size_t append_bytes, size_t* landed);
+  /// Applies any scheduled bit flip to an outgoing append buffer and
+  /// advances the written-byte counter.
+  void OnBytesWritten(std::vector<uint8_t>* buf);
+  Status SyncVerdict();
+
+  Env* const base_;
+
+  mutable std::mutex mu_;
+  bool crashed_ = false;
+  int64_t ops_until_crash_ = -1;  // -1 = no crash scheduled
+  size_t crash_short_write_ = 0;
+  uint64_t fail_appends_ = 0;
+  uint64_t fail_syncs_ = 0;
+  int64_t flip_offset_ = -1;
+  int flip_bit_ = 0;
+  uint64_t mutating_ops_ = 0;
+  uint64_t bytes_written_ = 0;
+};
+
+}  // namespace msketch
+
+#endif  // MSKETCH_PERSIST_FAULT_ENV_H_

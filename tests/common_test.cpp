@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "common/bytes.h"
+#include "common/macros.h"
 #include "common/rng.h"
 #include "common/status.h"
 
@@ -48,6 +49,77 @@ TEST(ResultTest, MoveOutValue) {
   Result<std::vector<double>> r(std::vector<double>{1.0, 2.0});
   std::vector<double> v = std::move(r).value();
   EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(StatusTest, PersistenceCodes) {
+  Status io = Status::IOError("write failed: disk full");
+  EXPECT_EQ(io.code(), StatusCode::kIOError);
+  EXPECT_EQ(io.message(), "write failed: disk full");
+  EXPECT_EQ(io.ToString(), "IOError: write failed: disk full");
+
+  Status corrupt = Status::Corruption("CRC mismatch at record 3");
+  EXPECT_EQ(corrupt.code(), StatusCode::kCorruption);
+  EXPECT_EQ(corrupt.ToString(), "Corruption: CRC mismatch at record 3");
+
+  Status deadline = Status::DeadlineExceeded("stall budget expired");
+  EXPECT_EQ(deadline.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(deadline.ToString(), "DeadlineExceeded: stall budget expired");
+}
+
+namespace {
+Status FailAtStep(int failing_step, int* steps_run) {
+  auto step = [&](int i) {
+    ++*steps_run;
+    if (i == failing_step) return Status::IOError("step failed");
+    return Status::OK();
+  };
+  MSKETCH_RETURN_IF_ERROR(step(0));
+  MSKETCH_RETURN_IF_ERROR(step(1));
+  MSKETCH_RETURN_IF_ERROR(step(2));
+  return Status::OK();
+}
+}  // namespace
+
+TEST(StatusTest, ReturnIfErrorPropagatesAndShortCircuits) {
+  int steps = 0;
+  EXPECT_TRUE(FailAtStep(-1, &steps).ok());
+  EXPECT_EQ(steps, 3);
+
+  steps = 0;
+  Status s = FailAtStep(1, &steps);
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_EQ(s.message(), "step failed");
+  EXPECT_EQ(steps, 2);  // step 2 never ran
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  // Result must carry move-only payloads (recovery returns
+  // Result<unique_ptr<StreamingCube>>).
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, 7);
+}
+
+namespace {
+Result<std::unique_ptr<int>> MakeBoxed(bool fail) {
+  if (fail) return Status::Corruption("no value");
+  return std::make_unique<int>(11);
+}
+Status UseAssignOrReturn(bool fail, int* out) {
+  std::unique_ptr<int> boxed;
+  MSKETCH_ASSIGN_OR_RETURN(boxed, MakeBoxed(fail));
+  *out = *boxed;
+  return Status::OK();
+}
+}  // namespace
+
+TEST(ResultTest, AssignOrReturnMovesThroughMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(false, &out).ok());
+  EXPECT_EQ(out, 11);
+  EXPECT_EQ(UseAssignOrReturn(true, &out).code(), StatusCode::kCorruption);
 }
 
 TEST(BytesTest, RoundTripScalars) {

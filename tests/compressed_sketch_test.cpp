@@ -1,0 +1,227 @@
+// Round-trip and adversarial-decode coverage for the sketch codecs
+// (core/compressed_sketch.h): the lossless column codec that backs
+// checkpoint files must re-encode bit-exactly, and every damaged input
+// — truncated, bit-flipped, or carrying a lying length prefix — must
+// decode to a clean Status, never an out-of-bounds read (the ASan CI
+// job runs this suite to enforce the latter).
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "core/compressed_sketch.h"
+#include "core/moments_sketch.h"
+
+namespace msketch {
+namespace {
+
+// Owning struct-of-arrays built from individual sketches, viewable as
+// the FlatMomentColumns the encoder takes.
+struct OwnedColumns {
+  int k = 0;
+  std::vector<std::vector<double>> power, logs;
+  std::vector<uint64_t> counts, log_counts;
+  std::vector<double> mins, maxs;
+  std::vector<const double*> power_ptrs, log_ptrs;
+
+  static OwnedColumns FromSketches(const std::vector<MomentsSketch>& cells,
+                                   int k) {
+    OwnedColumns o;
+    o.k = k;
+    const size_t n = cells.size();
+    o.power.assign(k, std::vector<double>(n));
+    o.logs.assign(k, std::vector<double>(n));
+    o.counts.resize(n);
+    o.log_counts.resize(n);
+    o.mins.resize(n);
+    o.maxs.resize(n);
+    for (size_t c = 0; c < n; ++c) {
+      o.counts[c] = cells[c].count();
+      o.log_counts[c] = cells[c].log_count();
+      o.mins[c] = cells[c].min();
+      o.maxs[c] = cells[c].max();
+      for (int i = 0; i < k; ++i) {
+        o.power[i][c] = cells[c].power_sums()[i];
+        o.logs[i][c] = cells[c].log_sums()[i];
+      }
+    }
+    for (int i = 0; i < k; ++i) {
+      o.power_ptrs.push_back(o.power[i].data());
+      o.log_ptrs.push_back(o.logs[i].data());
+    }
+    return o;
+  }
+
+  static OwnedColumns FromDecoded(const DecodedSketchColumns& d) {
+    OwnedColumns o;
+    o.k = d.k;
+    o.power = d.power_cols;
+    o.logs = d.log_cols;
+    o.counts = d.counts;
+    o.log_counts = d.log_counts;
+    o.mins = d.mins;
+    o.maxs = d.maxs;
+    for (int i = 0; i < o.k; ++i) {
+      o.power_ptrs.push_back(o.power[i].data());
+      o.log_ptrs.push_back(o.logs[i].data());
+    }
+    return o;
+  }
+
+  FlatMomentColumns View() const {
+    FlatMomentColumns v;
+    v.k = k;
+    v.num_cells = counts.size();
+    v.power_sums = power_ptrs.data();
+    v.log_sums = log_ptrs.data();
+    v.counts = counts.data();
+    v.log_counts = log_counts.data();
+    v.mins = mins.data();
+    v.maxs = maxs.data();
+    return v;
+  }
+};
+
+std::vector<MomentsSketch> RandomCells(Rng* rng, int k, size_t n) {
+  std::vector<MomentsSketch> cells;
+  for (size_t c = 0; c < n; ++c) {
+    MomentsSketch s(k);
+    // Mix of empty cells, tiny cells, and heavier lognormal streams —
+    // including negatives and zeros so log_count diverges from count.
+    const size_t rows = rng->NextBelow(4) == 0 ? 0 : rng->NextBelow(200);
+    for (size_t r = 0; r < rows; ++r) {
+      switch (rng->NextBelow(4)) {
+        case 0: s.Accumulate(-rng->NextLognormal(0.0, 1.5)); break;
+        case 1: s.Accumulate(0.0); break;
+        default: s.Accumulate(rng->NextLognormal(1.0, 2.0)); break;
+      }
+    }
+    cells.push_back(std::move(s));
+  }
+  return cells;
+}
+
+std::vector<uint8_t> Encode(const OwnedColumns& cols) {
+  BytesWriter w;
+  EncodeSketchColumns(cols.View(), &w);
+  return w.bytes();
+}
+
+TEST(SketchColumnsTest, PropertyRoundTripIsBitExact) {
+  Rng rng(20260808);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int k = 1 + static_cast<int>(rng.NextBelow(16));
+    const size_t n = rng.NextBelow(40);  // includes zero-cell stores
+    OwnedColumns cols = OwnedColumns::FromSketches(RandomCells(&rng, k, n), k);
+    const std::vector<uint8_t> blob = Encode(cols);
+
+    BytesReader r(blob);
+    Result<DecodedSketchColumns> decoded = DecodeSketchColumns(&r);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(r.remaining(), 0u);
+    EXPECT_EQ(decoded.value().k, k);
+    ASSERT_EQ(decoded.value().num_cells, n);
+
+    // Bit-exactness witness: re-encoding the decoded columns reproduces
+    // the original bytes (covers every column, including NaN/inf bit
+    // patterns, without a per-double comparison loop).
+    const std::vector<uint8_t> reblob =
+        Encode(OwnedColumns::FromDecoded(decoded.value()));
+    ASSERT_EQ(reblob.size(), blob.size());
+    EXPECT_EQ(std::memcmp(reblob.data(), blob.data(), blob.size()), 0);
+  }
+}
+
+TEST(SketchColumnsTest, EveryTruncationRejectsCleanly) {
+  Rng rng(7);
+  OwnedColumns cols =
+      OwnedColumns::FromSketches(RandomCells(&rng, 6, 9), 6);
+  const std::vector<uint8_t> blob = Encode(cols);
+  for (size_t len = 0; len < blob.size(); ++len) {
+    std::vector<uint8_t> cut(blob.begin(), blob.begin() + len);
+    BytesReader r(cut);
+    Result<DecodedSketchColumns> d = DecodeSketchColumns(&r);
+    EXPECT_FALSE(d.ok()) << "truncation to " << len << " bytes decoded";
+  }
+}
+
+TEST(SketchColumnsTest, EveryByteFlipRejectsCleanly) {
+  Rng rng(11);
+  OwnedColumns cols =
+      OwnedColumns::FromSketches(RandomCells(&rng, 4, 7), 4);
+  const std::vector<uint8_t> blob = Encode(cols);
+  // The section CRC covers everything it frames, so any single-bit
+  // damage — header, payload, or the CRC itself — must be detected.
+  for (size_t i = 0; i < blob.size(); ++i) {
+    std::vector<uint8_t> bad = blob;
+    bad[i] ^= 1u << rng.NextBelow(8);
+    BytesReader r(bad);
+    Result<DecodedSketchColumns> d = DecodeSketchColumns(&r);
+    EXPECT_FALSE(d.ok()) << "flip at byte " << i << " decoded";
+  }
+}
+
+TEST(SketchColumnsTest, AbsurdCellCountRejectsBeforeAllocating) {
+  Rng rng(13);
+  OwnedColumns cols =
+      OwnedColumns::FromSketches(RandomCells(&rng, 4, 3), 4);
+  std::vector<uint8_t> blob = Encode(cols);
+  // num_cells is the u64 after magic(4) + version(1) + k(4).
+  const size_t off = 9;
+  const uint64_t absurd = ~0ULL;
+  std::memcpy(blob.data() + off, &absurd, sizeof(absurd));
+  BytesReader r(blob);
+  Result<DecodedSketchColumns> d = DecodeSketchColumns(&r);
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SketchColumnsTest, BadMagicAndVersionReject) {
+  Rng rng(17);
+  OwnedColumns cols =
+      OwnedColumns::FromSketches(RandomCells(&rng, 4, 2), 4);
+  std::vector<uint8_t> bad_magic = Encode(cols);
+  bad_magic[0] ^= 0xff;
+  BytesReader r1(bad_magic);
+  EXPECT_FALSE(DecodeSketchColumns(&r1).ok());
+
+  std::vector<uint8_t> bad_version = Encode(cols);
+  bad_version[4] = 0x7f;
+  BytesReader r2(bad_version);
+  EXPECT_FALSE(DecodeSketchColumns(&r2).ok());
+}
+
+TEST(LowPrecisionTest, FullWidthRoundTripPreservesState) {
+  Rng rng(23);
+  MomentsSketch s(10);
+  for (int i = 0; i < 500; ++i) s.Accumulate(rng.NextLognormal(0.5, 1.0));
+  const std::vector<uint8_t> blob = EncodeLowPrecision(s, 64, 99);
+  EXPECT_EQ(blob.size(), LowPrecisionSizeBytes(10, 64));
+  Result<MomentsSketch> d = DecodeLowPrecision(blob);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d.value().count(), s.count());
+  EXPECT_EQ(d.value().log_count(), s.log_count());
+  EXPECT_EQ(d.value().min(), s.min());
+  EXPECT_EQ(d.value().max(), s.max());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(d.value().power_sums()[i], s.power_sums()[i]);
+    EXPECT_EQ(d.value().log_sums()[i], s.log_sums()[i]);
+  }
+}
+
+TEST(LowPrecisionTest, TruncationsRejectCleanly) {
+  Rng rng(29);
+  MomentsSketch s(8);
+  for (int i = 0; i < 100; ++i) s.Accumulate(rng.NextGaussian());
+  const std::vector<uint8_t> blob = EncodeLowPrecision(s, 24, 7);
+  for (size_t len = 0; len < blob.size(); ++len) {
+    std::vector<uint8_t> cut(blob.begin(), blob.begin() + len);
+    Result<MomentsSketch> d = DecodeLowPrecision(cut);
+    EXPECT_FALSE(d.ok()) << "truncation to " << len << " bytes decoded";
+  }
+}
+
+}  // namespace
+}  // namespace msketch

@@ -1,0 +1,243 @@
+#!/usr/bin/env python3
+"""Pretty-print and verify a moments-sketch WAL file (src/persist/wal.h).
+
+Walks the file exactly like the C++ reader (ReadWalRecords): verifies the
+header CRC, then each record's masked CRC32C, decoding epoch records
+(type 1) into epochs / dictionary deltas / cell sketches. A torn tail —
+a record cut short with no checksum lie — is the expected post-crash
+state and is reported but not an error; a checksum mismatch, an absurd
+length prefix, or a damaged header is corruption and exits non-zero.
+
+Usage: wal_dump.py WAL-file [--cells] [--strict]
+
+  --cells   print every cell's coordinates and sketch summary (default
+            prints a one-line summary per epoch record)
+  --strict  treat a torn tail as an error too (for verifying a log that
+            should be clean, e.g. after a graceful shutdown)
+"""
+
+import struct
+import sys
+
+WAL_MAGIC = b"MSKWAL01"
+WAL_VERSION = 1
+RECORD_EPOCH = 1
+MAX_RECORD_LEN = 1 << 30
+MASK_DELTA = 0xA282EAD8
+
+# CRC32C (Castagnoli): reflected, poly 0x1EDC6F41, init/xorout 0xFFFFFFFF.
+_POLY = 0x82F63B78  # reflected 0x1EDC6F41
+_TABLE = []
+for _i in range(256):
+    _c = _i
+    for _ in range(8):
+        _c = (_c >> 1) ^ _POLY if _c & 1 else _c >> 1
+    _TABLE.append(_c)
+
+
+def crc32c(data, crc=0):
+    crc ^= 0xFFFFFFFF
+    for b in data:
+        crc = _TABLE[(crc ^ b) & 0xFF] ^ (crc >> 8)
+    return crc ^ 0xFFFFFFFF
+
+
+def mask(crc):
+    return (((crc >> 15) | (crc << 17)) + MASK_DELTA) & 0xFFFFFFFF
+
+
+def unmask(masked):
+    rot = (masked - MASK_DELTA) & 0xFFFFFFFF
+    return ((rot >> 17) | (rot << 15)) & 0xFFFFFFFF
+
+
+class Reader:
+    """Little-endian cursor matching common/bytes.h BytesReader."""
+
+    def __init__(self, buf):
+        self.buf = buf
+        self.pos = 0
+
+    def _take(self, n, what):
+        if len(self.buf) - self.pos < n:
+            raise ValueError(f"payload underflow reading {what}")
+        out = self.buf[self.pos : self.pos + n]
+        self.pos += n
+        return out
+
+    def u8(self, what="u8"):
+        return self._take(1, what)[0]
+
+    def u32(self, what="u32"):
+        return struct.unpack("<I", self._take(4, what))[0]
+
+    def u64(self, what="u64"):
+        return struct.unpack("<Q", self._take(8, what))[0]
+
+    def f64(self, what="f64"):
+        return struct.unpack("<d", self._take(8, what))[0]
+
+    def string(self, what="string"):
+        n = self.u32(what + " length")
+        return self._take(n, what).decode("utf-8", errors="replace")
+
+    def remaining(self):
+        return len(self.buf) - self.pos
+
+
+def decode_epoch_record(r, num_dims):
+    epoch = r.u64("epoch")
+    rec_dims = r.u32("dimension count")
+    if rec_dims != num_dims:
+        raise ValueError(f"record dims {rec_dims} != header dims {num_dims}")
+    dicts = []
+    for d in range(rec_dims):
+        start = r.u32("dict start id")
+        count = r.u32("dict value count")
+        if count > r.remaining():
+            raise ValueError("dict delta exceeds payload")
+        dicts.append((start, [r.string("dict value") for _ in range(count)]))
+    num_cells = r.u32("cell count")
+    if num_cells > r.remaining():
+        raise ValueError("cell count exceeds payload")
+    cells = []
+    for _ in range(num_cells):
+        arity = r.u32("cell arity")
+        if arity != rec_dims:
+            raise ValueError(f"cell arity {arity} != dims {rec_dims}")
+        coords = [r.u32("coord") for _ in range(arity)]
+        k = r.u32("sketch k")
+        if not 1 <= k <= 64:
+            raise ValueError(f"sketch k={k} out of range")
+        sketch = {
+            "k": k,
+            "count": r.u64("count"),
+            "log_count": r.u64("log_count"),
+            "min": r.f64("min"),
+            "max": r.f64("max"),
+            "power_sums": [r.f64("power sum") for _ in range(k)],
+            "log_sums": [r.f64("log sum") for _ in range(k)],
+        }
+        cells.append((coords, sketch))
+    if r.remaining():
+        raise ValueError(f"{r.remaining()} trailing bytes in payload")
+    return epoch, dicts, cells
+
+
+def print_epoch(rec_index, offset, epoch, dicts, cells, show_cells):
+    new_values = sum(len(vals) for _, vals in dicts)
+    rows = sum(s["count"] for _, s in cells)
+    print(
+        f"  record {rec_index} @ {offset:<8} epoch {epoch:<6} "
+        f"cells={len(cells)} rows={rows} new_dict_values={new_values}"
+    )
+    for d, (start, vals) in enumerate(dicts):
+        if vals:
+            shown = ", ".join(repr(v) for v in vals[:6])
+            more = f", … +{len(vals) - 6}" if len(vals) > 6 else ""
+            print(f"    dim {d}: ids {start}..{start + len(vals) - 1}: "
+                  f"{shown}{more}")
+    if show_cells:
+        for coords, s in cells:
+            print(
+                f"    cell {coords}: count={s['count']} "
+                f"log_count={s['log_count']} min={s['min']:.6g} "
+                f"max={s['max']:.6g} m1={s['power_sums'][0]:.6g}"
+            )
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    flags = {a for a in argv[1:] if a.startswith("--")}
+    if len(args) != 1 or flags - {"--cells", "--strict"}:
+        print(__doc__)
+        return 2
+    path = args[0]
+    with open(path, "rb") as f:
+        data = f.read()
+
+    header_len = len(WAL_MAGIC) + 1 + 4 + 4 + 4
+    if len(data) < header_len:
+        print(f"CORRUPT: {path}: {len(data)} bytes, shorter than the "
+              f"{header_len}-byte header")
+        return 1
+    if data[: len(WAL_MAGIC)] != WAL_MAGIC:
+        print(f"CORRUPT: {path}: bad magic {data[:8]!r}")
+        return 1
+    version, k, num_dims, header_crc = struct.unpack_from(
+        "<BIII", data, len(WAL_MAGIC)
+    )
+    actual = crc32c(data[len(WAL_MAGIC) : len(WAL_MAGIC) + 9])
+    if version != WAL_VERSION:
+        print(f"CORRUPT: {path}: version {version} (expected {WAL_VERSION})")
+        return 1
+    if unmask(header_crc) != actual:
+        print(f"CORRUPT: {path}: header CRC mismatch "
+              f"(stored {unmask(header_crc):#010x}, actual {actual:#010x})")
+        return 1
+    print(f"{path}: {len(data)} bytes, k={k}, num_dims={num_dims}")
+
+    pos = header_len
+    records = 0
+    epochs = []
+    corrupt = False
+    while pos < len(data):
+        if len(data) - pos < 9:
+            print(f"  torn record header @ {pos} "
+                  f"({len(data) - pos} bytes)")
+            break
+        masked_crc, length, rtype = struct.unpack_from("<IIB", data, pos)
+        if length > MAX_RECORD_LEN:
+            print(f"CORRUPT: record @ {pos}: length prefix {length} "
+                  f"exceeds max {MAX_RECORD_LEN}")
+            corrupt = True
+            break
+        if len(data) - pos - 9 < length:
+            print(f"  torn record payload @ {pos} (type {rtype}, "
+                  f"{len(data) - pos - 9} of {length} payload bytes)")
+            break
+        payload = data[pos + 9 : pos + 9 + length]
+        actual = crc32c(payload, crc32c(bytes([rtype])))
+        if unmask(masked_crc) != actual:
+            print(f"CORRUPT: record @ {pos}: CRC mismatch "
+                  f"(stored {unmask(masked_crc):#010x}, "
+                  f"actual {actual:#010x})")
+            corrupt = True
+            break
+        if rtype == RECORD_EPOCH:
+            try:
+                epoch, dicts, cells = decode_epoch_record(
+                    Reader(payload), num_dims
+                )
+            except ValueError as e:
+                print(f"CORRUPT: record @ {pos}: checksum OK but payload "
+                      f"undecodable: {e}")
+                corrupt = True
+                break
+            print_epoch(records, pos, epoch, dicts, cells,
+                        "--cells" in flags)
+            epochs.append(epoch)
+        else:
+            print(f"  record {records} @ {pos}: unknown type {rtype}, "
+                  f"{length} bytes (skipped)")
+        pos += 9 + length
+        records += 1
+
+    truncated = len(data) - pos
+    # The writer guarantees consecutive epochs within one WAL file; a gap
+    # in a CRC-clean log means records were lost, not torn.
+    for prev, cur in zip(epochs, epochs[1:]):
+        if cur != prev + 1:
+            print(f"CORRUPT: epoch chain break: {prev} -> {cur}")
+            corrupt = True
+    print(f"{records} intact record(s), {truncated} byte(s) truncated")
+    if corrupt:
+        return 1
+    if truncated and "--strict" in flags:
+        print("STRICT: torn tail present")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
