@@ -70,6 +70,9 @@ struct LaneSolverStats {
   uint64_t lane_fallbacks = 0;  // diverged; re-solved by the scalar loop
   uint64_t warm_lanes = 0;      // seeded from the bucket chain
   uint64_t prep_failures = 0;   // empty/atomic/unusable groups
+  /// Degradation counters (previously dropped inside the lane solver):
+  uint64_t atomic_screen_hits = 0;  // prep refusals from the atomic screen
+  uint64_t iteration_capped = 0;    // lanes stopped at max_newton_iter
 
   /// Mean fraction of lanes occupied per packed solve (0 when none ran).
   double LaneOccupancy() const {
@@ -87,6 +90,8 @@ struct LaneSolverStats {
     lane_fallbacks += other.lane_fallbacks;
     warm_lanes += other.warm_lanes;
     prep_failures += other.prep_failures;
+    atomic_screen_hits += other.atomic_screen_hits;
+    iteration_capped += other.iteration_capped;
   }
 };
 

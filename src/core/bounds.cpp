@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "common/macros.h"
@@ -236,6 +237,73 @@ double QuantileErrorBound(const MomentsSketch& sketch, double phi,
   const double lo = b.lower / n;
   const double hi = b.upper / n;
   return std::max({phi - lo, hi - phi, 0.0});
+}
+
+QuantileInterval CertifiedQuantileInterval(const MomentsSketch& sketch,
+                                           double phi, int steps) {
+  if (sketch.count() == 0) return QuantileInterval{0.0, 0.0};
+  QuantileInterval out{sketch.min(), sketch.max()};
+  if (sketch.min() >= sketch.max() || steps <= 0) return out;
+
+  const double n = static_cast<double>(sketch.count());
+  // Target rank r (1-based): the r-th smallest element. rank(t) counts
+  // strict inferiors, so rank(t) < r certifies Q >= t and rank(t) >= r
+  // certifies Q <= t (the r-th smallest is preceded by >= r elements).
+  double r = std::ceil(phi * n);
+  r = std::max(1.0, std::min(r, n));
+
+  // Lower endpoint: largest probe t whose certified rank upper bound
+  // stays below r. Each accepted probe is individually sound, so the
+  // running max is a certificate regardless of bound monotonicity.
+  {
+    double lo = sketch.min(), hi = sketch.max();
+    for (int i = 0; i < steps; ++i) {
+      const double mid = 0.5 * (lo + hi);
+      if (!(mid > lo && mid < hi)) break;  // interval exhausted in fp
+      if (RttBound(sketch, mid).upper < r) {
+        out.lower = std::max(out.lower, mid);
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+  }
+  // Upper endpoint: smallest probe t whose certified rank lower bound
+  // already reaches r.
+  {
+    double lo = sketch.min(), hi = sketch.max();
+    for (int i = 0; i < steps; ++i) {
+      const double mid = 0.5 * (lo + hi);
+      if (!(mid > lo && mid < hi)) break;
+      if (RttBound(sketch, mid).lower >= r) {
+        out.upper = std::min(out.upper, mid);
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+  }
+  // Both endpoints are individually certified, so crossing can only come
+  // from floating-point damage inside the bound solves; never hand a
+  // crossed certificate to a caller.
+  if (out.lower > out.upper) return QuantileInterval{sketch.min(), sketch.max()};
+  return out;
+}
+
+double HankelConditionNumber(const MomentsSketch& sketch) {
+  if (sketch.count() == 0 || !(sketch.min() < sketch.max())) {
+    return std::numeric_limits<double>::infinity();
+  }
+  ScaleMap map = MakeScaleMap(sketch.min(), sketch.max());
+  const std::vector<double> mu =
+      ShiftPowerMoments(sketch.StandardMoments(), map);
+  const int r = (static_cast<int>(mu.size()) - 1) / 2;
+  if (r < 1) return std::numeric_limits<double>::infinity();
+  Matrix hankel(r + 1, r + 1);
+  for (int i = 0; i <= r; ++i) {
+    for (int j = 0; j <= r; ++j) hankel(i, j) = mu[i + j];
+  }
+  return SymmetricConditionNumber(hankel);
 }
 
 }  // namespace msketch

@@ -45,6 +45,33 @@ RankBounds RttBound(const MomentsSketch& sketch, double t);
 double QuantileErrorBound(const MomentsSketch& sketch, double phi,
                           double estimate);
 
+/// Certified value-domain enclosure of a quantile: the true phi-quantile
+/// of every dataset matching the sketch's moments lies in [lower, upper].
+struct QuantileInterval {
+  double lower = 0.0;
+  double upper = 0.0;
+  double width() const { return upper - lower; }
+};
+
+/// Certified enclosure of the true phi-quantile from moment bounds alone
+/// (no solved density needed): bisection over the value domain where each
+/// probe t is certified individually by RttBound — if even the upper rank
+/// bound at t is short of the target rank, the quantile is >= t, and
+/// symmetrically for the lower bound. Individually-sound probes keep the
+/// result a certificate even when the rank bounds are not numerically
+/// monotone in t. Worst case (degenerate bounds) returns [min, max],
+/// which is still sound. `steps` bisection probes per endpoint, each one
+/// RttBound evaluation. Returns {0, 0} on an empty sketch.
+QuantileInterval CertifiedQuantileInterval(const MomentsSketch& sketch,
+                                           double phi, int steps = 24);
+
+/// Condition number of the Hankel moment matrix on the scaled standard
+/// domain — the router's conditioning signal. Large values mean the
+/// moment vector is near the boundary of the moment cone (near-atomic or
+/// near-singular data) and the maxent solve is unreliable. Returns +inf
+/// for empty or point-mass sketches.
+double HankelConditionNumber(const MomentsSketch& sketch);
+
 }  // namespace msketch
 
 #endif  // MSKETCH_CORE_BOUNDS_H_

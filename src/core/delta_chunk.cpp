@@ -19,11 +19,15 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 }  // namespace
 
-DeltaChunk::DeltaChunk(int k, size_t capacity, size_t batch_size)
-    : k_(k), capacity_(capacity), batch_size_(batch_size) {
+DeltaChunk::DeltaChunk(int k, size_t capacity, size_t batch_size, int kll_k)
+    : k_(k), capacity_(capacity), batch_size_(batch_size), kll_k_(kll_k) {
   MSKETCH_CHECK(k >= 1 && k <= 64);
   MSKETCH_CHECK(capacity >= 1);
   MSKETCH_CHECK(batch_size >= 1);
+  if (kll_k_ > 0) {
+    klls_.reserve(capacity);
+    for (size_t s = 0; s < capacity; ++s) klls_.emplace_back(kll_k_);
+  }
   lanes_.assign(2 * static_cast<size_t>(k) * capacity, 0.0);
   pow_cols_.resize(k);
   log_cols_.resize(k);
@@ -55,6 +59,7 @@ void DeltaChunk::PushRun(size_t slot, const double* values, size_t n) {
   MSKETCH_DCHECK(slot < used_);
   if (n == 0) return;
   rows_ += n;
+  if (kll_k_ > 0) klls_[slot].AccumulateBatch(values, n);
   uint32_t& len = pending_len_[slot];
   double* tail = pending_.data() + slot * batch_size_;
   size_t i = 0;
@@ -103,6 +108,12 @@ void DeltaChunk::Reset() {
   std::fill_n(mins_.data(), used_, kInf);
   std::fill_n(maxs_.data(), used_, -kInf);
   std::fill_n(pending_len_.data(), used_, uint32_t{0});
+  // Fresh sketches, not Reset(): the drain moves slots' KLLs out, and a
+  // moved-from sketch must come back with its full invariants (including
+  // a zeroed coin) so every chunk reuse is deterministic.
+  for (size_t s = 0; s < used_ && kll_k_ > 0; ++s) {
+    klls_[s] = KllSketch(kll_k_);
+  }
   used_ = 0;
   rows_ = 0;
   session_ = 0;

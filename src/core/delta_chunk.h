@@ -30,6 +30,7 @@
 #include "common/macros.h"
 #include "cube/cube_types.h"
 #include "core/moments_sketch.h"
+#include "sketches/kll_sketch.h"
 
 namespace msketch {
 
@@ -38,7 +39,11 @@ class DeltaChunk {
   /// `k`: sketch order; `capacity`: max distinct cells before the owner
   /// must seal; `batch_size`: pending-tail depth per slot (the
   /// AccumulateBatch flush granularity, as in the old mutex shard).
-  DeltaChunk(int k, size_t capacity, size_t batch_size);
+  /// `kll_k` > 0 dual-writes every row into a per-slot KLL rank sketch
+  /// (the multi-backend router's fallback summary); 0 disables the side
+  /// column entirely — no allocation, no hot-path branch cost beyond
+  /// one predictable compare.
+  DeltaChunk(int k, size_t capacity, size_t batch_size, int kll_k = 0);
 
   DeltaChunk(const DeltaChunk&) = delete;
   DeltaChunk& operator=(const DeltaChunk&) = delete;
@@ -76,6 +81,7 @@ class DeltaChunk {
     uint32_t& len = pending_len_[slot];
     pending_[slot * batch_size_ + len] = value;
     ++rows_;
+    if (kll_k_ > 0) klls_[slot].Accumulate(value);
     if (++len == batch_size_) FoldPending(slot);
   }
 
@@ -96,12 +102,21 @@ class DeltaChunk {
   /// the previously used slots are touched.
   void Reset();
 
+  bool kll_enabled() const { return kll_k_ > 0; }
+  /// The slot's rank sketch (KLL must be enabled). Mutable so the drain
+  /// can move it out; Reset() restores the slot to a fresh sketch.
+  KllSketch& SlotKll(size_t slot) {
+    MSKETCH_DCHECK(kll_k_ > 0 && slot < used_);
+    return klls_[slot];
+  }
+
  private:
   void FoldPending(size_t slot);
 
   const int k_;
   const size_t capacity_;
   const size_t batch_size_;
+  const int kll_k_;
   size_t used_ = 0;
   uint64_t rows_ = 0;
   uint64_t session_ = 0;
@@ -120,6 +135,9 @@ class DeltaChunk {
   // Per-slot pending tails: pending_[slot * batch_size .. +len).
   std::vector<double> pending_;
   std::vector<uint32_t> pending_len_;
+
+  // Per-slot rank sketches (empty vector when kll_k_ == 0).
+  std::vector<KllSketch> klls_;
 };
 
 }  // namespace msketch

@@ -368,6 +368,10 @@ Status MaxEntProblem::Prepare(const MomentsSketch& sketch,
                               const MaxEntOptions& options,
                               CondMemo* cond_memo) {
   opt_ = options;
+  atomic_screened_ = false;
+  cold_restarts_ = 0;
+  iteration_capped_ = 0;
+  backoff_drops_ = 0;
   if (sketch.count() == 0) {
     return Status::InvalidArgument("SolveMaxEnt: empty sketch");
   }
@@ -417,6 +421,7 @@ Status MaxEntProblem::Prepare(const MomentsSketch& sketch,
       atomic = FitAtomicScaled(log_scaled, 1e-9).ok();
     }
     if (atomic) {
+      atomic_screened_ = true;
       return Status::NotConverged(
           "SolveMaxEnt: moments match an atomic (near-discrete) measure");
     }
@@ -467,10 +472,15 @@ Result<MaxEntDistribution> MaxEntProblem::SolveFrom(std::vector<double> theta,
   for (;;) {
     Result<OptimResult> res = RunNewton(theta, warm);
     if (!res.ok()) {
+      if (res.status().message().find("max iterations") !=
+          std::string::npos) {
+        ++iteration_capped_;
+      }
       if (warm) {
         // The seed did not transfer (the sketches were less similar than
         // the caller hoped); restart from the zero-theta cold seed, which
         // must succeed or fail exactly as a hint-free solve would.
+        ++cold_restarts_;
         warm = false;
         if (grid_n_ != opt_.min_grid) BuildGridInternal(opt_.min_grid);
         ResetColdSeed(&theta);
@@ -480,6 +490,7 @@ Result<MaxEntDistribution> MaxEntProblem::SolveFrom(std::vector<double> theta,
       // atoms / near-discrete data, Section 6.2.3). Mirror the paper's
       // query-time remedy: back off to fewer moments and re-solve.
       if (selected_.size() > 2) {
+        ++backoff_drops_;
         selected_.pop_back();
         ResetColdSeed(&theta);
         continue;
@@ -563,6 +574,9 @@ Result<MaxEntDistribution> MaxEntProblem::Package(
   dist.diag_.condition_number = selected_cond_;
   dist.diag_.log_primary = log_primary_;
   dist.diag_.warm_started = warm;
+  dist.diag_.cold_restarts = cold_restarts_;
+  dist.diag_.iteration_capped = iteration_capped_;
+  dist.diag_.backoff_drops = backoff_drops_;
   // Export the solution as a seed for the next (similar) sketch.
   dist.warm_.log_primary = log_primary_;
   dist.warm_.grid_n = grid_n_;

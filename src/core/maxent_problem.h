@@ -87,6 +87,16 @@ class MaxEntProblem {
   /// The point-mass distribution for a degenerate problem.
   MaxEntDistribution MakeDegenerate() const;
 
+  /// True when Prepare refused the group because its moments match an
+  /// atomic (near-discrete) measure — the router's signal to answer from
+  /// the atomic fit or a rank-sketch backend instead.
+  bool atomic_screened() const { return atomic_screened_; }
+  /// Fallback-chain counters accumulated by SolveFrom (also exported in
+  /// MaxEntDiagnostics by Package).
+  int cold_restarts() const { return cold_restarts_; }
+  int iteration_capped() const { return iteration_capped_; }
+  int backoff_drops() const { return backoff_drops_; }
+
   /// Seeds theta from a previous solution (see WarmStart); returns false
   /// when the hint does not transfer. `theta` must already hold the cold
   /// seed. Prepare must have succeeded.
@@ -161,6 +171,10 @@ class MaxEntProblem {
 
   MaxEntOptions opt_;
   bool degenerate_ = false;
+  bool atomic_screened_ = false;
+  int cold_restarts_ = 0;
+  int iteration_capped_ = 0;
+  int backoff_drops_ = 0;
   double xmin_ = 0.0, xmax_ = 0.0;
 
   bool log_primary_ = false;

@@ -65,6 +65,11 @@ struct MaxEntDiagnostics {
   double condition_number = 0.0;
   bool log_primary = false;  // solved in log-domain (Appendix A, Eq. 8)
   bool warm_started = false;  // solution seeded from a WarmStart hint
+  /// Robustness counters for the fallback chain (surfaced into
+  /// BatchStats/QueryStats by the batch pipeline and the summary router).
+  int cold_restarts = 0;     // warm seed failed; restarted from cold seed
+  int iteration_capped = 0;  // Newton runs stopped at max_newton_iter
+  int backoff_drops = 0;     // drop-moments retries after divergence
 };
 
 /// Seed state exported from a previous solve. Warm-starting a

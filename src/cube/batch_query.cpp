@@ -145,6 +145,9 @@ class TieredSolver {
             : nullptr;
     Result<MaxEntDistribution> res = SolveMaxEnt(sketch, maxent_, hint);
     if (!res.ok()) {
+      if (res.status().message().find("atomic") != std::string::npos) {
+        ++stats_->atomic_screen_hits;
+      }
       failed_valid_ = true;
       failed_sketch_ = sketch;
       failed_status_ = res.status();
@@ -152,6 +155,10 @@ class TieredSolver {
     }
     stats_->newton_iterations +=
         static_cast<uint64_t>(res->diagnostics().newton_iterations);
+    stats_->cold_restarts +=
+        static_cast<uint64_t>(res->diagnostics().cold_restarts);
+    stats_->iteration_capped +=
+        static_cast<uint64_t>(res->diagnostics().iteration_capped);
     if (res->diagnostics().warm_started) {
       ++stats_->warm_solves;
     } else {
@@ -253,9 +260,18 @@ class ChainSolver {
     Request& r = requests_[req];
     if (cache_ != nullptr) pending_by_key_.erase(r.key);
     DistResult out = [&]() -> DistResult {
-      if (!res.ok()) return res.status();
+      if (!res.ok()) {
+        if (res.status().message().find("atomic") != std::string::npos) {
+          ++stats_->atomic_screen_hits;
+        }
+        return res.status();
+      }
       stats_->newton_iterations +=
           static_cast<uint64_t>(res->diagnostics().newton_iterations);
+      stats_->cold_restarts +=
+          static_cast<uint64_t>(res->diagnostics().cold_restarts);
+      stats_->iteration_capped +=
+          static_cast<uint64_t>(res->diagnostics().iteration_capped);
       if (res->diagnostics().warm_started) {
         ++stats_->warm_solves;
       } else {

@@ -70,6 +70,11 @@ struct BatchStats {
   uint64_t failed_solves = 0;     // solver + atomic fallback both failed
   uint64_t atomic_fallbacks = 0;  // answered by the atomic-fit estimator
   uint64_t newton_iterations = 0;  // summed over warm + cold solves
+  /// Degradation counters, aggregated across both solve engines (these
+  /// used to be dropped inside the solvers):
+  uint64_t cold_restarts = 0;      // warm seeds that failed to transfer
+  uint64_t iteration_capped = 0;   // Newton runs stopped at the cap
+  uint64_t atomic_screen_hits = 0;  // groups refused by the atomic screen
   /// Bound-stage counters (GroupByThreshold only).
   CascadeStats cascade;
   /// Lane-solver counters (packed solves, occupancy, fallbacks); all
@@ -98,6 +103,9 @@ struct BatchStats {
     failed_solves += other.failed_solves;
     atomic_fallbacks += other.atomic_fallbacks;
     newton_iterations += other.newton_iterations;
+    cold_restarts += other.cold_restarts;
+    iteration_capped += other.iteration_capped;
+    atomic_screen_hits += other.atomic_screen_hits;
     cascade.MergeFrom(other.cascade);
     lane.MergeFrom(other.lane);
   }

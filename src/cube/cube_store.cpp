@@ -76,6 +76,9 @@ CubeStore::CubeStore(const CubeStore& other)
       power_ptrs_(other.power_ptrs_),
       log_ptrs_(other.log_ptrs_),
       dim_indexes_(other.dim_indexes_),
+      kll_enabled_(other.kll_enabled_),
+      kll_k_(other.kll_k_),
+      kll_cells_(other.kll_cells_),
       rollup_(other.rollup_ ? std::make_unique<RollupIndex>(*other.rollup_)
                             : nullptr),
       dirty_cells_(other.dirty_cells_),
@@ -129,6 +132,7 @@ uint32_t CubeStore::CreateCell(const CubeCoords& coords) {
   maxs_.push_back(-std::numeric_limits<double>::infinity());
   sums_.push_back(0.0);
   cell_dirty_.push_back(0);
+  if (kll_enabled_) kll_cells_.emplace_back(kll_k_);
   for (size_t d = 0; d < num_dims_; ++d) {
     dim_indexes_[d].Add(coords[d], id);
   }
@@ -171,8 +175,67 @@ uint32_t CubeStore::Ingest(const CubeCoords& coords, double value) {
       log_cols_[i][id] += lp;
     }
   }
+  if (kll_enabled_) kll_cells_[id].Accumulate(value);
   ++num_rows_;
   return id;
+}
+
+void CubeStore::EnableKll(int kll_k) {
+  MSKETCH_CHECK(num_rows_ == 0);  // certificates must cover every row
+  kll_enabled_ = true;
+  kll_k_ = kll_k;
+  kll_cells_.clear();
+  kll_cells_.reserve(coords_.size());
+  for (size_t i = 0; i < coords_.size(); ++i) kll_cells_.emplace_back(kll_k_);
+}
+
+Status CubeStore::ApplyKllDelta(const CubeCoords& coords,
+                                const KllSketch& delta) {
+  if (!kll_enabled_) {
+    return Status::Unsupported("ApplyKllDelta: KLL column disabled");
+  }
+  if (coords.size() != num_dims_) {
+    return Status::InvalidArgument("ApplyKllDelta: wrong coordinate arity");
+  }
+  if (delta.count() == 0) return Status::OK();
+  uint32_t id;
+  auto it = cell_ids_.find(coords);
+  if (it != cell_ids_.end()) {
+    id = it->second;
+    OnCellMutated(id);
+  } else {
+    id = CreateCell(coords);
+  }
+  if (kll_cells_[id].count() == 0) {
+    // Wholesale adoption keeps checkpoint restore bit-exact (a merge
+    // into an empty sketch would reset the compaction coin state).
+    kll_cells_[id] = delta;
+    return Status::OK();
+  }
+  return kll_cells_[id].Merge(delta);
+}
+
+Result<KllSketch> CubeStore::MergeKllCells(const uint32_t* cell_ids,
+                                           size_t n) const {
+  if (!kll_enabled_) {
+    return Status::Unsupported("MergeKllCells: KLL column disabled");
+  }
+  KllSketch out(kll_k_);
+  for (size_t i = 0; i < n; ++i) {
+    MSKETCH_DCHECK(cell_ids[i] < kll_cells_.size());
+    MSKETCH_RETURN_NOT_OK(out.Merge(kll_cells_[cell_ids[i]]));
+  }
+  return out;
+}
+
+Result<KllSketch> CubeStore::MergeKllWhere(const CubeFilter& filter,
+                                           QueryStats* stats) const {
+  if (!kll_enabled_) {
+    return Status::Unsupported("MergeKllWhere: KLL column disabled");
+  }
+  const std::vector<uint32_t> ids = MatchingCells(filter);
+  if (stats != nullptr) stats->kll_merges += ids.size();
+  return MergeKllCells(ids.data(), ids.size());
 }
 
 Status CubeStore::ApplyDelta(const CubeCoords& coords,

@@ -48,10 +48,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "core/moments_sketch.h"
 #include "cube/cube_types.h"
 #include "cube/dim_index.h"
 #include "cube/rollup_index.h"
+#include "sketches/kll_sketch.h"
 
 namespace msketch {
 
@@ -151,6 +153,7 @@ class CubeStore {
     uint64_t span_merges = 0;      // rollup nodes folded
     uint64_t residual_merges = 0;  // cells merged beyond full spans
     uint64_t subtract_merges = 0;  // complement-plan subtracted cells
+    uint64_t kll_merges = 0;       // KLL cell sketches folded (router path)
   };
 
   /// Planned filtered merge: picks scan / intersect / rollup /
@@ -224,6 +227,40 @@ class CubeStore {
     return rollup_ != nullptr && rollup_->FreshAt(version_);
   }
 
+  // ------------------------------------------------ KLL side column
+  //
+  // The multi-backend router's fallback storage: one KllSketch per cell,
+  // object-per-cell (rank sketches are not linear accumulators, so they
+  // cannot join the SoA columns). Off by default — zero overhead until
+  // enabled. Must be enabled before the first row lands so the rank
+  // certificates cover the cell's full history.
+
+  /// Enables KLL dual-writes with per-level capacity `kll_k`. Must be
+  /// called on an empty store (certificates are only sound when the rank
+  /// sketch saw every row).
+  void EnableKll(int kll_k = 64);
+  bool kll_enabled() const { return kll_enabled_; }
+  int kll_k() const { return kll_k_; }
+
+  /// The cell's rank sketch, or nullptr when KLL is disabled.
+  const KllSketch* CellKll(uint32_t cell_id) const {
+    if (!kll_enabled_ || cell_id >= kll_cells_.size()) return nullptr;
+    return &kll_cells_[cell_id];
+  }
+
+  /// Folds a streamed KLL delta into the cell at `coords`, creating the
+  /// cell on first touch. An empty destination adopts the delta wholesale
+  /// (bit-exact for checkpoint restore); otherwise the delta merges in.
+  Status ApplyKllDelta(const CubeCoords& coords, const KllSketch& delta);
+
+  /// Merged rank sketch over the cells matching `filter` (same matching
+  /// semantics as QueryWhere). Unsupported when KLL is disabled.
+  Result<KllSketch> MergeKllWhere(const CubeFilter& filter,
+                                  QueryStats* stats = nullptr) const;
+
+  /// Merged rank sketch over an explicit cell set.
+  Result<KllSketch> MergeKllCells(const uint32_t* cell_ids, size_t n) const;
+
   /// Monotone column version: bumped by every Ingest. Snapshot it next
   /// to a FlatMomentColumns view to detect staleness.
   uint64_t column_version() const { return version_; }
@@ -287,6 +324,11 @@ class CubeStore {
 
   // One inverted index per dimension.
   std::vector<DimIndex> dim_indexes_;
+
+  // KLL side column (object-per-cell; parallel to coords_ when enabled).
+  bool kll_enabled_ = false;
+  int kll_k_ = 64;
+  std::vector<KllSketch> kll_cells_;
 
   // Rollup index + the cells mutated since its last build/refresh.
   std::unique_ptr<RollupIndex> rollup_;

@@ -1,0 +1,234 @@
+#include "cube/summary_router.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "core/atomic_fit.h"
+#include "cube/cube_store.h"
+
+namespace msketch {
+namespace {
+
+double Clamp(double v, double lo, double hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+}  // namespace
+
+const char* QuantileBackendName(QuantileBackend backend) {
+  switch (backend) {
+    case QuantileBackend::kMoments:
+      return "moments";
+    case QuantileBackend::kKll:
+      return "kll";
+    case QuantileBackend::kAtomic:
+      return "atomic";
+    case QuantileBackend::kBounds:
+      return "bounds";
+    case QuantileBackend::kDegenerate:
+      return "degenerate";
+  }
+  return "unknown";
+}
+
+SummaryRouter::SummaryRouter(RouterOptions options) : opt_(options) {}
+
+QuantileInterval SummaryRouter::IntervalFor(const MomentsSketch& moments,
+                                            const KllSketch* kll,
+                                            double phi) {
+  QuantileInterval iv = CertifiedQuantileInterval(moments, phi,
+                                                  opt_.interval_steps);
+  if (kll != nullptr && kll->count() > 0) {
+    auto kiv = kll->CertifiedInterval(phi);
+    if (kiv.ok()) {
+      // Both enclosures contain the true quantile, so so does their
+      // intersection. An empty intersection can only arise from the two
+      // summaries covering different rows (caller contract violation) or
+      // a floating-point sliver; keep the moments certificate, which is
+      // sound on its own.
+      const double lo = std::max(iv.lower, kiv.value().lower);
+      const double hi = std::min(iv.upper, kiv.value().upper);
+      if (lo <= hi) {
+        if (lo > iv.lower || hi < iv.upper) ++stats_.intersected_certificates;
+        iv.lower = lo;
+        iv.upper = hi;
+      }
+    }
+  }
+  return iv;
+}
+
+CertifiedQuantile SummaryRouter::Query(const MomentsSketch& moments,
+                                       const KllSketch* kll, double phi,
+                                       const WarmStart* hint) {
+  std::vector<CertifiedQuantile> out =
+      QueryMany(moments, kll, std::vector<double>{phi}, hint);
+  return out.front();
+}
+
+std::vector<CertifiedQuantile> SummaryRouter::QueryMany(
+    const MomentsSketch& moments, const KllSketch* kll,
+    const std::vector<double>& phis, const WarmStart* hint) {
+  std::vector<CertifiedQuantile> out(phis.size());
+  stats_.queries += phis.size();
+
+  if (moments.count() == 0) {
+    for (auto& r : out) {
+      r.status = Status::InvalidArgument("SummaryRouter: empty cell");
+    }
+    return out;
+  }
+
+  // Point-mass cell: the answer is exact; no backend needed.
+  if (moments.min() >= moments.max()) {
+    for (auto& r : out) {
+      r.estimate = moments.min();
+      r.interval = {moments.min(), moments.min()};
+      r.backend = QuantileBackend::kDegenerate;
+      r.certified = true;
+      ++stats_.degenerate_answers;
+    }
+    return out;
+  }
+
+  // Certificates first: they hold no matter which estimator answers.
+  for (size_t i = 0; i < phis.size(); ++i) {
+    out[i].interval = IntervalFor(moments, kll, phis[i]);
+    out[i].certified = true;
+  }
+
+  const bool kll_usable = kll != nullptr && kll->count() > 0;
+
+  // Conditioning pre-screen: a moment vector near the boundary of the
+  // moment cone makes the maxent solve diverge or fit garbage. When a
+  // rank sketch exists, skip the solve instead of paying for its failure.
+  if (kll_usable) {
+    const double cond = HankelConditionNumber(moments);
+    if (!(cond <= opt_.kappa_route)) {
+      ++stats_.conditioning_rejects;
+      for (size_t i = 0; i < phis.size(); ++i) {
+        auto est = kll->EstimateQuantile(phis[i]);
+        out[i].estimate = Clamp(est.ok() ? est.value()
+                                         : 0.5 * (out[i].interval.lower +
+                                                  out[i].interval.upper),
+                                out[i].interval.lower, out[i].interval.upper);
+        out[i].backend = QuantileBackend::kKll;
+        ++stats_.kll_answers;
+      }
+      return out;
+    }
+  }
+
+  // Primary path: maximum entropy solve (warm -> cold -> drop-moments
+  // backoff happen inside SolveMaxEnt; we only see success or refusal).
+  const WarmStart* seed = hint != nullptr && hint->valid() ? hint : nullptr;
+  auto solved = SolveMaxEnt(moments, opt_.maxent, seed);
+  if (solved.ok()) {
+    const MaxEntDistribution& dist = solved.value();
+    const MaxEntDiagnostics& diag = dist.diagnostics();
+    if (diag.warm_started) {
+      ++stats_.warm_solves;
+    } else {
+      ++stats_.cold_solves;
+    }
+    stats_.cold_restarts += static_cast<uint64_t>(diag.cold_restarts);
+    stats_.iteration_capped += static_cast<uint64_t>(diag.iteration_capped);
+    last_warm_ = dist.warm_start();
+    for (size_t i = 0; i < phis.size(); ++i) {
+      out[i].estimate = Clamp(dist.Quantile(phis[i]), out[i].interval.lower,
+                              out[i].interval.upper);
+      out[i].backend = QuantileBackend::kMoments;
+      ++stats_.moments_answers;
+    }
+    return out;
+  }
+
+  // Solver refused or diverged past its own retries. Absorb the failure
+  // and degrade: the certificates above already hold.
+  ++stats_.solver_failures;
+  if (solved.status().message().find("atomic") != std::string::npos) {
+    ++stats_.atomic_screen_hits;
+  }
+
+  auto atomic = FitAtomicDistribution(moments);
+  if (atomic.ok()) {
+    for (size_t i = 0; i < phis.size(); ++i) {
+      out[i].estimate = Clamp(atomic.value().Quantile(phis[i]),
+                              out[i].interval.lower, out[i].interval.upper);
+      out[i].backend = QuantileBackend::kAtomic;
+      ++stats_.atomic_answers;
+    }
+    return out;
+  }
+
+  if (kll_usable) {
+    for (size_t i = 0; i < phis.size(); ++i) {
+      auto est = kll->EstimateQuantile(phis[i]);
+      out[i].estimate = Clamp(est.ok() ? est.value()
+                                       : 0.5 * (out[i].interval.lower +
+                                                out[i].interval.upper),
+                              out[i].interval.lower, out[i].interval.upper);
+      out[i].backend = QuantileBackend::kKll;
+      ++stats_.kll_answers;
+    }
+    return out;
+  }
+
+  // Last resort: the certificate's own midpoint. Worst-case error is half
+  // the interval width — still bounded, still certified.
+  for (auto& r : out) {
+    r.estimate = 0.5 * (r.interval.lower + r.interval.upper);
+    r.backend = QuantileBackend::kBounds;
+    ++stats_.bounds_fallbacks;
+  }
+  return out;
+}
+
+std::vector<GroupQuantilesCertified> GroupByQuantilesCertified(
+    const CubeStore& store, const std::vector<size_t>& group_dims,
+    const std::vector<double>& phis, const RouterOptions& options,
+    RouterStats* stats) {
+  // Ascending-key group map: deterministic visit order makes the
+  // warm-start chain (and therefore the stats) reproducible.
+  std::map<CubeCoords, std::vector<uint32_t>> groups;
+  const uint32_t num_cells = static_cast<uint32_t>(store.num_cells());
+  for (uint32_t id = 0; id < num_cells; ++id) {
+    const CubeCoords& coords = store.CoordsOf(id);
+    CubeCoords key(group_dims.size());
+    for (size_t g = 0; g < group_dims.size(); ++g) {
+      key[g] = coords[group_dims[g]];
+    }
+    groups[key].push_back(id);
+  }
+
+  SummaryRouter router(options);
+  std::vector<GroupQuantilesCertified> out;
+  out.reserve(groups.size());
+  bool have_warm = false;
+  for (const auto& [key, ids] : groups) {
+    GroupQuantilesCertified g;
+    g.key = key;
+    const MomentsSketch moments = store.MergeCells(ids.data(), ids.size());
+    g.count = moments.count();
+    KllSketch kll;
+    const KllSketch* kll_ptr = nullptr;
+    if (store.kll_enabled()) {
+      Result<KllSketch> merged = store.MergeKllCells(ids.data(), ids.size());
+      if (merged.ok()) {
+        kll = std::move(merged).value();
+        kll_ptr = &kll;
+      }
+    }
+    const WarmStart* hint =
+        have_warm && router.last_warm_start().valid() ? &router.last_warm_start()
+                                                      : nullptr;
+    g.answers = router.QueryMany(moments, kll_ptr, phis, hint);
+    have_warm = true;
+    out.push_back(std::move(g));
+  }
+  if (stats != nullptr) stats->MergeFrom(router.stats());
+  return out;
+}
+
+}  // namespace msketch

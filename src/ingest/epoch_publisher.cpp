@@ -22,6 +22,7 @@ EpochPublisher::EpochPublisher(size_t num_dims, int k,
   buffer_epoch_.assign(total_buffers_, 0);
   for (size_t b = 0; b < total_buffers_; ++b) {
     auto snap = std::make_unique<CubeSnapshot>(num_dims_, k_);
+    if (options_.enable_kll) snap->store.EnableKll(options_.kll_k);
     snap->buffer_index = b;
     free_.push_back(std::move(snap));
   }
@@ -74,6 +75,11 @@ void EpochPublisher::ApplyBatch(CubeStore* store, const DeltaBatch& batch) {
     // Arity and order are publisher invariants; a failure here is a
     // programming error, not a data error.
     MSKETCH_CHECK(store->ApplyDelta(dc.coords, dc.sketch).ok());
+    // The rank-sketch side column replays the same deterministic merge
+    // sequence into every buffer, so all buffers stay bit-identical.
+    if (store->kll_enabled() && dc.kll.count() > 0) {
+      MSKETCH_CHECK(store->ApplyKllDelta(dc.coords, dc.kll).ok());
+    }
   }
 }
 

@@ -88,6 +88,16 @@ struct IngestOptions {
   /// wedged publisher. <= 0 waits forever (the pre-budget behavior).
   std::chrono::milliseconds backpressure_stall_budget =
       IngestShard::kDefaultStallBudget;
+  /// Dual-write every row into a per-cell KLL rank sketch alongside the
+  /// moment columns. This is what arms the multi-backend summary router:
+  /// pathological cells (atomic, heavy-tailed, near-singular) degrade to
+  /// deterministic rank certificates instead of failed solves. Costs one
+  /// amortized-O(1) sketch update per row on the writer path and
+  /// ~kll_k doubles per cell per snapshot buffer.
+  bool enable_kll = false;
+  /// Per-level KLL capacity when enable_kll is set (certified rank error
+  /// ~= log2(n/k)/(2k) of the cell count).
+  int kll_k = 64;
 };
 
 /// One published, immutable-while-published cube state. `epoch` is the

@@ -34,7 +34,7 @@ const char IngestShard::held_marker_ = 0;
 
 IngestShard::IngestShard(size_t num_dims, int k, size_t batch_size,
                          size_t chunk_cells, size_t chunks,
-                         std::chrono::milliseconds stall_budget)
+                         std::chrono::milliseconds stall_budget, int kll_k)
     : num_dims_(num_dims),
       k_(k),
       batch_size_(batch_size),
@@ -50,7 +50,7 @@ IngestShard::IngestShard(size_t num_dims, int k, size_t batch_size,
   pool_.reserve(chunks);
   for (size_t c = 0; c < chunks; ++c) {
     pool_.push_back(
-        std::make_unique<DeltaChunk>(k, chunk_cells, batch_size));
+        std::make_unique<DeltaChunk>(k, chunk_cells, batch_size, kll_k));
     MSKETCH_CHECK(free_ring_.Push(pool_.back().get()));
   }
   size_t dir_cap = 1;
@@ -326,7 +326,11 @@ std::vector<IngestShard::DeltaCell> IngestShard::Drain() {
       const uint32_t id = static_cast<uint32_t>(s);
       MomentsSketch sketch(k_);
       MSKETCH_CHECK(sketch.MergeFlat(view, &id, 1).ok());
-      out.push_back(DeltaCell{chunk->SlotCoords(s), std::move(sketch)});
+      DeltaCell dc{chunk->SlotCoords(s), std::move(sketch), KllSketch()};
+      // The slot's rank sketch rides along (Reset() below re-arms the
+      // slot with a fresh one).
+      if (chunk->kll_enabled()) dc.kll = std::move(chunk->SlotKll(s));
+      out.push_back(std::move(dc));
     }
     chunk->Reset();
     MSKETCH_CHECK(free_ring_.Push(chunk));

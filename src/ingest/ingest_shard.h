@@ -101,11 +101,14 @@ class IngestShard {
   /// granularity). `chunk_cells`/`chunks` bound the shard's memory:
   /// appends backpressure rather than allocate past the pool.
   /// `stall_budget` bounds one append's backpressure wait (<= 0 waits
-  /// forever, the pre-budget behavior).
+  /// forever, the pre-budget behavior). `kll_k` > 0 dual-writes every
+  /// row into a per-cell KLL rank sketch alongside the moment state
+  /// (the router's fallback backend); 0 keeps the moments-only path.
   IngestShard(size_t num_dims, int k, size_t batch_size,
               size_t chunk_cells = kDefaultChunkCells,
               size_t chunks = kDefaultChunksPerShard,
-              std::chrono::milliseconds stall_budget = kDefaultStallBudget);
+              std::chrono::milliseconds stall_budget = kDefaultStallBudget,
+              int kll_k = 0);
 
   IngestShard(const IngestShard&) = delete;
   IngestShard& operator=(const IngestShard&) = delete;
@@ -132,10 +135,13 @@ class IngestShard {
   Status AppendRows(const IngestRow* rows, size_t n);
 
   /// One drained cell delta: the sketch holds the cell's buffered
-  /// moment state (counts, min/max, power and log sums).
+  /// moment state (counts, min/max, power and log sums); `kll` holds
+  /// the same rows' rank sketch when the shard dual-writes (empty,
+  /// count() == 0, otherwise).
   struct DeltaCell {
     CubeCoords coords;
     MomentsSketch sketch;
+    KllSketch kll;
   };
 
   /// Publisher side: pops every sealed chunk from the FULL ring, steals

@@ -23,7 +23,8 @@ StreamingCube::StreamingCube(size_t num_dims, MomentsSummary prototype,
   for (size_t s = 0; s < options_.num_shards; ++s) {
     shards_.push_back(std::make_unique<IngestShard>(
         num_dims_, prototype_k_, options_.batch_size, options_.chunk_cells,
-        options_.chunks_per_shard, options_.backpressure_stall_budget));
+        options_.chunks_per_shard, options_.backpressure_stall_budget,
+        options_.enable_kll ? options_.kll_k : 0));
   }
   std::vector<IngestShard*> shard_ptrs;
   shard_ptrs.reserve(shards_.size());
@@ -92,6 +93,9 @@ Status StreamingCube::EnableDurability(const DurabilityOptions& options) {
   // snapshot) plus an empty WAL. Committed before the first row can be
   // acknowledged, so the directory is always recoverable.
   CubeStore empty(num_dims_, prototype_k_);
+  // The baseline checkpoint records the KLL side column's existence, so
+  // recovery re-arms it before replaying any cell.
+  if (options_.enable_kll) empty.EnableKll(options_.kll_k);
   Result<std::unique_ptr<DurableLog>> log = DurableLog::Open(
       options, /*epoch=*/0, empty, Dicts()->dicts, /*allow_existing=*/false);
   if (!log.ok()) return log.status();
@@ -108,7 +112,8 @@ Status StreamingCube::LogEpochDurable(
   std::vector<WalCellRef> refs;
   refs.reserve(batch.size());
   for (const IngestShard::DeltaCell& dc : batch) {
-    refs.push_back({&dc.coords, &dc.sketch});
+    refs.push_back(
+        {&dc.coords, &dc.sketch, dc.kll.count() > 0 ? &dc.kll : nullptr});
   }
   // The current dictionary version covers every id in the batch: rows
   // encode against a version no newer than the one visible at publish
@@ -308,6 +313,43 @@ Result<double> StreamingCube::QueryQuantile(const CubeFilter& filter,
     return Status::InvalidArgument("QueryQuantile: empty selection");
   }
   return merged.EstimateQuantile(phi);
+}
+
+CertifiedQuantile StreamingCube::QueryQuantileCertified(
+    const CubeFilter& filter, double phi, RouterStats* stats) const {
+  std::shared_ptr<const CubeSnapshot> snap = Snapshot();
+  const MomentsSketch moments = snap->store.QueryWhere(filter);
+  KllSketch kll;
+  const KllSketch* kll_ptr = nullptr;
+  if (snap->store.kll_enabled()) {
+    Result<KllSketch> merged = snap->store.MergeKllWhere(filter);
+    if (merged.ok()) {
+      kll = std::move(merged).value();
+      kll_ptr = &kll;
+    }
+  }
+  RouterOptions opt;
+  opt.maxent = options_maxent_;
+  SummaryRouter router(opt);
+  CertifiedQuantile out = router.Query(moments, kll_ptr, phi);
+  if (stats != nullptr) stats->MergeFrom(router.stats());
+  return out;
+}
+
+std::vector<GroupQuantilesCertified> StreamingCube::GroupByQuantilesCertified(
+    const std::vector<size_t>& group_dims, const std::vector<double>& phis,
+    const RouterOptions& options, RouterStats* stats) const {
+  std::shared_ptr<const CubeSnapshot> snap = Snapshot();
+  return msketch::GroupByQuantilesCertified(snap->store, group_dims, phis,
+                                            options, stats);
+}
+
+std::vector<GroupQuantilesCertified> StreamingCube::GroupByQuantilesCertified(
+    const std::vector<size_t>& group_dims,
+    const std::vector<double>& phis) const {
+  RouterOptions opt;
+  opt.maxent = options_maxent_;
+  return GroupByQuantilesCertified(group_dims, phis, opt, nullptr);
 }
 
 std::vector<GroupQuantiles> StreamingCube::GroupByQuantiles(

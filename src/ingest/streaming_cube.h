@@ -44,6 +44,7 @@
 #include "cube/cube_store.h"
 #include "cube/cube_types.h"
 #include "cube/dictionary.h"
+#include "cube/summary_router.h"
 #include "ingest/epoch_publisher.h"
 #include "ingest/ingest_shard.h"
 #include "persist/durable_log.h"
@@ -219,6 +220,26 @@ class StreamingCube {
   MomentsSummary QueryWhere(const CubeFilter& filter,
                             CubeStore::QueryStats* stats = nullptr) const;
   Result<double> QueryQuantile(const CubeFilter& filter, double phi) const;
+
+  // Certified variants: every answer over a non-empty selection carries
+  // an error interval provably enclosing the true quantile, assembled by
+  // the multi-backend summary router (moments bounds, intersected with
+  // the KLL rank certificate when IngestOptions::enable_kll dual-wrote
+  // one). Solver failures on pathological cells degrade through
+  // atomic-fit -> KLL -> bounds-midpoint instead of surfacing; the only
+  // non-OK status is an empty selection/group.
+  CertifiedQuantile QueryQuantileCertified(const CubeFilter& filter,
+                                           double phi,
+                                           RouterStats* stats = nullptr) const;
+  std::vector<GroupQuantilesCertified> GroupByQuantilesCertified(
+      const std::vector<size_t>& group_dims, const std::vector<double>& phis,
+      const RouterOptions& options, RouterStats* stats = nullptr) const;
+  /// Overload defaulting the router's maxent options to the cube's
+  /// estimator options (can't be a default argument — it depends on
+  /// member state).
+  std::vector<GroupQuantilesCertified> GroupByQuantilesCertified(
+      const std::vector<size_t>& group_dims,
+      const std::vector<double>& phis) const;
   std::vector<GroupQuantiles> GroupByQuantiles(
       const std::vector<size_t>& group_dims, const std::vector<double>& phis,
       const BatchOptions& options = BatchOptions(),

@@ -12,7 +12,8 @@ namespace {
 
 constexpr char kCheckpointMagic[8] = {'M', 'S', 'K', 'C', 'K', 'P', 'T', '1'};
 constexpr char kManifestMagic[8] = {'M', 'S', 'K', 'M', 'A', 'N', 'I', '1'};
-constexpr uint8_t kCheckpointVersion = 1;
+// Version 2 added the KLL side-column section after the sketch columns.
+constexpr uint8_t kCheckpointVersion = 2;
 constexpr uint8_t kManifestVersion = 1;
 constexpr uint32_t kMaxDims = 1u << 16;
 
@@ -83,6 +84,16 @@ Status WriteCheckpoint(Env* env, const std::string& path, uint64_t epoch,
     for (uint32_t c : coords) w.PutU32(c);
   }
   EncodeSketchColumns(store.Columns(), &w);
+  // KLL side column: presence flag, per-level capacity, then one rank
+  // sketch per cell in cell-id order (KLL serialization is
+  // self-delimiting; the body CRC covers the section).
+  w.PutU8(store.kll_enabled() ? 1 : 0);
+  if (store.kll_enabled()) {
+    w.PutU32(static_cast<uint32_t>(store.kll_k()));
+    for (uint32_t id = 0; id < num_cells; ++id) {
+      store.CellKll(id)->Serialize(&w);
+    }
+  }
   SealBody(&w);
   return WriteFileDurably(env, path, w.bytes());
 }
@@ -145,6 +156,23 @@ Result<CheckpointData> ReadCheckpoint(Env* env, const std::string& path) {
       ckpt.columns.k != ckpt.k) {
     return Status::Corruption(
         "checkpoint: column section disagrees with cell table");
+  }
+  uint8_t kll_flag = 0;
+  MSKETCH_RETURN_NOT_OK(in.GetU8(&kll_flag));
+  if (kll_flag > 1) {
+    return Status::Corruption("checkpoint: bad KLL section flag");
+  }
+  if (kll_flag == 1) {
+    uint32_t kll_k = 0;
+    MSKETCH_RETURN_NOT_OK(in.GetU32(&kll_k));
+    ckpt.kll_enabled = true;
+    ckpt.kll_k = static_cast<int>(kll_k);
+    ckpt.kll_cells.reserve(num_cells);
+    for (uint32_t id = 0; id < num_cells; ++id) {
+      Result<KllSketch> kll = KllSketch::Deserialize(&in);
+      if (!kll.ok()) return kll.status();
+      ckpt.kll_cells.push_back(std::move(kll).value());
+    }
   }
   return ckpt;
 }

@@ -38,6 +38,12 @@ struct CheckpointData {
   std::vector<std::vector<std::string>> dict_values;  // per dimension
   std::vector<CubeCoords> cell_coords;                // cell-id order
   DecodedSketchColumns columns;                       // parallel to coords
+  /// KLL side column (the multi-backend router's dual-write state).
+  /// When enabled, `kll_cells` parallels `cell_coords` — one rank
+  /// sketch per cell, restored bit-exactly.
+  bool kll_enabled = false;
+  int kll_k = 0;
+  std::vector<KllSketch> kll_cells;
 };
 
 /// Writes `store` + `dicts` as the checkpoint for `epoch` to `path`,

@@ -334,6 +334,15 @@ Status RebuildStore(const RecoveredState& state, CubeStore* store,
     return Status::InvalidArgument(
         "RebuildStore: store shape does not match the checkpoint");
   }
+  // The KLL side column must be armed before the first cell lands (an
+  // EnableKll on a populated store would leave uncovered rows).
+  if (ckpt.kll_enabled) {
+    if (ckpt.kll_cells.size() != ckpt.cell_coords.size()) {
+      return Status::Corruption(
+          "checkpoint: KLL section disagrees with cell table");
+    }
+    store->EnableKll(ckpt.kll_k);
+  }
   std::vector<const double*> power_ptrs(ckpt.k), log_ptrs(ckpt.k);
   for (int i = 0; i < ckpt.k; ++i) {
     power_ptrs[i] = ckpt.columns.power_cols[i].data();
@@ -361,12 +370,21 @@ Status RebuildStore(const RecoveredState& state, CubeStore* store,
       return Status::Corruption("checkpoint contains an empty cell");
     }
     MSKETCH_RETURN_NOT_OK(store->ApplyDelta(ckpt.cell_coords[id], cell));
+    // The KLL delta adopts wholesale into the just-created (empty) cell:
+    // a bit-exact copy of the pre-crash rank sketch, coin state included.
+    if (ckpt.kll_enabled && ckpt.kll_cells[id].count() > 0) {
+      MSKETCH_RETURN_NOT_OK(
+          store->ApplyKllDelta(ckpt.cell_coords[id], ckpt.kll_cells[id]));
+    }
   }
-  // WAL epochs in publish order: the exact ApplyDelta sequence the
-  // pre-crash store executed after the checkpoint.
+  // WAL epochs in publish order: the exact ApplyDelta (+ ApplyKllDelta)
+  // sequence the pre-crash store executed after the checkpoint.
   for (const WalEpochRecord& rec : state.epochs) {
-    for (const auto& cell : rec.cells) {
-      MSKETCH_RETURN_NOT_OK(store->ApplyDelta(cell.first, cell.second));
+    for (const WalCell& cell : rec.cells) {
+      MSKETCH_RETURN_NOT_OK(store->ApplyDelta(cell.coords, cell.sketch));
+      if (cell.has_kll && store->kll_enabled()) {
+        MSKETCH_RETURN_NOT_OK(store->ApplyKllDelta(cell.coords, cell.kll));
+      }
     }
   }
   if (stats != nullptr) stats->rows_recovered = store->num_rows();

@@ -10,7 +10,9 @@ namespace msketch {
 namespace {
 
 constexpr char kWalMagic[8] = {'M', 'S', 'K', 'W', 'A', 'L', '0', '1'};
-constexpr uint8_t kWalVersion = 1;
+// Version 2 added the per-cell backend tag byte (bit 0: KLL delta).
+constexpr uint8_t kWalVersion = 2;
+constexpr uint8_t kCellHasKll = 1u << 0;
 // Records larger than this are length-prefix lies, not real batches.
 constexpr uint32_t kMaxRecordLen = 1u << 30;
 // Dimension arities beyond this are corrupt headers, not real cubes.
@@ -35,7 +37,9 @@ void EncodeEpochRecord(uint64_t epoch,
   for (const WalCellRef& cell : cells) {
     out->PutU32(static_cast<uint32_t>(cell.coords->size()));
     for (uint32_t c : *cell.coords) out->PutU32(c);
+    out->PutU8(cell.kll != nullptr ? kCellHasKll : 0);
     cell.sketch->Serialize(out);
+    if (cell.kll != nullptr) cell.kll->Serialize(out);
   }
 }
 
@@ -77,9 +81,23 @@ Result<WalEpochRecord> DecodeEpochRecord(BytesReader* in) {
     for (uint32_t d = 0; d < arity; ++d) {
       MSKETCH_RETURN_NOT_OK(in->GetU32(&coords[d]));
     }
+    uint8_t tag = 0;
+    MSKETCH_RETURN_NOT_OK(in->GetU8(&tag));
+    if ((tag & ~kCellHasKll) != 0) {
+      return Status::Corruption("epoch record: unknown cell backend tag");
+    }
     Result<MomentsSketch> sketch = MomentsSketch::Deserialize(in);
     if (!sketch.ok()) return sketch.status();
-    rec.cells.emplace_back(std::move(coords), std::move(sketch).value());
+    WalCell cell;
+    cell.coords = std::move(coords);
+    cell.sketch = std::move(sketch).value();
+    if ((tag & kCellHasKll) != 0) {
+      Result<KllSketch> kll = KllSketch::Deserialize(in);
+      if (!kll.ok()) return kll.status();
+      cell.has_kll = true;
+      cell.kll = std::move(kll).value();
+    }
+    rec.cells.push_back(std::move(cell));
   }
   return rec;
 }

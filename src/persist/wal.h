@@ -19,9 +19,12 @@
 // The only record type today is the epoch batch (kWalRecordEpoch): the
 // epoch number, a dictionary delta (the string values interned since the
 // previous durable record, per dimension), and the drained per-cell
-// delta sketches in publish order. Replaying records in order onto a
-// checkpoint reproduces the publisher's ApplyDelta sequence exactly,
-// which is what makes recovery bit-exact.
+// delta sketches in publish order. Each cell carries a backend tag byte
+// (bit 0: a KLL rank-sketch delta follows the moment sketch — the
+// multi-backend router's dual-write path); remaining bits are reserved.
+// Replaying records in order onto a checkpoint reproduces the
+// publisher's ApplyDelta (+ ApplyKllDelta) sequence exactly, which is
+// what makes recovery bit-exact.
 #ifndef MSKETCH_PERSIST_WAL_H_
 #define MSKETCH_PERSIST_WAL_H_
 
@@ -38,6 +41,7 @@
 #include "core/moments_sketch.h"
 #include "cube/cube_types.h"
 #include "persist/env.h"
+#include "sketches/kll_sketch.h"
 
 namespace msketch {
 
@@ -50,6 +54,15 @@ enum class FsyncPolicy : uint8_t {
 
 constexpr uint8_t kWalRecordEpoch = 1;
 
+/// One decoded per-cell delta: the moment sketch, plus the KLL rank
+/// sketch when the writer dual-wrote one (backend tag bit 0).
+struct WalCell {
+  CubeCoords coords;
+  MomentsSketch sketch;
+  bool has_kll = false;
+  KllSketch kll;
+};
+
 /// One decoded epoch record.
 struct WalEpochRecord {
   uint64_t epoch = 0;
@@ -58,14 +71,16 @@ struct WalEpochRecord {
   std::vector<uint32_t> dict_start;
   std::vector<std::vector<std::string>> dict_values;
   /// The epoch's delta batch in publish (ApplyDelta) order.
-  std::vector<std::pair<CubeCoords, MomentsSketch>> cells;
+  std::vector<WalCell> cells;
 };
 
 /// Zero-copy view for encoding (the publisher's batch is borrowed, not
-/// copied, on the logging hot path).
+/// copied, on the logging hot path). `kll` is null for moments-only
+/// cells.
 struct WalCellRef {
   const CubeCoords* coords = nullptr;
   const MomentsSketch* sketch = nullptr;
+  const KllSketch* kll = nullptr;
 };
 
 void EncodeEpochRecord(uint64_t epoch,

@@ -4,6 +4,7 @@
 #include "sketches/ewhist.h"
 #include "sketches/exact_sketch.h"
 #include "sketches/gk_sketch.h"
+#include "sketches/kll_sketch.h"
 #include "sketches/sampling_sketch.h"
 #include "sketches/shist.h"
 #include "sketches/tdigest.h"
@@ -34,6 +35,10 @@ Result<std::unique_ptr<QuantileSummary>> MakeSummary(const std::string& name,
   if (name == "T-Digest") {
     return std::unique_ptr<QuantileSummary>(
         new SummaryAdapter<TDigest>(TDigest(param), name));
+  }
+  if (name == "KLL") {
+    return std::unique_ptr<QuantileSummary>(new SummaryAdapter<KllSketch>(
+        KllSketch(static_cast<int>(param)), name));
   }
   if (name == "Sampling") {
     return std::unique_ptr<QuantileSummary>(new SummaryAdapter<SamplingSketch>(

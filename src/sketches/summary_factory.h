@@ -14,9 +14,9 @@
 namespace msketch {
 
 /// Known names: "Merge12" (param: k), "RandomW" (param: k), "GK" (param:
-/// 1/epsilon), "T-Digest" (param: delta), "Sampling" (param: capacity),
-/// "S-Hist" (param: bins), "EW-Hist" (param: bins), "Exact" (param
-/// ignored).
+/// 1/epsilon), "KLL" (param: per-level capacity k), "T-Digest" (param:
+/// delta), "Sampling" (param: capacity), "S-Hist" (param: bins),
+/// "EW-Hist" (param: bins), "Exact" (param ignored).
 Result<std::unique_ptr<QuantileSummary>> MakeSummary(const std::string& name,
                                                      double param);
 

@@ -82,6 +82,12 @@ void TDigest::Compress() const {
 
 Status TDigest::Merge(const TDigest& other) {
   if (other.count_ == 0) return Status::OK();
+  if (&other == this) {
+    // Self-merge: range-inserting a vector into itself invalidates the
+    // source iterators mid-insert. Merge a snapshot instead.
+    const TDigest copy = other;
+    return Merge(copy);
+  }
   other.Compress();
   if (!has_minmax_) {
     min_ = other.min_;

@@ -69,6 +69,74 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(info.param.dataset);
     });
 
+// Certified value-domain intervals: the true quantile must always lie
+// inside, across datasets and quantiles, including pathological inputs.
+TEST_P(RankBoundPropertyTest, CertifiedIntervalContainsTrueQuantile) {
+  auto ds = DatasetFromName(GetParam().dataset);
+  ASSERT_TRUE(ds.ok());
+  auto data = GenerateDataset(ds.value(), GetParam().n);
+  MomentsSketch sketch(10);
+  for (double x : data) sketch.Accumulate(x);
+  std::sort(data.begin(), data.end());
+  for (double phi : {0.01, 0.1, 0.5, 0.9, 0.99}) {
+    const double truth = QuantileOfSorted(data, phi);
+    QuantileInterval iv = CertifiedQuantileInterval(sketch, phi);
+    const double slack =
+        1e-6 * (std::abs(sketch.max()) + std::abs(sketch.min()) + 1.0);
+    EXPECT_LE(iv.lower, truth + slack)
+        << GetParam().dataset << " phi=" << phi;
+    EXPECT_GE(iv.upper, truth - slack)
+        << GetParam().dataset << " phi=" << phi;
+    EXPECT_GE(iv.lower, sketch.min() - slack);
+    EXPECT_LE(iv.upper, sketch.max() + slack);
+  }
+}
+
+TEST(CertifiedIntervalTest, DegenerateCases) {
+  MomentsSketch empty(10);
+  QuantileInterval iv = CertifiedQuantileInterval(empty, 0.5);
+  EXPECT_EQ(iv.lower, 0.0);
+  EXPECT_EQ(iv.upper, 0.0);
+
+  MomentsSketch point(10);
+  for (int i = 0; i < 100; ++i) point.Accumulate(42.0);
+  iv = CertifiedQuantileInterval(point, 0.5);
+  EXPECT_DOUBLE_EQ(iv.lower, 42.0);
+  EXPECT_DOUBLE_EQ(iv.upper, 42.0);
+}
+
+TEST(CertifiedIntervalTest, TightensBeyondMinMaxOnSmoothData) {
+  Rng rng(21);
+  MomentsSketch sketch(10);
+  for (int i = 0; i < 100000; ++i) sketch.Accumulate(rng.NextDouble());
+  QuantileInterval iv = CertifiedQuantileInterval(sketch, 0.5);
+  // On uniform data the median certificate must beat the trivial [0, 1].
+  EXPECT_GT(iv.lower, sketch.min());
+  EXPECT_LT(iv.upper, sketch.max());
+  EXPECT_LT(iv.width(), 0.9 * (sketch.max() - sketch.min()));
+}
+
+TEST(HankelConditionTest, SeparatesSmoothFromAtomic) {
+  Rng rng(31);
+  MomentsSketch smooth(10);
+  for (int i = 0; i < 50000; ++i) smooth.Accumulate(rng.NextDouble());
+  const double cond_smooth = HankelConditionNumber(smooth);
+  EXPECT_TRUE(std::isfinite(cond_smooth));
+
+  MomentsSketch atomic(10);
+  for (int i = 0; i < 50000; ++i) atomic.Accumulate(i % 2 == 0 ? 1.0 : 3.0);
+  const double cond_atomic = HankelConditionNumber(atomic);
+  // A two-atom measure has a (numerically) singular k=10 Hankel matrix.
+  EXPECT_GT(cond_atomic, 1e6);
+  EXPECT_GT(cond_atomic, cond_smooth * 100.0);
+
+  MomentsSketch empty(10);
+  EXPECT_TRUE(std::isinf(HankelConditionNumber(empty)));
+  MomentsSketch point(10);
+  point.Accumulate(5.0);
+  EXPECT_TRUE(std::isinf(HankelConditionNumber(point)));
+}
+
 TEST(MarkovBoundTest, TrivialOutOfRange) {
   MomentsSketch s(6);
   for (int i = 1; i <= 100; ++i) s.Accumulate(i);

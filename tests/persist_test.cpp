@@ -204,13 +204,13 @@ TEST(WalTest, RoundTrip) {
     const uint64_t e = i + 1;
     EXPECT_EQ(records[i].epoch, e);
     ASSERT_EQ(records[i].cells.size(), 1u);
-    EXPECT_EQ(records[i].cells[0].first,
+    EXPECT_EQ(records[i].cells[0].coords,
               (CubeCoords{static_cast<uint32_t>(e), 0}));
     const MomentsSketch expect = SketchOf({1.0 * e, 2.0 * e, -0.5},
                                           WalFixture::kK);
-    EXPECT_EQ(records[i].cells[0].second.count(), expect.count());
-    EXPECT_EQ(records[i].cells[0].second.power_sums(), expect.power_sums());
-    EXPECT_EQ(records[i].cells[0].second.log_sums(), expect.log_sums());
+    EXPECT_EQ(records[i].cells[0].sketch.count(), expect.count());
+    EXPECT_EQ(records[i].cells[0].sketch.power_sums(), expect.power_sums());
+    EXPECT_EQ(records[i].cells[0].sketch.log_sums(), expect.log_sums());
   }
 }
 

@@ -105,6 +105,43 @@ TEST(GkSketchTest, EmptyEstimateFails) {
   EXPECT_FALSE(s.EstimateQuantile(0.5).ok());
 }
 
+// Merge edge cases (empty operands, self-merge): these were previously
+// unaudited; rank queries over empty merged summaries must return a
+// defined error, and self-merge must behave like merging a copy.
+
+TEST(GkSketchTest, MergeEmptyIntoEmptyStaysDefined) {
+  GkSketch a(0.05), b(0.05);
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_FALSE(a.EstimateQuantile(0.5).ok());  // defined: InvalidArgument
+}
+
+TEST(GkSketchTest, MergeEmptyOperandsAreNoOps) {
+  auto data = UniformData(5000, 9);
+  GkSketch full(0.02), empty(0.02);
+  for (double x : data) full.Accumulate(x);
+  const double before = full.EstimateQuantile(0.5).value();
+  ASSERT_TRUE(full.Merge(empty).ok());
+  EXPECT_EQ(full.count(), 5000u);
+  EXPECT_DOUBLE_EQ(full.EstimateQuantile(0.5).value(), before);
+  ASSERT_TRUE(empty.Merge(full).ok());
+  EXPECT_EQ(empty.count(), 5000u);
+  EXPECT_TRUE(empty.EstimateQuantile(0.5).ok());
+}
+
+TEST(GkSketchTest, SelfMergeDoublesAndStaysAccurate) {
+  auto data = UniformData(20000, 11);
+  GkSketch s(0.02);
+  for (double x : data) s.Accumulate(x);
+  ASSERT_TRUE(s.Merge(s).ok());
+  EXPECT_EQ(s.count(), 40000u);
+  // Same multiset doubled: quantiles unchanged up to merge error growth.
+  std::sort(data.begin(), data.end());
+  auto q = s.EstimateQuantile(0.5);
+  ASSERT_TRUE(q.ok());
+  EXPECT_LE(QuantileError(data, 0.5, q.value()), 0.1);
+}
+
 // -------------------------------------------------------------- TDigest
 
 TEST(TDigestTest, AccurateOnUniform) {
@@ -152,6 +189,42 @@ TEST(TDigestTest, MergeMatchesDistribution) {
     auto q = merged.EstimateQuantile(phi);
     ASSERT_TRUE(q.ok());
     EXPECT_LE(QuantileError(data, phi, q.value()), 0.02);
+  }
+}
+
+TEST(TDigestTest, MergeEmptyIntoEmptyStaysDefined) {
+  TDigest a(100.0), b(100.0);
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_FALSE(a.EstimateQuantile(0.5).ok());  // defined: InvalidArgument
+}
+
+TEST(TDigestTest, MergeEmptyOperandsAreNoOps) {
+  auto data = UniformData(5000, 12);
+  TDigest full(100.0), empty(100.0);
+  for (double x : data) full.Accumulate(x);
+  const double before = full.EstimateQuantile(0.5).value();
+  ASSERT_TRUE(full.Merge(empty).ok());
+  EXPECT_EQ(full.count(), 5000u);
+  EXPECT_DOUBLE_EQ(full.EstimateQuantile(0.5).value(), before);
+  ASSERT_TRUE(empty.Merge(full).ok());
+  EXPECT_EQ(empty.count(), 5000u);
+  EXPECT_TRUE(empty.EstimateQuantile(0.5).ok());
+}
+
+TEST(TDigestTest, SelfMergeIsSafeAndDoubles) {
+  // Regression: self-merge used to range-insert centroids_ into itself,
+  // invalidating the source iterators mid-insert (undefined behavior).
+  auto data = UniformData(30000, 13);
+  TDigest s(100.0);
+  for (double x : data) s.Accumulate(x);
+  ASSERT_TRUE(s.Merge(s).ok());
+  EXPECT_EQ(s.count(), 60000u);
+  std::sort(data.begin(), data.end());
+  for (double phi : {0.1, 0.5, 0.9}) {
+    auto q = s.EstimateQuantile(phi);
+    ASSERT_TRUE(q.ok());
+    EXPECT_LE(QuantileError(data, phi, q.value()), 0.02) << "phi=" << phi;
   }
 }
 

@@ -1,0 +1,529 @@
+// Summary-router tests: backend selection, the certified-interval
+// contract (satellite 3's property suite — the true quantile always lies
+// inside the certificate, and the router never regresses against a pure
+// moments solve on well-conditioned cells), the adversarial sweep (no
+// uncertified or failed answer ever escapes on non-empty data), certified
+// GROUP BY, the streaming dual-write path, and bit-exact recovery of a
+// mixed-backend (moments + KLL) durable cube.
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "core/maxent_solver.h"
+#include "core/moments_sketch.h"
+#include "cube/cube_store.h"
+#include "cube/summary_router.h"
+#include "ingest/streaming_cube.h"
+#include "numerics/stats.h"
+#include "persist/durable_log.h"
+#include "persist/env.h"
+#include "sketches/kll_sketch.h"
+
+namespace msketch {
+namespace {
+
+// ------------------------------------------------------------ helpers
+
+constexpr double kPhis[] = {0.01, 0.1, 0.5, 0.9, 0.99};
+
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/msketch_router_XXXXXX";
+  const char* dir = ::mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  return dir;
+}
+
+// Named synthetic datasets for the property suite. Deterministic seeds:
+// the suite asserts hard containment, not statistics.
+std::vector<double> NamedData(const std::string& name, size_t n) {
+  Rng rng(0x5eedULL + std::hash<std::string>{}(name));
+  std::vector<double> out;
+  out.reserve(n);
+  if (name == "uniform") {
+    for (size_t i = 0; i < n; ++i) out.push_back(rng.NextDouble());
+  } else if (name == "lognormal") {
+    for (size_t i = 0; i < n; ++i) out.push_back(rng.NextLognormal(0.0, 1.0));
+  } else if (name == "pareto") {
+    // Moderate tail (finite first four moments).
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(std::pow(1.0 - rng.NextDouble(), -1.0 / 2.5));
+    }
+  } else if (name == "pareto_heavy") {
+    // alpha = 1.1: the higher sample moments are wild — this is the
+    // cell the conditioning monitor exists for.
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(std::pow(1.0 - rng.NextDouble(), -1.0 / 1.1));
+    }
+  } else if (name == "discrete") {
+    const double levels[] = {1.0, 2.0, 4.0, 8.0, 16.0};
+    for (size_t i = 0; i < n; ++i) out.push_back(levels[rng.NextBelow(5)]);
+  } else if (name == "two_atom") {
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(rng.NextDouble() < 0.6 ? 1.0 : 5.0);
+    }
+  } else if (name == "single_atom") {
+    for (size_t i = 0; i < n; ++i) out.push_back(42.0);
+  } else if (name == "near_singular") {
+    // Point mass plus a vanishing perturbation: the Hankel matrix is
+    // numerically singular but min < max.
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(1.0 + 1e-9 * rng.NextDouble());
+    }
+  } else if (name == "clustered") {
+    // Two tight clusters nine orders of magnitude apart.
+    for (size_t i = 0; i < n; ++i) {
+      const double base = (i % 3 == 0) ? 1e-6 : 1e3;
+      out.push_back(base * (1.0 + 1e-7 * rng.NextDouble()));
+    }
+  } else {
+    ADD_FAILURE() << "unknown dataset " << name;
+  }
+  return out;
+}
+
+MomentsSketch SketchOf(const std::vector<double>& data, int k = 10) {
+  MomentsSketch s(k);
+  for (double v : data) s.Accumulate(v);
+  return s;
+}
+
+KllSketch KllOf(const std::vector<double>& data, int k = 64) {
+  KllSketch s(k);
+  for (double v : data) s.Accumulate(v);
+  return s;
+}
+
+double Slack(const MomentsSketch& s) {
+  return 1e-6 * (std::abs(s.max()) + std::abs(s.min()) + 1.0);
+}
+
+// Asserts the router's core contract on one answer: OK status, certified
+// flag, estimate inside the interval, truth inside the interval.
+void ExpectCertified(const CertifiedQuantile& a, double truth, double slack,
+                     const std::string& what) {
+  EXPECT_TRUE(a.status.ok()) << what << ": " << a.status.ToString();
+  EXPECT_TRUE(a.certified) << what;
+  EXPECT_LE(a.interval.lower, a.estimate + 1e-12) << what;
+  EXPECT_GE(a.interval.upper, a.estimate - 1e-12) << what;
+  EXPECT_LE(a.interval.lower, truth + slack)
+      << what << " lower bound above truth " << truth;
+  EXPECT_GE(a.interval.upper, truth - slack)
+      << what << " upper bound below truth " << truth;
+}
+
+// --------------------------------------------------------- unit tests
+
+TEST(SummaryRouterTest, EmptyCellIsTheOnlyError) {
+  SummaryRouter router;
+  MomentsSketch empty(10);
+  CertifiedQuantile a = router.Query(empty, nullptr, 0.5);
+  EXPECT_FALSE(a.status.ok());
+  EXPECT_FALSE(a.certified);
+
+  // Same with a (necessarily empty) KLL alongside.
+  KllSketch kll(64);
+  a = router.Query(empty, &kll, 0.5);
+  EXPECT_FALSE(a.status.ok());
+}
+
+TEST(SummaryRouterTest, PointMassIsExactAndDegenerate) {
+  SummaryRouter router;
+  const auto data = NamedData("single_atom", 1000);
+  MomentsSketch s = SketchOf(data);
+  CertifiedQuantile a = router.Query(s, nullptr, 0.5);
+  EXPECT_TRUE(a.status.ok());
+  EXPECT_TRUE(a.certified);
+  EXPECT_EQ(a.backend, QuantileBackend::kDegenerate);
+  EXPECT_DOUBLE_EQ(a.estimate, 42.0);
+  EXPECT_DOUBLE_EQ(a.interval.lower, 42.0);
+  EXPECT_DOUBLE_EQ(a.interval.upper, 42.0);
+  EXPECT_EQ(router.stats().degenerate_answers, 1u);
+}
+
+TEST(SummaryRouterTest, SmoothCellAnswersFromMoments) {
+  SummaryRouter router;
+  const auto data = NamedData("uniform", 50000);
+  MomentsSketch s = SketchOf(data);
+  KllSketch kll = KllOf(data);
+  std::vector<CertifiedQuantile> out =
+      router.QueryMany(s, &kll, {0.1, 0.5, 0.9});
+  for (const auto& a : out) {
+    EXPECT_TRUE(a.status.ok());
+    EXPECT_EQ(a.backend, QuantileBackend::kMoments);
+  }
+  EXPECT_EQ(router.stats().moments_answers, 3u);
+  EXPECT_EQ(router.stats().conditioning_rejects, 0u);
+  EXPECT_EQ(router.stats().solver_failures, 0u);
+  // One solve shared by the whole batch, no hint -> cold.
+  EXPECT_EQ(router.stats().cold_solves + router.stats().warm_solves, 1u);
+}
+
+TEST(SummaryRouterTest, WarmHintChainsAcrossQueries) {
+  SummaryRouter router;
+  const auto data = NamedData("uniform", 20000);
+  MomentsSketch s = SketchOf(data);
+  ASSERT_TRUE(router.Query(s, nullptr, 0.5).status.ok());
+  ASSERT_TRUE(router.last_warm_start().valid());
+  // A similar cell warm-started from the previous solve.
+  MomentsSketch s2 = SketchOf(NamedData("uniform", 21000));
+  CertifiedQuantile a =
+      router.Query(s2, nullptr, 0.5, &router.last_warm_start());
+  EXPECT_TRUE(a.status.ok());
+  EXPECT_EQ(a.backend, QuantileBackend::kMoments);
+  EXPECT_GE(router.stats().warm_solves, 1u);
+}
+
+TEST(SummaryRouterTest, KllIntersectionNeverWidensTheCertificate) {
+  const auto data = NamedData("lognormal", 50000);
+  MomentsSketch s = SketchOf(data);
+  KllSketch kll = KllOf(data);
+  SummaryRouter with_kll;
+  SummaryRouter without;
+  for (double phi : kPhis) {
+    CertifiedQuantile a = with_kll.Query(s, &kll, phi);
+    CertifiedQuantile b = without.Query(s, nullptr, phi);
+    ASSERT_TRUE(a.status.ok());
+    ASSERT_TRUE(b.status.ok());
+    EXPECT_GE(a.interval.lower, b.interval.lower - 1e-12) << "phi=" << phi;
+    EXPECT_LE(a.interval.upper, b.interval.upper + 1e-12) << "phi=" << phi;
+  }
+}
+
+TEST(SummaryRouterTest, BackendCountersAccountForEveryQuery) {
+  SummaryRouter router;
+  for (const char* name :
+       {"uniform", "two_atom", "single_atom", "pareto_heavy"}) {
+    const auto data = NamedData(name, 20000);
+    MomentsSketch s = SketchOf(data);
+    KllSketch kll = KllOf(data);
+    router.QueryMany(s, &kll, {0.25, 0.5, 0.75});
+  }
+  const RouterStats& st = router.stats();
+  EXPECT_EQ(st.queries, 12u);
+  EXPECT_EQ(st.moments_answers + st.kll_answers + st.atomic_answers +
+                st.bounds_fallbacks + st.degenerate_answers,
+            st.queries);
+}
+
+// ------------------------------------- satellite 3: property suite
+
+struct PropertyCase {
+  const char* dataset;
+  size_t n;
+  // Cells where the maxent solve is expected to succeed outright; on
+  // these the router must answer from moments and be at least as
+  // accurate as a bare solve (no-regression clause).
+  bool well_conditioned;
+};
+
+class RouterPropertyTest : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(RouterPropertyTest, TruthAlwaysInsideCertificate) {
+  const auto data = NamedData(GetParam().dataset, GetParam().n);
+  MomentsSketch s = SketchOf(data);
+  KllSketch kll = KllOf(data);
+  std::vector<double> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+  const double slack = Slack(s);
+
+  // Both with and without the rank sketch: the certificate must hold on
+  // every degradation path.
+  const KllSketch* sides[] = {nullptr, &kll};
+  for (const KllSketch* side : sides) {
+    SummaryRouter router;
+    for (double phi : kPhis) {
+      const double truth = QuantileOfSorted(sorted, phi);
+      CertifiedQuantile a = router.Query(s, side, phi);
+      ExpectCertified(a, truth, slack,
+                      std::string(GetParam().dataset) + " phi=" +
+                          std::to_string(phi) +
+                          (side ? " (with kll)" : " (moments only)"));
+    }
+  }
+}
+
+TEST_P(RouterPropertyTest, NoRegressionOnWellConditionedCells) {
+  if (!GetParam().well_conditioned) GTEST_SKIP();
+  const auto data = NamedData(GetParam().dataset, GetParam().n);
+  MomentsSketch s = SketchOf(data);
+  KllSketch kll = KllOf(data);
+  std::vector<double> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+
+  auto pure = SolveMaxEnt(s, MaxEntOptions{});
+  ASSERT_TRUE(pure.ok()) << GetParam().dataset
+                         << ": expected a clean maxent solve";
+  SummaryRouter router;
+  for (double phi : kPhis) {
+    const double truth = QuantileOfSorted(sorted, phi);
+    CertifiedQuantile a = router.Query(s, &kll, phi);
+    ASSERT_TRUE(a.status.ok());
+    // The router must not route a healthy cell away from moments...
+    EXPECT_EQ(a.backend, QuantileBackend::kMoments)
+        << GetParam().dataset << " phi=" << phi;
+    // ...and clamping into the certificate can only reduce the error of
+    // the bare estimate (the truth is inside the interval).
+    const double pure_err = std::abs(pure.value().Quantile(phi) - truth);
+    const double routed_err = std::abs(a.estimate - truth);
+    EXPECT_LE(routed_err, pure_err + Slack(s))
+        << GetParam().dataset << " phi=" << phi;
+  }
+  EXPECT_EQ(router.stats().conditioning_rejects, 0u);
+  EXPECT_EQ(router.stats().solver_failures, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Datasets, RouterPropertyTest,
+    ::testing::Values(PropertyCase{"uniform", 50000, true},
+                      PropertyCase{"lognormal", 50000, true},
+                      PropertyCase{"pareto", 50000, false},
+                      PropertyCase{"discrete", 50000, false},
+                      PropertyCase{"single_atom", 10000, false}),
+    [](const ::testing::TestParamInfo<PropertyCase>& info) {
+      return std::string(info.param.dataset);
+    });
+
+// ------------------------------------------------ adversarial sweep
+
+// The acceptance sweep: every pathological cell, with and without a KLL
+// backend, at every phi — 100% certified answers containing the truth,
+// zero escaped failures. This is the CI gate's in-process twin.
+TEST(RouterAdversarialSweep, EveryAnswerCertifiedAndContainsTruth) {
+  const char* suite[] = {"two_atom",      "discrete", "pareto_heavy",
+                         "near_singular", "clustered", "single_atom"};
+  SummaryRouter router;
+  uint64_t answers = 0;
+  for (const char* name : suite) {
+    const auto data = NamedData(name, 20000);
+    MomentsSketch s = SketchOf(data);
+    KllSketch kll = KllOf(data);
+    std::vector<double> sorted = data;
+    std::sort(sorted.begin(), sorted.end());
+    const double slack = Slack(s);
+    const KllSketch* sides[] = {nullptr, &kll};
+    for (const KllSketch* side : sides) {
+      for (double phi : kPhis) {
+        const double truth = QuantileOfSorted(sorted, phi);
+        CertifiedQuantile a = router.Query(s, side, phi);
+        ExpectCertified(a, truth, slack,
+                        std::string(name) + " phi=" + std::to_string(phi) +
+                            (side ? " (kll)" : " (moments only)"));
+        ++answers;
+      }
+    }
+  }
+  // Nothing escaped: every query produced a certified answer.
+  EXPECT_EQ(router.stats().queries, answers);
+  EXPECT_EQ(router.stats().moments_answers + router.stats().kll_answers +
+                router.stats().atomic_answers +
+                router.stats().bounds_fallbacks +
+                router.stats().degenerate_answers,
+            answers);
+  // The sweep is pathological by construction: the degradation chain
+  // must actually have fired (otherwise the sweep tests nothing).
+  EXPECT_GT(router.stats().solver_failures +
+                router.stats().conditioning_rejects +
+                router.stats().degenerate_answers,
+            0u);
+}
+
+// --------------------------------------------- certified GROUP BY
+
+TEST(GroupByCertifiedTest, GroupsMatchPerGroupTruth) {
+  CubeStore store(2, 10);
+  store.EnableKll(64);
+
+  // Three groups along dim 0: smooth, atomic, heavy-tailed — one cube
+  // with healthy and pathological cells side by side.
+  const char* group_data[] = {"uniform", "two_atom", "pareto_heavy"};
+  std::map<uint32_t, std::vector<double>> rows_by_group;
+  for (uint32_t g = 0; g < 3; ++g) {
+    for (uint32_t d1 = 0; d1 < 2; ++d1) {
+      auto data = NamedData(group_data[g], 4000 + 1000 * d1);
+      CubeCoords coords{g, d1};
+      ASSERT_TRUE(store.ApplyDelta(coords, SketchOf(data)).ok());
+      ASSERT_TRUE(store.ApplyKllDelta(coords, KllOf(data)).ok());
+      auto& rows = rows_by_group[g];
+      rows.insert(rows.end(), data.begin(), data.end());
+    }
+  }
+
+  RouterStats stats;
+  const std::vector<double> phis(kPhis, kPhis + 5);
+  auto groups = GroupByQuantilesCertified(store, {0}, phis, RouterOptions{},
+                                          &stats);
+  ASSERT_EQ(groups.size(), 3u);
+  for (uint32_t g = 0; g < 3; ++g) {
+    ASSERT_EQ(groups[g].key, (CubeCoords{g}));
+    std::vector<double> sorted = rows_by_group[g];
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(groups[g].count, sorted.size());
+    ASSERT_EQ(groups[g].answers.size(), phis.size());
+    MomentsSketch merged = SketchOf(sorted);
+    for (size_t i = 0; i < phis.size(); ++i) {
+      ExpectCertified(groups[g].answers[i], QuantileOfSorted(sorted, phis[i]),
+                      Slack(merged),
+                      std::string(group_data[g]) + " phi=" +
+                          std::to_string(phis[i]));
+    }
+  }
+  EXPECT_EQ(stats.queries, 3 * phis.size());
+}
+
+// ------------------------------------------- streaming dual-write
+
+IngestOptions KllIngest() {
+  IngestOptions o;
+  o.num_shards = 2;
+  o.batch_size = 8;
+  o.enable_kll = true;
+  o.kll_k = 64;
+  return o;
+}
+
+TEST(StreamingCertifiedTest, EndToEndDualWrite) {
+  StreamingCube cube(2, MomentsSummary(10), KllIngest());
+  std::map<std::string, std::vector<double>> rows_by_cell;
+  const char* cells[] = {"uniform", "two_atom", "near_singular"};
+  for (const char* name : cells) {
+    const auto data = NamedData(name, 3000);
+    for (double v : data) {
+      ASSERT_TRUE(cube.AppendRow({name, "all"}, v).ok());
+    }
+    rows_by_cell[name] = data;
+  }
+  cube.Flush();
+
+  RouterStats stats;
+  for (const char* name : cells) {
+    std::vector<double> sorted = rows_by_cell[name];
+    std::sort(sorted.begin(), sorted.end());
+    Result<CubeFilter> filter = cube.EncodeFilter({name, ""});
+    ASSERT_TRUE(filter.ok());
+    for (double phi : kPhis) {
+      CertifiedQuantile a =
+          cube.QueryQuantileCertified(filter.value(), phi, &stats);
+      ExpectCertified(a, QuantileOfSorted(sorted, phi),
+                      1e-6 * (std::abs(sorted.front()) +
+                              std::abs(sorted.back()) + 1.0),
+                      std::string(name) + " phi=" + std::to_string(phi));
+    }
+  }
+  EXPECT_EQ(stats.queries, 3 * 5u);
+
+  // Certified GROUP BY over dim 0 sees the same per-cell truths.
+  auto groups =
+      cube.GroupByQuantilesCertified(std::vector<size_t>{0}, {0.5});
+  ASSERT_EQ(groups.size(), 3u);
+  for (const auto& g : groups) {
+    ASSERT_EQ(g.answers.size(), 1u);
+    EXPECT_TRUE(g.answers[0].status.ok());
+    EXPECT_TRUE(g.answers[0].certified);
+  }
+
+  // An empty selection is the only visible error.
+  Result<CubeFilter> none = cube.EncodeFilter({"uniform", "nope"});
+  if (none.ok()) {
+    CertifiedQuantile a = cube.QueryQuantileCertified(none.value(), 0.5);
+    EXPECT_FALSE(a.status.ok());
+    EXPECT_FALSE(a.certified);
+  }
+}
+
+// --------------------------------- mixed-backend durable recovery
+
+TEST(StreamingCertifiedTest, MixedBackendRecoveryIsBitExact) {
+  const std::string dir = MakeTempDir();
+  DurabilityOptions durability;
+  durability.dir = dir;
+  durability.env = Env::Default();
+  // Checkpoint at epochs 3 and 6; epoch 7 replays from the WAL — the
+  // round-trip exercises both the checkpoint KLL section and the WAL
+  // per-cell KLL tag.
+  durability.checkpoint_every_epochs = 3;
+
+  std::vector<uint8_t> live_fingerprint;
+  std::vector<KllSketch> live_klls;
+  std::vector<CertifiedQuantile> live_answers;
+  const char* cells[] = {"uniform", "two_atom", "pareto_heavy"};
+  {
+    StreamingCube cube(2, MomentsSummary(10), KllIngest());
+    ASSERT_TRUE(cube.EnableDurability(durability).ok());
+    Rng rng(99);
+    for (int epoch = 0; epoch < 7; ++epoch) {
+      for (const char* name : cells) {
+        const auto data = NamedData(name, 200 + 37 * epoch);
+        for (double v : data) {
+          ASSERT_TRUE(
+              cube.AppendRow({name, "e" + std::to_string(epoch % 2)}, v).ok());
+        }
+      }
+      cube.Flush();
+    }
+    std::shared_ptr<const CubeSnapshot> snap = cube.Snapshot();
+    ASSERT_EQ(snap->epoch, 7u);
+    ASSERT_TRUE(snap->store.kll_enabled());
+    BytesWriter w;
+    EncodeSketchColumns(snap->store.Columns(), &w);
+    live_fingerprint = w.Take();
+    for (uint32_t id = 0; id < snap->store.num_cells(); ++id) {
+      ASSERT_NE(snap->store.CellKll(id), nullptr);
+      live_klls.push_back(*snap->store.CellKll(id));
+    }
+    for (const char* name : cells) {
+      Result<CubeFilter> f = cube.EncodeFilter({name, ""});
+      ASSERT_TRUE(f.ok());
+      live_answers.push_back(cube.QueryQuantileCertified(f.value(), 0.9));
+    }
+  }
+
+  RecoveryStats rs;
+  auto cube = StreamingCube::Recover(2, MomentsSummary(10), KllIngest(),
+                                     durability, &rs);
+  ASSERT_TRUE(cube.ok()) << cube.status().ToString();
+  EXPECT_TRUE(rs.checkpoint_loaded);
+  EXPECT_GT(rs.epochs_replayed, 0u) << "want WAL replay beyond checkpoint";
+
+  std::shared_ptr<const CubeSnapshot> snap = cube.value()->Snapshot();
+  EXPECT_EQ(snap->epoch, 7u);
+  ASSERT_TRUE(snap->store.kll_enabled());
+
+  // Moments columns identical byte for byte.
+  BytesWriter w;
+  EncodeSketchColumns(snap->store.Columns(), &w);
+  EXPECT_EQ(w.Take(), live_fingerprint);
+
+  // Every cell's KLL recovered bit-exact (coin state included) — the
+  // recovered cube will keep making the very same compaction decisions.
+  ASSERT_EQ(snap->store.num_cells(), live_klls.size());
+  for (uint32_t id = 0; id < snap->store.num_cells(); ++id) {
+    ASSERT_NE(snap->store.CellKll(id), nullptr) << "cell " << id;
+    EXPECT_TRUE(snap->store.CellKll(id)->IdenticalTo(live_klls[id]))
+        << "cell " << id << " KLL diverged through recovery";
+  }
+
+  // Certified answers reproduce exactly: same estimate, same interval,
+  // same backend.
+  for (size_t i = 0; i < 3; ++i) {
+    Result<CubeFilter> f = cube.value()->EncodeFilter({cells[i], ""});
+    ASSERT_TRUE(f.ok());
+    CertifiedQuantile a =
+        cube.value()->QueryQuantileCertified(f.value(), 0.9);
+    ASSERT_TRUE(a.status.ok());
+    EXPECT_EQ(a.estimate, live_answers[i].estimate) << cells[i];
+    EXPECT_EQ(a.interval.lower, live_answers[i].interval.lower) << cells[i];
+    EXPECT_EQ(a.interval.upper, live_answers[i].interval.upper) << cells[i];
+    EXPECT_EQ(a.backend, live_answers[i].backend) << cells[i];
+  }
+}
+
+}  // namespace
+}  // namespace msketch

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""CI gate over BENCH_router.json: no adversarial answer may escape the
+router uncertified, and every certificate must contain the true
+quantile.
+
+Reads the JSON emitted by bench_router and fails if any row in the
+"adversarial" section (pathological cells: atomic, discrete,
+heavy-tailed, near-singular) carries `certified: false` or
+`contains_truth: false`. Smooth-section rows are checked too — a healthy
+cell losing its certificate is just as much a regression — but the
+adversarial rows are the reason the gate exists: they are the cells
+where the maxent solver fails and the degradation chain must still
+produce a bounded answer.
+
+Usage: check_router_gate.py BENCH_router.json
+"""
+
+import json
+import sys
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    path = argv[1]
+
+    # Missing/empty input means the bench never ran — skip, don't fail;
+    # present-but-unparseable means it crashed mid-write — fail loudly.
+    try:
+        with open(path) as f:
+            text = f.read()
+    except FileNotFoundError:
+        print(f"SKIP: {path} not found; bench_router did not run "
+              f"(run it to produce the gate input)")
+        return 0
+    if not text.strip():
+        print(f"SKIP: {path} is empty; bench_router produced no results")
+        return 0
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as e:
+        print(f"FAIL: {path} is not valid JSON ({e}); bench_router "
+              f"likely crashed mid-write — rerun the bench")
+        return 1
+    rows = data.get("sections", []) if isinstance(data, dict) else []
+    checked = 0
+    failures = []
+    for row in rows:
+        if row.get("section") not in ("smooth", "adversarial"):
+            continue
+        checked += 1
+        name = f'{row.get("section")}/{row.get("name")}'
+        if row.get("certified") is not True:
+            failures.append(f"{name}: answer escaped uncertified")
+        if row.get("contains_truth") is not True:
+            failures.append(f"{name}: certificate misses the true quantile")
+
+    if checked == 0:
+        print(f"FAIL: {path} has no smooth/adversarial rows — "
+              f"bench_router output format changed?")
+        return 1
+    for f in failures:
+        print(f"FAIL: {f}")
+    if failures:
+        print(f"router gate: {len(failures)} violation(s) across "
+              f"{checked} rows")
+        return 1
+    print(f"router gate OK: {checked} rows, all certified, "
+          f"all certificates contain the truth")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

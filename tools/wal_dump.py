@@ -20,7 +20,11 @@ import struct
 import sys
 
 WAL_MAGIC = b"MSKWAL01"
-WAL_VERSION = 1
+# Version 1: per-cell coords + moments sketch. Version 2 inserts a tag
+# byte between them (bit 0 = a KLL rank-sketch blob follows the moments
+# sketch; all other bits must be zero). Both decode here.
+WAL_VERSIONS = (1, 2)
+CELL_HAS_KLL = 0x01
 RECORD_EPOCH = 1
 MAX_RECORD_LEN = 1 << 30
 MASK_DELTA = 0xA282EAD8
@@ -85,7 +89,42 @@ class Reader:
         return len(self.buf) - self.pos
 
 
-def decode_epoch_record(r, num_dims):
+def decode_kll(r):
+    """KLL blob (sketches/kll_sketch.h Serialize): header + per-level
+    double vectors, each length-prefixed."""
+    k = r.u32("kll k")
+    n = r.u64("kll n")
+    err = r.u64("kll rank error bound")
+    coin = r.u64("kll coin state")
+    mn = r.f64("kll min")
+    mx = r.f64("kll max")
+    num_levels = r.u32("kll level count")
+    if k > (1 << 24) or num_levels > 64:
+        raise ValueError(f"implausible KLL header (k={k}, "
+                         f"levels={num_levels})")
+    retained = 0
+    for _ in range(num_levels):
+        count = r.u32("kll level length")
+        if count > r.remaining() // 8:
+            raise ValueError("KLL level exceeds payload")
+        for _ in range(count):
+            r.f64("kll item")
+        retained += count
+    if retained > n:
+        raise ValueError(f"KLL retains {retained} items of count {n}")
+    return {
+        "k": k,
+        "count": n,
+        "rank_error_bound": err,
+        "coin_state": coin,
+        "min": mn,
+        "max": mx,
+        "levels": num_levels,
+        "retained": retained,
+    }
+
+
+def decode_epoch_record(r, num_dims, version):
     epoch = r.u64("epoch")
     rec_dims = r.u32("dimension count")
     if rec_dims != num_dims:
@@ -106,6 +145,12 @@ def decode_epoch_record(r, num_dims):
         if arity != rec_dims:
             raise ValueError(f"cell arity {arity} != dims {rec_dims}")
         coords = [r.u32("coord") for _ in range(arity)]
+        has_kll = False
+        if version >= 2:
+            tag = r.u8("cell tag")
+            if tag & ~CELL_HAS_KLL:
+                raise ValueError(f"unknown cell tag bits {tag:#04x}")
+            has_kll = bool(tag & CELL_HAS_KLL)
         k = r.u32("sketch k")
         if not 1 <= k <= 64:
             raise ValueError(f"sketch k={k} out of range")
@@ -118,7 +163,8 @@ def decode_epoch_record(r, num_dims):
             "power_sums": [r.f64("power sum") for _ in range(k)],
             "log_sums": [r.f64("log sum") for _ in range(k)],
         }
-        cells.append((coords, sketch))
+        kll = decode_kll(r) if has_kll else None
+        cells.append((coords, sketch, kll))
     if r.remaining():
         raise ValueError(f"{r.remaining()} trailing bytes in payload")
     return epoch, dicts, cells
@@ -126,10 +172,12 @@ def decode_epoch_record(r, num_dims):
 
 def print_epoch(rec_index, offset, epoch, dicts, cells, show_cells):
     new_values = sum(len(vals) for _, vals in dicts)
-    rows = sum(s["count"] for _, s in cells)
+    rows = sum(s["count"] for _, s, _ in cells)
+    with_kll = sum(1 for _, _, kll in cells if kll is not None)
     print(
         f"  record {rec_index} @ {offset:<8} epoch {epoch:<6} "
         f"cells={len(cells)} rows={rows} new_dict_values={new_values}"
+        + (f" kll_cells={with_kll}" if with_kll else "")
     )
     for d, (start, vals) in enumerate(dicts):
         if vals:
@@ -138,12 +186,19 @@ def print_epoch(rec_index, offset, epoch, dicts, cells, show_cells):
             print(f"    dim {d}: ids {start}..{start + len(vals) - 1}: "
                   f"{shown}{more}")
     if show_cells:
-        for coords, s in cells:
-            print(
+        for coords, s, kll in cells:
+            line = (
                 f"    cell {coords}: count={s['count']} "
                 f"log_count={s['log_count']} min={s['min']:.6g} "
                 f"max={s['max']:.6g} m1={s['power_sums'][0]:.6g}"
             )
+            if kll is not None:
+                line += (
+                    f" | kll k={kll['k']} retained={kll['retained']} "
+                    f"levels={kll['levels']} "
+                    f"rank_err={kll['rank_error_bound']}"
+                )
+            print(line)
 
 
 def main(argv):
@@ -168,14 +223,16 @@ def main(argv):
         "<BIII", data, len(WAL_MAGIC)
     )
     actual = crc32c(data[len(WAL_MAGIC) : len(WAL_MAGIC) + 9])
-    if version != WAL_VERSION:
-        print(f"CORRUPT: {path}: version {version} (expected {WAL_VERSION})")
+    if version not in WAL_VERSIONS:
+        print(f"CORRUPT: {path}: version {version} "
+              f"(expected one of {WAL_VERSIONS})")
         return 1
     if unmask(header_crc) != actual:
         print(f"CORRUPT: {path}: header CRC mismatch "
               f"(stored {unmask(header_crc):#010x}, actual {actual:#010x})")
         return 1
-    print(f"{path}: {len(data)} bytes, k={k}, num_dims={num_dims}")
+    print(f"{path}: {len(data)} bytes, version={version}, k={k}, "
+          f"num_dims={num_dims}")
 
     pos = header_len
     records = 0
@@ -207,7 +264,7 @@ def main(argv):
         if rtype == RECORD_EPOCH:
             try:
                 epoch, dicts, cells = decode_epoch_record(
-                    Reader(payload), num_dims
+                    Reader(payload), num_dims, version
                 )
             except ValueError as e:
                 print(f"CORRUPT: record @ {pos}: checksum OK but payload "
