@@ -21,6 +21,13 @@
 //             and with writers streaming — vs the static cube numbers
 //             (the BENCH_fig3 comparison point).
 //
+// A second report (BENCH_obs.json, section "obs") measures telemetry
+// overhead: the same single-shard single-writer fill run with metrics
+// enabled vs disabled (runtime kill switch), reps interleaved so clock
+// drift and thermal state hit both arms equally. check_obs_gate.py
+// fails CI if the enabled arm drops more than a few percent below the
+// disabled arm.
+//
 // Rows where writers exceed the machine's hardware threads time-slice
 // instead of running in parallel: their numbers say nothing about
 // scaling and must not be read as regressions. Those rows are marked
@@ -39,6 +46,7 @@
 #include "cube/data_cube.h"
 #include "datasets/datasets.h"
 #include "ingest/streaming_cube.h"
+#include "obs/metrics.h"
 #include "parallel/parallel_for.h"
 
 namespace {
@@ -375,6 +383,64 @@ int main(int argc, char** argv) {
     std::printf("%-24s %14s %14.2f\n", "one_dim (live ingest)", "-",
                 live_us);
     report.Add("query", "one_dim_live_ingest", live_ms, {});
+  }
+  std::printf("\n");
+
+  // ----------------------------------------------------------------- obs
+  // Telemetry overhead: identical single-shard single-writer fills with
+  // the metrics runtime switch on vs off. One shard, one writer is the
+  // worst case for instrumentation cost — nothing else to hide behind —
+  // and stays deterministic on small runners. Reps are interleaved
+  // (off, on, off, on, ...) so both arms see the same machine state.
+  {
+    JsonReport obs_report("obs");
+    const int obs_reps =
+        static_cast<int>(args.GetU64("obs-reps", std::max(reps, 5)));
+    auto fill_once = [&] {
+      IngestOptions options;
+      options.num_shards = 1;
+      options.epoch_interval = std::chrono::milliseconds(10);
+      options.chunk_cells = 8192;  // hold the working set (see above)
+      StreamingCube cube(kDims, MomentsSummary(10), options);
+      cube.StartPublisher();
+      for (const Row& r : rows) cube.AppendToShard(0, r.coords, r.value);
+      auto snap = cube.Flush();
+      cube.StopPublisher();
+      MSKETCH_CHECK(snap->rows() == total_rows);
+    };
+    std::vector<double> disabled_ms, enabled_ms;
+    disabled_ms.reserve(obs_reps);
+    enabled_ms.reserve(obs_reps);
+    for (int r = 0; r < obs_reps; ++r) {
+      obs::SetMetricsEnabled(false);
+      {
+        Timer t;
+        fill_once();
+        disabled_ms.push_back(t.Millis());
+      }
+      obs::SetMetricsEnabled(true);
+      {
+        Timer t;
+        fill_once();
+        enabled_ms.push_back(t.Millis());
+      }
+    }
+    obs::SetMetricsEnabled(true);
+    const double off_mrps = Mrps(total_rows, MedianOf(disabled_ms));
+    const double on_mrps = Mrps(total_rows, MedianOf(enabled_ms));
+    std::printf("%-28s %8.1f M rows/s\n", "ingest (metrics disabled)",
+                off_mrps);
+    std::printf("%-28s %8.1f M rows/s   (%.3fx disabled)\n",
+                "ingest (metrics enabled)", on_mrps,
+                off_mrps > 0 ? on_mrps / off_mrps : 0.0);
+    obs_report.Add("obs", "ingest_disabled", disabled_ms,
+                   {{"mrows_per_s", off_mrps},
+                    {"reps", static_cast<double>(obs_reps)}});
+    obs_report.Add("obs", "ingest_enabled", enabled_ms,
+                   {{"mrows_per_s", on_mrps},
+                    {"reps", static_cast<double>(obs_reps)},
+                    {"enabled_over_disabled",
+                     off_mrps > 0 ? on_mrps / off_mrps : 0.0}});
   }
   return 0;
 }

@@ -7,6 +7,8 @@
 
 #include "common/macros.h"
 #include "core/simd_exp.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "numerics/matrix.h"
 #include "numerics/optim.h"
 
@@ -479,9 +481,24 @@ void LaneMaxEntSolver::SolveBucket(Bucket* bucket) {
   nopts.adaptive_initial_step = true;  // applied per lane via warm[]
 
   LaneNewtonOutcome outcome;
-  LaneNewton(pack, nopts, warm, occupied, theta.data(), &outcome);
+  {
+    obs::Span lane_span("query.lane_solve");
+    LaneNewton(pack, nopts, warm, occupied, theta.data(), &outcome);
+  }
   ++stats_.packed_solves;
   stats_.packed_lanes += n;
+  // Iteration-count distribution (satellite of the LaneSolverStats
+  // scalar sums): one observation per occupied lane, integer ticks so
+  // merges stay bit-exact.
+  static obs::Histogram* const iter_hist =
+      obs::GlobalRegistry().GetHistogram(
+          "msk_solver_newton_iterations", {},
+          "Per-lane Newton iteration counts in the lane-batched solver",
+          obs::HistogramUnit::kCount);
+  for (size_t l = 0; l < n; ++l) {
+    const int iters = outcome.iterations[l];
+    iter_hist->ObserveTicks(iters > 0 ? static_cast<uint64_t>(iters) : 0);
+  }
 
   // Per-lane epilogue: grid check + packaging, scalar continuation for
   // escalations, scalar fallback for divergence. The last converged

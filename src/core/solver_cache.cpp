@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "core/chebyshev_moments.h"
+#include "obs/metrics.h"
 
 namespace msketch {
 
@@ -178,5 +179,34 @@ SolverCache& GlobalSolverCache() {
       new SolverCache(SolverCacheOptions{256, 1e-9, 8});
   return *cache;
 }
+
+namespace {
+
+// Scrape-time collector for the process-wide cache; registered at load
+// time (not lazily inside GlobalSolverCache) so a scrape shows the
+// cache families — at zero — even before the first cached estimate,
+// and never removed (the cache is immortal). Segment stats are read
+// under their own locks inside stats(). Both singletons involved are
+// function-local statics, so the init-order here is safe.
+const int g_cache_collector_id = obs::GlobalRegistry().AddCollector(
+    [](obs::MetricsEmitter& em) {
+      const CacheStats s = GlobalSolverCache().stats();
+      em.EmitCounter("msk_solver_cache_hits_total", {},
+                     "Global solver-cache hits", s.hits);
+      em.EmitCounter("msk_solver_cache_misses_total", {},
+                     "Global solver-cache misses", s.misses);
+      em.EmitCounter("msk_solver_cache_insertions_total", {},
+                     "Global solver-cache insertions", s.insertions);
+      em.EmitCounter("msk_solver_cache_evictions_total", {},
+                     "Global solver-cache LRU evictions", s.evictions);
+      em.EmitCounter("msk_solver_cache_lock_contention_total", {},
+                     "Contended segment-lock acquisitions",
+                     s.lock_contention);
+      em.EmitGauge("msk_solver_cache_size", {},
+                   "Entries resident in the global solver cache",
+                   static_cast<double>(GlobalSolverCache().size()));
+    });
+
+}  // namespace
 
 }  // namespace msketch

@@ -13,11 +13,73 @@
 #include "core/atomic_fit.h"
 #include "core/chebyshev_moments.h"
 #include "cube/data_cube.h"
+#include "obs/metrics.h"
 #include "parallel/parallel_for.h"
 
 namespace msketch {
 
 namespace {
+
+// Rolls a finished batch pipeline's counters into the global registry —
+// once per GROUP BY, via cached instrument pointers, so the per-group
+// hot loop stays untouched.
+void PublishBatchStats(const BatchStats& s) {
+  if (s.groups == 0) return;
+  obs::MetricsRegistry& reg = obs::GlobalRegistry();
+  static obs::Counter* const groups = reg.GetCounter(
+      "msk_batch_groups_total", {}, "Groups estimated by GROUP BY queries");
+  static obs::Counter* const cold = reg.GetCounter(
+      "msk_batch_cold_solves_total", {}, "Cold maxent solves in batches");
+  static obs::Counter* const warm = reg.GetCounter(
+      "msk_batch_warm_solves_total", {},
+      "Warm-started maxent solves in batches");
+  static obs::Counter* const cache_hits = reg.GetCounter(
+      "msk_batch_cache_hits_total", {}, "Solver-cache hits in batches");
+  static obs::Counter* const failed = reg.GetCounter(
+      "msk_batch_failed_solves_total", {},
+      "Groups whose solve failed past every fallback");
+  static obs::Counter* const atomic_fb = reg.GetCounter(
+      "msk_batch_atomic_fallbacks_total", {},
+      "Groups answered by the atomic-fit fallback");
+  static obs::Counter* const lane_enqueued = reg.GetCounter(
+      "msk_lane_solver_enqueued_total", {},
+      "Groups enqueued into the lane-batched solver");
+  static obs::Counter* const lane_packed_solves = reg.GetCounter(
+      "msk_lane_solver_packed_solves_total", {},
+      "Packed SIMD Newton solves");
+  static obs::Counter* const lane_packed_lanes = reg.GetCounter(
+      "msk_lane_solver_packed_lanes_total", {},
+      "Occupied lanes across packed solves");
+  static obs::Counter* const lane_converged = reg.GetCounter(
+      "msk_lane_solver_lane_converged_total", {},
+      "Lanes converged inside the packed solve");
+  static obs::Counter* const lane_escalated = reg.GetCounter(
+      "msk_lane_solver_lane_escalated_total", {},
+      "Converged lanes escalated to a finer scalar grid");
+  static obs::Counter* const lane_fallbacks = reg.GetCounter(
+      "msk_lane_solver_lane_fallbacks_total", {},
+      "Lanes finished on the scalar fallback path");
+  static obs::Counter* const lane_warm = reg.GetCounter(
+      "msk_lane_solver_warm_lanes_total", {},
+      "Lanes seeded from the bucket's warm chain");
+  static obs::Counter* const lane_prep_failures = reg.GetCounter(
+      "msk_lane_solver_prep_failures_total", {},
+      "Groups rejected at lane prep (routed to the scalar chain)");
+  groups->Add(s.groups);
+  cold->Add(s.cold_solves);
+  warm->Add(s.warm_solves);
+  cache_hits->Add(s.cache_hits);
+  failed->Add(s.failed_solves);
+  atomic_fb->Add(s.atomic_fallbacks);
+  lane_enqueued->Add(s.lane.enqueued);
+  lane_packed_solves->Add(s.lane.packed_solves);
+  lane_packed_lanes->Add(s.lane.packed_lanes);
+  lane_converged->Add(s.lane.lane_converged);
+  lane_escalated->Add(s.lane.lane_escalated);
+  lane_fallbacks->Add(s.lane.lane_fallbacks);
+  lane_warm->Add(s.lane.warm_lanes);
+  lane_prep_failures->Add(s.lane.prep_failures);
+}
 
 // A materialized group with its similarity-ordering features.
 struct Group {
@@ -375,6 +437,7 @@ std::vector<GroupQuantiles> GroupByQuantiles(
             [](const GroupQuantiles& a, const GroupQuantiles& b) {
               return a.key < b.key;
             });
+  PublishBatchStats(local_stats);
   if (stats != nullptr) *stats = local_stats;
   return out;
 }
@@ -439,6 +502,7 @@ std::vector<GroupThreshold> GroupByThreshold(
             [](const GroupThreshold& a, const GroupThreshold& b) {
               return a.key < b.key;
             });
+  PublishBatchStats(local_stats);
   if (stats != nullptr) *stats = local_stats;
   return out;
 }

@@ -6,12 +6,71 @@
 
 #include "core/atomic_fit.h"
 #include "cube/cube_store.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace msketch {
 namespace {
 
 double Clamp(double v, double lo, double hi) {
   return v < lo ? lo : (v > hi ? hi : v);
+}
+
+obs::Counter* BackendCounter(const char* backend) {
+  return obs::GlobalRegistry().GetCounter(
+      "msk_router_answers_total", {{"backend", backend}},
+      "Certified answers by producing backend");
+}
+
+// Rolls a router's accumulated decision counters into the global
+// registry. Called from the destructor: routers are per-pipeline
+// objects, so this runs once per query pipeline, not per answer.
+void PublishRouterStats(const RouterStats& s) {
+  if (s.queries == 0) return;
+  obs::MetricsRegistry& reg = obs::GlobalRegistry();
+  static obs::Counter* const queries = reg.GetCounter(
+      "msk_router_queries_total", {}, "Quantile answers routed");
+  static obs::Counter* const moments = BackendCounter("moments");
+  static obs::Counter* const kll = BackendCounter("kll");
+  static obs::Counter* const atomic_c = BackendCounter("atomic");
+  static obs::Counter* const bounds = BackendCounter("bounds");
+  static obs::Counter* const degenerate = BackendCounter("degenerate");
+  static obs::Counter* const intersected = reg.GetCounter(
+      "msk_router_intersected_certificates_total", {},
+      "Certificates tightened by moments ∩ KLL intersection");
+  static obs::Counter* const cond_rejects = reg.GetCounter(
+      "msk_router_conditioning_rejects_total", {},
+      "Solves skipped by the Hankel conditioning pre-screen");
+  static obs::Counter* const solver_failures = reg.GetCounter(
+      "msk_router_solver_failures_total", {},
+      "Maxent refusals/divergences absorbed by the degradation chain");
+  static obs::Counter* const warm = reg.GetCounter(
+      "msk_router_warm_solves_total", {}, "Warm-started maxent solves");
+  static obs::Counter* const cold = reg.GetCounter(
+      "msk_router_cold_solves_total", {}, "Cold maxent solves");
+  static obs::Counter* const cold_restarts = reg.GetCounter(
+      "msk_router_cold_restarts_total", {},
+      "Cold restarts inside warm solves");
+  static obs::Counter* const iter_capped = reg.GetCounter(
+      "msk_router_iteration_capped_total", {},
+      "Solves that hit the Newton iteration cap");
+  static obs::Counter* const atomic_screen = reg.GetCounter(
+      "msk_router_atomic_screen_hits_total", {},
+      "Solver refusals due to the atomic (near-discrete) screen");
+  queries->Add(s.queries);
+  moments->Add(s.moments_answers);
+  kll->Add(s.kll_answers);
+  atomic_c->Add(s.atomic_answers);
+  bounds->Add(s.bounds_fallbacks);
+  degenerate->Add(s.degenerate_answers);
+  intersected->Add(s.intersected_certificates);
+  cond_rejects->Add(s.conditioning_rejects);
+  solver_failures->Add(s.solver_failures);
+  warm->Add(s.warm_solves);
+  cold->Add(s.cold_solves);
+  cold_restarts->Add(s.cold_restarts);
+  iter_capped->Add(s.iteration_capped);
+  atomic_screen->Add(s.atomic_screen_hits);
 }
 
 }  // namespace
@@ -33,6 +92,8 @@ const char* QuantileBackendName(QuantileBackend backend) {
 }
 
 SummaryRouter::SummaryRouter(RouterOptions options) : opt_(options) {}
+
+SummaryRouter::~SummaryRouter() { PublishRouterStats(stats_); }
 
 QuantileInterval SummaryRouter::IntervalFor(const MomentsSketch& moments,
                                             const KllSketch* kll,
@@ -70,6 +131,7 @@ CertifiedQuantile SummaryRouter::Query(const MomentsSketch& moments,
 std::vector<CertifiedQuantile> SummaryRouter::QueryMany(
     const MomentsSketch& moments, const KllSketch* kll,
     const std::vector<double>& phis, const WarmStart* hint) {
+  obs::Span span("query.router");
   std::vector<CertifiedQuantile> out(phis.size());
   stats_.queries += phis.size();
 
@@ -93,9 +155,18 @@ std::vector<CertifiedQuantile> SummaryRouter::QueryMany(
   }
 
   // Certificates first: they hold no matter which estimator answers.
+  // Certified-interval widths feed a mergeable histogram — the width
+  // distribution is the router's accuracy story, and a mean would hide
+  // the wide-interval tail exactly where degradation kicks in.
+  static obs::Histogram* const width_hist =
+      obs::GlobalRegistry().GetHistogram(
+          "msk_router_interval_width", {},
+          "Certified-interval widths (upper - lower) per answer",
+          obs::HistogramUnit::kValue);
   for (size_t i = 0; i < phis.size(); ++i) {
     out[i].interval = IntervalFor(moments, kll, phis[i]);
     out[i].certified = true;
+    width_hist->Observe(out[i].interval.upper - out[i].interval.lower);
   }
 
   const bool kll_usable = kll != nullptr && kll->count() > 0;

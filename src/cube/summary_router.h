@@ -122,6 +122,10 @@ struct RouterStats {
 class SummaryRouter {
  public:
   explicit SummaryRouter(RouterOptions options = {});
+  /// Publishes the accumulated RouterStats into the process-wide
+  /// metrics registry (msk_router_* counter families) — routers are
+  /// per-pipeline objects, so their counters roll up at destruction.
+  ~SummaryRouter();
 
   /// Certified phi-quantile from a cell/group's moments sketch plus its
   /// optional KLL rank sketch (nullptr when the cell has none). The two

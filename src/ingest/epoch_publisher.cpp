@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "obs/trace.h"
 
 namespace msketch {
 
@@ -85,13 +86,21 @@ void EpochPublisher::ApplyBatch(CubeStore* store, const DeltaBatch& batch) {
 
 std::shared_ptr<const CubeSnapshot> EpochPublisher::Publish() {
   using Clock = std::chrono::steady_clock;
+  obs::Span publish_span("ingest.publish");
   std::unique_lock<std::mutex> publish_lock(publish_mu_);
   const Clock::time_point t0 = Clock::now();
-  DeltaBatch batch = DrainShards();
+  DeltaBatch batch;
+  {
+    obs::Span drain_span("ingest.drain");
+    batch = DrainShards();
+  }
   latency_.last_drain_ms =
       std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
   latency_.max_drain_ms =
       std::max(latency_.max_drain_ms, latency_.last_drain_ms);
+  // The drain ran either way: empty sweeps belong in the distribution
+  // too (they are the publisher's idle heartbeat cost).
+  drain_h_.Observe(latency_.last_drain_ms * 1e-3);
   if (batch.empty()) {
     // Nothing new arrived: the current snapshot already covers every
     // appended row, so re-publishing would only churn buffers.
@@ -111,6 +120,7 @@ std::shared_ptr<const CubeSnapshot> EpochPublisher::Publish() {
         std::chrono::duration<double, std::milli>(Clock::now() - d0).count();
     latency_.max_durability_ms =
         std::max(latency_.max_durability_ms, latency_.last_durability_ms);
+    durability_h_.Observe(latency_.last_durability_ms * 1e-3);
   }
   // The epoch's pane delta: merged total of the batch, in batch order.
   MomentsSketch epoch_delta(k_);
@@ -154,6 +164,7 @@ std::shared_ptr<const CubeSnapshot> EpochPublisher::Publish() {
       std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
   latency_.max_publish_ms =
       std::max(latency_.max_publish_ms, latency_.last_publish_ms);
+  publish_h_.Observe(latency_.last_publish_ms * 1e-3);
   // The sink runs outside publish_mu_ so it may query the publisher
   // (Current, lag_batches); sink_mu_ is taken before the publish lock
   // drops, which keeps sink invocations in epoch order.

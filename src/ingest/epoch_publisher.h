@@ -48,6 +48,7 @@
 #include "cube/cube_store.h"
 #include "cube/rollup_index.h"
 #include "ingest/ingest_shard.h"
+#include "obs/metrics.h"
 
 namespace msketch {
 
@@ -134,6 +135,15 @@ struct PublisherStats {
   /// Epochs whose durability hook failed: they published (availability
   /// first) but are NOT crash-durable until the next checkpoint.
   uint64_t durability_failures = 0;
+  /// Full latency distributions behind the last/max scalars above: one
+  /// observation per Publish for the shard drain, the whole publish,
+  /// and the durability hook (mergeable fixed-bucket histograms in
+  /// seconds — a single mean hides drain stalls; these keep the tail).
+  /// Scraped into the registry as
+  /// msk_publisher_{drain,publish,durability}_seconds.
+  obs::HistogramSnapshot drain_hist;
+  obs::HistogramSnapshot publish_hist;
+  obs::HistogramSnapshot durability_hist;
 };
 
 class EpochPublisher {
@@ -213,6 +223,9 @@ class EpochPublisher {
     std::lock_guard<std::mutex> lock(publish_mu_);
     PublisherStats s = latency_;
     s.epochs_published = epochs_published_.load(std::memory_order_relaxed);
+    s.drain_hist = drain_h_.Snapshot();
+    s.publish_hist = publish_h_.Snapshot();
+    s.durability_hist = durability_h_.Snapshot();
     return s;
   }
 
@@ -246,6 +259,11 @@ class EpochPublisher {
   std::deque<std::pair<uint64_t, DeltaBatch>> history_;
   std::vector<uint64_t> buffer_epoch_;
   PublisherStats latency_;  // epochs_published_ tracked separately
+  // Per-Publish latency distributions (lock-free; snapshotted into
+  // PublisherStats and scraped by the StreamingCube collector).
+  obs::Histogram drain_h_{obs::HistogramUnit::kSeconds};
+  obs::Histogram publish_h_{obs::HistogramUnit::kSeconds};
+  obs::Histogram durability_h_{obs::HistogramUnit::kSeconds};
 
   // The published snapshot; accessed via std::atomic_load/atomic_store.
   std::shared_ptr<const CubeSnapshot> published_;

@@ -4,8 +4,25 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace msketch {
+
+namespace {
+
+// End-to-end query latency histogram, one per query kind. The registry
+// lookup runs once per kind (function-local static at each call site).
+obs::Histogram* QueryHist(const char* kind) {
+  return obs::GlobalRegistry().GetHistogram(
+      "msk_query_seconds", {{"kind", kind}},
+      "End-to-end StreamingCube query latency by kind",
+      obs::HistogramUnit::kSeconds);
+}
+
+std::string ShardLabel(size_t shard) { return std::to_string(shard); }
+
+}  // namespace
 
 StreamingCube::StreamingCube(size_t num_dims, MomentsSummary prototype,
                              IngestOptions options)
@@ -35,9 +52,102 @@ StreamingCube::StreamingCube(size_t num_dims, MomentsSummary prototype,
   // to the user's sink after the durability work (if any).
   publisher_->SetEpochSink(
       [this](const CubeSnapshot& snap) { OnEpochPublished(snap); });
+  // Scrape-time collector: reads the existing relaxed-atomic *Stats
+  // surfaces, so the writer hot path carries zero registry calls. The
+  // callback runs under the registry's collector mutex; the destructor
+  // unregisters (and thereby drains in-flight scrapes) before teardown.
+  obs_collector_id_ = obs::GlobalRegistry().AddCollector(
+      [this](obs::MetricsEmitter& em) {
+        const IngestStats agg = stats();
+        em.EmitCounter("msk_ingest_rows_appended_total", {},
+                       "Rows appended across all shards", agg.rows_appended);
+        em.EmitCounter("msk_ingest_rows_backpressured_total", {},
+                       "Rows that waited on chunk-pool backpressure",
+                       agg.rows_backpressured);
+        em.EmitCounter("msk_ingest_backpressure_events_total", {},
+                       "Appends that hit chunk-pool backpressure",
+                       agg.backpressure_events);
+        em.EmitCounter("msk_ingest_chunks_sealed_total", {},
+                       "Delta chunks sealed to the publisher ring",
+                       agg.chunks_sealed);
+        em.EmitCounter("msk_ingest_chunks_drained_total", {},
+                       "Delta chunks drained by the publisher",
+                       agg.chunks_drained);
+        em.EmitCounter("msk_ingest_steal_giveups_total", {},
+                       "Chunk-steal attempts that gave up",
+                       agg.steal_giveups);
+        em.EmitCounter("msk_ingest_deadline_events_total", {},
+                       "Appends that failed the backpressure stall budget",
+                       agg.deadline_events);
+        em.EmitCounter("msk_ingest_rows_deadline_failed_total", {},
+                       "Rows not appended due to stall-budget expiry",
+                       agg.rows_deadline_failed);
+        em.EmitCounter("msk_ingest_dict_exclusive_locks_total", {},
+                       "Writer-path exclusive dictionary-intern locks",
+                       agg.dict_exclusive_locks);
+        // Defensive null check: Restore() (recovery) briefly swaps the
+        // published snapshot out while this collector is registered.
+        const std::shared_ptr<const CubeSnapshot> snap = Snapshot();
+        const uint64_t published = snap ? snap->rows() : 0;
+        em.EmitGauge("msk_ingest_staleness_rows", {},
+                     "Appended-but-not-yet-published rows",
+                     static_cast<double>(agg.rows_appended - published));
+        for (size_t s = 0; s < shards_.size(); ++s) {
+          const IngestShardStats ss = shards_[s]->stats();
+          const obs::Labels labels = {{"shard", ShardLabel(s)}};
+          em.EmitCounter("msk_ingest_shard_rows_appended_total", labels,
+                         "Rows appended into one shard", ss.rows_appended);
+          em.EmitGauge("msk_ingest_shard_ring_high_water", labels,
+                       "FULL-ring occupancy high-water for one shard",
+                       static_cast<double>(ss.full_ring_high_water));
+        }
+        const PublisherStats ps = agg.publisher;
+        em.EmitCounter("msk_publisher_epochs_published_total", {},
+                       "Epoch snapshots published", ps.epochs_published);
+        em.EmitCounter("msk_publisher_durability_failures_total", {},
+                       "Epochs whose durability hook failed",
+                       ps.durability_failures);
+        em.EmitHistogram("msk_publisher_drain_seconds", {},
+                         "Per-publish shard drain latency", ps.drain_hist);
+        em.EmitHistogram("msk_publisher_publish_seconds", {},
+                         "Whole-publish latency (drain+replay+rollup+swap)",
+                         ps.publish_hist);
+        em.EmitHistogram("msk_publisher_durability_seconds", {},
+                         "Durability hook (WAL append+fsync) latency",
+                         ps.durability_hist);
+        if (log_ != nullptr) {
+          const DurabilityStats ds = log_->stats();
+          em.EmitCounter("msk_wal_epochs_logged_total", {},
+                         "Epoch delta batches appended to the WAL",
+                         ds.epochs_logged);
+          em.EmitCounter("msk_wal_bytes_total", {},
+                         "Bytes appended to the WAL", ds.wal_bytes);
+          em.EmitCounter("msk_wal_syncs_total", {}, "WAL fsync calls",
+                         ds.wal_syncs);
+          em.EmitCounter("msk_wal_write_retries_total", {},
+                         "Short-write retries on WAL appends",
+                         ds.write_retries);
+          em.EmitCounter("msk_wal_append_failures_total", {},
+                         "WAL appends that failed", ds.wal_append_failures);
+          em.EmitCounter("msk_checkpoints_written_total", {},
+                         "Full-state checkpoints committed",
+                         ds.checkpoints_written);
+          em.EmitCounter("msk_checkpoint_failures_total", {},
+                         "Checkpoint attempts that failed",
+                         ds.checkpoint_failures);
+          em.EmitGauge("msk_wal_broken", {},
+                       "1 when the WAL is marked broken (re-bases at the "
+                       "next checkpoint)",
+                       ds.log_broken ? 1.0 : 0.0);
+        }
+      });
 }
 
-StreamingCube::~StreamingCube() { publisher_->Stop(); }
+StreamingCube::~StreamingCube() {
+  // Block until no scrape can be reading members, then stop publishing.
+  obs::GlobalRegistry().RemoveCollector(obs_collector_id_);
+  publisher_->Stop();
+}
 
 Status StreamingCube::AppendRow(const std::vector<std::string>& dims,
                                 double value) {
@@ -134,6 +244,7 @@ void StreamingCube::OnEpochPublished(const CubeSnapshot& snap) {
 Result<std::unique_ptr<StreamingCube>> StreamingCube::Recover(
     size_t num_dims, MomentsSummary prototype, IngestOptions options,
     const DurabilityOptions& durability, RecoveryStats* stats) {
+  obs::Span span("ingest.recover");
   RecoveryStats local;
   RecoveryStats* rs = stats ? stats : &local;
   *rs = RecoveryStats();
@@ -168,6 +279,26 @@ Result<std::unique_ptr<StreamingCube>> StreamingCube::Recover(
       [raw = cube.get()](uint64_t e, const EpochPublisher::DeltaBatch& batch) {
         return raw->LogEpochDurable(e, batch);
       });
+  // Recovery outcome counters (coarse one-shot events; no hot path).
+  obs::MetricsRegistry& reg = obs::GlobalRegistry();
+  reg.GetCounter("msk_recovery_runs_total", {},
+                 "Successful StreamingCube::Recover calls")
+      ->Add(1);
+  reg.GetCounter("msk_recovery_epochs_replayed_total", {},
+                 "WAL epochs replayed during recovery")
+      ->Add(rs->epochs_replayed);
+  reg.GetCounter("msk_recovery_cells_replayed_total", {},
+                 "Cells replayed from the WAL during recovery")
+      ->Add(rs->cells_replayed);
+  reg.GetCounter("msk_recovery_rows_recovered_total", {},
+                 "Rows restored into the recovered cube")
+      ->Add(rs->rows_recovered);
+  reg.GetCounter("msk_recovery_bytes_truncated_total", {},
+                 "Torn-tail WAL bytes truncated during recovery")
+      ->Add(rs->bytes_truncated);
+  reg.GetCounter("msk_recovery_checksum_failures_total", {},
+                 "Checksum mismatches encountered during recovery")
+      ->Add(rs->checksum_failures);
   return cube;
 }
 
@@ -301,6 +432,9 @@ Result<std::string> StreamingCube::DecodeValue(size_t dim,
 
 MomentsSummary StreamingCube::QueryWhere(const CubeFilter& filter,
                                          CubeStore::QueryStats* stats) const {
+  static obs::Histogram* const hist = QueryHist("where");
+  obs::ScopedLatencyTimer timer(hist);
+  obs::Span span("query.where");
   std::shared_ptr<const CubeSnapshot> snap = Snapshot();
   return MomentsSummary(snap->store.QueryWhere(filter, stats),
                         options_maxent_);
@@ -308,6 +442,9 @@ MomentsSummary StreamingCube::QueryWhere(const CubeFilter& filter,
 
 Result<double> StreamingCube::QueryQuantile(const CubeFilter& filter,
                                             double phi) const {
+  static obs::Histogram* const hist = QueryHist("quantile");
+  obs::ScopedLatencyTimer timer(hist);
+  obs::Span span("query.quantile");
   MomentsSummary merged = QueryWhere(filter);
   if (merged.count() == 0) {
     return Status::InvalidArgument("QueryQuantile: empty selection");
@@ -317,6 +454,9 @@ Result<double> StreamingCube::QueryQuantile(const CubeFilter& filter,
 
 CertifiedQuantile StreamingCube::QueryQuantileCertified(
     const CubeFilter& filter, double phi, RouterStats* stats) const {
+  static obs::Histogram* const hist = QueryHist("quantile_certified");
+  obs::ScopedLatencyTimer timer(hist);
+  obs::Span span("query.certified");
   std::shared_ptr<const CubeSnapshot> snap = Snapshot();
   const MomentsSketch moments = snap->store.QueryWhere(filter);
   KllSketch kll;
@@ -339,6 +479,9 @@ CertifiedQuantile StreamingCube::QueryQuantileCertified(
 std::vector<GroupQuantilesCertified> StreamingCube::GroupByQuantilesCertified(
     const std::vector<size_t>& group_dims, const std::vector<double>& phis,
     const RouterOptions& options, RouterStats* stats) const {
+  static obs::Histogram* const hist = QueryHist("groupby_certified");
+  obs::ScopedLatencyTimer timer(hist);
+  obs::Span span("query.certified_groupby");
   std::shared_ptr<const CubeSnapshot> snap = Snapshot();
   return msketch::GroupByQuantilesCertified(snap->store, group_dims, phis,
                                             options, stats);
@@ -355,6 +498,9 @@ std::vector<GroupQuantilesCertified> StreamingCube::GroupByQuantilesCertified(
 std::vector<GroupQuantiles> StreamingCube::GroupByQuantiles(
     const std::vector<size_t>& group_dims, const std::vector<double>& phis,
     const BatchOptions& options, BatchStats* stats) const {
+  static obs::Histogram* const hist = QueryHist("groupby_quantiles");
+  obs::ScopedLatencyTimer timer(hist);
+  obs::Span span("query.groupby");
   std::shared_ptr<const CubeSnapshot> snap = Snapshot();
   return msketch::GroupByQuantiles(snap->store, group_dims, phis, options,
                                    stats);
@@ -363,6 +509,9 @@ std::vector<GroupQuantiles> StreamingCube::GroupByQuantiles(
 std::vector<GroupThreshold> StreamingCube::GroupByThreshold(
     const std::vector<size_t>& group_dims, double phi, double t,
     const BatchOptions& options, BatchStats* stats) const {
+  static obs::Histogram* const hist = QueryHist("groupby_threshold");
+  obs::ScopedLatencyTimer timer(hist);
+  obs::Span span("query.threshold");
   std::shared_ptr<const CubeSnapshot> snap = Snapshot();
   return msketch::GroupByThreshold(snap->store, group_dims, phi, t, options,
                                    stats);

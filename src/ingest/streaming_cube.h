@@ -326,6 +326,11 @@ class StreamingCube {
   mutable std::atomic<uint64_t> dict_exclusive_locks_{0};
 
   std::vector<std::unique_ptr<IngestShard>> shards_;
+  /// Metrics collector registered with obs::GlobalRegistry(): scrape
+  /// time reads of the shard/publisher/durability counters (the hot
+  /// paths carry no registry calls). Unregistered in the destructor
+  /// before any member is torn down.
+  int obs_collector_id_ = 0;
   /// Set by EnableDurability/Recover; must outlive publisher_ (whose
   /// hook and sink call into it), hence declared before it.
   std::unique_ptr<DurableLog> log_;

@@ -1,0 +1,290 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace msketch {
+namespace obs {
+
+namespace {
+
+// Canonical number formatting so exporter output is byte-stable:
+// integers print without a fraction, everything else through %.9g
+// (bucket bounds are exact powers of two, which %.9g renders
+// deterministically).
+std::string FormatDouble(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(v)) return "NaN";
+  char buf[64];
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+  }
+  return buf;
+}
+
+std::string FormatU64(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+void AppendPromEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '\\': *out += "\\\\"; break;
+      case '"': *out += "\\\""; break;
+      case '\n': *out += "\\n"; break;
+      default: *out += c;
+    }
+  }
+}
+
+// Label block `{k="v",...}` with an optional extra label (used for
+// `le` on histogram bucket lines). Empty label set and no extra ->
+// empty string.
+std::string PromLabels(const Labels& labels, const char* extra_key = nullptr,
+                       const std::string& extra_value = "") {
+  if (labels.empty() && extra_key == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k;
+    out += "=\"";
+    AppendPromEscaped(&out, v);
+    out += "\"";
+  }
+  if (extra_key != nullptr) {
+    if (!first) out += ",";
+    out += extra_key;
+    out += "=\"";
+    AppendPromEscaped(&out, extra_value);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+const char* TypeString(Sample::Type type) {
+  switch (type) {
+    case Sample::Type::kCounter: return "counter";
+    case Sample::Type::kGauge: return "gauge";
+    case Sample::Type::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += static_cast<char>(c);
+        }
+    }
+  }
+}
+
+std::string JsonString(const std::string& s) {
+  std::string out = "\"";
+  AppendJsonEscaped(&out, s);
+  out += "\"";
+  return out;
+}
+
+const char* UnitString(HistogramUnit unit) {
+  switch (unit) {
+    case HistogramUnit::kSeconds: return "seconds";
+    case HistogramUnit::kValue: return "value";
+    case HistogramUnit::kCount: return "count";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+std::string ExportPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  out.reserve(4096);
+  const std::string* prev_family = nullptr;
+  for (const Sample& s : snapshot.samples) {
+    if (prev_family == nullptr || *prev_family != s.family) {
+      out += "# HELP ";
+      out += s.family;
+      out += " ";
+      AppendPromEscaped(&out, s.help.empty() ? s.family : s.help);
+      out += "\n# TYPE ";
+      out += s.family;
+      out += " ";
+      out += TypeString(s.type);
+      out += "\n";
+      prev_family = &s.family;
+    }
+    switch (s.type) {
+      case Sample::Type::kCounter:
+        out += s.family + PromLabels(s.labels) + " " +
+               FormatU64(s.counter_value) + "\n";
+        break;
+      case Sample::Type::kGauge:
+        out += s.family + PromLabels(s.labels) + " " +
+               FormatDouble(s.gauge_value) + "\n";
+        break;
+      case Sample::Type::kHistogram: {
+        const HistogramSnapshot& h = s.hist;
+        int highest = -1;
+        for (int i = 0; i < kHistogramBuckets; ++i) {
+          if (h.buckets[i] != 0) highest = i;
+        }
+        uint64_t cum = 0;
+        for (int i = 0; i <= highest && i < kHistogramBuckets - 1; ++i) {
+          cum += h.buckets[i];
+          out += s.family + "_bucket" +
+                 PromLabels(s.labels, "le",
+                            FormatDouble(h.BucketUpperBound(i))) +
+                 " " + FormatU64(cum) + "\n";
+        }
+        out += s.family + "_bucket" + PromLabels(s.labels, "le", "+Inf") +
+               " " + FormatU64(h.count) + "\n";
+        out += s.family + "_sum" + PromLabels(s.labels) + " " +
+               FormatDouble(h.Sum()) + "\n";
+        out += s.family + "_count" + PromLabels(s.labels) + " " +
+               FormatU64(h.count) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string ExportJson(const MetricsSnapshot& snapshot,
+                       const std::vector<SpanRecord>* spans) {
+  std::string out;
+  out.reserve(4096);
+  out += "{\"version\":1,\"metrics\":[";
+  bool first = true;
+  for (const Sample& s : snapshot.samples) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":" + JsonString(s.family) + ",\"labels\":{";
+    bool lfirst = true;
+    for (const auto& [k, v] : s.labels) {
+      if (!lfirst) out += ",";
+      lfirst = false;
+      out += JsonString(k) + ":" + JsonString(v);
+    }
+    out += "},\"type\":\"";
+    out += TypeString(s.type);
+    out += "\"";
+    switch (s.type) {
+      case Sample::Type::kCounter:
+        out += ",\"value\":" + FormatU64(s.counter_value);
+        break;
+      case Sample::Type::kGauge:
+        out += ",\"value\":" + FormatDouble(s.gauge_value);
+        break;
+      case Sample::Type::kHistogram: {
+        const HistogramSnapshot& h = s.hist;
+        out += ",\"unit\":\"";
+        out += UnitString(h.unit);
+        out += "\",\"count\":" + FormatU64(h.count) +
+               ",\"sum\":" + FormatDouble(h.Sum()) + ",\"buckets\":[";
+        bool bfirst = true;
+        for (int i = 0; i < kHistogramBuckets; ++i) {
+          if (h.buckets[i] == 0) continue;
+          if (!bfirst) out += ",";
+          bfirst = false;
+          out += "[" + FormatU64(static_cast<uint64_t>(i)) + "," +
+                 FormatU64(h.buckets[i]) + "]";
+        }
+        out += "]";
+        break;
+      }
+    }
+    out += "}";
+  }
+  out += "],\"spans\":[";
+  if (spans != nullptr) {
+    first = true;
+    for (const SpanRecord& r : *spans) {
+      if (r.name == nullptr) continue;
+      if (!first) out += ",";
+      first = false;
+      out += "{\"name\":" + JsonString(r.name) +
+             ",\"trace_id\":" + FormatU64(r.trace_id) +
+             ",\"depth\":" + FormatU64(static_cast<uint64_t>(r.depth)) +
+             ",\"start_ns\":" + FormatU64(r.start_ns) +
+             ",\"duration_ns\":" + FormatU64(r.duration_ns) + "}";
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+SnapshotWriter::SnapshotWriter(std::string path,
+                               std::chrono::milliseconds interval,
+                               MetricsRegistry* registry, Tracer* tracer)
+    : path_(std::move(path)),
+      interval_(interval),
+      registry_(registry),
+      tracer_(tracer) {
+  thread_ = std::thread([this] { Loop(); });
+}
+
+SnapshotWriter::~SnapshotWriter() { Stop(); }
+
+void SnapshotWriter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+bool SnapshotWriter::WriteOnce() {
+  const MetricsSnapshot snap = registry_->Scrape();
+  const std::vector<SpanRecord> spans = tracer_->Snapshot();
+  const std::string json = ExportJson(snap, &spans);
+  const std::string tmp = path_ + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool wrote =
+      std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return std::rename(tmp.c_str(), path_.c_str()) == 0;
+}
+
+void SnapshotWriter::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, interval_, [this] { return stop_; })) break;
+    lock.unlock();
+    WriteOnce();
+    lock.lock();
+  }
+  // Final snapshot on shutdown so short-lived processes still export.
+  lock.unlock();
+  WriteOnce();
+}
+
+}  // namespace obs
+}  // namespace msketch

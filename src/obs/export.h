@@ -1,0 +1,77 @@
+// Exporters for MetricsSnapshot: Prometheus text exposition format and
+// a structured JSON dump (consumed by tools/metrics_dump.py), plus an
+// optional background thread that writes periodic JSON snapshots via
+// tmp-file + atomic rename.
+
+#ifndef MSKETCH_OBS_EXPORT_H_
+#define MSKETCH_OBS_EXPORT_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace msketch {
+namespace obs {
+
+// Prometheus text format: one `# HELP` / `# TYPE` block per family,
+// histograms as cumulative `_bucket{le="..."}` series (emitted up to
+// the highest occupied bucket, then `+Inf`) plus `_sum` and `_count`.
+// Bucket bounds are exact powers of two over the tick scale, so the
+// output is byte-stable for a given snapshot.
+std::string ExportPrometheus(const MetricsSnapshot& snapshot);
+
+// Structured JSON:
+//   {"version": 1,
+//    "metrics": [{"name": ..., "labels": {...}, "type": "counter",
+//                 "value": N}
+//                | {..., "type": "gauge", "value": X}
+//                | {..., "type": "histogram", "unit": "seconds",
+//                   "count": N, "sum": X,
+//                   "buckets": [[bucket_index, count], ...]}],
+//    "spans": [{"name": ..., "trace_id": N, "depth": N,
+//               "start_ns": N, "duration_ns": N}, ...]}
+// Histogram buckets list only occupied buckets as [index, count]
+// pairs; bucket i >= 1 covers ticks [2^(i-1), 2^i) at `unit`'s scale.
+std::string ExportJson(const MetricsSnapshot& snapshot,
+                       const std::vector<SpanRecord>* spans = nullptr);
+
+// Background thread writing the JSON export of GlobalRegistry (or a
+// given registry/tracer) to `path` every `interval`. Writes go to
+// `path` + ".tmp" then rename, so readers never see a torn file.
+class SnapshotWriter {
+ public:
+  SnapshotWriter(std::string path, std::chrono::milliseconds interval,
+                 MetricsRegistry* registry = &GlobalRegistry(),
+                 Tracer* tracer = &GlobalTracer());
+  ~SnapshotWriter();
+  SnapshotWriter(const SnapshotWriter&) = delete;
+  SnapshotWriter& operator=(const SnapshotWriter&) = delete;
+
+  // Synchronous scrape + write; returns false on I/O failure.
+  bool WriteOnce();
+  void Stop();
+
+ private:
+  void Loop();
+
+  const std::string path_;
+  const std::chrono::milliseconds interval_;
+  MetricsRegistry* registry_;
+  Tracer* tracer_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace msketch
+
+#endif  // MSKETCH_OBS_EXPORT_H_

@@ -1,0 +1,216 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace msketch {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{true};
+
+bool SampleKeyLess(const Sample& a, const Sample& b) {
+  if (a.family != b.family) return a.family < b.family;
+  return a.labels < b.labels;
+}
+
+bool SampleKeyEq(const Sample& a, const Sample& b) {
+  return a.family == b.family && a.labels == b.labels;
+}
+
+// Fold `src` into `dst` (same family+labels): counters and histograms
+// add, gauges take the incoming value.
+void FoldSample(Sample* dst, const Sample& src) {
+  switch (dst->type) {
+    case Sample::Type::kCounter:
+      dst->counter_value += src.counter_value;
+      break;
+    case Sample::Type::kGauge:
+      dst->gauge_value = src.gauge_value;
+      break;
+    case Sample::Type::kHistogram:
+      dst->hist.MergeFrom(src.hist);
+      break;
+  }
+  if (dst->help.empty()) dst->help = src.help;
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+#if MSKETCH_OBS
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void MetricsEmitter::EmitCounter(const std::string& family,
+                                 const Labels& labels,
+                                 const std::string& help, uint64_t value) {
+  Sample s;
+  s.family = family;
+  s.labels = labels;
+  s.type = Sample::Type::kCounter;
+  s.help = help;
+  s.counter_value = value;
+  out_->push_back(std::move(s));
+}
+
+void MetricsEmitter::EmitGauge(const std::string& family,
+                               const Labels& labels, const std::string& help,
+                               double value) {
+  Sample s;
+  s.family = family;
+  s.labels = labels;
+  s.type = Sample::Type::kGauge;
+  s.help = help;
+  s.gauge_value = value;
+  out_->push_back(std::move(s));
+}
+
+void MetricsEmitter::EmitHistogram(const std::string& family,
+                                   const Labels& labels,
+                                   const std::string& help,
+                                   const HistogramSnapshot& hist) {
+  Sample s;
+  s.family = family;
+  s.labels = labels;
+  s.type = Sample::Type::kHistogram;
+  s.help = help;
+  s.hist = hist;
+  out_->push_back(std::move(s));
+}
+
+void MetricsSnapshot::Normalize() {
+  std::stable_sort(samples.begin(), samples.end(), SampleKeyLess);
+  std::vector<Sample> folded;
+  folded.reserve(samples.size());
+  for (Sample& s : samples) {
+    if (!folded.empty() && SampleKeyEq(folded.back(), s) &&
+        folded.back().type == s.type) {
+      FoldSample(&folded.back(), s);
+    } else {
+      folded.push_back(std::move(s));
+    }
+  }
+  samples = std::move(folded);
+}
+
+void MetricsSnapshot::MergeFrom(const MetricsSnapshot& other) {
+  samples.insert(samples.end(), other.samples.begin(), other.samples.end());
+  Normalize();
+}
+
+const Sample* MetricsSnapshot::Find(const std::string& family,
+                                    const Labels& labels) const {
+  for (const Sample& s : samples) {
+    if (s.family == family && s.labels == labels) return &s;
+  }
+  return nullptr;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& family,
+                                     const Labels& labels,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry<Counter>& e = counters_[InstrumentKey{family, labels}];
+  if (e.instrument == nullptr) {
+    e.instrument = std::make_unique<Counter>();
+    e.help = help;
+  }
+  return e.instrument.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& family,
+                                 const Labels& labels,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry<Gauge>& e = gauges_[InstrumentKey{family, labels}];
+  if (e.instrument == nullptr) {
+    e.instrument = std::make_unique<Gauge>();
+    e.help = help;
+  }
+  return e.instrument.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& family,
+                                         const Labels& labels,
+                                         const std::string& help,
+                                         HistogramUnit unit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry<Histogram>& e = histograms_[InstrumentKey{family, labels}];
+  if (e.instrument == nullptr) {
+    e.instrument = std::make_unique<Histogram>(unit);
+    e.help = help;
+  }
+  return e.instrument.get();
+}
+
+int MetricsRegistry::AddCollector(CollectorFn fn) {
+  std::lock_guard<std::mutex> lock(collector_mu_);
+  const int id = next_collector_id_++;
+  collectors_[id] = std::move(fn);
+  return id;
+}
+
+void MetricsRegistry::RemoveCollector(int id) {
+  std::lock_guard<std::mutex> lock(collector_mu_);
+  collectors_.erase(id);
+}
+
+MetricsSnapshot MetricsRegistry::Scrape() const {
+  MetricsSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [key, e] : counters_) {
+      Sample s;
+      s.family = key.family;
+      s.labels = key.labels;
+      s.type = Sample::Type::kCounter;
+      s.help = e.help;
+      s.counter_value = e.instrument->Value();
+      snap.samples.push_back(std::move(s));
+    }
+    for (const auto& [key, e] : gauges_) {
+      Sample s;
+      s.family = key.family;
+      s.labels = key.labels;
+      s.type = Sample::Type::kGauge;
+      s.help = e.help;
+      s.gauge_value = e.instrument->Value();
+      snap.samples.push_back(std::move(s));
+    }
+    for (const auto& [key, e] : histograms_) {
+      Sample s;
+      s.family = key.family;
+      s.labels = key.labels;
+      s.type = Sample::Type::kHistogram;
+      s.help = e.help;
+      s.hist = e.instrument->Snapshot();
+      snap.samples.push_back(std::move(s));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(collector_mu_);
+    MetricsEmitter emitter(&snap.samples);
+    for (const auto& [id, fn] : collectors_) {
+      (void)id;
+      fn(emitter);
+    }
+  }
+  snap.Normalize();
+  return snap;
+}
+
+MetricsRegistry& GlobalRegistry() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace obs
+}  // namespace msketch

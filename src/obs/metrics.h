@@ -1,0 +1,395 @@
+// Process-wide metrics: lock-free counters/gauges and deterministic
+// mergeable histograms, collected through a MetricsRegistry.
+//
+// The design dogfoods the paper's own idea: a histogram here is a
+// mergeable summary with a *fixed* bucket layout (64 log2 buckets over
+// integer ticks), so per-thread shards, per-subsystem instances, and
+// even snapshots from different processes merge with plain integer
+// adds — bit-identical regardless of shard count or merge order,
+// exactly like moments sketches merge across cells.
+//
+// Overhead contract (see src/obs/README.md):
+//   - Counter::Add / Histogram::Observe are a relaxed fetch_add on a
+//     cacheline-padded per-thread shard. No locks, no allocation.
+//   - Per-row hot paths carry NO registry calls at all: existing
+//     `*Stats` relaxed atomics are read at scrape time by registered
+//     collector callbacks (the Prometheus collector model). Direct
+//     instrumentation is reserved for coarse events (per epoch, per
+//     solve, per query, per WAL append).
+//   - `MetricsEnabled()` is a runtime kill switch that gates clock
+//     reads in timers and spans; compiling with -DMSKETCH_OBS=0
+//     removes the instrument bodies entirely.
+
+#ifndef MSKETCH_OBS_METRICS_H_
+#define MSKETCH_OBS_METRICS_H_
+
+#ifndef MSKETCH_OBS
+#define MSKETCH_OBS 1
+#endif
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace msketch {
+namespace obs {
+
+// Runtime kill switch. Compiled out (constant false) under
+// -DMSKETCH_OBS=0. Default: enabled.
+bool MetricsEnabled();
+void SetMetricsEnabled(bool enabled);
+
+inline uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Fixed shard count: determinism requires the bucket layout — not the
+// shard count — to define the merged result, but a fixed power of two
+// keeps the shard index computation a single mask.
+inline constexpr int kMetricShards = 16;
+inline constexpr int kHistogramBuckets = 64;
+
+// Ticks per unit for kSeconds/kValue histograms (kCount uses 1).
+// 2^30 ticks/second ≈ 0.93 ns resolution; bucket boundaries land on
+// exact powers of two so exporters format them exactly.
+inline constexpr uint64_t kTickScale = uint64_t{1} << 30;
+
+// Stable per-thread shard index in [0, kMetricShards).
+inline int ShardIndex() {
+  static std::atomic<int> next{0};
+  thread_local const int idx =
+      next.fetch_add(1, std::memory_order_relaxed) & (kMetricShards - 1);
+  return idx;
+}
+
+// Monotonic event count. Add() is wait-free; Value() sums the shards
+// (racy reads are fine: each shard is monotone).
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t n = 1) {
+#if MSKETCH_OBS
+    shards_[ShardIndex()].v.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  std::array<Shard, kMetricShards> shards_;
+};
+
+// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double v) {
+#if MSKETCH_OBS
+    value_.store(v, std::memory_order_relaxed);
+#else
+    (void)v;
+#endif
+  }
+
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+enum class HistogramUnit : uint8_t {
+  kSeconds,  // observations in seconds, stored as 2^30 ticks/s
+  kValue,    // dimensionless doubles (e.g. interval widths), 2^30 ticks
+  kCount,    // small integers (e.g. Newton iterations), 1 tick each
+};
+
+inline uint64_t UnitTickScale(HistogramUnit unit) {
+  return unit == HistogramUnit::kCount ? uint64_t{1} : kTickScale;
+}
+
+// Frozen, mergeable histogram state: integer bucket counts plus an
+// integer tick sum. Merging is element-wise addition, so the result is
+// bit-identical for any shard count and any merge order.
+struct HistogramSnapshot {
+  HistogramUnit unit = HistogramUnit::kSeconds;
+  std::array<uint64_t, kHistogramBuckets> buckets{};
+  uint64_t count = 0;
+  uint64_t sum_ticks = 0;
+
+  void MergeFrom(const HistogramSnapshot& other) {
+    for (int i = 0; i < kHistogramBuckets; ++i) buckets[i] += other.buckets[i];
+    count += other.count;
+    sum_ticks += other.sum_ticks;
+  }
+
+  double TickScale() const {
+    return static_cast<double>(UnitTickScale(unit));
+  }
+
+  // Sum of observations in the histogram's unit.
+  double Sum() const { return static_cast<double>(sum_ticks) / TickScale(); }
+
+  // Inclusive upper bound of bucket i, in the histogram's unit.
+  // Bucket 0 holds exactly tick value 0; bucket i >= 1 holds ticks in
+  // [2^(i-1), 2^i), so its reported bound is 2^i / scale.
+  double BucketUpperBound(int i) const {
+    if (i <= 0) return 0.0;
+    if (i >= kHistogramBuckets - 1) {
+      // Top bucket absorbs the clamp; report +Inf via exporters.
+      return std::numeric_limits<double>::infinity();
+    }
+    return static_cast<double>(uint64_t{1} << i) / TickScale();
+  }
+
+  // Deterministic quantile estimate: the upper bound of the first
+  // bucket whose cumulative count reaches ceil(phi * count).
+  double Quantile(double phi) const {
+    if (count == 0) return 0.0;
+    if (phi < 0.0) phi = 0.0;
+    if (phi > 1.0) phi = 1.0;
+    uint64_t target = static_cast<uint64_t>(phi * static_cast<double>(count));
+    if (target < 1) target = 1;
+    if (target > count) target = count;
+    uint64_t cum = 0;
+    for (int i = 0; i < kHistogramBuckets; ++i) {
+      cum += buckets[i];
+      if (cum >= target) {
+        if (i >= kHistogramBuckets - 1) {
+          // Clamp bucket: best deterministic answer is the mean tick.
+          return Sum() / static_cast<double>(count);
+        }
+        return BucketUpperBound(i);
+      }
+    }
+    return BucketUpperBound(kHistogramBuckets - 1);
+  }
+};
+
+// Fixed-layout log2 histogram with per-thread shards. Observations are
+// converted to integer ticks; everything after that is exact integer
+// arithmetic, which is what makes snapshots mergeable bit-identically.
+class Histogram {
+ public:
+  explicit Histogram(HistogramUnit unit = HistogramUnit::kSeconds)
+      : unit_(unit) {}
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  HistogramUnit unit() const { return unit_; }
+
+  // ticks == 0 -> bucket 0; otherwise bucket 1 + floor(log2(ticks)),
+  // clamped to the top bucket. Bucket i >= 1 covers [2^(i-1), 2^i).
+  static int BucketOf(uint64_t ticks) {
+    if (ticks == 0) return 0;
+    const int b = 64 - __builtin_clzll(ticks);
+    return b < kHistogramBuckets ? b : kHistogramBuckets - 1;
+  }
+
+  // Negative / NaN observations clamp to 0 ticks; huge values clamp to
+  // the top bucket rather than overflowing.
+  static uint64_t TicksOf(double value, HistogramUnit unit) {
+    if (!(value > 0.0)) return 0;
+    const double scaled =
+        value * static_cast<double>(UnitTickScale(unit)) + 0.5;
+    if (scaled >= 9.2e18) return ~uint64_t{0};
+    return static_cast<uint64_t>(scaled);
+  }
+
+  void Observe(double value) { ObserveTicks(TicksOf(value, unit_)); }
+
+  void ObserveTicks(uint64_t ticks) {
+#if MSKETCH_OBS
+    Shard& s = shards_[ShardIndex()];
+    s.buckets[BucketOf(ticks)].fetch_add(1, std::memory_order_relaxed);
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    s.sum_ticks.fetch_add(ticks, std::memory_order_relaxed);
+#else
+    (void)ticks;
+#endif
+  }
+
+  HistogramSnapshot Snapshot() const {
+    HistogramSnapshot snap;
+    snap.unit = unit_;
+    for (const Shard& s : shards_) {
+      for (int i = 0; i < kHistogramBuckets; ++i) {
+        snap.buckets[i] += s.buckets[i].load(std::memory_order_relaxed);
+      }
+      snap.count += s.count.load(std::memory_order_relaxed);
+      snap.sum_ticks += s.sum_ticks.load(std::memory_order_relaxed);
+    }
+    return snap;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<uint64_t>, kHistogramBuckets> buckets{};
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum_ticks{0};
+  };
+  HistogramUnit unit_;
+  std::array<Shard, kMetricShards> shards_;
+};
+
+// Sorted label set. Kept as a vector (not a map) because metric call
+// sites construct them once and registries compare them wholesale.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+// One scraped time series.
+struct Sample {
+  enum class Type : uint8_t { kCounter, kGauge, kHistogram };
+
+  std::string family;
+  Labels labels;
+  Type type = Type::kCounter;
+  std::string help;
+  uint64_t counter_value = 0;  // kCounter
+  double gauge_value = 0.0;    // kGauge
+  HistogramSnapshot hist;      // kHistogram
+};
+
+// A full scrape. Snapshots merge the way the underlying instruments
+// do: counters add, histograms add bucket-wise, gauges last-write-wins
+// (the argument's value survives).
+struct MetricsSnapshot {
+  std::vector<Sample> samples;
+
+  void MergeFrom(const MetricsSnapshot& other);
+  const Sample* Find(const std::string& family,
+                     const Labels& labels = {}) const;
+  // Sort by (family, labels) and fold duplicates. Scrape() returns
+  // normalized snapshots; call after hand-assembling one in tests.
+  void Normalize();
+};
+
+// Handed to collector callbacks at scrape time; emissions land in the
+// snapshot being assembled.
+class MetricsEmitter {
+ public:
+  explicit MetricsEmitter(std::vector<Sample>* out) : out_(out) {}
+
+  void EmitCounter(const std::string& family, const Labels& labels,
+                   const std::string& help, uint64_t value);
+  void EmitGauge(const std::string& family, const Labels& labels,
+                 const std::string& help, double value);
+  void EmitHistogram(const std::string& family, const Labels& labels,
+                     const std::string& help, const HistogramSnapshot& hist);
+
+ private:
+  std::vector<Sample>* out_;
+};
+
+// Registry: owns instruments (stable pointers for the process
+// lifetime) and collector callbacks that read external *Stats structs
+// at scrape time. Get* calls are idempotent on (family, labels).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& family, const Labels& labels = {},
+                      const std::string& help = "");
+  Gauge* GetGauge(const std::string& family, const Labels& labels = {},
+                  const std::string& help = "");
+  Histogram* GetHistogram(const std::string& family,
+                          const Labels& labels = {},
+                          const std::string& help = "",
+                          HistogramUnit unit = HistogramUnit::kSeconds);
+
+  // Collector callbacks run during Scrape() under the collector mutex,
+  // so RemoveCollector() blocks until in-flight invocations finish —
+  // safe to call from a subsystem destructor before freeing the stats
+  // the collector reads. Collectors must only use the emitter (no
+  // re-entrant registry mutation).
+  using CollectorFn = std::function<void(MetricsEmitter&)>;
+  int AddCollector(CollectorFn fn);
+  void RemoveCollector(int id);
+
+  MetricsSnapshot Scrape() const;
+
+ private:
+  struct InstrumentKey {
+    std::string family;
+    Labels labels;
+    bool operator<(const InstrumentKey& o) const {
+      if (family != o.family) return family < o.family;
+      return labels < o.labels;
+    }
+  };
+  template <typename T>
+  struct Entry {
+    std::unique_ptr<T> instrument;
+    std::string help;
+  };
+
+  mutable std::mutex mu_;
+  std::map<InstrumentKey, Entry<Counter>> counters_;
+  std::map<InstrumentKey, Entry<Gauge>> gauges_;
+  std::map<InstrumentKey, Entry<Histogram>> histograms_;
+
+  mutable std::mutex collector_mu_;
+  int next_collector_id_ = 1;
+  std::map<int, CollectorFn> collectors_;
+};
+
+// The process-wide registry every subsystem wires into.
+MetricsRegistry& GlobalRegistry();
+
+// RAII latency timer: observes elapsed seconds into `hist` on scope
+// exit. The clock is only read when metrics are enabled, so the
+// disabled cost is one relaxed load and a branch.
+class ScopedLatencyTimer {
+ public:
+  explicit ScopedLatencyTimer(Histogram* hist) {
+    if (hist != nullptr && MetricsEnabled()) {
+      hist_ = hist;
+      start_ns_ = NowNs();
+    }
+  }
+  ~ScopedLatencyTimer() {
+    if (hist_ != nullptr) {
+      hist_->Observe(static_cast<double>(NowNs() - start_ns_) * 1e-9);
+    }
+  }
+  ScopedLatencyTimer(const ScopedLatencyTimer&) = delete;
+  ScopedLatencyTimer& operator=(const ScopedLatencyTimer&) = delete;
+
+ private:
+  Histogram* hist_ = nullptr;
+  uint64_t start_ns_ = 0;
+};
+
+}  // namespace obs
+}  // namespace msketch
+
+#endif  // MSKETCH_OBS_METRICS_H_

@@ -1,0 +1,97 @@
+#include "obs/trace.h"
+
+namespace msketch {
+namespace obs {
+
+namespace {
+
+// Per-thread trace context: the outermost live span allocates an id,
+// children inherit it and bump the depth.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  int depth = 0;
+};
+
+thread_local TraceContext t_trace;
+
+uint64_t NextTraceId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Tracer::Tracer(size_t capacity, MetricsRegistry* registry)
+    : registry_(registry), capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.resize(capacity_);
+}
+
+Histogram* Tracer::HistogramFor(const char* name) {
+  // Called under mu_. The registry lookup allocates on the first
+  // occurrence of a span name only; afterwards it's one map probe.
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) return it->second;
+  Histogram* h = registry_->GetHistogram(
+      "msk_span_seconds", {{"span", name}},
+      "Span durations by name (query lifecycle + ingest path)",
+      HistogramUnit::kSeconds);
+  by_name_.emplace(name, h);
+  return h;
+}
+
+void Tracer::Record(const SpanRecord& record) {
+  Histogram* h = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ring_[next_] = record;
+    next_ = (next_ + 1) % capacity_;
+    if (next_ == 0) wrapped_ = true;
+    h = HistogramFor(record.name);
+  }
+  // Observe outside the lock — the histogram itself is lock-free.
+  h->Observe(static_cast<double>(record.duration_ns) * 1e-9);
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out;
+  if (wrapped_) {
+    out.reserve(capacity_);
+    out.insert(out.end(), ring_.begin() + next_, ring_.end());
+    out.insert(out.end(), ring_.begin(), ring_.begin() + next_);
+  } else {
+    out.insert(out.end(), ring_.begin(), ring_.begin() + next_);
+  }
+  return out;
+}
+
+Tracer& GlobalTracer() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Span::Start(const char* name, Tracer* tracer) {
+  tracer_ = tracer;
+  name_ = name;
+  if (t_trace.depth == 0) t_trace.trace_id = NextTraceId();
+  trace_id_ = t_trace.trace_id;
+  depth_ = t_trace.depth;
+  ++t_trace.depth;
+  start_ns_ = NowNs();
+}
+
+void Span::Finish() {
+  const uint64_t end_ns = NowNs();
+  --t_trace.depth;
+  if (t_trace.depth == 0) t_trace.trace_id = 0;
+  SpanRecord rec;
+  rec.name = name_;
+  rec.trace_id = trace_id_;
+  rec.depth = depth_;
+  rec.start_ns = start_ns_;
+  rec.duration_ns = end_ns - start_ns_;
+  tracer_->Record(rec);
+}
+
+}  // namespace obs
+}  // namespace msketch

@@ -5,6 +5,8 @@
 
 #include "common/bytes.h"
 #include "common/macros.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace msketch {
 
@@ -126,7 +128,19 @@ Status DurableLog::LogEpoch(uint64_t epoch,
   }
   BytesWriter payload;
   EncodeEpochRecord(epoch, dict_start, dict_delta, cells, &payload);
-  const Status st = wal_->AppendRecord(kWalRecordEpoch, payload.bytes());
+  // WAL append latency (encode excluded — the append+fsync is the part
+  // a slow disk stretches, and the part the publish path waits on).
+  static obs::Histogram* const append_hist =
+      obs::GlobalRegistry().GetHistogram(
+          "msk_wal_append_seconds", {},
+          "WAL epoch-record append latency (including fsync policy)",
+          obs::HistogramUnit::kSeconds);
+  Status st;
+  {
+    obs::ScopedLatencyTimer timer(append_hist);
+    obs::Span span("ingest.wal_append");
+    st = wal_->AppendRecord(kWalRecordEpoch, payload.bytes());
+  }
   if (!st.ok()) {
     log_broken_ = true;
     ++wal_append_failures_;
@@ -150,8 +164,18 @@ Status DurableLog::Checkpoint(uint64_t epoch, const CubeStore& store,
   const std::string ckpt_name = SeqName(kCheckpointPrefix, seq);
   // The heavy write runs outside mu_ so concurrent LogEpoch calls only
   // stall for the commit below, not the full state serialization.
-  Status st = WriteCheckpoint(env_, JoinPath(options_.dir, ckpt_name), epoch,
-                              store, dicts);
+  static obs::Histogram* const ckpt_hist =
+      obs::GlobalRegistry().GetHistogram(
+          "msk_checkpoint_seconds", {},
+          "Full-state checkpoint serialization+write latency",
+          obs::HistogramUnit::kSeconds);
+  Status st;
+  {
+    obs::ScopedLatencyTimer timer(ckpt_hist);
+    obs::Span span("ingest.checkpoint");
+    st = WriteCheckpoint(env_, JoinPath(options_.dir, ckpt_name), epoch,
+                         store, dicts);
+  }
   if (!st.ok()) {
     std::lock_guard<std::mutex> lock(mu_);
     ++checkpoint_failures_;

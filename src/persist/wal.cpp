@@ -4,6 +4,7 @@
 
 #include "common/crc32c.h"
 #include "common/macros.h"
+#include "obs/metrics.h"
 
 namespace msketch {
 
@@ -173,6 +174,13 @@ Status WalWriter::AppendRecord(uint8_t type,
 }
 
 Status WalWriter::Sync() {
+  // Fsync latency dominates the durability hook under kPerEpoch; the
+  // distribution (not the mean) is what exposes a stalling disk.
+  static obs::Histogram* const fsync_hist =
+      obs::GlobalRegistry().GetHistogram(
+          "msk_wal_fsync_seconds", {}, "WAL fsync latency (with retries)",
+          obs::HistogramUnit::kSeconds);
+  obs::ScopedLatencyTimer timer(fsync_hist);
   Status last;
   auto backoff = options_.retry_backoff;
   for (int attempt = 0; attempt <= options_.max_write_retries; ++attempt) {

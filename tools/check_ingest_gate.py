@@ -12,8 +12,9 @@ instead of failing on an unmeasurable configuration.
 Usage: check_ingest_gate.py BENCH_ingest.json [--threshold=0.5]
 """
 
-import json
 import sys
+
+from gate_common import load_sections
 
 
 def main(argv):
@@ -26,32 +27,9 @@ def main(argv):
         if arg.startswith("--threshold="):
             threshold = float(arg.split("=", 1)[1])
 
-    # A missing or empty results file means the bench never ran (or was
-    # skipped, e.g. a durability-only CI lane) — that is a skip, not a
-    # parse traceback. A file that exists with content but won't parse
-    # means the bench crashed mid-write, which must fail loudly rather
-    # than masquerade as a gate error.
-    try:
-        with open(path) as f:
-            text = f.read()
-    except FileNotFoundError:
-        print(f"SKIP: {path} not found; bench_ingest did not run "
-              f"(run it to produce the gate input)")
-        return 0
-    if not text.strip():
-        print(f"SKIP: {path} is empty; bench_ingest produced no results")
-        return 0
-    try:
-        data = json.loads(text)
-    except json.JSONDecodeError as e:
-        print(f"FAIL: {path} is not valid JSON ({e}); bench_ingest "
-              f"likely crashed mid-write — rerun the bench")
-        return 1
-    if not isinstance(data, dict):
-        print(f"FAIL: {path} top level is {type(data).__name__}, "
-              f"expected an object with a 'sections' list")
-        return 1
-    rows = data.get("sections", [])
+    rows, rc = load_sections(path, "bench_ingest")
+    if rc is not None:
+        return rc
 
     ceiling = None
     for row in rows:

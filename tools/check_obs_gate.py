@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""CI gate over BENCH_obs.json: the telemetry layer must be near-free.
+
+Reads the "obs" section emitted by bench_ingest — the same single-shard
+single-writer fill timed with metrics enabled and disabled, reps
+interleaved so machine drift hits both arms equally — and fails if the
+enabled arm's throughput drops more than --max-drop (default 3%) below
+the disabled arm. An enabled arm *faster* than disabled is measurement
+noise and passes; the gate exists to catch someone putting a mutex or
+an allocation on the per-row path, which shows up as tens of percent,
+not fractions of one.
+
+Usage: check_obs_gate.py BENCH_obs.json [--max-drop=0.03]
+"""
+
+import sys
+
+from gate_common import load_sections
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    path = argv[1]
+    max_drop = 0.03
+    for arg in argv[2:]:
+        if arg.startswith("--max-drop="):
+            max_drop = float(arg.split("=", 1)[1])
+
+    rows, rc = load_sections(path, "bench_ingest")
+    if rc is not None:
+        return rc
+
+    arms = {}
+    for row in rows:
+        if row.get("section") == "obs":
+            arms[row.get("name")] = row
+    enabled = arms.get("ingest_enabled")
+    disabled = arms.get("ingest_disabled")
+    if enabled is None or disabled is None:
+        print(f"FAIL: {path} is missing the ingest_enabled/"
+              f"ingest_disabled obs rows — bench_ingest output format "
+              f"changed?")
+        return 1
+
+    on = enabled.get("mrows_per_s", 0.0)
+    off = disabled.get("mrows_per_s", 0.0)
+    if not off > 0:
+        print(f"FAIL: disabled-arm throughput is {off}; the bench "
+              f"measured nothing")
+        return 1
+
+    floor = (1.0 - max_drop) * off
+    ratio = on / off
+    verdict = "PASS" if on >= floor else "FAIL"
+    print(
+        f"{verdict}: metrics-enabled ingest {on:.1f} M rows/s vs "
+        f"disabled {off:.1f} M rows/s ({ratio:.3f}x, floor "
+        f"{floor:.1f} = {1.0 - max_drop:.0%}); "
+        f"reps={enabled.get('reps', 0):.0f}, "
+        f"enabled median {enabled.get('median_ms', 0.0):.1f} ms / "
+        f"p95 {enabled.get('p95_ms', 0.0):.1f} ms"
+    )
+    return 0 if verdict == "PASS" else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -15,8 +15,9 @@ produce a bounded answer.
 Usage: check_router_gate.py BENCH_router.json
 """
 
-import json
 import sys
+
+from gate_common import load_sections
 
 
 def main(argv):
@@ -25,25 +26,9 @@ def main(argv):
         return 2
     path = argv[1]
 
-    # Missing/empty input means the bench never ran — skip, don't fail;
-    # present-but-unparseable means it crashed mid-write — fail loudly.
-    try:
-        with open(path) as f:
-            text = f.read()
-    except FileNotFoundError:
-        print(f"SKIP: {path} not found; bench_router did not run "
-              f"(run it to produce the gate input)")
-        return 0
-    if not text.strip():
-        print(f"SKIP: {path} is empty; bench_router produced no results")
-        return 0
-    try:
-        data = json.loads(text)
-    except json.JSONDecodeError as e:
-        print(f"FAIL: {path} is not valid JSON ({e}); bench_router "
-              f"likely crashed mid-write — rerun the bench")
-        return 1
-    rows = data.get("sections", []) if isinstance(data, dict) else []
+    rows, rc = load_sections(path, "bench_router")
+    if rc is not None:
+        return rc
     checked = 0
     failures = []
     for row in rows:

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Shared input triage for the tools/check_*_gate.py CI gates.
+
+Every gate reads a BENCH_*.json emitted by a bench binary and applies
+the same triage before looking at any numbers: a missing or empty file
+means the bench never ran (or was skipped, e.g. a durability-only CI
+lane) — that is a SKIP, not a parse traceback. A file that exists with
+content but will not parse means the bench crashed mid-write, which
+must FAIL loudly rather than masquerade as a gate error.
+
+Not a gate itself — imported by the check_*_gate.py scripts.
+"""
+
+import json
+
+SKIP = 0
+FAIL = 1
+
+
+def load_sections(path, bench):
+    """Loads the "sections" rows of a BENCH_*.json report.
+
+    Returns (rows, None) on success, or (None, exit_code) when the gate
+    should return immediately (a SKIP/FAIL line has already been
+    printed). `bench` names the binary that produces the file, so the
+    messages tell the reader what to rerun.
+    """
+    try:
+        with open(path) as f:
+            text = f.read()
+    except FileNotFoundError:
+        print(f"SKIP: {path} not found; {bench} did not run "
+              f"(run it to produce the gate input)")
+        return None, SKIP
+    if not text.strip():
+        print(f"SKIP: {path} is empty; {bench} produced no results")
+        return None, SKIP
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as e:
+        print(f"FAIL: {path} is not valid JSON ({e}); {bench} "
+              f"likely crashed mid-write — rerun the bench")
+        return None, FAIL
+    if not isinstance(data, dict):
+        print(f"FAIL: {path} top level is {type(data).__name__}, "
+              f"expected an object with a 'sections' list")
+        return None, FAIL
+    return data.get("sections", []), None

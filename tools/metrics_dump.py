@@ -1,0 +1,259 @@
+#!/usr/bin/env python3
+"""Pretty-print and verify a metrics JSON export (src/obs/export.h).
+
+Reads the structured JSON written by msketch::obs::ExportJson — a
+SnapshotWriter file, or the examples/obs_scrape binary's stdout piped
+in — validates every sample against the exporter schema (version 1:
+counters carry a non-negative integer value, histograms carry a unit,
+sparse log2 tick buckets, and a count that must equal the bucket
+total), and prints one line per sample with histogram count / sum /
+p50 / p99 reconstructed from the buckets.
+
+Malformed input (bad JSON, unknown types, bucket totals that disagree
+with the count) exits non-zero, as does a missing --require'd family —
+CI pipes a scrape through `--require` per subsystem to prove one scrape
+covers ingest, publisher, solver, router, and the WAL.
+
+Usage: metrics_dump.py [metrics.json] [--require=FAMILY ...] [--spans]
+
+  reads stdin when no file is given
+  --require=F  fail unless a metric family named F is present (repeat
+               the flag once per family)
+  --spans      also print the captured span ring
+"""
+
+import json
+import math
+import sys
+
+HISTOGRAM_BUCKETS = 64
+TICK_SCALE = 1 << 30  # ticks per unit for seconds/value histograms
+UNITS = ("seconds", "value", "count")
+
+
+def bucket_upper_bound(idx, unit):
+    """Upper bound of log2 tick bucket `idx` in the histogram's unit
+    (mirrors HistogramSnapshot::BucketUpperBound in src/obs/metrics.h)."""
+    if idx <= 0:
+        return 0.0
+    if idx >= HISTOGRAM_BUCKETS - 1:
+        return math.inf
+    scale = 1 if unit == "count" else TICK_SCALE
+    return float(1 << idx) / scale
+
+
+def quantile(buckets, count, unit, phi):
+    """Upper bound of the bucket holding the phi-quantile observation."""
+    if count == 0:
+        return 0.0
+    target = max(1, math.ceil(phi * count))
+    cum = 0
+    for idx, n in buckets:
+        cum += n
+        if cum >= target:
+            return bucket_upper_bound(idx, unit)
+    return bucket_upper_bound(buckets[-1][0], unit) if buckets else 0.0
+
+
+def fmt_quantity(v, unit):
+    if math.isinf(v):
+        return "+Inf"
+    if unit == "seconds":
+        if v < 1e-3:
+            return f"{v * 1e6:.3g}us"
+        if v < 1.0:
+            return f"{v * 1e3:.3g}ms"
+        return f"{v:.3g}s"
+    return f"{v:.6g}"
+
+
+def fmt_labels(labels):
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def check(cond, where, why, errors):
+    if not cond:
+        errors.append(f"{where}: {why}")
+    return cond
+
+
+def validate_metric(i, m, errors):
+    where = f"metrics[{i}]"
+    if not check(isinstance(m, dict), where, "not an object", errors):
+        return None
+    name = m.get("name")
+    if not check(isinstance(name, str) and name, where,
+                 "missing or empty name", errors):
+        return None
+    where = f"metrics[{i}] ({name})"
+    labels = m.get("labels")
+    check(isinstance(labels, dict)
+          and all(isinstance(k, str) and isinstance(v, str)
+                  for k, v in labels.items()),
+          where, "labels must be a string-to-string object", errors)
+    mtype = m.get("type")
+    if not check(mtype in ("counter", "gauge", "histogram"), where,
+                 f"unknown type {mtype!r}", errors):
+        return name
+    if mtype == "counter":
+        v = m.get("value")
+        check(isinstance(v, int) and v >= 0, where,
+              f"counter value {v!r} is not a non-negative integer", errors)
+    elif mtype == "gauge":
+        v = m.get("value")
+        check(isinstance(v, (int, float)) and not isinstance(v, bool),
+              where, f"gauge value {v!r} is not a number", errors)
+    else:
+        check(m.get("unit") in UNITS, where,
+              f"histogram unit {m.get('unit')!r} not in {UNITS}", errors)
+        count = m.get("count")
+        check(isinstance(count, int) and count >= 0, where,
+              f"histogram count {count!r} is not a non-negative integer",
+              errors)
+        check(isinstance(m.get("sum"), (int, float)), where,
+              "histogram sum is not a number", errors)
+        buckets = m.get("buckets")
+        if check(isinstance(buckets, list), where,
+                 "histogram buckets is not a list", errors):
+            total = 0
+            prev_idx = -1
+            for b in buckets:
+                if not check(
+                        isinstance(b, list) and len(b) == 2
+                        and isinstance(b[0], int) and isinstance(b[1], int),
+                        where, f"bucket entry {b!r} is not [index, count]",
+                        errors):
+                    continue
+                idx, n = b
+                check(0 <= idx < HISTOGRAM_BUCKETS, where,
+                      f"bucket index {idx} out of range", errors)
+                check(idx > prev_idx, where,
+                      f"bucket indexes not strictly increasing at {idx}",
+                      errors)
+                check(n > 0, where,
+                      f"bucket {idx} has non-positive count {n}", errors)
+                prev_idx = idx
+                total += n
+            if isinstance(count, int):
+                check(total == count, where,
+                      f"bucket total {total} != count {count} "
+                      f"(a shard merge went missing)", errors)
+    return name
+
+
+def print_metric(m):
+    name = m["name"] + fmt_labels(m.get("labels", {}))
+    mtype = m["type"]
+    if mtype == "counter":
+        print(f"  counter    {name} = {m['value']}")
+    elif mtype == "gauge":
+        print(f"  gauge      {name} = {m['value']:.6g}")
+    else:
+        unit = m["unit"]
+        count = m["count"]
+        buckets = [tuple(b) for b in m["buckets"]]
+        p50 = quantile(buckets, count, unit, 0.50)
+        p99 = quantile(buckets, count, unit, 0.99)
+        print(f"  histogram  {name} count={count} "
+              f"sum={fmt_quantity(m['sum'], unit)} "
+              f"p50<={fmt_quantity(p50, unit)} "
+              f"p99<={fmt_quantity(p99, unit)}")
+
+
+def main(argv):
+    files = [a for a in argv[1:] if not a.startswith("--")]
+    required = []
+    want_spans = False
+    for a in argv[1:]:
+        if a.startswith("--require="):
+            required.append(a.split("=", 1)[1])
+        elif a == "--spans":
+            want_spans = True
+        elif a.startswith("--"):
+            print(__doc__)
+            return 2
+    if len(files) > 1:
+        print(__doc__)
+        return 2
+
+    source = files[0] if files else "<stdin>"
+    try:
+        text = open(files[0]).read() if files else sys.stdin.read()
+    except OSError as e:
+        print(f"FAIL: cannot read {source}: {e}")
+        return 1
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as e:
+        print(f"FAIL: {source} is not valid JSON ({e})")
+        return 1
+
+    errors = []
+    if not isinstance(data, dict):
+        print(f"FAIL: {source}: top level is "
+              f"{type(data).__name__}, expected an object")
+        return 1
+    if data.get("version") != 1:
+        errors.append(f"version is {data.get('version')!r}, expected 1")
+    metrics = data.get("metrics")
+    if not isinstance(metrics, list):
+        print(f"FAIL: {source}: 'metrics' is not a list")
+        return 1
+    spans = data.get("spans", [])
+    if not isinstance(spans, list):
+        errors.append("'spans' is not a list")
+        spans = []
+
+    families = set()
+    for i, m in enumerate(metrics):
+        name = validate_metric(i, m, errors)
+        if name:
+            families.add(name)
+    for i, s in enumerate(spans):
+        where = f"spans[{i}]"
+        if not check(isinstance(s, dict), where, "not an object", errors):
+            continue
+        check(isinstance(s.get("name"), str) and s.get("name"), where,
+              "missing span name", errors)
+        for field in ("trace_id", "depth", "start_ns", "duration_ns"):
+            v = s.get(field)
+            check(isinstance(v, int) and v >= 0, where,
+                  f"{field} {v!r} is not a non-negative integer", errors)
+
+    print(f"{source}: {len(metrics)} samples across "
+          f"{len(families)} families, {len(spans)} spans")
+    for m in metrics:
+        if isinstance(m, dict) and m.get("type") in ("counter", "gauge",
+                                                     "histogram"):
+            try:
+                print_metric(m)
+            except (KeyError, TypeError):
+                pass  # already reported by validation
+
+    if want_spans:
+        print(f"span ring ({len(spans)} records, oldest first):")
+        for s in spans:
+            if isinstance(s, dict):
+                indent = "  " * (1 + s.get("depth", 0))
+                print(f"{indent}{s.get('name')} trace={s.get('trace_id')} "
+                      f"{fmt_quantity(s.get('duration_ns', 0) * 1e-9, 'seconds')}")
+
+    missing = [f for f in required if f not in families]
+    for f in missing:
+        print(f"FAIL: required metric family {f!r} missing from scrape")
+    for e in errors:
+        print(f"FAIL: {e}")
+    if errors or missing:
+        print(f"metrics dump: {len(errors)} schema error(s), "
+              f"{len(missing)} missing famil(y/ies)")
+        return 1
+    if required:
+        print(f"all {len(required)} required families present")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
