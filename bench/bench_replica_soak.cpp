@@ -1,0 +1,283 @@
+// Replication fault-injection soak (CI robustness artifact, not a
+// paper figure).
+//
+// Builds a leader StreamingCube with replication enabled, runs one
+// clean leader->follower exchange to count its frames and capture the
+// wire stream (REPLICA_frames.bin, validated by tools/wal_dump.py
+// --frames), then sweeps every fault kind across the exchange's frame
+// boundaries. Each scenario syncs a fresh follower with the fault
+// armed on the first connection, reconnecting on resets, and records
+// whether it converged to the leader's epoch and how many retry
+// rounds it burned.
+//
+// Sections (emitted to BENCH_replica.json via bench_util's JsonReport):
+//   clean   the unfaulted exchange (frame count, frames captured)
+//   soak    one row per fault scenario: converged flag, retries vs
+//           retry_budget, resyncs, connections, certified flag
+//
+// tools/check_replica_gate.py fails CI on any non-converged scenario
+// or any scenario whose retries exceed its budget. Default sweep
+// strides the frame index to keep CI fast; --full covers every frame.
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "ingest/streaming_cube.h"
+#include "replica/backoff.h"
+#include "replica/fault_transport.h"
+#include "replica/replica_applier.h"
+#include "replica/replication_source.h"
+#include "replica/transport.h"
+
+namespace msketch {
+namespace bench {
+namespace {
+
+using std::chrono::milliseconds;
+
+constexpr int kK = 7;
+constexpr size_t kDims = 2;
+constexpr int kKllK = 32;
+
+ReplicationOptions SourceOptions() {
+  ReplicationOptions opt;
+  opt.history_epochs = 2;  // fresh followers go through the snapshot
+  opt.chunk_bytes = 512;
+  opt.heartbeat_interval = milliseconds(15);
+  opt.recv_poll = milliseconds(2);
+  opt.send_backoff.initial = milliseconds(1);
+  opt.send_backoff.max = milliseconds(4);
+  opt.send_backoff.max_attempts = 6;
+  return opt;
+}
+
+ReplicaOptions ApplierOptions() {
+  ReplicaOptions opt;
+  opt.kll_k = kKllK;
+  opt.retry.initial = milliseconds(1);
+  opt.retry.max = milliseconds(8);
+  opt.retry.max_attempts = 8;
+  opt.recv_timeout = milliseconds(40);
+  opt.heartbeat_miss_budget = 4;
+  return opt;
+}
+
+struct Leader {
+  std::unique_ptr<ReplicationSource> source;
+  std::unique_ptr<StreamingCube> cube;
+};
+
+Leader MakeLeader(size_t epochs) {
+  IngestOptions options;
+  options.num_shards = 2;
+  options.enable_kll = true;
+  options.kll_k = kKllK;
+  Leader leader;
+  leader.cube =
+      std::make_unique<StreamingCube>(kDims, MomentsSummary(kK), options);
+  leader.source = std::make_unique<ReplicationSource>(SourceOptions());
+  Status st = leader.cube->EnableReplication(leader.source.get());
+  if (!st.ok()) {
+    std::fprintf(stderr, "EnableReplication: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  static const char* kRegions[] = {"us-east", "eu-west", "ap-south"};
+  static const char* kServices[] = {"api", "web", "db", "cache"};
+  for (size_t e = 0; e < epochs; ++e) {
+    for (size_t i = 0; i < 40; ++i) {
+      const double v = 0.5 + 0.37 * static_cast<double>((i * 7 + e) % 23) +
+                       static_cast<double>(e);
+      (void)leader.cube->AppendRow(
+          {kRegions[(i + e) % 3], kServices[(i * 3 + e) % 4]}, v);
+    }
+    leader.cube->Flush();
+  }
+  return leader;
+}
+
+enum class FaultKind {
+  kNone,
+  kDrop,
+  kDuplicate,
+  kReorder,
+  kTear,
+  kFlip,
+  kDelay,
+  kReset,
+};
+
+const char* FaultName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kDuplicate: return "duplicate";
+    case FaultKind::kReorder: return "reorder";
+    case FaultKind::kTear: return "tear";
+    case FaultKind::kFlip: return "flip";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kReset: return "reset";
+  }
+  return "?";
+}
+
+void ArmFault(FaultInjectingTransport* t, FaultKind kind, int64_t index) {
+  switch (kind) {
+    case FaultKind::kNone: break;
+    case FaultKind::kDrop: t->DropFrame(index); break;
+    case FaultKind::kDuplicate: t->DuplicateFrame(index); break;
+    case FaultKind::kReorder: t->ReorderFrame(index); break;
+    case FaultKind::kTear: t->TearFrame(index, 5); break;
+    case FaultKind::kFlip: t->FlipBit(index, 37); break;
+    case FaultKind::kDelay: t->DelayFrame(index, 20); break;
+    case FaultKind::kReset: t->ResetAtFrame(index); break;
+  }
+}
+
+struct ScenarioResult {
+  bool converged = false;
+  uint64_t frames_first_connection = 0;
+  int connections = 0;
+  bool certified_during_outage = true;
+  ReplicaApplierStats applier_stats;
+};
+
+/// One scenario: fresh follower, fault armed on the first connection,
+/// clean reconnects after, until converged or the attempt budget ends.
+/// `capture` (optional) receives every pre-fault frame of the first
+/// connection — the wire stream tools/wal_dump.py --frames audits.
+ScenarioResult RunScenario(Leader* leader, FaultKind kind, int64_t index,
+                           std::vector<uint8_t>* capture = nullptr) {
+  ScenarioResult r;
+  ReplicaApplier applier(kK, kDims, ApplierOptions());
+  const uint64_t target = leader->cube->last_published_epoch();
+  bool armed = false;
+  for (int conn = 0; conn < 6; ++conn) {
+    ++r.connections;
+    auto pipe = MakeInProcessPipe();
+    FaultInjectingTransport leader_end(std::move(pipe.first));
+    std::unique_ptr<Transport> follower_end = std::move(pipe.second);
+    if (!armed) {
+      ArmFault(&leader_end, kind, index);
+      if (capture != nullptr) {
+        leader_end.SetSendObserver([capture](const std::vector<uint8_t>& f) {
+          capture->insert(capture->end(), f.begin(), f.end());
+        });
+      }
+      armed = true;
+    }
+    std::thread serve([&] { (void)leader->source->Serve(&leader_end); });
+    Status st = applier.SyncWithRetry(follower_end.get());
+    leader->source->RequestStop();
+    follower_end->Close();
+    serve.join();
+    if (conn == 0) r.frames_first_connection = leader_end.stats().frames_sent;
+    if (st.ok() && applier.applied_epoch() >= target) {
+      r.converged = true;
+      break;
+    }
+    const bool retryable =
+        IsRetryable(st) || st.code() == StatusCode::kCorruption;
+    if (!st.ok() && !retryable) break;
+    if (applier.applied_epoch() > 0) {
+      CertifiedQuantile q = applier.QueryQuantileCertified({"", ""}, 0.5);
+      if (!q.certified || !q.status.ok()) r.certified_during_outage = false;
+    }
+  }
+  r.applier_stats = applier.stats();
+  return r;
+}
+
+int Main(int argc, char** argv) {
+  Args args(argc, argv);
+  PrintHeader("Replication soak: every fault kind across the exchange");
+  JsonReport report("replica");
+
+  Leader leader = MakeLeader(/*epochs=*/5);
+  const uint64_t retry_budget_per_conn =
+      static_cast<uint64_t>(ApplierOptions().retry.max_attempts);
+
+  // Clean run: frame count + wire capture for wal_dump --frames.
+  std::vector<uint8_t> capture;
+  Timer clean_timer;
+  ScenarioResult clean =
+      RunScenario(&leader, FaultKind::kNone, -1, &capture);
+  const double clean_ms = clean_timer.Millis();
+  if (!clean.converged) {
+    std::fprintf(stderr, "clean exchange did not converge\n");
+    return 1;
+  }
+  const int64_t frames = static_cast<int64_t>(clean.frames_first_connection);
+  {
+    std::FILE* f = std::fopen("REPLICA_frames.bin", "wb");
+    if (f != nullptr) {
+      std::fwrite(capture.data(), 1, capture.size(), f);
+      std::fclose(f);
+      std::printf("wrote REPLICA_frames.bin (%zu bytes, %lld frames)\n",
+                  capture.size(), static_cast<long long>(frames));
+    }
+  }
+  report.Add("clean", "exchange", {clean_ms},
+             {{"frames", static_cast<double>(frames)},
+              {"capture_bytes", static_cast<double>(capture.size())}},
+             {{"converged", true}});
+
+  // Fault sweep. Default strides the frame index (CI time); --full
+  // hits every boundary.
+  const int64_t stride =
+      args.Has("full") ? 1
+                       : static_cast<int64_t>(args.GetU64("stride", 3));
+  const FaultKind kinds[] = {FaultKind::kDrop,  FaultKind::kDuplicate,
+                             FaultKind::kReorder, FaultKind::kTear,
+                             FaultKind::kFlip,  FaultKind::kDelay,
+                             FaultKind::kReset};
+  int failures = 0;
+  std::printf("\n%-12s %-7s %-10s %-8s %-8s %s\n", "fault", "frame",
+              "converged", "retries", "resyncs", "connections");
+  for (FaultKind kind : kinds) {
+    for (int64_t index = 0; index < frames; index += stride) {
+      Timer t;
+      ScenarioResult r = RunScenario(&leader, kind, index);
+      const double ms = t.Millis();
+      const uint64_t budget =
+          retry_budget_per_conn * static_cast<uint64_t>(r.connections);
+      const bool within_budget = r.applier_stats.round_retries <= budget;
+      if (!r.converged || !within_budget) ++failures;
+      std::printf("%-12s %-7lld %-10s %-8llu %-8llu %d\n", FaultName(kind),
+                  static_cast<long long>(index),
+                  r.converged ? "yes" : "NO",
+                  static_cast<unsigned long long>(
+                      r.applier_stats.round_retries),
+                  static_cast<unsigned long long>(r.applier_stats.resyncs),
+                  r.connections);
+      char name[64];
+      std::snprintf(name, sizeof(name), "%s@%lld", FaultName(kind),
+                    static_cast<long long>(index));
+      report.Add(
+          "soak", name, {ms},
+          {{"frame", static_cast<double>(index)},
+           {"retries", static_cast<double>(r.applier_stats.round_retries)},
+           {"retry_budget", static_cast<double>(budget)},
+           {"resyncs", static_cast<double>(r.applier_stats.resyncs)},
+           {"connections", static_cast<double>(r.connections)},
+           {"gaps_detected",
+            static_cast<double>(r.applier_stats.gaps_detected)},
+           {"corrupt_frames",
+            static_cast<double>(r.applier_stats.corrupt_frames)}},
+          {{"converged", r.converged},
+           {"certified_during_outage", r.certified_during_outage}});
+    }
+  }
+  std::printf("\n%d scenario failure(s)\n", failures);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace msketch
+
+int main(int argc, char** argv) { return msketch::bench::Main(argc, argv); }

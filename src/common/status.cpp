@@ -17,6 +17,7 @@ const char* CodeName(StatusCode code) {
     case StatusCode::kIOError: return "IOError";
     case StatusCode::kCorruption: return "Corruption";
     case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+    case StatusCode::kUnavailable: return "Unavailable";
   }
   return "Unknown";
 }

@@ -26,6 +26,7 @@ enum class StatusCode : int {
   kIOError = 9,           // file system operation failed (may be transient)
   kCorruption = 10,       // on-disk data failed a checksum or invariant
   kDeadlineExceeded = 11,  // bounded wait expired (e.g. backpressure stall)
+  kUnavailable = 12,       // peer/resource transiently unreachable — retry
 };
 
 /// Lightweight status object. Ok status carries no allocation.
@@ -67,6 +68,9 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -86,6 +90,24 @@ class Status {
 
   std::shared_ptr<State> state_;  // shared so Status is cheap to copy
 };
+
+/// Classifies a status by whether the same operation may succeed if
+/// simply retried: kUnavailable (peer down, link reset), kIOError
+/// (transient file-system failures — persistent ones exhaust the
+/// caller's retry budget), and kDeadlineExceeded (a bounded wait that
+/// may find the resource free next time). Retry loops branch on this,
+/// never on message text. Corruption, serialization, and argument
+/// errors are deterministic — retrying them wastes the budget.
+inline bool IsRetryable(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kIOError:
+    case StatusCode::kDeadlineExceeded:
+      return true;
+    default:
+      return false;
+  }
+}
 
 /// Result<T> holds either a value or an error Status.
 template <typename T>

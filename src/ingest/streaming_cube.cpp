@@ -6,6 +6,7 @@
 #include "common/macros.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "replica/replication_source.h"
 
 namespace msketch {
 
@@ -228,7 +229,45 @@ Status StreamingCube::LogEpochDurable(
   // The current dictionary version covers every id in the batch: rows
   // encode against a version no newer than the one visible at publish
   // time, and versions only grow.
+  //
+  // Replication tee first: OnEpoch never fails, and followers want the
+  // epoch even when the durable log is broken (availability-first).
+  if (replica_source_ != nullptr) {
+    replica_source_->OnEpoch(epoch, refs, Dicts()->dicts);
+  }
+  if (log_ == nullptr) return Status::OK();
   return log_->LogEpoch(epoch, refs, Dicts()->dicts);
+}
+
+Status StreamingCube::EnableReplication(ReplicationSource* source) {
+  if (source == nullptr) {
+    return Status::InvalidArgument("EnableReplication: null source");
+  }
+  if (replica_source_ != nullptr) {
+    return Status::InvalidArgument("EnableReplication: already enabled");
+  }
+  replica_source_ = source;
+  source->SetShape(prototype_k_, num_dims_,
+                   options_.enable_kll ? options_.kll_k : 0);
+  source->SetSnapshotProvider([this]() -> Result<SnapshotImage> {
+    std::shared_ptr<const CubeSnapshot> snap = Snapshot();
+    std::vector<uint8_t> bytes;
+    // Same dictionary rule as Checkpoint: the current version covers
+    // every id the published store uses (versions only grow).
+    MSKETCH_RETURN_IF_ERROR(
+        EncodeCheckpointImage(snap->epoch, snap->store, Dicts()->dicts,
+                              &bytes));
+    SnapshotImage image;
+    image.epoch = snap->epoch;
+    image.bytes =
+        std::make_shared<const std::vector<uint8_t>>(std::move(bytes));
+    return image;
+  });
+  publisher_->SetDurabilityHook(
+      [this](uint64_t epoch, const EpochPublisher::DeltaBatch& batch) {
+        return LogEpochDurable(epoch, batch);
+      });
+  return Status::OK();
 }
 
 void StreamingCube::OnEpochPublished(const CubeSnapshot& snap) {

@@ -51,6 +51,8 @@
 
 namespace msketch {
 
+class ReplicationSource;
+
 /// Aggregated engine counters (StreamingCube::stats()): writer-side
 /// hand-off behavior summed over shards, the dictionary's exclusive
 /// intern count, and publisher drain/publish latency — enough to read
@@ -204,6 +206,15 @@ class StreamingCube {
       size_t num_dims, MomentsSummary prototype, IngestOptions options,
       const DurabilityOptions& durability, RecoveryStats* stats = nullptr);
 
+  /// Tees every published epoch's delta batch (and the dictionary
+  /// delta) into `source` so followers can replicate this cube, and
+  /// wires the snapshot provider (a full checkpoint image of the
+  /// current published state) for follower resyncs. `source` is
+  /// borrowed and must outlive the cube. Composes with durability —
+  /// the same publish hook feeds both — and, like the durable log,
+  /// never blocks or fails a publish. Call before rows are appended.
+  Status EnableReplication(ReplicationSource* source);
+
   /// True when EnableDurability (or Recover) wired a durable log.
   bool durable() const { return log_ != nullptr; }
   /// Durability counters (zero-value struct when not durable).
@@ -334,6 +345,9 @@ class StreamingCube {
   /// Set by EnableDurability/Recover; must outlive publisher_ (whose
   /// hook and sink call into it), hence declared before it.
   std::unique_ptr<DurableLog> log_;
+  /// Borrowed replication tee (EnableReplication); referenced by the
+  /// publish hook, hence declared before publisher_ too.
+  ReplicationSource* replica_source_ = nullptr;
   /// The user's epoch sink; invoked by OnEpochPublished after the
   /// durability work (same thread and ordering contract as before).
   EpochPublisher::EpochSink user_sink_;

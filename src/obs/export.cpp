@@ -240,7 +240,10 @@ SnapshotWriter::SnapshotWriter(std::string path,
     : path_(std::move(path)),
       interval_(interval),
       registry_(registry),
-      tracer_(tracer) {
+      tracer_(tracer),
+      errors_(registry->GetCounter(
+          "msk_obs_snapshot_errors", {},
+          "Metric snapshot writes that failed (open, write, or rename)")) {
   thread_ = std::thread([this] { Loop(); });
 }
 
@@ -262,15 +265,23 @@ bool SnapshotWriter::WriteOnce() {
   const std::string json = ExportJson(snap, &spans);
   const std::string tmp = path_ + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) return false;
+  if (f == nullptr) {
+    errors_->Add(1);
+    return false;
+  }
   const bool wrote =
       std::fwrite(json.data(), 1, json.size(), f) == json.size();
   const bool closed = std::fclose(f) == 0;
   if (!wrote || !closed) {
     std::remove(tmp.c_str());
+    errors_->Add(1);
     return false;
   }
-  return std::rename(tmp.c_str(), path_.c_str()) == 0;
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    errors_->Add(1);
+    return false;
+  }
+  return true;
 }
 
 void SnapshotWriter::Loop() {

@@ -44,6 +44,10 @@ std::string ExportJson(const MetricsSnapshot& snapshot,
 // Background thread writing the JSON export of GlobalRegistry (or a
 // given registry/tracer) to `path` every `interval`. Writes go to
 // `path` + ".tmp" then rename, so readers never see a torn file.
+// Failed writes (unwritable path, full disk, failed rename) are counted
+// in the registry's own `msk_obs_snapshot_errors` counter, so a scrape
+// through any other channel reveals that the file exporter is losing
+// snapshots rather than the failures vanishing silently.
 class SnapshotWriter {
  public:
   SnapshotWriter(std::string path, std::chrono::milliseconds interval,
@@ -53,7 +57,8 @@ class SnapshotWriter {
   SnapshotWriter(const SnapshotWriter&) = delete;
   SnapshotWriter& operator=(const SnapshotWriter&) = delete;
 
-  // Synchronous scrape + write; returns false on I/O failure.
+  // Synchronous scrape + write; returns false on I/O failure (also
+  // counted in msk_obs_snapshot_errors).
   bool WriteOnce();
   void Stop();
 
@@ -64,6 +69,7 @@ class SnapshotWriter {
   const std::chrono::milliseconds interval_;
   MetricsRegistry* registry_;
   Tracer* tracer_;
+  Counter* errors_;  // msk_obs_snapshot_errors, owned by registry_
 
   std::mutex mu_;
   std::condition_variable cv_;

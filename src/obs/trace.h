@@ -20,6 +20,10 @@
 //   query.router | query.lane_solve
 //   ingest.drain | ingest.publish | ingest.wal_append |
 //   ingest.checkpoint | ingest.recover
+//   replica.ship | replica.apply | replica.resync | replica.heartbeat
+//   (src/replica/README.md: ship = one leader response round, apply =
+//   one delta applied on the follower, resync = snapshot install,
+//   heartbeat = liveness frame handling)
 
 #ifndef MSKETCH_OBS_TRACE_H_
 #define MSKETCH_OBS_TRACE_H_

@@ -60,9 +60,9 @@ Status WriteFileDurably(Env* env, const std::string& path,
 
 }  // namespace
 
-Status WriteCheckpoint(Env* env, const std::string& path, uint64_t epoch,
-                       const CubeStore& store,
-                       const std::vector<Dictionary>& dicts) {
+Status EncodeCheckpointImage(uint64_t epoch, const CubeStore& store,
+                             const std::vector<Dictionary>& dicts,
+                             std::vector<uint8_t>* out) {
   if (dicts.size() != store.num_dims()) {
     return Status::InvalidArgument(
         "checkpoint: dictionary count does not match cube dimensions");
@@ -95,13 +95,20 @@ Status WriteCheckpoint(Env* env, const std::string& path, uint64_t epoch,
     }
   }
   SealBody(&w);
-  return WriteFileDurably(env, path, w.bytes());
+  *out = w.Take();
+  return Status::OK();
 }
 
-Result<CheckpointData> ReadCheckpoint(Env* env, const std::string& path) {
-  Result<std::vector<uint8_t>> data = env->ReadFile(path);
-  if (!data.ok()) return data.status();
-  const std::vector<uint8_t> file = std::move(data).value();
+Status WriteCheckpoint(Env* env, const std::string& path, uint64_t epoch,
+                       const CubeStore& store,
+                       const std::vector<Dictionary>& dicts) {
+  std::vector<uint8_t> image;
+  MSKETCH_RETURN_IF_ERROR(EncodeCheckpointImage(epoch, store, dicts, &image));
+  return WriteFileDurably(env, path, image);
+}
+
+Result<CheckpointData> DecodeCheckpointImage(
+    const std::vector<uint8_t>& file) {
   if (!MagicMatches(file, kCheckpointMagic)) {
     return Status::Corruption("checkpoint: bad magic");
   }
@@ -175,6 +182,12 @@ Result<CheckpointData> ReadCheckpoint(Env* env, const std::string& path) {
     }
   }
   return ckpt;
+}
+
+Result<CheckpointData> ReadCheckpoint(Env* env, const std::string& path) {
+  Result<std::vector<uint8_t>> data = env->ReadFile(path);
+  if (!data.ok()) return data.status();
+  return DecodeCheckpointImage(std::move(data).value());
 }
 
 Status WriteManifest(Env* env, const std::string& dir,

@@ -46,6 +46,19 @@ struct CheckpointData {
   std::vector<KllSketch> kll_cells;
 };
 
+/// Serializes `store` + `dicts` as a complete checkpoint image for
+/// `epoch` — magic, body, and masked-CRC trailer, byte-identical to
+/// the file WriteCheckpoint produces. Replication ships this image in
+/// chunks; any chunking reassembles to a decodable checkpoint because
+/// the trailer CRC covers the whole body.
+Status EncodeCheckpointImage(uint64_t epoch, const CubeStore& store,
+                             const std::vector<Dictionary>& dicts,
+                             std::vector<uint8_t>* out);
+
+/// Decodes and fully validates a checkpoint image (magic, structure,
+/// CRC) — the in-memory twin of ReadCheckpoint.
+Result<CheckpointData> DecodeCheckpointImage(const std::vector<uint8_t>& image);
+
 /// Writes `store` + `dicts` as the checkpoint for `epoch` to `path`,
 /// fsynced. The file only becomes live when a manifest referencing it
 /// commits.

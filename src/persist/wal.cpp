@@ -135,6 +135,9 @@ Status WalWriter::AppendWithRetry(const std::vector<uint8_t>& bytes) {
     }
     last = file_->Append(bytes);
     if (last.ok()) return last;
+    // Retry only transient failures; a deterministic error (bad
+    // argument, corruption) fails the same way every attempt.
+    if (!IsRetryable(last)) return last;
   }
   return last;
 }
@@ -195,6 +198,7 @@ Status WalWriter::Sync() {
       ++syncs_;
       return last;
     }
+    if (!IsRetryable(last)) return last;
   }
   return last;
 }

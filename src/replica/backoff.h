@@ -1,0 +1,77 @@
+// Bounded exponential backoff with jitter and a retry budget.
+//
+// Every replication retry loop — leader sends, follower sync rounds —
+// runs through one of these: retries are gated on IsRetryable() (status
+// class, never message text), delays double from `initial` to `max`
+// with ±`jitter` randomization (deterministic xoshiro stream, seeded
+// per owner, so soaks replay exactly), and the loop gives up after
+// `max_attempts` — unbounded retry is a liveness bug the CI gate
+// rejects.
+#ifndef MSKETCH_REPLICA_BACKOFF_H_
+#define MSKETCH_REPLICA_BACKOFF_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace msketch {
+
+struct BackoffPolicy {
+  std::chrono::milliseconds initial{1};
+  std::chrono::milliseconds max{64};
+  double multiplier = 2.0;
+  /// Fractional jitter: each delay is scaled by a uniform factor in
+  /// [1 - jitter, 1 + jitter]. Decorrelates retry storms.
+  double jitter = 0.2;
+  /// Total attempts (first try included). <= 0 means a single attempt.
+  int max_attempts = 8;
+};
+
+/// One retry episode. Reset() rearms it for the next episode.
+class Backoff {
+ public:
+  explicit Backoff(const BackoffPolicy& policy, uint64_t seed = 1)
+      : policy_(policy), rng_(seed) {}
+
+  /// True when the budget allows another attempt after a failure with
+  /// `status`; false on a non-retryable status or an exhausted budget.
+  bool ShouldRetry(const Status& status) {
+    if (!IsRetryable(status)) return false;
+    return attempts_ + 1 < std::max(policy_.max_attempts, 1);
+  }
+
+  /// The next delay (advances the schedule and the attempt count).
+  std::chrono::milliseconds NextDelay() {
+    ++attempts_;
+    const double scale =
+        1.0 + policy_.jitter * (2.0 * rng_.NextDouble() - 1.0);
+    const double millis =
+        static_cast<double>(current_.count()) * std::max(scale, 0.0);
+    current_ = std::min(
+        std::chrono::milliseconds(static_cast<int64_t>(
+            static_cast<double>(current_.count()) * policy_.multiplier)),
+        policy_.max);
+    return std::chrono::milliseconds(
+        std::max<int64_t>(static_cast<int64_t>(millis), 0));
+  }
+
+  int attempts() const { return attempts_; }
+
+  void Reset() {
+    attempts_ = 0;
+    current_ = policy_.initial;
+  }
+
+ private:
+  const BackoffPolicy policy_;
+  Rng rng_;
+  int attempts_ = 0;
+  std::chrono::milliseconds current_ = policy_.initial;
+};
+
+}  // namespace msketch
+
+#endif  // MSKETCH_REPLICA_BACKOFF_H_

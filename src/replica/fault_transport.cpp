@@ -1,0 +1,139 @@
+#include "replica/fault_transport.h"
+
+#include <thread>
+#include <utility>
+
+namespace msketch {
+
+FaultInjectingTransport::FaultInjectingTransport(
+    std::unique_ptr<Transport> inner)
+    : inner_(std::move(inner)) {}
+
+void FaultInjectingTransport::DropFrame(int64_t index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  drop_at_ = index;
+}
+
+void FaultInjectingTransport::DuplicateFrame(int64_t index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  duplicate_at_ = index;
+}
+
+void FaultInjectingTransport::ReorderFrame(int64_t index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  reorder_at_ = index;
+}
+
+void FaultInjectingTransport::TearFrame(int64_t index, size_t keep_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tear_at_ = index;
+  tear_keep_bytes_ = keep_bytes;
+}
+
+void FaultInjectingTransport::FlipBit(int64_t index, size_t bit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  flip_at_ = index;
+  flip_bit_ = bit;
+}
+
+void FaultInjectingTransport::DelayFrame(int64_t index, int millis) {
+  std::lock_guard<std::mutex> lock(mu_);
+  delay_at_ = index;
+  delay_millis_ = millis;
+}
+
+void FaultInjectingTransport::ResetAtFrame(int64_t index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  reset_at_ = index;
+}
+
+void FaultInjectingTransport::SetSendObserver(
+    std::function<void(const std::vector<uint8_t>&)> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  observer_ = std::move(fn);
+}
+
+FaultTransportStats FaultInjectingTransport::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+Status FaultInjectingTransport::Send(const std::vector<uint8_t>& frame) {
+  std::vector<uint8_t> to_send = frame;
+  std::vector<uint8_t> flush_held;
+  bool drop = false, duplicate = false, hold = false;
+  int delay_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const int64_t index = static_cast<int64_t>(stats_.frames_sent++);
+    if (observer_) observer_(frame);
+    if (reset_fired_ || (reset_at_ >= 0 && index >= reset_at_)) {
+      if (!reset_fired_) {
+        reset_fired_ = true;
+        ++stats_.resets;
+        inner_->Close();
+      }
+      return Status::Unavailable("fault transport: injected reset");
+    }
+    if (index == drop_at_) {
+      drop_at_ = -1;
+      ++stats_.frames_dropped;
+      drop = true;
+    }
+    if (index == duplicate_at_) {
+      duplicate_at_ = -1;
+      ++stats_.frames_duplicated;
+      duplicate = true;
+    }
+    if (index == tear_at_) {
+      tear_at_ = -1;
+      ++stats_.frames_torn;
+      if (to_send.size() > tear_keep_bytes_) to_send.resize(tear_keep_bytes_);
+    }
+    if (index == flip_at_) {
+      flip_at_ = -1;
+      ++stats_.bits_flipped;
+      const size_t byte = flip_bit_ / 8;
+      if (byte < to_send.size()) {
+        to_send[byte] ^= static_cast<uint8_t>(1u << (flip_bit_ % 8));
+      }
+    }
+    if (index == delay_at_) {
+      delay_at_ = -1;
+      ++stats_.frames_delayed;
+      delay_ms = delay_millis_;
+    }
+    if (index == reorder_at_) {
+      reorder_at_ = -1;
+      held_frame_ = std::move(to_send);
+      holding_ = true;
+      hold = true;
+    } else if (holding_) {
+      // The successor flushes the held frame AFTER itself: swap order.
+      ++stats_.frames_reordered;
+      flush_held = std::move(held_frame_);
+      holding_ = false;
+    }
+  }
+  if (delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  if (drop || hold) return Status::OK();  // sender believes it went out
+  MSKETCH_RETURN_NOT_OK(inner_->Send(to_send));
+  if (duplicate) MSKETCH_RETURN_NOT_OK(inner_->Send(to_send));
+  if (!flush_held.empty()) MSKETCH_RETURN_NOT_OK(inner_->Send(flush_held));
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> FaultInjectingTransport::Recv(
+    std::chrono::milliseconds timeout) {
+  return inner_->Recv(timeout);
+}
+
+void FaultInjectingTransport::Close() { inner_->Close(); }
+
+bool FaultInjectingTransport::connected() const {
+  return inner_->connected();
+}
+
+}  // namespace msketch

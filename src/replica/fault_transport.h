@@ -1,0 +1,106 @@
+// FaultInjectingTransport: deterministic link-fault injection for the
+// replication soak, modeled on persist/fault_env.h's fault plans.
+//
+// Wraps one Transport endpoint and perturbs its OUTGOING frames by
+// cumulative send index (0-based), so a test can aim one fault at any
+// frame boundary of a known-length exchange:
+//
+//   drop        the frame never reaches the peer
+//   duplicate   the frame is delivered twice
+//   reorder     the frame is held and delivered after its successor
+//   tear        only the first `keep` bytes reach the peer
+//   flip bit    one bit of the wire image is inverted
+//   delay       delivery is stalled by a fixed latency
+//   reset       this send and everything after fails kUnavailable and
+//               the underlying connection closes (both sides see it)
+//
+// One plan slot per fault kind; -1 disarms. Faults trigger once (the
+// retried frame goes through clean), matching FaultInjectingEnv's
+// crash-once discipline so sweeps terminate. Counters record what
+// actually fired. All state sits behind one mutex — frame pumps are
+// not hot paths.
+#ifndef MSKETCH_REPLICA_FAULT_TRANSPORT_H_
+#define MSKETCH_REPLICA_FAULT_TRANSPORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "replica/transport.h"
+
+namespace msketch {
+
+struct FaultTransportStats {
+  uint64_t frames_sent = 0;     // attempted sends (faulted or not)
+  uint64_t frames_dropped = 0;
+  uint64_t frames_duplicated = 0;
+  uint64_t frames_reordered = 0;
+  uint64_t frames_torn = 0;
+  uint64_t bits_flipped = 0;
+  uint64_t frames_delayed = 0;
+  uint64_t resets = 0;
+};
+
+class FaultInjectingTransport : public Transport {
+ public:
+  explicit FaultInjectingTransport(std::unique_ptr<Transport> inner);
+
+  // ---------------------------------------------------------- fault plan
+  // Each arms one fault at outgoing frame `index` (0-based over this
+  // endpoint's lifetime sends). Pass -1 to disarm.
+
+  void DropFrame(int64_t index);
+  void DuplicateFrame(int64_t index);
+  /// Holds frame `index` and delivers it after the following send.
+  void ReorderFrame(int64_t index);
+  /// Delivers only the first `keep_bytes` bytes of frame `index`.
+  void TearFrame(int64_t index, size_t keep_bytes);
+  /// Inverts bit `bit` (0 = LSB of byte 0) of frame `index`'s wire
+  /// image.
+  void FlipBit(int64_t index, size_t bit);
+  /// Sleeps `millis` before delivering frame `index`.
+  void DelayFrame(int64_t index, int millis);
+  /// Frame `index` and all later sends fail kUnavailable; the
+  /// underlying connection closes so the peer observes the reset too.
+  void ResetAtFrame(int64_t index);
+
+  /// Observes every outgoing frame BEFORE faults apply (what the
+  /// sender actually produced — the frame-capture feed for
+  /// tools/wal_dump.py --frames).
+  void SetSendObserver(std::function<void(const std::vector<uint8_t>&)> fn);
+
+  FaultTransportStats stats() const;
+
+  // ----------------------------------------------------------- Transport
+  Status Send(const std::vector<uint8_t>& frame) override;
+  Result<std::vector<uint8_t>> Recv(std::chrono::milliseconds timeout) override;
+  void Close() override;
+  bool connected() const override;
+
+ private:
+  const std::unique_ptr<Transport> inner_;
+
+  mutable std::mutex mu_;
+  int64_t drop_at_ = -1;
+  int64_t duplicate_at_ = -1;
+  int64_t reorder_at_ = -1;
+  int64_t tear_at_ = -1;
+  size_t tear_keep_bytes_ = 0;
+  int64_t flip_at_ = -1;
+  size_t flip_bit_ = 0;
+  int64_t delay_at_ = -1;
+  int delay_millis_ = 0;
+  int64_t reset_at_ = -1;
+  bool reset_fired_ = false;
+  /// A frame held back by ReorderFrame, delivered after the next send.
+  std::vector<uint8_t> held_frame_;
+  bool holding_ = false;
+  std::function<void(const std::vector<uint8_t>&)> observer_;
+  FaultTransportStats stats_;
+};
+
+}  // namespace msketch
+
+#endif  // MSKETCH_REPLICA_FAULT_TRANSPORT_H_

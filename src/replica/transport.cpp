@@ -1,0 +1,85 @@
+#include "replica/transport.h"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+namespace msketch {
+
+namespace {
+
+/// Shared state of one pipe: a queue per direction plus the reset flag.
+struct PipeState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::vector<uint8_t>> queues[2];  // indexed by receiver side
+  bool closed = false;
+};
+
+class PipeEndpoint : public Transport {
+ public:
+  PipeEndpoint(std::shared_ptr<PipeState> state, int side)
+      : state_(std::move(state)), side_(side) {}
+
+  ~PipeEndpoint() override { Close(); }
+
+  Status Send(const std::vector<uint8_t>& frame) override {
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      if (state_->closed) {
+        return Status::Unavailable("pipe: connection reset");
+      }
+      state_->queues[1 - side_].push_back(frame);
+    }
+    state_->cv.notify_all();
+    return Status::OK();
+  }
+
+  Result<std::vector<uint8_t>> Recv(
+      std::chrono::milliseconds timeout) override {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    std::deque<std::vector<uint8_t>>& inbox = state_->queues[side_];
+    state_->cv.wait_for(lock, timeout, [&] {
+      return !inbox.empty() || state_->closed;
+    });
+    // Frames queued before the reset still deliver (the peer sent them
+    // while the link was up); only an empty inbox surfaces the reset.
+    if (!inbox.empty()) {
+      std::vector<uint8_t> frame = std::move(inbox.front());
+      inbox.pop_front();
+      return frame;
+    }
+    if (state_->closed) {
+      return Status::Unavailable("pipe: connection reset");
+    }
+    return Status::Unavailable("pipe: recv timeout");
+  }
+
+  void Close() override {
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      state_->closed = true;
+    }
+    state_->cv.notify_all();
+  }
+
+  bool connected() const override {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return !state_->closed;
+  }
+
+ private:
+  const std::shared_ptr<PipeState> state_;
+  const int side_;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+MakeInProcessPipe() {
+  auto state = std::make_shared<PipeState>();
+  return {std::make_unique<PipeEndpoint>(state, 0),
+          std::make_unique<PipeEndpoint>(state, 1)};
+}
+
+}  // namespace msketch

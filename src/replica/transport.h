@@ -1,0 +1,56 @@
+// Pluggable message transport for replication.
+//
+// A Transport endpoint carries whole wire frames (frame.h) in both
+// directions. The contract is deliberately weak — the link may drop,
+// duplicate, reorder, tear, or corrupt frames, stall, or reset — and
+// the replication protocol must survive all of it (the
+// FaultInjectingTransport wrapper injects exactly those faults in
+// tests). Errors are classified, never string-matched: a timeout or a
+// reset surfaces as kUnavailable (retryable, see common/status.h);
+// frame integrity is the receiver's job via DecodeFrame.
+#ifndef MSKETCH_REPLICA_TRANSPORT_H_
+#define MSKETCH_REPLICA_TRANSPORT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace msketch {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Queues one wire frame to the peer. kUnavailable once the
+  /// connection has reset (either side closed).
+  virtual Status Send(const std::vector<uint8_t>& frame) = 0;
+
+  /// Blocks up to `timeout` for the next inbound frame. kUnavailable
+  /// on timeout (peer may just be idle — check connected()) and on
+  /// reset. Frames are delivered in the order the link presents them,
+  /// which after fault injection need not be send order.
+  virtual Result<std::vector<uint8_t>> Recv(
+      std::chrono::milliseconds timeout) = 0;
+
+  /// Resets the connection: both directions fail from now on, on both
+  /// endpoints. Idempotent.
+  virtual void Close() = 0;
+
+  /// False once either endpoint closed. A Recv timeout with
+  /// connected() == true means "idle", with false it means "dead".
+  virtual bool connected() const = 0;
+};
+
+/// An in-process bidirectional pipe: two connected endpoints backed by
+/// bounded-latency queues (mutex + condvar; frame pumps are not hot
+/// paths). Closing either endpoint resets both.
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+MakeInProcessPipe();
+
+}  // namespace msketch
+
+#endif  // MSKETCH_REPLICA_TRANSPORT_H_

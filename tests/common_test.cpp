@@ -64,6 +64,25 @@ TEST(StatusTest, PersistenceCodes) {
   Status deadline = Status::DeadlineExceeded("stall budget expired");
   EXPECT_EQ(deadline.code(), StatusCode::kDeadlineExceeded);
   EXPECT_EQ(deadline.ToString(), "DeadlineExceeded: stall budget expired");
+
+  Status gone = Status::Unavailable("connection reset");
+  EXPECT_EQ(gone.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(gone.ToString(), "Unavailable: connection reset");
+}
+
+TEST(StatusTest, IsRetryableClassifiesByCodeNotMessage) {
+  // Retry loops branch on the status class, never on message text:
+  // transient transport/storage trouble retries, everything else
+  // (including corruption — retrying a damaged file can't fix it)
+  // surfaces immediately.
+  EXPECT_TRUE(IsRetryable(Status::Unavailable("peer down")));
+  EXPECT_TRUE(IsRetryable(Status::IOError("EINTR")));
+  EXPECT_TRUE(IsRetryable(Status::DeadlineExceeded("slow disk")));
+  EXPECT_FALSE(IsRetryable(Status::OK()));
+  EXPECT_FALSE(IsRetryable(Status::Corruption("CRC mismatch")));
+  EXPECT_FALSE(IsRetryable(Status::InvalidArgument("bad shape")));
+  EXPECT_FALSE(IsRetryable(Status::Unsupported("no provider")));
+  EXPECT_FALSE(IsRetryable(Status::Internal("bug")));
 }
 
 namespace {

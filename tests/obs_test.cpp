@@ -363,6 +363,25 @@ TEST(SnapshotWriterTest, WriteOnceProducesParseableExport) {
   EXPECT_EQ(text.back(), '}');
 }
 
+TEST(SnapshotWriterTest, FailedWritesCountInSnapshotErrorsCounter) {
+  MSKETCH_REQUIRE_OBS();
+  MetricsRegistry reg;
+  Tracer tracer(8, &reg);
+  // A path inside a directory that does not exist: every WriteOnce
+  // fails at open. The failure must land in msk_obs_snapshot_errors so
+  // a scrape through any other channel reveals the exporter is losing
+  // snapshots.
+  SnapshotWriter writer("/nonexistent_msketch_dir/metrics.json",
+                        std::chrono::hours(1), &reg, &tracer);
+  Counter* errors = reg.GetCounter("msk_obs_snapshot_errors");
+  EXPECT_EQ(errors->Value(), 0u);
+  EXPECT_FALSE(writer.WriteOnce());
+  EXPECT_EQ(errors->Value(), 1u);
+  EXPECT_FALSE(writer.WriteOnce());
+  EXPECT_EQ(errors->Value(), 2u);
+  writer.Stop();
+}
+
 // End-to-end: drive every subsystem of a durable StreamingCube and
 // assert ONE scrape of the global registry exposes families from the
 // ingest shards, the publisher, the solver cache, the lane solver, the

@@ -710,6 +710,35 @@ TEST(StallBudgetTest, ShardAppendFailsInsteadOfHangingForever) {
   EXPECT_TRUE(shard.Append({0}, 1.0).ok());
 }
 
+TEST(StallBudgetTest, AppendRowsFailsMidBatchWithCountedPartialState) {
+  // The batched path must honor the same budget: a multi-row AppendRows
+  // that stalls mid-batch returns kDeadlineExceeded, keeps the rows it
+  // appended before the failure point, and accounts for every row —
+  // appended + reported-dropped == attempted, nothing lost or doubled.
+  IngestShard shard(/*num_dims=*/1, /*k=*/5, /*batch_size=*/4,
+                    /*chunk_cells=*/4, /*chunks=*/2,
+                    std::chrono::milliseconds(50));
+  std::vector<IngestRow> rows;
+  rows.reserve(1000);
+  for (uint32_t i = 0; i < 1000; ++i) rows.push_back({{i}, 1.0});
+  Status st = shard.AppendRows(rows.data(), rows.size());
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  const IngestShardStats stats = shard.stats();
+  EXPECT_GE(stats.deadline_events, 1u);
+  EXPECT_GE(stats.rows_deadline_failed, 1u);
+  EXPECT_GT(stats.rows_appended, 0u);
+  EXPECT_EQ(stats.rows_appended + stats.rows_deadline_failed, rows.size());
+  // The partial state is non-corrupt: draining yields exactly the
+  // appended rows, and the shard keeps working afterwards.
+  uint64_t drained_rows = 0;
+  for (const IngestShard::DeltaCell& cell : shard.Drain()) {
+    drained_rows += cell.sketch.count();
+  }
+  EXPECT_EQ(drained_rows, stats.rows_appended);
+  EXPECT_TRUE(shard.Append({0}, 1.0).ok());
+}
+
 TEST(StallBudgetTest, CubeSurfacesDeadlineInStats) {
   IngestOptions options;
   options.num_shards = 1;

@@ -1,0 +1,545 @@
+// Replication-layer tests: frame codec integrity, in-process pipe
+// semantics, backoff budgets, source/applier protocol behavior, and
+// the tentpole acceptance — a fault-injection soak that drops,
+// duplicates, reorders, tears, bit-flips, or resets the link at EVERY
+// leader frame boundary and asserts the follower converges to a
+// bit-identical replica (columns, coordinates, KLL side column, and
+// dictionaries) within the retry budget, while certified queries keep
+// answering from the applied state throughout any outage.
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "core/compressed_sketch.h"
+#include "core/moments_summary.h"
+#include "cube/cube_store.h"
+#include "cube/dictionary.h"
+#include "ingest/streaming_cube.h"
+#include "replica/backoff.h"
+#include "replica/fault_transport.h"
+#include "replica/frame.h"
+#include "replica/replica_applier.h"
+#include "replica/replication_source.h"
+#include "replica/transport.h"
+#include "sketches/kll_sketch.h"
+
+namespace msketch {
+namespace {
+
+using std::chrono::milliseconds;
+
+constexpr int kK = 7;
+constexpr size_t kDims = 2;
+constexpr int kKllK = 32;
+
+// ------------------------------------------------------------ fixtures
+
+/// Bit-exact fingerprint of a replica state: every sketch-column byte
+/// (through the lossless codec), every cell's coordinates in id order,
+/// every cell's serialized KLL sketch, and every dictionary value.
+std::vector<uint8_t> Fingerprint(const CubeStore& store,
+                                 const std::vector<std::vector<std::string>>&
+                                     dict_values) {
+  BytesWriter w;
+  EncodeSketchColumns(store.Columns(), &w);
+  for (size_t id = 0; id < store.num_cells(); ++id) {
+    for (uint32_t c : store.CoordsOf(static_cast<uint32_t>(id))) w.PutU32(c);
+  }
+  w.PutU8(store.kll_enabled() ? 1 : 0);
+  if (store.kll_enabled()) {
+    for (size_t id = 0; id < store.num_cells(); ++id) {
+      store.CellKll(static_cast<uint32_t>(id))->Serialize(&w);
+    }
+  }
+  for (const std::vector<std::string>& dim : dict_values) {
+    w.PutU32(static_cast<uint32_t>(dim.size()));
+    for (const std::string& v : dim) w.PutString(v);
+  }
+  return w.Take();
+}
+
+std::vector<std::vector<std::string>> LeaderDicts(const StreamingCube& cube) {
+  std::vector<std::vector<std::string>> out(cube.num_dims());
+  for (size_t d = 0; d < cube.num_dims(); ++d) {
+    for (uint32_t id = 0;; ++id) {
+      Result<std::string> v = cube.DecodeValue(d, id);
+      if (!v.ok()) break;
+      out[d].push_back(v.value());
+    }
+  }
+  return out;
+}
+
+std::vector<uint8_t> FollowerFingerprint(const ReplicaApplier& applier) {
+  std::vector<uint8_t> fp;
+  applier.Inspect([&](const CubeStore& store,
+                      const std::vector<Dictionary>& dicts) {
+    std::vector<std::vector<std::string>> values(dicts.size());
+    for (size_t d = 0; d < dicts.size(); ++d) {
+      for (uint32_t id = 0; id < dicts[d].size(); ++id) {
+        values[d].push_back(dicts[d].ValueOf(id));
+      }
+    }
+    fp = Fingerprint(store, values);
+  });
+  return fp;
+}
+
+ReplicationOptions SourceOptions() {
+  ReplicationOptions opt;
+  // Small history forces fresh followers through the snapshot path
+  // (snapshot + chunked image + trailing deltas in one exchange).
+  opt.history_epochs = 2;
+  opt.chunk_bytes = 512;  // several chunks per image
+  opt.heartbeat_interval = milliseconds(15);
+  opt.recv_poll = milliseconds(2);
+  opt.send_backoff.initial = milliseconds(1);
+  opt.send_backoff.max = milliseconds(4);
+  opt.send_backoff.max_attempts = 6;
+  return opt;
+}
+
+ReplicaOptions ApplierOptions() {
+  ReplicaOptions opt;
+  opt.kll_k = kKllK;
+  opt.retry.initial = milliseconds(1);
+  opt.retry.max = milliseconds(8);
+  opt.retry.max_attempts = 8;
+  opt.recv_timeout = milliseconds(40);
+  opt.heartbeat_miss_budget = 4;
+  return opt;
+}
+
+/// A leader cube with replication enabled and a deterministic
+/// 2-string-dim workload published across several epochs.
+struct Leader {
+  std::unique_ptr<ReplicationSource> source;
+  std::unique_ptr<StreamingCube> cube;
+
+  explicit Leader(size_t epochs) {
+    IngestOptions options;
+    options.num_shards = 2;
+    options.enable_kll = true;
+    options.kll_k = kKllK;
+    cube = std::make_unique<StreamingCube>(kDims, MomentsSummary(kK), options);
+    source = std::make_unique<ReplicationSource>(SourceOptions());
+    EXPECT_TRUE(cube->EnableReplication(source.get()).ok());
+    AppendEpochs(epochs);
+  }
+
+  void AppendEpochs(size_t epochs) {
+    static const char* kRegions[] = {"us-east", "eu-west", "ap-south"};
+    static const char* kServices[] = {"api", "web", "db", "cache"};
+    for (size_t e = 0; e < epochs; ++e) {
+      for (size_t i = 0; i < 40; ++i) {
+        const double v = 0.5 + 0.37 * static_cast<double>((i * 7 + e) % 23) +
+                         static_cast<double>(e);
+        EXPECT_TRUE(cube->AppendRow({kRegions[(i + e) % 3],
+                                     kServices[(i * 3 + e) % 4]},
+                                    v)
+                        .ok());
+      }
+      cube->Flush();
+    }
+  }
+
+  uint64_t epoch() const { return cube->last_published_epoch(); }
+
+  std::vector<uint8_t> fingerprint() const {
+    std::shared_ptr<const CubeSnapshot> snap = cube->Snapshot();
+    return Fingerprint(snap->store, LeaderDicts(*cube));
+  }
+};
+
+enum class FaultKind {
+  kNone,
+  kDrop,
+  kDuplicate,
+  kReorder,
+  kTear,
+  kFlip,
+  kDelay,
+  kReset,
+};
+
+const char* FaultName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kDuplicate: return "duplicate";
+    case FaultKind::kReorder: return "reorder";
+    case FaultKind::kTear: return "tear";
+    case FaultKind::kFlip: return "flip";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kReset: return "reset";
+  }
+  return "?";
+}
+
+void ArmFault(FaultInjectingTransport* t, FaultKind kind, int64_t index) {
+  switch (kind) {
+    case FaultKind::kNone: break;
+    case FaultKind::kDrop: t->DropFrame(index); break;
+    case FaultKind::kDuplicate: t->DuplicateFrame(index); break;
+    case FaultKind::kReorder: t->ReorderFrame(index); break;
+    case FaultKind::kTear: t->TearFrame(index, 5); break;
+    case FaultKind::kFlip: t->FlipBit(index, 37); break;
+    case FaultKind::kDelay: t->DelayFrame(index, 30); break;
+    case FaultKind::kReset: t->ResetAtFrame(index); break;
+  }
+}
+
+// Mirrors the applier's round-retry class: transient transport errors
+// and link corruption both warrant another round/connection.
+bool RoundRetryable(const Status& st) {
+  return IsRetryable(st) || st.code() == StatusCode::kCorruption;
+}
+
+struct ScenarioResult {
+  bool converged = false;
+  Status last_status;
+  uint64_t clean_run_frames = 0;  // leader sends on the first connection
+  int connections = 0;
+  bool query_available_during_outage = true;
+  ReplicaApplierStats applier_stats;
+};
+
+/// Syncs a fresh follower against `leader` with one fault armed on the
+/// first connection, reconnecting (clean) as needed, until the
+/// follower reaches the leader's epoch or the attempt budget ends.
+ScenarioResult RunScenario(Leader* leader, FaultKind kind, int64_t index) {
+  ScenarioResult r;
+  ReplicaApplier applier(kK, kDims, ApplierOptions());
+  const uint64_t target = leader->epoch();
+  bool armed = false;
+  for (int conn = 0; conn < 6; ++conn) {
+    ++r.connections;
+    auto pipe = MakeInProcessPipe();
+    FaultInjectingTransport leader_end(std::move(pipe.first));
+    std::unique_ptr<Transport> follower_end = std::move(pipe.second);
+    if (!armed) {
+      ArmFault(&leader_end, kind, index);
+      armed = true;
+    }
+    std::thread serve([&] { (void)leader->source->Serve(&leader_end); });
+    Status st = applier.SyncWithRetry(follower_end.get());
+    leader->source->RequestStop();
+    follower_end->Close();
+    serve.join();
+    r.last_status = st;
+    if (conn == 0) r.clean_run_frames = leader_end.stats().frames_sent;
+    if (st.ok() && applier.applied_epoch() >= target) {
+      r.converged = true;
+      break;
+    }
+    if (!st.ok() && !RoundRetryable(st)) break;
+    // Outage (reset scenarios land here): the follower must keep
+    // answering certified queries from its applied state.
+    if (applier.applied_epoch() > 0) {
+      CertifiedQuantile q = applier.QueryQuantileCertified({"", ""}, 0.5);
+      if (!q.certified || !q.status.ok()) {
+        r.query_available_during_outage = false;
+      }
+    }
+  }
+  r.applier_stats = applier.stats();
+  if (r.converged) {
+    EXPECT_EQ(FollowerFingerprint(applier), leader->fingerprint())
+        << "fault=" << FaultName(kind) << " frame=" << index;
+  }
+  return r;
+}
+
+// --------------------------------------------------------- frame codec
+
+TEST(FrameTest, RoundTripsEveryPayloadType) {
+  HelloFrame hello;
+  hello.have_epoch = 42;
+  hello.k = 7;
+  hello.num_dims = 2;
+  hello.kll_k = 32;
+  hello.resume = true;
+  hello.resume_epoch = 40;
+  hello.resume_next_chunk = 3;
+  Result<HelloFrame> h = DecodeHello(EncodeHello(hello));
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h.value().have_epoch, 42u);
+  EXPECT_EQ(h.value().k, 7u);
+  EXPECT_TRUE(h.value().resume);
+  EXPECT_EQ(h.value().resume_epoch, 40u);
+  EXPECT_EQ(h.value().resume_next_chunk, 3u);
+
+  SnapChunkFrame chunk;
+  chunk.chunk_index = 5;
+  chunk.bytes = {1, 2, 3, 4, 5};
+  Result<SnapChunkFrame> c = DecodeSnapChunk(EncodeSnapChunk(chunk));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c.value().chunk_index, 5u);
+  EXPECT_EQ(c.value().bytes, chunk.bytes);
+
+  const std::vector<uint8_t> wire =
+      EncodeFrame(FrameType::kSnapChunk, EncodeSnapChunk(chunk));
+  Result<Frame> frame = DecodeFrame(wire);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame.value().type, FrameType::kSnapChunk);
+}
+
+TEST(FrameTest, DetectsTornFlippedAndUnknownFrames) {
+  SnapEndFrame end;
+  end.snapshot_epoch = 9;
+  end.image_crc = 0x1234;
+  std::vector<uint8_t> wire =
+      EncodeFrame(FrameType::kSnapEnd, EncodeSnapEnd(end));
+
+  // Torn: any strict prefix fails as Corruption, never parses.
+  for (size_t keep = 0; keep < wire.size(); ++keep) {
+    std::vector<uint8_t> torn(wire.begin(), wire.begin() + keep);
+    Result<Frame> f = DecodeFrame(torn);
+    ASSERT_FALSE(f.ok());
+    EXPECT_EQ(f.status().code(), StatusCode::kCorruption);
+  }
+  // Flipped: every single-bit flip is caught by the CRC.
+  for (size_t bit = 0; bit < wire.size() * 8; bit += 13) {
+    std::vector<uint8_t> flipped = wire;
+    flipped[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    EXPECT_FALSE(DecodeFrame(flipped).ok()) << "bit " << bit;
+  }
+  // Unknown type byte (offset 8 = after crc + len) fails closed.
+  std::vector<uint8_t> unknown = wire;
+  unknown[8] = 0x77;
+  EXPECT_FALSE(DecodeFrame(unknown).ok());
+}
+
+// ------------------------------------------------------------ transport
+
+TEST(TransportTest, PipeDeliversBothWaysAndResetsBothEnds) {
+  auto pipe = MakeInProcessPipe();
+  ASSERT_TRUE(pipe.first->Send({1, 2, 3}).ok());
+  Result<std::vector<uint8_t>> got = pipe.second->Recv(milliseconds(100));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), (std::vector<uint8_t>{1, 2, 3}));
+
+  ASSERT_TRUE(pipe.second->Send({9}).ok());
+  ASSERT_TRUE(pipe.first->Recv(milliseconds(100)).ok());
+
+  // Timeout while connected = idle, not dead.
+  Result<std::vector<uint8_t>> idle = pipe.first->Recv(milliseconds(5));
+  EXPECT_FALSE(idle.ok());
+  EXPECT_EQ(idle.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(pipe.first->connected());
+
+  // Close resets both endpoints; queued frames still drain first.
+  ASSERT_TRUE(pipe.first->Send({7}).ok());
+  pipe.first->Close();
+  EXPECT_FALSE(pipe.second->connected());
+  Result<std::vector<uint8_t>> drained = pipe.second->Recv(milliseconds(5));
+  ASSERT_TRUE(drained.ok());  // the frame was queued before the close
+  EXPECT_EQ(drained.value(), (std::vector<uint8_t>{7}));
+  EXPECT_FALSE(pipe.second->Recv(milliseconds(5)).ok());
+  EXPECT_FALSE(pipe.first->Send({1}).ok());
+}
+
+TEST(TransportTest, FaultInjectionPerturbsExactlyOneFrame) {
+  auto pipe = MakeInProcessPipe();
+  FaultInjectingTransport faulty(std::move(pipe.first));
+  faulty.DropFrame(1);
+  ASSERT_TRUE(faulty.Send({0}).ok());
+  ASSERT_TRUE(faulty.Send({1}).ok());  // dropped (sender sees success)
+  ASSERT_TRUE(faulty.Send({2}).ok());
+  EXPECT_EQ(pipe.second->Recv(milliseconds(50)).value(),
+            (std::vector<uint8_t>{0}));
+  EXPECT_EQ(pipe.second->Recv(milliseconds(50)).value(),
+            (std::vector<uint8_t>{2}));
+  const FaultTransportStats stats = faulty.stats();
+  EXPECT_EQ(stats.frames_sent, 3u);
+  EXPECT_EQ(stats.frames_dropped, 1u);
+}
+
+TEST(BackoffTest, BudgetAndClassGateRetries) {
+  BackoffPolicy policy;
+  policy.initial = milliseconds(1);
+  policy.max = milliseconds(4);
+  policy.max_attempts = 3;
+  Backoff backoff(policy, /*seed=*/7);
+  // Non-retryable status never retries, whatever the budget.
+  EXPECT_FALSE(backoff.ShouldRetry(Status::Corruption("x")));
+  EXPECT_FALSE(backoff.ShouldRetry(Status::InvalidArgument("x")));
+  // Retryable status retries until the attempt budget is spent.
+  EXPECT_TRUE(backoff.ShouldRetry(Status::Unavailable("x")));
+  (void)backoff.NextDelay();
+  EXPECT_TRUE(backoff.ShouldRetry(Status::Unavailable("x")));
+  (void)backoff.NextDelay();
+  EXPECT_FALSE(backoff.ShouldRetry(Status::Unavailable("x")));
+  backoff.Reset();
+  EXPECT_TRUE(backoff.ShouldRetry(Status::IOError("x")));
+}
+
+// -------------------------------------------------------- happy paths
+
+TEST(ReplicationTest, FreshFollowerSyncsThroughSnapshotAndDeltas) {
+  Leader leader(/*epochs=*/5);
+  ReplicaApplier applier(kK, kDims, ApplierOptions());
+
+  auto pipe = MakeInProcessPipe();
+  std::thread serve(
+      [&] { (void)leader.source->Serve(pipe.first.get()); });
+  Status st = applier.SyncWithRetry(pipe.second.get());
+  leader.source->RequestStop();
+  pipe.second->Close();
+  serve.join();
+
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(applier.applied_epoch(), leader.epoch());
+  EXPECT_EQ(applier.lag_epochs(), 0u);
+  // History (2 epochs) cannot cover a 5-epoch backlog: the follower
+  // must have installed a snapshot, then applied the trailing deltas.
+  const ReplicaApplierStats stats = applier.stats();
+  EXPECT_EQ(stats.resyncs, 1u);
+  EXPECT_GE(stats.snapshot_chunks, 2u);
+  EXPECT_EQ(FollowerFingerprint(applier), leader.fingerprint());
+
+  // The replica answers certified queries, intervals enclosing the
+  // estimate, for both filtered and unfiltered selections.
+  CertifiedQuantile q = applier.QueryQuantileCertified({"", ""}, 0.5);
+  ASSERT_TRUE(q.status.ok());
+  EXPECT_TRUE(q.certified);
+  EXPECT_LE(q.interval.lower, q.estimate);
+  EXPECT_GE(q.interval.upper, q.estimate);
+  CertifiedQuantile qf = applier.QueryQuantileCertified({"us-east", ""}, 0.9);
+  ASSERT_TRUE(qf.status.ok());
+  EXPECT_TRUE(qf.certified);
+}
+
+TEST(ReplicationTest, IncrementalCatchUpUsesDeltasNotResync) {
+  Leader leader(/*epochs=*/2);
+  ReplicaApplier applier(kK, kDims, ApplierOptions());
+
+  auto sync_once = [&] {
+    auto pipe = MakeInProcessPipe();
+    std::thread serve(
+        [&] { (void)leader.source->Serve(pipe.first.get()); });
+    Status st = applier.SyncWithRetry(pipe.second.get());
+    leader.source->RequestStop();
+    pipe.second->Close();
+    serve.join();
+    return st;
+  };
+
+  ASSERT_TRUE(sync_once().ok());
+  const uint64_t resyncs_after_first = applier.stats().resyncs;
+  // Publish two more epochs (within history) and catch up again: the
+  // follower chains deltas onto its applied epoch, no snapshot.
+  leader.AppendEpochs(2);
+  ASSERT_TRUE(sync_once().ok());
+  EXPECT_EQ(applier.applied_epoch(), leader.epoch());
+  EXPECT_EQ(applier.stats().resyncs, resyncs_after_first);
+  EXPECT_EQ(FollowerFingerprint(applier), leader.fingerprint());
+}
+
+TEST(ReplicationTest, ShapeMismatchIsRefusedTerminally) {
+  Leader leader(/*epochs=*/1);
+  ReplicaOptions wrong = ApplierOptions();
+  wrong.kll_k = 0;  // leader dual-writes KLL; this follower doesn't
+  ReplicaApplier applier(kK, kDims, wrong);
+
+  auto pipe = MakeInProcessPipe();
+  std::thread serve(
+      [&] { (void)leader.source->Serve(pipe.first.get()); });
+  Status st = applier.SyncWithRetry(pipe.second.get());
+  leader.source->RequestStop();
+  pipe.second->Close();
+  serve.join();
+
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(IsRetryable(st));
+}
+
+// ------------------------------------------------------------ the soak
+
+class ReplicaSoakTest : public ::testing::Test {};
+
+TEST_F(ReplicaSoakTest, EveryFaultAtEveryFrameBoundaryConverges) {
+  Leader leader(/*epochs=*/5);
+
+  // Clean run first: counts the leader's frames in one full exchange
+  // (snapshot begin + chunks + end + deltas + caught-up).
+  ScenarioResult clean = RunScenario(&leader, FaultKind::kNone, -1);
+  ASSERT_TRUE(clean.converged) << clean.last_status.ToString();
+  ASSERT_GE(clean.clean_run_frames, 5u);
+  const int64_t frames = static_cast<int64_t>(clean.clean_run_frames);
+
+  const FaultKind kinds[] = {FaultKind::kDrop,  FaultKind::kDuplicate,
+                             FaultKind::kReorder, FaultKind::kTear,
+                             FaultKind::kFlip,  FaultKind::kDelay,
+                             FaultKind::kReset};
+  for (FaultKind kind : kinds) {
+    for (int64_t index = 0; index < frames; ++index) {
+      ScenarioResult r = RunScenario(&leader, kind, index);
+      EXPECT_TRUE(r.converged)
+          << "fault=" << FaultName(kind) << " frame=" << index
+          << " status=" << r.last_status.ToString()
+          << " connections=" << r.connections;
+      // Bounded retry: rounds per connection stay within the budget.
+      EXPECT_LE(r.applier_stats.round_retries,
+                static_cast<uint64_t>(ApplierOptions().retry.max_attempts) *
+                    static_cast<uint64_t>(r.connections))
+          << "fault=" << FaultName(kind) << " frame=" << index;
+      // Availability: certified queries kept answering during outages.
+      EXPECT_TRUE(r.query_available_during_outage)
+          << "fault=" << FaultName(kind) << " frame=" << index;
+    }
+  }
+}
+
+TEST_F(ReplicaSoakTest, FollowerServesCertifiedQueriesAcrossAPartition) {
+  Leader leader(/*epochs=*/4);
+  ReplicaApplier applier(kK, kDims, ApplierOptions());
+
+  // First sync over a link that dies mid-plan.
+  {
+    auto pipe = MakeInProcessPipe();
+    FaultInjectingTransport leader_end(std::move(pipe.first));
+    leader_end.ResetAtFrame(3);
+    std::thread serve([&] { (void)leader.source->Serve(&leader_end); });
+    (void)applier.SyncWithRetry(pipe.second.get());
+    leader.source->RequestStop();
+    pipe.second->Close();
+    serve.join();
+  }
+
+  // Partitioned: no leader. The follower still answers certified
+  // queries from whatever epoch it applied (possibly stale, never
+  // unavailable); an empty replica reports empty input, not a crash.
+  CertifiedQuantile q = applier.QueryQuantileCertified({"", ""}, 0.5);
+  if (applier.applied_epoch() > 0) {
+    EXPECT_TRUE(q.certified);
+    EXPECT_TRUE(q.status.ok());
+  } else {
+    EXPECT_FALSE(q.certified);
+  }
+
+  // Partition heals: a clean link converges to bit-identical state.
+  {
+    auto pipe = MakeInProcessPipe();
+    std::thread serve(
+        [&] { (void)leader.source->Serve(pipe.first.get()); });
+    Status st = applier.SyncWithRetry(pipe.second.get());
+    leader.source->RequestStop();
+    pipe.second->Close();
+    serve.join();
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+  EXPECT_EQ(applier.applied_epoch(), leader.epoch());
+  EXPECT_EQ(FollowerFingerprint(applier), leader.fingerprint());
+}
+
+}  // namespace
+}  // namespace msketch

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""CI gate over BENCH_replica.json: every replication fault-injection
+scenario must converge within its retry budget.
+
+Reads the JSON emitted by bench_replica_soak. Each "soak" row records
+one scenario (one fault kind aimed at one frame boundary of the
+leader->follower exchange): whether the follower converged to the
+leader's epoch, how many retry rounds it burned, and the budget those
+rounds had to fit in (retry.max_attempts x connections used). The gate
+fails on any non-converged scenario, any scenario whose retries exceed
+its budget, and any scenario where the follower stopped answering
+certified queries during an outage — an unconverged replica or an
+unbounded retry loop is a correctness bug, not a perf regression.
+
+Usage: check_replica_gate.py BENCH_replica.json
+"""
+
+import sys
+
+from gate_common import load_sections
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    path = argv[1]
+
+    rows, rc = load_sections(path, "bench_replica_soak")
+    if rc is not None:
+        return rc
+
+    clean = [row for row in rows if row.get("section") == "clean"]
+    if not clean or not clean[0].get("converged"):
+        print(f"FAIL: no converged clean exchange in {path}; the soak "
+              f"could not even sync over a perfect link")
+        return 1
+
+    scenarios = [row for row in rows if row.get("section") == "soak"]
+    if not scenarios:
+        print(f"FAIL: no soak rows in {path}; bench_replica_soak ran "
+              f"without sweeping any faults")
+        return 1
+
+    bad = []
+    for row in scenarios:
+        name = row.get("name", "?")
+        if not row.get("converged"):
+            bad.append(f"{name}: did not converge")
+        retries = row.get("retries", 0.0)
+        budget = row.get("retry_budget", 0.0)
+        if retries > budget:
+            bad.append(f"{name}: {retries:.0f} retries exceeds "
+                       f"budget {budget:.0f}")
+        if not row.get("certified_during_outage", True):
+            bad.append(f"{name}: certified queries went unavailable "
+                       f"during the outage")
+
+    if bad:
+        print(f"FAIL: {len(bad)} of {len(scenarios)} fault scenarios "
+              f"violated the replication contract:")
+        for line in bad:
+            print(f"  {line}")
+        return 1
+
+    worst = max(scenarios, key=lambda r: r.get("retries", 0.0))
+    print(f"PASS: {len(scenarios)} fault scenarios converged within "
+          f"budget (worst: {worst.get('name', '?')} with "
+          f"{worst.get('retries', 0.0):.0f} retries of "
+          f"{worst.get('retry_budget', 0.0):.0f} allowed)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -9,11 +9,19 @@ state and is reported but not an error; a checksum mismatch, an absurd
 length prefix, or a damaged header is corruption and exits non-zero.
 
 Usage: wal_dump.py WAL-file [--cells] [--strict]
+       wal_dump.py --frames CAPTURE-file [--cells]
 
   --cells   print every cell's coordinates and sketch summary (default
             prints a one-line summary per epoch record)
   --strict  treat a torn tail as an error too (for verifying a log that
             should be clean, e.g. after a graceful shutdown)
+  --frames  audit a replication frame capture (src/replica/frame.h wire
+            frames, e.g. REPLICA_frames.bin from bench_replica_soak)
+            instead of a WAL: verifies every frame CRC and type, the
+            snapshot chunk sequence and whole-image CRC against
+            kSnapEnd, and that delta epochs chain consecutively onto
+            the shipped snapshot. A capture is written whole, so a torn
+            tail is always corruption here.
 """
 
 import struct
@@ -127,7 +135,7 @@ def decode_kll(r):
 def decode_epoch_record(r, num_dims, version):
     epoch = r.u64("epoch")
     rec_dims = r.u32("dimension count")
-    if rec_dims != num_dims:
+    if num_dims is not None and rec_dims != num_dims:
         raise ValueError(f"record dims {rec_dims} != header dims {num_dims}")
     dicts = []
     for d in range(rec_dims):
@@ -201,13 +209,196 @@ def print_epoch(rec_index, offset, epoch, dicts, cells, show_cells):
             print(line)
 
 
+# Replication frame types (src/replica/frame.h FrameType).
+FRAME_NAMES = {
+    1: "hello",
+    2: "snap_begin",
+    3: "snap_chunk",
+    4: "snap_end",
+    5: "delta",
+    6: "caught_up",
+    7: "heartbeat",
+    8: "error",
+}
+CHECKPOINT_MAGIC = b"MSKCKPT1"
+
+
+def dump_frames(path, show_cells):
+    """Audits a replication frame capture (concatenated wire frames).
+
+    Beyond per-frame CRCs, checks the protocol invariants the shipped
+    stream must satisfy: snapshot chunks arrive in order and reassemble
+    to exactly the advertised image (whose masked CRC must match the
+    kSnapEnd trailer and whose bytes must be a checkpoint image), and
+    delta epochs chain consecutively onto the snapshot cut.
+    """
+    with open(path, "rb") as f:
+        data = f.read()
+    print(f"{path}: {len(data)} bytes (replication frame capture)")
+
+    corrupt = False
+    pos = 0
+    frames = 0
+    snap = None          # in-flight chunk assembly
+    snap_epoch = None    # epoch of the last completed snapshot
+    delta_epochs = []
+    caught_up = None
+    while pos < len(data):
+        if len(data) - pos < 9:
+            print(f"CORRUPT: torn frame header @ {pos} "
+                  f"({len(data) - pos} bytes); captures are written whole")
+            corrupt = True
+            break
+        masked_crc, length, ftype = struct.unpack_from("<IIB", data, pos)
+        if length > MAX_RECORD_LEN:
+            print(f"CORRUPT: frame @ {pos}: length prefix {length} "
+                  f"exceeds max {MAX_RECORD_LEN}")
+            corrupt = True
+            break
+        if len(data) - pos - 9 < length:
+            print(f"CORRUPT: torn frame payload @ {pos} "
+                  f"({len(data) - pos - 9} of {length} payload bytes)")
+            corrupt = True
+            break
+        payload = data[pos + 9 : pos + 9 + length]
+        actual = crc32c(payload, crc32c(bytes([ftype])))
+        if unmask(masked_crc) != actual:
+            print(f"CORRUPT: frame {frames} @ {pos}: CRC mismatch "
+                  f"(stored {unmask(masked_crc):#010x}, "
+                  f"actual {actual:#010x})")
+            corrupt = True
+            break
+        name = FRAME_NAMES.get(ftype)
+        if name is None:
+            print(f"CORRUPT: frame {frames} @ {pos}: unknown type {ftype}")
+            corrupt = True
+            break
+
+        try:
+            r = Reader(payload)
+            if name == "snap_begin":
+                epoch = r.u64("snapshot epoch")
+                total = r.u64("total bytes")
+                num_chunks = r.u32("chunk count")
+                chunk_bytes = r.u32("chunk size")
+                first_chunk = r.u32("first chunk")
+                print(f"  frame {frames} snap_begin: epoch {epoch}, "
+                      f"{total} bytes in {num_chunks} x {chunk_bytes}B "
+                      f"chunks from #{first_chunk}")
+                if chunk_bytes == 0 or num_chunks == 0 or \
+                        first_chunk >= num_chunks:
+                    raise ValueError("implausible snapshot geometry")
+                if first_chunk != 0:
+                    print(f"    (resumed transfer; capture lacks chunks "
+                          f"0..{first_chunk - 1}, image CRC not checkable)")
+                snap = {
+                    "epoch": epoch,
+                    "total": total,
+                    "num_chunks": num_chunks,
+                    "chunk_bytes": chunk_bytes,
+                    "next": first_chunk,
+                    "resumed": first_chunk != 0,
+                    "buf": bytearray(),
+                }
+            elif name == "snap_chunk":
+                index = r.u32("chunk index")
+                chunk = payload[4:]
+                if snap is None:
+                    raise ValueError("snap_chunk outside a transfer")
+                if index != snap["next"]:
+                    raise ValueError(f"chunk #{index} out of order "
+                                     f"(expected #{snap['next']})")
+                last = index == snap["num_chunks"] - 1
+                if not last and len(chunk) != snap["chunk_bytes"]:
+                    raise ValueError(f"chunk #{index} is {len(chunk)}B, "
+                                     f"expected {snap['chunk_bytes']}B")
+                snap["next"] += 1
+                snap["buf"].extend(chunk)
+            elif name == "snap_end":
+                epoch = r.u64("snapshot epoch")
+                image_crc = r.u32("image crc")
+                if snap is None:
+                    raise ValueError("snap_end outside a transfer")
+                if epoch != snap["epoch"]:
+                    raise ValueError(f"snap_end epoch {epoch} != "
+                                     f"begin epoch {snap['epoch']}")
+                if snap["next"] != snap["num_chunks"]:
+                    raise ValueError(f"snap_end after {snap['next']} of "
+                                     f"{snap['num_chunks']} chunks")
+                if not snap["resumed"]:
+                    image = bytes(snap["buf"])
+                    if len(image) != snap["total"]:
+                        raise ValueError(f"assembled {len(image)}B, "
+                                         f"advertised {snap['total']}B")
+                    if unmask(image_crc) != crc32c(image):
+                        raise ValueError(
+                            f"image CRC mismatch (trailer "
+                            f"{unmask(image_crc):#010x}, assembled "
+                            f"{crc32c(image):#010x})")
+                    if image[: len(CHECKPOINT_MAGIC)] != CHECKPOINT_MAGIC:
+                        raise ValueError(
+                            f"image magic {image[:8]!r} is not a "
+                            f"checkpoint image")
+                print(f"  frame {frames} snap_end: epoch {epoch}, "
+                      f"{snap['num_chunks']} chunks verified")
+                snap_epoch = epoch
+                snap = None
+            elif name == "delta":
+                epoch, dicts, cells = decode_epoch_record(r, None, 2)
+                expected = None
+                if delta_epochs:
+                    expected = delta_epochs[-1] + 1
+                elif snap_epoch is not None:
+                    expected = snap_epoch + 1
+                if expected is not None and epoch != expected:
+                    raise ValueError(f"delta epoch {epoch} breaks the "
+                                     f"chain (expected {expected})")
+                print_epoch(frames, pos, epoch, dicts, cells, show_cells)
+                delta_epochs.append(epoch)
+            elif name == "caught_up":
+                caught_up = r.u64("through epoch")
+                shipped = delta_epochs[-1] if delta_epochs else snap_epoch
+                if shipped is not None and caught_up < shipped:
+                    raise ValueError(f"caught_up through {caught_up} < "
+                                     f"last shipped epoch {shipped}")
+                print(f"  frame {frames} caught_up: through {caught_up}")
+            elif name == "heartbeat":
+                r.u64("current epoch")
+            elif name == "hello":
+                print(f"  frame {frames} hello ({length}B)")
+            elif name == "error":
+                code = r.u32("status code")
+                print(f"  frame {frames} error: code {code}")
+        except ValueError as e:
+            print(f"CORRUPT: frame {frames} ({name}) @ {pos}: checksum OK "
+                  f"but protocol-invalid: {e}")
+            corrupt = True
+            break
+        pos += 9 + length
+        frames += 1
+
+    if snap is not None and not corrupt:
+        print(f"CORRUPT: capture ends mid-snapshot ({snap['next']} of "
+              f"{snap['num_chunks']} chunks)")
+        corrupt = True
+    print(f"{frames} intact frame(s), "
+          f"{len(delta_epochs)} delta epoch(s)"
+          + (f", snapshot cut @ epoch {snap_epoch}"
+             if snap_epoch is not None else "")
+          + (f", caught up through {caught_up}"
+             if caught_up is not None else ""))
+    return 1 if corrupt else 0
+
+
 def main(argv):
     args = [a for a in argv[1:] if not a.startswith("--")]
     flags = {a for a in argv[1:] if a.startswith("--")}
-    if len(args) != 1 or flags - {"--cells", "--strict"}:
+    if len(args) != 1 or flags - {"--cells", "--strict", "--frames"}:
         print(__doc__)
         return 2
     path = args[0]
+    if "--frames" in flags:
+        return dump_frames(path, "--cells" in flags)
     with open(path, "rb") as f:
         data = f.read()
 
